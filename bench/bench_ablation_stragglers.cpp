@@ -1,0 +1,68 @@
+// Ablation: synchronous vs asynchronous (FedAsync) scheduling under
+// compute heterogeneity — the straggler problem the paper raises when
+// discussing synchronous-by-default frameworks (§2.2) and its
+// "heterogeneity-aware computing" future-work item.
+//
+// One cohort member is progressively slower; both schedulers absorb the
+// same number of client updates. Synchronous rounds are gated by the
+// straggler; async keeps the fast clients busy and pays only a staleness
+// penalty on quality.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Outcome {
+  double wall_seconds;
+  float accuracy;
+  double staleness;
+};
+
+Outcome run(bool async, double straggler_slowdown) {
+  using of::config::ConfigNode;
+  auto cfg = of::bench::experiment_config("resnet18_mini", "cifar10_like", "FedAvg",
+                                          /*rounds=*/6, /*clients=*/4);
+  cfg.set_path("eval_every", ConfigNode::integer(6));
+  ConfigNode slowdowns = ConfigNode::list();
+  for (int i = 0; i < 3; ++i) slowdowns.push_back(ConfigNode::floating(1.0));
+  slowdowns.push_back(ConfigNode::floating(straggler_slowdown));
+  cfg.set_path("heterogeneity.slowdowns", slowdowns);
+  if (async) {
+    cfg.set_path("scheduling.mode", ConfigNode::string("async"));
+    cfg.set_path("scheduling.alpha", ConfigNode::floating(0.6));
+  }
+  of::core::Engine engine(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = engine.run();
+  Outcome out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.accuracy = result.final_accuracy;
+  out.staleness = result.rounds.empty() ? 0.0 : result.rounds.back().mean_staleness;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Ablation: sync vs async scheduling under stragglers ===\n");
+  std::printf("(4 clients, one progressively slower; 24 client updates total;\n"
+              " ResNet18-mini / CIFAR10-like)\n\n");
+  std::printf("%-10s | %-22s | %-32s\n", "", "synchronous", "asynchronous (FedAsync)");
+  std::printf("%-10s | %9s | %8s | %9s | %8s | %9s\n", "slowdown", "wall s", "acc",
+              "wall s", "acc", "staleness");
+  std::printf("----------------------------------------------------------------------\n");
+  for (const double slow : {1.0, 2.0, 4.0, 8.0}) {
+    const Outcome s = run(false, slow);
+    const Outcome a = run(true, slow);
+    std::printf("%-10.0fx | %9.2f | %7.2f%% | %9.2f | %7.2f%% | %9.2f\n", slow,
+                s.wall_seconds, s.accuracy * 100.0f, a.wall_seconds, a.accuracy * 100.0f,
+                a.staleness);
+    std::fflush(stdout);
+  }
+  std::printf("\nsync wall time scales with the straggler; async stays near-flat and\n"
+              "trades a bounded staleness penalty in accuracy.\n");
+  return 0;
+}

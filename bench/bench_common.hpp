@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction bench binaries: experiment
+// config builders (the four model/dataset pairings of §3.4) and table
+// printing. Each bench binary regenerates one table or figure of the paper;
+// EXPERIMENTS.md records the shape comparison against the published values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+
+namespace of::bench {
+
+struct Pairing {
+  const char* model;
+  const char* dataset;
+  const char* paper_name;  // what the paper calls this column
+};
+
+// The paper's four evaluation pairings (§3.4): ResNet18/CIFAR10,
+// VGG11/CIFAR100, AlexNet/Caltech101, MobileNetV3/Caltech256.
+inline std::vector<Pairing> paper_pairings() {
+  return {{"resnet18_mini", "cifar10_like", "ResNet18"},
+          {"vgg11_mini", "cifar100_like", "VGG11"},
+          {"alexnet_mini", "caltech101_like", "AlexNet"},
+          {"mobilenetv3_mini", "caltech256_like", "MobileNetV3"}};
+}
+
+// Base experiment config: centralized topology, 8 clients, Dirichlet(0.5)
+// non-IID split, SGD momentum 0.9 — the paper's §3.4 training setup scaled
+// to a single-CPU host (see DESIGN.md §1).
+inline config::ConfigNode experiment_config(const std::string& model,
+                                            const std::string& dataset,
+                                            const std::string& algorithm,
+                                            std::size_t rounds, std::size_t clients = 8) {
+  config::ConfigNode cfg = config::parse_yaml(R"(
+seed: 42
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+datamodule:
+  partition: iid
+  batch_size: 32
+algorithm:
+  local_epochs: 2
+  lr: 0.1
+  momentum: 0.9
+  weight_decay: 1.0e-4
+)");
+  cfg.set_path("topology.num_clients",
+               config::ConfigNode::integer(static_cast<std::int64_t>(clients)));
+  cfg.set_path("model", config::ConfigNode::string(model));
+  cfg.set_path("datamodule.preset", config::ConfigNode::string(dataset));
+  cfg.set_path("algorithm._target_", config::ConfigNode::string(algorithm));
+  cfg.set_path("algorithm.global_rounds",
+               config::ConfigNode::integer(static_cast<std::int64_t>(rounds)));
+  cfg.set_path("eval_every", config::ConfigNode::integer(static_cast<std::int64_t>(rounds)));
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s of the OmniFed paper)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void print_row_header(const std::vector<Pairing>& pairings, const char* col0) {
+  std::printf("%-18s", col0);
+  for (const auto& p : pairings) std::printf(" | %12s", p.paper_name);
+  std::printf("\n");
+  for (int i = 0; i < 18 + 4 * 15; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+}  // namespace of::bench

@@ -1,0 +1,96 @@
+// Figure 5: compression overhead of the different techniques — the time to
+// compress + exchange + decompress one model update, per codec and model.
+//
+// The exchange cost is modeled on the codec's wire volume over a paper-like
+// cluster link; sparsifiers pay all-gather (payloads from every worker),
+// quantization/low-rank pay all-reduce (constant volume), reproducing the
+// collective-choice effect the paper highlights in §3.4.2. QSGD's lower
+// compression factor (2–4x) makes its total overhead the largest — the
+// paper's headline observation for this figure.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "comm/modeled.hpp"
+#include "compression/compressor.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+using of::compression::Compressor;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+struct Row {
+  const char* label;
+  const char* target;
+  const char* k = nullptr;
+  int bits = 0;
+  int rank = 0;
+};
+
+double measure_seconds(Compressor& codec, const Tensor& update, int world,
+                       const of::comm::LinkModel& link, int iters) {
+  using Clock = std::chrono::steady_clock;
+  double total = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const auto t0 = Clock::now();
+    const auto compressed = codec.compress(update);
+    Tensor restored = codec.decompress(compressed);
+    total += std::chrono::duration<double>(Clock::now() - t0).count();
+    // Modeled wire time: all-gather moves (world-1) payloads through each
+    // node, all-reduce moves 2x one payload (reduce-scatter + gather).
+    const double per_payload = link.transfer_seconds(compressed.bytes());
+    total += codec.allreduce_compatible()
+                 ? 2.0 * per_payload
+                 : static_cast<double>(world - 1) * per_payload;
+  }
+  return total / iters;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Row> rows = {
+      {"None (fp32)", "Identity"},
+      {"TopK-10x", "TopK", "10x"},
+      {"TopK-1000x", "TopK", "1000x"},
+      {"DGC-10x", "DGC", "10x"},
+      {"DGC-1000x", "DGC", "1000x"},
+      {"RedSync-100x", "RedSync", "100x"},
+      {"SIDCo-100x", "SIDCo", "100x"},
+      {"RandomK-100x", "RandomK", "100x"},
+      {"QSGD 8-bit", "QSGD", nullptr, 8},
+      {"QSGD 16-bit", "QSGD", nullptr, 16},
+      {"PowerSGD r-64", "PowerSGD", nullptr, 0, 64},
+      {"PowerSGD r-32", "PowerSGD", nullptr, 0, 32},
+  };
+  const auto pairings = of::bench::paper_pairings();
+  const int world = 8;
+  const of::comm::LinkModel link{50e-6, 1e9 / 8};  // 1 Gb/s cluster Ethernet
+  of::bench::print_header(
+      "Figure 5 — compression + communication overhead per round (ms)",
+      "Figure 5");
+  std::printf("(8 workers, 1 Gb/s modeled link; allgather for sparsifiers, "
+              "allreduce for dense codecs)\n\n");
+  of::bench::print_row_header(pairings, "Compression");
+  Rng rng(7);
+  for (const auto& row : rows) {
+    std::printf("%-18s", row.label);
+    for (const auto& p : pairings) {
+      auto model = of::nn::zoo::make_model(p.model, 64, 10, 1);
+      const Tensor update = Tensor::randn({model.num_scalars()}, rng);
+      using of::config::ConfigNode;
+      ConfigNode cfg = ConfigNode::map();
+      cfg["_target_"] = ConfigNode::string(row.target);
+      if (row.k) cfg["k"] = ConfigNode::string(row.k);
+      if (row.bits) cfg["bits"] = ConfigNode::integer(row.bits);
+      if (row.rank) cfg["rank"] = ConfigNode::integer(row.rank);
+      auto codec = of::compression::make_compressor(cfg);
+      const double secs = measure_seconds(*codec, update, world, link, 5);
+      std::printf(" | %11.3f", secs * 1e3);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 7: cross-facility FL with mixed communication protocols.
+//
+// Two sites of 4 trainers each: intra-site aggregation over the MPI-style
+// communicator on a fast modeled LAN (ring all-reduce semantics), cross-site
+// aggregation over the gRPC-style star on a slow modeled WAN — compression
+// optionally applied *only* to the outer link (paper §3.4.5, Fig. 7a's
+// dashed line).
+//
+// Shape expectation vs. the paper (Fig. 7b): inner comm time per round is
+// far below outer comm time; compressing the outer link shrinks the gap.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+namespace {
+
+of::config::ConfigNode cross_facility_config(std::size_t rounds, bool compress_outer) {
+  using of::config::ConfigNode;
+  ConfigNode cfg = of::config::parse_yaml(R"(
+seed: 42
+topology:
+  _target_: src.omnifed.topology.HierarchicalTopology
+  groups: 2
+  group_size: 4
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+    link:
+      latency_us: 50       # intra-site 10 Gb/s LAN
+      bandwidth_mbps: 10000
+      mode: virtual
+  outer_comm:
+    _target_: src.omnifed.communicator.GrpcCommunicator
+    port: 48251
+    link:
+      latency_us: 20000    # cross-facility WAN: 20 ms, 100 Mb/s
+      bandwidth_mbps: 100
+      mode: virtual
+model: resnet18_mini
+datamodule:
+  preset: cifar10_like
+  partition: dirichlet
+  alpha: 0.5
+  batch_size: 32
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  local_epochs: 1
+  lr: 0.05
+  momentum: 0.9
+  weight_decay: 1.0e-4
+eval_every: 0
+)");
+  cfg.set_path("algorithm.global_rounds",
+               ConfigNode::integer(static_cast<std::int64_t>(rounds)));
+  if (compress_outer) {
+    cfg.set_path("topology.outer_comm.compression._target_", ConfigNode::string("TopK"));
+    cfg.set_path("topology.outer_comm.compression.k", ConfigNode::string("100x"));
+    cfg.set_path("topology.outer_comm.compression.error_feedback",
+                 ConfigNode::boolean(true));
+  }
+  return cfg;
+}
+
+void report(const char* label, const of::core::RunResult& r, std::size_t rounds) {
+  const double per_round = static_cast<double>(rounds);
+  std::printf("%-28s | %10.4f | %10.4f | %9.1f KB | %9.1f KB | %7.2f%%\n", label,
+              r.inner_comm.modeled_seconds / per_round,
+              r.outer_comm.modeled_seconds / per_round,
+              static_cast<double>(r.inner_comm.bytes_sent) / per_round / 1024.0,
+              static_cast<double>(r.outer_comm.bytes_sent) / per_round / 1024.0,
+              r.final_accuracy * 100.0f);
+}
+
+}  // namespace
+
+int main() {
+  const char* env = std::getenv("OMNIFED_BENCH_ROUNDS");
+  const std::size_t rounds = env ? static_cast<std::size_t>(std::atoi(env)) : 6;
+  of::bench::print_header(
+      "Figure 7 — cross-facility FL: inner (MPI/LAN) vs outer (gRPC/WAN) overhead",
+      "Figure 7");
+  std::printf("(2 sites x 4 trainers, ResNet18-mini, FedAvg, %zu rounds; modeled links:\n"
+              " inner 50us/10Gbps, outer 20ms/100Mbps; times are modeled seconds/round)\n\n",
+              rounds);
+  std::printf("%-28s | %10s | %10s | %12s | %12s | %8s\n", "configuration", "inner s/rnd",
+              "outer s/rnd", "inner vol", "outer vol", "acc");
+  std::printf("---------------------------------------------------------------------------"
+              "-------------\n");
+  {
+    of::core::Engine engine(cross_facility_config(rounds, false));
+    report("uncompressed outer", engine.run(), rounds);
+  }
+  {
+    of::core::Engine engine(cross_facility_config(rounds, true));
+    report("TopK-100x outer (dashed)", engine.run(), rounds);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 2: convergence quality (final test accuracy) under the paper's
+// eight gradient-compression configurations, FedAvg training:
+//   TopK 10x / 1000x, DGC 10x / 1000x, QSGD 8-bit / 16-bit,
+//   PowerSGD r-64 / r-32
+//
+// Shape expectation vs. the paper: mild compression (10x, QSGD) tracks the
+// uncompressed accuracy closely; 1000x factors and low-rank PowerSGD lose
+// several points, more on the harder many-class tasks.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct CompressionRow {
+  const char* label;
+  const char* target;
+  const char* k;    // nullptr when unused
+  int bits = 0;     // QSGD
+  int rank = 0;     // PowerSGD
+};
+
+}  // namespace
+
+int main() {
+  const char* env = std::getenv("OMNIFED_BENCH_ROUNDS");
+  const std::size_t rounds = env ? static_cast<std::size_t>(std::atoi(env)) : 15;
+  const std::vector<CompressionRow> rows = {
+      {"TopK-10x", "TopK", "10x"},
+      {"TopK-1000x", "TopK", "1000x"},
+      {"DGC-10x", "DGC", "10x"},
+      {"DGC-1000x", "DGC", "1000x"},
+      {"QSGD 8-bit", "QSGD", nullptr, 8},
+      {"QSGD 16-bit", "QSGD", nullptr, 16},
+      {"PowerSGD r-64", "PowerSGD", nullptr, 0, 64},
+      {"PowerSGD r-32", "PowerSGD", nullptr, 0, 32},
+  };
+  const auto pairings = of::bench::paper_pairings();
+  of::bench::print_header(
+      "Table 2 — convergence quality under gradient compression (final acc %)",
+      "Table 2");
+  std::printf("(FedAvg, 8 clients, %zu rounds; compressor on the client->server link)\n\n",
+              rounds);
+  of::bench::print_row_header(pairings, "Compression");
+  for (const auto& row : rows) {
+    std::printf("%-18s", row.label);
+    std::fflush(stdout);
+    for (const auto& p : pairings) {
+      // FedAvgDelta ≡ FedAvg, but ships deltas so the codecs compress
+      // gradient-like quantities (the paper's "gradient compression").
+      auto cfg = of::bench::experiment_config(p.model, p.dataset, "FedAvgDelta", rounds);
+      using of::config::ConfigNode;
+      // Paper Fig. 4 placement: compression under the communicator section.
+      cfg.set_path("topology.inner_comm.compression._target_",
+                   ConfigNode::string(row.target));
+      if (row.k) cfg.set_path("topology.inner_comm.compression.k", ConfigNode::string(row.k));
+      if (row.bits)
+        cfg.set_path("topology.inner_comm.compression.bits", ConfigNode::integer(row.bits));
+      if (row.rank)
+        cfg.set_path("topology.inner_comm.compression.rank", ConfigNode::integer(row.rank));
+      // Sparsifiers need error feedback at high factors (as in DGC).
+      cfg.set_path("topology.inner_comm.compression.error_feedback",
+                   ConfigNode::boolean(true));
+      of::core::Engine engine(cfg);
+      const auto result = engine.run();
+      std::printf(" | %11.2f%%", result.final_accuracy * 100.0f);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

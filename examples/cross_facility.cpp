@@ -1,0 +1,65 @@
+// Cross-facility FL (paper §3.4.5, Fig. 7a): two sites train a shared model
+// — fast MPI-style collectives inside each site, a slow gRPC-style WAN star
+// between site leaders, and compression applied only to the WAN link.
+//
+//   ./cross_facility [groups] [group_size] [rounds]
+#include <cstdlib>
+#include <iostream>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const int groups = argc > 1 ? std::atoi(argv[1]) : 2;
+    const int group_size = argc > 2 ? std::atoi(argv[2]) : 3;
+    const int rounds = argc > 3 ? std::atoi(argv[3]) : 5;
+
+    of::config::ConfigNode cfg = of::config::parse_yaml(R"(
+seed: 42
+topology:
+  _target_: src.omnifed.topology.HierarchicalTopology
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+    link: {latency_us: 50, bandwidth_mbps: 10000, mode: virtual}
+  outer_comm:
+    _target_: src.omnifed.communicator.GrpcCommunicator
+    port: 48351
+    link: {latency_us: 20000, bandwidth_mbps: 100, mode: virtual}
+    compression:
+      _target_: src.omnifed.communicator.compression.TopK
+      k: 100x
+      error_feedback: true
+model: resnet18_mini
+datamodule: {preset: cifar10_like, partition: iid, batch_size: 32}
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  local_epochs: 2
+  lr: 0.1
+  momentum: 0.9
+  weight_decay: 1.0e-4
+eval_every: 1
+)");
+    cfg.set_path("topology.groups", of::config::ConfigNode::integer(groups));
+    cfg.set_path("topology.group_size", of::config::ConfigNode::integer(group_size));
+    cfg.set_path("algorithm.global_rounds", of::config::ConfigNode::integer(rounds));
+
+    of::core::Engine engine(std::move(cfg));
+    std::cout << "cross-facility run: " << groups << " sites x " << group_size
+              << " trainers, compressed WAN tier\n";
+    const auto result = engine.run();
+    for (const auto& r : result.rounds)
+      std::cout << "round " << r.round << ": loss=" << r.train_loss
+                << " acc=" << r.accuracy * 100 << "%\n";
+    std::cout << "modeled comm time/round: inner="
+              << result.inner_comm.modeled_seconds / rounds
+              << "s outer=" << result.outer_comm.modeled_seconds / rounds << "s\n"
+              << "volume/round: inner=" << result.inner_comm.bytes_sent / rounds / 1024
+              << "KB outer=" << result.outer_comm.bytes_sent / rounds / 1024 << "KB\n"
+              << result.summary() << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,81 @@
+// Quickstart: centralized FedAvg over 8 clients — the C++ analogue of the
+// paper's Fig. 2 YAML. Build the same config programmatically, run the
+// Engine, print per-round metrics.
+//
+//   ./quickstart [config.yaml] [dotted.override=value ...]
+//
+// With no arguments it uses an embedded config equivalent to
+// configs/quickstart.yaml.
+#include <iostream>
+#include <vector>
+
+#include "config/compose.hpp"
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+constexpr const char* kDefaultConfig = R"(
+seed: 42
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 8
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: dirichlet
+  alpha: 0.5
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 5
+  local_epochs: 1
+  lr: 0.05
+  momentum: 0.9
+  weight_decay: 1.0e-4
+eval_every: 1
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    of::config::ConfigNode cfg;
+    std::vector<std::string> overrides;
+    int first_override = 1;
+    if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos) {
+      cfg = of::config::compose(argv[1]);
+      first_override = 2;
+    } else {
+      cfg = of::config::parse_yaml(kDefaultConfig);
+    }
+    for (int i = first_override; i < argc; ++i)
+      of::config::apply_override(cfg, argv[i]);
+
+    of::core::Engine engine(std::move(cfg));
+    std::cout << "topology: " << engine.topology().kind << " with "
+              << engine.topology().num_trainers() << " trainers\n";
+    const of::core::RunResult result = engine.run();
+
+    std::cout << "round |   loss   | accuracy | seconds\n";
+    for (const auto& r : result.rounds) {
+      std::cout.width(5);
+      std::cout << r.round << " | ";
+      std::cout.width(8);
+      std::cout << r.train_loss << " | ";
+      std::cout.width(8);
+      if (r.accuracy >= 0)
+        std::cout << r.accuracy * 100.0f;
+      else
+        std::cout << "--";
+      std::cout << " | " << r.seconds << '\n';
+    }
+    std::cout << result.summary() << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,221 @@
+// Scaffold, FedDyn, DiLoCo — drift-corrected and low-communication variants.
+#include "algorithms/builtin.hpp"
+#include "common/check.hpp"
+
+namespace of::algorithms {
+namespace {
+
+std::vector<Tensor> zeros_like(const std::vector<Tensor>& ref) {
+  std::vector<Tensor> out;
+  out.reserve(ref.size());
+  for (const auto& t : ref) out.emplace_back(t.shape());
+  return out;
+}
+
+}  // namespace
+
+// --- Scaffold -----------------------------------------------------------------
+// Global payload: [w_0..w_{k-1}, c_0..c_{k-1}]; client payload: [Δw…, Δc…].
+
+void Scaffold::on_train_start(TrainContext& ctx) {
+  ctx.state["c_local"] = zeros_like(shared_values(*ctx.model));
+}
+
+void Scaffold::apply_global(TrainContext& ctx, const std::vector<Tensor>& global) {
+  OF_CHECK_MSG(global.size() % 2 == 0, "Scaffold global payload must be [w…, c…]");
+  const std::size_t k = global.size() / 2;
+  std::vector<Tensor> w(global.begin(), global.begin() + static_cast<std::ptrdiff_t>(k));
+  set_shared_values(*ctx.model, w);
+  ctx.state["c_global"] =
+      std::vector<Tensor>(global.begin() + static_cast<std::ptrdiff_t>(k), global.end());
+  ctx.state["w_start"] = std::move(w);
+}
+
+TrainStats Scaffold::local_train(TrainContext& ctx) {
+  // SCAFFOLD's Option-II control update c_i⁺ = c_i − c + (w_start−w_i)/(τ·lr)
+  // is derived for *vanilla* local SGD; a momentum optimizer inflates the
+  // displacement by ~1/(1−β) and mis-scales the variates, so the algorithm
+  // swaps in its own plain-SGD inner optimizer (same LR, no momentum).
+  if (!ctx.own_optimizer)
+    ctx.own_optimizer = std::make_unique<nn::SGD>(ctx.model->parameters(),
+                                                  ctx.optimizer->lr());
+  nn::Optimizer* outer = ctx.optimizer;
+  ctx.optimizer = ctx.own_optimizer.get();
+  ctx.own_optimizer->set_lr(outer->lr());  // follow the schedule
+  TrainStats stats = run_sgd_epochs(ctx, [this](TrainContext& c) {
+    const auto& cg = c.state.at("c_global");
+    const auto& cl = c.state.at("c_local");
+    auto params = shared_parameters(*c.model);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      // corrected gradient: g − c_i + c
+      params[i]->grad.add_(cg[i]);
+      params[i]->grad.sub_(cl[i]);
+    }
+  });
+  ctx.optimizer = outer;
+  ctx.scalars["tau"] = static_cast<double>(std::max<std::size_t>(1, stats.steps));
+  return stats;
+}
+
+std::vector<Tensor> Scaffold::client_update(TrainContext& ctx) {
+  auto params = shared_parameters(*ctx.model);
+  const auto& w_start = ctx.state.at("w_start");
+  const auto& cg = ctx.state.at("c_global");
+  auto& cl = ctx.state.at("c_local");
+  const double tau = ctx.scalars.at("tau");
+  const double lr = static_cast<double>(ctx.optimizer->lr());
+  std::vector<Tensor> payload;
+  payload.reserve(2 * params.size());
+  // Δw = w_i − w_start.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor dw = params[i]->value;
+    dw.sub_(w_start[i]);
+    payload.push_back(std::move(dw));
+  }
+  // Option-II control update: c_i⁺ = c_i − c + (w_start − w_i)/(τ·lr).
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor c_new = cl[i];
+    c_new.sub_(cg[i]);
+    Tensor drift = w_start[i];
+    drift.sub_(params[i]->value);
+    c_new.add_scaled_(drift, static_cast<float>(1.0 / (tau * lr)));
+    Tensor dc = c_new;
+    dc.sub_(cl[i]);
+    cl[i] = std::move(c_new);
+    payload.push_back(std::move(dc));
+  }
+  return payload;
+}
+
+std::vector<Tensor> Scaffold::initial_global(Model& reference) {
+  std::vector<Tensor> g = shared_values(reference);
+  const std::vector<Tensor> c = zeros_like(g);
+  g.insert(g.end(), c.begin(), c.end());
+  return g;
+}
+
+std::vector<Tensor> Scaffold::server_update(ServerState& state,
+                                            const std::vector<Tensor>& mean) {
+  OF_CHECK_MSG(mean.size() == state.global.size(), "Scaffold payload size drift");
+  const std::size_t k = mean.size() / 2;
+  // w += mean(Δw); c += mean(Δc)  (full participation: |S|/N = 1).
+  for (std::size_t i = 0; i < mean.size(); ++i) state.global[i].add_(mean[i]);
+  (void)k;
+  return state.global;
+}
+
+// --- FedDyn ------------------------------------------------------------------
+
+void FedDyn::on_train_start(TrainContext& ctx) {
+  ctx.state["lambda"] = zeros_like(shared_values(*ctx.model));
+}
+
+void FedDyn::on_round_start(TrainContext& ctx) {
+  ctx.state["w_global"] = shared_values(*ctx.model);
+}
+
+TrainStats FedDyn::local_train(TrainContext& ctx) {
+  const float alpha = ctx.params.get_or<float>("alpha", 0.01f);
+  return run_sgd_epochs(ctx, [this, alpha](TrainContext& c) {
+    const auto& wg = c.state.at("w_global");
+    const auto& lam = c.state.at("lambda");
+    auto params = shared_parameters(*c.model);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      // grad += α(w − w_global) − λ_i
+      params[i]->grad.add_scaled_(params[i]->value, alpha);
+      params[i]->grad.add_scaled_(wg[i], -alpha);
+      params[i]->grad.sub_(lam[i]);
+    }
+  });
+}
+
+void FedDyn::on_round_end(TrainContext& ctx) {
+  const float alpha = ctx.params.get_or<float>("alpha", 0.01f);
+  auto params = shared_parameters(*ctx.model);
+  const auto& wg = ctx.state.at("w_global");
+  auto& lam = ctx.state.at("lambda");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // λ_i ← λ_i − α (w_i − w_global)
+    lam[i].add_scaled_(params[i]->value, -alpha);
+    lam[i].add_scaled_(wg[i], alpha);
+  }
+}
+
+std::vector<Tensor> FedDyn::server_update(ServerState& state,
+                                          const std::vector<Tensor>& mean) {
+  const float alpha = state.params.get_or<float>("alpha", 0.01f);
+  if (state.buffers.find("h") == state.buffers.end())
+    state.buffers["h"] = zeros_like(mean);
+  auto& h = state.buffers.at("h");
+  OF_CHECK_MSG(mean.size() == state.global.size(), "FedDyn payload size drift");
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    // h ← h − α (mean − w_prev);  w ← mean − h/α
+    Tensor drift = mean[i];
+    drift.sub_(state.global[i]);
+    h[i].add_scaled_(drift, -alpha);
+    state.global[i] = mean[i];
+    state.global[i].add_scaled_(h[i], -1.0f / alpha);
+  }
+  return state.global;
+}
+
+// --- DiLoCo ------------------------------------------------------------------
+
+void DiLoCo::on_round_start(TrainContext& ctx) {
+  ctx.state["w_start"] = shared_values(*ctx.model);
+  if (!ctx.own_optimizer) {
+    // Inner AdamW, as the DiLoCo recipe prescribes.
+    const float inner_lr = ctx.params.get_or<float>("inner_lr", 1e-3f);
+    const float wd = ctx.params.get_or<float>("inner_weight_decay", 0.01f);
+    ctx.own_optimizer =
+        std::make_unique<nn::AdamW>(ctx.model->parameters(), inner_lr, 0.9f, 0.999f,
+                                    1e-8f, wd);
+  }
+}
+
+TrainStats DiLoCo::local_train(TrainContext& ctx) {
+  // Swap in the inner optimizer for the local phase.
+  nn::Optimizer* outer = ctx.optimizer;
+  nn::LRScheduler* sched = ctx.scheduler;
+  ctx.optimizer = ctx.own_optimizer.get();
+  ctx.scheduler = nullptr;  // AdamW runs at a fixed inner LR
+  TrainStats stats = run_sgd_epochs(ctx);
+  ctx.optimizer = outer;
+  ctx.scheduler = sched;
+  return stats;
+}
+
+std::vector<Tensor> DiLoCo::client_update(TrainContext& ctx) {
+  // Outer pseudo-gradient: w_start − w_local.
+  const auto& w_start = ctx.state.at("w_start");
+  auto params = shared_parameters(*ctx.model);
+  std::vector<Tensor> payload;
+  payload.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor d = w_start[i];
+    d.sub_(params[i]->value);
+    payload.push_back(std::move(d));
+  }
+  return payload;
+}
+
+std::vector<Tensor> DiLoCo::server_update(ServerState& state,
+                                          const std::vector<Tensor>& mean) {
+  const float outer_lr = state.params.get_or<float>("outer_lr", 0.7f);
+  const float beta = state.params.get_or<float>("outer_momentum", 0.9f);
+  if (state.buffers.find("momentum") == state.buffers.end())
+    state.buffers["momentum"] = zeros_like(mean);
+  auto& v = state.buffers.at("momentum");
+  OF_CHECK_MSG(mean.size() == state.global.size(), "DiLoCo payload size drift");
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    // Nesterov momentum SGD on the pseudo-gradient.
+    v[i].scale_(beta);
+    v[i].add_(mean[i]);
+    Tensor step = mean[i];
+    step.add_scaled_(v[i], beta);  // g + β v  (Nesterov look-ahead)
+    state.global[i].add_scaled_(step, -outer_lr);
+  }
+  return state.global;
+}
+
+}  // namespace of::algorithms

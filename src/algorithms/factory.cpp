@@ -1,0 +1,52 @@
+#include "algorithms/builtin.hpp"
+
+namespace of::algorithms {
+namespace {
+
+template <typename A>
+void add(AlgorithmRegistry& reg, const char* name) {
+  reg.add(name, [](const config::ConfigNode&) -> std::unique_ptr<Algorithm> {
+    return std::make_unique<A>();
+  });
+}
+
+void register_builtin(AlgorithmRegistry& reg) {
+  add<FedAvg>(reg, "FedAvg");
+  add<FedAvgDelta>(reg, "FedAvgDelta");
+  add<FedProx>(reg, "FedProx");
+  add<FedMom>(reg, "FedMom");
+  add<FedNova>(reg, "FedNova");
+  add<Scaffold>(reg, "Scaffold");
+  add<Moon>(reg, "Moon");
+  add<FedPer>(reg, "FedPer");
+  add<FedDyn>(reg, "FedDyn");
+  add<FedBN>(reg, "FedBN");
+  add<Ditto>(reg, "Ditto");
+  add<DiLoCo>(reg, "DiLoCo");
+}
+
+}  // namespace
+
+AlgorithmRegistry& algorithm_registry() {
+  static AlgorithmRegistry reg = [] {
+    AlgorithmRegistry r;
+    register_builtin(r);
+    return r;
+  }();
+  return reg;
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const config::ConfigNode& cfg) {
+  return algorithm_registry().create(cfg);
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& target_name) {
+  return algorithm_registry().create(target_name, config::ConfigNode::map());
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"FedAvg", "FedProx", "FedMom", "FedNova", "Scaffold", "Moon",
+          "FedPer", "FedDyn",  "FedBN",  "Ditto",   "DiLoCo"};
+}
+
+}  // namespace of::algorithms

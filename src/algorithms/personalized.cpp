@@ -1,0 +1,156 @@
+// Moon and Ditto — the personalization-flavoured algorithms that keep extra
+// model copies on the client. (FedPer and FedBN are pure parameter filters
+// and live entirely in builtin.hpp.)
+#include <cmath>
+
+#include "algorithms/builtin.hpp"
+#include "common/check.hpp"
+
+namespace of::algorithms {
+namespace {
+
+// Row-wise cosine similarity s_b = <a_b, c_b>/(|a_b||c_b|) and its gradient
+// with respect to a. Returns similarities; accumulates d(mean loss)/da into
+// `grad_a` scaled by `coeff`.
+std::vector<float> cosine_rows(const Tensor& a, const Tensor& b) {
+  const std::size_t rows = a.size(0), cols = a.size(1);
+  std::vector<float> sims(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      dot += a(r, c) * b(r, c);
+      na += a(r, c) * a(r, c);
+      nb += b(r, c) * b(r, c);
+    }
+    sims[r] = static_cast<float>(dot / (std::sqrt(na * nb) + 1e-12));
+  }
+  return sims;
+}
+
+// d cos(a_r, b_r)/d a_r = b/(|a||b|) − cos·a/|a|².
+void add_cosine_grad(const Tensor& a, const Tensor& b, std::size_t row, float coeff,
+                     Tensor& grad_a) {
+  const std::size_t cols = a.size(1);
+  double na2 = 0.0, nb2 = 0.0, dot = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    na2 += a(row, c) * a(row, c);
+    nb2 += b(row, c) * b(row, c);
+    dot += a(row, c) * b(row, c);
+  }
+  const double na = std::sqrt(na2) + 1e-12, nb = std::sqrt(nb2) + 1e-12;
+  const double cos = dot / (na * nb);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double g = b(row, c) / (na * nb) - cos * a(row, c) / (na2 + 1e-12);
+    grad_a(row, c) += coeff * static_cast<float>(g);
+  }
+}
+
+}  // namespace
+
+// --- Moon --------------------------------------------------------------------
+
+void Moon::apply_global(TrainContext& ctx, const std::vector<Tensor>& global) {
+  Algorithm::apply_global(ctx, global);
+  // Snapshot the freshly applied global model for the contrastive anchor.
+  ctx.aux_model = ctx.model->clone();
+  ctx.aux_model.set_training(false);
+}
+
+TrainStats Moon::local_train(TrainContext& ctx) {
+  const float mu = ctx.params.get_or<float>("mu", 1.0f);
+  const float temperature = ctx.params.get_or<float>("temperature", 0.5f);
+  const bool have_prev = ctx.prev_model.valid();
+
+  TrainStats stats;
+  ctx.model->set_training(true);
+  for (std::size_t epoch = 0; epoch < ctx.local_epochs; ++epoch) {
+    if (ctx.scheduler) ctx.scheduler->on_epoch(ctx.epochs_done);
+    for (std::size_t b = 0; b < ctx.loader->num_batches(); ++b) {
+      const data::Batch batch = ctx.loader->batch(b);
+      ctx.model->zero_grad();
+      // Task loss through the full network.
+      const Tensor logits = ctx.model->forward(batch.x);
+      const nn::LossGrad lg = nn::softmax_cross_entropy(logits, batch.y);
+      ctx.model->backward(lg.grad);
+      double loss = lg.loss;
+      if (have_prev) {
+        // Model-contrastive term. The CE backward has consumed its cached
+        // activations, so re-running the feature extractor is safe.
+        const Tensor z = ctx.model->features(batch.x);
+        const Tensor z_glob = ctx.aux_model.features(batch.x);
+        const Tensor z_prev = ctx.prev_model.features(batch.x);
+        const auto sim_g = cosine_rows(z, z_glob);
+        const auto sim_p = cosine_rows(z, z_prev);
+        const std::size_t rows = z.size(0);
+        Tensor dz(z.shape());
+        double lcon = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float eg = std::exp(sim_g[r] / temperature);
+          const float ep = std::exp(sim_p[r] / temperature);
+          const float denom = eg + ep;
+          lcon += -std::log(std::max(eg / denom, 1e-12f));
+          // dL/dsim_g = −(1 − eg/denom)/T ; dL/dsim_p = (ep/denom)/T
+          const float d_sim_g = -(1.0f - eg / denom) / temperature;
+          const float d_sim_p = (ep / denom) / temperature;
+          const float scale = mu / static_cast<float>(rows);
+          add_cosine_grad(z, z_glob, r, scale * d_sim_g, dz);
+          add_cosine_grad(z, z_prev, r, scale * d_sim_p, dz);
+        }
+        ctx.model->features_backward(dz);
+        loss += mu * lcon / static_cast<double>(rows);
+      }
+      ctx.optimizer->step();
+      stats.loss_sum += loss;
+      ++stats.steps;
+      stats.samples += batch.size();
+    }
+    ctx.loader->reshuffle();
+    ++ctx.epochs_done;
+  }
+  return stats;
+}
+
+void Moon::on_round_end(TrainContext& ctx) {
+  ctx.prev_model = ctx.model->clone();
+  ctx.prev_model.set_training(false);
+}
+
+// --- Ditto -------------------------------------------------------------------
+
+TrainStats Ditto::local_train(TrainContext& ctx) {
+  // At entry the model carries the just-applied global parameters.
+  const std::vector<Tensor> w_global = shared_values(*ctx.model);
+  // Phase 1: the federated model trains exactly like FedAvg.
+  TrainStats stats = run_sgd_epochs(ctx);
+
+  // Phase 2: the personal model v_i takes prox-regularized steps toward
+  // the global parameters.
+  const float lambda = ctx.params.get_or<float>("lambda", 0.5f);
+  const float lr = ctx.params.get_or<float>("personal_lr", ctx.optimizer->lr());
+  if (!ctx.aux_model.valid()) ctx.aux_model = ctx.model->clone();
+  ctx.aux_model.set_training(true);
+  auto personal_params = shared_parameters(ctx.aux_model);
+  OF_CHECK(personal_params.size() == w_global.size());
+  for (std::size_t b = 0; b < ctx.loader->num_batches(); ++b) {
+    const data::Batch batch = ctx.loader->batch(b);
+    ctx.aux_model.zero_grad();
+    const Tensor logits = ctx.aux_model.forward(batch.x);
+    const nn::LossGrad lg = nn::softmax_cross_entropy(logits, batch.y);
+    ctx.aux_model.backward(lg.grad);
+    // v ← v − lr (∇f(v) + λ (v − w_global)) — personal params only; any
+    // non-shared parameters follow plain SGD.
+    for (std::size_t i = 0; i < personal_params.size(); ++i) {
+      auto& p = *personal_params[i];
+      p.grad.add_scaled_(p.value, lambda);
+      p.grad.add_scaled_(w_global[i], -lambda);
+    }
+    for (auto* p : ctx.aux_model.parameters()) p->value.add_scaled_(p->grad, -lr);
+  }
+  return stats;
+}
+
+Model* Ditto::eval_model(TrainContext& ctx) {
+  return ctx.aux_model.valid() ? &ctx.aux_model : ctx.model;
+}
+
+}  // namespace of::algorithms

@@ -1,0 +1,115 @@
+#include "comm/amqp.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace of::comm {
+namespace {
+
+// Queue-record frame: i32 src | i32 tag | payload.
+Bytes frame(int src, int tag, const Bytes& payload) {
+  Bytes out;
+  out.reserve(8 + payload.size());
+  tensor::append_pod<std::int32_t>(out, src);
+  tensor::append_pod<std::int32_t>(out, tag);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void unframe(const Bytes& record, int& src, int& tag, Bytes& payload) {
+  std::size_t off = 0;
+  src = tensor::read_pod<std::int32_t>(record, off);
+  tag = tensor::read_pod<std::int32_t>(record, off);
+  payload.assign(record.begin() + static_cast<std::ptrdiff_t>(off), record.end());
+}
+
+}  // namespace
+
+AmqpGroup::AmqpGroup(int world_size) : world_size_(world_size) {
+  OF_CHECK_MSG(world_size >= 1, "group needs at least one rank");
+  for (int r = 0; r < world_size; ++r) broker_.create_topic(queue_name(r), 1);
+  comms_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r)
+    comms_.push_back(std::make_unique<AmqpCommunicator>(*this, r));
+}
+
+AmqpCommunicator& AmqpGroup::comm(int rank) {
+  OF_CHECK_MSG(rank >= 0 && rank < world_size_, "rank " << rank << " out of range");
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+AmqpCommunicator::AmqpCommunicator(AmqpGroup& group, int rank)
+    : group_(&group), rank_(rank) {}
+
+int AmqpCommunicator::world_size() const { return group_->world_size(); }
+
+void AmqpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+  OF_CHECK_MSG(dst >= 0 && dst < world_size(), "publish to invalid rank " << dst);
+  OF_CHECK_MSG(dst != rank_, "self-publish is not supported");
+  account_send(payload.size());
+  group_->broker().produce(AmqpGroup::queue_name(dst), 0,
+                           static_cast<std::uint64_t>(rank_), frame(rank_, tag, payload));
+}
+
+std::pair<int, Bytes> AmqpCommunicator::recv_bytes_any(int tag) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds_);
+  for (;;) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->first.second == tag && !it->second.empty()) {
+        const int src = it->first.first;
+        Bytes b = std::move(it->second.front());
+        it->second.pop();
+        if (it->second.empty()) pending_.erase(it);
+        account_recv(b.size());
+        return {src, std::move(b)};
+      }
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
+    OF_CHECK_MSG(remaining > 0.0,
+                 "AMQP recv-any timeout: rank " << rank_ << " waited for tag " << tag);
+    const auto records = group_->broker().fetch(AmqpGroup::queue_name(rank_), 0,
+                                                next_offset_, 64, remaining);
+    for (const auto& r : records) {
+      int rsrc = 0, rtag = 0;
+      Bytes payload;
+      unframe(r.payload, rsrc, rtag, payload);
+      pending_[{rsrc, rtag}].push(std::move(payload));
+      next_offset_ = r.offset + 1;
+    }
+  }
+}
+
+Bytes AmqpCommunicator::recv_bytes(int src, int tag) {
+  OF_CHECK_MSG(src >= 0 && src < world_size(), "subscribe to invalid rank " << src);
+  const auto key = std::make_pair(src, tag);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds_);
+  for (;;) {
+    auto it = pending_.find(key);
+    if (it != pending_.end() && !it->second.empty()) {
+      Bytes b = std::move(it->second.front());
+      it->second.pop();
+      if (it->second.empty()) pending_.erase(it);
+      account_recv(b.size());
+      return b;
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
+    OF_CHECK_MSG(remaining > 0.0, "AMQP recv timeout: rank " << rank_ << " waited for (src="
+                                                             << src << ", tag=" << tag << ')');
+    const auto records = group_->broker().fetch(AmqpGroup::queue_name(rank_), 0,
+                                                next_offset_, 64, remaining);
+    for (const auto& r : records) {
+      int rsrc = 0, rtag = 0;
+      Bytes payload;
+      unframe(r.payload, rsrc, rtag, payload);
+      pending_[{rsrc, rtag}].push(std::move(payload));
+      next_offset_ = r.offset + 1;
+    }
+  }
+}
+
+}  // namespace of::comm

@@ -1,0 +1,132 @@
+// Communicator — OmniFed's unified communication API (paper §3.3).
+//
+// One abstract interface with point-to-point primitives and collective
+// operations; concrete backends (shared-memory "MPI", TCP "gRPC", modeled
+// WAN links) plug in underneath without any caller change. Collectives have
+// default implementations built on send/recv using the textbook algorithms
+// (binomial-tree broadcast/reduce, ring all-reduce, ring all-gather);
+// backends with different connectivity (the TCP star) override them.
+//
+// All ranks of a group must call collectives in the same order — the same
+// contract as MPI. Per-communicator byte/time accounting feeds the paper's
+// communication-overhead figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::comm {
+
+using tensor::Bytes;
+using tensor::Tensor;
+
+enum class ReduceOp { Sum, Mean, Max };
+
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  double seconds_in_comm = 0.0;   // wall time blocked in comm calls
+  double modeled_seconds = 0.0;   // synthetic network-model delay (ModeledLink)
+
+  CommStats& operator+=(const CommStats& o) {
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    messages_sent += o.messages_sent;
+    messages_received += o.messages_received;
+    seconds_in_comm += o.seconds_in_comm;
+    modeled_seconds += o.modeled_seconds;
+    return *this;
+  }
+};
+
+class Communicator {
+ public:
+  Communicator() = default;
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+  virtual std::string name() const = 0;
+  // True when point-to-point links exist only between rank 0 and the other
+  // ranks (client/server star). Callers composing collectives from
+  // send/recv must then use star algorithms (see star.hpp).
+  virtual bool star_only() const { return false; }
+  // Public tag allocation for external collective helpers.
+  int claim_collective_tag() noexcept { return next_collective_tag(); }
+
+  // --- point-to-point -------------------------------------------------------
+  // Tags namespace the message streams; user code should use tags in
+  // [0, 2^20), higher tags are reserved for collective internals.
+  virtual void send_bytes(int dst, int tag, const Bytes& payload) = 0;
+  virtual Bytes recv_bytes(int src, int tag) = 0;
+
+  void send_tensor(int dst, int tag, const Tensor& t);
+  Tensor recv_tensor(int src, int tag);
+
+  // Any-source receive: next message carrying `tag` from whichever peer
+  // delivered first. The backbone of asynchronous aggregation (FedAsync):
+  // the server consumes updates in completion order instead of rank order.
+  // Backends without a natural any-source queue may not support it.
+  virtual std::pair<int, Bytes> recv_bytes_any(int tag) {
+    (void)tag;
+    OF_CHECK_MSG(false, name() << " does not support any-source receive");
+  }
+
+  // --- collectives -----------------------------------------------------------
+  virtual void broadcast(Tensor& t, int root);
+  virtual void allreduce(Tensor& t, ReduceOp op);
+  virtual void reduce(Tensor& t, int root, ReduceOp op);
+  virtual std::vector<Tensor> gather(const Tensor& t, int root);
+  virtual std::vector<Tensor> allgather(const Tensor& t);
+  virtual void barrier();
+
+  // Variable-length byte gather (compressed payloads are not fixed-size).
+  virtual std::vector<Bytes> gather_bytes(const Bytes& b, int root);
+  virtual void broadcast_bytes(Bytes& b, int root);
+  // All-gather of variable-length frames (sparse-codec exchange path).
+  virtual std::vector<Bytes> allgather_bytes(const Bytes& b);
+
+  const CommStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CommStats{}; }
+
+ protected:
+  // Subclasses route every wire crossing through these for accounting.
+  void account_send(std::size_t bytes) noexcept {
+    stats_.bytes_sent += bytes;
+    ++stats_.messages_sent;
+  }
+  void account_recv(std::size_t bytes) noexcept {
+    stats_.bytes_received += bytes;
+    ++stats_.messages_received;
+  }
+  void account_time(double seconds) noexcept { stats_.seconds_in_comm += seconds; }
+  void account_modeled(double seconds) noexcept { stats_.modeled_seconds += seconds; }
+
+  // Fresh tag block for one collective invocation. All ranks call
+  // collectives in the same order, so sequence numbers line up.
+  int next_collective_tag() noexcept {
+    return kCollectiveTagBase + 16 * (collective_seq_++ % kCollectiveSeqWindow);
+  }
+
+  static constexpr int kCollectiveTagBase = 1 << 20;
+  static constexpr int kCollectiveSeqWindow = 1 << 16;
+
+  CommStats stats_;
+
+ private:
+  std::uint32_t collective_seq_ = 0;
+};
+
+// Apply `op` elementwise: acc = acc (op) incoming.
+void apply_reduce(Tensor& acc, const Tensor& incoming, ReduceOp op);
+
+}  // namespace of::comm

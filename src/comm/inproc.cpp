@@ -1,0 +1,104 @@
+#include "comm/inproc.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace of::comm {
+
+InProcCommunicator::InProcCommunicator(InProcGroup& group, int rank)
+    : group_(&group), rank_(rank) {}
+
+int InProcCommunicator::world_size() const { return group_->world_size(); }
+
+void InProcCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+  OF_CHECK_MSG(dst >= 0 && dst < world_size(), "send to invalid rank " << dst);
+  OF_CHECK_MSG(dst != rank_, "self-send is not supported");
+  account_send(payload.size());
+  group_->deliver(dst, rank_, tag, payload);
+}
+
+Bytes InProcCommunicator::recv_bytes(int src, int tag) {
+  OF_CHECK_MSG(src >= 0 && src < world_size(), "recv from invalid rank " << src);
+  Bytes b = group_->take(rank_, src, tag, timeout_seconds_);
+  account_recv(b.size());
+  return b;
+}
+
+std::pair<int, Bytes> InProcCommunicator::recv_bytes_any(int tag) {
+  auto [src, b] = group_->take_any(rank_, tag, timeout_seconds_);
+  account_recv(b.size());
+  return {src, std::move(b)};
+}
+
+InProcGroup::InProcGroup(int world_size) : world_size_(world_size) {
+  OF_CHECK_MSG(world_size >= 1, "group needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  comms_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comms_.push_back(std::make_unique<InProcCommunicator>(*this, r));
+  }
+}
+
+InProcCommunicator& InProcGroup::comm(int rank) {
+  OF_CHECK_MSG(rank >= 0 && rank < world_size_, "rank " << rank << " out of range");
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+void InProcGroup::deliver(int dst, int src, int tag, Bytes payload) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.slots[{src, tag}].push(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+Bytes InProcGroup::take(int dst, int src, int tag, double timeout_seconds) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  const bool ok = box.cv.wait_until(lock, deadline, [&] {
+    auto it = box.slots.find(key);
+    return it != box.slots.end() && !it->second.empty();
+  });
+  OF_CHECK_MSG(ok, "recv timeout: rank " << dst << " waited " << timeout_seconds
+                                         << "s for (src=" << src << ", tag=" << tag
+                                         << ") — collective-order mismatch?");
+  auto it = box.slots.find(key);
+  Bytes b = std::move(it->second.front());
+  it->second.pop();
+  if (it->second.empty()) box.slots.erase(it);
+  return b;
+}
+
+std::pair<int, Bytes> InProcGroup::take_any(int dst, int tag, double timeout_seconds) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  auto find_match = [&]() -> decltype(box.slots)::iterator {
+    for (auto it = box.slots.begin(); it != box.slots.end(); ++it)
+      if (it->first.second == tag && !it->second.empty()) return it;
+    return box.slots.end();
+  };
+  decltype(box.slots)::iterator hit = box.slots.end();
+  const bool ok = box.cv.wait_until(lock, deadline, [&] {
+    hit = find_match();
+    return hit != box.slots.end();
+  });
+  OF_CHECK_MSG(ok, "recv-any timeout: rank " << dst << " waited " << timeout_seconds
+                                             << "s for tag " << tag);
+  const int src = hit->first.first;
+  Bytes b = std::move(hit->second.front());
+  hit->second.pop();
+  if (hit->second.empty()) box.slots.erase(hit);
+  return {src, std::move(b)};
+}
+
+}  // namespace of::comm

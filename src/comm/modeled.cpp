@@ -1,0 +1,78 @@
+#include "comm/modeled.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "comm/star.hpp"
+
+namespace of::comm {
+
+ModeledLinkCommunicator::ModeledLinkCommunicator(Communicator& inner, LinkModel model,
+                                                 DelayMode mode)
+    : inner_(&inner), model_(model), mode_(mode) {}
+
+void ModeledLinkCommunicator::delay_for(std::size_t bytes) {
+  const double t = model_.transfer_seconds(bytes);
+  modeled_delay_ += t;
+  account_modeled(t);
+  if (mode_ == DelayMode::Sleep && t > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(t));
+}
+
+void ModeledLinkCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+  delay_for(payload.size());  // sender pays latency + serialization delay
+  inner_->send_bytes(dst, tag, payload);
+  account_send(payload.size());
+}
+
+Bytes ModeledLinkCommunicator::recv_bytes(int src, int tag) {
+  Bytes b = inner_->recv_bytes(src, tag);
+  account_recv(b.size());
+  return b;
+}
+
+std::pair<int, Bytes> ModeledLinkCommunicator::recv_bytes_any(int tag) {
+  auto [src, b] = inner_->recv_bytes_any(tag);
+  account_recv(b.size());
+  return {src, std::move(b)};
+}
+
+void ModeledLinkCommunicator::broadcast(Tensor& t, int root) {
+  if (star_only()) star::broadcast(*this, t, root);
+  else Communicator::broadcast(t, root);
+}
+
+void ModeledLinkCommunicator::allreduce(Tensor& t, ReduceOp op) {
+  if (star_only()) star::allreduce(*this, t, op);
+  else Communicator::allreduce(t, op);
+}
+
+void ModeledLinkCommunicator::reduce(Tensor& t, int root, ReduceOp op) {
+  if (star_only()) star::reduce(*this, t, root, op);
+  else Communicator::reduce(t, root, op);
+}
+
+std::vector<Tensor> ModeledLinkCommunicator::gather(const Tensor& t, int root) {
+  return star_only() ? star::gather(*this, t, root) : Communicator::gather(t, root);
+}
+
+std::vector<Tensor> ModeledLinkCommunicator::allgather(const Tensor& t) {
+  return star_only() ? star::allgather(*this, t) : Communicator::allgather(t);
+}
+
+void ModeledLinkCommunicator::barrier() {
+  if (star_only()) star::barrier(*this);
+  else Communicator::barrier();
+}
+
+std::vector<Bytes> ModeledLinkCommunicator::gather_bytes(const Bytes& b, int root) {
+  return star_only() ? star::gather_bytes(*this, b, root)
+                     : Communicator::gather_bytes(b, root);
+}
+
+void ModeledLinkCommunicator::broadcast_bytes(Bytes& b, int root) {
+  if (star_only()) star::broadcast_bytes(*this, b, root);
+  else Communicator::broadcast_bytes(b, root);
+}
+
+}  // namespace of::comm

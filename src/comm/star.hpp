@@ -1,0 +1,20 @@
+// Star-topology collective algorithms, shared by every communicator whose
+// connectivity is client/server only (TcpCommunicator and any decorator
+// wrapped around it). Rank 0 is always the hub. Every rank of the group
+// must call these in the same order.
+#pragma once
+
+#include "comm/communicator.hpp"
+
+namespace of::comm::star {
+
+void broadcast(Communicator& c, Tensor& t, int root);
+void reduce(Communicator& c, Tensor& t, int root, ReduceOp op);
+void allreduce(Communicator& c, Tensor& t, ReduceOp op);
+std::vector<Tensor> gather(Communicator& c, const Tensor& t, int root);
+std::vector<Tensor> allgather(Communicator& c, const Tensor& t);
+void barrier(Communicator& c);
+std::vector<Bytes> gather_bytes(Communicator& c, const Bytes& b, int root);
+void broadcast_bytes(Communicator& c, Bytes& b, int root);
+
+}  // namespace of::comm::star

@@ -1,0 +1,247 @@
+#include "comm/tcp.hpp"
+
+#include "comm/star.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace of::comm {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x0F5EED01u;
+constexpr int kHelloTag = -1;
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::int32_t src;
+  std::int32_t tag;
+  std::uint64_t len;
+};
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r <= 0) return false;  // EOF or error — connection closing
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, p + sent, n - sent);
+    OF_CHECK_MSG(w > 0, "TCP write failed (errno=" << errno << ")");
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpCommunicator::TcpCommunicator(int rank, int world_size)
+    : rank_(rank), world_size_(world_size) {}
+
+std::unique_ptr<TcpCommunicator> TcpCommunicator::make_server(std::uint16_t port,
+                                                              int world_size) {
+  OF_CHECK_MSG(world_size >= 1, "world size must be >= 1");
+  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(0, world_size));
+
+  comm->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  OF_CHECK_MSG(comm->listen_fd_ >= 0, "socket() failed");
+  int one = 1;
+  ::setsockopt(comm->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  OF_CHECK_MSG(::bind(comm->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+               "bind() failed on port " << port << " (errno=" << errno << ")");
+  OF_CHECK_MSG(::listen(comm->listen_fd_, world_size) == 0, "listen() failed");
+
+  socklen_t alen = sizeof(addr);
+  OF_CHECK(::getsockname(comm->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0);
+  comm->port_ = ntohs(addr.sin_port);
+
+  // Accept world_size-1 clients; each introduces itself with a hello frame.
+  for (int i = 0; i < world_size - 1; ++i) {
+    const int fd = ::accept(comm->listen_fd_, nullptr, nullptr);
+    OF_CHECK_MSG(fd >= 0, "accept() failed");
+    set_nodelay(fd);
+    FrameHeader h{};
+    OF_CHECK_MSG(read_exact(fd, &h, sizeof(h)), "client hello read failed");
+    OF_CHECK_MSG(h.magic == kMagic && h.tag == kHelloTag && h.len == 0,
+                 "malformed client hello");
+    const int peer = h.src;
+    OF_CHECK_MSG(peer >= 1 && peer < world_size, "client announced invalid rank " << peer);
+    OF_CHECK_MSG(!comm->peer_fd_.count(peer), "duplicate client rank " << peer);
+    comm->peer_fd_[peer] = fd;
+    comm->write_mu_[peer] = std::make_unique<std::mutex>();
+    comm->start_reader(peer, fd);
+  }
+  return comm;
+}
+
+std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string& host,
+                                                              std::uint16_t port, int rank,
+                                                              int world_size) {
+  OF_CHECK_MSG(rank >= 1 && rank < world_size, "client rank must be in [1, world)");
+  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(rank, world_size));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OF_CHECK_MSG(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  OF_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "bad server address '" << host << "'");
+  // Retry: the server thread may still be binding/accepting earlier peers.
+  int rc = -1;
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  OF_CHECK_MSG(rc == 0, "connect() to " << host << ':' << port << " failed");
+  set_nodelay(fd);
+  comm->peer_fd_[0] = fd;
+  comm->write_mu_[0] = std::make_unique<std::mutex>();
+  // Hello frame announces our rank.
+  FrameHeader h{kMagic, rank, kHelloTag, 0};
+  write_exact(fd, &h, sizeof(h));
+  comm->port_ = port;
+  comm->start_reader(0, fd);
+  return comm;
+}
+
+TcpCommunicator::~TcpCommunicator() {
+  shutting_down_.store(true);
+  for (auto& [peer, fd] : peer_fd_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& t : readers_)
+    if (t.joinable()) t.join();
+  for (auto& [peer, fd] : peer_fd_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpCommunicator::start_reader(int peer_rank, int fd) {
+  readers_.emplace_back([this, peer_rank, fd] {
+    for (;;) {
+      FrameHeader h{};
+      if (!read_exact(fd, &h, sizeof(h))) return;  // peer closed
+      if (h.magic != kMagic) return;               // protocol violation → drop link
+      Bytes payload(h.len);
+      if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        inbox_[{peer_rank, h.tag}].push(std::move(payload));
+      }
+      inbox_cv_.notify_all();
+    }
+  });
+}
+
+void TcpCommunicator::write_frame(int fd, int tag, const Bytes& payload) {
+  FrameHeader h{kMagic, rank_, tag, payload.size()};
+  // One frame = header + payload under the per-socket lock so concurrent
+  // senders cannot interleave.
+  write_exact(fd, &h, sizeof(h));
+  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+}
+
+void TcpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+  auto it = peer_fd_.find(dst);
+  OF_CHECK_MSG(it != peer_fd_.end(),
+               "no TCP link from rank " << rank_ << " to rank " << dst
+                                        << " (star topology: clients only talk to the server)");
+  std::lock_guard<std::mutex> lock(*write_mu_.at(dst));
+  write_frame(it->second, tag, payload);
+  account_send(payload.size());
+}
+
+Bytes TcpCommunicator::take(int src, int tag) {
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  const auto key = std::make_pair(src, tag);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds_));
+  const bool ok = inbox_cv_.wait_until(lock, deadline, [&] {
+    auto it = inbox_.find(key);
+    return it != inbox_.end() && !it->second.empty();
+  });
+  OF_CHECK_MSG(ok, "TCP recv timeout waiting for (src=" << src << ", tag=" << tag << ')');
+  auto it = inbox_.find(key);
+  Bytes b = std::move(it->second.front());
+  it->second.pop();
+  if (it->second.empty()) inbox_.erase(it);
+  return b;
+}
+
+Bytes TcpCommunicator::recv_bytes(int src, int tag) {
+  Bytes b = take(src, tag);
+  account_recv(b.size());
+  return b;
+}
+
+std::pair<int, Bytes> TcpCommunicator::recv_bytes_any(int tag) {
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds_));
+  auto find_match = [&]() -> decltype(inbox_)::iterator {
+    for (auto it = inbox_.begin(); it != inbox_.end(); ++it)
+      if (it->first.second == tag && !it->second.empty()) return it;
+    return inbox_.end();
+  };
+  decltype(inbox_)::iterator hit = inbox_.end();
+  const bool ok = inbox_cv_.wait_until(lock, deadline, [&] {
+    hit = find_match();
+    return hit != inbox_.end();
+  });
+  OF_CHECK_MSG(ok, "TCP recv-any timeout waiting for tag " << tag);
+  const int src = hit->first.first;
+  Bytes b = std::move(hit->second.front());
+  hit->second.pop();
+  if (hit->second.empty()) inbox_.erase(hit);
+  account_recv(b.size());
+  return {src, std::move(b)};
+}
+
+// --- star-topology collectives (shared algorithms in star.hpp) -----------------
+
+void TcpCommunicator::broadcast(Tensor& t, int root) { star::broadcast(*this, t, root); }
+void TcpCommunicator::reduce(Tensor& t, int root, ReduceOp op) {
+  star::reduce(*this, t, root, op);
+}
+void TcpCommunicator::allreduce(Tensor& t, ReduceOp op) { star::allreduce(*this, t, op); }
+std::vector<Tensor> TcpCommunicator::gather(const Tensor& t, int root) {
+  return star::gather(*this, t, root);
+}
+std::vector<Tensor> TcpCommunicator::allgather(const Tensor& t) {
+  return star::allgather(*this, t);
+}
+void TcpCommunicator::barrier() { star::barrier(*this); }
+std::vector<Bytes> TcpCommunicator::gather_bytes(const Bytes& b, int root) {
+  return star::gather_bytes(*this, b, root);
+}
+void TcpCommunicator::broadcast_bytes(Bytes& b, int root) {
+  star::broadcast_bytes(*this, b, root);
+}
+
+}  // namespace of::comm

@@ -1,0 +1,84 @@
+// TcpCommunicator — the GrpcCommunicator stand-in (paper §3.3).
+//
+// A real TCP client/server star: rank 0 is the server (aggregator-side),
+// ranks 1..P-1 connect as clients. Frames are length-prefixed binary (our
+// protocol-buffers stand-in):
+//
+//   u32 magic | i32 src | i32 tag | u64 len | payload[len]
+//
+// Point-to-point is only defined along star edges (server↔client), so the
+// tree/ring collective defaults are overridden with client/server
+// semantics: broadcast = server sends to each client, reduce/gather =
+// clients send to the server. This reproduces gRPC-based FL's O(P · model)
+// server bottleneck that the paper contrasts with ring all-reduce.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "comm/communicator.hpp"
+
+namespace of::comm {
+
+class TcpCommunicator final : public Communicator {
+ public:
+  // Bind + listen on `port` (0 = ephemeral), accept `world_size`-1 clients.
+  // Blocks until the group is fully connected.
+  static std::unique_ptr<TcpCommunicator> make_server(std::uint16_t port, int world_size);
+  // Connect to the server; `rank` in [1, world_size).
+  static std::unique_ptr<TcpCommunicator> make_client(const std::string& host,
+                                                      std::uint16_t port, int rank,
+                                                      int world_size);
+
+  ~TcpCommunicator() override;
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return world_size_; }
+  std::string name() const override { return "TcpCommunicator"; }
+  bool star_only() const override { return true; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  void send_bytes(int dst, int tag, const Bytes& payload) override;
+  Bytes recv_bytes(int src, int tag) override;
+  std::pair<int, Bytes> recv_bytes_any(int tag) override;
+
+  // Star-topology collectives (root must be the server rank 0).
+  void broadcast(Tensor& t, int root) override;
+  void allreduce(Tensor& t, ReduceOp op) override;
+  void reduce(Tensor& t, int root, ReduceOp op) override;
+  std::vector<Tensor> gather(const Tensor& t, int root) override;
+  std::vector<Tensor> allgather(const Tensor& t) override;
+  void barrier() override;
+  std::vector<Bytes> gather_bytes(const Bytes& b, int root) override;
+  void broadcast_bytes(Bytes& b, int root) override;
+
+ private:
+  TcpCommunicator(int rank, int world_size);
+
+  void start_reader(int peer_rank, int fd);
+  void write_frame(int fd, int tag, const Bytes& payload);
+  Bytes take(int src, int tag);
+
+  int rank_;
+  int world_size_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  // peer rank → socket fd (server: one per client; client: {0 → server fd}).
+  std::map<int, int> peer_fd_;
+  std::map<int, std::unique_ptr<std::mutex>> write_mu_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> shutting_down_{false};
+
+  std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::map<std::pair<int, int>, std::queue<Bytes>> inbox_;
+  double timeout_seconds_ = 60.0;
+};
+
+}  // namespace of::comm

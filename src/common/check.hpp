@@ -1,0 +1,43 @@
+// Lightweight runtime-check macros used across all OmniFed modules.
+//
+// OF_CHECK throws std::runtime_error on violation; it is used for
+// recoverable precondition violations on public API boundaries (per the
+// C++ Core Guidelines I.5/I.6 interface-contract rules). Internal logic
+// errors use OF_ASSERT which is compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace of {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OF_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace of
+
+#define OF_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::of::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OF_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream of_check_os_;                                \
+      of_check_os_ << msg;                                            \
+      ::of::throw_check_failure(#cond, __FILE__, __LINE__, of_check_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define OF_ASSERT(cond) ((void)0)
+#else
+#define OF_ASSERT(cond) OF_CHECK(cond)
+#endif

@@ -1,0 +1,88 @@
+// Gradient compression plugins (paper §3.4.2).
+//
+// A Compressor turns a dense float tensor (the model update) into a compact
+// byte payload and back. Sparsification codecs (TopK, RandomK, DGC, RedSync,
+// SIDCo) emit index/value pairs and therefore need all-gather style
+// exchange; quantization (QSGD) and low-rank (PowerSGD) codecs decompress to
+// dense tensors compatible with all-reduce — exactly the distinction the
+// paper draws when explaining Fig. 5's overhead differences.
+//
+// ErrorFeedbackCompressor wraps any codec with residual accumulation
+// (Karimireddy et al.'s EF-SGD), which DGC/PowerSGD require for
+// convergence at high compression factors.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "config/node.hpp"
+#include "config/registry.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::compression {
+
+using tensor::Bytes;
+using tensor::Rng;
+using tensor::Tensor;
+
+struct Compressed {
+  Bytes payload;
+  std::size_t original_numel = 0;
+  std::string codec;
+
+  std::size_t bytes() const noexcept { return payload.size(); }
+  // Achieved compression factor vs. float32.
+  double achieved_ratio() const noexcept {
+    return payload.empty() ? 1.0
+                           : static_cast<double>(original_numel * sizeof(float)) /
+                                 static_cast<double>(payload.size());
+  }
+};
+
+class Compressor {
+ public:
+  Compressor() = default;
+  Compressor(const Compressor&) = delete;
+  Compressor& operator=(const Compressor&) = delete;
+  virtual ~Compressor() = default;
+
+  virtual Compressed compress(const Tensor& t) = 0;
+  virtual Tensor decompress(const Compressed& c) = 0;
+  virtual std::string name() const = 0;
+  // True when decompressed updates can be summed elementwise by all-reduce
+  // (dense output); false for sparse codecs that exchange via all-gather.
+  virtual bool allreduce_compatible() const = 0;
+};
+
+// Residual (error-feedback) wrapper: compresses (input + residual) and
+// keeps what the codec dropped for the next round.
+class ErrorFeedbackCompressor final : public Compressor {
+ public:
+  explicit ErrorFeedbackCompressor(std::unique_ptr<Compressor> inner);
+
+  Compressed compress(const Tensor& t) override;
+  Tensor decompress(const Compressed& c) override { return inner_->decompress(c); }
+  std::string name() const override { return "EF(" + inner_->name() + ")"; }
+  bool allreduce_compatible() const override { return inner_->allreduce_compatible(); }
+
+  const Tensor& residual() const noexcept { return residual_; }
+
+ private:
+  std::unique_ptr<Compressor> inner_;
+  Tensor residual_;
+};
+
+// Registry + factory. Accepts config of the paper's Fig. 4 shape:
+//   _target_: src.omnifed.communicator.compression.TopK
+//   k: 1000x            # factor form; or `factor: 1000`, or absolute `k: 500`
+//   error_feedback: true
+using CompressorRegistry = config::Registry<Compressor>;
+CompressorRegistry& compressor_registry();
+std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg);
+
+// Parse "1000x" → 1000.0 (factor) or plain numbers → absolute k.
+// Returns {factor_or_k, is_factor}.
+std::pair<double, bool> parse_k_spec(const config::ConfigNode& cfg);
+
+}  // namespace of::compression

@@ -1,0 +1,105 @@
+// Compressor registry wiring + the ErrorFeedback wrapper implementation.
+#include <cmath>
+
+#include "compression/compressor.hpp"
+#include "compression/powersgd.hpp"
+#include "compression/quantize.hpp"
+#include "compression/sparsify.hpp"
+
+namespace of::compression {
+
+ErrorFeedbackCompressor::ErrorFeedbackCompressor(std::unique_ptr<Compressor> inner)
+    : inner_(std::move(inner)) {
+  OF_CHECK_MSG(inner_ != nullptr, "ErrorFeedback needs an inner compressor");
+}
+
+Compressed ErrorFeedbackCompressor::compress(const Tensor& t) {
+  if (residual_.empty() || !residual_.same_shape(t)) residual_ = Tensor(t.shape());
+  Tensor corrected = t;
+  corrected.add_(residual_);
+  Compressed c = inner_->compress(corrected);
+  // residual ← what the codec dropped this round.
+  Tensor reconstructed = inner_->decompress(c);
+  residual_ = corrected;
+  residual_.sub_(reconstructed);
+  return c;
+}
+
+std::pair<double, bool> parse_k_spec(const config::ConfigNode& cfg) {
+  // Accept the paper's `k: 1000x` (factor), `factor: 1000`, or absolute
+  // `k: 500`.
+  if (cfg.has("factor")) return {cfg.at("factor").as_double(), true};
+  OF_CHECK_MSG(cfg.has("k"), "sparsifier config needs `k:` or `factor:`");
+  const config::ConfigNode& k = cfg.at("k");
+  if (k.kind() == config::ConfigNode::Kind::String) {
+    std::string s = k.as_string();
+    OF_CHECK_MSG(!s.empty(), "empty k spec");
+    if (s.back() == 'x' || s.back() == 'X') {
+      s.pop_back();
+      return {std::stod(s), true};
+    }
+    return {std::stod(s), false};
+  }
+  return {k.as_double(), false};
+}
+
+namespace {
+
+std::uint64_t cfg_seed(const config::ConfigNode& cfg) {
+  return static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0x5eedULL));
+}
+
+void register_builtin(CompressorRegistry& reg) {
+  reg.add("Identity", [](const config::ConfigNode&) {
+    return std::make_unique<Identity>();
+  });
+  reg.add("TopK", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    auto [spec, is_factor] = parse_k_spec(cfg);
+    return std::make_unique<TopK>(spec, is_factor);
+  });
+  reg.add("RandomK", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    auto [spec, is_factor] = parse_k_spec(cfg);
+    return std::make_unique<RandomK>(spec, is_factor, cfg_seed(cfg));
+  });
+  reg.add("DGC", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    auto [spec, is_factor] = parse_k_spec(cfg);
+    return std::make_unique<DGC>(spec, is_factor, cfg_seed(cfg),
+                                 cfg.get_or<double>("sample_fraction", 0.01));
+  });
+  reg.add("RedSync", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    auto [spec, is_factor] = parse_k_spec(cfg);
+    return std::make_unique<RedSync>(spec, is_factor, cfg.get_or<double>("tolerance", 0.2),
+                                     cfg.get_or<int>("max_iterations", 20));
+  });
+  reg.add("SIDCo", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    auto [spec, is_factor] = parse_k_spec(cfg);
+    return std::make_unique<SIDCo>(spec, is_factor, cfg.get_or<int>("stages", 3));
+  });
+  reg.add("QSGD", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    return std::make_unique<QSGD>(cfg.get_or<int>("bits", 8), cfg_seed(cfg),
+                                  cfg.get_or<std::size_t>("bucket_size", 2048));
+  });
+  reg.add("PowerSGD", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
+    return std::make_unique<PowerSGD>(cfg.get_or<std::size_t>("rank", 32), cfg_seed(cfg));
+  });
+}
+
+}  // namespace
+
+CompressorRegistry& compressor_registry() {
+  static CompressorRegistry reg = [] {
+    CompressorRegistry r;
+    register_builtin(r);
+    return r;
+  }();
+  return reg;
+}
+
+std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg) {
+  auto codec = compressor_registry().create(cfg);
+  if (cfg.is_map() && cfg.get_or<bool>("error_feedback", false))
+    return std::make_unique<ErrorFeedbackCompressor>(std::move(codec));
+  return codec;
+}
+
+}  // namespace of::compression

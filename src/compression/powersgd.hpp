@@ -1,0 +1,35 @@
+// PowerSGD low-rank gradient compression (Vogels et al., NeurIPS 2019).
+//
+// The flat update of n elements is viewed as a ~square matrix M
+// (rows × cols, zero-padded). One subspace iteration with a warm-started
+// right factor Q approximates M ≈ P Qᵀ with rank r:
+//     P = M Q;  orthonormalize(P);  Q ← Mᵀ P
+// The payload carries P and Q — (rows+cols)·r floats instead of rows·cols —
+// and decompression is a dense rank-r product, so the codec composes with
+// all-reduce (the property the paper highlights in §3.4.2). Warm-starting Q
+// across rounds is what makes a single power iteration converge.
+#pragma once
+
+#include "compression/compressor.hpp"
+
+namespace of::compression {
+
+class PowerSGD final : public Compressor {
+ public:
+  PowerSGD(std::size_t rank, std::uint64_t seed);
+
+  Compressed compress(const Tensor& t) override;
+  Tensor decompress(const Compressed& c) override;
+  std::string name() const override { return "PowerSGD"; }
+  bool allreduce_compatible() const override { return true; }
+
+  std::size_t rank_r() const noexcept { return rank_; }
+
+ private:
+  std::size_t rank_;
+  Rng rng_;
+  Tensor q_state_;             // warm-started (cols × r)
+  std::size_t state_numel_ = 0;  // numel the state was built for
+};
+
+}  // namespace of::compression

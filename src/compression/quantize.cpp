@@ -1,0 +1,84 @@
+#include "compression/quantize.hpp"
+
+#include <cmath>
+
+namespace of::compression {
+
+QSGD::QSGD(int bits, std::uint64_t seed, std::size_t bucket_size)
+    : bits_(bits), bucket_size_(bucket_size), rng_(seed) {
+  OF_CHECK_MSG(bits == 8 || bits == 16, "QSGD supports 8 or 16 bits, got " << bits);
+  OF_CHECK_MSG(bucket_size >= 1, "QSGD bucket size must be >= 1");
+  levels_ = (bits == 8) ? 127u : 32767u;  // leave one bit for the sign
+}
+
+Compressed QSGD::compress(const Tensor& t) {
+  Compressed c;
+  c.codec = "QSGD";
+  c.original_numel = t.numel();
+  const float s = static_cast<float>(levels_);
+  const std::size_t n = t.numel();
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  c.payload.reserve(buckets * 4 + n * (bits_ == 8 ? 1 : 2));
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * bucket_size_;
+    const std::size_t end = std::min(begin + bucket_size_, n);
+    // Per-bucket norm: quantization error scales with the *bucket* norm,
+    // not the whole-vector norm — the bucketing every practical QSGD
+    // implementation uses (quantization over the full vector would drown
+    // high-dimensional updates in noise).
+    double norm2 = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+      norm2 += static_cast<double>(t[i]) * static_cast<double>(t[i]);
+    const float norm = static_cast<float>(std::sqrt(norm2));
+    tensor::append_pod<float>(c.payload, norm);
+    auto quantize_one = [&](float v) -> std::uint32_t {
+      if (norm == 0.0f) return 0;
+      const float a = std::fabs(v) / norm * s;  // in [0, s]
+      const float floor_a = std::floor(a);
+      const float frac = a - floor_a;
+      std::uint32_t level = static_cast<std::uint32_t>(floor_a);
+      if (rng_.next_float() < frac) ++level;  // stochastic rounding
+      if (level > levels_) level = levels_;
+      return level;
+    };
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t level = quantize_one(t[i]);
+      if (bits_ == 8) {
+        const std::int8_t code = static_cast<std::int8_t>(
+            t[i] < 0.0f ? -static_cast<int>(level) : static_cast<int>(level));
+        tensor::append_pod<std::int8_t>(c.payload, code);
+      } else {
+        const std::int16_t code = static_cast<std::int16_t>(
+            t[i] < 0.0f ? -static_cast<int>(level) : static_cast<int>(level));
+        tensor::append_pod<std::int16_t>(c.payload, code);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor QSGD::decompress(const Compressed& c) {
+  std::size_t off = 0;
+  Tensor t({c.original_numel});
+  const float s = static_cast<float>(levels_);
+  const std::size_t n = c.original_numel;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * bucket_size_;
+    const std::size_t end = std::min(begin + bucket_size_, n);
+    const float norm = tensor::read_pod<float>(c.payload, off);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (bits_ == 8) {
+        const auto code = tensor::read_pod<std::int8_t>(c.payload, off);
+        t[i] = norm * static_cast<float>(code) / s;
+      } else {
+        const auto code = tensor::read_pod<std::int16_t>(c.payload, off);
+        t[i] = norm * static_cast<float>(code) / s;
+      }
+    }
+  }
+  OF_CHECK_MSG(off == c.payload.size(), "QSGD payload has trailing bytes");
+  return t;
+}
+
+}  // namespace of::compression

@@ -1,0 +1,296 @@
+#include "compression/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace of::compression {
+
+Bytes sparse_encode(const std::vector<std::uint32_t>& idx, const std::vector<float>& val) {
+  OF_CHECK_MSG(idx.size() == val.size(), "sparse_encode: idx/val size mismatch");
+  Bytes out;
+  out.reserve(8 + idx.size() * (sizeof(std::uint32_t) + sizeof(float)));
+  tensor::append_pod<std::uint64_t>(out, idx.size());
+  tensor::append_span(out, idx.data(), idx.size());
+  tensor::append_span(out, val.data(), val.size());
+  return out;
+}
+
+void sparse_decode(const Bytes& payload, std::vector<std::uint32_t>& idx,
+                   std::vector<float>& val) {
+  std::size_t off = 0;
+  const auto nnz = tensor::read_pod<std::uint64_t>(payload, off);
+  idx.resize(nnz);
+  val.resize(nnz);
+  tensor::read_span(payload, off, idx.data(), nnz);
+  tensor::read_span(payload, off, val.data(), nnz);
+  OF_CHECK_MSG(off == payload.size(), "sparse payload has trailing bytes");
+}
+
+std::size_t resolve_k(double factor_or_k, bool is_factor, std::size_t numel) {
+  double k = is_factor ? static_cast<double>(numel) / factor_or_k : factor_or_k;
+  k = std::min(k, static_cast<double>(numel));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(k));
+}
+
+namespace {
+
+Compressed pack_sparse(const std::string& codec, std::size_t numel,
+                       const std::vector<std::uint32_t>& idx,
+                       const std::vector<float>& val) {
+  Compressed c;
+  c.codec = codec;
+  c.original_numel = numel;
+  c.payload = sparse_encode(idx, val);
+  return c;
+}
+
+Tensor unpack_sparse(const Compressed& c) {
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  sparse_decode(c.payload, idx, val);
+  Tensor t({c.original_numel});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    OF_CHECK_MSG(idx[i] < c.original_numel, "sparse index out of range");
+    t[idx[i]] = val[i];
+  }
+  return t;
+}
+
+// Select every coordinate with |v| >= threshold, up to `cap` entries
+// (largest first if over cap would be exact; we just truncate scan order,
+// which matches the reference DGC/RedSync implementations).
+void select_above(const Tensor& t, float threshold, std::size_t cap,
+                  std::vector<std::uint32_t>& idx, std::vector<float>& val) {
+  idx.clear();
+  val.clear();
+  for (std::size_t i = 0; i < t.numel() && idx.size() < cap; ++i) {
+    if (std::fabs(t[i]) >= threshold) {
+      idx.push_back(static_cast<std::uint32_t>(i));
+      val.push_back(t[i]);
+    }
+  }
+}
+
+std::size_t count_above(const Tensor& t, float threshold) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (std::fabs(t[i]) >= threshold) ++n;
+  return n;
+}
+
+}  // namespace
+
+// --- TopK ------------------------------------------------------------------------
+
+TopK::TopK(double factor_or_k, bool is_factor) : spec_(factor_or_k), is_factor_(is_factor) {
+  OF_CHECK_MSG(factor_or_k > 0, "TopK spec must be positive");
+}
+
+Compressed TopK::compress(const Tensor& t) {
+  const std::size_t k = resolve_k(spec_, is_factor_, t.numel());
+  // nth_element on |values| gives the exact k-th largest magnitude.
+  std::vector<float> mags(t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) mags[i] = std::fabs(t[i]);
+  std::vector<float> work = mags;
+  std::nth_element(work.begin(), work.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   work.end(), std::greater<float>());
+  const float threshold = work[k - 1];
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  select_above(t, threshold, k, idx, val);
+  return pack_sparse("TopK", t.numel(), idx, val);
+}
+
+Tensor TopK::decompress(const Compressed& c) { return unpack_sparse(c); }
+
+// --- RandomK ---------------------------------------------------------------------
+
+RandomK::RandomK(double factor_or_k, bool is_factor, std::uint64_t seed)
+    : spec_(factor_or_k), is_factor_(is_factor), rng_(seed) {
+  OF_CHECK_MSG(factor_or_k > 0, "RandomK spec must be positive");
+}
+
+Compressed RandomK::compress(const Tensor& t) {
+  const std::size_t n = t.numel();
+  const std::size_t k = resolve_k(spec_, is_factor_, n);
+  // Partial Fisher–Yates: draw k distinct indices in O(k).
+  std::vector<std::uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  std::vector<std::uint32_t> idx(k);
+  std::vector<float> val(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng_.next_below(n - i);
+    std::swap(pool[i], pool[j]);
+    idx[i] = pool[i];
+    // Unbiased estimator: scale kept values by n/k.
+    val[i] = t[pool[i]] * static_cast<float>(n) / static_cast<float>(k);
+  }
+  return pack_sparse("RandomK", n, idx, val);
+}
+
+Tensor RandomK::decompress(const Compressed& c) { return unpack_sparse(c); }
+
+// --- DGC -------------------------------------------------------------------------
+
+DGC::DGC(double factor_or_k, bool is_factor, std::uint64_t seed, double sample_fraction)
+    : spec_(factor_or_k), is_factor_(is_factor), rng_(seed),
+      sample_fraction_(sample_fraction) {
+  OF_CHECK_MSG(sample_fraction > 0 && sample_fraction <= 1.0, "bad DGC sample fraction");
+}
+
+Compressed DGC::compress(const Tensor& t) {
+  const std::size_t n = t.numel();
+  const std::size_t k = resolve_k(spec_, is_factor_, n);
+  // Sample-based threshold estimation (DGC §3.1): take a random sample,
+  // find the magnitude that keeps the target fraction of the *sample*, use
+  // it as the global threshold, then adjust. The sample must be large
+  // enough that the target fraction covers a handful of sample entries, or
+  // the estimated threshold degenerates to the sample maximum — hence the
+  // 32·(n/k) floor at extreme compression factors.
+  const std::size_t sample_n = std::min(
+      n, std::max({k, static_cast<std::size_t>(sample_fraction_ * static_cast<double>(n)),
+                   32 * ((n + k - 1) / std::max<std::size_t>(1, k))}));
+  std::vector<float> sample;
+  sample.reserve(sample_n);
+  if (sample_n >= n) {
+    for (std::size_t i = 0; i < n; ++i) sample.push_back(std::fabs(t[i]));
+  } else {
+    for (std::size_t i = 0; i < sample_n; ++i)
+      sample.push_back(std::fabs(t[rng_.next_below(n)]));
+  }
+  const std::size_t sample_k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(k) / static_cast<double>(n) *
+                                  static_cast<double>(sample.size())));
+  std::nth_element(sample.begin(),
+                   sample.begin() + static_cast<std::ptrdiff_t>(sample_k - 1), sample.end(),
+                   std::greater<float>());
+  float threshold = sample[sample_k - 1];
+  // Hierarchical adjustment in both directions (DGC tightens; we also relax
+  // when the estimate overshoots and too few coordinates survive).
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t above = count_above(t, threshold);
+    if (above > 2 * k) threshold *= 1.3f;
+    else if (above < std::max<std::size_t>(1, k / 2)) threshold *= 0.7f;
+    else break;
+  }
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  select_above(t, threshold, 2 * k, idx, val);
+  return pack_sparse("DGC", n, idx, val);
+}
+
+Tensor DGC::decompress(const Compressed& c) { return unpack_sparse(c); }
+
+// --- RedSync ---------------------------------------------------------------------
+
+RedSync::RedSync(double factor_or_k, bool is_factor, double tolerance, int max_iterations)
+    : spec_(factor_or_k), is_factor_(is_factor), tolerance_(tolerance),
+      max_iterations_(max_iterations) {}
+
+Compressed RedSync::compress(const Tensor& t) {
+  const std::size_t n = t.numel();
+  const std::size_t k = resolve_k(spec_, is_factor_, n);
+  // Trimmed binary search of the magnitude threshold (RedSync's
+  // "trimmed top-k"): land within (1 ± tolerance)·k survivors.
+  float lo = 0.0f, hi = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) hi = std::max(hi, std::fabs(t[i]));
+  float threshold = hi / 2.0f;
+  for (int it = 0; it < max_iterations_; ++it) {
+    const std::size_t above = count_above(t, threshold);
+    if (static_cast<double>(above) >= (1.0 - tolerance_) * static_cast<double>(k) &&
+        static_cast<double>(above) <= (1.0 + tolerance_) * static_cast<double>(k))
+      break;
+    if (above > k) lo = threshold;
+    else hi = threshold;
+    threshold = 0.5f * (lo + hi);
+  }
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  select_above(t, threshold, static_cast<std::size_t>((1.0 + tolerance_) *
+                                                      static_cast<double>(k)) + 1,
+               idx, val);
+  if (idx.empty()) {  // degenerate: everything below threshold — keep the max
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (std::fabs(t[i]) > std::fabs(t[best])) best = i;
+    idx.push_back(static_cast<std::uint32_t>(best));
+    val.push_back(t[best]);
+  }
+  return pack_sparse("RedSync", n, idx, val);
+}
+
+Tensor RedSync::decompress(const Compressed& c) { return unpack_sparse(c); }
+
+// --- SIDCo -----------------------------------------------------------------------
+
+SIDCo::SIDCo(double factor_or_k, bool is_factor, int stages)
+    : spec_(factor_or_k), is_factor_(is_factor), stages_(stages) {
+  OF_CHECK_MSG(stages >= 1, "SIDCo needs at least one stage");
+}
+
+Compressed SIDCo::compress(const Tensor& t) {
+  const std::size_t n = t.numel();
+  const std::size_t k = resolve_k(spec_, is_factor_, n);
+  // Model |g| as Exponential(1/mean). P(|g| > τ) = exp(-τ/mean), so the
+  // threshold hitting a target ratio r is τ = -mean·ln(r). Multi-stage:
+  // re-fit on the survivors with the residual ratio, sharpening the
+  // estimate without ever sorting (SIDCo's key trick).
+  const double target = static_cast<double>(k) / static_cast<double>(n);
+  const double per_stage = std::pow(target, 1.0 / static_cast<double>(stages_));
+  float threshold = 0.0f;
+  double mean = 0.0;
+  std::size_t count = n;
+  for (std::size_t i = 0; i < n; ++i) mean += std::fabs(t[i]);
+  mean /= std::max<std::size_t>(1, count);
+  for (int s = 0; s < stages_; ++s) {
+    threshold += static_cast<float>(-mean * std::log(per_stage));
+    // Re-fit the exponential on survivors (mean of exceedances − τ).
+    double sum = 0.0;
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float a = std::fabs(t[i]);
+      if (a >= threshold) {
+        sum += a - threshold;
+        ++m;
+      }
+    }
+    if (m == 0) break;
+    mean = sum / static_cast<double>(m);
+    count = m;
+  }
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  select_above(t, threshold, 2 * k, idx, val);
+  if (idx.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (std::fabs(t[i]) > std::fabs(t[best])) best = i;
+    idx.push_back(static_cast<std::uint32_t>(best));
+    val.push_back(t[best]);
+  }
+  return pack_sparse("SIDCo", n, idx, val);
+}
+
+Tensor SIDCo::decompress(const Compressed& c) { return unpack_sparse(c); }
+
+// --- Identity ---------------------------------------------------------------------
+
+Compressed Identity::compress(const Tensor& t) {
+  Compressed c;
+  c.codec = "Identity";
+  c.original_numel = t.numel();
+  c.payload.resize(t.numel() * sizeof(float));
+  std::memcpy(c.payload.data(), t.data(), c.payload.size());
+  return c;
+}
+
+Tensor Identity::decompress(const Compressed& c) {
+  Tensor t({c.original_numel});
+  OF_CHECK_MSG(c.payload.size() == c.original_numel * sizeof(float),
+               "identity payload size mismatch");
+  std::memcpy(t.data(), c.payload.data(), c.payload.size());
+  return t;
+}
+
+}  // namespace of::compression

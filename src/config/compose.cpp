@@ -1,0 +1,68 @@
+#include "config/compose.hpp"
+
+#include "config/yaml.hpp"
+
+namespace of::config {
+namespace {
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// A defaults entry is either a scalar name ("base") or a one-entry map
+// ("topology: centralized" / "override topology: centralized").
+void apply_default_entry(ConfigNode& target, const ConfigNode& entry,
+                         const std::string& base_dir) {
+  if (entry.is_scalar()) {
+    const std::string name = entry.as_string();
+    ConfigNode loaded = load_yaml_file(base_dir + "/" + name + ".yaml");
+    target.merge_from(loaded);
+    return;
+  }
+  OF_CHECK_MSG(entry.is_map() && entry.size() == 1,
+               "defaults entry must be a name or single 'group: option' pair");
+  std::string group = entry.items().front().first;
+  const ConfigNode& option = entry.items().front().second;
+  // Hydra syntax: "override <group>" marks replacement of an earlier
+  // default; composition order already handles it, so just strip the marker.
+  constexpr const char* kOverride = "override ";
+  if (group.rfind(kOverride, 0) == 0) group = group.substr(std::string(kOverride).size());
+  OF_CHECK_MSG(option.is_scalar(), "defaults option for group '" << group
+                                                                 << "' must be a name");
+  ConfigNode loaded =
+      load_yaml_file(base_dir + "/" + group + "/" + option.as_string() + ".yaml");
+  target[group].merge_from(loaded);
+}
+
+}  // namespace
+
+void apply_override(ConfigNode& root, const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  OF_CHECK_MSG(eq != std::string::npos && eq > 0,
+               "override must be 'dotted.path=value', got '" << assignment << "'");
+  const std::string path = assignment.substr(0, eq);
+  const std::string value = assignment.substr(eq + 1);
+  root.set_path(path, parse_scalar(value));
+}
+
+ConfigNode compose_from(ConfigNode root, const std::string& base_dir,
+                        const std::vector<std::string>& overrides) {
+  ConfigNode result = ConfigNode::map();
+  if (root.is_map() && root.has("defaults")) {
+    const ConfigNode& defaults = root.at("defaults");
+    OF_CHECK_MSG(defaults.is_list(), "'defaults' must be a list");
+    for (std::size_t i = 0; i < defaults.size(); ++i)
+      apply_default_entry(result, defaults.at(i), base_dir);
+    root.erase("defaults");
+  }
+  result.merge_from(root);  // the file body wins over its defaults
+  for (const auto& ov : overrides) apply_override(result, ov);
+  return result;
+}
+
+ConfigNode compose(const std::string& path, const std::vector<std::string>& overrides) {
+  return compose_from(load_yaml_file(path), dirname_of(path), overrides);
+}
+
+}  // namespace of::config

@@ -1,0 +1,125 @@
+// ConfigNode — the in-memory configuration tree (OmegaConf stand-in).
+// A node is null, a scalar (bool/int/float/string), an insertion-ordered
+// map, or a list. Typed accessors throw with the offending path so config
+// errors in YAML files surface as readable messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace of::config {
+
+class ConfigNode {
+ public:
+  enum class Kind { Null, Bool, Int, Float, String, Map, List };
+
+  ConfigNode() = default;
+  static ConfigNode null() { return ConfigNode(); }
+  static ConfigNode boolean(bool v);
+  static ConfigNode integer(std::int64_t v);
+  static ConfigNode floating(double v);
+  static ConfigNode string(std::string v);
+  static ConfigNode map();
+  static ConfigNode list();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_map() const noexcept { return kind_ == Kind::Map; }
+  bool is_list() const noexcept { return kind_ == Kind::List; }
+  bool is_scalar() const noexcept {
+    return kind_ == Kind::Bool || kind_ == Kind::Int || kind_ == Kind::Float ||
+           kind_ == Kind::String;
+  }
+
+  // --- scalar accessors (throw on kind mismatch; Int widens to Float) ----
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // --- map interface -------------------------------------------------------
+  bool has(const std::string& key) const;
+  const ConfigNode& at(const std::string& key) const;
+  ConfigNode& operator[](const std::string& key);  // creates missing entries
+  void erase(const std::string& key);
+  const std::vector<std::pair<std::string, ConfigNode>>& items() const;
+  std::vector<std::pair<std::string, ConfigNode>>& items();
+
+  // --- list interface ------------------------------------------------------
+  std::size_t size() const;
+  const ConfigNode& at(std::size_t i) const;
+  void push_back(ConfigNode v);
+
+  // --- typed convenience getters -------------------------------------------
+  template <typename T>
+  T get(const std::string& key) const;
+  template <typename T>
+  T get_or(const std::string& key, T fallback) const {
+    return has(key) ? get<T>(key) : fallback;
+  }
+
+  // Dotted-path lookup: "topology.inner_comm.port". Throws if missing.
+  const ConfigNode& at_path(const std::string& dotted) const;
+  bool has_path(const std::string& dotted) const;
+  // Dotted-path set; creates intermediate maps.
+  void set_path(const std::string& dotted, ConfigNode value);
+
+  // Deep merge: values from `overlay` replace/extend this node (maps merge
+  // recursively, everything else replaces). This is OmegaConf's merge rule.
+  void merge_from(const ConfigNode& overlay);
+
+  // Canonical YAML rendering (round-trips through the parser).
+  std::string dump(int indent = 0) const;
+  // Single-line flow rendering ("{k: v}" / "[a, b]"), used for containers
+  // nested directly inside block-list items.
+  std::string dump_flow() const;
+
+  bool operator==(const ConfigNode& other) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double float_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, ConfigNode>> map_;
+  std::vector<ConfigNode> list_;
+};
+
+template <>
+inline bool ConfigNode::get<bool>(const std::string& key) const {
+  return at(key).as_bool();
+}
+template <>
+inline std::int64_t ConfigNode::get<std::int64_t>(const std::string& key) const {
+  return at(key).as_int();
+}
+template <>
+inline int ConfigNode::get<int>(const std::string& key) const {
+  return static_cast<int>(at(key).as_int());
+}
+template <>
+inline std::size_t ConfigNode::get<std::size_t>(const std::string& key) const {
+  const auto v = at(key).as_int();
+  OF_CHECK_MSG(v >= 0, "config key '" << key << "' must be non-negative, got " << v);
+  return static_cast<std::size_t>(v);
+}
+template <>
+inline double ConfigNode::get<double>(const std::string& key) const {
+  return at(key).as_double();
+}
+template <>
+inline float ConfigNode::get<float>(const std::string& key) const {
+  return static_cast<float>(at(key).as_double());
+}
+template <>
+inline std::string ConfigNode::get<std::string>(const std::string& key) const {
+  return at(key).as_string();
+}
+
+}  // namespace of::config

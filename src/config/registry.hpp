@@ -1,0 +1,79 @@
+// Plugin registry — the `_target_:` instantiation mechanism.
+//
+// Modules register named factories (Algorithm, Compressor, PrivacyMechanism,
+// …) and configs select them by target string. Target matching accepts both
+// the bare registered name ("FedAvg") and the paper's fully qualified form
+// ("src.omnifed.algorithm.FedAvg"): the final dotted component is used.
+//
+// Registration is explicit (each module exposes register_builtin_*()) rather
+// than static-initializer magic: self-registering translation units get
+// dropped by the linker when archived into static libraries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/node.hpp"
+
+namespace of::config {
+
+inline std::string target_basename(const std::string& target) {
+  const auto dot = target.find_last_of('.');
+  return dot == std::string::npos ? target : target.substr(dot + 1);
+}
+
+template <typename Base, typename... Args>
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<Base>(const ConfigNode&, Args...)>;
+
+  void add(const std::string& name, Factory factory) {
+    OF_CHECK_MSG(!factories_.count(name), "duplicate registration of '" << name << "'");
+    factories_[name] = std::move(factory);
+  }
+
+  bool contains(const std::string& target) const {
+    return factories_.count(target_basename(target)) > 0;
+  }
+
+  // Create from an explicit name.
+  std::unique_ptr<Base> create(const std::string& target, const ConfigNode& cfg,
+                               Args... args) const {
+    const std::string name = target_basename(target);
+    auto it = factories_.find(name);
+    OF_CHECK_MSG(it != factories_.end(),
+                 "no registered factory for '" << target << "' (known: " << known() << ")");
+    return it->second(cfg, std::forward<Args>(args)...);
+  }
+
+  // Create from a config node carrying `_target_:`.
+  std::unique_ptr<Base> create(const ConfigNode& cfg, Args... args) const {
+    OF_CHECK_MSG(cfg.is_map() && cfg.has("_target_"),
+                 "config node has no '_target_' key for factory instantiation");
+    return create(cfg.at("_target_").as_string(), cfg, std::forward<Args>(args)...);
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [k, v] : factories_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::string known() const {
+    std::string s;
+    for (const auto& [k, v] : factories_) {
+      if (!s.empty()) s += ", ";
+      s += k;
+    }
+    return s.empty() ? "<none>" : s;
+  }
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace of::config

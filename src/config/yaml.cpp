@@ -1,0 +1,365 @@
+#include "config/yaml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace of::config {
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // comment-stripped, right-trimmed
+  int number = 0;       // 1-based source line for error messages
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "YAML parse error at line " << line << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+// Strip a trailing comment, respecting single/double quotes.
+std::string strip_comment(const std::string& s) {
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t'))
+      return s.substr(0, i);
+  }
+  return s;
+}
+
+std::string rtrim(std::string s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+std::string trim(std::string s) {
+  s = rtrim(std::move(s));
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream is(text);
+  std::string raw;
+  int number = 0;
+  while (std::getline(is, raw)) {
+    ++number;
+    std::string stripped = rtrim(strip_comment(raw));
+    int indent = 0;
+    std::size_t i = 0;
+    while (i < stripped.size() && stripped[i] == ' ') {
+      ++indent;
+      ++i;
+    }
+    if (i < stripped.size() && stripped[i] == '\t')
+      fail(number, "tab indentation is not supported");
+    const std::string content = stripped.substr(i);
+    if (content.empty()) continue;
+    if (content == "---") continue;  // document marker
+    lines.push_back({indent, content, number});
+  }
+  return lines;
+}
+
+ConfigNode parse_scalar_token(const std::string& tok, int line_no);
+ConfigNode parse_flow_map(const std::string& s, std::size_t& pos, int line_no);
+std::string unquote(const std::string& s, char q, int line_no);
+
+// Parse a flow list "[a, b, [c, d]]". `pos` sits on '['.
+ConfigNode parse_flow_list(const std::string& s, std::size_t& pos, int line_no) {
+  OF_ASSERT(s[pos] == '[');
+  ++pos;
+  ConfigNode list = ConfigNode::list();
+  std::string cur;
+  auto flush = [&] {
+    const std::string t = trim(cur);
+    if (!t.empty()) list.push_back(parse_scalar_token(t, line_no));
+    cur.clear();
+  };
+  bool in_single = false, in_double = false;
+  while (pos < s.size()) {
+    const char c = s[pos];
+    if (c == '\'' && !in_double) { in_single = !in_single; cur.push_back(c); ++pos; }
+    else if (c == '"' && !in_single) { in_double = !in_double; cur.push_back(c); ++pos; }
+    else if (in_single || in_double) { cur.push_back(c); ++pos; }
+    else if (c == '[') {
+      ConfigNode inner = parse_flow_list(s, pos, line_no);
+      // A nested flow list must be the whole element.
+      if (!trim(cur).empty()) fail(line_no, "unexpected text before nested flow list");
+      list.push_back(std::move(inner));
+      cur.clear();
+      // swallow to the following ',' or ']'
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos < s.size() && s[pos] == ',') ++pos;
+      else if (pos < s.size() && s[pos] == ']') { ++pos; return list; }
+    }
+    else if (c == '{') {
+      ConfigNode inner = parse_flow_map(s, pos, line_no);
+      if (!trim(cur).empty()) fail(line_no, "unexpected text before nested flow map");
+      list.push_back(std::move(inner));
+      cur.clear();
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos < s.size() && s[pos] == ',') ++pos;
+      else if (pos < s.size() && s[pos] == ']') { ++pos; return list; }
+    }
+    else if (c == ',') { flush(); ++pos; }
+    else if (c == ']') { flush(); ++pos; return list; }
+    else { cur.push_back(c); ++pos; }
+  }
+  fail(line_no, "unterminated flow list");
+}
+
+// Parse a flow map "{k: v, nested: {a: 1}, list: [1, 2]}". `pos` sits on '{'.
+ConfigNode parse_flow_map(const std::string& s, std::size_t& pos, int line_no) {
+  OF_ASSERT(s[pos] == '{');
+  ++pos;
+  ConfigNode map = ConfigNode::map();
+  std::string key;
+  std::string cur;
+  bool have_key = false;
+  bool in_single = false, in_double = false;
+  auto flush_value = [&] {
+    const std::string t = trim(cur);
+    if (!have_key) {
+      if (!t.empty()) fail(line_no, "flow-map entry without a key");
+      return;
+    }
+    map[key] = parse_scalar_token(t, line_no);
+    have_key = false;
+    cur.clear();
+  };
+  while (pos < s.size()) {
+    const char c = s[pos];
+    if (c == '\'' && !in_double) { in_single = !in_single; cur.push_back(c); ++pos; }
+    else if (c == '"' && !in_single) { in_double = !in_double; cur.push_back(c); ++pos; }
+    else if (in_single || in_double) { cur.push_back(c); ++pos; }
+    else if (c == ':' && !have_key && (pos + 1 == s.size() || s[pos + 1] == ' ' ||
+                                       s[pos + 1] == '{' || s[pos + 1] == '[')) {
+      key = trim(cur);
+      if (key.empty()) fail(line_no, "empty key in flow map");
+      if (key.front() == '"' || key.front() == '\'') key = unquote(key, key.front(), line_no);
+      have_key = true;
+      cur.clear();
+      ++pos;
+    }
+    else if (c == '{' && have_key && trim(cur).empty()) {
+      map[key] = parse_flow_map(s, pos, line_no);
+      have_key = false;
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos < s.size() && s[pos] == ',') ++pos;
+      else if (pos < s.size() && s[pos] == '}') { ++pos; return map; }
+    }
+    else if (c == '[' && have_key && trim(cur).empty()) {
+      map[key] = parse_flow_list(s, pos, line_no);
+      have_key = false;
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos < s.size() && s[pos] == ',') ++pos;
+      else if (pos < s.size() && s[pos] == '}') { ++pos; return map; }
+    }
+    else if (c == ',') { flush_value(); ++pos; }
+    else if (c == '}') { flush_value(); ++pos; return map; }
+    else { cur.push_back(c); ++pos; }
+  }
+  fail(line_no, "unterminated flow map");
+}
+
+std::string unquote(const std::string& s, char q, int line_no) {
+  std::string out;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == q) {
+      if (i + 1 != s.size()) fail(line_no, "trailing characters after closing quote");
+      return out;
+    }
+    if (q == '"' && c == '\\' && i + 1 < s.size()) {
+      const char n = s[++i];
+      switch (n) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case '\\': out.push_back('\\'); break;
+        case '"': out.push_back('"'); break;
+        default: out.push_back(n);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  fail(line_no, "unterminated quoted string");
+}
+
+ConfigNode parse_scalar_token(const std::string& tok, int line_no) {
+  if (tok.empty() || tok == "~" || tok == "null" || tok == "Null" || tok == "NULL")
+    return ConfigNode::null();
+  if (tok == "true" || tok == "True") return ConfigNode::boolean(true);
+  if (tok == "false" || tok == "False") return ConfigNode::boolean(false);
+  if (tok.front() == '"') return ConfigNode::string(unquote(tok, '"', line_no));
+  if (tok.front() == '\'') return ConfigNode::string(unquote(tok, '\'', line_no));
+  if (tok.front() == '[') {
+    std::size_t pos = 0;
+    ConfigNode list = parse_flow_list(tok, pos, line_no);
+    if (trim(tok.substr(pos)).size() > 0) fail(line_no, "trailing text after flow list");
+    return list;
+  }
+  if (tok.front() == '{') {
+    std::size_t pos = 0;
+    ConfigNode map = parse_flow_map(tok, pos, line_no);
+    if (trim(tok.substr(pos)).size() > 0) fail(line_no, "trailing text after flow map");
+    return map;
+  }
+  // Numeric?
+  {
+    char* end = nullptr;
+    errno = 0;
+    const long long iv = std::strtoll(tok.c_str(), &end, 10);
+    if (errno == 0 && end == tok.c_str() + tok.size())
+      return ConfigNode::integer(static_cast<std::int64_t>(iv));
+  }
+  {
+    char* end = nullptr;
+    errno = 0;
+    const double dv = std::strtod(tok.c_str(), &end);
+    if (errno == 0 && end == tok.c_str() + tok.size()) return ConfigNode::floating(dv);
+  }
+  return ConfigNode::string(tok);
+}
+
+// Split "key: rest" at the first unquoted, un-nested ": " (or trailing
+// ':'). Colons inside flow containers or quotes do not count. Returns
+// false if the line has no key separator.
+bool split_key(const std::string& s, std::string& key, std::string& rest, int line_no) {
+  bool in_single = false, in_double = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if ((c == '{' || c == '[') && !in_single && !in_double) ++depth;
+    else if ((c == '}' || c == ']') && !in_single && !in_double) --depth;
+    else if (c == ':' && !in_single && !in_double && depth == 0) {
+      if (i + 1 == s.size() || s[i + 1] == ' ') {
+        key = trim(s.substr(0, i));
+        rest = (i + 1 < s.size()) ? trim(s.substr(i + 1)) : "";
+        if (key.empty()) fail(line_no, "empty map key");
+        // Strip quotes on the key if present.
+        if (!key.empty() && (key.front() == '"' || key.front() == '\''))
+          key = unquote(key, key.front(), line_no);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  ConfigNode parse() {
+    if (lines_.empty()) return ConfigNode::map();
+    ConfigNode root = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) fail(lines_[pos_].number, "unexpected de-indent/content");
+    return root;
+  }
+
+ private:
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+
+  bool done() const { return pos_ >= lines_.size(); }
+  const Line& cur() const { return lines_[pos_]; }
+
+  ConfigNode parse_block(int indent) {
+    OF_ASSERT(!done());
+    if (cur().content.rfind("- ", 0) == 0 || cur().content == "-") return parse_list(indent);
+    return parse_map(indent);
+  }
+
+  ConfigNode parse_map(int indent) {
+    ConfigNode node = ConfigNode::map();
+    while (!done() && cur().indent == indent) {
+      const Line line = cur();
+      if (line.content.rfind("- ", 0) == 0 || line.content == "-")
+        fail(line.number, "list item in map context");
+      std::string key, rest;
+      if (!split_key(line.content, key, rest, line.number))
+        fail(line.number, "expected 'key: value'");
+      ++pos_;
+      if (!rest.empty()) {
+        node[key] = parse_scalar_token(rest, line.number);
+      } else if (!done() && cur().indent > indent) {
+        node[key] = parse_block(cur().indent);
+      } else {
+        node[key] = ConfigNode::null();
+      }
+      if (!done() && cur().indent > indent)
+        fail(cur().number, "unexpected indent after key '" + key + "'");
+    }
+    return node;
+  }
+
+  ConfigNode parse_list(int indent) {
+    ConfigNode node = ConfigNode::list();
+    while (!done() && cur().indent == indent &&
+           (cur().content.rfind("- ", 0) == 0 || cur().content == "-")) {
+      const Line line = cur();
+      const std::string rest =
+          line.content == "-" ? std::string() : trim(line.content.substr(2));
+      ++pos_;
+      if (rest.empty()) {
+        if (!done() && cur().indent > indent) node.push_back(parse_block(cur().indent));
+        else node.push_back(ConfigNode::null());
+        continue;
+      }
+      std::string key, value;
+      if (split_key(rest, key, value, line.number)) {
+        // "- key: v" opens an inline map item; subsequent deeper lines are
+        // more entries of that same map. Virtual indent = indent + 2.
+        ConfigNode item = ConfigNode::map();
+        item[key] = value.empty()
+                        ? ((!done() && cur().indent > indent + 2) ? parse_block(cur().indent)
+                                                                  : ConfigNode::null())
+                        : parse_scalar_token(value, line.number);
+        while (!done() && cur().indent == indent + 2 &&
+               !(cur().content.rfind("- ", 0) == 0 || cur().content == "-")) {
+          const Line l2 = cur();
+          std::string k2, v2;
+          if (!split_key(l2.content, k2, v2, l2.number))
+            fail(l2.number, "expected 'key: value' in list-item map");
+          ++pos_;
+          if (!v2.empty()) item[k2] = parse_scalar_token(v2, l2.number);
+          else if (!done() && cur().indent > indent + 2) item[k2] = parse_block(cur().indent);
+          else item[k2] = ConfigNode::null();
+        }
+        node.push_back(std::move(item));
+      } else {
+        node.push_back(parse_scalar_token(rest, line.number));
+      }
+    }
+    return node;
+  }
+};
+
+}  // namespace
+
+ConfigNode parse_yaml(const std::string& text) { return Parser(tokenize(text)).parse(); }
+
+ConfigNode load_yaml_file(const std::string& path) {
+  std::ifstream in(path);
+  OF_CHECK_MSG(in.good(), "cannot open config file '" << path << "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_yaml(ss.str());
+}
+
+ConfigNode parse_scalar(const std::string& text) { return parse_scalar_token(trim(text), 0); }
+
+}  // namespace of::config

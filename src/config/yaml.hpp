@@ -1,0 +1,27 @@
+// From-scratch parser for the YAML subset OmniFed configs use (the Hydra
+// configuration language of the paper's Fig. 2 / Fig. 4):
+//   - indentation-scoped maps and lists ("- item")
+//   - inline list items that open maps ("- key: value")
+//   - scalars: null/~, true/false, ints, floats, bare and quoted strings
+//   - flow lists: [1, 2, 3]
+//   - '#' comments and blank lines
+// Parse errors report line numbers. dump() (on ConfigNode) round-trips.
+#pragma once
+
+#include <string>
+
+#include "config/node.hpp"
+
+namespace of::config {
+
+// Parse YAML text into a config tree. Throws std::runtime_error with a
+// line-number message on malformed input.
+ConfigNode parse_yaml(const std::string& text);
+
+// Parse the file at `path`.
+ConfigNode load_yaml_file(const std::string& path);
+
+// Parse a single scalar/flow value as written in "key=value" CLI overrides.
+ConfigNode parse_scalar(const std::string& text);
+
+}  // namespace of::config

@@ -1,0 +1,36 @@
+#include "core/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace of::core {
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << algorithm << " on " << model << '/' << dataset << ": rounds=" << rounds.size()
+     << ", final_acc=" << (final_accuracy >= 0 ? final_accuracy * 100.0f : -1.0f) << '%'
+     << ", total=" << total_seconds << "s, mean_round=" << mean_round_seconds << "s"
+     << ", up=" << root_comm.bytes_received << "B, down=" << root_comm.bytes_sent << 'B';
+  return os.str();
+}
+
+std::string RunResult::to_csv() const {
+  std::ostringstream os;
+  os << "round,seconds,train_loss,accuracy,bytes_up,bytes_down,mean_staleness\n";
+  for (const auto& r : rounds) {
+    os << r.round << ',' << r.seconds << ',' << r.train_loss << ',' << r.accuracy << ','
+       << r.bytes_up << ',' << r.bytes_down << ',' << r.mean_staleness << '\n';
+  }
+  return os.str();
+}
+
+void RunResult::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  OF_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << to_csv();
+  OF_CHECK_MSG(out.good(), "short write to '" << path << '\'');
+}
+
+}  // namespace of::core

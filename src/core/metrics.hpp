@@ -1,0 +1,51 @@
+// Run metrics: per-round records assembled by the root aggregator plus
+// whole-run totals. The report() helpers print the table formats the bench
+// binaries use to regenerate the paper's tables/figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace of::core {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double seconds = 0.0;      // wall time of the round at the root
+  double train_loss = 0.0;   // mean local training loss across trainers
+  float accuracy = -1.0f;    // mean client test accuracy; -1 = not evaluated
+  std::uint64_t bytes_up = 0;    // bytes received by the root this round
+  std::uint64_t bytes_down = 0;  // bytes sent by the root this round
+  double mean_staleness = 0.0;   // async scheduling only
+};
+
+struct RunResult {
+  std::vector<RoundRecord> rounds;
+  float final_accuracy = -1.0f;
+  double total_seconds = 0.0;
+  double mean_round_seconds = 0.0;
+  comm::CommStats root_comm;   // root aggregator's comm totals
+  comm::CommStats inner_comm;  // summed intra-group traffic, all nodes
+  comm::CommStats outer_comm;  // summed cross-group traffic (hierarchical)
+  double train_seconds = 0.0;  // summed local-training time, all trainers
+  std::size_t model_scalars = 0;
+  std::string algorithm;
+  std::string model;
+  std::string dataset;
+
+  // Last recorded accuracy (skips -1 sentinels).
+  float last_accuracy() const noexcept {
+    for (auto it = rounds.rbegin(); it != rounds.rend(); ++it)
+      if (it->accuracy >= 0.0f) return it->accuracy;
+    return -1.0f;
+  }
+
+  std::string summary() const;
+  // Per-round metrics as CSV (header + one line per round).
+  std::string to_csv() const;
+  void write_csv(const std::string& path) const;
+};
+
+}  // namespace of::core

@@ -1,0 +1,495 @@
+#include "core/node.hpp"
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace of::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+OwnedComm OwnedComm::make(const CommSpec& spec) {
+  OwnedComm out;
+  comm::Communicator* base = nullptr;
+  switch (spec.backend) {
+    case CommSpec::Backend::InProc:
+      OF_CHECK_MSG(spec.group != nullptr, "InProc spec without a group");
+      base = &spec.group->comm(spec.rank);
+      break;
+    case CommSpec::Backend::Tcp:
+      if (spec.rank == 0)
+        out.tcp = comm::TcpCommunicator::make_server(spec.port, spec.world);
+      else
+        out.tcp = comm::TcpCommunicator::make_client(spec.host, spec.port, spec.rank,
+                                                     spec.world);
+      base = out.tcp.get();
+      break;
+    case CommSpec::Backend::Amqp:
+      OF_CHECK_MSG(spec.amqp_group != nullptr, "Amqp spec without a group");
+      base = &spec.amqp_group->comm(spec.rank);
+      break;
+    case CommSpec::Backend::None:
+      OF_CHECK_MSG(false, "cannot build a communicator from an empty spec");
+  }
+  if (spec.link.has_value()) {
+    out.modeled =
+        std::make_unique<comm::ModeledLinkCommunicator>(*base, *spec.link, spec.delay_mode);
+    out.use = out.modeled.get();
+  } else {
+    out.use = base;
+  }
+  return out;
+}
+
+NodeRuntime::NodeRuntime(NodeSetup setup) : s_(std::move(setup)), rng_(s_.seed) {
+  ctx_.model = &s_.model;
+  ctx_.optimizer = s_.optimizer.get();
+  ctx_.scheduler = s_.scheduler.get();
+  ctx_.loader = s_.loader.get();
+  ctx_.client_id = s_.cohort_index;
+  ctx_.num_clients = s_.cohort_size;
+  ctx_.local_epochs = s_.local_epochs;
+  ctx_.rng = &rng_;
+  ctx_.params = s_.algorithm_params;
+}
+
+NodeReport NodeRuntime::run() {
+  OwnedComm inner = OwnedComm::make(s_.inner_spec);
+  NodeReport report;
+  if (s_.mode == "async") {
+    report = s_.role == NodeRole::Aggregator ? run_async_aggregator(*inner.use)
+                                             : run_async_trainer(*inner.use);
+  } else if (s_.mode == "ring") {
+    report = run_ring_node(*inner.use);
+  } else if (s_.role == NodeRole::Trainer) {
+    report = run_trainer(*inner.use);
+  } else if (s_.mode == "centralized") {
+    report = run_central_aggregator(*inner.use);
+  } else if (s_.mode == "hierarchical") {
+    OwnedComm outer = OwnedComm::make(s_.outer_spec);
+    report = run_hier_leader(*inner.use, *outer.use);
+    report.comm_outer += outer.use->stats();
+  } else {
+    OF_CHECK_MSG(false, "node " << s_.node_id << ": unsupported mode '" << s_.mode << "'");
+  }
+  report.comm_inner += inner.use->stats();
+  report.train_seconds = train_seconds_;
+  return report;
+}
+
+bool NodeRuntime::selected_this_round(std::size_t round) const {
+  if (s_.clients_per_round == 0 ||
+      s_.clients_per_round >= static_cast<std::size_t>(s_.cohort_size))
+    return true;
+  // Same seed + round on every node → identical selection, no coordination.
+  tensor::Rng rng(s_.participation_seed ^ (0x9E3779B97F4A7C15ULL * (round + 1)));
+  std::vector<int> ids(static_cast<std::size_t>(s_.cohort_size));
+  std::iota(ids.begin(), ids.end(), 0);
+  for (std::size_t i = 0; i < s_.clients_per_round; ++i) {
+    const std::size_t j = i + rng.next_below(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+    if (ids[i] == s_.cohort_index) return true;
+  }
+  return false;
+}
+
+void NodeRuntime::simulate_slowdown(double train_seconds_elapsed) {
+  if (s_.slowdown <= 1.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>((s_.slowdown - 1.0) * train_seconds_elapsed));
+}
+
+tensor::Bytes NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
+                                           std::size_t round,
+                                           algorithms::TrainStats& stats_out) {
+  auto& algo = *s_.algorithm;
+  ctx_.round = round;
+  if (round == 0) algo.on_train_start(ctx_);
+  algo.apply_global(ctx_, global);
+  if (!selected_this_round(round)) {
+    stats_out = algorithms::TrainStats{};
+    return encode_skip_update();
+  }
+  algo.on_round_start(ctx_);
+  const auto t0 = Clock::now();
+  stats_out = algo.local_train(ctx_);
+  const double elapsed = seconds_since(t0);
+  train_seconds_ += elapsed;
+  simulate_slowdown(elapsed);
+  auto payload = algo.client_update(ctx_);
+  algo.on_round_end(ctx_);
+  if (s_.byzantine) {
+    // Fault injection for robust-aggregation experiments.
+    for (auto& t : payload) {
+      if (s_.byzantine_kind == "noise") {
+        for (std::size_t i = 0; i < t.numel(); ++i)
+          t[i] += static_cast<float>(rng_.gaussian(0.0, 10.0));
+      } else {  // sign_flip (scaled, the classic model-poisoning attack)
+        t.scale_(-10.0f);
+      }
+    }
+  }
+  const PayloadPlugins plugins{s_.compressor.get(), s_.privacy.get()};
+  return encode_update(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size);
+}
+
+tensor::Tensor NodeRuntime::metrics_tensor(const algorithms::TrainStats& stats,
+                                           std::size_t round) {
+  // [loss_sum, steps, acc_sum, acc_count]
+  tensor::Tensor m({4});
+  m[0] = static_cast<float>(stats.loss_sum);
+  m[1] = static_cast<float>(stats.steps);
+  const bool eval_now = (s_.eval_every > 0 && (round + 1) % s_.eval_every == 0) ||
+                        round + 1 == s_.global_rounds;
+  if (eval_now && s_.test_set != nullptr) {
+    nn::Model* em = s_.algorithm->eval_model(ctx_);
+    m[2] = algorithms::evaluate_accuracy(*em, *s_.test_set);
+    m[3] = 1.0f;
+  }
+  return m;
+}
+
+NodeReport NodeRuntime::run_trainer(comm::Communicator& inner) {
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    tensor::Bytes gbytes;
+    inner.broadcast_bytes(gbytes, 0);
+    const auto global = unpack_tensors(gbytes);
+    algorithms::TrainStats stats;
+    const tensor::Bytes frame = train_one_round(global, round, stats);
+    (void)inner.gather_bytes(frame, 0);
+    (void)inner.gather(metrics_tensor(stats, round), 0);
+  }
+  return NodeReport{};
+}
+
+NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
+  NodeReport report;
+  auto& algo = *s_.algorithm;
+  algorithms::ServerState state;
+  state.params = s_.algorithm_params;
+  state.global = algo.initial_global(s_.model);
+
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    const auto t0 = Clock::now();
+    const auto bytes_sent_before = inner.stats().bytes_sent;
+    const auto bytes_recv_before = inner.stats().bytes_received;
+
+    tensor::Bytes gbytes = pack_tensors(state.global);
+    inner.broadcast_bytes(gbytes, 0);
+    auto frames = inner.gather_bytes({}, 0);
+    frames.erase(frames.begin());  // drop our own empty placeholder
+    const auto mean =
+        s_.aggregation_rule == AggregationRule::Mean
+            ? mean_updates(frames, s_.compressor.get(), s_.privacy.get())
+            : robust_combine(frames, s_.compressor.get(), s_.aggregation_rule,
+                             s_.aggregation_trim);
+    state.round = round;
+    state.global = algo.server_update(state, mean);
+
+    const auto metrics = inner.gather(tensor::Tensor({4}), 0);
+    RoundRecord rec;
+    rec.round = round;
+    rec.seconds = seconds_since(t0);
+    double loss_sum = 0.0, steps = 0.0, acc_sum = 0.0, acc_n = 0.0;
+    for (std::size_t p = 1; p < metrics.size(); ++p) {
+      loss_sum += metrics[p][0];
+      steps += metrics[p][1];
+      acc_sum += metrics[p][2];
+      acc_n += metrics[p][3];
+    }
+    rec.train_loss = steps > 0 ? loss_sum / steps : 0.0;
+    rec.accuracy = acc_n > 0 ? static_cast<float>(acc_sum / acc_n) : -1.0f;
+    rec.bytes_down = inner.stats().bytes_sent - bytes_sent_before;
+    rec.bytes_up = inner.stats().bytes_received - bytes_recv_before;
+    report.rounds.push_back(rec);
+  }
+  return report;
+}
+
+NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
+  NodeReport report;
+  auto& algo = *s_.algorithm;
+  // Decentralized: the "server" state is replicated on every node and
+  // evolves deterministically from identical means.
+  algorithms::ServerState state;
+  state.params = s_.algorithm_params;
+  state.global = algo.initial_global(s_.model);
+
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    const auto t0 = Clock::now();
+    algorithms::TrainStats stats;
+    ctx_.round = round;
+    if (round == 0) algo.on_train_start(ctx_);
+    algo.apply_global(ctx_, state.global);
+    algo.on_round_start(ctx_);
+    const auto tt = Clock::now();
+    stats = algo.local_train(ctx_);
+    train_seconds_ += seconds_since(tt);
+    auto payload = algo.client_update(ctx_);
+    algo.on_round_end(ctx_);
+
+    std::vector<tensor::Tensor> mean;
+    if (s_.compressor) {
+      // Sparse codecs exchange via all-gather (paper §3.4.2).
+      const PayloadPlugins plugins{s_.compressor.get(), nullptr};
+      const tensor::Bytes frame =
+          encode_update(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size);
+      const auto frames = inner.allgather_bytes(frame);
+      mean = mean_updates(frames, s_.compressor.get(), nullptr);
+    } else {
+      // Dense path: bandwidth-optimal ring all-reduce on the flat payload.
+      std::vector<tensor::Tensor> scaled = payload;
+      for (auto& t : scaled) t.scale_(static_cast<float>(s_.weight_scale));
+      tensor::Tensor flat = tensor::flatten_all(scaled);
+      inner.allreduce(flat, comm::ReduceOp::Mean);
+      mean = payload;  // reuse shapes
+      for (auto& t : mean) t.zero_();
+      tensor::unflatten_into(flat, mean);
+    }
+    state.round = round;
+    state.global = algo.server_update(state, mean);
+
+    // Metrics: summed across the ring; rank 0 records.
+    tensor::Tensor m = metrics_tensor(stats, round);
+    inner.allreduce(m, comm::ReduceOp::Sum);
+    if (inner.rank() == 0) {
+      RoundRecord rec;
+      rec.round = round;
+      rec.seconds = seconds_since(t0);
+      rec.train_loss = m[1] > 0 ? m[0] / m[1] : 0.0;
+      rec.accuracy = m[3] > 0 ? m[2] / m[3] : -1.0f;
+      rec.bytes_down = 0;
+      rec.bytes_up = 0;
+      report.rounds.push_back(rec);
+    }
+  }
+  return report;
+}
+
+// --- asynchronous scheduling (FedAsync: Xie et al. 2019 shape) -----------------
+//
+// The server absorbs client deltas in completion order, downweighted by
+// staleness: w ← w + α/(1+s)·Δ_i, where s counts server updates since the
+// client's model snapshot. Stragglers therefore never block the cohort —
+// the straggler weakness of synchronous FL the paper discusses. Tags:
+//   kAsyncModel  server → client: u8 stop | packed global tensors
+//   kAsyncUpdate client → server: payload frame [deltas…, metrics(4)]
+//   kAsyncFinal  client → server: final metrics tensor
+namespace {
+constexpr int kAsyncModel = 101;
+constexpr int kAsyncUpdate = 102;
+constexpr int kAsyncFinal = 103;
+}  // namespace
+
+NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
+  NodeReport report;
+  auto& algo = *s_.algorithm;
+  algorithms::ServerState state;
+  state.params = s_.algorithm_params;
+  state.global = algo.initial_global(s_.model);
+  const int clients = inner.world_size() - 1;
+  OF_CHECK_MSG(clients >= 1, "async scheduling needs at least one trainer");
+  const std::size_t total = s_.async_total_updates
+                                ? s_.async_total_updates
+                                : s_.global_rounds * static_cast<std::size_t>(clients);
+
+  auto send_model = [&](int dst, bool stop) {
+    tensor::Bytes frame;
+    tensor::append_pod<std::uint8_t>(frame, stop ? 1 : 0);
+    if (!stop) {
+      const tensor::Bytes packed = pack_tensors(state.global);
+      frame.insert(frame.end(), packed.begin(), packed.end());
+    }
+    inner.send_bytes(dst, kAsyncModel, frame);
+  };
+
+  std::size_t sends_issued = 0;
+  for (int c = 1; c <= clients; ++c, ++sends_issued) send_model(c, false);
+
+  std::vector<std::size_t> snapshot_version(static_cast<std::size_t>(clients) + 1, 0);
+  std::size_t server_version = 0;
+  double staleness_sum = 0.0;
+  double loss_sum = 0.0, steps_sum = 0.0;
+  auto group_t0 = Clock::now();
+
+  for (std::size_t done = 0; done < total; ++done) {
+    auto [src, frame] = inner.recv_bytes_any(kAsyncUpdate);
+    auto decoded = decode_update(frame, s_.compressor.get());
+    OF_CHECK_MSG(decoded.size() >= 2, "async update missing metrics tensor");
+    const tensor::Tensor metrics = decoded.back();
+    decoded.pop_back();
+    OF_CHECK_MSG(decoded.size() == state.global.size(), "async payload size drift");
+    const std::size_t staleness =
+        server_version - snapshot_version[static_cast<std::size_t>(src)];
+    staleness_sum += static_cast<double>(staleness);
+    const float mix = static_cast<float>(s_.async_alpha /
+                                         (1.0 + static_cast<double>(staleness)));
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+      state.global[i].add_scaled_(decoded[i], mix);
+    ++server_version;
+    snapshot_version[static_cast<std::size_t>(src)] = server_version;
+    loss_sum += metrics[0];
+    steps_sum += metrics[1];
+
+    if (sends_issued < total) {
+      send_model(src, false);
+      ++sends_issued;
+    } else {
+      send_model(src, true);
+    }
+
+    // Report one RoundRecord per `clients` absorbed updates.
+    if ((done + 1) % static_cast<std::size_t>(clients) == 0 || done + 1 == total) {
+      RoundRecord rec;
+      rec.round = report.rounds.size();
+      rec.seconds = seconds_since(group_t0);
+      rec.train_loss = steps_sum > 0 ? loss_sum / steps_sum : 0.0;
+      rec.accuracy = -1.0f;
+      report.rounds.push_back(rec);
+      loss_sum = steps_sum = 0.0;
+      group_t0 = Clock::now();
+    }
+  }
+
+  // Collect each client's final test accuracy.
+  double acc_sum = 0.0, acc_n = 0.0;
+  for (int c = 0; c < clients; ++c) {
+    auto [src, frame] = inner.recv_bytes_any(kAsyncFinal);
+    (void)src;
+    const tensor::Tensor m = tensor::deserialize_tensor(frame);
+    acc_sum += m[2];
+    acc_n += m[3];
+  }
+  if (!report.rounds.empty() && acc_n > 0)
+    report.rounds.back().accuracy = static_cast<float>(acc_sum / acc_n);
+  // Stash mean staleness where the engine can pick it up.
+  if (!report.rounds.empty() && total > 0)
+    report.rounds.back().mean_staleness = staleness_sum / static_cast<double>(total);
+  return report;
+}
+
+NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
+  auto& algo = *s_.algorithm;
+  std::size_t round = 0;
+  algorithms::TrainStats last_stats;
+  for (;;) {
+    const tensor::Bytes frame = inner.recv_bytes(0, kAsyncModel);
+    std::size_t off = 0;
+    const auto stop = tensor::read_pod<std::uint8_t>(frame, off);
+    if (stop) break;
+    const tensor::Bytes packed(frame.begin() + static_cast<std::ptrdiff_t>(off),
+                               frame.end());
+    const auto global = unpack_tensors(packed);
+
+    ctx_.round = round;
+    if (round == 0) algo.on_train_start(ctx_);
+    algo.apply_global(ctx_, global);
+    algo.on_round_start(ctx_);
+    const auto t0 = Clock::now();
+    last_stats = algo.local_train(ctx_);
+    const double elapsed = seconds_since(t0);
+    train_seconds_ += elapsed;
+    simulate_slowdown(elapsed);
+    algo.on_round_end(ctx_);
+
+    // Async semantics: the wire always carries the delta against the model
+    // snapshot we just trained from, whatever the algorithm's own payload
+    // convention is (the server applies staleness-weighted deltas).
+    std::vector<tensor::Tensor> payload;
+    {
+      std::vector<nn::Parameter*> shared;
+      for (auto* p : ctx_.model->parameters())
+        if (algo.shares_parameter(*p)) shared.push_back(p);
+      OF_CHECK_MSG(shared.size() == global.size(), "async payload/global mismatch");
+      for (std::size_t i = 0; i < shared.size(); ++i) {
+        tensor::Tensor d = shared[i]->value;
+        d.sub_(global[i]);
+        payload.push_back(std::move(d));
+      }
+    }
+    tensor::Tensor m({4});
+    m[0] = static_cast<float>(last_stats.loss_sum);
+    m[1] = static_cast<float>(last_stats.steps);
+    payload.push_back(std::move(m));
+    const PayloadPlugins plugins{s_.compressor.get(), nullptr};
+    inner.send_bytes(0, kAsyncUpdate,
+                     encode_update(payload, s_.weight_scale, plugins, s_.cohort_index,
+                                   s_.cohort_size));
+    ++round;
+  }
+  // Final evaluation.
+  tensor::Tensor m({4});
+  if (s_.test_set) {
+    m[2] = algorithms::evaluate_accuracy(*algo.eval_model(ctx_), *s_.test_set);
+    m[3] = 1.0f;
+  }
+  inner.send_bytes(0, kAsyncFinal, tensor::serialize_tensor(m));
+  return NodeReport{};
+}
+
+NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
+                                        comm::Communicator& outer) {
+  NodeReport report;
+  auto& algo = *s_.algorithm;
+  const bool is_root = outer.rank() == 0;
+  algorithms::ServerState state;
+  state.params = s_.algorithm_params;
+  if (is_root) state.global = algo.initial_global(s_.model);
+
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    const auto t0 = Clock::now();
+    // Global payload: root → leaders → group members.
+    tensor::Bytes gbytes;
+    if (is_root) gbytes = pack_tensors(state.global);
+    outer.broadcast_bytes(gbytes, 0);
+    inner.broadcast_bytes(gbytes, 0);
+
+    // Collect the group's updates and pre-aggregate them.
+    auto frames = inner.gather_bytes({}, 0);
+    frames.erase(frames.begin());
+    const auto group_mean = mean_updates(frames, s_.compressor.get(), s_.privacy.get());
+
+    // Cross-facility tier: (optionally compressed) leader contribution.
+    const PayloadPlugins outer_plugins{s_.outer_compressor.get(), nullptr};
+    const tensor::Bytes outer_frame =
+        encode_update(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
+                      outer.world_size());
+    auto outer_frames = outer.gather_bytes(outer_frame, 0);
+    if (is_root) {
+      const auto mean = mean_updates(outer_frames, s_.outer_compressor.get(), nullptr);
+      state.round = round;
+      state.global = algo.server_update(state, mean);
+    }
+
+    // Metrics: group sum → outer gather → root records.
+    tensor::Tensor m({4});
+    const auto group_metrics = inner.gather(m, 0);
+    tensor::Tensor group_sum({4});
+    for (std::size_t p = 1; p < group_metrics.size(); ++p) group_sum.add_(group_metrics[p]);
+    const auto all_metrics = outer.gather(group_sum, 0);
+    if (is_root) {
+      tensor::Tensor total({4});
+      for (const auto& gm : all_metrics) total.add_(gm);
+      RoundRecord rec;
+      rec.round = round;
+      rec.seconds = seconds_since(t0);
+      rec.train_loss = total[1] > 0 ? total[0] / total[1] : 0.0;
+      rec.accuracy = total[3] > 0 ? total[2] / total[3] : -1.0f;
+      rec.bytes_up = outer.stats().bytes_received;
+      rec.bytes_down = outer.stats().bytes_sent;
+      report.rounds.push_back(rec);
+    }
+  }
+  return report;
+}
+
+}  // namespace of::core

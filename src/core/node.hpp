@@ -1,0 +1,134 @@
+// Node — a federation participant (paper §3.3). The Engine prepares one
+// NodeSetup per topology node (model, data shard, algorithm instance,
+// communicator spec, plugins); NodeRuntime then executes the round loop for
+// the node's role on its own thread, exactly like the paper's Ray actors.
+//
+// Communicators are constructed *inside* the node thread (a TCP server
+// blocks in accept until its clients connect), from a CommSpec.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "algorithms/algorithm.hpp"
+#include "comm/amqp.hpp"
+#include "comm/inproc.hpp"
+#include "comm/modeled.hpp"
+#include "comm/tcp.hpp"
+#include "core/metrics.hpp"
+#include "core/payload.hpp"
+#include "core/topology.hpp"
+#include "data/loader.hpp"
+
+namespace of::core {
+
+struct CommSpec {
+  enum class Backend { None, InProc, Tcp, Amqp } backend = Backend::None;
+  comm::InProcGroup* group = nullptr;      // InProc: shared group owned by the Engine
+  comm::AmqpGroup* amqp_group = nullptr;   // Amqp: shared broker-backed group
+  int rank = 0;
+  int world = 1;
+  std::uint16_t port = 0;             // Tcp
+  std::string host = "127.0.0.1";     // Tcp clients
+  std::optional<comm::LinkModel> link;  // wrap with a modeled WAN/LAN link
+  comm::DelayMode delay_mode = comm::DelayMode::Virtual;
+};
+
+// A communicator built from a spec, with its ownership chain.
+struct OwnedComm {
+  std::unique_ptr<comm::TcpCommunicator> tcp;
+  std::unique_ptr<comm::ModeledLinkCommunicator> modeled;
+  comm::Communicator* use = nullptr;  // innermost interface to talk through
+
+  static OwnedComm make(const CommSpec& spec);
+};
+
+struct NodeSetup {
+  int node_id = 0;
+  NodeRole role = NodeRole::Trainer;
+  int group = 0;
+  std::string mode;  // "centralized" | "ring" | "hierarchical" | "async"
+  std::size_t global_rounds = 1;
+  std::size_t local_epochs = 1;
+  std::size_t eval_every = 1;  // 0 = only after the last round
+
+  // Asynchronous scheduling (FedAsync-style; mode == "async").
+  double async_alpha = 0.6;          // staleness-weighted mixing rate
+  std::size_t async_total_updates = 0;  // total client contributions to absorb
+
+  // Simulated compute heterogeneity: this node trains `slowdown`× slower
+  // than baseline (sleeps the difference after each local_train).
+  double slowdown = 1.0;
+
+  // Partial participation: sample this many trainers per round
+  // (0 = everyone). Selection is derived from `participation_seed`,
+  // identically on every node — no coordination traffic needed.
+  std::size_t clients_per_round = 0;
+  std::uint64_t participation_seed = 0;
+
+  // Robust aggregation at the central server (byzantine tolerance).
+  AggregationRule aggregation_rule = AggregationRule::Mean;
+  double aggregation_trim = 0.1;
+  // Fault injection: this trainer sends corrupted updates.
+  bool byzantine = false;
+  std::string byzantine_kind = "sign_flip";  // sign_flip | noise
+
+  nn::Model model;
+  std::unique_ptr<nn::Optimizer> optimizer;
+  std::unique_ptr<nn::LRScheduler> scheduler;
+  std::unique_ptr<data::DataLoader> loader;      // trainers
+  const data::InMemoryDataset* test_set = nullptr;
+  double weight_scale = 1.0;  // pre-scaling making uniform means weighted
+  int cohort_index = 0;       // index within the aggregation cohort
+  int cohort_size = 1;
+
+  std::unique_ptr<algorithms::Algorithm> algorithm;
+  config::ConfigNode algorithm_params;
+
+  CommSpec inner_spec;
+  CommSpec outer_spec;  // hierarchical leaders only
+
+  std::unique_ptr<compression::Compressor> compressor;        // client→aggregator link
+  std::unique_ptr<compression::Compressor> outer_compressor;  // leader→root link
+  std::unique_ptr<privacy::PrivacyMechanism> privacy;
+
+  std::uint64_t seed = 1;
+};
+
+struct NodeReport {
+  std::vector<RoundRecord> rounds;  // filled by the root aggregator only
+  comm::CommStats comm_inner;       // intra-group traffic totals
+  comm::CommStats comm_outer;       // cross-group traffic (hierarchical leaders)
+  double train_seconds = 0.0;       // time spent in local_train
+};
+
+class NodeRuntime {
+ public:
+  explicit NodeRuntime(NodeSetup setup);
+  NodeReport run();
+
+ private:
+  NodeReport run_trainer(comm::Communicator& inner);
+  NodeReport run_central_aggregator(comm::Communicator& inner);
+  NodeReport run_ring_node(comm::Communicator& inner);
+  NodeReport run_hier_leader(comm::Communicator& inner, comm::Communicator& outer);
+  NodeReport run_async_aggregator(comm::Communicator& inner);
+  NodeReport run_async_trainer(comm::Communicator& inner);
+
+  // Shared trainer-side round body; returns the encoded update frame.
+  tensor::Bytes train_one_round(const std::vector<tensor::Tensor>& global,
+                                std::size_t round, algorithms::TrainStats& stats_out);
+  tensor::Tensor metrics_tensor(const algorithms::TrainStats& stats, std::size_t round);
+  // Deterministic partial-participation schedule (same on every node).
+  bool selected_this_round(std::size_t round) const;
+  // Inject the configured compute slowdown for `train_seconds` of real work.
+  void simulate_slowdown(double train_seconds_elapsed);
+
+  NodeSetup s_;
+  algorithms::TrainContext ctx_;
+  tensor::Rng rng_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace of::core

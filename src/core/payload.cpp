@@ -1,0 +1,215 @@
+#include "core/payload.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "tensor/serialize.hpp"
+
+namespace of::core {
+namespace {
+
+enum : std::uint8_t { kPlain = 0, kCompressed = 1, kPrivacy = 2, kSkip = 3 };
+
+void write_manifest(Bytes& out, const std::vector<Tensor>& payload) {
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  for (const auto& t : payload) {
+    tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.ndim()));
+    for (std::size_t d : t.shape()) tensor::append_pod<std::uint64_t>(out, d);
+  }
+}
+
+std::vector<tensor::Shape> read_manifest(const Bytes& in, std::size_t& off) {
+  const auto count = tensor::read_pod<std::uint32_t>(in, off);
+  std::vector<tensor::Shape> shapes(count);
+  for (auto& shape : shapes) {
+    const auto ndim = tensor::read_pod<std::uint32_t>(in, off);
+    OF_CHECK_MSG(ndim <= 8, "implausible tensor rank in payload manifest");
+    shape.resize(ndim);
+    for (auto& d : shape)
+      d = static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(in, off));
+  }
+  return shapes;
+}
+
+std::vector<Tensor> split_flat(const Tensor& flat, const std::vector<tensor::Shape>& shapes) {
+  std::vector<Tensor> out;
+  out.reserve(shapes.size());
+  std::size_t off = 0;
+  for (const auto& shape : shapes) {
+    Tensor t(shape);
+    OF_CHECK_MSG(off + t.numel() <= flat.numel(), "flat payload shorter than manifest");
+    std::copy_n(flat.data() + off, t.numel(), t.data());
+    off += t.numel();
+    out.push_back(std::move(t));
+  }
+  OF_CHECK_MSG(off == flat.numel(), "flat payload longer than manifest");
+  return out;
+}
+
+}  // namespace
+
+Bytes pack_tensors(const std::vector<Tensor>& ts) { return tensor::serialize_tensors(ts); }
+
+Bytes encode_skip_update() { return Bytes{kSkip}; }
+
+bool is_skip_update(const Bytes& frame) {
+  return frame.size() == 1 && frame[0] == kSkip;
+}
+
+std::vector<Tensor> unpack_tensors(const Bytes& b) { return tensor::deserialize_tensors(b); }
+
+Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
+                    const PayloadPlugins& plugins, int client_id, int num_clients) {
+  OF_CHECK_MSG(!(plugins.compressor && plugins.privacy),
+               "compression and privacy plugins cannot stack on the same link");
+  std::vector<Tensor> scaled = payload;
+  if (weight_scale != 1.0)
+    for (auto& t : scaled) t.scale_(static_cast<float>(weight_scale));
+
+  Bytes out;
+  if (plugins.privacy) {
+    out.push_back(kPrivacy);
+    write_manifest(out, scaled);
+    const Tensor flat = tensor::flatten_all(scaled);
+    const Bytes body = plugins.privacy->protect(flat, client_id, num_clients);
+    tensor::append_pod<std::uint64_t>(out, body.size());
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  }
+  if (plugins.compressor) {
+    out.push_back(kCompressed);
+    write_manifest(out, scaled);
+    const Tensor flat = tensor::flatten_all(scaled);
+    const compression::Compressed c = plugins.compressor->compress(flat);
+    tensor::append_pod<std::uint64_t>(out, c.original_numel);
+    tensor::append_pod<std::uint64_t>(out, c.payload.size());
+    out.insert(out.end(), c.payload.begin(), c.payload.end());
+    return out;
+  }
+  out.push_back(kPlain);
+  write_manifest(out, scaled);
+  for (const auto& t : scaled) tensor::append_span(out, t.data(), t.numel());
+  return out;
+}
+
+std::vector<Tensor> decode_update(const Bytes& frame,
+                                  compression::Compressor* decompressor) {
+  std::size_t off = 0;
+  const auto mode = tensor::read_pod<std::uint8_t>(frame, off);
+  const auto shapes = read_manifest(frame, off);
+  std::size_t total = 0;
+  for (const auto& s : shapes) total += tensor::shape_numel(s);
+  if (mode == kPlain) {
+    Tensor flat({total});
+    tensor::read_span(frame, off, flat.data(), total);
+    OF_CHECK_MSG(off == frame.size(), "trailing bytes in plain payload");
+    return split_flat(flat, shapes);
+  }
+  if (mode == kCompressed) {
+    OF_CHECK_MSG(decompressor != nullptr, "compressed payload but no codec configured");
+    compression::Compressed c;
+    c.original_numel =
+        static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(frame, off));
+    const auto len = tensor::read_pod<std::uint64_t>(frame, off);
+    OF_CHECK_MSG(off + len == frame.size(), "compressed payload length mismatch");
+    c.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(off), frame.end());
+    OF_CHECK_MSG(c.original_numel == total, "compressed payload numel mismatch");
+    return split_flat(decompressor->decompress(c), shapes);
+  }
+  OF_CHECK_MSG(false, "decode_update cannot decode privacy frames individually");
+}
+
+AggregationRule parse_aggregation_rule(const std::string& name) {
+  if (name == "mean") return AggregationRule::Mean;
+  if (name == "median") return AggregationRule::Median;
+  if (name == "trimmed_mean") return AggregationRule::TrimmedMean;
+  OF_CHECK_MSG(false, "unknown aggregation rule '" << name << "'");
+}
+
+std::vector<Tensor> robust_combine(const std::vector<Bytes>& raw_frames,
+                                   compression::Compressor* decompressor,
+                                   AggregationRule rule, double trim) {
+  if (rule == AggregationRule::Mean)
+    return mean_updates(raw_frames, decompressor, nullptr);
+  OF_CHECK_MSG(trim >= 0.0 && trim < 0.5, "trim fraction must be in [0, 0.5)");
+  std::vector<std::vector<Tensor>> decoded;
+  for (const auto& f : raw_frames) {
+    if (is_skip_update(f)) continue;
+    decoded.push_back(decode_update(f, decompressor));
+  }
+  OF_CHECK_MSG(!decoded.empty(), "no client updates to aggregate (all skipped?)");
+  const std::size_t k = decoded.size();
+  std::vector<Tensor> out;
+  out.reserve(decoded[0].size());
+  std::vector<float> column(k);
+  for (std::size_t t = 0; t < decoded[0].size(); ++t) {
+    Tensor acc(decoded[0][t].shape());
+    for (std::size_t i = 0; i < acc.numel(); ++i) {
+      for (std::size_t c = 0; c < k; ++c) column[c] = decoded[c][t][i];
+      std::sort(column.begin(), column.end());
+      if (rule == AggregationRule::Median) {
+        acc[i] = (k % 2) ? column[k / 2]
+                         : 0.5f * (column[k / 2 - 1] + column[k / 2]);
+      } else {  // trimmed mean
+        const std::size_t cut = static_cast<std::size_t>(trim * static_cast<double>(k));
+        double sum = 0.0;
+        for (std::size_t c = cut; c < k - cut; ++c) sum += column[c];
+        acc[i] = static_cast<float>(sum / static_cast<double>(k - 2 * cut));
+      }
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
+                                 compression::Compressor* decompressor,
+                                 privacy::PrivacyMechanism* privacy) {
+  // Drop skip markers (partial participation) before aggregating.
+  std::vector<Bytes> frames;
+  frames.reserve(raw_frames.size());
+  for (const auto& f : raw_frames)
+    if (!is_skip_update(f)) frames.push_back(f);
+  OF_CHECK_MSG(!frames.empty(), "no client updates to aggregate (all skipped?)");
+  // Peek the first frame's mode + manifest.
+  std::size_t off0 = 0;
+  const auto mode = tensor::read_pod<std::uint8_t>(frames[0], off0);
+  const auto shapes = read_manifest(frames[0], off0);
+  std::size_t total = 0;
+  for (const auto& s : shapes) total += tensor::shape_numel(s);
+  const float inv_k = 1.0f / static_cast<float>(frames.size());
+
+  if (mode == kPrivacy) {
+    OF_CHECK_MSG(privacy != nullptr, "privacy payload but no mechanism configured");
+    std::vector<Bytes> bodies;
+    bodies.reserve(frames.size());
+    for (const auto& f : frames) {
+      std::size_t off = 0;
+      const auto m = tensor::read_pod<std::uint8_t>(f, off);
+      OF_CHECK_MSG(m == kPrivacy, "mixed payload modes in one aggregation");
+      (void)read_manifest(f, off);
+      const auto len = tensor::read_pod<std::uint64_t>(f, off);
+      OF_CHECK_MSG(off + len == f.size(), "privacy payload length mismatch");
+      bodies.emplace_back(f.begin() + static_cast<std::ptrdiff_t>(off), f.end());
+    }
+    Tensor sum = privacy->aggregate_sum(bodies, total);
+    sum.scale_(inv_k);
+    return split_flat(sum, shapes);
+  }
+
+  // Plain / compressed: decode each frame, average.
+  std::vector<Tensor> acc;
+  for (const auto& f : frames) {
+    std::vector<Tensor> decoded = decode_update(f, decompressor);
+    OF_CHECK_MSG(decoded.size() == shapes.size(), "payload structure mismatch");
+    if (acc.empty()) {
+      acc = std::move(decoded);
+    } else {
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i].add_(decoded[i]);
+    }
+  }
+  for (auto& t : acc) t.scale_(inv_k);
+  return acc;
+}
+
+}  // namespace of::core

@@ -1,0 +1,68 @@
+// Payload codec: turns an algorithm's update (a list of tensors) into the
+// wire frame and back, threading it through the optional compression and
+// privacy plugins. The frame is self-describing:
+//
+//   u8 mode (0 plain | 1 compressed | 2 privacy)
+//   u32 ntensors | per tensor: u32 ndim, u64 dims[]      (shape manifest)
+//   mode-specific body
+//
+// plain      — raw float data of the concatenated tensors
+// compressed — codec name + Compressed payload of the flat concat
+// privacy    — PrivacyMechanism::protect() output of the flat concat
+//
+// The aggregator recovers the *weighted mean* of the client payloads: for
+// plain/compressed it decodes each frame and averages; for privacy modes it
+// can only form the sum (that is the point), then divides by the count.
+#pragma once
+
+#include "compression/compressor.hpp"
+#include "privacy/mechanism.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::core {
+
+using tensor::Bytes;
+using tensor::Tensor;
+
+struct PayloadPlugins {
+  compression::Compressor* compressor = nullptr;   // client-side instance
+  privacy::PrivacyMechanism* privacy = nullptr;    // shared mechanism
+};
+
+// Client side: encode `payload`, pre-scaled by `weight_scale` so that the
+// aggregator's uniform mean equals the intended weighted mean.
+Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
+                    const PayloadPlugins& plugins, int client_id, int num_clients);
+
+// A tiny marker frame from a client that sits this round out (partial
+// participation). mean_updates skips such frames and divides by the number
+// of actual contributions.
+Bytes encode_skip_update();
+bool is_skip_update(const Bytes& frame);
+
+// Aggregator side: decode frames (all clients, same plugin config) and
+// return their uniform mean in the original tensor-list structure.
+// `decompressor` is the aggregator-side codec instance (stateless decode).
+std::vector<Tensor> mean_updates(const std::vector<Bytes>& frames,
+                                 compression::Compressor* decompressor,
+                                 privacy::PrivacyMechanism* privacy);
+
+// Decode a single plain/compressed frame (used by relays and tests).
+std::vector<Tensor> decode_update(const Bytes& frame,
+                                  compression::Compressor* decompressor);
+
+// Robust aggregation rules over individual client updates (coordinate-wise).
+// Unlike the mean, these see each contribution, so they exclude privacy
+// frames (which are only meaningful in aggregate). `trim` is the fraction
+// clipped from EACH tail for the trimmed mean.
+enum class AggregationRule { Mean, Median, TrimmedMean };
+AggregationRule parse_aggregation_rule(const std::string& name);
+std::vector<Tensor> robust_combine(const std::vector<Bytes>& frames,
+                                   compression::Compressor* decompressor,
+                                   AggregationRule rule, double trim = 0.1);
+
+// Pack/unpack a tensor list without plugins (global-payload broadcast).
+Bytes pack_tensors(const std::vector<Tensor>& ts);
+std::vector<Tensor> unpack_tensors(const Bytes& b);
+
+}  // namespace of::core

@@ -1,0 +1,162 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "config/registry.hpp"
+
+namespace of::core {
+
+std::string to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::Trainer: return "trainer";
+    case NodeRole::Aggregator: return "aggregator";
+    case NodeRole::Relay: return "relay";
+  }
+  return "?";
+}
+
+int Topology::num_trainers() const {
+  int n = 0;
+  for (const auto& node : nodes)
+    if (node.role == NodeRole::Trainer) ++n;
+  return n;
+}
+
+std::vector<int> Topology::trainer_ids() const {
+  std::vector<int> out;
+  for (const auto& node : nodes)
+    if (node.role == NodeRole::Trainer) out.push_back(node.id);
+  return out;
+}
+
+std::vector<int> Topology::group_members(int group) const {
+  std::vector<int> out;
+  for (const auto& node : nodes)
+    if (node.group == group) out.push_back(node.id);
+  return out;
+}
+
+int Topology::group_leader(int group) const {
+  for (const auto& node : nodes)
+    if (node.group == group && node.role == NodeRole::Aggregator) return node.id;
+  return -1;
+}
+
+bool Topology::has_edge(int a, int b) const {
+  for (const auto& [x, y] : edges)
+    if ((x == a && y == b) || (x == b && y == a)) return true;
+  return false;
+}
+
+void Topology::validate() const {
+  OF_CHECK_MSG(!nodes.empty(), "topology has no nodes");
+  for (int i = 0; i < size(); ++i)
+    OF_CHECK_MSG(nodes[static_cast<std::size_t>(i)].id == i,
+                 "node ids must be contiguous from 0");
+  for (const auto& [a, b] : edges) {
+    OF_CHECK_MSG(a >= 0 && a < size() && b >= 0 && b < size() && a != b,
+                 "edge (" << a << ", " << b << ") out of range");
+  }
+  OF_CHECK_MSG(num_trainers() >= 1, "topology needs at least one trainer");
+  // Exactly zero or one aggregator per group — a second one would fight
+  // over the group's rank-0 role.
+  for (int g = 0; g < num_groups; ++g) {
+    int aggs = 0;
+    for (const auto& n : nodes)
+      if (n.group == g && n.role == NodeRole::Aggregator) ++aggs;
+    OF_CHECK_MSG(aggs <= 1, "group " << g << " has " << aggs << " aggregators");
+  }
+  for (const auto& n : nodes)
+    OF_CHECK_MSG(n.role != NodeRole::Relay,
+                 "relay nodes are declared by the paper but not yet executable; "
+                 "model the relay as an aggregator of a hierarchical group instead");
+}
+
+Topology Topology::centralized(int num_clients) {
+  OF_CHECK_MSG(num_clients >= 1, "need at least one client");
+  Topology t;
+  t.kind = "centralized";
+  t.nodes.push_back({0, NodeRole::Aggregator, 0});
+  for (int i = 1; i <= num_clients; ++i) {
+    t.nodes.push_back({i, NodeRole::Trainer, 0});
+    t.edges.emplace_back(0, i);
+  }
+  return t;
+}
+
+Topology Topology::ring(int num_nodes) {
+  OF_CHECK_MSG(num_nodes >= 2, "a ring needs at least two nodes");
+  Topology t;
+  t.kind = "ring";
+  for (int i = 0; i < num_nodes; ++i) {
+    t.nodes.push_back({i, NodeRole::Trainer, 0});
+    t.edges.emplace_back(i, (i + 1) % num_nodes);
+  }
+  return t;
+}
+
+Topology Topology::hierarchical(int groups, int trainers_per_group) {
+  OF_CHECK_MSG(groups >= 1 && trainers_per_group >= 1, "bad hierarchical shape");
+  Topology t;
+  t.kind = "hierarchical";
+  t.num_groups = groups;
+  int id = 0;
+  std::vector<int> leaders;
+  for (int g = 0; g < groups; ++g) {
+    const int leader = id++;
+    t.nodes.push_back({leader, NodeRole::Aggregator, g});
+    leaders.push_back(leader);
+    for (int k = 0; k < trainers_per_group; ++k) {
+      const int trainer = id++;
+      t.nodes.push_back({trainer, NodeRole::Trainer, g});
+      t.edges.emplace_back(leader, trainer);
+    }
+  }
+  // Outer tier: leaders in a star rooted at the first leader.
+  for (std::size_t i = 1; i < leaders.size(); ++i)
+    t.edges.emplace_back(leaders[0], leaders[i]);
+  return t;
+}
+
+Topology Topology::from_config(const config::ConfigNode& cfg) {
+  const std::string target =
+      config::target_basename(cfg.get_or<std::string>("_target_", "CentralizedTopology"));
+  if (target == "CentralizedTopology")
+    return centralized(cfg.get_or<int>("num_clients", 4));
+  if (target == "RingTopology" || target == "DecentralizedTopology")
+    return ring(cfg.get_or<int>("num_nodes", cfg.get_or<int>("num_clients", 4)));
+  if (target == "HierarchicalTopology")
+    return hierarchical(cfg.get_or<int>("groups", 2), cfg.get_or<int>("group_size", 2));
+  if (target == "CustomTopology") {
+    Topology t;
+    t.kind = "custom";
+    const auto& nodes = cfg.at("nodes");
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& n = nodes.at(i);
+      TopoNode tn;
+      tn.id = n.get_or<int>("id", static_cast<int>(i));
+      const std::string role = n.get_or<std::string>("role", "trainer");
+      tn.role = role == "aggregator" ? NodeRole::Aggregator
+                : role == "relay"    ? NodeRole::Relay
+                                     : NodeRole::Trainer;
+      tn.group = n.get_or<int>("group", 0);
+      t.nodes.push_back(tn);
+      t.num_groups = std::max(t.num_groups, tn.group + 1);
+    }
+    if (cfg.has("edges")) {
+      const auto& edges = cfg.at("edges");
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto& e = edges.at(i);
+        OF_CHECK_MSG(e.is_list() && e.size() == 2, "edge must be a [a, b] pair");
+        t.edges.emplace_back(static_cast<int>(e.at(std::size_t{0}).as_int()),
+                             static_cast<int>(e.at(std::size_t{1}).as_int()));
+      }
+    }
+    t.validate();
+    return t;
+  }
+  OF_CHECK_MSG(false, "unknown topology target '" << target << "'");
+}
+
+}  // namespace of::core

@@ -1,0 +1,54 @@
+// Topology — the node graph and coordination pattern (paper §3.3, Fig. 1).
+//
+// A topology is a list of roles plus an edge set. Built-in templates:
+//   centralized   — one aggregator, N trainers, star edges
+//   ring          — N trainers on a cycle (decentralized)
+//   hierarchical  — G groups, each with a leader (aggregator) and
+//                   group_size trainers; leaders form the outer tier
+//   custom        — explicit nodes/edges from config (graph form)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/node.hpp"
+
+namespace of::core {
+
+enum class NodeRole { Trainer, Aggregator, Relay };
+
+std::string to_string(NodeRole role);
+
+struct TopoNode {
+  int id = 0;
+  NodeRole role = NodeRole::Trainer;
+  int group = 0;  // sub-cluster index (hierarchical); 0 otherwise
+};
+
+struct Topology {
+  std::string kind;  // "centralized" | "ring" | "hierarchical" | "custom"
+  std::vector<TopoNode> nodes;
+  std::vector<std::pair<int, int>> edges;  // undirected
+  int num_groups = 1;
+
+  int size() const noexcept { return static_cast<int>(nodes.size()); }
+  int num_trainers() const;
+  std::vector<int> trainer_ids() const;
+  std::vector<int> group_members(int group) const;
+  int group_leader(int group) const;  // aggregator of a group; -1 if none
+  bool has_edge(int a, int b) const;
+  // Sanity: ids contiguous, edges in range, roles consistent with kind.
+  void validate() const;
+
+  static Topology centralized(int num_clients);
+  static Topology ring(int num_nodes);
+  static Topology hierarchical(int groups, int trainers_per_group);
+  // Parse from a config node of one of the shapes:
+  //   {_target_: …CentralizedTopology, num_clients: 8}
+  //   {_target_: …RingTopology, num_nodes: 8}
+  //   {_target_: …HierarchicalTopology, groups: 2, group_size: 4}
+  //   {_target_: …CustomTopology, nodes: [...], edges: [[0,1], ...]}
+  static Topology from_config(const config::ConfigNode& cfg);
+};
+
+}  // namespace of::core

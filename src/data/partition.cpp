@@ -1,0 +1,153 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace of::data {
+namespace {
+
+void shuffle_indices(std::vector<std::size_t>& idx, Rng& rng) {
+  for (std::size_t i = idx.size(); i > 1; --i)
+    std::swap(idx[i - 1], idx[rng.next_below(i)]);
+}
+
+// Draw from Gamma(alpha, 1) via Marsaglia–Tsang (alpha>=1) with the
+// standard alpha<1 boost; enough fidelity for Dirichlet splitting.
+double gamma_sample(double alpha, Rng& rng) {
+  if (alpha < 1.0) {
+    const double u = std::max(rng.next_double(), 1e-12);
+    return gamma_sample(alpha + 1.0, rng) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-300)) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<double> dirichlet_sample(double alpha, std::size_t k, Rng& rng) {
+  std::vector<double> p(k);
+  double sum = 0.0;
+  for (auto& v : p) {
+    v = gamma_sample(alpha, rng);
+    sum += v;
+  }
+  if (sum <= 0.0) {  // pathological underflow: fall back to uniform
+    std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(k));
+    return p;
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+PartitionIndices iid_partition(std::size_t dataset_size, std::size_t num_clients,
+                               std::uint64_t seed) {
+  OF_CHECK_MSG(num_clients >= 1, "need at least one client");
+  OF_CHECK_MSG(dataset_size >= num_clients,
+               "dataset of " << dataset_size << " cannot cover " << num_clients << " clients");
+  std::vector<std::size_t> idx(dataset_size);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  shuffle_indices(idx, rng);
+  PartitionIndices parts(num_clients);
+  for (std::size_t i = 0; i < dataset_size; ++i) parts[i % num_clients].push_back(idx[i]);
+  return parts;
+}
+
+PartitionIndices dirichlet_partition(const std::vector<std::size_t>& labels,
+                                     std::size_t num_classes, std::size_t num_clients,
+                                     double alpha, std::uint64_t seed) {
+  OF_CHECK_MSG(num_clients >= 1, "need at least one client");
+  OF_CHECK_MSG(alpha > 0.0, "Dirichlet alpha must be positive, got " << alpha);
+  Rng rng(seed);
+  // Bucket sample indices per class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    OF_CHECK_MSG(labels[i] < num_classes, "label out of range");
+    by_class[labels[i]].push_back(i);
+  }
+  PartitionIndices parts(num_clients);
+  for (auto& cls : by_class) {
+    shuffle_indices(cls, rng);
+    const auto p = dirichlet_sample(alpha, num_clients, rng);
+    // Cumulative split of this class across clients.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      cum += p[k];
+      const std::size_t end = (k + 1 == num_clients)
+                                  ? cls.size()
+                                  : static_cast<std::size_t>(std::round(
+                                        cum * static_cast<double>(cls.size())));
+      for (std::size_t i = start; i < std::min(end, cls.size()); ++i)
+        parts[k].push_back(cls[i]);
+      start = std::min(end, cls.size());
+    }
+  }
+  // Guarantee every client has at least one sample (steal from the largest).
+  for (auto& part : parts) {
+    if (!part.empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    OF_CHECK_MSG(largest->size() > 1, "not enough data to cover all clients");
+    part.push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+PartitionIndices shard_partition(const std::vector<std::size_t>& labels,
+                                 std::size_t num_clients, std::size_t shards_per_client,
+                                 std::uint64_t seed) {
+  OF_CHECK_MSG(num_clients >= 1 && shards_per_client >= 1, "bad shard arguments");
+  const std::size_t num_shards = num_clients * shards_per_client;
+  OF_CHECK_MSG(labels.size() >= num_shards,
+               "dataset too small for " << num_shards << " shards");
+  // Sort indices by label, slice into contiguous shards, deal at random.
+  std::vector<std::size_t> idx(labels.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return labels[a] < labels[b]; });
+  std::vector<std::size_t> shard_order(num_shards);
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  Rng rng(seed);
+  shuffle_indices(shard_order, rng);
+  const std::size_t shard_size = labels.size() / num_shards;
+  PartitionIndices parts(num_clients);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t client = s / shards_per_client;
+    const std::size_t shard = shard_order[s];
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = (shard + 1 == num_shards) ? labels.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) parts[client].push_back(idx[i]);
+  }
+  return parts;
+}
+
+PartitionIndices make_partition(const std::string& scheme, const InMemoryDataset& ds,
+                                std::size_t num_clients, double param, std::uint64_t seed) {
+  if (scheme == "iid") return iid_partition(ds.size(), num_clients, seed);
+  if (scheme == "dirichlet")
+    return dirichlet_partition(ds.labels(), ds.num_classes(), num_clients, param, seed);
+  if (scheme == "shards")
+    return shard_partition(ds.labels(), num_clients,
+                           std::max<std::size_t>(1, static_cast<std::size_t>(param)), seed);
+  OF_CHECK_MSG(false, "unknown partition scheme '" << scheme << "'");
+}
+
+}  // namespace of::data

@@ -1,0 +1,36 @@
+// Client data partitioners. FL evaluations hinge on *how* data is split
+// across clients; the paper trains over skewed, unbalanced client islands.
+// We provide the three standard schemes:
+//   iid        — uniform random split
+//   dirichlet  — per-class proportions drawn from Dir(alpha); alpha→0 is
+//                extreme label skew, alpha→inf approaches IID
+//   shards     — sort-by-label, deal contiguous shards (McMahan et al.'s
+//                pathological non-IID split)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace of::data {
+
+using PartitionIndices = std::vector<std::vector<std::size_t>>;
+
+PartitionIndices iid_partition(std::size_t dataset_size, std::size_t num_clients,
+                               std::uint64_t seed);
+
+PartitionIndices dirichlet_partition(const std::vector<std::size_t>& labels,
+                                     std::size_t num_classes, std::size_t num_clients,
+                                     double alpha, std::uint64_t seed);
+
+PartitionIndices shard_partition(const std::vector<std::size_t>& labels,
+                                 std::size_t num_clients, std::size_t shards_per_client,
+                                 std::uint64_t seed);
+
+// Convenience dispatcher for config-driven selection:
+// scheme ∈ {"iid", "dirichlet", "shards"}.
+PartitionIndices make_partition(const std::string& scheme, const InMemoryDataset& ds,
+                                std::size_t num_clients, double param, std::uint64_t seed);
+
+}  // namespace of::data

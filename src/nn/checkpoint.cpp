@@ -1,0 +1,96 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace of::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x0FC4EC42u;  // "OF ChECk"
+constexpr std::uint32_t kVersion = 1;
+
+void append_string(Bytes& out, const std::string& s) {
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_string(const Bytes& in, std::size_t& off) {
+  const auto len = tensor::read_pod<std::uint32_t>(in, off);
+  OF_CHECK_MSG(off + len <= in.size(), "checkpoint string truncated");
+  std::string s(in.begin() + static_cast<std::ptrdiff_t>(off),
+                in.begin() + static_cast<std::ptrdiff_t>(off + len));
+  off += len;
+  return s;
+}
+
+}  // namespace
+
+Bytes save_checkpoint(Model& model) {
+  Bytes out;
+  tensor::append_pod<std::uint32_t>(out, kMagic);
+  tensor::append_pod<std::uint32_t>(out, kVersion);
+  const auto& params = model.parameters();
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto* p : params) {
+    append_string(out, p->name);
+    tensor::serialize_tensor(p->value, out);
+  }
+  const auto& buffers = model.buffers();
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(buffers.size()));
+  for (const auto* b : buffers) tensor::serialize_tensor(*b, out);
+  return out;
+}
+
+void load_checkpoint(Model& model, const Bytes& blob) {
+  std::size_t off = 0;
+  OF_CHECK_MSG(tensor::read_pod<std::uint32_t>(blob, off) == kMagic,
+               "not an OmniFed checkpoint");
+  OF_CHECK_MSG(tensor::read_pod<std::uint32_t>(blob, off) == kVersion,
+               "unsupported checkpoint version");
+  const auto param_count = tensor::read_pod<std::uint32_t>(blob, off);
+  const auto& params = model.parameters();
+  OF_CHECK_MSG(param_count == params.size(),
+               "checkpoint has " << param_count << " parameters, model has "
+                                 << params.size());
+  for (auto* p : params) {
+    const std::string name = read_string(blob, off);
+    OF_CHECK_MSG(name == p->name, "checkpoint parameter '" << name
+                                                           << "' does not match model's '"
+                                                           << p->name << '\'');
+    tensor::Tensor value = tensor::deserialize_tensor(blob, off);
+    OF_CHECK_MSG(value.same_shape(p->value), "checkpoint shape mismatch for " << name);
+    p->value = std::move(value);
+  }
+  const auto buffer_count = tensor::read_pod<std::uint32_t>(blob, off);
+  const auto& buffers = model.buffers();
+  OF_CHECK_MSG(buffer_count == buffers.size(), "checkpoint buffer count mismatch");
+  for (auto* b : buffers) {
+    tensor::Tensor value = tensor::deserialize_tensor(blob, off);
+    OF_CHECK_MSG(value.same_shape(*b), "checkpoint buffer shape mismatch");
+    *b = std::move(value);
+  }
+  OF_CHECK_MSG(off == blob.size(), "trailing bytes after checkpoint");
+}
+
+void save_checkpoint_file(Model& model, const std::string& path) {
+  const Bytes blob = save_checkpoint(model);
+  std::ofstream out(path, std::ios::binary);
+  OF_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  OF_CHECK_MSG(out.good(), "short write to '" << path << '\'');
+}
+
+void load_checkpoint_file(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  OF_CHECK_MSG(in.good(), "cannot open checkpoint '" << path << '\'');
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
+  OF_CHECK_MSG(in.good(), "short read from '" << path << '\'');
+  load_checkpoint(model, blob);
+}
+
+}  // namespace of::nn

@@ -1,0 +1,25 @@
+// Model checkpointing: serialize parameters + buffers (BatchNorm running
+// stats) to a self-describing byte blob or file, and restore them into a
+// same-architecture model. Used for warm starts, cross-process hand-off,
+// and the engine-level experiment hand-off a production FL deployment
+// needs between rounds of operation.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+#include "tensor/serialize.hpp"
+
+namespace of::nn {
+
+using tensor::Bytes;
+
+// Serialize parameter values and buffers (not gradients, not optimizer
+// state). The blob embeds names and shapes; load verifies both.
+Bytes save_checkpoint(Model& model);
+void load_checkpoint(Model& model, const Bytes& blob);
+
+void save_checkpoint_file(Model& model, const std::string& path);
+void load_checkpoint_file(Model& model, const std::string& path);
+
+}  // namespace of::nn

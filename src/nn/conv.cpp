@@ -1,0 +1,224 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace of::nn {
+
+// --- Conv2d -----------------------------------------------------------------
+
+Conv2d::Conv2d(ImageGeom in, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding, Rng& rng, std::string label)
+    : in_(in),
+      kernel_(kernel),
+      padding_(padding),
+      weight_(label + ".weight",
+              Tensor::randn({out_channels, in.channels * kernel * kernel}, rng, 0.0f,
+                            std::sqrt(2.0f / static_cast<float>(in.channels * kernel *
+                                                                kernel)))),
+      bias_(label + ".bias", Tensor::zeros({out_channels})) {
+  OF_CHECK_MSG(kernel_ >= 1 && kernel_ <= in_.height + 2 * padding_ &&
+                   kernel_ <= in_.width + 2 * padding_,
+               "kernel does not fit the padded input");
+  out_.channels = out_channels;
+  out_.height = in_.height + 2 * padding_ - kernel_ + 1;
+  out_.width = in_.width + 2 * padding_ - kernel_ + 1;
+}
+
+float Conv2d::in_at(const Tensor& x, std::size_t b, std::size_t c, std::ptrdiff_t i,
+                    std::ptrdiff_t j) const {
+  if (i < 0 || j < 0 || i >= static_cast<std::ptrdiff_t>(in_.height) ||
+      j >= static_cast<std::ptrdiff_t>(in_.width))
+    return 0.0f;  // zero padding
+  return x(b, (c * in_.height + static_cast<std::size_t>(i)) * in_.width +
+                  static_cast<std::size_t>(j));
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  OF_CHECK_MSG(x.ndim() == 2 && x.size(1) == in_.features(),
+               "Conv2d: input " << x.shape_string() << " vs expected features "
+                                << in_.features());
+  cached_input_ = x;
+  const std::size_t batch = x.size(0);
+  Tensor y({batch, out_.features()});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+      for (std::size_t oi = 0; oi < out_.height; ++oi) {
+        for (std::size_t oj = 0; oj < out_.width; ++oj) {
+          float acc = bias_.value[oc];
+          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
+            for (std::size_t ki = 0; ki < kernel_; ++ki) {
+              for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                const float w =
+                    weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+                acc += w * in_at(x, b, ic,
+                                 static_cast<std::ptrdiff_t>(oi + ki) -
+                                     static_cast<std::ptrdiff_t>(padding_),
+                                 static_cast<std::ptrdiff_t>(oj + kj) -
+                                     static_cast<std::ptrdiff_t>(padding_));
+              }
+            }
+          }
+          y(b, (oc * out_.height + oi) * out_.width + oj) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.size(0);
+  Tensor dx({batch, in_.features()});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+      for (std::size_t oi = 0; oi < out_.height; ++oi) {
+        for (std::size_t oj = 0; oj < out_.width; ++oj) {
+          const float g = grad_out(b, (oc * out_.height + oi) * out_.width + oj);
+          if (g == 0.0f) continue;
+          bias_.grad[oc] += g;
+          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
+            for (std::size_t ki = 0; ki < kernel_; ++ki) {
+              for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
+                                          static_cast<std::ptrdiff_t>(padding_);
+                const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+                                          static_cast<std::ptrdiff_t>(padding_);
+                const float xin = in_at(cached_input_, b, ic, ii, jj);
+                weight_.grad(oc, (ic * kernel_ + ki) * kernel_ + kj) += g * xin;
+                if (ii >= 0 && jj >= 0 && ii < static_cast<std::ptrdiff_t>(in_.height) &&
+                    jj < static_cast<std::ptrdiff_t>(in_.width)) {
+                  dx(b, (ic * in_.height + static_cast<std::size_t>(ii)) * in_.width +
+                            static_cast<std::size_t>(jj)) +=
+                      g * weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+// --- MaxPool2d ---------------------------------------------------------------
+
+MaxPool2d::MaxPool2d(ImageGeom in) : in_(in) {
+  OF_CHECK_MSG(in.height >= 2 && in.width >= 2, "input too small to pool");
+  out_.channels = in.channels;
+  out_.height = in.height / 2;
+  out_.width = in.width / 2;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  OF_CHECK_MSG(x.ndim() == 2 && x.size(1) == in_.features(),
+               "MaxPool2d: input " << x.shape_string() << " vs expected features "
+                                   << in_.features());
+  const std::size_t batch = x.size(0);
+  cached_batch_ = batch;
+  Tensor y({batch, out_.features()});
+  argmax_.assign(batch * out_.features(), 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < in_.channels; ++c) {
+      for (std::size_t oi = 0; oi < out_.height; ++oi) {
+        for (std::size_t oj = 0; oj < out_.width; ++oj) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              const std::size_t idx =
+                  (c * in_.height + 2 * oi + di) * in_.width + 2 * oj + dj;
+              if (x(b, idx) > best) {
+                best = x(b, idx);
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = (c * out_.height + oi) * out_.width + oj;
+          y(b, out_idx) = best;
+          argmax_[b * out_.features() + out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor dx({cached_batch_, in_.features()});
+  for (std::size_t b = 0; b < cached_batch_; ++b)
+    for (std::size_t o = 0; o < out_.features(); ++o)
+      dx(b, argmax_[b * out_.features() + o]) += grad_out(b, o);
+  return dx;
+}
+
+// --- LayerNorm -----------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::size_t features, float eps, std::string label)
+    : features_(features),
+      eps_(eps),
+      gamma_(label + ".gamma", Tensor::ones({features})),
+      beta_(label + ".beta", Tensor::zeros({features})) {}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  OF_CHECK_MSG(x.ndim() == 2 && x.size(1) == features_,
+               "LayerNorm: input " << x.shape_string() << " vs features " << features_);
+  const std::size_t batch = x.size(0);
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(batch, 0.0f);
+  for (std::size_t b = 0; b < batch; ++b) {
+    double mean = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) mean += x(b, j);
+    mean /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const double d = x(b, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(features_);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    cached_inv_std_[b] = inv_std;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float xh = (x(b, j) - static_cast<float>(mean)) * inv_std;
+      cached_xhat_(b, j) = xh;
+      y(b, j) = gamma_.value[j] * xh + beta_.value[j];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.size(0);
+  Tensor dx(grad_out.shape());
+  const float n = static_cast<float>(features_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float sum_dy_g = 0.0f, sum_dy_g_xh = 0.0f;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float dyg = grad_out(b, j) * gamma_.value[j];
+      sum_dy_g += dyg;
+      sum_dy_g_xh += dyg * cached_xhat_(b, j);
+      gamma_.grad[j] += grad_out(b, j) * cached_xhat_(b, j);
+      beta_.grad[j] += grad_out(b, j);
+    }
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float dyg = grad_out(b, j) * gamma_.value[j];
+      dx(b, j) = cached_inv_std_[b] / n *
+                 (n * dyg - sum_dy_g - cached_xhat_(b, j) * sum_dy_g_xh);
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace of::nn

@@ -1,0 +1,32 @@
+// Loss functions and classification metrics. Losses return both the scalar
+// loss and dL/dlogits so callers drive Module::backward directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace of::nn {
+
+using tensor::Tensor;
+
+struct LossGrad {
+  float loss = 0.0f;
+  Tensor grad;  // same shape as the network output
+};
+
+// Row-wise softmax of a (batch, classes) logits tensor.
+Tensor softmax(const Tensor& logits);
+
+// Mean cross-entropy over the batch with fused softmax backward:
+// grad = (softmax(logits) - onehot(labels)) / batch.
+LossGrad softmax_cross_entropy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+// Mean squared error: loss = mean((pred-target)^2), grad = 2(pred-target)/n.
+LossGrad mse_loss(const Tensor& pred, const Tensor& target);
+
+// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace of::nn

@@ -1,0 +1,109 @@
+// Optimizers (SGD/momentum, Adam, AdamW) and learning-rate schedulers.
+// These mirror the torch.optim configurations the paper's experiments use:
+// SGD with momentum + weight decay + multi-step LR decay for the vision
+// models, AdamW as DiLoCo's inner optimizer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace of::nn {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Parameter*> params, float lr);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  float lr() const noexcept { return lr_; }
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  const std::vector<Parameter*>& params() const noexcept { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+// SGD with (optionally Nesterov) momentum and L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f, bool nesterov = false);
+  void step() override;
+
+  // Expose momentum buffers: DGC's momentum-correction compressor and the
+  // Scaffold reset path need them.
+  std::vector<Tensor>& momentum_buffers() noexcept { return velocity_; }
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  bool nesterov_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f, bool decoupled = false);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  bool decoupled_;  // true = AdamW-style decoupled decay
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// AdamW = Adam with decoupled weight decay (Loshchilov & Hutter).
+class AdamW final : public Adam {
+ public:
+  AdamW(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+        float eps = 1e-8f, float weight_decay = 0.01f)
+      : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay, /*decoupled=*/true) {}
+};
+
+// --- LR schedulers ------------------------------------------------------------
+
+class LRScheduler {
+ public:
+  explicit LRScheduler(Optimizer& opt) : opt_(&opt), base_lr_(opt.lr()) {}
+  virtual ~LRScheduler() = default;
+  // Called once per completed epoch with the 0-based epoch index.
+  virtual void on_epoch(std::size_t epoch) = 0;
+
+ protected:
+  Optimizer* opt_;
+  float base_lr_;
+};
+
+// Multiply LR by `gamma` at each milestone epoch (paper's decay schedule,
+// e.g. ×0.1 at epochs 100/150/200 for ResNet18-CIFAR10).
+class MultiStepLR final : public LRScheduler {
+ public:
+  MultiStepLR(Optimizer& opt, std::vector<std::size_t> milestones, float gamma);
+  void on_epoch(std::size_t epoch) override;
+
+ private:
+  std::vector<std::size_t> milestones_;
+  float gamma_;
+};
+
+// Multiply LR by `gamma` every `step_size` epochs (MobileNetV3's schedule).
+class StepLR final : public LRScheduler {
+ public:
+  StepLR(Optimizer& opt, std::size_t step_size, float gamma);
+  void on_epoch(std::size_t epoch) override;
+
+ private:
+  std::size_t step_size_;
+  float gamma_;
+};
+
+}  // namespace of::nn

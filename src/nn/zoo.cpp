@@ -1,0 +1,148 @@
+#include "nn/zoo.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+
+namespace of::nn::zoo {
+namespace {
+
+// resnet18_mini: stem Linear+BN+ReLU, two width-preserving residual blocks,
+// linear head. ~31k scalars at input_dim=64, classes=10.
+Model build_resnet18_mini(std::size_t in, std::size_t classes, Rng& rng) {
+  constexpr std::size_t width = 80;
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Linear>(in, width, rng, "stem.fc");
+  body->emplace<BatchNorm1d>(width, 0.1f, 1e-5f, "stem.bn");
+  body->emplace<ReLU>();
+  body->emplace<ResidualBlock>(width, rng, "block1");
+  body->emplace<ResidualBlock>(width, rng, "block2");
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(width, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+// vgg11_mini: plain wide MLP — the biggest parameter count in the zoo,
+// mirroring VGG11 being the heaviest model in the paper's Table 3b.
+Model build_vgg11_mini(std::size_t in, std::size_t classes, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Linear>(in, 256, rng, "fc1");
+  body->emplace<ReLU>();
+  body->emplace<Linear>(256, 256, rng, "fc2");
+  body->emplace<ReLU>();
+  body->emplace<Linear>(256, 256, rng, "fc3");
+  body->emplace<ReLU>();
+  body->emplace<Linear>(256, 128, rng, "fc4");
+  body->emplace<ReLU>();
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(128, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+// alexnet_mini: two wide layers with dropout, mid-sized.
+Model build_alexnet_mini(std::size_t in, std::size_t classes, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Linear>(in, 192, rng, "fc1");
+  body->emplace<ReLU>();
+  body->emplace<Dropout>(0.25f, rng.next_u64());
+  body->emplace<Linear>(192, 160, rng, "fc2");
+  body->emplace<ReLU>();
+  body->emplace<Dropout>(0.25f, rng.next_u64());
+  body->emplace<Linear>(160, 128, rng, "fc3");
+  body->emplace<ReLU>();
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(128, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+// mobilenetv3_mini: narrow bottleneck stack with BN and HardSwish,
+// the smallest parameter count.
+Model build_mobilenetv3_mini(std::size_t in, std::size_t classes, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Linear>(in, 48, rng, "stem.fc");
+  body->emplace<BatchNorm1d>(48, 0.1f, 1e-5f, "stem.bn");
+  body->emplace<HardSwish>();
+  body->emplace<Linear>(48, 64, rng, "bneck1.fc");
+  body->emplace<BatchNorm1d>(64, 0.1f, 1e-5f, "bneck1.bn");
+  body->emplace<HardSwish>();
+  body->emplace<Linear>(64, 48, rng, "bneck2.fc");
+  body->emplace<BatchNorm1d>(48, 0.1f, 1e-5f, "bneck2.bn");
+  body->emplace<HardSwish>();
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(48, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+// cnn_mini: a genuinely convolutional stack (the paper's models are CNNs).
+// Interprets the input as a 1×H×W image with H = W = sqrt(dim). Slower per
+// sample than the MLP stand-ins — used by tests/examples, not the
+// wall-clock benches.
+Model build_cnn_mini(std::size_t in, std::size_t classes, Rng& rng) {
+  const auto side = static_cast<std::size_t>(std::llround(std::sqrt(
+      static_cast<double>(in))));
+  OF_CHECK_MSG(side * side == in && side >= 4,
+               "cnn_mini needs a square input dimension >= 16, got " << in);
+  ImageGeom g{1, side, side};
+  auto body = std::make_unique<Sequential>();
+  auto& c1 = body->emplace<Conv2d>(g, 8, 3, 1, rng, "conv1");
+  body->emplace<ReLU>();
+  auto& p1 = body->emplace<MaxPool2d>(c1.out_geom());
+  auto& c2 = body->emplace<Conv2d>(p1.out_geom(), 16, 3, 1, rng, "conv2");
+  body->emplace<ReLU>();
+  auto& p2 = body->emplace<MaxPool2d>(c2.out_geom());
+  const std::size_t flat = p2.out_geom().features();
+  body->emplace<LayerNorm>(flat, 1e-5f, "ln");
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(flat, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+// Tiny MLP for unit tests and the quickstart example.
+Model build_mlp_tiny(std::size_t in, std::size_t classes, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Linear>(in, 32, rng, "fc1");
+  body->emplace<ReLU>();
+  const std::size_t boundary = body->size();
+  auto& head = body->emplace<Linear>(32, classes, rng, "head.fc");
+  head.mark_head();
+  return Model(std::move(body), boundary);
+}
+
+}  // namespace
+
+Model make_model(const std::string& name, std::size_t input_dim, std::size_t num_classes,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  if (name == "resnet18_mini") m = build_resnet18_mini(input_dim, num_classes, rng);
+  else if (name == "vgg11_mini") m = build_vgg11_mini(input_dim, num_classes, rng);
+  else if (name == "alexnet_mini") m = build_alexnet_mini(input_dim, num_classes, rng);
+  else if (name == "mobilenetv3_mini") m = build_mobilenetv3_mini(input_dim, num_classes, rng);
+  else if (name == "mlp_tiny") m = build_mlp_tiny(input_dim, num_classes, rng);
+  else if (name == "cnn_mini") m = build_cnn_mini(input_dim, num_classes, rng);
+  else OF_CHECK_MSG(false, "unknown zoo model '" << name << "'");
+  m.set_maker([name, input_dim, num_classes, seed] {
+    return make_model(name, input_dim, num_classes, seed);
+  });
+  return m;
+}
+
+std::vector<std::string> model_names() {
+  return {"resnet18_mini", "vgg11_mini",      "alexnet_mini",
+          "mobilenetv3_mini", "mlp_tiny", "cnn_mini"};
+}
+
+ModelFactory make_factory(std::string name, std::size_t input_dim, std::size_t num_classes) {
+  return [name = std::move(name), input_dim, num_classes](std::uint64_t seed) {
+    return make_model(name, input_dim, num_classes, seed);
+  };
+}
+
+}  // namespace of::nn::zoo

@@ -1,0 +1,34 @@
+// Model zoo: miniature stand-ins for the paper's four evaluation
+// architectures (ResNet18, VGG11, AlexNet, MobileNetV3). See DESIGN.md §1
+// for the substitution rationale. Each preserves the architectural feature
+// the FL algorithms key on:
+//   resnet18_mini    — residual blocks + BatchNorm (FedBN has BN params to keep)
+//   vgg11_mini       — wide plain MLP, the largest parameter count
+//   alexnet_mini     — wide MLP with Dropout, second-largest
+//   mobilenetv3_mini — narrow bottleneck MLP with BN + HardSwish, smallest
+// Parameter-count ordering (VGG > Alex > Res > Mob) matches the ordering
+// the paper's Table 3b privacy-overhead measurements imply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace of::nn::zoo {
+
+// Construct a model by zoo name. `input_dim` is the feature dimension of
+// the (synthetic) dataset, `num_classes` the label count. The same seed
+// produces bit-identical initial weights — FL requires all participants to
+// start from a common model.
+Model make_model(const std::string& name, std::size_t input_dim, std::size_t num_classes,
+                 std::uint64_t seed);
+
+// All registered zoo names.
+std::vector<std::string> model_names();
+
+// A ready-made ModelFactory for the Engine/Registry.
+ModelFactory make_factory(std::string name, std::size_t input_dim, std::size_t num_classes);
+
+}  // namespace of::nn::zoo

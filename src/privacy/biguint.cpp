@@ -1,0 +1,433 @@
+#include "privacy/biguint.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace of::privacy {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v & 0xFFFFFFFFULL) limbs_.push_back(static_cast<std::uint32_t>(v));
+  else if (v >> 32) limbs_.push_back(0);
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_hex(const std::string& hex) {
+  BigUInt out;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else OF_CHECK_MSG(false, "bad hex digit '" << c << "'");
+    out = (out << 4) + BigUInt(static_cast<std::uint64_t>(digit));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_bytes_be(const std::vector<std::uint8_t>& bytes) {
+  BigUInt out;
+  for (std::uint8_t b : bytes) out = (out << 8) + BigUInt(static_cast<std::uint64_t>(b));
+  return out;
+}
+
+std::vector<std::uint8_t> BigUInt::to_bytes_be() const {
+  if (is_zero()) return {0};
+  std::vector<std::uint8_t> bytes;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint32_t limb = limbs_[i];
+    bytes.push_back(static_cast<std::uint8_t>(limb));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (bytes.size() > 1 && bytes.back() == 0) bytes.pop_back();
+  std::reverse(bytes.begin(), bytes.end());
+  return bytes;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 28; shift >= 0; shift -= 4)
+      out.push_back(digits[(*it >> shift) & 0xF]);
+  }
+  const auto nz = out.find_first_not_of('0');
+  return nz == std::string::npos ? "0" : out.substr(nz);
+}
+
+std::size_t BigUInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUInt::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigUInt::to_u64() const {
+  OF_CHECK_MSG(limbs_.size() <= 2, "BigUInt does not fit in 64 bits");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 1) v = limbs_[0];
+  if (limbs_.size() == 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUInt::compare(const BigUInt& o) const noexcept {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& o) const {
+  BigUInt out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator-(const BigUInt& o) const {
+  OF_CHECK_MSG(*this >= o, "BigUInt subtraction underflow");
+  BigUInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= static_cast<std::int64_t>(o.limbs_[i]);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& o) const {
+  if (is_zero() || o.is_zero()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift)
+      out.limbs_[i + limb_shift + 1] |=
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(limbs_[i]) >> (32 - bit_shift));
+  }
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUInt();
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      out.limbs_[i] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift));
+  }
+  out.trim();
+  return out;
+}
+
+// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+void BigUInt::divmod(const BigUInt& u_in, const BigUInt& v_in, BigUInt& q, BigUInt& r) {
+  OF_CHECK_MSG(!v_in.is_zero(), "BigUInt division by zero");
+  if (u_in < v_in) {
+    q = BigUInt();
+    r = u_in;
+    return;
+  }
+  if (v_in.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const std::uint64_t d = v_in.limbs_[0];
+    q.limbs_.assign(u_in.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = u_in.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | u_in.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    r = BigUInt(rem);
+    return;
+  }
+
+  // D1: normalize so the top limb of v has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = v_in.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigUInt u = u_in << static_cast<std::size_t>(shift);
+  const BigUInt v = v_in << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two limbs.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // D4: multiply-subtract.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t =
+          static_cast<std::int64_t>(un[i + j]) - static_cast<std::int64_t>(p & 0xFFFFFFFFu) -
+          borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t =
+        static_cast<std::int64_t>(un[j + n]) - static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+    // D5/D6: if we subtracted too much, add one v back.
+    if (t < 0) {
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+  // D8: denormalize the remainder.
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+}
+
+BigUInt BigUInt::operator/(const BigUInt& o) const {
+  BigUInt q, r;
+  divmod(*this, o, q, r);
+  return q;
+}
+
+BigUInt BigUInt::operator%(const BigUInt& o) const {
+  BigUInt q, r;
+  divmod(*this, o, q, r);
+  return r;
+}
+
+BigUInt BigUInt::mulmod(const BigUInt& a, const BigUInt& b, const BigUInt& m) {
+  return (a * b) % m;
+}
+
+BigUInt BigUInt::powmod(const BigUInt& base, const BigUInt& exp, const BigUInt& m) {
+  OF_CHECK_MSG(!m.is_zero(), "powmod modulus is zero");
+  if (m == BigUInt(1)) return BigUInt();
+  BigUInt result(1);
+  BigUInt b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, b, m);
+    b = mulmod(b, b, m);
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigUInt BigUInt::lcm(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt();
+  return (a / gcd(a, b)) * b;
+}
+
+BigUInt BigUInt::invmod(const BigUInt& a, const BigUInt& m) {
+  // Iterative extended Euclid tracking coefficients as (value, negative?).
+  OF_CHECK_MSG(!m.is_zero(), "invmod modulus is zero");
+  BigUInt r0 = m, r1 = a % m;
+  // t coefficients: t0 = 0, t1 = 1 with sign flags.
+  BigUInt t0, t1(1);
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    BigUInt q, r2;
+    divmod(r0, r1, q, r2);
+    // t2 = t0 - q*t1 (signed arithmetic over the flag pairs).
+    const BigUInt qt1 = q * t1;
+    BigUInt t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // same sign: t0 - q*t1 flips when |q*t1| > |t0|
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        neg2 = neg0;
+      } else {
+        t2 = qt1 - t0;
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0 + qt1;
+      neg2 = neg0;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    neg0 = neg1;
+    t1 = t2;
+    neg1 = neg2;
+  }
+  OF_CHECK_MSG(r0 == BigUInt(1), "invmod: operand is not invertible modulo m");
+  if (neg0) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigUInt BigUInt::random_bits(std::size_t bits, tensor::Rng& rng) {
+  BigUInt out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next_u64());
+  const std::size_t extra = limbs * 32 - bits;
+  if (extra) out.limbs_.back() &= 0xFFFFFFFFu >> extra;
+  out.trim();
+  return out;
+}
+
+BigUInt BigUInt::random_below(const BigUInt& bound, tensor::Rng& rng) {
+  OF_CHECK_MSG(!bound.is_zero(), "random_below(0)");
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigUInt candidate = random_bits(bits, rng);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigUInt::is_probable_prime(const BigUInt& n, tensor::Rng& rng, int rounds) {
+  if (n < BigUInt(2)) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                          29ULL, 31ULL, 37ULL}) {
+    const BigUInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // n-1 = d * 2^s with d odd.
+  const BigUInt n1 = n - BigUInt(1);
+  BigUInt d = n1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const BigUInt a = BigUInt(2) + random_below(n - BigUInt(4), rng);
+    BigUInt x = powmod(a, d, n);
+    if (x == BigUInt(1) || x == n1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigUInt BigUInt::random_prime(std::size_t bits, tensor::Rng& rng) {
+  OF_CHECK_MSG(bits >= 8, "prime size too small");
+  for (;;) {
+    BigUInt candidate = random_bits(bits, rng);
+    // Force exact bit length and oddness.
+    if (!candidate.bit(bits - 1)) candidate = candidate + (BigUInt(1) << (bits - 1));
+    if (!candidate.is_odd()) candidate = candidate + BigUInt(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace of::privacy

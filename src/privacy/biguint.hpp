@@ -1,0 +1,79 @@
+// BigUInt — arbitrary-precision unsigned integers, built from scratch for
+// the privacy substrate (Paillier homomorphic encryption, Diffie–Hellman).
+//
+// Representation: little-endian vector of 32-bit limbs, normalized (no
+// leading zero limbs; zero = empty vector). Multiplication is schoolbook,
+// division is Knuth Algorithm D, modular exponentiation is square-and-
+// multiply — fast enough for the 256–1024-bit operands the privacy
+// mechanisms use, with correctness property-tested against native 128-bit
+// arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace of::privacy {
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  BigUInt(std::uint64_t v);  // NOLINT(google-explicit-constructor) — numeric literal ergonomics
+
+  static BigUInt from_hex(const std::string& hex);
+  static BigUInt from_bytes_be(const std::vector<std::uint8_t>& bytes);
+  std::vector<std::uint8_t> to_bytes_be() const;
+  std::string to_hex() const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  std::size_t bit_length() const noexcept;
+  bool bit(std::size_t i) const noexcept;
+  std::uint64_t to_u64() const;  // throws if it does not fit
+
+  // --- comparison ------------------------------------------------------------
+  int compare(const BigUInt& o) const noexcept;
+  bool operator==(const BigUInt& o) const noexcept { return compare(o) == 0; }
+  bool operator!=(const BigUInt& o) const noexcept { return compare(o) != 0; }
+  bool operator<(const BigUInt& o) const noexcept { return compare(o) < 0; }
+  bool operator<=(const BigUInt& o) const noexcept { return compare(o) <= 0; }
+  bool operator>(const BigUInt& o) const noexcept { return compare(o) > 0; }
+  bool operator>=(const BigUInt& o) const noexcept { return compare(o) >= 0; }
+
+  // --- arithmetic --------------------------------------------------------------
+  BigUInt operator+(const BigUInt& o) const;
+  BigUInt operator-(const BigUInt& o) const;  // requires *this >= o
+  BigUInt operator*(const BigUInt& o) const;
+  BigUInt operator<<(std::size_t bits) const;
+  BigUInt operator>>(std::size_t bits) const;
+
+  // Quotient and remainder in one pass (Knuth D).
+  static void divmod(const BigUInt& u, const BigUInt& v, BigUInt& q, BigUInt& r);
+  BigUInt operator/(const BigUInt& o) const;
+  BigUInt operator%(const BigUInt& o) const;
+
+  // --- modular ------------------------------------------------------------------
+  static BigUInt mulmod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+  static BigUInt powmod(const BigUInt& base, const BigUInt& exp, const BigUInt& m);
+  static BigUInt gcd(BigUInt a, BigUInt b);
+  static BigUInt lcm(const BigUInt& a, const BigUInt& b);
+  // Modular inverse via extended Euclid; throws if gcd(a, m) != 1.
+  static BigUInt invmod(const BigUInt& a, const BigUInt& m);
+
+  // --- randomness & primality -------------------------------------------------
+  // Uniform in [0, bound) by rejection sampling.
+  static BigUInt random_below(const BigUInt& bound, tensor::Rng& rng);
+  static BigUInt random_bits(std::size_t bits, tensor::Rng& rng);
+  // Miller–Rabin with `rounds` random bases (error < 4^-rounds).
+  static bool is_probable_prime(const BigUInt& n, tensor::Rng& rng, int rounds = 24);
+  // Random prime with exactly `bits` bits (top bit set).
+  static BigUInt random_prime(std::size_t bits, tensor::Rng& rng);
+
+ private:
+  void trim() noexcept;
+  std::vector<std::uint32_t> limbs_;  // little-endian, base 2^32
+};
+
+}  // namespace of::privacy

@@ -1,0 +1,32 @@
+#include "privacy/dh.hpp"
+
+namespace of::privacy {
+
+DhGroup DhGroup::default_group() {
+  // Deterministically generated 384-bit prime (fixed seed → every process
+  // derives the identical group). Memoized: Miller–Rabin prime search is
+  // not free.
+  static const DhGroup cached = [] {
+    DhGroup g;
+    tensor::Rng rng(0x0D1FF1E8E11AULL);
+    g.p = BigUInt::random_prime(384, rng);
+    g.g = BigUInt(2);
+    return g;
+  }();
+  return cached;
+}
+
+DhParty::DhParty(const DhGroup& group, tensor::Rng& rng) : group_(group) {
+  // Private exponent in [2, p-2].
+  private_ = BigUInt(2) + BigUInt::random_below(group_.p - BigUInt(4), rng);
+  public_ = BigUInt::powmod(group_.g, private_, group_.p);
+}
+
+std::vector<std::uint8_t> DhParty::shared_key(const BigUInt& peer_public) const {
+  const BigUInt shared = BigUInt::powmod(peer_public, private_, group_.p);
+  const auto bytes = shared.to_bytes_be();
+  const Digest d = Sha256::hash(bytes.data(), bytes.size());
+  return std::vector<std::uint8_t>(d.begin(), d.end());
+}
+
+}  // namespace of::privacy

@@ -1,0 +1,37 @@
+// Diffie–Hellman key agreement over a multiplicative prime group, on the
+// from-scratch BigUInt. The paper's secure-aggregation prototype derives
+// pair seeds deterministically from HMAC and names DH key exchange as the
+// planned replacement — this is that replacement.
+#pragma once
+
+#include <vector>
+
+#include "privacy/biguint.hpp"
+#include "privacy/sha256.hpp"
+
+namespace of::privacy {
+
+struct DhGroup {
+  BigUInt p;  // safe-ish prime modulus
+  BigUInt g;  // generator
+
+  // RFC 3526 group 5 truncated is overkill here; we ship a fixed 512-bit
+  // prime generated offline (value checked prime in tests) plus g = 2.
+  static DhGroup default_group();
+};
+
+class DhParty {
+ public:
+  DhParty(const DhGroup& group, tensor::Rng& rng);
+
+  const BigUInt& public_value() const noexcept { return public_; }
+  // shared = peer_public ^ private mod p, hashed to a 32-byte key.
+  std::vector<std::uint8_t> shared_key(const BigUInt& peer_public) const;
+
+ private:
+  DhGroup group_;
+  BigUInt private_;
+  BigUInt public_;
+};
+
+}  // namespace of::privacy

@@ -1,0 +1,59 @@
+#include "privacy/dp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace of::privacy {
+
+double gaussian_sigma(const DpParams& p) {
+  OF_CHECK_MSG(p.epsilon > 0.0 && p.delta > 0.0 && p.delta < 1.0, "bad DP parameters");
+  return p.clip_norm * std::sqrt(2.0 * std::log(1.25 / p.delta)) / p.epsilon;
+}
+
+void CompositionAccountant::record_release(double epsilon, double delta) {
+  sum_epsilon_ += epsilon;
+  sum_delta_ += delta;
+  per_release_epsilon_ = epsilon;
+  ++k_;
+}
+
+double CompositionAccountant::advanced_epsilon(double delta_slack) const {
+  OF_CHECK_MSG(delta_slack > 0.0 && delta_slack < 1.0, "bad delta slack");
+  if (k_ == 0) return 0.0;
+  const double e = per_release_epsilon_;
+  const double k = static_cast<double>(k_);
+  return e * std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) +
+         k * e * (std::exp(e) - 1.0);
+}
+
+DifferentialPrivacy::DifferentialPrivacy(DpParams params, std::uint64_t seed)
+    : params_(params), sigma_(gaussian_sigma(params)), rng_(seed) {}
+
+Bytes DifferentialPrivacy::protect(const Tensor& update, int client_id, int num_clients) {
+  (void)client_id;
+  (void)num_clients;
+  Tensor noised = update;
+  // Clip to sensitivity C...
+  const float norm = noised.l2_norm();
+  if (norm > params_.clip_norm)
+    noised.scale_(static_cast<float>(params_.clip_norm) / norm);
+  // ...then add calibrated Gaussian noise.
+  for (std::size_t i = 0; i < noised.numel(); ++i)
+    noised[i] += static_cast<float>(rng_.gaussian(0.0, sigma_));
+  accountant_.record_release(params_.epsilon, params_.delta);
+  return tensor::serialize_tensor(noised);
+}
+
+Tensor DifferentialPrivacy::aggregate_sum(const std::vector<Bytes>& contributions,
+                                          std::size_t numel) {
+  Tensor sum({numel});
+  for (const auto& c : contributions) {
+    Tensor t = tensor::deserialize_tensor(c);
+    OF_CHECK_MSG(t.numel() == numel, "DP contribution size mismatch");
+    sum.add_(t.reshape({numel}));
+  }
+  return sum;
+}
+
+}  // namespace of::privacy

@@ -1,0 +1,32 @@
+// Homomorphic-encryption privacy mechanism: Paillier-encrypted updates,
+// aggregated by ciphertext multiplication. In this simulation the
+// aggregator holds the key pair (threshold/key-splitting is out of scope,
+// DESIGN.md §6); the compute cost of encrypt/add/decrypt is the real
+// big-integer cost that Table 3b measures.
+#pragma once
+
+#include "privacy/mechanism.hpp"
+#include "privacy/paillier.hpp"
+
+namespace of::privacy {
+
+class HomomorphicEncryption final : public PrivacyMechanism {
+ public:
+  // `keygen_seed` must match across the cohort (everyone derives the same
+  // keypair); `enc_seed` differs per client so encryption randomness never
+  // repeats across nodes. enc_seed == 0 derives it from keygen_seed.
+  HomomorphicEncryption(std::size_t key_bits, std::size_t max_summands,
+                        std::uint64_t keygen_seed, std::uint64_t enc_seed = 0);
+
+  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
+  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  std::string name() const override { return "HomomorphicEncryption"; }
+
+  const PaillierVector& vector_scheme() const noexcept { return vec_; }
+
+ private:
+  PaillierVector vec_;
+  Rng rng_;
+};
+
+}  // namespace of::privacy

@@ -1,0 +1,108 @@
+#include "privacy/mechanism.hpp"
+
+#include "common/check.hpp"
+#include "privacy/dp.hpp"
+#include "privacy/he.hpp"
+#include "privacy/secure_agg.hpp"
+
+namespace of::privacy {
+
+Bytes NoPrivacy::protect(const Tensor& update, int client_id, int num_clients) {
+  (void)client_id;
+  (void)num_clients;
+  return tensor::serialize_tensor(update);
+}
+
+Tensor NoPrivacy::aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) {
+  Tensor sum({numel});
+  for (const auto& c : contributions) {
+    Tensor t = tensor::deserialize_tensor(c);
+    OF_CHECK_MSG(t.numel() == numel, "contribution size mismatch");
+    sum.add_(t.reshape({numel}));
+  }
+  return sum;
+}
+
+namespace {
+PaillierVector make_paillier_vector(std::size_t key_bits, std::size_t max_summands,
+                                    std::uint64_t seed) {
+  // keygen gets its own derived stream so protect() randomness does not
+  // depend on how long key generation searched for primes.
+  Rng rng(seed);
+  return PaillierVector(key_bits, max_summands, rng);
+}
+}  // namespace
+
+HomomorphicEncryption::HomomorphicEncryption(std::size_t key_bits,
+                                             std::size_t max_summands,
+                                             std::uint64_t keygen_seed,
+                                             std::uint64_t enc_seed)
+    : vec_(make_paillier_vector(key_bits, max_summands, keygen_seed)),
+      rng_(enc_seed ? enc_seed : (keygen_seed ^ 0x9E3779B97F4A7C15ULL)) {}
+
+Bytes HomomorphicEncryption::protect(const Tensor& update, int client_id, int num_clients) {
+  (void)client_id;
+  (void)num_clients;
+  return vec_.encrypt(update, rng_);
+}
+
+Tensor HomomorphicEncryption::aggregate_sum(const std::vector<Bytes>& contributions,
+                                            std::size_t numel) {
+  std::vector<BigUInt> acc;
+  for (const auto& c : contributions) vec_.accumulate(acc, c);
+  return vec_.decrypt_sum(acc, numel, contributions.size());
+}
+
+namespace {
+
+void register_builtin(PrivacyRegistry& reg) {
+  reg.add("NoPrivacy",
+          [](const config::ConfigNode&) { return std::make_unique<NoPrivacy>(); });
+  reg.add("DifferentialPrivacy",
+          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
+            DpParams p;
+            p.epsilon = cfg.get_or<double>("epsilon", 1.0);
+            p.delta = cfg.get_or<double>("delta", 1e-5);
+            p.clip_norm = cfg.get_or<double>("clip_norm", 1.0);
+            const auto seed =
+                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0xD9));
+            return std::make_unique<DifferentialPrivacy>(p, seed);
+          });
+  reg.add("HomomorphicEncryption",
+          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
+            const auto bits = cfg.get_or<std::size_t>("key_bits", 256);
+            const auto summands = cfg.get_or<std::size_t>("max_summands", 1024);
+            const auto seed =
+                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0x4E));
+            const auto enc_seed =
+                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("enc_seed", 0));
+            return std::make_unique<HomomorphicEncryption>(bits, summands, seed, enc_seed);
+          });
+  reg.add("SecureAggregation",
+          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
+            const auto key = cfg.get_or<std::string>("group_key", "omnifed-sa");
+            const auto clients = cfg.get<int>("num_clients");
+            const auto mode = cfg.get_or<std::string>("key_agreement", "hmac");
+            const SaKeyAgreement agreement = (mode == "diffie_hellman")
+                                                 ? SaKeyAgreement::DiffieHellman
+                                                 : SaKeyAgreement::Hmac;
+            return std::make_unique<SecureAggregation>(key, clients, agreement);
+          });
+}
+
+}  // namespace
+
+PrivacyRegistry& privacy_registry() {
+  static PrivacyRegistry reg = [] {
+    PrivacyRegistry r;
+    register_builtin(r);
+    return r;
+  }();
+  return reg;
+}
+
+std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg) {
+  return privacy_registry().create(cfg);
+}
+
+}  // namespace of::privacy

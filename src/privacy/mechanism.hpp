@@ -1,0 +1,53 @@
+// PrivacyMechanism — pluggable privacy layer (paper §3.4.4).
+//
+// A mechanism transforms a client's model update into a wire payload
+// (protect) and turns the collected payloads back into the *sum* of the
+// plain updates (aggregate_sum). This two-sided shape covers all three of
+// the paper's mechanisms:
+//   DP — noise added client-side, aggregation is plain summation
+//   HE — ciphertexts cross the wire, aggregation is homomorphic
+//   SA — pairwise masks cancel only in the sum
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "config/node.hpp"
+#include "config/registry.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::privacy {
+
+using tensor::Bytes;
+using tensor::Rng;
+using tensor::Tensor;
+
+class PrivacyMechanism {
+ public:
+  PrivacyMechanism() = default;
+  PrivacyMechanism(const PrivacyMechanism&) = delete;
+  PrivacyMechanism& operator=(const PrivacyMechanism&) = delete;
+  virtual ~PrivacyMechanism() = default;
+
+  // Client-side: wrap the update for transmission.
+  virtual Bytes protect(const Tensor& update, int client_id, int num_clients) = 0;
+  // Aggregator-side: recover the SUM of the protected updates.
+  virtual Tensor aggregate_sum(const std::vector<Bytes>& contributions,
+                               std::size_t numel) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Pass-through (serialize/sum), the default.
+class NoPrivacy final : public PrivacyMechanism {
+ public:
+  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
+  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  std::string name() const override { return "NoPrivacy"; }
+};
+
+using PrivacyRegistry = config::Registry<PrivacyMechanism>;
+PrivacyRegistry& privacy_registry();
+std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg);
+
+}  // namespace of::privacy

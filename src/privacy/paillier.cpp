@@ -1,0 +1,148 @@
+#include "privacy/paillier.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace of::privacy {
+
+Paillier Paillier::keygen(std::size_t key_bits, tensor::Rng& rng) {
+  OF_CHECK_MSG(key_bits >= 64, "Paillier key must be at least 64 bits");
+  Paillier out;
+  const std::size_t half = key_bits / 2;
+  BigUInt p = BigUInt::random_prime(half, rng);
+  BigUInt q = BigUInt::random_prime(half, rng);
+  while (q == p) q = BigUInt::random_prime(half, rng);
+  out.pub_.n = p * q;
+  out.pub_.n_squared = out.pub_.n * out.pub_.n;
+  const BigUInt p1 = p - BigUInt(1);
+  const BigUInt q1 = q - BigUInt(1);
+  out.priv_.lambda = BigUInt::lcm(p1, q1);
+  // With g = n+1: L(g^λ mod n²) = λ mod n, so μ = λ⁻¹ mod n.
+  out.priv_.mu = BigUInt::invmod(out.priv_.lambda % out.pub_.n, out.pub_.n);
+  return out;
+}
+
+BigUInt Paillier::encrypt(const BigUInt& plaintext, tensor::Rng& rng) const {
+  OF_CHECK_MSG(plaintext < pub_.n, "Paillier plaintext exceeds modulus");
+  // g^m = (1+n)^m = 1 + m·n (mod n²) — the standard g=n+1 shortcut.
+  const BigUInt gm = (BigUInt(1) + plaintext * pub_.n) % pub_.n_squared;
+  BigUInt r = BigUInt(1) + BigUInt::random_below(pub_.n - BigUInt(1), rng);
+  while (!(BigUInt::gcd(r, pub_.n) == BigUInt(1)))
+    r = BigUInt(1) + BigUInt::random_below(pub_.n - BigUInt(1), rng);
+  const BigUInt rn = BigUInt::powmod(r, pub_.n, pub_.n_squared);
+  return BigUInt::mulmod(gm, rn, pub_.n_squared);
+}
+
+BigUInt Paillier::decrypt(const BigUInt& ciphertext) const {
+  const BigUInt x = BigUInt::powmod(ciphertext, priv_.lambda, pub_.n_squared);
+  const BigUInt l = (x - BigUInt(1)) / pub_.n;
+  return BigUInt::mulmod(l, priv_.mu, pub_.n);
+}
+
+BigUInt Paillier::add(const BigUInt& c1, const BigUInt& c2) const {
+  return BigUInt::mulmod(c1, c2, pub_.n_squared);
+}
+
+BigUInt Paillier::scale(const BigUInt& c, const BigUInt& k) const {
+  return BigUInt::powmod(c, k, pub_.n_squared);
+}
+
+// --- packed vector encryption ---------------------------------------------------
+
+namespace {
+// Field layout: 62-bit fields; encoded value = round(v·2^16) + 2^37, values
+// clipped to |v| ≤ 2^20. A field then stays below 2^38, and sums of up to
+// 2^24 contributions stay below 2^62 — no carry into the next field.
+constexpr std::size_t kFieldBits = 62;
+constexpr std::uint64_t kOffset = 1ULL << 37;
+constexpr double kClip = static_cast<double>(1ULL << 20);
+}  // namespace
+
+PaillierVector::PaillierVector(std::size_t key_bits, std::size_t max_summands,
+                               tensor::Rng& rng)
+    : scheme_(Paillier::keygen(key_bits, rng)), field_bits_(kFieldBits) {
+  OF_CHECK_MSG(max_summands < (1ULL << 24),
+               "packed encoding supports at most 2^24 summands");
+  const std::size_t n_bits = scheme_.pub().n.bit_length();
+  OF_CHECK_MSG(n_bits > field_bits_ + 2,
+               "Paillier key too small for 62-bit packed fields");
+  pack_ = (n_bits - 2) / field_bits_;
+  offset_ = kOffset;
+}
+
+tensor::Bytes PaillierVector::encrypt(const tensor::Tensor& t, tensor::Rng& rng) const {
+  const std::size_t numel = t.numel();
+  const std::size_t num_ct = (numel + pack_ - 1) / pack_;
+  tensor::Bytes out;
+  tensor::append_pod<std::uint64_t>(out, num_ct);
+  for (std::size_t c = 0; c < num_ct; ++c) {
+    BigUInt plain;
+    for (std::size_t j = 0; j < pack_; ++j) {
+      const std::size_t i = c * pack_ + j;
+      std::uint64_t field = offset_;  // padding lanes encode value 0
+      if (i < numel) {
+        double v = static_cast<double>(t[i]);
+        v = std::min(kClip, std::max(-kClip, v));
+        const std::int64_t scaled = static_cast<std::int64_t>(std::llround(v * kScale));
+        field = static_cast<std::uint64_t>(scaled + static_cast<std::int64_t>(offset_));
+      }
+      plain = plain + (BigUInt(field) << (j * field_bits_));
+    }
+    const BigUInt ct = scheme_.encrypt(plain, rng);
+    const auto bytes = ct.to_bytes_be();
+    tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(bytes.size()));
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::vector<BigUInt> PaillierVector::parse(const tensor::Bytes& b) const {
+  std::size_t off = 0;
+  const auto num_ct = tensor::read_pod<std::uint64_t>(b, off);
+  std::vector<BigUInt> cts;
+  cts.reserve(num_ct);
+  for (std::uint64_t c = 0; c < num_ct; ++c) {
+    const auto len = tensor::read_pod<std::uint32_t>(b, off);
+    OF_CHECK_MSG(off + len <= b.size(), "ciphertext frame truncated");
+    std::vector<std::uint8_t> bytes(b.begin() + static_cast<std::ptrdiff_t>(off),
+                                    b.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    cts.push_back(BigUInt::from_bytes_be(bytes));
+  }
+  OF_CHECK_MSG(off == b.size(), "trailing bytes after ciphertext vector");
+  return cts;
+}
+
+void PaillierVector::accumulate(std::vector<BigUInt>& acc,
+                                const tensor::Bytes& contribution) const {
+  const auto cts = parse(contribution);
+  if (acc.empty()) {
+    acc = cts;
+    return;
+  }
+  OF_CHECK_MSG(acc.size() == cts.size(), "ciphertext count mismatch in accumulate");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = scheme_.add(acc[i], cts[i]);
+}
+
+tensor::Tensor PaillierVector::decrypt_sum(const std::vector<BigUInt>& acc,
+                                           std::size_t numel,
+                                           std::size_t num_summands) const {
+  tensor::Tensor out({numel});
+  const BigUInt mask = (BigUInt(1) << field_bits_) - BigUInt(1);
+  for (std::size_t c = 0; c < acc.size(); ++c) {
+    const BigUInt plain = scheme_.decrypt(acc[c]);
+    for (std::size_t j = 0; j < pack_; ++j) {
+      const std::size_t i = c * pack_ + j;
+      if (i >= numel) break;
+      const std::uint64_t field = ((plain >> (j * field_bits_)) % (mask + BigUInt(1))).to_u64();
+      const std::int64_t centered =
+          static_cast<std::int64_t>(field) -
+          static_cast<std::int64_t>(num_summands * offset_);
+      out[i] = static_cast<float>(static_cast<double>(centered) / kScale);
+    }
+  }
+  return out;
+}
+
+}  // namespace of::privacy

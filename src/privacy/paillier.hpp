@@ -1,0 +1,83 @@
+// Paillier additively homomorphic cryptosystem (the TenSEAL/SEAL stand-in).
+//
+//   KeyGen:  n = p·q (random primes), g = n+1, λ = lcm(p−1, q−1),
+//            μ = λ⁻¹ mod n
+//   Enc(m):  c = (1 + m·n) · rⁿ  mod n²      (g = n+1 makes g^m linear)
+//   Add:     Enc(a) ⊙ Enc(b) = Enc(a)·Enc(b) mod n²  = Enc(a+b)
+//   Dec(c):  m = L(c^λ mod n²) · μ mod n,  L(x) = (x−1)/n
+//
+// Tensors are encoded fixed-point with an offset so negatives survive the
+// unsigned plaintext space, and several values are *packed* per ciphertext
+// (standard batching) — each value gets a fixed-width field wide enough to
+// absorb the sum over all clients without carry-over between fields.
+#pragma once
+
+#include <vector>
+
+#include "privacy/biguint.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::privacy {
+
+struct PaillierPublicKey {
+  BigUInt n;
+  BigUInt n_squared;
+};
+
+struct PaillierPrivateKey {
+  BigUInt lambda;
+  BigUInt mu;
+};
+
+class Paillier {
+ public:
+  // Generate a keypair with an n of ~`key_bits` bits. 256 is the default
+  // used by tests/benches — cryptographically toy-sized but algorithmically
+  // faithful (see DESIGN.md §6).
+  static Paillier keygen(std::size_t key_bits, tensor::Rng& rng);
+
+  const PaillierPublicKey& pub() const noexcept { return pub_; }
+
+  BigUInt encrypt(const BigUInt& plaintext, tensor::Rng& rng) const;
+  BigUInt decrypt(const BigUInt& ciphertext) const;
+  // Homomorphic addition of plaintexts.
+  BigUInt add(const BigUInt& c1, const BigUInt& c2) const;
+  // Homomorphic multiplication by a plaintext scalar.
+  BigUInt scale(const BigUInt& c, const BigUInt& k) const;
+
+ private:
+  PaillierPublicKey pub_;
+  PaillierPrivateKey priv_;
+};
+
+// Fixed-point packed tensor encryption on top of the scalar scheme.
+class PaillierVector {
+ public:
+  // `max_summands`: how many ciphertext additions the encoding must survive
+  // without fields overflowing into their neighbours.
+  PaillierVector(std::size_t key_bits, std::size_t max_summands, tensor::Rng& rng);
+
+  // Encrypt a float tensor into a list of ciphertexts (serialized bytes).
+  tensor::Bytes encrypt(const tensor::Tensor& t, tensor::Rng& rng) const;
+  // Homomorphically add a serialized ciphertext vector into an accumulator.
+  void accumulate(std::vector<BigUInt>& acc, const tensor::Bytes& contribution) const;
+  // Decrypt an accumulated sum of `num_summands` contributions.
+  tensor::Tensor decrypt_sum(const std::vector<BigUInt>& acc, std::size_t numel,
+                             std::size_t num_summands) const;
+  // Parse a serialized contribution into ciphertexts (for tests).
+  std::vector<BigUInt> parse(const tensor::Bytes& b) const;
+
+  std::size_t values_per_ciphertext() const noexcept { return pack_; }
+  const Paillier& scheme() const noexcept { return scheme_; }
+
+  static constexpr double kScale = 65536.0;  // 16 fractional bits
+
+ private:
+  Paillier scheme_;
+  std::size_t field_bits_;
+  std::size_t pack_;
+  std::uint64_t offset_;  // per-value offset making plaintext fields non-negative
+};
+
+}  // namespace of::privacy

@@ -1,0 +1,106 @@
+#include "privacy/secure_agg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "privacy/dh.hpp"
+
+namespace of::privacy {
+
+SecureAggregation::SecureAggregation(std::string group_key, int num_clients,
+                                     SaKeyAgreement agreement, std::uint64_t dh_seed)
+    : group_key_(std::move(group_key)), num_clients_(num_clients), agreement_(agreement) {
+  OF_CHECK_MSG(num_clients_ >= 1, "secure aggregation needs at least one client");
+  if (agreement_ == SaKeyAgreement::DiffieHellman) {
+    // Run the pairwise exchanges once up front. Each client gets a key
+    // pair; pair (i, j) derives the same shared key from each side (the
+    // symmetry is property-tested in tests/test_privacy.cpp).
+    const DhGroup group = DhGroup::default_group();
+    tensor::Rng rng(dh_seed);
+    std::vector<DhParty> parties;
+    parties.reserve(static_cast<std::size_t>(num_clients_));
+    for (int i = 0; i < num_clients_; ++i) parties.emplace_back(group, rng);
+    dh_shared_.resize(static_cast<std::size_t>(num_clients_) *
+                      static_cast<std::size_t>(num_clients_));
+    for (int i = 0; i < num_clients_; ++i) {
+      for (int j = i + 1; j < num_clients_; ++j) {
+        auto key = parties[static_cast<std::size_t>(i)].shared_key(
+            parties[static_cast<std::size_t>(j)].public_value());
+        dh_shared_[pair_index(i, j)] = key;
+      }
+    }
+  }
+}
+
+std::size_t SecureAggregation::pair_index(int i, int j) const {
+  const int lo = std::min(i, j), hi = std::max(i, j);
+  return static_cast<std::size_t>(lo) * static_cast<std::size_t>(num_clients_) +
+         static_cast<std::size_t>(hi);
+}
+
+std::vector<std::uint8_t> SecureAggregation::pair_seed(int i, int j) const {
+  if (agreement_ == SaKeyAgreement::DiffieHellman) {
+    const auto& key = dh_shared_[pair_index(i, j)];
+    OF_CHECK_MSG(!key.empty(), "no DH shared key for pair");
+    return key;
+  }
+  // Paper's prototype: deterministic shared key from HMAC over the sorted
+  // pair identity.
+  const int lo = std::min(i, j), hi = std::max(i, j);
+  const std::string msg = "pair:" + std::to_string(lo) + ":" + std::to_string(hi);
+  const Digest d = hmac_sha256(group_key_, msg);
+  return std::vector<std::uint8_t>(d.begin(), d.end());
+}
+
+Bytes SecureAggregation::protect(const Tensor& update, int client_id, int num_clients) {
+  OF_CHECK_MSG(num_clients == num_clients_,
+               "cohort size mismatch: configured " << num_clients_ << ", got "
+                                                   << num_clients);
+  OF_CHECK_MSG(client_id >= 0 && client_id < num_clients_, "bad client id");
+  const std::size_t n = update.numel();
+  // Fixed-point lift.
+  std::vector<std::uint64_t> masked(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto scaled =
+        static_cast<std::int64_t>(std::llround(static_cast<double>(update[k]) * kScale));
+    masked[k] = static_cast<std::uint64_t>(scaled);
+  }
+  // Apply pairwise masks: + for peers above us, − for peers below.
+  std::vector<std::uint64_t> mask(n);
+  for (int peer = 0; peer < num_clients_; ++peer) {
+    if (peer == client_id) continue;
+    HmacDrbg prg(pair_seed(client_id, peer));
+    prg.generate(reinterpret_cast<std::uint8_t*>(mask.data()), n * sizeof(std::uint64_t));
+    if (client_id < peer) {
+      for (std::size_t k = 0; k < n; ++k) masked[k] += mask[k];  // wrapping
+    } else {
+      for (std::size_t k = 0; k < n; ++k) masked[k] -= mask[k];  // wrapping
+    }
+  }
+  Bytes out;
+  tensor::append_pod<std::uint64_t>(out, n);
+  tensor::append_span(out, masked.data(), n);
+  return out;
+}
+
+Tensor SecureAggregation::aggregate_sum(const std::vector<Bytes>& contributions,
+                                        std::size_t numel) {
+  std::vector<std::uint64_t> acc(numel, 0);
+  for (const auto& c : contributions) {
+    std::size_t off = 0;
+    const auto n = tensor::read_pod<std::uint64_t>(c, off);
+    OF_CHECK_MSG(n == numel, "secure-agg contribution size mismatch");
+    std::vector<std::uint64_t> vals(numel);
+    tensor::read_span(c, off, vals.data(), numel);
+    for (std::size_t k = 0; k < numel; ++k) acc[k] += vals[k];  // wrapping sum
+  }
+  // Masks have cancelled; centered lift back to signed fixed-point.
+  Tensor out({numel});
+  for (std::size_t k = 0; k < numel; ++k) {
+    const auto v = static_cast<std::int64_t>(acc[k]);  // two's-complement lift
+    out[k] = static_cast<float>(static_cast<double>(v) / kScale);
+  }
+  return out;
+}
+
+}  // namespace of::privacy

@@ -1,0 +1,48 @@
+// Secure aggregation with pairwise masks (Bonawitz et al., CCS'17 shape).
+//
+// Updates are lifted into fixed-point uint64 arithmetic; every ordered pair
+// (i, j) shares a seed from which an HMAC-SHA256 counter-mode PRG expands a
+// mask vector. Client i adds the mask for pairs (i, j>i) and subtracts it
+// for pairs (j<i, i); wrap-around uint64 addition makes the masks cancel
+// *exactly* in the aggregate while individual payloads are
+// indistinguishable from noise.
+//
+// Seed agreement supports both of the paper's variants:
+//   Hmac          — deterministic HMAC(global_key, "i:j") (the paper's prototype)
+//   DiffieHellman — per-pair DH key exchange over a MODP group (the
+//                   paper's stated future-work upgrade)
+#pragma once
+
+#include "privacy/mechanism.hpp"
+#include "privacy/sha256.hpp"
+
+namespace of::privacy {
+
+enum class SaKeyAgreement { Hmac, DiffieHellman };
+
+class SecureAggregation final : public PrivacyMechanism {
+ public:
+  SecureAggregation(std::string group_key, int num_clients,
+                    SaKeyAgreement agreement = SaKeyAgreement::Hmac,
+                    std::uint64_t dh_seed = 0x0F5EEDDEADULL);
+
+  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
+  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  std::string name() const override { return "SecureAggregation"; }
+
+  // The seed both ends of pair (i, j) derive; exposed for tests.
+  std::vector<std::uint8_t> pair_seed(int i, int j) const;
+
+  static constexpr double kScale = 65536.0;  // 16 fractional bits
+
+ private:
+  std::string group_key_;
+  int num_clients_;
+  SaKeyAgreement agreement_;
+  // DH mode: per-client key pairs, generated once for the cohort.
+  std::vector<std::vector<std::uint8_t>> dh_shared_;  // flattened pair matrix
+
+  std::size_t pair_index(int i, int j) const;
+};
+
+}  // namespace of::privacy

@@ -1,0 +1,55 @@
+// SHA-256 and HMAC-SHA256, implemented from scratch (FIPS 180-4 /
+// RFC 2104). These back the secure-aggregation mask PRG exactly the way
+// the paper prototypes SA with Python's hashlib/hmac.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace of::privacy {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::string& s);
+  Digest finish();
+
+  static Digest hash(const std::uint8_t* data, std::size_t len);
+  static Digest hash(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+Digest hmac_sha256(const std::vector<std::uint8_t>& key, const std::uint8_t* msg,
+                   std::size_t len);
+Digest hmac_sha256(const std::string& key, const std::string& msg);
+
+// Deterministic byte stream: HMAC(key, counter) in counter mode. Used as
+// the secure-aggregation mask generator.
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(std::vector<std::uint8_t> key);
+  // Fill `out` with the next `len` pseudorandom bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+
+ private:
+  std::vector<std::uint8_t> key_;
+  std::uint64_t counter_ = 0;
+  Digest block_{};
+  std::size_t block_used_ = 32;  // force first refill
+};
+
+std::string digest_hex(const Digest& d);
+
+}  // namespace of::privacy

@@ -1,0 +1,87 @@
+#include "streaming/broker.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace of::streaming {
+
+void Broker::create_topic(const std::string& topic, std::size_t partitions) {
+  OF_CHECK_MSG(partitions >= 1, "topic needs at least one partition");
+  std::lock_guard<std::mutex> lock(mu_);
+  OF_CHECK_MSG(!topics_.count(topic), "topic '" << topic << "' already exists");
+  topics_[topic].partitions.resize(partitions);
+}
+
+bool Broker::has_topic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+std::size_t Broker::partition_count(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  OF_CHECK_MSG(it != topics_.end(), "unknown topic '" << topic << "'");
+  return it->second.partitions.size();
+}
+
+std::uint64_t Broker::produce(const std::string& topic, std::size_t partition,
+                              std::uint64_t key, Bytes payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  OF_CHECK_MSG(it != topics_.end(), "unknown topic '" << topic << "'");
+  OF_CHECK_MSG(partition < it->second.partitions.size(),
+               "partition " << partition << " out of range for '" << topic << "'");
+  auto& log = it->second.partitions[partition].log;
+  Record r;
+  r.offset = log.size();
+  r.key = key;
+  r.payload = std::move(payload);
+  log.push_back(std::move(r));
+  const std::uint64_t offset = log.back().offset;
+  lock.unlock();
+  cv_.notify_all();
+  return offset;
+}
+
+std::uint64_t Broker::produce_keyed(const std::string& topic, std::uint64_t key,
+                                    Bytes payload) {
+  const std::size_t parts = partition_count(topic);
+  return produce(topic, static_cast<std::size_t>(key % parts), key, std::move(payload));
+}
+
+std::vector<Record> Broker::fetch(const std::string& topic, std::size_t partition,
+                                  std::uint64_t offset, std::size_t max_records,
+                                  double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  OF_CHECK_MSG(it != topics_.end(), "unknown topic '" << topic << "'");
+  OF_CHECK_MSG(partition < it->second.partitions.size(),
+               "partition " << partition << " out of range for '" << topic << "'");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  auto& log = it->second.partitions[partition].log;
+  cv_.wait_until(lock, deadline, [&] { return log.size() > offset; });
+  std::vector<Record> out;
+  for (std::size_t i = offset; i < log.size() && out.size() < max_records; ++i)
+    out.push_back(log[i]);
+  return out;
+}
+
+std::uint64_t Broker::end_offset(const std::string& topic, std::size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  OF_CHECK_MSG(it != topics_.end(), "unknown topic '" << topic << "'");
+  return it->second.partitions.at(partition).log.size();
+}
+
+std::vector<std::size_t> assign_partitions(std::size_t partitions, std::size_t members,
+                                           std::size_t member_index) {
+  OF_CHECK_MSG(members >= 1 && member_index < members, "bad consumer-group membership");
+  std::vector<std::size_t> mine;
+  for (std::size_t p = member_index; p < partitions; p += members) mine.push_back(p);
+  return mine;
+}
+
+}  // namespace of::streaming

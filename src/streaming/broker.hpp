@@ -1,0 +1,76 @@
+// In-process message broker — the Apache Kafka stand-in (paper §3.4.3).
+//
+// Topics are split into partitions; each partition is an append-only,
+// offset-addressed log. Ordering is guaranteed *within* a partition (the
+// exact guarantee Kafka gives and the paper relies on). Producers append
+// (optionally routed by key hash); consumers fetch by explicit offset, and
+// ConsumerGroup assigns each partition to exactly one member.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+
+namespace of::streaming {
+
+using tensor::Bytes;
+
+struct Record {
+  std::uint64_t offset = 0;
+  std::uint64_t key = 0;
+  Bytes payload;
+};
+
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  void create_topic(const std::string& topic, std::size_t partitions);
+  bool has_topic(const std::string& topic) const;
+  std::size_t partition_count(const std::string& topic) const;
+
+  // Append to an explicit partition; returns the record's offset.
+  std::uint64_t produce(const std::string& topic, std::size_t partition, std::uint64_t key,
+                        Bytes payload);
+  // Key-routed append (partition = key % partitions), Kafka's default.
+  std::uint64_t produce_keyed(const std::string& topic, std::uint64_t key, Bytes payload);
+
+  // Fetch up to `max_records` starting at `offset`. Blocks up to
+  // `timeout_seconds` for at least one record; returns what is available.
+  std::vector<Record> fetch(const std::string& topic, std::size_t partition,
+                            std::uint64_t offset, std::size_t max_records,
+                            double timeout_seconds);
+
+  // Current end offset (next offset to be written) of a partition.
+  std::uint64_t end_offset(const std::string& topic, std::size_t partition) const;
+
+ private:
+  struct Partition {
+    std::vector<Record> log;
+  };
+  struct Topic {
+    std::vector<Partition> partitions;
+  };
+
+  const Topic& topic_ref(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, Topic> topics_;
+};
+
+// Static round-robin partition assignment for a consumer group: partition p
+// goes to member p % members. Each partition has exactly one owner
+// (Kafka's within-group exclusivity).
+std::vector<std::size_t> assign_partitions(std::size_t partitions, std::size_t members,
+                                           std::size_t member_index);
+
+}  // namespace of::streaming

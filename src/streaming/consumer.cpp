@@ -1,0 +1,106 @@
+#include "streaming/consumer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace of::streaming {
+
+Consumer::Consumer(Broker& broker, std::string topic, std::size_t group_size,
+                   std::size_t member_index)
+    : broker_(&broker), topic_(std::move(topic)) {
+  assigned_ = assign_partitions(broker_->partition_count(topic_), group_size, member_index);
+  offsets_.assign(assigned_.size(), 0);
+}
+
+std::vector<Record> Consumer::poll(std::size_t max_records, double timeout_seconds) {
+  std::vector<Record> out;
+  if (assigned_.empty()) return out;
+  // Round-robin over assigned partitions; the blocking wait budget goes to
+  // the first dry partition only, subsequent ones are non-blocking.
+  double budget = timeout_seconds;
+  for (std::size_t i = 0; i < assigned_.size() && out.size() < max_records; ++i) {
+    auto recs = broker_->fetch(topic_, assigned_[i], offsets_[i], max_records - out.size(),
+                               budget);
+    budget = 0.0;
+    if (!recs.empty()) {
+      offsets_[i] = recs.back().offset + 1;
+      consumed_ += recs.size();
+      for (auto& r : recs) out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::uint64_t Consumer::lag() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < assigned_.size(); ++i) {
+    const std::uint64_t end = broker_->end_offset(topic_, assigned_[i]);
+    total += end - std::min<std::uint64_t>(end, offsets_[i]);
+  }
+  return total;
+}
+
+Bytes encode_sample(const tensor::Tensor& row, std::size_t label) {
+  Bytes out;
+  tensor::append_pod<std::uint64_t>(out, label);
+  tensor::serialize_tensor(row, out);
+  return out;
+}
+
+void decode_sample(const Bytes& payload, tensor::Tensor& row, std::size_t& label) {
+  std::size_t off = 0;
+  label = static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(payload, off));
+  row = tensor::deserialize_tensor(payload, off);
+  OF_CHECK_MSG(off == payload.size(), "trailing bytes in sample record");
+}
+
+StreamingDataLoader::StreamingDataLoader(Broker& broker, std::string topic,
+                                         std::size_t group_size, std::size_t member_index,
+                                         std::size_t batch_size)
+    : consumer_(broker, std::move(topic), group_size, member_index),
+      batch_size_(batch_size),
+      start_(std::chrono::steady_clock::now()) {
+  OF_CHECK_MSG(batch_size_ >= 1, "batch size must be >= 1");
+}
+
+data::Batch StreamingDataLoader::next_batch(double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds));
+  std::vector<tensor::Tensor> rows;
+  std::vector<std::size_t> labels;
+  while (rows.size() < batch_size_) {
+    const double remaining = std::chrono::duration<double>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+    if (remaining <= 0.0) break;
+    auto recs = consumer_.poll(batch_size_ - rows.size(), remaining);
+    if (recs.empty()) continue;
+    for (const auto& r : recs) {
+      tensor::Tensor row;
+      std::size_t label = 0;
+      decode_sample(r.payload, row, label);
+      rows.push_back(std::move(row));
+      labels.push_back(label);
+    }
+  }
+  data::Batch b;
+  if (rows.empty()) return b;
+  const std::size_t dim = rows.front().numel();
+  b.x = tensor::Tensor({rows.size(), dim});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    OF_CHECK_MSG(rows[i].numel() == dim, "inconsistent sample dimensions in stream");
+    std::copy_n(rows[i].data(), dim, b.x.data() + i * dim);
+  }
+  b.y = std::move(labels);
+  return b;
+}
+
+double StreamingDataLoader::effective_rate() const {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  return elapsed > 0.0 ? static_cast<double>(consumer_.records_consumed()) / elapsed : 0.0;
+}
+
+}  // namespace of::streaming

@@ -1,0 +1,61 @@
+// Consumer + streaming dataloader.
+//
+// Consumer polls its assigned partitions (consumer-group round-robin) and
+// tracks per-partition offsets. StreamingDataLoader is the paper's "custom
+// PyTorch dataloader that subscribes to a topic": records carry serialized
+// (features, label) samples, poll() hands back training batches, and the
+// loader measures the effective stream-rate the client actually achieves.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "streaming/broker.hpp"
+
+namespace of::streaming {
+
+class Consumer {
+ public:
+  Consumer(Broker& broker, std::string topic, std::size_t group_size,
+           std::size_t member_index);
+
+  // Poll up to `max_records` across assigned partitions.
+  std::vector<Record> poll(std::size_t max_records, double timeout_seconds);
+
+  const std::vector<std::size_t>& assigned_partitions() const noexcept { return assigned_; }
+  std::uint64_t records_consumed() const noexcept { return consumed_; }
+  // Records lagging behind the log end across assigned partitions.
+  std::uint64_t lag() const;
+
+ private:
+  Broker* broker_;
+  std::string topic_;
+  std::vector<std::size_t> assigned_;
+  std::vector<std::uint64_t> offsets_;  // parallel to assigned_
+  std::uint64_t consumed_ = 0;
+};
+
+// Serialize one (row, label) training sample into a record payload.
+Bytes encode_sample(const tensor::Tensor& row, std::size_t label);
+void decode_sample(const Bytes& payload, tensor::Tensor& row, std::size_t& label);
+
+class StreamingDataLoader {
+ public:
+  StreamingDataLoader(Broker& broker, std::string topic, std::size_t group_size,
+                      std::size_t member_index, std::size_t batch_size);
+
+  // Block up to `timeout_seconds` building one batch (may return a short
+  // batch, or nullopt-like empty batch if the stream stays dry).
+  data::Batch next_batch(double timeout_seconds);
+
+  std::uint64_t samples_received() const noexcept { return consumer_.records_consumed(); }
+  double effective_rate() const;
+
+ private:
+  Consumer consumer_;
+  std::size_t batch_size_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace of::streaming

@@ -1,0 +1,58 @@
+#include "streaming/producer.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace of::streaming {
+
+RateLimitedProducer::RateLimitedProducer(Broker& broker, std::string topic,
+                                         double target_rate, double burst_capacity)
+    : broker_(&broker),
+      topic_(std::move(topic)),
+      target_rate_(target_rate),
+      burst_capacity_(burst_capacity),
+      tokens_(burst_capacity),
+      last_refill_(std::chrono::steady_clock::now()),
+      start_(last_refill_) {
+  OF_CHECK_MSG(target_rate >= 0.0, "target rate must be non-negative");
+  OF_CHECK_MSG(burst_capacity >= 1.0, "burst capacity must be at least 1 token");
+}
+
+void RateLimitedProducer::take_token() {
+  if (target_rate_ <= 0.0) return;  // unthrottled
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    tokens_ += std::chrono::duration<double>(now - last_refill_).count() * target_rate_;
+    if (tokens_ > burst_capacity_) tokens_ = burst_capacity_;
+    last_refill_ = now;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return;
+    }
+    // Sleep until roughly one token is available.
+    const double wait = (1.0 - tokens_) / target_rate_;
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+  }
+}
+
+std::uint64_t RateLimitedProducer::produce(std::size_t partition, std::uint64_t key,
+                                           Bytes payload) {
+  take_token();
+  ++produced_;
+  return broker_->produce(topic_, partition, key, std::move(payload));
+}
+
+std::uint64_t RateLimitedProducer::produce_keyed(std::uint64_t key, Bytes payload) {
+  take_token();
+  ++produced_;
+  return broker_->produce_keyed(topic_, key, std::move(payload));
+}
+
+double RateLimitedProducer::effective_rate() const {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  return elapsed > 0.0 ? static_cast<double>(produced_) / elapsed : 0.0;
+}
+
+}  // namespace of::streaming

@@ -1,0 +1,52 @@
+#include "tensor/serialize.hpp"
+
+namespace of::tensor {
+
+void serialize_tensor(const Tensor& t, Bytes& out) {
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.ndim()));
+  for (std::size_t d : t.shape()) append_pod<std::uint64_t>(out, d);
+  append_span(out, t.data(), t.numel());
+}
+
+Bytes serialize_tensor(const Tensor& t) {
+  Bytes out;
+  out.reserve(4 + 8 * t.ndim() + 4 * t.numel());
+  serialize_tensor(t, out);
+  return out;
+}
+
+Tensor deserialize_tensor(const Bytes& buf, std::size_t& offset) {
+  const auto ndim = read_pod<std::uint32_t>(buf, offset);
+  OF_CHECK_MSG(ndim <= 8, "implausible tensor rank " << ndim << " — corrupt frame?");
+  Shape shape(ndim);
+  for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(buf, offset));
+  Tensor t(shape);
+  read_span(buf, offset, t.data(), t.numel());
+  return t;
+}
+
+Tensor deserialize_tensor(const Bytes& buf) {
+  std::size_t offset = 0;
+  Tensor t = deserialize_tensor(buf, offset);
+  OF_CHECK_MSG(offset == buf.size(), "trailing bytes after tensor frame");
+  return t;
+}
+
+Bytes serialize_tensors(const std::vector<Tensor>& ts) {
+  Bytes out;
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(ts.size()));
+  for (const auto& t : ts) serialize_tensor(t, out);
+  return out;
+}
+
+std::vector<Tensor> deserialize_tensors(const Bytes& buf) {
+  std::size_t offset = 0;
+  const auto count = read_pod<std::uint32_t>(buf, offset);
+  std::vector<Tensor> ts;
+  ts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) ts.push_back(deserialize_tensor(buf, offset));
+  OF_CHECK_MSG(offset == buf.size(), "trailing bytes after tensor list frame");
+  return ts;
+}
+
+}  // namespace of::tensor

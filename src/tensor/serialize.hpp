@@ -1,0 +1,64 @@
+// Binary (de)serialization of tensors — the wire format shared by all
+// communicators. Little-endian, self-describing:
+//   u32 ndim | u64 dims[ndim] | f32 data[numel]
+// plus helpers for packing arbitrary PODs into byte buffers, used by the
+// compression payload formats and the TCP wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace of::tensor {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- low-level POD packing --------------------------------------------------
+template <typename T>
+void append_pod(Bytes& buf, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const Bytes& buf, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OF_CHECK_MSG(offset + sizeof(T) <= buf.size(),
+               "buffer underrun reading " << sizeof(T) << " bytes at offset " << offset);
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+template <typename T>
+void append_span(Bytes& buf, const T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data);
+  buf.insert(buf.end(), p, p + count * sizeof(T));
+}
+
+template <typename T>
+void read_span(const Bytes& buf, std::size_t& offset, T* out, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OF_CHECK_MSG(offset + count * sizeof(T) <= buf.size(),
+               "buffer underrun reading span of " << count << " elements at offset " << offset);
+  std::memcpy(out, buf.data() + offset, count * sizeof(T));
+  offset += count * sizeof(T);
+}
+
+// --- tensor wire format ------------------------------------------------------
+void serialize_tensor(const Tensor& t, Bytes& out);
+Bytes serialize_tensor(const Tensor& t);
+Tensor deserialize_tensor(const Bytes& buf, std::size_t& offset);
+Tensor deserialize_tensor(const Bytes& buf);
+
+// Multiple tensors in one frame (a model's parameter list).
+Bytes serialize_tensors(const std::vector<Tensor>& ts);
+std::vector<Tensor> deserialize_tensors(const Bytes& buf);
+
+}  // namespace of::tensor

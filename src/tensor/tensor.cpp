@@ -1,0 +1,304 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace of::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  OF_CHECK_MSG(data_.size() == shape_numel(shape_),
+               "data size " << data_.size() << " does not match shape " << shape_string());
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.gaussian(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::arange(std::size_t n) {
+  Tensor t({n});
+  std::iota(t.data_.begin(), t.data_.end(), 0.0f);
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> v) {
+  const std::size_t n = v.size();
+  return Tensor({n}, std::move(v));
+}
+
+std::size_t Tensor::size(std::size_t dim) const {
+  OF_CHECK_MSG(dim < shape_.size(), "dim " << dim << " out of range for " << shape_string());
+  return shape_[dim];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  OF_CHECK_MSG(shape_numel(new_shape) == numel(),
+               "cannot reshape " << shape_string() << " (" << numel() << " elems)");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+float& Tensor::at(std::size_t i) {
+  OF_CHECK_MSG(i < data_.size(), "index " << i << " out of range (" << data_.size() << ")");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  OF_CHECK_MSG(i < data_.size(), "index " << i << " out of range (" << data_.size() << ")");
+  return data_[i];
+}
+
+Tensor& Tensor::fill_(float v) noexcept {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+#define OF_TENSOR_BINARY_INPLACE(name, op)                                         \
+  Tensor& Tensor::name(const Tensor& other) {                                      \
+    OF_CHECK_MSG(same_shape(other), "shape mismatch " << shape_string() << " vs "  \
+                                                      << other.shape_string());    \
+    const float* o = other.data_.data();                                           \
+    float* d = data_.data();                                                       \
+    const std::size_t n = data_.size();                                            \
+    for (std::size_t i = 0; i < n; ++i) d[i] op o[i];                              \
+    return *this;                                                                  \
+  }
+
+OF_TENSOR_BINARY_INPLACE(add_, +=)
+OF_TENSOR_BINARY_INPLACE(sub_, -=)
+OF_TENSOR_BINARY_INPLACE(mul_, *=)
+OF_TENSOR_BINARY_INPLACE(div_, /=)
+#undef OF_TENSOR_BINARY_INPLACE
+
+Tensor& Tensor::add_scalar_(float v) noexcept {
+  for (auto& d : data_) d += v;
+  return *this;
+}
+
+Tensor& Tensor::scale_(float v) noexcept {
+  for (auto& d : data_) d *= v;
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  OF_CHECK_MSG(same_shape(other),
+               "shape mismatch " << shape_string() << " vs " << other.shape_string());
+  const float* o = other.data_.data();
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) noexcept {
+  for (auto& d : data_) d = std::min(hi, std::max(lo, d));
+  return *this;
+}
+
+Tensor& Tensor::abs_() noexcept {
+  for (auto& d : data_) d = std::fabs(d);
+  return *this;
+}
+
+Tensor& Tensor::sign_() noexcept {
+  for (auto& d : data_) d = (d > 0.0f) ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& rhs) const { Tensor t = *this; t.add_(rhs); return t; }
+Tensor Tensor::operator-(const Tensor& rhs) const { Tensor t = *this; t.sub_(rhs); return t; }
+Tensor Tensor::operator*(const Tensor& rhs) const { Tensor t = *this; t.mul_(rhs); return t; }
+Tensor Tensor::operator*(float s) const { Tensor t = *this; t.scale_(s); return t; }
+Tensor Tensor::operator+(float s) const { Tensor t = *this; t.add_scalar_(s); return t; }
+Tensor Tensor::operator-() const { Tensor t = *this; t.scale_(-1.0f); return t; }
+
+Tensor operator*(float s, const Tensor& t) { return t * s; }
+
+float Tensor::sum() const noexcept {
+  // Kahan summation: federated aggregation sums millions of elements and
+  // naive accumulation drifts enough to fail determinism checks.
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  OF_CHECK_MSG(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  OF_CHECK_MSG(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  OF_CHECK_MSG(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::l2_norm_squared() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(acc);
+}
+
+float Tensor::l2_norm() const noexcept { return std::sqrt(l2_norm_squared()); }
+
+float Tensor::dot(const Tensor& other) const {
+  OF_CHECK_MSG(numel() == other.numel(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    acc += static_cast<double>(data_[i]) * static_cast<double>(other.data_[i]);
+  return static_cast<float>(acc);
+}
+
+std::size_t Tensor::argmax() const {
+  OF_CHECK_MSG(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+std::vector<std::size_t> Tensor::argmax_rows() const {
+  OF_CHECK_MSG(ndim() == 2, "argmax_rows requires a 2-D tensor, got " << shape_string());
+  const std::size_t rows = shape_[0], cols = shape_[1];
+  std::vector<std::size_t> out(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* begin = data_.data() + r * cols;
+    out[r] = static_cast<std::size_t>(
+        std::distance(begin, std::max_element(begin, begin + cols)));
+  }
+  return out;
+}
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  OF_CHECK_MSG(ndim() == 2 && rhs.ndim() == 2,
+               "matmul requires 2-D tensors, got " << shape_string() << " x "
+                                                   << rhs.shape_string());
+  const std::size_t m = shape_[0], k = shape_[1];
+  OF_CHECK_MSG(rhs.shape_[0] == k, "matmul inner-dim mismatch " << shape_string() << " x "
+                                                                << rhs.shape_string());
+  const std::size_t n = rhs.shape_[1];
+  Tensor out({m, n});
+  // ikj loop order: streams rhs rows, keeps out row hot — the standard
+  // cache-friendly ordering for row-major GEMM without blocking.
+  const float* a = data_.data();
+  const float* b = rhs.data_.data();
+  float* c = out.data_.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transpose2d() const {
+  OF_CHECK_MSG(ndim() == 2, "transpose2d requires a 2-D tensor, got " << shape_string());
+  const std::size_t r = shape_[0], c = shape_[1];
+  Tensor out({c, r});
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) out.data_[j * r + i] = data_[i * c + j];
+  return out;
+}
+
+Tensor Tensor::row(std::size_t r) const {
+  OF_CHECK_MSG(ndim() == 2 && r < shape_[0], "row " << r << " out of range for " << shape_string());
+  const std::size_t c = shape_[1];
+  Tensor out({c});
+  std::copy_n(data_.data() + r * c, c, out.data_.data());
+  return out;
+}
+
+void Tensor::set_row(std::size_t r, const Tensor& v) {
+  OF_CHECK_MSG(ndim() == 2 && r < shape_[0], "row " << r << " out of range for " << shape_string());
+  const std::size_t c = shape_[1];
+  OF_CHECK_MSG(v.numel() == c, "set_row size mismatch");
+  std::copy_n(v.data_.data(), c, data_.data() + r * c);
+}
+
+bool Tensor::allclose(const Tensor& other, float atol, float rtol) const {
+  if (!same_shape(other)) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const float diff = std::fabs(data_[i] - other.data_[i]);
+    if (diff > atol + rtol * std::fabs(other.data_[i])) return false;
+  }
+  return true;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string Tensor::to_string(std::size_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_string() << " {";
+  const std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (n < data_.size()) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+Tensor flatten_all(const std::vector<Tensor>& tensors) {
+  std::size_t total = 0;
+  for (const auto& t : tensors) total += t.numel();
+  Tensor flat({total});
+  std::size_t off = 0;
+  for (const auto& t : tensors) {
+    std::copy_n(t.data(), t.numel(), flat.data() + off);
+    off += t.numel();
+  }
+  return flat;
+}
+
+void unflatten_into(const Tensor& flat, std::vector<Tensor>& out) {
+  std::size_t total = 0;
+  for (const auto& t : out) total += t.numel();
+  OF_CHECK_MSG(total == flat.numel(),
+               "unflatten_into: flat has " << flat.numel() << " elems, targets need " << total);
+  std::size_t off = 0;
+  for (auto& t : out) {
+    std::copy_n(flat.data() + off, t.numel(), t.data());
+    off += t.numel();
+  }
+}
+
+}  // namespace of::tensor

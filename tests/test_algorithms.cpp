@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/builtin.hpp"
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+#include "data/partition.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+using of::algorithms::Algorithm;
+using of::algorithms::ServerState;
+using of::algorithms::TrainContext;
+using of::config::ConfigNode;
+using of::config::parse_yaml;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+// --- registry ----------------------------------------------------------------------
+
+TEST(Registry, AllElevenPaperAlgorithmsRegistered) {
+  const auto names = of::algorithms::algorithm_names();
+  EXPECT_EQ(names.size(), 11u);
+  for (const auto& n : names) {
+    auto algo = of::algorithms::make_algorithm(n);
+    EXPECT_EQ(algo->name(), n);
+  }
+  // Paper-style fully-qualified targets resolve too.
+  auto a = of::algorithms::make_algorithm("src.omnifed.algorithm.FedProx");
+  EXPECT_EQ(a->name(), "FedProx");
+  EXPECT_THROW(of::algorithms::make_algorithm("FedSGD"), std::runtime_error);
+}
+
+// --- parameter filters ----------------------------------------------------------------
+
+TEST(Filters, FedBnNeverSharesBatchNormParams) {
+  of::algorithms::FedBN algo;
+  auto model = of::nn::zoo::make_model("resnet18_mini", 16, 4, 1);
+  std::size_t bn_params = 0;
+  for (auto* p : model.parameters()) {
+    if (p->is_batchnorm) {
+      ++bn_params;
+      EXPECT_FALSE(algo.shares_parameter(*p)) << p->name;
+    } else {
+      EXPECT_TRUE(algo.shares_parameter(*p));
+    }
+  }
+  EXPECT_GT(bn_params, 0u);
+}
+
+TEST(Filters, FedPerKeepsHeadLocal) {
+  of::algorithms::FedPer algo;
+  auto model = of::nn::zoo::make_model("vgg11_mini", 16, 4, 1);
+  for (auto* p : model.parameters())
+    EXPECT_EQ(algo.shares_parameter(*p), !p->is_head) << p->name;
+}
+
+TEST(Filters, PayloadSizeShrinksAccordingly) {
+  auto model = of::nn::zoo::make_model("resnet18_mini", 16, 4, 1);
+  of::algorithms::FedAvg all;
+  of::algorithms::FedBN bn;
+  of::algorithms::FedPer per;
+  EXPECT_GT(all.initial_global(model).size(), bn.initial_global(model).size());
+  EXPECT_GT(all.initial_global(model).size(), per.initial_global(model).size());
+}
+
+// --- server updates on synthetic payloads ----------------------------------------------
+
+std::vector<Tensor> single(float v) { return {of::tensor::Tensor({2}, v)}; }
+
+TEST(ServerUpdate, FedAvgIsIdentityOnMean) {
+  of::algorithms::FedAvg algo;
+  ServerState state;
+  state.params = ConfigNode::map();
+  state.global = single(0.0f);
+  const auto out = algo.server_update(state, single(3.0f));
+  EXPECT_FLOAT_EQ(out[0][0], 3.0f);
+}
+
+TEST(ServerUpdate, FedMomAcceleratesRepeatedSteps) {
+  of::algorithms::FedMom algo;
+  ServerState state;
+  state.params = parse_yaml("beta: 0.9\n");
+  state.global = single(10.0f);
+  // Clients keep reporting mean = w_prev − 1 (constant descent direction).
+  float prev = 10.0f;
+  float first_step = 0.0f, fifth_step = 0.0f;
+  for (int round = 0; round < 5; ++round) {
+    state.round = static_cast<std::size_t>(round);
+    const auto out = algo.server_update(state, single(prev - 1.0f));
+    const float step = prev - out[0][0];
+    if (round == 0) first_step = step;
+    if (round == 4) fifth_step = step;
+    prev = out[0][0];
+  }
+  EXPECT_GT(fifth_step, first_step * 2.0f);  // momentum accumulates
+}
+
+TEST(ServerUpdate, FedNovaUsesMeanTau) {
+  of::algorithms::FedNova algo;
+  ServerState state;
+  state.params = ConfigNode::map();
+  state.global = single(1.0f);
+  // payload = [normalized deltas..., tau]; w ← w − mean_tau · mean_delta.
+  std::vector<Tensor> mean = single(0.5f);
+  mean.push_back(of::tensor::Tensor({1}, 4.0f));
+  const auto out = algo.server_update(state, mean);
+  EXPECT_FLOAT_EQ(out[0][0], 1.0f - 4.0f * 0.5f);
+}
+
+TEST(ServerUpdate, ScaffoldUpdatesBothHalves) {
+  of::algorithms::Scaffold algo;
+  ServerState state;
+  state.params = ConfigNode::map();
+  state.global = {of::tensor::Tensor({2}, 1.0f), of::tensor::Tensor({2}, 0.0f)};  // [w, c]
+  const std::vector<Tensor> mean = {of::tensor::Tensor({2}, 0.5f),
+                                    of::tensor::Tensor({2}, -0.1f)};  // [Δw, Δc]
+  const auto out = algo.server_update(state, mean);
+  EXPECT_FLOAT_EQ(out[0][0], 1.5f);
+  EXPECT_FLOAT_EQ(out[1][0], -0.1f);
+}
+
+TEST(ServerUpdate, DiLoCoOuterMomentumDescends) {
+  of::algorithms::DiLoCo algo;
+  ServerState state;
+  state.params = parse_yaml("outer_lr: 1.0\nouter_momentum: 0.0\n");
+  state.global = single(5.0f);
+  // pseudo-gradient mean = 2 (pointing from w_local back to w_start).
+  const auto out = algo.server_update(state, single(2.0f));
+  EXPECT_FLOAT_EQ(out[0][0], 3.0f);  // w − lr·g with zero momentum
+}
+
+// --- end-to-end learning sweep over all algorithms (paper Table 1 shape) ---------------
+
+ConfigNode sweep_config(const std::string& algo) {
+  ConfigNode cfg = parse_yaml(R"(
+seed: 3
+topology:
+  _target_: CentralizedTopology
+  num_clients: 4
+datamodule:
+  preset: toy
+  partition: dirichlet
+  alpha: 0.5
+  batch_size: 16
+model: mlp_tiny
+algorithm:
+  global_rounds: 6
+  local_epochs: 1
+  lr: 0.05
+  momentum: 0.9
+  weight_decay: 1.0e-4
+eval_every: 6
+)");
+  cfg.set_path("algorithm._target_", ConfigNode::string(algo));
+  // Algorithm-specific defaults mirroring the paper's configs.
+  if (algo == "FedProx") cfg.set_path("algorithm.mu", ConfigNode::floating(0.01));
+  if (algo == "Moon") {
+    cfg.set_path("algorithm.mu", ConfigNode::floating(0.5));
+    cfg.set_path("algorithm.temperature", ConfigNode::floating(0.5));
+  }
+  if (algo == "FedDyn") cfg.set_path("algorithm.alpha", ConfigNode::floating(0.01));
+  if (algo == "Ditto") cfg.set_path("algorithm.lambda", ConfigNode::floating(0.5));
+  if (algo == "DiLoCo") {
+    cfg.set_path("algorithm.inner_lr", ConfigNode::floating(0.003));
+    cfg.set_path("algorithm.outer_lr", ConfigNode::floating(0.7));
+  }
+  return cfg;
+}
+
+class AlgorithmSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmSweep, TrainsOnCentralizedTopology) {
+  of::core::Engine engine(sweep_config(GetParam()));
+  const auto result = engine.run();
+  ASSERT_EQ(result.rounds.size(), 6u);
+  // Every algorithm must beat 4-class random chance (25%) on the easy toy
+  // task after 6 rounds; most reach far higher.
+  EXPECT_GT(result.final_accuracy, 0.3f) << GetParam();
+  EXPECT_EQ(result.algorithm, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEleven, AlgorithmSweep,
+                         ::testing::ValuesIn(of::algorithms::algorithm_names()));
+
+// --- behavioural distinctions ------------------------------------------------------------
+
+TEST(Behaviour, FedProxStaysCloserToGlobalThanFedAvg) {
+  // With a huge μ, FedProx's local model barely moves from the global.
+  auto run_drift = [](const char* algo, double mu) {
+    ConfigNode cfg = sweep_config(algo);
+    cfg.set_path("algorithm.global_rounds", ConfigNode::integer(1));
+    if (mu > 0) cfg.set_path("algorithm.mu", ConfigNode::floating(mu));
+    of::core::Engine engine(cfg);
+    return engine.run().rounds.back().train_loss;
+  };
+  // Loss under extreme proximal pull stays near the untrained model's loss.
+  const double fedavg_loss = run_drift("FedAvg", 0.0);
+  const double pinned_loss = run_drift("FedProx", 10000.0);
+  EXPECT_LT(fedavg_loss, pinned_loss);
+}
+
+TEST(Behaviour, FedAvgDeltaMatchesFedAvgExactly) {
+  // Different wire encoding, identical mathematics: global = mean(w_i).
+  of::core::Engine a(sweep_config("FedAvg"));
+  ConfigNode cfg = sweep_config("FedAvgDelta");
+  of::core::Engine b(cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_NEAR(ra.final_accuracy, rb.final_accuracy, 1e-6f);
+  EXPECT_NEAR(ra.rounds.back().train_loss, rb.rounds.back().train_loss, 1e-5);
+}
+
+TEST(Behaviour, DeltaEncodingCompressesBetterThanParameterEncoding) {
+  // At a high sparsification factor, compressing deltas (gradient-like)
+  // retains far more learning signal than compressing raw parameters.
+  auto run_with = [](const char* algo) {
+    ConfigNode cfg = sweep_config(algo);
+    cfg.set_path("algorithm.global_rounds", ConfigNode::integer(8));
+    cfg.set_path("eval_every", ConfigNode::integer(8));
+    cfg.set_path("compression._target_", ConfigNode::string("TopK"));
+    cfg.set_path("compression.k", ConfigNode::string("50x"));
+    cfg.set_path("compression.error_feedback", ConfigNode::boolean(true));
+    of::core::Engine engine(cfg);
+    return engine.run().final_accuracy;
+  };
+  EXPECT_GE(run_with("FedAvgDelta") + 0.02f, run_with("FedAvg"));
+}
+
+TEST(Behaviour, ScaffoldStableUnderMomentumConfig) {
+  // Regression: the node optimizer runs momentum 0.9, but Scaffold must
+  // swap in plain SGD locally or its control variates mis-scale by
+  // ~1/(1−β) and training diverges at ordinary learning rates.
+  ConfigNode cfg = sweep_config("Scaffold");
+  cfg.set_path("algorithm.lr", ConfigNode::floating(0.1));
+  cfg.set_path("algorithm.local_epochs", ConfigNode::integer(2));
+  cfg.set_path("algorithm.global_rounds", ConfigNode::integer(8));
+  cfg.set_path("eval_every", ConfigNode::integer(8));
+  of::core::Engine engine(cfg);
+  EXPECT_GT(engine.run().final_accuracy, 0.5f);
+}
+
+TEST(Behaviour, ScaffoldControlVariatesChangeTraining) {
+  ConfigNode cfg = sweep_config("Scaffold");
+  of::core::Engine scaffold(cfg);
+  of::core::Engine fedavg(sweep_config("FedAvg"));
+  const auto rs = scaffold.run();
+  const auto rf = fedavg.run();
+  // Both learn; trajectories differ (Scaffold corrects drift).
+  EXPECT_GT(rs.final_accuracy, 0.3f);
+  EXPECT_NE(rs.rounds.back().train_loss, rf.rounds.back().train_loss);
+}
+
+TEST(Behaviour, DittoPersonalModelIsEvaluated) {
+  of::algorithms::Ditto algo;
+  TrainContext ctx;
+  auto model = of::nn::zoo::make_model("mlp_tiny", 8, 2, 1);
+  ctx.model = &model;
+  // Before any round the personal model does not exist yet.
+  EXPECT_EQ(algo.eval_model(ctx), &model);
+  ctx.aux_model = model.clone();
+  EXPECT_EQ(algo.eval_model(ctx), &ctx.aux_model);
+}
+
+TEST(Behaviour, FedBnOnRingAndHierarchicalToo) {
+  for (const char* topo : {"RingTopology", "HierarchicalTopology"}) {
+    ConfigNode cfg = sweep_config("FedBN");
+    cfg.set_path("model", ConfigNode::string("mobilenetv3_mini"));
+    cfg.set_path("topology._target_", ConfigNode::string(topo));
+    cfg.set_path("topology.num_nodes", ConfigNode::integer(4));
+    cfg.set_path("topology.groups", ConfigNode::integer(2));
+    cfg.set_path("topology.group_size", ConfigNode::integer(2));
+    cfg.set_path("topology.outer_comm._target_",
+                 ConfigNode::string("TorchDistCommunicator"));
+    cfg.set_path("algorithm.global_rounds", ConfigNode::integer(3));
+    cfg.set_path("eval_every", ConfigNode::integer(3));
+    of::core::Engine engine(cfg);
+    EXPECT_GT(engine.run().final_accuracy, 0.3f) << topo;
+  }
+}
+
+TEST(Behaviour, EvaluateAccuracyOnTrivialModel) {
+  auto model = of::nn::zoo::make_model("mlp_tiny", 16, 4, 5);
+  const auto tt = of::data::make_synthetic(of::data::preset("toy"), 5);
+  const float acc = of::algorithms::evaluate_accuracy(model, tt.test);
+  EXPECT_GE(acc, 0.0f);
+  EXPECT_LE(acc, 1.0f);
+}
+
+}  // namespace

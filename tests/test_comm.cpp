@@ -1,0 +1,507 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "comm/amqp.hpp"
+#include "comm/inproc.hpp"
+#include "comm/modeled.hpp"
+#include "comm/star.hpp"
+#include "comm/tcp.hpp"
+
+namespace {
+
+using of::comm::Communicator;
+using of::comm::InProcGroup;
+using of::comm::ReduceOp;
+using of::comm::TcpCommunicator;
+using of::tensor::Bytes;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+// Run `fn(rank, comm)` on one thread per rank of an in-proc group.
+void run_group(int world, const std::function<void(int, Communicator&)>& fn) {
+  InProcGroup group(world);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r, group.comm(r));
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TEST(InProc, PointToPoint) {
+  run_group(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      c.send_bytes(1, 5, Bytes{1, 2, 3});
+      const Bytes back = c.recv_bytes(1, 6);
+      EXPECT_EQ(back, (Bytes{9}));
+    } else {
+      EXPECT_EQ(c.recv_bytes(0, 5), (Bytes{1, 2, 3}));
+      c.send_bytes(0, 6, Bytes{9});
+    }
+  });
+}
+
+TEST(InProc, TagsKeepStreamsSeparate) {
+  run_group(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      c.send_bytes(1, 1, Bytes{1});
+      c.send_bytes(1, 2, Bytes{2});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(c.recv_bytes(0, 2), (Bytes{2}));
+      EXPECT_EQ(c.recv_bytes(0, 1), (Bytes{1}));
+    }
+  });
+}
+
+TEST(InProc, FifoWithinTag) {
+  run_group(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      for (std::uint8_t i = 0; i < 10; ++i) c.send_bytes(1, 3, Bytes{i});
+    } else {
+      for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(c.recv_bytes(0, 3), Bytes{i});
+    }
+  });
+}
+
+TEST(InProc, SelfSendThrows) {
+  InProcGroup group(2);
+  EXPECT_THROW(group.comm(0).send_bytes(0, 1, Bytes{}), std::runtime_error);
+  EXPECT_THROW(group.comm(0).send_bytes(7, 1, Bytes{}), std::runtime_error);
+}
+
+TEST(InProc, RecvTimeoutGivesReadableError) {
+  InProcGroup group(2);
+  group.comm(0).set_recv_timeout(0.05);
+  try {
+    (void)group.comm(0).recv_bytes(1, 42);
+    FAIL() << "expected timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+  }
+}
+
+class CollectiveWorldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWorldSweep, BroadcastFromEveryRoot) {
+  const int world = GetParam();
+  for (int root = 0; root < world; ++root) {
+    run_group(world, [&](int rank, Communicator& c) {
+      Tensor t({5});
+      if (rank == root)
+        for (std::size_t i = 0; i < 5; ++i) t[i] = static_cast<float>(i + root);
+      c.broadcast(t, root);
+      for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(t[i], static_cast<float>(i + root));
+    });
+  }
+}
+
+TEST_P(CollectiveWorldSweep, AllreduceSumMatchesSequential) {
+  const int world = GetParam();
+  // Deliberately awkward length (not divisible by world) to exercise ring
+  // chunk boundaries.
+  const std::size_t n = 13;
+  std::vector<Tensor> inputs;
+  Rng rng(static_cast<std::uint64_t>(world));
+  Tensor expected({n});
+  for (int r = 0; r < world; ++r) {
+    inputs.push_back(Tensor::randn({n}, rng));
+    expected.add_(inputs.back());
+  }
+  run_group(world, [&](int rank, Communicator& c) {
+    Tensor t = inputs[static_cast<std::size_t>(rank)];
+    c.allreduce(t, ReduceOp::Sum);
+    EXPECT_TRUE(t.allclose(expected, 1e-4f, 1e-4f)) << "rank " << rank;
+  });
+}
+
+TEST_P(CollectiveWorldSweep, AllreduceMean) {
+  const int world = GetParam();
+  run_group(world, [&](int rank, Communicator& c) {
+    Tensor t = Tensor::full({7}, static_cast<float>(rank));
+    c.allreduce(t, ReduceOp::Mean);
+    const float expect = static_cast<float>(world - 1) / 2.0f;
+    for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(t[i], expect, 1e-5f);
+  });
+}
+
+TEST_P(CollectiveWorldSweep, AllreduceMax) {
+  const int world = GetParam();
+  run_group(world, [&](int rank, Communicator& c) {
+    Tensor t = Tensor::full({4}, static_cast<float>(rank == 1 ? 100 : rank));
+    c.allreduce(t, ReduceOp::Max);
+    const float expect = world > 1 ? 100.0f : 0.0f;
+    EXPECT_FLOAT_EQ(t[0], expect);
+  });
+}
+
+TEST_P(CollectiveWorldSweep, ReduceToEveryRoot) {
+  const int world = GetParam();
+  for (int root = 0; root < world; ++root) {
+    run_group(world, [&](int rank, Communicator& c) {
+      Tensor t = Tensor::full({3}, 1.0f);
+      c.reduce(t, root, ReduceOp::Sum);
+      if (rank == root)
+        EXPECT_FLOAT_EQ(t[0], static_cast<float>(world));
+    });
+  }
+}
+
+TEST_P(CollectiveWorldSweep, GatherCollectsInRankOrder) {
+  const int world = GetParam();
+  run_group(world, [&](int rank, Communicator& c) {
+    const Tensor mine = Tensor::full({2}, static_cast<float>(rank));
+    const auto all = c.gather(mine, 0);
+    if (rank == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(world));
+      for (int p = 0; p < world; ++p)
+        EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(p)][0], static_cast<float>(p));
+    }
+  });
+}
+
+TEST_P(CollectiveWorldSweep, AllgatherEveryoneSeesEverything) {
+  const int world = GetParam();
+  run_group(world, [&](int rank, Communicator& c) {
+    const Tensor mine = Tensor::full({3}, static_cast<float>(rank * 10));
+    const auto all = c.allgather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(world));
+    for (int p = 0; p < world; ++p)
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(p)][0], static_cast<float>(p * 10));
+  });
+}
+
+TEST_P(CollectiveWorldSweep, AllgatherBytesVariableLength) {
+  const int world = GetParam();
+  run_group(world, [&](int rank, Communicator& c) {
+    Bytes mine(static_cast<std::size_t>(rank + 1), static_cast<std::uint8_t>(rank));
+    const auto all = c.allgather_bytes(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(world));
+    for (int p = 0; p < world; ++p) {
+      EXPECT_EQ(all[static_cast<std::size_t>(p)].size(), static_cast<std::size_t>(p + 1));
+      if (p + 1 > 0) EXPECT_EQ(all[static_cast<std::size_t>(p)][0], p);
+    }
+  });
+}
+
+TEST_P(CollectiveWorldSweep, BarrierCompletes) {
+  const int world = GetParam();
+  run_group(world, [&](int, Communicator& c) { c.barrier(); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CollectiveWorldSweep, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(InProc, AllreduceShorterThanWorld) {
+  // numel < world leaves some ring chunks empty; result must still be exact.
+  run_group(6, [&](int rank, Communicator& c) {
+    Tensor t = Tensor::full({2}, static_cast<float>(rank));
+    c.allreduce(t, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(t[0], 15.0f);
+  });
+}
+
+TEST(InProc, StatsCountBytes) {
+  run_group(2, [](int rank, Communicator& c) {
+    if (rank == 0) c.send_bytes(1, 1, Bytes{1, 2, 3, 4});
+    else (void)c.recv_bytes(0, 1);
+    if (rank == 0) {
+      EXPECT_EQ(c.stats().bytes_sent, 4u);
+      EXPECT_EQ(c.stats().messages_sent, 1u);
+    } else {
+      EXPECT_EQ(c.stats().bytes_received, 4u);
+    }
+  });
+}
+
+// --- TCP ---------------------------------------------------------------------------
+
+void run_tcp(int world, std::uint16_t port,
+             const std::function<void(int, Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        std::unique_ptr<TcpCommunicator> c;
+        if (r == 0) c = TcpCommunicator::make_server(port, world);
+        else c = TcpCommunicator::make_client("127.0.0.1", port, r, world);
+        fn(r, *c);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TEST(Tcp, PointToPointBothWays) {
+  run_tcp(3, 47301, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      for (int p = 1; p < 3; ++p)
+        c.send_bytes(p, 1, Bytes{static_cast<std::uint8_t>(p)});
+      EXPECT_EQ(c.recv_bytes(1, 2), (Bytes{11}));
+      EXPECT_EQ(c.recv_bytes(2, 2), (Bytes{22}));
+    } else {
+      EXPECT_EQ(c.recv_bytes(0, 1), Bytes{static_cast<std::uint8_t>(rank)});
+      c.send_bytes(0, 2, Bytes{static_cast<std::uint8_t>(rank * 11)});
+    }
+  });
+}
+
+TEST(Tcp, ClientToClientThrows) {
+  run_tcp(3, 47302, [](int rank, Communicator& c) {
+    if (rank == 1) EXPECT_THROW(c.send_bytes(2, 1, Bytes{1}), std::runtime_error);
+    c.barrier();
+  });
+}
+
+TEST(Tcp, StarCollectives) {
+  run_tcp(4, 47303, [](int rank, Communicator& c) {
+    // broadcast
+    Tensor t = rank == 0 ? Tensor::full({6}, 3.5f) : Tensor({6});
+    c.broadcast(t, 0);
+    EXPECT_FLOAT_EQ(t[5], 3.5f);
+    // reduce
+    Tensor r = Tensor::full({2}, 1.0f);
+    c.reduce(r, 0, ReduceOp::Sum);
+    if (rank == 0) EXPECT_FLOAT_EQ(r[0], 4.0f);
+    // allreduce mean
+    Tensor a = Tensor::full({3}, static_cast<float>(rank));
+    c.allreduce(a, ReduceOp::Mean);
+    EXPECT_FLOAT_EQ(a[0], 1.5f);
+    // gather / allgather
+    const auto all = c.allgather(Tensor::full({1}, static_cast<float>(rank)));
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_FLOAT_EQ(all[3][0], 3.0f);
+    c.barrier();
+  });
+}
+
+TEST(Tcp, EphemeralPortDiscovery) {
+  // Port 0 → the OS picks; server reports the actual port.
+  auto probe = std::thread([] {
+    auto server = TcpCommunicator::make_server(0, 1);
+    EXPECT_GT(server->port(), 0);
+  });
+  probe.join();
+}
+
+TEST(Tcp, LargePayloadRoundtrip) {
+  run_tcp(2, 47304, [](int rank, Communicator& c) {
+    Rng rng(1);
+    if (rank == 0) {
+      const Tensor big = Tensor::randn({100000}, rng);
+      c.send_tensor(1, 1, big);
+      const Tensor back = c.recv_tensor(1, 2);
+      EXPECT_TRUE(back.allclose(big, 0.0f, 0.0f));
+    } else {
+      const Tensor got = c.recv_tensor(0, 1);
+      c.send_tensor(0, 2, got);
+    }
+  });
+}
+
+// --- AMQP (pub/sub middleware) -------------------------------------------------------
+
+void run_amqp(int world, const std::function<void(int, Communicator&)>& fn) {
+  of::comm::AmqpGroup group(world);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r, group.comm(r));
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TEST(Amqp, PublishSubscribeP2P) {
+  run_amqp(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      c.send_bytes(1, 3, Bytes{7, 8});
+      EXPECT_EQ(c.recv_bytes(1, 4), (Bytes{9}));
+    } else {
+      EXPECT_EQ(c.recv_bytes(0, 3), (Bytes{7, 8}));
+      c.send_bytes(0, 4, Bytes{9});
+    }
+  });
+}
+
+TEST(Amqp, DemultiplexesTagsAndSources) {
+  run_amqp(3, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      // Wait for tag 2 first even though tag 1 frames arrive interleaved.
+      EXPECT_EQ(c.recv_bytes(2, 2), (Bytes{22}));
+      EXPECT_EQ(c.recv_bytes(1, 1), (Bytes{11}));
+      EXPECT_EQ(c.recv_bytes(1, 2), (Bytes{12}));
+    } else if (rank == 1) {
+      c.send_bytes(0, 1, Bytes{11});
+      c.send_bytes(0, 2, Bytes{12});
+    } else {
+      c.send_bytes(0, 2, Bytes{22});
+    }
+  });
+}
+
+TEST(Amqp, CollectivesWorkOverQueues) {
+  run_amqp(4, [](int rank, Communicator& c) {
+    Tensor t = Tensor::full({9}, static_cast<float>(rank + 1));
+    c.allreduce(t, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(t[0], 10.0f);
+    Tensor b = rank == 2 ? Tensor::full({3}, 5.0f) : Tensor({3});
+    c.broadcast(b, 2);
+    EXPECT_FLOAT_EQ(b[1], 5.0f);
+    c.barrier();
+  });
+}
+
+TEST(Amqp, QueueBackedFifoPerSender) {
+  run_amqp(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      for (std::uint8_t i = 0; i < 16; ++i) c.send_bytes(1, 9, Bytes{i});
+    } else {
+      for (std::uint8_t i = 0; i < 16; ++i) EXPECT_EQ(c.recv_bytes(0, 9), Bytes{i});
+    }
+  });
+}
+
+TEST(Amqp, RecvTimeoutThrows) {
+  of::comm::AmqpGroup group(2);
+  group.comm(0).set_recv_timeout(0.05);
+  EXPECT_THROW((void)group.comm(0).recv_bytes(1, 1), std::runtime_error);
+}
+
+// --- any-source receive ---------------------------------------------------------------
+
+TEST(RecvAny, InProcDeliversFromWhoeverIsFirst) {
+  run_group(4, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      std::set<int> seen;
+      for (int i = 0; i < 3; ++i) {
+        auto [src, b] = c.recv_bytes_any(7);
+        EXPECT_EQ(b, Bytes{static_cast<std::uint8_t>(src)});
+        seen.insert(src);
+      }
+      EXPECT_EQ(seen.size(), 3u);
+    } else {
+      c.send_bytes(0, 7, Bytes{static_cast<std::uint8_t>(rank)});
+    }
+  });
+}
+
+TEST(RecvAny, FiltersByTag) {
+  run_group(2, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      auto [src, b] = c.recv_bytes_any(2);
+      EXPECT_EQ(b, Bytes{22});
+      EXPECT_EQ(src, 1);
+      EXPECT_EQ(c.recv_bytes(1, 1), Bytes{11});
+    } else {
+      c.send_bytes(0, 1, Bytes{11});
+      c.send_bytes(0, 2, Bytes{22});
+    }
+  });
+}
+
+TEST(RecvAny, AmqpQueueOrder) {
+  run_amqp(3, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      for (int i = 0; i < 2; ++i) (void)c.recv_bytes_any(5);
+    } else {
+      c.send_bytes(0, 5, Bytes{1});
+    }
+  });
+}
+
+TEST(RecvAny, TcpServerSide) {
+  run_tcp(3, 47306, [](int rank, Communicator& c) {
+    if (rank == 0) {
+      std::set<int> seen;
+      for (int i = 0; i < 2; ++i) {
+        auto [src, b] = c.recv_bytes_any(9);
+        seen.insert(src);
+      }
+      EXPECT_EQ(seen.size(), 2u);
+    } else {
+      c.send_bytes(0, 9, Bytes{static_cast<std::uint8_t>(rank)});
+    }
+  });
+}
+
+TEST(RecvAny, TimesOut) {
+  InProcGroup group(2);
+  group.comm(0).set_recv_timeout(0.05);
+  EXPECT_THROW((void)group.comm(0).recv_bytes_any(1), std::runtime_error);
+}
+
+// --- modeled links -----------------------------------------------------------------
+
+TEST(ModeledLink, VirtualModeAccountsDelayWithoutSleeping) {
+  run_group(2, [](int rank, Communicator& base) {
+    of::comm::LinkModel model{0.010, 1000.0};  // 10 ms + 1 KB/s
+    of::comm::ModeledLinkCommunicator c(base, model, of::comm::DelayMode::Virtual);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (rank == 0) c.send_bytes(1, 1, Bytes(500, 0));
+    else (void)c.recv_bytes(0, 1);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (rank == 0) {
+      // 10 ms latency + 500 B / 1000 B/s = 0.51 s modeled, ~0 s wall.
+      EXPECT_NEAR(c.modeled_delay_seconds(), 0.51, 1e-6);
+      EXPECT_LT(wall, 0.2);
+    }
+  });
+}
+
+TEST(ModeledLink, SleepModeActuallyDelays) {
+  run_group(2, [](int rank, Communicator& base) {
+    of::comm::LinkModel model{0.030, 0.0};
+    of::comm::ModeledLinkCommunicator c(base, model, of::comm::DelayMode::Sleep);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (rank == 0) c.send_bytes(1, 1, Bytes{1});
+    else (void)c.recv_bytes(0, 1);
+    if (rank == 0) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      EXPECT_GE(wall, 0.025);
+    }
+  });
+}
+
+TEST(ModeledLink, CollectivesStillCorrect) {
+  run_group(3, [](int rank, Communicator& base) {
+    of::comm::ModeledLinkCommunicator c(base, of::comm::LinkModel::lan(),
+                                        of::comm::DelayMode::Virtual);
+    Tensor t = Tensor::full({5}, static_cast<float>(rank + 1));
+    c.allreduce(t, ReduceOp::Sum);
+    EXPECT_FLOAT_EQ(t[0], 6.0f);
+  });
+}
+
+TEST(ModeledLink, TransferTimeFormula) {
+  of::comm::LinkModel wan = of::comm::LinkModel::wan();
+  // 20 ms + bytes / (100 Mb/s).
+  EXPECT_NEAR(wan.transfer_seconds(0), 0.020, 1e-9);
+  EXPECT_NEAR(wan.transfer_seconds(12'500'000), 0.020 + 1.0, 1e-6);
+  EXPECT_GT(wan.transfer_seconds(1000), of::comm::LinkModel::lan().transfer_seconds(1000));
+}
+
+}  // namespace

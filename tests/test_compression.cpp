@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "compression/compressor.hpp"
+#include "compression/powersgd.hpp"
+#include "compression/quantize.hpp"
+#include "compression/sparsify.hpp"
+#include "config/yaml.hpp"
+
+namespace {
+
+using of::compression::Compressed;
+using of::compression::Compressor;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+std::size_t nnz(const Tensor& t) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (t[i] != 0.0f) ++n;
+  return n;
+}
+
+TEST(TopK, KeepsExactlyKLargest) {
+  of::compression::TopK codec(/*k=*/3, /*is_factor=*/false);
+  const Tensor t = Tensor::from_vector({0.1f, -5.0f, 0.2f, 4.0f, -0.3f, 3.0f});
+  const Tensor out = codec.decompress(codec.compress(t));
+  EXPECT_EQ(nnz(out), 3u);
+  EXPECT_FLOAT_EQ(out[1], -5.0f);
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+  EXPECT_FLOAT_EQ(out[5], 3.0f);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+}
+
+TEST(TopK, FactorFormMatchesPaperSpelling) {
+  // "k: 1000x" → keep numel/1000 coordinates.
+  of::compression::TopK codec(/*factor=*/10.0, /*is_factor=*/true);
+  Rng rng(1);
+  const Tensor t = Tensor::randn({1000}, rng);
+  const auto c = codec.compress(t);
+  const Tensor out = codec.decompress(c);
+  EXPECT_EQ(nnz(out), 100u);
+  EXPECT_GT(c.achieved_ratio(), 4.0);  // ~10x data, minus index overhead
+}
+
+TEST(TopK, PreservedValuesAreExact) {
+  of::compression::TopK codec(5, false);
+  Rng rng(2);
+  const Tensor t = Tensor::randn({64}, rng);
+  const Tensor out = codec.decompress(codec.compress(t));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (out[i] != 0.0f) EXPECT_FLOAT_EQ(out[i], t[i]);
+}
+
+TEST(RandomK, UnbiasedInExpectation) {
+  of::compression::RandomK codec(/*factor=*/4.0, true, 7);
+  const Tensor t = Tensor::full({64}, 2.0f);
+  Tensor acc({64});
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) acc.add_(codec.decompress(codec.compress(t)));
+  acc.scale_(1.0f / trials);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_NEAR(acc[i], 2.0f, 0.35f);
+}
+
+TEST(RandomK, SelectsDistinctIndices) {
+  of::compression::RandomK codec(16, false, 3);
+  Rng rng(3);
+  const Tensor t = Tensor::randn({32}, rng);
+  const auto c = codec.compress(t);
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  of::compression::sparse_decode(
+      of::tensor::Bytes(c.payload.begin(), c.payload.end()), idx, val);
+  std::set<std::uint32_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), idx.size());
+  EXPECT_EQ(idx.size(), 16u);
+}
+
+class SparsifierSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {
+ protected:
+  std::unique_ptr<Compressor> make(const std::string& name, double factor) {
+    using namespace of::compression;
+    if (name == "TopK") return std::make_unique<TopK>(factor, true);
+    if (name == "DGC") return std::make_unique<DGC>(factor, true, 11);
+    if (name == "RedSync") return std::make_unique<RedSync>(factor, true);
+    if (name == "SIDCo") return std::make_unique<SIDCo>(factor, true);
+    if (name == "RandomK") return std::make_unique<RandomK>(factor, true, 11);
+    return nullptr;
+  }
+};
+
+TEST_P(SparsifierSweep, SparsityNearTarget) {
+  const auto [name, factor] = GetParam();
+  auto codec = make(name, factor);
+  Rng rng(5);
+  const Tensor t = Tensor::randn({20000}, rng);
+  const Tensor out = codec->decompress(codec->compress(t));
+  const double target = 20000.0 / factor;
+  const double got = static_cast<double>(nnz(out));
+  // Threshold-estimating codecs (DGC/RedSync/SIDCo) land within a band.
+  EXPECT_GT(got, target * 0.3) << name;
+  EXPECT_LT(got, target * 3.0) << name;
+}
+
+TEST_P(SparsifierSweep, SurvivingValuesComeFromInput) {
+  const auto [name, factor] = GetParam();
+  if (name == "RandomK") return;  // RandomK rescales by n/k by design
+  auto codec = make(name, factor);
+  Rng rng(6);
+  const Tensor t = Tensor::randn({5000}, rng);
+  const Tensor out = codec->decompress(codec->compress(t));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (out[i] != 0.0f) EXPECT_FLOAT_EQ(out[i], t[i]) << name;
+}
+
+TEST_P(SparsifierSweep, CompressionReducesBytes) {
+  const auto [name, factor] = GetParam();
+  auto codec = make(name, factor);
+  Rng rng(7);
+  const Tensor t = Tensor::randn({20000}, rng);
+  const auto c = codec->compress(t);
+  EXPECT_LT(c.bytes(), 20000 * sizeof(float) / 2) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, SparsifierSweep,
+    ::testing::Combine(::testing::Values("TopK", "DGC", "RedSync", "SIDCo", "RandomK"),
+                       ::testing::Values(10.0, 100.0, 1000.0)));
+
+TEST(QSGD, UnbiasedQuantization) {
+  of::compression::QSGD codec(8, 13);
+  Rng rng(8);
+  const Tensor t = Tensor::randn({128}, rng);
+  Tensor acc({128});
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) acc.add_(codec.decompress(codec.compress(t)));
+  acc.scale_(1.0f / trials);
+  const float scale = t.l2_norm() / 127.0f;  // one quantization level
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    EXPECT_NEAR(acc[i], t[i], 3.0f * scale / std::sqrt(static_cast<float>(trials)) * 30)
+        << i;
+}
+
+TEST(QSGD, CompressionFactorsMatchPaper) {
+  Rng rng(9);
+  const Tensor t = Tensor::randn({10000}, rng);
+  of::compression::QSGD q8(8, 1), q16(16, 1);
+  // Paper: 8-bit ≈ 4×, 16-bit ≈ 2× versus float32.
+  EXPECT_NEAR(q8.compress(t).achieved_ratio(), 4.0, 0.05);
+  EXPECT_NEAR(q16.compress(t).achieved_ratio(), 2.0, 0.05);
+}
+
+TEST(QSGD, QuantizationErrorBounded) {
+  of::compression::QSGD codec(16, 2);
+  Rng rng(10);
+  const Tensor t = Tensor::randn({256}, rng);
+  const Tensor out = codec.decompress(codec.compress(t));
+  const float level = t.l2_norm() / 32767.0f;
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    EXPECT_LE(std::fabs(out[i] - t[i]), level * 1.001f);
+}
+
+TEST(QSGD, ZeroTensorRoundtrip) {
+  of::compression::QSGD codec(8, 3);
+  const Tensor t({100});
+  const Tensor out = codec.decompress(codec.compress(t));
+  EXPECT_FLOAT_EQ(out.l2_norm(), 0.0f);
+}
+
+TEST(QSGD, SignsPreserved) {
+  of::compression::QSGD codec(8, 4);
+  const Tensor t = Tensor::from_vector({10.0f, -10.0f, 10.0f, -10.0f});
+  const Tensor out = codec.decompress(codec.compress(t));
+  EXPECT_GT(out[0], 0.0f);
+  EXPECT_LT(out[1], 0.0f);
+}
+
+TEST(QSGD, RejectsOddBitWidths) {
+  EXPECT_THROW(of::compression::QSGD(12, 1), std::runtime_error);
+}
+
+TEST(PowerSGD, RankConstrainsPayloadSize) {
+  of::compression::PowerSGD r4(4, 1);
+  Rng rng(11);
+  const Tensor t = Tensor::randn({10000}, rng);
+  const auto c = r4.compress(t);
+  // (rows + cols) * r * 4 bytes + header ≈ (100+100)*4*4 = 3.2 KB ≪ 40 KB.
+  EXPECT_LT(c.bytes(), 5000u);
+  EXPECT_GT(c.achieved_ratio(), 8.0);
+}
+
+TEST(PowerSGD, ReconstructsLowRankSignalsWell) {
+  // A rank-1 "gradient" should be captured almost exactly.
+  Rng rng(12);
+  const Tensor u = Tensor::randn({100}, rng);
+  const Tensor v = Tensor::randn({100}, rng);
+  Tensor t({10000});
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = 0; j < 100; ++j) t[i * 100 + j] = u[i] * v[j];
+  of::compression::PowerSGD codec(2, 13);
+  // Warm-started power iteration: a few rounds to converge the subspace.
+  Tensor out;
+  for (int round = 0; round < 4; ++round) out = codec.decompress(codec.compress(t));
+  Tensor err = out - t;
+  EXPECT_LT(err.l2_norm() / t.l2_norm(), 0.05f);
+}
+
+TEST(PowerSGD, HigherRankIsMoreAccurate) {
+  Rng rng(14);
+  const Tensor t = Tensor::randn({4096}, rng);
+  auto rel_err = [&](std::size_t rank) {
+    of::compression::PowerSGD codec(rank, 15);
+    Tensor out;
+    for (int i = 0; i < 3; ++i) out = codec.decompress(codec.compress(t));
+    return (out - t).l2_norm() / t.l2_norm();
+  };
+  EXPECT_LT(rel_err(32), rel_err(4));
+}
+
+TEST(ErrorFeedback, ResidualIsWhatTheCodecDropped) {
+  auto inner = std::make_unique<of::compression::TopK>(2.0, true);
+  of::compression::ErrorFeedbackCompressor ef(std::move(inner));
+  Rng rng(16);
+  const Tensor t = Tensor::randn({64}, rng);
+  const Tensor out = ef.decompress(ef.compress(t));
+  Tensor expected_residual = t - out;
+  EXPECT_TRUE(ef.residual().allclose(expected_residual, 1e-5f, 1e-5f));
+}
+
+TEST(ErrorFeedback, CompressedSgdConvergesOnQuadratic) {
+  // minimize ‖w − target‖² with 10×-compressed gradients; EF makes the
+  // iterates converge anyway (Karimireddy et al. 2019).
+  Rng rng(17);
+  const Tensor target = Tensor::randn({100}, rng);
+  Tensor w({100});
+  auto inner = std::make_unique<of::compression::TopK>(10.0, true);
+  of::compression::ErrorFeedbackCompressor ef(std::move(inner));
+  // The LR must absorb residual bursts: coordinates outside the top-k
+  // accumulate ~compression-factor rounds of gradient before release, so
+  // the stable step size shrinks by roughly that factor.
+  for (int step = 0; step < 1500; ++step) {
+    Tensor grad = w - target;
+    const Tensor applied = ef.decompress(ef.compress(grad));
+    w.add_scaled_(applied, -0.05f);
+  }
+  EXPECT_LT((w - target).l2_norm() / target.l2_norm(), 0.05f);
+}
+
+TEST(ErrorFeedback, WithoutEfTopKSgdStalls) {
+  // Control for the previous test: same setup, no residual accumulation,
+  // coordinates outside the top-k never move.
+  Rng rng(17);
+  Tensor target = Tensor::randn({100}, rng);
+  target.abs_();          // all positive...
+  target.add_scalar_(1.0f);
+  target[7] = 100.0f;     // ...one dominant coordinate hogs the top-k
+  Tensor w({100});
+  of::compression::TopK codec(/*k=*/1, false);
+  for (int step = 0; step < 50; ++step) {
+    Tensor grad = w - target;
+    const Tensor applied = codec.decompress(codec.compress(grad));
+    w.add_scaled_(applied, -0.3f);
+  }
+  // At most 50 coordinates can have been selected; most never moved.
+  std::size_t untouched = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (w[i] == 0.0f) ++untouched;
+  EXPECT_GE(untouched, 50u);
+}
+
+TEST(Identity, ExactRoundtrip) {
+  of::compression::Identity codec;
+  Rng rng(18);
+  const Tensor t = Tensor::randn({37}, rng);
+  EXPECT_TRUE(codec.decompress(codec.compress(t)).allclose(t, 0.0f, 0.0f));
+  EXPECT_TRUE(codec.allreduce_compatible());
+}
+
+// --- allreduce compatibility flags (paper §3.4.2) -------------------------------
+
+TEST(Compatibility, SparsifiersNeedAllgatherDenseCodecsAllreduce) {
+  EXPECT_FALSE(of::compression::TopK(10, true).allreduce_compatible());
+  EXPECT_FALSE(of::compression::DGC(10, true, 1).allreduce_compatible());
+  EXPECT_TRUE(of::compression::QSGD(8, 1).allreduce_compatible());
+  EXPECT_TRUE(of::compression::PowerSGD(8, 1).allreduce_compatible());
+}
+
+// --- config factory ---------------------------------------------------------------
+
+TEST(Factory, PaperStyleTopKConfig) {
+  const auto cfg = of::config::parse_yaml(R"(
+_target_: src.omnifed.communicator.compression.TopK
+k: 1000x
+)");
+  auto codec = of::compression::make_compressor(cfg);
+  EXPECT_EQ(codec->name(), "TopK");
+  Rng rng(19);
+  const Tensor t = Tensor::randn({10000}, rng);
+  EXPECT_EQ(nnz(codec->decompress(codec->compress(t))), 10u);
+}
+
+TEST(Factory, AbsoluteKAndFactorForms) {
+  auto abs_cfg = of::config::parse_yaml("_target_: TopK\nk: 25\n");
+  auto codec = of::compression::make_compressor(abs_cfg);
+  Rng rng(20);
+  const Tensor t = Tensor::randn({1000}, rng);
+  EXPECT_EQ(nnz(codec->decompress(codec->compress(t))), 25u);
+
+  auto fac_cfg = of::config::parse_yaml("_target_: TopK\nfactor: 50\n");
+  auto codec2 = of::compression::make_compressor(fac_cfg);
+  EXPECT_EQ(nnz(codec2->decompress(codec2->compress(t))), 20u);
+}
+
+TEST(Factory, ErrorFeedbackFlagWraps) {
+  auto cfg = of::config::parse_yaml("_target_: TopK\nk: 10\nerror_feedback: true\n");
+  auto codec = of::compression::make_compressor(cfg);
+  EXPECT_EQ(codec->name(), "EF(TopK)");
+}
+
+TEST(Factory, AllRegisteredCodecsConstruct) {
+  for (const auto& name : of::compression::compressor_registry().names()) {
+    auto cfg = of::config::ConfigNode::map();
+    cfg["_target_"] = of::config::ConfigNode::string(name);
+    cfg["k"] = of::config::ConfigNode::string("10x");
+    cfg["bits"] = of::config::ConfigNode::integer(8);
+    cfg["rank"] = of::config::ConfigNode::integer(4);
+    auto codec = of::compression::make_compressor(cfg);
+    Rng rng(21);
+    const Tensor t = Tensor::randn({512}, rng);
+    const Tensor out = codec->decompress(codec->compress(t));
+    EXPECT_EQ(out.numel(), t.numel()) << name;
+  }
+}
+
+TEST(Factory, UnknownCodecThrows) {
+  auto cfg = of::config::parse_yaml("_target_: Zstd\n");
+  EXPECT_THROW(of::compression::make_compressor(cfg), std::runtime_error);
+}
+
+}  // namespace

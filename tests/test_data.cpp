@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "data/partition.hpp"
+
+namespace {
+
+using of::data::DatasetSpec;
+using of::data::InMemoryDataset;
+using of::data::make_synthetic;
+using of::data::preset;
+
+TEST(Dataset, PresetsExist) {
+  for (const auto& name : of::data::preset_names()) {
+    const DatasetSpec s = preset(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_GE(s.classes, 2u);
+  }
+  EXPECT_THROW(preset("imagenet"), std::runtime_error);
+}
+
+TEST(Dataset, PresetClassCountsMatchPaperDatasets) {
+  EXPECT_EQ(preset("cifar10_like").classes, 10u);
+  EXPECT_EQ(preset("cifar100_like").classes, 100u);
+  EXPECT_EQ(preset("caltech101_like").classes, 101u);
+  EXPECT_EQ(preset("caltech256_like").classes, 257u);
+}
+
+TEST(Dataset, SynthesisDeterministic) {
+  const auto a = make_synthetic(preset("toy"), 5);
+  const auto b = make_synthetic(preset("toy"), 5);
+  EXPECT_TRUE(a.train.x().allclose(b.train.x(), 0.0f, 0.0f));
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  const auto a = make_synthetic(preset("toy"), 5);
+  const auto b = make_synthetic(preset("toy"), 6);
+  EXPECT_FALSE(a.train.x().allclose(b.train.x()));
+}
+
+TEST(Dataset, SizesMatchSpec) {
+  const DatasetSpec s = preset("toy");
+  const auto tt = make_synthetic(s, 1);
+  EXPECT_EQ(tt.train.size(), s.classes * s.train_per_class);
+  EXPECT_EQ(tt.test.size(), s.classes * s.test_per_class);
+  EXPECT_EQ(tt.train.dim(), s.dim);
+  EXPECT_EQ(tt.train.num_classes(), s.classes);
+}
+
+TEST(Dataset, AllClassesPresent) {
+  const auto tt = make_synthetic(preset("toy"), 2);
+  std::set<std::size_t> seen(tt.train.labels().begin(), tt.train.labels().end());
+  EXPECT_EQ(seen.size(), preset("toy").classes);
+}
+
+TEST(Dataset, LabelNoiseFlipsRoughlyTheRequestedFraction) {
+  DatasetSpec s = preset("toy");
+  s.train_per_class = 500;
+  s.label_noise = 0.2f;
+  const auto noisy = make_synthetic(s, 3);
+  DatasetSpec clean_spec = s;
+  clean_spec.label_noise = 0.0f;
+  const auto clean = make_synthetic(clean_spec, 3);
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < noisy.train.size(); ++i)
+    if (noisy.train.label(i) != clean.train.label(i)) ++flipped;
+  const double rate = static_cast<double>(flipped) / static_cast<double>(noisy.train.size());
+  // 20% noise, of which 1/classes lands back on the true label.
+  EXPECT_NEAR(rate, 0.2 * (1.0 - 1.0 / 4.0), 0.03);
+}
+
+TEST(Dataset, GatherPullsRequestedRows) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  const auto batch = tt.train.gather({0, 5, 9});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.y[1], tt.train.label(5));
+  for (std::size_t d = 0; d < tt.train.dim(); ++d)
+    EXPECT_EQ(batch.x(2, d), tt.train.x()(9, d));
+  EXPECT_THROW(tt.train.gather({tt.train.size()}), std::runtime_error);
+}
+
+TEST(Dataset, HarderPresetsAreLessSeparated) {
+  EXPECT_GT(preset("cifar10_like").separation, preset("cifar100_like").separation);
+  EXPECT_GT(preset("caltech101_like").separation, preset("caltech256_like").separation);
+}
+
+// --- partitions ------------------------------------------------------------------
+
+std::vector<std::size_t> flatten_sorted(const of::data::PartitionIndices& parts) {
+  std::vector<std::size_t> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(Partition, IidCoversEverythingOnce) {
+  const auto parts = of::data::iid_partition(103, 8, 1);
+  ASSERT_EQ(parts.size(), 8u);
+  const auto all = flatten_sorted(parts);
+  ASSERT_EQ(all.size(), 103u);
+  for (std::size_t i = 0; i < 103; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Partition, IidBalanced) {
+  const auto parts = of::data::iid_partition(100, 4, 2);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 25u);
+}
+
+TEST(Partition, IidDeterministic) {
+  EXPECT_EQ(of::data::iid_partition(50, 3, 7), of::data::iid_partition(50, 3, 7));
+  EXPECT_NE(of::data::iid_partition(50, 3, 7), of::data::iid_partition(50, 3, 8));
+}
+
+TEST(Partition, DirichletCoversEverythingOnce) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  const auto parts =
+      of::data::dirichlet_partition(tt.train.labels(), 4, 6, 0.5, 3);
+  const auto all = flatten_sorted(parts);
+  ASSERT_EQ(all.size(), tt.train.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Partition, DirichletEveryClientNonEmpty) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto parts =
+        of::data::dirichlet_partition(tt.train.labels(), 4, 16, 0.1, seed);
+    for (const auto& p : parts) EXPECT_FALSE(p.empty());
+  }
+}
+
+TEST(Partition, DirichletLowAlphaIsMoreSkewedThanHighAlpha) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  auto skew = [&](double alpha) {
+    const auto parts =
+        of::data::dirichlet_partition(tt.train.labels(), 4, 8, alpha, 11);
+    // Mean per-client label entropy; lower = more skew.
+    double entropy = 0.0;
+    for (const auto& p : parts) {
+      std::vector<double> counts(4, 0.0);
+      for (std::size_t idx : p) counts[tt.train.label(idx)] += 1.0;
+      double h = 0.0;
+      for (double c : counts) {
+        if (c == 0.0) continue;
+        const double q = c / static_cast<double>(p.size());
+        h -= q * std::log(q);
+      }
+      entropy += h;
+    }
+    return entropy / static_cast<double>(parts.size());
+  };
+  EXPECT_LT(skew(0.05), skew(100.0));
+}
+
+TEST(Partition, ShardsGiveEachClientFewClasses) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  const auto parts = of::data::shard_partition(tt.train.labels(), 4, 1, 5);
+  for (const auto& p : parts) {
+    std::set<std::size_t> classes;
+    for (std::size_t idx : p) classes.insert(tt.train.label(idx));
+    EXPECT_LE(classes.size(), 2u);  // one contiguous shard spans ≤2 classes
+  }
+}
+
+TEST(Partition, ShardsCoverEverythingOnce) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  const auto parts = of::data::shard_partition(tt.train.labels(), 5, 2, 5);
+  const auto all = flatten_sorted(parts);
+  ASSERT_EQ(all.size(), tt.train.size());
+}
+
+TEST(Partition, DispatcherRoutes) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  EXPECT_EQ(of::data::make_partition("iid", tt.train, 4, 0, 1).size(), 4u);
+  EXPECT_EQ(of::data::make_partition("dirichlet", tt.train, 4, 0.5, 1).size(), 4u);
+  EXPECT_EQ(of::data::make_partition("shards", tt.train, 4, 2, 1).size(), 4u);
+  EXPECT_THROW(of::data::make_partition("quantum", tt.train, 4, 0, 1),
+               std::runtime_error);
+}
+
+TEST(Partition, BadArgsThrow) {
+  EXPECT_THROW(of::data::iid_partition(2, 5, 1), std::runtime_error);
+  EXPECT_THROW(of::data::dirichlet_partition({0, 1}, 2, 2, -1.0, 1), std::runtime_error);
+}
+
+// --- loader ----------------------------------------------------------------------
+
+TEST(Loader, BatchesCoverSubsetExactly) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  of::data::DataLoader loader(tt.train, {1, 3, 5, 7, 9}, 2, /*shuffle=*/false, 1);
+  EXPECT_EQ(loader.size(), 5u);
+  EXPECT_EQ(loader.num_batches(), 3u);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < loader.num_batches(); ++b) total += loader.batch(b).size();
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(loader.batch(2).size(), 1u);  // tail batch
+}
+
+TEST(Loader, NoShuffleIsStable) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  of::data::DataLoader loader(tt.train, {4, 2, 8}, 3, false, 1);
+  const auto a = loader.batch(0);
+  loader.reshuffle();
+  const auto b = loader.batch(0);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Loader, ShuffleChangesOrderButNotContent) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  std::vector<std::size_t> idx(64);
+  for (std::size_t i = 0; i < 64; ++i) idx[i] = i;
+  of::data::DataLoader loader(tt.train, idx, 64, true, 3);
+  auto labels_of = [&] {
+    auto y = loader.batch(0).y;
+    return y;
+  };
+  const auto a = labels_of();
+  loader.reshuffle();
+  const auto b = labels_of();
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(a, b);  // astronomically unlikely to coincide
+}
+
+TEST(Loader, FullDatasetConvenienceCtor) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  of::data::DataLoader loader(tt.train, 32, false, 1);
+  EXPECT_EQ(loader.size(), tt.train.size());
+}
+
+TEST(Loader, InvalidArgsThrow) {
+  const auto tt = make_synthetic(preset("toy"), 1);
+  EXPECT_THROW(of::data::DataLoader(tt.train, {0}, 0, false, 1), std::runtime_error);
+  EXPECT_THROW(of::data::DataLoader(tt.train, {}, 4, false, 1), std::runtime_error);
+  EXPECT_THROW(of::data::DataLoader(tt.train, {tt.train.size()}, 4, false, 1),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "streaming/broker.hpp"
+#include "streaming/consumer.hpp"
+#include "streaming/producer.hpp"
+
+namespace {
+
+using of::streaming::Broker;
+using of::streaming::Consumer;
+using of::streaming::RateLimitedProducer;
+using of::streaming::Record;
+using of::tensor::Bytes;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+TEST(Broker, TopicLifecycle) {
+  Broker broker;
+  EXPECT_FALSE(broker.has_topic("t"));
+  broker.create_topic("t", 3);
+  EXPECT_TRUE(broker.has_topic("t"));
+  EXPECT_EQ(broker.partition_count("t"), 3u);
+  EXPECT_THROW(broker.create_topic("t", 1), std::runtime_error);
+  EXPECT_THROW(broker.partition_count("missing"), std::runtime_error);
+}
+
+TEST(Broker, OffsetsAreSequentialPerPartition) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  EXPECT_EQ(broker.produce("t", 0, 0, Bytes{1}), 0u);
+  EXPECT_EQ(broker.produce("t", 0, 0, Bytes{2}), 1u);
+  EXPECT_EQ(broker.produce("t", 1, 0, Bytes{3}), 0u);  // partitions independent
+  EXPECT_EQ(broker.end_offset("t", 0), 2u);
+  EXPECT_EQ(broker.end_offset("t", 1), 1u);
+}
+
+TEST(Broker, FetchPreservesOrderWithinPartition) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (std::uint8_t i = 0; i < 20; ++i) broker.produce("t", 0, i, Bytes{i});
+  const auto recs = broker.fetch("t", 0, 0, 100, 0.0);
+  ASSERT_EQ(recs.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(recs[i].offset, i);
+    EXPECT_EQ(recs[i].payload[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(Broker, FetchRespectsOffsetAndMax) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (std::uint8_t i = 0; i < 10; ++i) broker.produce("t", 0, i, Bytes{i});
+  const auto recs = broker.fetch("t", 0, 4, 3, 0.0);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].offset, 4u);
+  EXPECT_EQ(recs[2].offset, 6u);
+}
+
+TEST(Broker, FetchBlocksUntilDataArrives) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    broker.produce("t", 0, 0, Bytes{42});
+  });
+  const auto recs = broker.fetch("t", 0, 0, 1, 2.0);
+  producer.join();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].payload[0], 42);
+}
+
+TEST(Broker, FetchTimesOutEmpty) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  EXPECT_TRUE(broker.fetch("t", 0, 0, 1, 0.02).empty());
+}
+
+TEST(Broker, KeyedProduceRoutesByHash) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  for (std::uint64_t key = 0; key < 16; ++key) broker.produce_keyed("t", key, Bytes{1});
+  for (std::size_t p = 0; p < 4; ++p) EXPECT_EQ(broker.end_offset("t", p), 4u);
+}
+
+TEST(PartitionAssignment, RoundRobinDisjointAndComplete) {
+  const std::size_t partitions = 10, members = 3;
+  std::set<std::size_t> all;
+  for (std::size_t m = 0; m < members; ++m) {
+    const auto mine = of::streaming::assign_partitions(partitions, members, m);
+    for (std::size_t p : mine) {
+      EXPECT_TRUE(all.insert(p).second) << "partition " << p << " double-assigned";
+    }
+  }
+  EXPECT_EQ(all.size(), partitions);
+}
+
+TEST(Consumer, TracksOffsetsAcrossPolls) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (std::uint8_t i = 0; i < 10; ++i) broker.produce("t", 0, i, Bytes{i});
+  Consumer consumer(broker, "t", 1, 0);
+  const auto first = consumer.poll(4, 0.0);
+  const auto second = consumer.poll(100, 0.0);
+  ASSERT_EQ(first.size(), 4u);
+  ASSERT_EQ(second.size(), 6u);
+  EXPECT_EQ(second[0].offset, 4u);
+  EXPECT_EQ(consumer.records_consumed(), 10u);
+  EXPECT_EQ(consumer.lag(), 0u);
+}
+
+TEST(Consumer, GroupMembersSeeDisjointRecords) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  for (std::uint64_t i = 0; i < 40; ++i) broker.produce_keyed("t", i, Bytes{1});
+  Consumer a(broker, "t", 2, 0), b(broker, "t", 2, 1);
+  const auto ra = a.poll(100, 0.0);
+  const auto rb = b.poll(100, 0.0);
+  EXPECT_EQ(ra.size() + rb.size(), 40u);
+  EXPECT_EQ(ra.size(), 20u);
+}
+
+TEST(Consumer, LagCountsUnread) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  Consumer consumer(broker, "t", 1, 0);
+  for (int i = 0; i < 5; ++i) broker.produce("t", 0, 0, Bytes{1});
+  EXPECT_EQ(consumer.lag(), 5u);
+  (void)consumer.poll(2, 0.0);
+  EXPECT_EQ(consumer.lag(), 3u);
+}
+
+TEST(Sample, EncodeDecodeRoundtrip) {
+  Rng rng(1);
+  const Tensor row = Tensor::randn({16}, rng);
+  const Bytes payload = of::streaming::encode_sample(row, 7);
+  Tensor out;
+  std::size_t label = 0;
+  of::streaming::decode_sample(payload, out, label);
+  EXPECT_EQ(label, 7u);
+  EXPECT_TRUE(out.allclose(row, 0.0f, 0.0f));
+}
+
+TEST(Producer, UnthrottledIsImmediate) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  RateLimitedProducer producer(broker, "t", 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) producer.produce(0, 0, Bytes{1});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(secs, 0.5);
+  EXPECT_EQ(producer.records_produced(), 1000u);
+}
+
+TEST(Producer, TokenBucketHoldsTargetRate) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  RateLimitedProducer producer(broker, "t", /*rate=*/200.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 60; ++i) producer.produce(0, 0, Bytes{1});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double rate = 60.0 / secs;
+  EXPECT_NEAR(rate, 200.0, 60.0);  // within 30% on a noisy CI box
+}
+
+TEST(Producer, EffectiveRateReported) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  RateLimitedProducer producer(broker, "t", 500.0);
+  for (int i = 0; i < 50; ++i) producer.produce(0, 0, Bytes{1});
+  EXPECT_GT(producer.effective_rate(), 100.0);
+  EXPECT_LT(producer.effective_rate(), 2000.0);
+}
+
+TEST(StreamingLoader, BuildsBatchesFromStream) {
+  Broker broker;
+  broker.create_topic("client0", 1);
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i)
+    broker.produce("client0", 0, 0,
+                   of::streaming::encode_sample(Tensor::randn({8}, rng),
+                                                static_cast<std::size_t>(i % 4)));
+  of::streaming::StreamingDataLoader loader(broker, "client0", 1, 0, 16);
+  const auto batch = loader.next_batch(1.0);
+  ASSERT_EQ(batch.size(), 16u);
+  EXPECT_EQ(batch.x.size(1), 8u);
+  EXPECT_EQ(batch.y[3], 3u);
+  EXPECT_EQ(loader.samples_received(), 16u);
+}
+
+TEST(StreamingLoader, ShortBatchOnDryStream) {
+  Broker broker;
+  broker.create_topic("c", 1);
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i)
+    broker.produce("c", 0, 0, of::streaming::encode_sample(Tensor::randn({4}, rng), 0));
+  of::streaming::StreamingDataLoader loader(broker, "c", 1, 0, 16);
+  const auto batch = loader.next_batch(0.05);
+  EXPECT_EQ(batch.size(), 5u);
+}
+
+TEST(StreamingLoader, ConcurrentProducerConsumer) {
+  // The paper's Fig. 6 setup in miniature: a rate-limited producer feeds a
+  // client that measures its effective stream-rate.
+  Broker broker;
+  broker.create_topic("edge", 1);
+  const double target_rate = 300.0;
+  std::thread producer([&] {
+    Rng rng(4);
+    RateLimitedProducer p(broker, "edge", target_rate);
+    for (int i = 0; i < 90; ++i)
+      p.produce(0, 0, of::streaming::encode_sample(Tensor::randn({4}, rng), 0));
+  });
+  of::streaming::StreamingDataLoader loader(broker, "edge", 1, 0, 30);
+  std::size_t got = 0;
+  while (got < 90) {
+    const auto b = loader.next_batch(2.0);
+    if (b.size() == 0) break;
+    got += b.size();
+  }
+  producer.join();
+  EXPECT_EQ(got, 90u);
+  EXPECT_NEAR(loader.effective_rate(), target_rate, target_rate * 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "config/yaml.hpp"
+#include "core/payload.hpp"
+#include "core/topology.hpp"
+#include "compression/sparsify.hpp"
+#include "privacy/secure_agg.hpp"
+
+namespace {
+
+using of::core::NodeRole;
+using of::core::Topology;
+using of::config::parse_yaml;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+TEST(Topology, CentralizedShape) {
+  const Topology t = Topology::centralized(8);
+  EXPECT_EQ(t.kind, "centralized");
+  EXPECT_EQ(t.size(), 9);
+  EXPECT_EQ(t.num_trainers(), 8);
+  EXPECT_EQ(t.nodes[0].role, NodeRole::Aggregator);
+  for (int i = 1; i <= 8; ++i) EXPECT_TRUE(t.has_edge(0, i));
+  EXPECT_FALSE(t.has_edge(1, 2));
+  t.validate();
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::ring(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.num_trainers(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(t.has_edge(i, (i + 1) % 5));
+  EXPECT_FALSE(t.has_edge(0, 2));
+  EXPECT_THROW(Topology::ring(1), std::runtime_error);
+}
+
+TEST(Topology, HierarchicalShape) {
+  const Topology t = Topology::hierarchical(3, 2);
+  EXPECT_EQ(t.size(), 9);  // 3 leaders + 6 trainers
+  EXPECT_EQ(t.num_trainers(), 6);
+  EXPECT_EQ(t.num_groups, 3);
+  for (int g = 0; g < 3; ++g) {
+    const int leader = t.group_leader(g);
+    ASSERT_GE(leader, 0);
+    EXPECT_EQ(t.nodes[static_cast<std::size_t>(leader)].role, NodeRole::Aggregator);
+    const auto members = t.group_members(g);
+    EXPECT_EQ(members.size(), 3u);
+    EXPECT_EQ(members.front(), leader);  // leader has the smallest id
+  }
+  // Leaders form an outer star rooted at the first leader.
+  EXPECT_TRUE(t.has_edge(t.group_leader(0), t.group_leader(1)));
+  EXPECT_TRUE(t.has_edge(t.group_leader(0), t.group_leader(2)));
+}
+
+TEST(Topology, FromConfigCentralized) {
+  const Topology t = Topology::from_config(parse_yaml(
+      "_target_: src.omnifed.topology.CentralizedTopology\nnum_clients: 5\n"));
+  EXPECT_EQ(t.num_trainers(), 5);
+}
+
+TEST(Topology, FromConfigRingAndHierarchical) {
+  EXPECT_EQ(Topology::from_config(parse_yaml("_target_: RingTopology\nnum_nodes: 6\n"))
+                .num_trainers(),
+            6);
+  const Topology h = Topology::from_config(
+      parse_yaml("_target_: HierarchicalTopology\ngroups: 2\ngroup_size: 3\n"));
+  EXPECT_EQ(h.num_trainers(), 6);
+  EXPECT_EQ(h.num_groups, 2);
+}
+
+TEST(Topology, FromConfigCustomGraph) {
+  const Topology t = Topology::from_config(parse_yaml(R"(
+_target_: CustomTopology
+nodes:
+  - id: 0
+    role: aggregator
+  - id: 1
+    role: trainer
+  - id: 2
+    role: trainer
+edges:
+  - [0, 1]
+  - [0, 2]
+)"));
+  EXPECT_EQ(t.kind, "custom");
+  EXPECT_EQ(t.num_trainers(), 2);
+  EXPECT_TRUE(t.has_edge(0, 2));
+}
+
+TEST(Topology, UnknownTargetThrows) {
+  EXPECT_THROW(Topology::from_config(parse_yaml("_target_: MeshTopology\n")),
+               std::runtime_error);
+}
+
+TEST(Topology, ValidationCatchesDuplicateAggregators) {
+  Topology t;
+  t.kind = "custom";
+  t.nodes.push_back({0, NodeRole::Aggregator, 0});
+  t.nodes.push_back({1, NodeRole::Aggregator, 0});
+  t.nodes.push_back({2, NodeRole::Trainer, 0});
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, RelayRoleRejectedWithGuidance) {
+  Topology t;
+  t.kind = "custom";
+  t.nodes.push_back({0, NodeRole::Aggregator, 0});
+  t.nodes.push_back({1, NodeRole::Relay, 0});
+  t.nodes.push_back({2, NodeRole::Trainer, 0});
+  try {
+    t.validate();
+    FAIL() << "expected relay rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("relay"), std::string::npos);
+  }
+}
+
+TEST(Topology, ValidationCatchesBadEdges) {
+  Topology t;
+  t.kind = "custom";
+  t.nodes.push_back({0, NodeRole::Trainer, 0});
+  t.edges.emplace_back(0, 5);
+  EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+// --- payload codec ---------------------------------------------------------------------
+
+TEST(Payload, PlainRoundtrip) {
+  Rng rng(1);
+  std::vector<Tensor> payload{Tensor::randn({3, 2}, rng), Tensor::randn({5}, rng)};
+  const auto frame =
+      of::core::encode_update(payload, 1.0, of::core::PayloadPlugins{}, 0, 1);
+  const auto out = of::core::decode_update(frame, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].allclose(payload[0], 0.0f, 0.0f));
+  EXPECT_EQ(out[0].shape(), payload[0].shape());
+}
+
+TEST(Payload, WeightScaleApplied) {
+  std::vector<Tensor> payload{of::tensor::Tensor({2}, 1.0f)};
+  const auto frame =
+      of::core::encode_update(payload, 2.5, of::core::PayloadPlugins{}, 0, 1);
+  const auto out = of::core::decode_update(frame, nullptr);
+  EXPECT_FLOAT_EQ(out[0][0], 2.5f);
+}
+
+TEST(Payload, MeanOfPlainFramesIsWeightedMean) {
+  std::vector<Tensor> a{of::tensor::Tensor({2}, 1.0f)};
+  std::vector<Tensor> b{of::tensor::Tensor({2}, 3.0f)};
+  // weights 1.5 and 0.5 (pre-scaled): mean = (1.5·1 + 0.5·3)/2 = 1.5
+  const auto fa = of::core::encode_update(a, 1.5, {}, 0, 2);
+  const auto fb = of::core::encode_update(b, 0.5, {}, 1, 2);
+  const auto mean = of::core::mean_updates({fa, fb}, nullptr, nullptr);
+  EXPECT_FLOAT_EQ(mean[0][0], 1.5f);
+}
+
+TEST(Payload, CompressedRoundtripPreservesShapes) {
+  Rng rng(2);
+  std::vector<Tensor> payload{Tensor::randn({20, 10}, rng), Tensor::randn({30}, rng)};
+  of::compression::TopK client_codec(10.0, true);
+  of::core::PayloadPlugins plugins;
+  plugins.compressor = &client_codec;
+  const auto frame = of::core::encode_update(payload, 1.0, plugins, 0, 1);
+  of::compression::TopK server_codec(10.0, true);
+  const auto out = of::core::decode_update(frame, &server_codec);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].shape(), payload[0].shape());
+  EXPECT_EQ(out[1].shape(), payload[1].shape());
+}
+
+TEST(Payload, CompressedFrameIsSmaller) {
+  Rng rng(3);
+  std::vector<Tensor> payload{Tensor::randn({10000}, rng)};
+  of::compression::TopK codec(100.0, true);
+  of::core::PayloadPlugins plugins;
+  plugins.compressor = &codec;
+  const auto compressed = of::core::encode_update(payload, 1.0, plugins, 0, 1);
+  const auto plain = of::core::encode_update(payload, 1.0, {}, 0, 1);
+  EXPECT_LT(compressed.size(), plain.size() / 10);
+}
+
+TEST(Payload, PrivacyFramesAggregateViaMechanism) {
+  const int k = 3;
+  of::privacy::SecureAggregation sa("key", k);
+  of::core::PayloadPlugins plugins;
+  plugins.privacy = &sa;
+  Rng rng(4);
+  std::vector<of::tensor::Bytes> frames;
+  Tensor expected({6});
+  for (int i = 0; i < k; ++i) {
+    std::vector<Tensor> payload{Tensor::randn({2, 3}, rng)};
+    expected.add_(payload[0].reshape({6}));
+    frames.push_back(of::core::encode_update(payload, 1.0, plugins, i, k));
+  }
+  const auto mean = of::core::mean_updates(frames, nullptr, &sa);
+  ASSERT_EQ(mean.size(), 1u);
+  expected.scale_(1.0f / k);
+  EXPECT_TRUE(mean[0].reshape({6}).allclose(expected, 1e-3f, 1e-3f));
+}
+
+TEST(Payload, StackedPluginsRejected) {
+  of::compression::TopK codec(10.0, true);
+  of::privacy::SecureAggregation sa("key", 2);
+  of::core::PayloadPlugins plugins;
+  plugins.compressor = &codec;
+  plugins.privacy = &sa;
+  std::vector<Tensor> payload{Tensor({4})};
+  EXPECT_THROW(of::core::encode_update(payload, 1.0, plugins, 0, 2), std::runtime_error);
+}
+
+TEST(Payload, EmptyFrameListThrows) {
+  EXPECT_THROW(of::core::mean_updates({}, nullptr, nullptr), std::runtime_error);
+}
+
+// --- robust combination rules -----------------------------------------------------
+
+std::vector<of::tensor::Bytes> frames_of(const std::vector<float>& values) {
+  std::vector<of::tensor::Bytes> frames;
+  for (float v : values) {
+    std::vector<Tensor> payload{of::tensor::Tensor({2}, v)};
+    frames.push_back(of::core::encode_update(payload, 1.0, {}, 0, 1));
+  }
+  return frames;
+}
+
+TEST(RobustCombine, MedianOddAndEven) {
+  using of::core::AggregationRule;
+  auto odd = of::core::robust_combine(frames_of({5.0f, 1.0f, 3.0f}), nullptr,
+                                      AggregationRule::Median);
+  EXPECT_FLOAT_EQ(odd[0][0], 3.0f);
+  auto even = of::core::robust_combine(frames_of({1.0f, 2.0f, 10.0f, 3.0f}), nullptr,
+                                       AggregationRule::Median);
+  EXPECT_FLOAT_EQ(even[0][0], 2.5f);
+}
+
+TEST(RobustCombine, TrimmedMeanClipsTails) {
+  using of::core::AggregationRule;
+  // trim 0.25 of 4 values → drop 1 from each tail → mean(2, 3) = 2.5.
+  auto out = of::core::robust_combine(frames_of({100.0f, 2.0f, 3.0f, -50.0f}), nullptr,
+                                      AggregationRule::TrimmedMean, 0.25);
+  EXPECT_FLOAT_EQ(out[0][0], 2.5f);
+}
+
+TEST(RobustCombine, MedianIgnoresOneOutlier) {
+  using of::core::AggregationRule;
+  auto out = of::core::robust_combine(frames_of({1.0f, 1.1f, 0.9f, 1e6f}), nullptr,
+                                      AggregationRule::Median);
+  EXPECT_NEAR(out[0][0], 1.05f, 1e-4f);
+}
+
+TEST(RobustCombine, MeanRuleDelegates) {
+  using of::core::AggregationRule;
+  auto out = of::core::robust_combine(frames_of({1.0f, 3.0f}), nullptr,
+                                      AggregationRule::Mean);
+  EXPECT_FLOAT_EQ(out[0][0], 2.0f);
+}
+
+TEST(RobustCombine, ParseRule) {
+  using of::core::AggregationRule;
+  EXPECT_EQ(of::core::parse_aggregation_rule("median"), AggregationRule::Median);
+  EXPECT_EQ(of::core::parse_aggregation_rule("trimmed_mean"),
+            AggregationRule::TrimmedMean);
+  EXPECT_THROW(of::core::parse_aggregation_rule("krum"), std::runtime_error);
+}
+
+TEST(RobustCombine, BadTrimThrows) {
+  EXPECT_THROW(of::core::robust_combine(frames_of({1.0f}), nullptr,
+                                        of::core::AggregationRule::TrimmedMean, 0.5),
+               std::runtime_error);
+}
+
+TEST(Payload, SkipFramesIgnoredInMean) {
+  auto frames = frames_of({2.0f, 4.0f});
+  frames.push_back(of::core::encode_skip_update());
+  const auto mean = of::core::mean_updates(frames, nullptr, nullptr);
+  EXPECT_FLOAT_EQ(mean[0][0], 3.0f);  // skip frame excluded from the divisor
+  EXPECT_TRUE(of::core::is_skip_update(of::core::encode_skip_update()));
+  EXPECT_THROW(
+      of::core::mean_updates({of::core::encode_skip_update()}, nullptr, nullptr),
+      std::runtime_error);
+}
+
+TEST(Payload, PackUnpackTensors) {
+  Rng rng(5);
+  std::vector<Tensor> ts{Tensor::randn({4}, rng)};
+  const auto out = of::core::unpack_tensors(of::core::pack_tensors(ts));
+  EXPECT_TRUE(out[0].allclose(ts[0], 0.0f, 0.0f));
+}
+
+}  // namespace
