@@ -52,9 +52,10 @@ void AmqpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
                            static_cast<std::uint64_t>(rank_), frame(rank_, tag, payload));
 }
 
-std::pair<int, Bytes> AmqpCommunicator::recv_bytes_any(int tag) {
+std::optional<std::pair<int, Bytes>> AmqpCommunicator::pull_any(int tag,
+                                                                double timeout_seconds) {
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_seconds_);
+                        std::chrono::duration<double>(timeout_seconds);
   for (;;) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->first.second == tag && !it->second.empty()) {
@@ -63,13 +64,12 @@ std::pair<int, Bytes> AmqpCommunicator::recv_bytes_any(int tag) {
         it->second.pop();
         if (it->second.empty()) pending_.erase(it);
         account_recv(b.size());
-        return {src, std::move(b)};
+        return std::make_pair(src, std::move(b));
       }
     }
     const double remaining =
         std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
-    OF_CHECK_MSG(remaining > 0.0,
-                 "AMQP recv-any timeout: rank " << rank_ << " waited for tag " << tag);
+    if (remaining <= 0.0) return std::nullopt;
     const auto records = group_->broker().fetch(AmqpGroup::queue_name(rank_), 0,
                                                 next_offset_, 64, remaining);
     for (const auto& r : records) {
@@ -80,6 +80,18 @@ std::pair<int, Bytes> AmqpCommunicator::recv_bytes_any(int tag) {
       next_offset_ = r.offset + 1;
     }
   }
+}
+
+std::pair<int, Bytes> AmqpCommunicator::recv_bytes_any(int tag) {
+  auto got = pull_any(tag, timeout_seconds_);
+  OF_CHECK_MSG(got.has_value(),
+               "AMQP recv-any timeout: rank " << rank_ << " waited for tag " << tag);
+  return std::move(*got);
+}
+
+std::optional<std::pair<int, Bytes>> AmqpCommunicator::try_recv_bytes_any(
+    int tag, double timeout_seconds) {
+  return pull_any(tag, timeout_seconds);
 }
 
 Bytes AmqpCommunicator::recv_bytes(int src, int tag) {

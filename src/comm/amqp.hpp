@@ -35,10 +35,16 @@ class AmqpCommunicator final : public Communicator {
   // order, from whichever publisher — exactly the semantics the paper
   // wants AMQP for ("clients push updates to a queue").
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
+  std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
+                                                          double timeout_seconds) override;
 
   void set_recv_timeout(double seconds) noexcept { timeout_seconds_ = seconds; }
 
  private:
+  // Pull from the queue until a frame with `tag` is available or the
+  // deadline passes; nullopt on timeout.
+  std::optional<std::pair<int, Bytes>> pull_any(int tag, double timeout_seconds);
+
   AmqpGroup* group_;
   int rank_;
   std::uint64_t next_offset_ = 0;

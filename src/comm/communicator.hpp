@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -34,6 +36,8 @@ struct CommStats {
   std::uint64_t messages_received = 0;
   double seconds_in_comm = 0.0;   // wall time blocked in comm calls
   double modeled_seconds = 0.0;   // synthetic network-model delay (ModeledLink)
+  std::uint64_t reconnects = 0;      // successful link re-establishments (TCP)
+  std::uint64_t frames_dropped = 0;  // frames lost to a dead link (TCP)
 
   CommStats& operator+=(const CommStats& o) {
     bytes_sent += o.bytes_sent;
@@ -42,6 +46,8 @@ struct CommStats {
     messages_received += o.messages_received;
     seconds_in_comm += o.seconds_in_comm;
     modeled_seconds += o.modeled_seconds;
+    reconnects += o.reconnects;
+    frames_dropped += o.frames_dropped;
     return *this;
   }
 };
@@ -81,6 +87,24 @@ class Communicator {
     OF_CHECK_MSG(false, name() << " does not support any-source receive");
   }
 
+  // Bounded-wait any-source receive: like recv_bytes_any, but returns
+  // std::nullopt when `timeout_seconds` elapses instead of throwing. The
+  // building block of deadline-based partial aggregation (star.hpp).
+  virtual std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
+                                                                  double timeout_seconds) {
+    (void)tag;
+    (void)timeout_seconds;
+    OF_CHECK_MSG(false, name() << " does not support bounded any-source receive");
+  }
+
+  // Liveness of the link to `rank`, when the backend can observe it (TCP
+  // marks a peer down on EOF/write failure). Backends with no liveness
+  // signal report every peer alive; callers must then rely on deadlines.
+  virtual bool peer_alive(int rank) const {
+    (void)rank;
+    return true;
+  }
+
   // --- collectives -----------------------------------------------------------
   virtual void broadcast(Tensor& t, int root);
   virtual void allreduce(Tensor& t, ReduceOp op);
@@ -95,7 +119,9 @@ class Communicator {
   // All-gather of variable-length frames (sparse-codec exchange path).
   virtual std::vector<Bytes> allgather_bytes(const Bytes& b);
 
-  const CommStats& stats() const noexcept { return stats_; }
+  // Virtual so backends with thread-updated counters (TCP reconnects) can
+  // merge them into the snapshot without racing the owner thread.
+  virtual CommStats stats() const { return stats_; }
   void reset_stats() noexcept { stats_ = CommStats{}; }
 
  protected:

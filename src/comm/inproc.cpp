@@ -31,6 +31,13 @@ std::pair<int, Bytes> InProcCommunicator::recv_bytes_any(int tag) {
   return {src, std::move(b)};
 }
 
+std::optional<std::pair<int, Bytes>> InProcCommunicator::try_recv_bytes_any(
+    int tag, double timeout_seconds) {
+  auto got = group_->try_take_any(rank_, tag, timeout_seconds);
+  if (got) account_recv(got->second.size());
+  return got;
+}
+
 InProcGroup::InProcGroup(int world_size) : world_size_(world_size) {
   OF_CHECK_MSG(world_size >= 1, "group needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
@@ -77,6 +84,15 @@ Bytes InProcGroup::take(int dst, int src, int tag, double timeout_seconds) {
 }
 
 std::pair<int, Bytes> InProcGroup::take_any(int dst, int tag, double timeout_seconds) {
+  auto got = try_take_any(dst, tag, timeout_seconds);
+  OF_CHECK_MSG(got.has_value(), "recv-any timeout: rank " << dst << " waited "
+                                                          << timeout_seconds << "s for tag "
+                                                          << tag);
+  return std::move(*got);
+}
+
+std::optional<std::pair<int, Bytes>> InProcGroup::try_take_any(int dst, int tag,
+                                                               double timeout_seconds) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   const auto deadline = std::chrono::steady_clock::now() +
@@ -92,13 +108,12 @@ std::pair<int, Bytes> InProcGroup::take_any(int dst, int tag, double timeout_sec
     hit = find_match();
     return hit != box.slots.end();
   });
-  OF_CHECK_MSG(ok, "recv-any timeout: rank " << dst << " waited " << timeout_seconds
-                                             << "s for tag " << tag);
+  if (!ok) return std::nullopt;
   const int src = hit->first.first;
   Bytes b = std::move(hit->second.front());
   hit->second.pop();
   if (hit->second.empty()) box.slots.erase(hit);
-  return {src, std::move(b)};
+  return std::make_pair(src, std::move(b));
 }
 
 }  // namespace of::comm

@@ -33,6 +33,8 @@ class InProcCommunicator final : public Communicator {
   void send_bytes(int dst, int tag, const Bytes& payload) override;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
+  std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
+                                                          double timeout_seconds) override;
 
   void set_recv_timeout(double seconds) noexcept { timeout_seconds_ = seconds; }
 
@@ -66,6 +68,8 @@ class InProcGroup {
   void deliver(int dst, int src, int tag, Bytes payload);
   Bytes take(int dst, int src, int tag, double timeout_seconds);
   std::pair<int, Bytes> take_any(int dst, int tag, double timeout_seconds);
+  std::optional<std::pair<int, Bytes>> try_take_any(int dst, int tag,
+                                                    double timeout_seconds);
 
   int world_size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -37,6 +37,13 @@ std::pair<int, Bytes> ModeledLinkCommunicator::recv_bytes_any(int tag) {
   return {src, std::move(b)};
 }
 
+std::optional<std::pair<int, Bytes>> ModeledLinkCommunicator::try_recv_bytes_any(
+    int tag, double timeout_seconds) {
+  auto got = inner_->try_recv_bytes_any(tag, timeout_seconds);
+  if (got) account_recv(got->second.size());
+  return got;
+}
+
 void ModeledLinkCommunicator::broadcast(Tensor& t, int root) {
   if (star_only()) star::broadcast(*this, t, root);
   else Communicator::broadcast(t, root);

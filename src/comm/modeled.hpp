@@ -48,6 +48,17 @@ class ModeledLinkCommunicator final : public Communicator {
   void send_bytes(int dst, int tag, const Bytes& payload) override;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
+  std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
+                                                          double timeout_seconds) override;
+  bool peer_alive(int rank) const override { return inner_->peer_alive(rank); }
+  CommStats stats() const override {
+    // Surface the inner transport's fault counters through the decorator.
+    CommStats s = stats_;
+    const CommStats in = inner_->stats();
+    s.reconnects += in.reconnects;
+    s.frames_dropped += in.frames_dropped;
+    return s;
+  }
 
   // Collectives: use the inherited tree/ring algorithms over the delayed
   // send/recv when fully connected; fall back to star algorithms when the

@@ -1,5 +1,9 @@
 #include "comm/star.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <set>
+
 #include "common/check.hpp"
 
 namespace of::comm::star {
@@ -85,6 +89,64 @@ std::vector<Bytes> gather_bytes(Communicator& c, const Bytes& b, int root) {
   } else {
     c.send_bytes(0, tag, b);
   }
+  return out;
+}
+
+PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
+                                   const PartialGatherOptions& opt) {
+  using clock = std::chrono::steady_clock;
+  OF_CHECK_MSG(opt.min_clients >= 0 && opt.min_clients < c.world_size(),
+               "partial gather quorum " << opt.min_clients << " out of range for world size "
+                                        << c.world_size());
+  const int tag = c.claim_collective_tag();
+  PartialGather out;
+  if (c.rank() != 0) {
+    c.send_bytes(0, tag, b);
+    return out;
+  }
+
+  out.frames.resize(static_cast<std::size_t>(c.world_size()));
+  out.frames[0] = b;
+  std::set<int> pending;
+  for (int p = 1; p < c.world_size(); ++p) {
+    // A peer already known dead cannot contribute this round — don't let a
+    // crashed client consume the whole deadline.
+    if (c.peer_alive(p)) pending.insert(p);
+    else out.dropped.push_back(p);
+  }
+
+  const auto start = clock::now();
+  const auto deadline = start + std::chrono::duration_cast<clock::duration>(
+                                    std::chrono::duration<double>(opt.deadline_seconds));
+  const auto quorum_deadline =
+      start + std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(
+                  std::max(opt.deadline_seconds, opt.quorum_timeout_seconds)));
+
+  while (!pending.empty()) {
+    const auto now = clock::now();
+    const bool past_deadline = now >= deadline;
+    if (past_deadline) {
+      out.deadline_hit = true;
+      if (static_cast<int>(out.participated.size()) >= opt.min_clients) break;
+      OF_CHECK_MSG(now < quorum_deadline,
+                   "partial gather: only " << out.participated.size() << " of a required "
+                                           << opt.min_clients
+                                           << " clients reported before the quorum timeout");
+    }
+    const auto limit = past_deadline ? quorum_deadline : deadline;
+    const double wait =
+        std::max(1e-3, std::chrono::duration<double>(limit - now).count());
+    auto got = c.try_recv_bytes_any(tag, wait);
+    if (!got) continue;  // re-evaluate deadline / quorum state
+    const int src = got->first;
+    if (pending.count(src) == 0) continue;  // duplicate or out-of-group frame
+    out.frames[static_cast<std::size_t>(src)] = std::move(got->second);
+    out.participated.push_back(src);
+    pending.erase(src);
+  }
+  out.dropped.insert(out.dropped.end(), pending.begin(), pending.end());
+  std::sort(out.participated.begin(), out.participated.end());
+  std::sort(out.dropped.begin(), out.dropped.end());
   return out;
 }
 

@@ -17,4 +17,33 @@ void barrier(Communicator& c);
 std::vector<Bytes> gather_bytes(Communicator& c, const Bytes& b, int root);
 void broadcast_bytes(Communicator& c, Bytes& b, int root);
 
+// --- deadline-based partial gather --------------------------------------------
+//
+// The fault-tolerant variant of gather_bytes: the hub collects client frames
+// until either everyone reported or the round deadline passes. Past the
+// deadline it proceeds with whatever arrived, provided at least
+// `min_clients` made it; otherwise it keeps waiting (up to
+// `quorum_timeout_seconds` total) for a quorum. Stragglers past the cutoff
+// are recorded as dropped — the aggregation layer re-weights around them.
+
+struct PartialGatherOptions {
+  int min_clients = 1;                  // quorum: proceed past deadline with >= this many
+  double deadline_seconds = 5.0;        // soft per-round cutoff
+  double quorum_timeout_seconds = 60.0; // hard cutoff waiting for the quorum itself
+};
+
+struct PartialGather {
+  // Indexed by rank; frames[0] is the hub's own contribution, a dropped
+  // client's slot stays empty.
+  std::vector<Bytes> frames;
+  std::vector<int> participated;  // client ranks that made the cutoff (sorted)
+  std::vector<int> dropped;       // client ranks excluded this round (sorted)
+  bool deadline_hit = false;      // true when at least one straggler was outwaited
+};
+
+// Collective: every rank calls it in the same order. Clients send and return
+// an empty result; the hub (rank 0) returns the populated PartialGather.
+PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
+                                   const PartialGatherOptions& opt);
+
 }  // namespace of::comm::star

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -18,6 +19,14 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x0F5EED01u;
 constexpr int kHelloTag = -1;
+// Upper bound on a single frame payload. Anything larger is a corrupt or
+// hostile header — reject it before allocating.
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;  // 1 GiB
+// Frames queued per downed link before the oldest is dropped.
+constexpr std::size_t kMaxOutboxFrames = 128;
+// A connecting socket must deliver its hello within this budget, or the
+// accept loop moves on (a silent connector must not stall admission).
+constexpr double kHelloTimeoutSeconds = 10.0;
 
 struct FrameHeader {
   std::uint32_t magic;
@@ -31,20 +40,24 @@ bool read_exact(int fd, void* buf, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::read(fd, p + got, n - got);
-    if (r <= 0) return false;  // EOF or error — connection closing
+    if (r < 0 && errno == EINTR) continue;  // interrupted, not broken
+    if (r <= 0) return false;               // EOF or error — connection closing
     got += static_cast<std::size_t>(r);
   }
   return true;
 }
 
-void write_exact(int fd, const void* buf, std::size_t n) {
+bool write_exact(int fd, const void* buf, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t w = ::write(fd, p + sent, n - sent);
-    OF_CHECK_MSG(w > 0, "TCP write failed (errno=" << errno << ")");
+    // MSG_NOSIGNAL: a closed peer must surface as EPIPE, not kill the process.
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
     sent += static_cast<std::size_t>(w);
   }
+  return true;
 }
 
 void set_nodelay(int fd) {
@@ -52,15 +65,64 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void set_recv_timeout_opt(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+sockaddr_in resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  OF_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "bad server address '" << host << "'");
+  return addr;
+}
+
+// One fresh socket per attempt: a fd whose connect() failed is in an
+// unspecified state and must not be reused.
+int connect_once(const sockaddr_in& addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
 }  // namespace
 
-TcpCommunicator::TcpCommunicator(int rank, int world_size)
-    : rank_(rank), world_size_(world_size) {}
+TcpCommunicator::TcpCommunicator(int rank, int world_size, FaultTolerance ft)
+    : rank_(rank), world_size_(world_size), ft_(ft) {
+  if (rank == 0) {
+    for (int p = 1; p < world_size; ++p) peers_[p] = std::make_unique<Peer>();
+  } else {
+    peers_[0] = std::make_unique<Peer>();
+  }
+}
+
+TcpCommunicator::Peer& TcpCommunicator::peer(int rank) {
+  auto it = peers_.find(rank);
+  OF_CHECK_MSG(it != peers_.end(),
+               "no TCP link from rank " << rank_ << " to rank " << rank
+                                        << " (star topology: clients only talk to the server)");
+  return *it->second;
+}
+
+const TcpCommunicator::Peer& TcpCommunicator::peer(int rank) const {
+  return const_cast<TcpCommunicator*>(this)->peer(rank);
+}
 
 std::unique_ptr<TcpCommunicator> TcpCommunicator::make_server(std::uint16_t port,
-                                                              int world_size) {
+                                                              int world_size,
+                                                              FaultTolerance ft) {
   OF_CHECK_MSG(world_size >= 1, "world size must be >= 1");
-  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(0, world_size));
+  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(0, world_size, ft));
 
   comm->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   OF_CHECK_MSG(comm->listen_fd_ >= 0, "socket() failed");
@@ -79,98 +141,289 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_server(std::uint16_t port
   OF_CHECK(::getsockname(comm->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0);
   comm->port_ = ntohs(addr.sin_port);
 
-  // Accept world_size-1 clients; each introduces itself with a hello frame.
-  for (int i = 0; i < world_size - 1; ++i) {
-    const int fd = ::accept(comm->listen_fd_, nullptr, nullptr);
-    OF_CHECK_MSG(fd >= 0, "accept() failed");
-    set_nodelay(fd);
-    FrameHeader h{};
-    OF_CHECK_MSG(read_exact(fd, &h, sizeof(h)), "client hello read failed");
-    OF_CHECK_MSG(h.magic == kMagic && h.tag == kHelloTag && h.len == 0,
-                 "malformed client hello");
-    const int peer = h.src;
-    OF_CHECK_MSG(peer >= 1 && peer < world_size, "client announced invalid rank " << peer);
-    OF_CHECK_MSG(!comm->peer_fd_.count(peer), "duplicate client rank " << peer);
-    comm->peer_fd_[peer] = fd;
-    comm->write_mu_[peer] = std::make_unique<std::mutex>();
-    comm->start_reader(peer, fd);
+  // One persistent accept loop serves both the initial connects and any
+  // mid-run rejoins; construction blocks until the group is complete.
+  comm->accept_thread_ = std::thread([c = comm.get()] { c->accept_loop(); });
+  {
+    std::unique_lock<std::mutex> lock(comm->setup_mu_);
+    const bool ok = comm->setup_cv_.wait_for(lock, std::chrono::seconds(120), [&] {
+      return comm->connected_ == world_size - 1 || !comm->setup_error_.empty();
+    });
+    const std::string err = comm->setup_error_;
+    comm->initial_done_ = true;
+    lock.unlock();
+    OF_CHECK_MSG(err.empty(), err);
+    OF_CHECK_MSG(ok, "TCP server timed out waiting for " << world_size - 1 << " clients");
   }
   return comm;
 }
 
 std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string& host,
                                                               std::uint16_t port, int rank,
-                                                              int world_size) {
+                                                              int world_size,
+                                                              FaultTolerance ft) {
   OF_CHECK_MSG(rank >= 1 && rank < world_size, "client rank must be in [1, world)");
-  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(rank, world_size));
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  OF_CHECK_MSG(fd >= 0, "socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  OF_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-               "bad server address '" << host << "'");
+  auto comm = std::unique_ptr<TcpCommunicator>(new TcpCommunicator(rank, world_size, ft));
+  comm->host_ = host;
+  comm->port_ = port;
+  const sockaddr_in addr = resolve(host, port);
   // Retry: the server thread may still be binding/accepting earlier peers.
-  int rc = -1;
-  for (int attempt = 0; attempt < 250; ++attempt) {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    if (rc == 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int fd = -1;
+  for (int attempt = 0; attempt < 250 && fd < 0; ++attempt) {
+    fd = connect_once(addr);
+    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  OF_CHECK_MSG(rc == 0, "connect() to " << host << ':' << port << " failed");
-  set_nodelay(fd);
-  comm->peer_fd_[0] = fd;
-  comm->write_mu_[0] = std::make_unique<std::mutex>();
+  OF_CHECK_MSG(fd >= 0, "connect() to " << host << ':' << port << " failed");
   // Hello frame announces our rank.
   FrameHeader h{kMagic, rank, kHelloTag, 0};
-  write_exact(fd, &h, sizeof(h));
-  comm->port_ = port;
+  if (!write_exact(fd, &h, sizeof(h))) {
+    ::close(fd);
+    OF_CHECK_MSG(false, "client hello write to " << host << ':' << port << " failed");
+  }
+  Peer& p = comm->peer(0);
+  p.fd = fd;
+  p.up = true;
   comm->start_reader(0, fd);
   return comm;
 }
 
 TcpCommunicator::~TcpCommunicator() {
   shutting_down_.store(true);
-  for (auto& [peer, fd] : peer_fd_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& [r, p] : peers_) {
+    std::lock_guard<std::mutex> lock(p->mu);
+    if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is the only other writer of readers_; after its join
+  // the vector is stable.
   for (auto& t : readers_)
     if (t.joinable()) t.join();
-  for (auto& [peer, fd] : peer_fd_) ::close(fd);
+  for (auto& [r, p] : peers_)
+    if (p->fd >= 0) ::close(p->fd);
+  for (int fd : retired_fds_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
-void TcpCommunicator::start_reader(int peer_rank, int fd) {
-  readers_.emplace_back([this, peer_rank, fd] {
-    for (;;) {
-      FrameHeader h{};
-      if (!read_exact(fd, &h, sizeof(h))) return;  // peer closed
-      if (h.magic != kMagic) return;               // protocol violation → drop link
-      Bytes payload(h.len);
-      if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
-      {
-        std::lock_guard<std::mutex> lock(inbox_mu_);
-        inbox_[{peer_rank, h.tag}].push(std::move(payload));
-      }
-      inbox_cv_.notify_all();
-    }
-  });
+void TcpCommunicator::retire_fd(int fd) {
+  // Keep the descriptor open (a reader may still be blocked on it) but dead;
+  // actually closed at teardown so the number can't be reused mid-run.
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(setup_mu_);
+  retired_fds_.push_back(fd);
 }
 
-void TcpCommunicator::write_frame(int fd, int tag, const Bytes& payload) {
+void TcpCommunicator::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (teardown) or broken
+    }
+    if (shutting_down_.load()) {
+      ::close(fd);
+      return;
+    }
+    set_nodelay(fd);
+    set_recv_timeout_opt(fd, kHelloTimeoutSeconds);
+    FrameHeader h{};
+    const bool got_hello = read_exact(fd, &h, sizeof(h));
+    std::string err;
+    if (!got_hello)
+      err = "client hello read failed";
+    else if (h.magic != kMagic || h.tag != kHelloTag || h.len != 0)
+      err = "malformed client hello";
+    else if (h.src < 1 || h.src >= world_size_)
+      err = "client announced invalid rank " + std::to_string(h.src);
+    bool initial = false;
+    {
+      std::lock_guard<std::mutex> lock(setup_mu_);
+      initial = !initial_done_;
+    }
+    if (err.empty() && initial) {
+      Peer& p = peer(h.src);
+      std::lock_guard<std::mutex> lock(p.mu);
+      if (p.up) err = "duplicate client rank " + std::to_string(h.src);
+    }
+    if (!err.empty()) {
+      ::close(fd);
+      if (initial) {
+        // During group formation a bad hello aborts construction (the
+        // connecting side is part of this run and is misbehaving).
+        std::lock_guard<std::mutex> lock(setup_mu_);
+        setup_error_ = err;
+        setup_cv_.notify_all();
+        return;
+      }
+      continue;  // mid-run intruder/garbage: drop it, keep serving
+    }
+    set_recv_timeout_opt(fd, 0.0);  // hello budget only; frames block freely
+
+    Peer& p = peer(h.src);
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      if (p.fd >= 0) retire_fd(p.fd);  // rejoin replaces the old link
+      p.fd = fd;
+      p.up = true;
+      if (!initial) reconnects_.fetch_add(1, std::memory_order_relaxed);
+      flush_outbox_locked(p);
+    }
+    start_reader(h.src, fd);
+    if (initial) {
+      std::lock_guard<std::mutex> lock(setup_mu_);
+      ++connected_;
+      setup_cv_.notify_all();
+    }
+  }
+}
+
+void TcpCommunicator::start_reader(int peer_rank, int fd) {
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  readers_.emplace_back([this, peer_rank, fd] { reader_main(peer_rank, fd); });
+}
+
+void TcpCommunicator::reader_main(int peer_rank, int fd) {
+  for (;;) {
+    read_frames(peer_rank, fd);  // returns when the link breaks
+    if (shutting_down_.load()) return;
+    Peer& p = peer(peer_rank);
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      if (p.fd != fd) return;  // a rejoin already replaced this link; new reader owns it
+      p.up = false;
+    }
+    // Server side: the client rejoins through the accept loop (which spawns
+    // a fresh reader). Without fault tolerance a dead link stays dead.
+    if (rank_ == 0 || !ft_.enabled) return;
+    const int nfd = client_reconnect();
+    if (nfd < 0) return;  // gave up (or shutdown)
+    fd = nfd;
+  }
+}
+
+void TcpCommunicator::read_frames(int peer_rank, int fd) {
+  for (;;) {
+    FrameHeader h{};
+    if (!read_exact(fd, &h, sizeof(h))) return;        // peer closed
+    if (h.magic != kMagic) return;                     // protocol violation → drop link
+    if (h.len > kMaxFrameBytes) return;                // absurd length → drop link
+    Bytes payload(h.len);
+    if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      inbox_[{peer_rank, h.tag}].push(std::move(payload));
+    }
+    inbox_cv_.notify_all();
+  }
+}
+
+bool TcpCommunicator::interruptible_sleep(double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (shutting_down_.load()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return !shutting_down_.load();
+}
+
+int TcpCommunicator::client_reconnect() {
+  const sockaddr_in addr = resolve(host_, port_);
+  Peer& p = peer(0);
+  double backoff = ft_.backoff_seconds;
+  for (int attempt = 0; attempt < ft_.max_reconnect_attempts; ++attempt) {
+    if (!interruptible_sleep(backoff)) return -1;
+    backoff = std::min(backoff * 2.0, ft_.backoff_max_seconds);
+    const int fd = connect_once(addr);
+    if (fd < 0) continue;
+    FrameHeader h{kMagic, rank_, kHelloTag, 0};
+    if (!write_exact(fd, &h, sizeof(h))) {
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (shutting_down_.load()) {
+      ::close(fd);
+      return -1;
+    }
+    if (p.fd >= 0) retire_fd(p.fd);
+    p.fd = fd;
+    p.up = true;
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    flush_outbox_locked(p);
+    return fd;
+  }
+  return -1;
+}
+
+bool TcpCommunicator::write_frame_locked(Peer& p, int tag, const Bytes& payload) {
   FrameHeader h{kMagic, rank_, tag, payload.size()};
-  // One frame = header + payload under the per-socket lock so concurrent
-  // senders cannot interleave.
-  write_exact(fd, &h, sizeof(h));
-  if (!payload.empty()) write_exact(fd, payload.data(), payload.size());
+  // One frame = header + payload under the peer lock so concurrent senders
+  // cannot interleave.
+  if (!write_exact(p.fd, &h, sizeof(h))) return false;
+  if (!payload.empty() && !write_exact(p.fd, payload.data(), payload.size())) return false;
+  return true;
+}
+
+void TcpCommunicator::queue_frame_locked(Peer& p, int tag, const Bytes& payload) {
+  if (p.outbox.size() >= kMaxOutboxFrames) {
+    p.outbox.pop_front();  // oldest frame is the stalest — sacrifice it
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  p.outbox.emplace_back(tag, payload);
+}
+
+void TcpCommunicator::flush_outbox_locked(Peer& p) {
+  while (!p.outbox.empty()) {
+    auto& [tag, payload] = p.outbox.front();
+    if (!write_frame_locked(p, tag, payload)) {
+      p.up = false;  // link died again mid-flush; keep the rest queued
+      return;
+    }
+    p.outbox.pop_front();
+  }
 }
 
 void TcpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
-  auto it = peer_fd_.find(dst);
-  OF_CHECK_MSG(it != peer_fd_.end(),
-               "no TCP link from rank " << rank_ << " to rank " << dst
-                                        << " (star topology: clients only talk to the server)");
-  std::lock_guard<std::mutex> lock(*write_mu_.at(dst));
-  write_frame(it->second, tag, payload);
+  Peer& p = peer(dst);
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (!p.up) {
+    OF_CHECK_MSG(ft_.enabled, "TCP link from rank " << rank_ << " to rank " << dst
+                                                    << " is down");
+    queue_frame_locked(p, tag, payload);
+    account_send(payload.size());
+    return;
+  }
+  if (!write_frame_locked(p, tag, payload)) {
+    // The stream broke mid-frame; the receiver resyncs from scratch on the
+    // next connection, so replaying the whole frame is safe.
+    p.up = false;
+    OF_CHECK_MSG(ft_.enabled, "TCP write to rank " << dst << " failed (errno=" << errno
+                                                   << ")");
+    queue_frame_locked(p, tag, payload);
+  }
   account_send(payload.size());
+}
+
+void TcpCommunicator::inject_disconnect(int peer_rank) {
+  Peer& p = peer(peer_rank);
+  std::lock_guard<std::mutex> lock(p.mu);
+  if (p.fd >= 0) ::shutdown(p.fd, SHUT_RDWR);
+}
+
+bool TcpCommunicator::peer_alive(int rank) const {
+  if (rank == rank_) return true;
+  auto it = peers_.find(rank);
+  if (it == peers_.end()) return false;
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->up;
+}
+
+CommStats TcpCommunicator::stats() const {
+  CommStats s = stats_;
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Bytes TcpCommunicator::take(int src, int tag) {
@@ -198,12 +451,13 @@ Bytes TcpCommunicator::recv_bytes(int src, int tag) {
   return b;
 }
 
-std::pair<int, Bytes> TcpCommunicator::recv_bytes_any(int tag) {
+std::optional<std::pair<int, Bytes>> TcpCommunicator::try_recv_bytes_any(
+    int tag, double timeout_seconds) {
   std::unique_lock<std::mutex> lock(inbox_mu_);
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(timeout_seconds_));
+          std::chrono::duration<double>(timeout_seconds));
   auto find_match = [&]() -> decltype(inbox_)::iterator {
     for (auto it = inbox_.begin(); it != inbox_.end(); ++it)
       if (it->first.second == tag && !it->second.empty()) return it;
@@ -214,13 +468,19 @@ std::pair<int, Bytes> TcpCommunicator::recv_bytes_any(int tag) {
     hit = find_match();
     return hit != inbox_.end();
   });
-  OF_CHECK_MSG(ok, "TCP recv-any timeout waiting for tag " << tag);
+  if (!ok) return std::nullopt;
   const int src = hit->first.first;
   Bytes b = std::move(hit->second.front());
   hit->second.pop();
   if (hit->second.empty()) inbox_.erase(hit);
   account_recv(b.size());
-  return {src, std::move(b)};
+  return std::make_pair(src, std::move(b));
+}
+
+std::pair<int, Bytes> TcpCommunicator::recv_bytes_any(int tag) {
+  auto got = try_recv_bytes_any(tag, timeout_seconds_);
+  OF_CHECK_MSG(got.has_value(), "TCP recv-any timeout waiting for tag " << tag);
+  return std::move(*got);
 }
 
 // --- star-topology collectives (shared algorithms in star.hpp) -----------------

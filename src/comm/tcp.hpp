@@ -11,10 +11,19 @@
 // semantics: broadcast = server sends to each client, reduce/gather =
 // clients send to the server. This reproduces gRPC-based FL's O(P · model)
 // server bottleneck that the paper contrasts with ring all-reduce.
+//
+// Fault tolerance (optional, per-communicator): a broken link marks the
+// peer down instead of killing the run. Clients reconnect with capped
+// exponential backoff; the server keeps accepting so a rejoining client is
+// re-admitted mid-run. Frames sent while a link is down are queued (bounded)
+// and replayed on reconnect; overflow is dropped and counted. Liveness is
+// observable through peer_alive(), reconnects/frames_dropped through
+// stats() — the raw material of deadline-based partial aggregation.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,15 +34,25 @@
 
 namespace of::comm {
 
+struct TcpFaultTolerance {
+  bool enabled = false;
+  int max_reconnect_attempts = 8;
+  double backoff_seconds = 0.05;      // first retry delay
+  double backoff_max_seconds = 2.0;   // exponential backoff cap
+};
+
 class TcpCommunicator final : public Communicator {
  public:
+  using FaultTolerance = TcpFaultTolerance;
+
   // Bind + listen on `port` (0 = ephemeral), accept `world_size`-1 clients.
   // Blocks until the group is fully connected.
-  static std::unique_ptr<TcpCommunicator> make_server(std::uint16_t port, int world_size);
+  static std::unique_ptr<TcpCommunicator> make_server(std::uint16_t port, int world_size,
+                                                      FaultTolerance ft = {});
   // Connect to the server; `rank` in [1, world_size).
   static std::unique_ptr<TcpCommunicator> make_client(const std::string& host,
                                                       std::uint16_t port, int rank,
-                                                      int world_size);
+                                                      int world_size, FaultTolerance ft = {});
 
   ~TcpCommunicator() override;
 
@@ -46,6 +65,18 @@ class TcpCommunicator final : public Communicator {
   void send_bytes(int dst, int tag, const Bytes& payload) override;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
+  std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
+                                                          double timeout_seconds) override;
+  bool peer_alive(int rank) const override;
+  CommStats stats() const override;
+
+  void set_recv_timeout(double seconds) noexcept { timeout_seconds_ = seconds; }
+  std::uint64_t reconnect_count() const noexcept { return reconnects_.load(); }
+
+  // Fault-injection hook: tear down the live socket to `peer_rank` (clients:
+  // 0, the server link). Both sides observe the loss; with fault tolerance
+  // on, the client reconnects with backoff and queued frames are replayed.
+  void inject_disconnect(int peer_rank = 0);
 
   // Star-topology collectives (root must be the server rank 0).
   void broadcast(Tensor& t, int root) override;
@@ -58,22 +89,62 @@ class TcpCommunicator final : public Communicator {
   void broadcast_bytes(Bytes& b, int root) override;
 
  private:
-  TcpCommunicator(int rank, int world_size);
+  // One star edge. `mu` guards fd/up/outbox and serializes frame writes so
+  // concurrent senders cannot interleave.
+  struct Peer {
+    int fd = -1;
+    bool up = false;
+    std::mutex mu;
+    std::deque<std::pair<int, Bytes>> outbox;  // frames queued while down
+  };
+
+  TcpCommunicator(int rank, int world_size, FaultTolerance ft);
 
   void start_reader(int peer_rank, int fd);
-  void write_frame(int fd, int tag, const Bytes& payload);
+  void reader_main(int peer_rank, int fd);
+  // Pull frames off `fd` into the inbox until the link breaks.
+  void read_frames(int peer_rank, int fd);
+  // Client-side reconnect loop (capped exponential backoff). Returns the new
+  // fd, or -1 when attempts are exhausted or shutdown began.
+  int client_reconnect();
+  // Server-side accept loop: initial connects, then rejoins.
+  void accept_loop();
+  // Sleep in small slices so shutdown stays responsive; false if shutting down.
+  bool interruptible_sleep(double seconds);
+
+  Peer& peer(int rank);
+  const Peer& peer(int rank) const;
+  bool write_frame_locked(Peer& p, int tag, const Bytes& payload);
+  void queue_frame_locked(Peer& p, int tag, const Bytes& payload);
+  void flush_outbox_locked(Peer& p);
+  void retire_fd(int fd);
   Bytes take(int src, int tag);
 
   int rank_;
   int world_size_;
+  FaultTolerance ft_;
   std::uint16_t port_ = 0;
+  std::string host_;  // clients: server address, for reconnects
   int listen_fd_ = -1;
 
-  // peer rank → socket fd (server: one per client; client: {0 → server fd}).
-  std::map<int, int> peer_fd_;
-  std::map<int, std::unique_ptr<std::mutex>> write_mu_;
+  // peer rank → link state (server: one per client; client: {0 → server}).
+  // The map is populated before any thread starts and never resized after,
+  // so lookups are lock-free; per-peer state is guarded by Peer::mu.
+  std::map<int, std::unique_ptr<Peer>> peers_;
+
+  std::mutex setup_mu_;  // guards the three fields below + retired_fds_
+  std::condition_variable setup_cv_;
+  int connected_ = 0;
+  bool initial_done_ = false;
+  std::string setup_error_;
+  std::vector<int> retired_fds_;  // fds replaced by a rejoin; closed at teardown
+
+  std::thread accept_thread_;
+  std::mutex readers_mu_;
   std::vector<std::thread> readers_;
   std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
 
   std::mutex inbox_mu_;
   std::condition_variable inbox_cv_;

@@ -146,6 +146,32 @@ std::vector<NodeSetup> Engine::build_setups() {
   const auto byzantine_count = byz_cfg.get_or<std::size_t>("count", 0);
   const std::string byzantine_kind = byz_cfg.get_or<std::string>("kind", "sign_flip");
 
+  // --- fault model -----------------------------------------------------------
+  const auto fault_spec = fault::FaultSpec::from_config(node_or_empty(cfg_, "fault"));
+  if (fault_spec.enabled) {
+    OF_CHECK_MSG(topology_.kind == "centralized",
+                 "fault tolerance (deadline-based partial aggregation) requires a "
+                 "centralized topology");
+    OF_CHECK_MSG(!async_mode,
+                 "fault tolerance applies to synchronous rounds only (async "
+                 "scheduling already absorbs stragglers by design)");
+    if (has_privacy) {
+      const std::string ptarget =
+          config::target_basename(privacy_cfg.at("_target_").as_string());
+      OF_CHECK_MSG(ptarget == "DifferentialPrivacy",
+                   "partial aggregation breaks fixed-cohort privacy mechanisms ("
+                       << ptarget << ")");
+    }
+    fault_spec.validate(topology_.size());
+  }
+  comm::TcpFaultTolerance tcp_ft;
+  if (fault_spec.enabled) {
+    tcp_ft.enabled = true;
+    tcp_ft.max_reconnect_attempts = fault_spec.reconnect_max_attempts;
+    tcp_ft.backoff_seconds = fault_spec.reconnect_backoff_seconds;
+    tcp_ft.backoff_max_seconds = fault_spec.reconnect_backoff_max_seconds;
+  }
+
   const config::ConfigNode het_cfg = node_or_empty(cfg_, "heterogeneity");
   std::vector<double> slowdowns;
   if (het_cfg.has("slowdowns")) {
@@ -222,6 +248,14 @@ std::vector<NodeSetup> Engine::build_setups() {
   std::size_t total_samples = 0;
   for (const auto& p : parts) total_samples += p.size();
 
+  // Survivor re-weighting for partial rounds: w_i = n_i / total, indexed by
+  // cohort index (centralized: rank i+1).
+  std::vector<double> client_weights;
+  if (fault_spec.enabled && total_samples > 0)
+    for (const auto& p : parts)
+      client_weights.push_back(static_cast<double>(p.size()) /
+                               static_cast<double>(total_samples));
+
   // Per-group sample totals (hierarchical weights).
   std::vector<std::size_t> group_samples(static_cast<std::size_t>(topology_.num_groups), 0);
   {
@@ -253,6 +287,9 @@ std::vector<NodeSetup> Engine::build_setups() {
     s.participation_seed = seed ^ 0x5E1EC7ULL;
     s.aggregation_rule = agg_rule;
     s.aggregation_trim = agg_trim;
+    s.fault = fault_spec;
+    if (tn.role == NodeRole::Aggregator && fault_spec.enabled)
+      s.client_weights = client_weights;
     s.seed = seed + 1000 + static_cast<std::uint64_t>(tn.id);
     s.model = nn::zoo::make_model(model_name, spec.dim, spec.classes, seed);
     s.algorithm = algorithms::make_algorithm(algo_target);
@@ -379,6 +416,7 @@ std::vector<NodeSetup> Engine::build_setups() {
       s.inner_spec.port = inner_port;
       s.inner_spec.link = inner_link;
       s.inner_spec.delay_mode = inner_delay;
+      s.inner_spec.tcp_ft = tcp_ft;
     }
 
     setups.push_back(std::move(s));

@@ -18,10 +18,13 @@ std::string RunResult::summary() const {
 
 std::string RunResult::to_csv() const {
   std::ostringstream os;
-  os << "round,seconds,train_loss,accuracy,bytes_up,bytes_down,mean_staleness\n";
+  os << "round,seconds,train_loss,accuracy,bytes_up,bytes_down,mean_staleness,"
+        "participated,dropped,deadline_hit,reconnects\n";
   for (const auto& r : rounds) {
     os << r.round << ',' << r.seconds << ',' << r.train_loss << ',' << r.accuracy << ','
-       << r.bytes_up << ',' << r.bytes_down << ',' << r.mean_staleness << '\n';
+       << r.bytes_up << ',' << r.bytes_down << ',' << r.mean_staleness << ','
+       << r.participated << ',' << r.dropped_ranks.size() << ','
+       << (r.deadline_hit ? 1 : 0) << ',' << r.reconnects << '\n';
   }
   return os.str();
 }

@@ -19,6 +19,13 @@ struct RoundRecord {
   std::uint64_t bytes_up = 0;    // bytes received by the root this round
   std::uint64_t bytes_down = 0;  // bytes sent by the root this round
   double mean_staleness = 0.0;   // async scheduling only
+
+  // Fault-tolerant rounds only (see src/fault/): which clients made the
+  // deadline, who was cut, and the transport's recovery activity.
+  std::size_t participated = 0;    // clients aggregated this round (0 = not tracked)
+  std::vector<int> dropped_ranks;  // clients excluded by the round deadline
+  bool deadline_hit = false;       // at least one straggler was outwaited
+  std::uint64_t reconnects = 0;    // cumulative link rejoins observed by the root
 };
 
 struct RunResult {

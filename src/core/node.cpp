@@ -1,9 +1,11 @@
 #include "core/node.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <numeric>
 #include <thread>
 
+#include "comm/star.hpp"
 #include "common/check.hpp"
 
 namespace of::core {
@@ -27,10 +29,10 @@ OwnedComm OwnedComm::make(const CommSpec& spec) {
       break;
     case CommSpec::Backend::Tcp:
       if (spec.rank == 0)
-        out.tcp = comm::TcpCommunicator::make_server(spec.port, spec.world);
+        out.tcp = comm::TcpCommunicator::make_server(spec.port, spec.world, spec.tcp_ft);
       else
         out.tcp = comm::TcpCommunicator::make_client(spec.host, spec.port, spec.rank,
-                                                     spec.world);
+                                                     spec.world, spec.tcp_ft);
       base = out.tcp.get();
       break;
     case CommSpec::Backend::Amqp:
@@ -64,12 +66,16 @@ NodeRuntime::NodeRuntime(NodeSetup setup) : s_(std::move(setup)), rng_(s_.seed) 
 
 NodeReport NodeRuntime::run() {
   OwnedComm inner = OwnedComm::make(s_.inner_spec);
+  tcp_inner_ = inner.tcp.get();
   NodeReport report;
   if (s_.mode == "async") {
     report = s_.role == NodeRole::Aggregator ? run_async_aggregator(*inner.use)
                                              : run_async_trainer(*inner.use);
   } else if (s_.mode == "ring") {
     report = run_ring_node(*inner.use);
+  } else if (s_.fault.enabled && s_.mode == "centralized") {
+    report = s_.role == NodeRole::Trainer ? run_fault_trainer(*inner.use)
+                                          : run_fault_aggregator(*inner.use);
   } else if (s_.role == NodeRole::Trainer) {
     report = run_trainer(*inner.use);
   } else if (s_.mode == "centralized") {
@@ -210,6 +216,133 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     rec.accuracy = acc_n > 0 ? static_cast<float>(acc_sum / acc_n) : -1.0f;
     rec.bytes_down = inner.stats().bytes_sent - bytes_sent_before;
     rec.bytes_up = inner.stats().bytes_received - bytes_recv_before;
+    report.rounds.push_back(rec);
+  }
+  return report;
+}
+
+// --- fault-tolerant centralized rounds (src/fault/) ----------------------------
+//
+// One deadline governs each round, so the update and its metrics ride in a
+// single combined frame: u64 update_len | update_frame | metrics_tensor.
+// Otherwise a client could make the update cutoff but miss the metrics one,
+// skewing the two participation sets against each other.
+
+NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
+  fault::FaultInjector injector(s_.fault, inner.rank(), s_.participation_seed);
+  const comm::star::PartialGatherOptions opt{s_.fault.min_clients,
+                                             s_.fault.round_deadline_seconds,
+                                             s_.fault.quorum_timeout_seconds};
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    tensor::Bytes gbytes;
+    inner.broadcast_bytes(gbytes, 0);
+    const auto decision = injector.at_round(static_cast<int>(round));
+    if (decision.crash) return NodeReport{};  // device powers off mid-run
+    const auto global = unpack_tensors(gbytes);
+    algorithms::TrainStats stats;
+    const tensor::Bytes frame = train_one_round(global, round, stats);
+    if (decision.extra_delay_seconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(decision.extra_delay_seconds));
+    if (decision.disconnect) {
+      if (tcp_inner_ != nullptr) {
+        // Real link loss: the transport reconnects with backoff and replays
+        // the queued frame; whether we make the deadline is up to the race.
+        tcp_inner_->inject_disconnect(0);
+      } else {
+        // Backends without a severable link model the outage as an outage-
+        // length stall — just past the deadline, so the round is missed.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(s_.fault.round_deadline_seconds + 0.05));
+      }
+    }
+    tensor::Bytes combined;
+    tensor::append_pod<std::uint64_t>(combined, frame.size());
+    combined.insert(combined.end(), frame.begin(), frame.end());
+    const tensor::Bytes mbytes = tensor::serialize_tensor(metrics_tensor(stats, round));
+    combined.insert(combined.end(), mbytes.begin(), mbytes.end());
+    (void)comm::star::gather_bytes_partial(inner, combined, opt);
+  }
+  return NodeReport{};
+}
+
+NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
+  NodeReport report;
+  auto& algo = *s_.algorithm;
+  algorithms::ServerState state;
+  state.params = s_.algorithm_params;
+  state.global = algo.initial_global(s_.model);
+  const comm::star::PartialGatherOptions opt{s_.fault.min_clients,
+                                             s_.fault.round_deadline_seconds,
+                                             s_.fault.quorum_timeout_seconds};
+
+  for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    const auto t0 = Clock::now();
+    const auto bytes_sent_before = inner.stats().bytes_sent;
+    const auto bytes_recv_before = inner.stats().bytes_received;
+
+    tensor::Bytes gbytes = pack_tensors(state.global);
+    inner.broadcast_bytes(gbytes, 0);
+    const auto partial = comm::star::gather_bytes_partial(inner, {}, opt);
+
+    std::vector<tensor::Bytes> frames;
+    frames.reserve(partial.participated.size());
+    double loss_sum = 0.0, steps = 0.0, acc_sum = 0.0, acc_n = 0.0;
+    double weight_sum = 0.0;
+    int contributing = 0;
+    for (const int p : partial.participated) {
+      const tensor::Bytes& combined = partial.frames[static_cast<std::size_t>(p)];
+      std::size_t off = 0;
+      const auto ulen = tensor::read_pod<std::uint64_t>(combined, off);
+      OF_CHECK_MSG(off + ulen <= combined.size(),
+                   "fault-mode frame from rank " << p << " truncated");
+      tensor::Bytes update(combined.begin() + static_cast<std::ptrdiff_t>(off),
+                           combined.begin() + static_cast<std::ptrdiff_t>(off + ulen));
+      const tensor::Bytes mbytes(combined.begin() + static_cast<std::ptrdiff_t>(off + ulen),
+                                 combined.end());
+      const tensor::Tensor m = tensor::deserialize_tensor(mbytes);
+      loss_sum += m[0];
+      steps += m[1];
+      acc_sum += m[2];
+      acc_n += m[3];
+      if (!is_skip_update(update)) {
+        ++contributing;
+        const auto ci = static_cast<std::size_t>(p - 1);  // rank p ↔ cohort index p-1
+        if (ci < s_.client_weights.size()) weight_sum += s_.client_weights[ci];
+      }
+      frames.push_back(std::move(update));
+    }
+
+    if (contributing > 0) {
+      auto mean = s_.aggregation_rule == AggregationRule::Mean
+                      ? mean_updates(frames, s_.compressor.get(), s_.privacy.get())
+                      : robust_combine(frames, s_.compressor.get(), s_.aggregation_rule,
+                                       s_.aggregation_trim);
+      // Each update was pre-scaled by n_i·N/total; the uniform mean over the
+      // k survivors therefore needs k / (N·Σ w_i) to become the exact
+      // weighted mean over the surviving cohort (= 1 at full participation).
+      if (s_.aggregation_rule == AggregationRule::Mean && !s_.client_weights.empty() &&
+          weight_sum > 1e-12) {
+        const double corr = static_cast<double>(contributing) /
+                            (static_cast<double>(s_.cohort_size) * weight_sum);
+        if (std::abs(corr - 1.0) > 1e-9)
+          for (auto& t : mean) t.scale_(static_cast<float>(corr));
+      }
+      state.round = round;
+      state.global = algo.server_update(state, mean);
+    }  // an empty round (quorum of skips) leaves the global model untouched
+
+    RoundRecord rec;
+    rec.round = round;
+    rec.seconds = seconds_since(t0);
+    rec.train_loss = steps > 0 ? loss_sum / steps : 0.0;
+    rec.accuracy = acc_n > 0 ? static_cast<float>(acc_sum / acc_n) : -1.0f;
+    rec.bytes_down = inner.stats().bytes_sent - bytes_sent_before;
+    rec.bytes_up = inner.stats().bytes_received - bytes_recv_before;
+    rec.participated = partial.participated.size();
+    rec.dropped_ranks = partial.dropped;
+    rec.deadline_hit = partial.deadline_hit;
+    rec.reconnects = inner.stats().reconnects;
     report.rounds.push_back(rec);
   }
   return report;

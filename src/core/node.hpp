@@ -20,6 +20,7 @@
 #include "core/payload.hpp"
 #include "core/topology.hpp"
 #include "data/loader.hpp"
+#include "fault/fault.hpp"
 
 namespace of::core {
 
@@ -33,6 +34,7 @@ struct CommSpec {
   std::string host = "127.0.0.1";     // Tcp clients
   std::optional<comm::LinkModel> link;  // wrap with a modeled WAN/LAN link
   comm::DelayMode delay_mode = comm::DelayMode::Virtual;
+  comm::TcpFaultTolerance tcp_ft;       // Tcp: reconnect policy (fault runs)
 };
 
 // A communicator built from a spec, with its ownership chain.
@@ -74,6 +76,13 @@ struct NodeSetup {
   bool byzantine = false;
   std::string byzantine_kind = "sign_flip";  // sign_flip | noise
 
+  // Fault model (crash/disconnect/delay injections + deadline-based partial
+  // aggregation; centralized sync mode only). See src/fault/.
+  fault::FaultSpec fault;
+  // Aggregator only: per-cohort-index sample weights w_i = n_i / total, used
+  // to re-normalize a partial round's mean over the surviving cohort.
+  std::vector<double> client_weights;
+
   nn::Model model;
   std::unique_ptr<nn::Optimizer> optimizer;
   std::unique_ptr<nn::LRScheduler> scheduler;
@@ -111,6 +120,11 @@ class NodeRuntime {
  private:
   NodeReport run_trainer(comm::Communicator& inner);
   NodeReport run_central_aggregator(comm::Communicator& inner);
+  // Fault-tolerant centralized round loops: clients evaluate the configured
+  // fault injections each round; the server aggregates a deadline-gated
+  // partial cohort and re-weights around the dropped clients.
+  NodeReport run_fault_trainer(comm::Communicator& inner);
+  NodeReport run_fault_aggregator(comm::Communicator& inner);
   NodeReport run_ring_node(comm::Communicator& inner);
   NodeReport run_hier_leader(comm::Communicator& inner, comm::Communicator& outer);
   NodeReport run_async_aggregator(comm::Communicator& inner);
@@ -129,6 +143,9 @@ class NodeRuntime {
   algorithms::TrainContext ctx_;
   tensor::Rng rng_;
   double train_seconds_ = 0.0;
+  // Raw TCP transport under the inner communicator, when that is the
+  // backend — the target of transport-level fault injections.
+  comm::TcpCommunicator* tcp_inner_ = nullptr;
 };
 
 }  // namespace of::core

@@ -1,0 +1,112 @@
+#include "fault/fault.hpp"
+
+#include "common/check.hpp"
+
+namespace of::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Disconnect: return "disconnect";
+    case FaultKind::Delay: return "delay";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(const std::string& s) {
+  if (s == "crash") return FaultKind::Crash;
+  if (s == "disconnect") return FaultKind::Disconnect;
+  if (s == "delay") return FaultKind::Delay;
+  OF_CHECK_MSG(false, "unknown fault kind '" << s << "' (crash|disconnect|delay)");
+}
+
+FaultSpec FaultSpec::from_config(const config::ConfigNode& node) {
+  FaultSpec spec;
+  if (node.is_null()) return spec;
+  OF_CHECK_MSG(node.is_map(), "fault config must be a map");
+  spec.enabled = node.get_or<bool>("enabled", false);
+  spec.min_clients = node.get_or<int>("min_clients", spec.min_clients);
+  spec.round_deadline_seconds =
+      node.get_or<double>("round_deadline_seconds", spec.round_deadline_seconds);
+  spec.quorum_timeout_seconds =
+      node.get_or<double>("quorum_timeout_seconds", spec.quorum_timeout_seconds);
+  if (node.has("reconnect")) {
+    const auto& rc = node.at("reconnect");
+    OF_CHECK_MSG(rc.is_map(), "fault.reconnect must be a map");
+    spec.reconnect_max_attempts =
+        rc.get_or<int>("max_attempts", spec.reconnect_max_attempts);
+    spec.reconnect_backoff_seconds =
+        rc.get_or<double>("backoff_seconds", spec.reconnect_backoff_seconds);
+    spec.reconnect_backoff_max_seconds =
+        rc.get_or<double>("backoff_max_seconds", spec.reconnect_backoff_max_seconds);
+  }
+  if (node.has("injections")) {
+    const auto& list = node.at("injections");
+    OF_CHECK_MSG(list.is_list() || list.is_null(), "fault.injections must be a list");
+    for (std::size_t i = 0; list.is_list() && i < list.size(); ++i) {
+      const auto& item = list.at(i);
+      OF_CHECK_MSG(item.is_map(), "fault.injections[" << i << "] must be a map");
+      Injection inj;
+      inj.kind = fault_kind_from_string(item.get_or<std::string>("kind", "crash"));
+      inj.client = item.get_or<int>("client", -1);
+      inj.round = item.get_or<int>("round", -1);
+      inj.probability = item.get_or<double>("probability", 1.0);
+      inj.delay_seconds = item.get_or<double>("delay_seconds", 0.0);
+      OF_CHECK_MSG(inj.probability >= 0.0 && inj.probability <= 1.0,
+                   "fault.injections[" << i << "].probability must be in [0, 1]");
+      OF_CHECK_MSG(inj.delay_seconds >= 0.0,
+                   "fault.injections[" << i << "].delay_seconds must be >= 0");
+      spec.injections.push_back(inj);
+    }
+  }
+  OF_CHECK_MSG(spec.min_clients >= 0, "fault.min_clients must be >= 0");
+  OF_CHECK_MSG(spec.round_deadline_seconds > 0.0,
+               "fault.round_deadline_seconds must be > 0");
+  OF_CHECK_MSG(spec.quorum_timeout_seconds >= spec.round_deadline_seconds,
+               "fault.quorum_timeout_seconds must be >= round_deadline_seconds");
+  OF_CHECK_MSG(spec.reconnect_max_attempts >= 0,
+               "fault.reconnect.max_attempts must be >= 0");
+  OF_CHECK_MSG(spec.reconnect_backoff_seconds >= 0.0 &&
+                   spec.reconnect_backoff_max_seconds >= spec.reconnect_backoff_seconds,
+               "fault.reconnect backoff must satisfy 0 <= backoff <= backoff_max");
+  return spec;
+}
+
+void FaultSpec::validate(int world_size) const {
+  if (!enabled) return;
+  OF_CHECK_MSG(world_size >= 2, "fault tolerance needs at least one client");
+  OF_CHECK_MSG(min_clients < world_size,
+               "fault.min_clients=" << min_clients << " cannot exceed the " << world_size - 1
+                                    << " clients in the federation");
+  for (const auto& inj : injections)
+    OF_CHECK_MSG(inj.client == -1 || (inj.client >= 1 && inj.client < world_size),
+                 "fault injection targets rank " << inj.client
+                                                 << ", valid clients are 1.."
+                                                 << world_size - 1);
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, int client_rank, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      client_(client_rank),
+      // Decorrelate per-client streams while keeping them reproducible.
+      rng_(seed ^ (0xFA17ull * static_cast<std::uint64_t>(client_rank + 1))) {}
+
+FaultInjector::Decision FaultInjector::at_round(int round) {
+  Decision d;
+  if (!spec_.enabled) return d;
+  for (const auto& inj : spec_.injections) {
+    if (inj.client != -1 && inj.client != client_) continue;
+    if (inj.round != -1 && inj.round != round) continue;
+    // Draw even when probability is 1.0 so editing a probability elsewhere
+    // in the list does not shift this injection's stream.
+    if (!rng_.bernoulli(inj.probability)) continue;
+    switch (inj.kind) {
+      case FaultKind::Crash: d.crash = true; break;
+      case FaultKind::Disconnect: d.disconnect = true; break;
+      case FaultKind::Delay: d.extra_delay_seconds += inj.delay_seconds; break;
+    }
+  }
+  return d;
+}
+
+}  // namespace of::fault

@@ -1,0 +1,97 @@
+// of::fault — fault model for federated runs (config group `fault/`).
+//
+// Edge federations lose clients: devices power off mid-round (crash), drop
+// off the network and come back (disconnect), or straggle behind a slow
+// uplink (delay). This module gives those failure modes a declarative,
+// reproducible form — a FaultSpec parsed from the `fault:` config group —
+// and splits the response between two layers:
+//
+//   transport  — TcpCommunicator reconnect with capped exponential backoff
+//                (reconnect.* knobs),
+//   algorithm  — the server runs each round against a deadline and
+//                aggregates a quorum-gated partial cohort
+//                (min_clients / round_deadline_seconds), re-weighting
+//                around the dropped clients.
+//
+// The FaultInjector turns the spec into per-round decisions on the client
+// side, driven by the run's own seeded Rng so a faulty run is exactly
+// repeatable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/node.hpp"
+#include "tensor/rng.hpp"
+
+namespace of::fault {
+
+enum class FaultKind {
+  Crash,       // client exits mid-run and never returns
+  Disconnect,  // transient link loss; the transport reconnects with backoff
+  Delay,       // straggler: client stalls before reporting
+};
+
+const char* to_string(FaultKind k);
+FaultKind fault_kind_from_string(const std::string& s);
+
+// One declarative failure: "client 2 crashes at round 1", "any client has a
+// 10% chance of a 0.2 s delay spike every round".
+struct Injection {
+  FaultKind kind = FaultKind::Crash;
+  int client = -1;              // target client rank; -1 = any client
+  int round = -1;               // target round; -1 = every round
+  double probability = 1.0;     // chance the fault fires when it matches
+  double delay_seconds = 0.0;   // Delay only: how long the straggler stalls
+};
+
+struct FaultSpec {
+  bool enabled = false;
+
+  // Server-side partial aggregation.
+  int min_clients = 1;                   // quorum: proceed past deadline with >= this many
+  double round_deadline_seconds = 5.0;   // soft per-round cutoff
+  double quorum_timeout_seconds = 60.0;  // hard cutoff waiting for the quorum itself
+
+  // Transport-side reconnect policy (TCP).
+  int reconnect_max_attempts = 8;
+  double reconnect_backoff_seconds = 0.05;
+  double reconnect_backoff_max_seconds = 2.0;
+
+  std::vector<Injection> injections;
+
+  // Parse the `fault:` config group; a null/missing node yields a disabled
+  // spec. Throws on unknown fault kinds or out-of-range values.
+  static FaultSpec from_config(const config::ConfigNode& node);
+
+  // Sanity checks that need the topology (quorum must fit the cohort).
+  void validate(int world_size) const;
+};
+
+// Per-client decision engine: replays the spec as concrete per-round
+// decisions, deterministically derived from (seed, client rank) so a faulty
+// run reproduces bit-for-bit.
+class FaultInjector {
+ public:
+  struct Decision {
+    bool crash = false;
+    bool disconnect = false;
+    double extra_delay_seconds = 0.0;
+  };
+
+  FaultInjector(FaultSpec spec, int client_rank, std::uint64_t seed);
+
+  // Evaluate all matching injections for `round`. Call once per round, in
+  // round order, to keep the random stream aligned.
+  Decision at_round(int round);
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  int client_;
+  tensor::Rng rng_;
+};
+
+}  // namespace of::fault

@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -309,6 +316,171 @@ TEST(Tcp, LargePayloadRoundtrip) {
     } else {
       const Tensor got = c.recv_tensor(0, 1);
       c.send_tensor(0, 2, got);
+    }
+  });
+}
+
+// --- TCP hardening (malformed frames, timeouts, fault tolerance) --------------------
+
+// Mirror of the transport's wire header (u32 magic | i32 src | i32 tag |
+// u64 len, natural alignment) for crafting raw frames against the server.
+struct WireHeader {
+  std::uint32_t magic = 0;
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint64_t len = 0;
+};
+constexpr std::uint32_t kWireMagic = 0x0F5EED01u;
+constexpr int kWireHelloTag = -1;
+
+int connect_raw(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    if (fd >= 0) ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+void send_raw(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return;
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+// Like run_tcp, but with fault tolerance knobs and the concrete communicator
+// type (inject_disconnect / reconnect_count are TCP-specific).
+void run_tcp_ft(int world, std::uint16_t port, TcpCommunicator::FaultTolerance ft,
+                const std::function<void(int, TcpCommunicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        std::unique_ptr<TcpCommunicator> c;
+        if (r == 0) c = TcpCommunicator::make_server(port, world, ft);
+        else c = TcpCommunicator::make_client("127.0.0.1", port, r, world, ft);
+        fn(r, *c);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+TEST(TcpHardening, MalformedHelloAbortsSetup) {
+  std::thread intruder([] {
+    const int fd = connect_raw(47307);
+    ASSERT_GE(fd, 0);
+    WireHeader h{0xBADF00Du, 1, kWireHelloTag, 0};
+    send_raw(fd, &h, sizeof(h));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ::close(fd);
+  });
+  EXPECT_THROW((void)TcpCommunicator::make_server(47307, 2), std::runtime_error);
+  intruder.join();
+}
+
+TEST(TcpHardening, OutOfRangeRankHelloAbortsSetup) {
+  std::thread intruder([] {
+    const int fd = connect_raw(47308);
+    ASSERT_GE(fd, 0);
+    WireHeader h{kWireMagic, 7, kWireHelloTag, 0};  // world is 2: ranks 1..1
+    send_raw(fd, &h, sizeof(h));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ::close(fd);
+  });
+  EXPECT_THROW((void)TcpCommunicator::make_server(47308, 2), std::runtime_error);
+  intruder.join();
+}
+
+TEST(TcpHardening, OversizedFrameDropsLink) {
+  std::unique_ptr<TcpCommunicator> server;
+  std::thread srv([&] { server = TcpCommunicator::make_server(47309, 2); });
+  const int fd = connect_raw(47309);
+  ASSERT_GE(fd, 0);
+  WireHeader hello{kWireMagic, 1, kWireHelloTag, 0};
+  send_raw(fd, &hello, sizeof(hello));
+  srv.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->peer_alive(1));
+  // A length field past the 1 GiB frame cap must sever the link before any
+  // allocation happens, not feed a giant Bytes buffer.
+  WireHeader bomb{kWireMagic, 1, 7, (1ull << 30) + 1};
+  send_raw(fd, &bomb, sizeof(bomb));
+  for (int i = 0; i < 500 && server->peer_alive(1); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(server->peer_alive(1));
+  ::close(fd);
+}
+
+TEST(TcpHardening, RecvTimeoutMentionsTimeout) {
+  run_tcp_ft(2, 47310, {}, [](int rank, TcpCommunicator& c) {
+    if (rank == 0) {
+      c.set_recv_timeout(0.05);
+      try {
+        (void)c.recv_bytes(1, 99);
+        FAIL() << "expected timeout";
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+      }
+      c.send_bytes(1, 1, Bytes{1});  // release the silent client
+    } else {
+      EXPECT_EQ(c.recv_bytes(0, 1), (Bytes{1}));
+    }
+  });
+}
+
+TEST(TcpHardening, ReconnectAfterDropReplaysQueuedFrames) {
+  TcpCommunicator::FaultTolerance ft;
+  ft.enabled = true;
+  ft.max_reconnect_attempts = 50;
+  ft.backoff_seconds = 0.01;
+  ft.backoff_max_seconds = 0.1;
+  run_tcp_ft(2, 47311, ft, [](int rank, TcpCommunicator& c) {
+    if (rank == 0) {
+      EXPECT_EQ(c.recv_bytes(1, 1), (Bytes{1}));
+      c.send_bytes(1, 2, Bytes{2});               // ack: frame 1 arrived
+      EXPECT_EQ(c.recv_bytes(1, 3), (Bytes{3}));  // replayed over the new link
+      c.send_bytes(1, 4, Bytes{4});               // new link works downstream too
+      EXPECT_GE(c.stats().reconnects, 1u);        // the rejoin was counted
+    } else {
+      c.send_bytes(0, 1, Bytes{1});
+      EXPECT_EQ(c.recv_bytes(0, 2), (Bytes{2}));
+      c.inject_disconnect(0);                     // sever the live link
+      c.send_bytes(0, 3, Bytes{3});               // queued while down
+      EXPECT_EQ(c.recv_bytes(0, 4), (Bytes{4}));
+      EXPECT_GE(c.reconnect_count(), 1u);
+    }
+  });
+}
+
+TEST(TcpHardening, DownLinkWithoutFaultToleranceThrows) {
+  run_tcp_ft(2, 47312, {}, [](int rank, TcpCommunicator& c) {
+    if (rank == 0) {
+      EXPECT_EQ(c.recv_bytes(1, 1), (Bytes{9}));
+    } else {
+      c.send_bytes(0, 1, Bytes{9});
+      c.inject_disconnect(0);
+      for (int i = 0; i < 500 && c.peer_alive(0); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      EXPECT_FALSE(c.peer_alive(0));
+      EXPECT_THROW(c.send_bytes(0, 2, Bytes{1}), std::runtime_error);
     }
   });
 }

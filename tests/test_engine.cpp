@@ -502,7 +502,9 @@ TEST(Configs, EveryShippedGroupFileParses) {
         "datamodule/cifar100.yaml", "datamodule/caltech101.yaml",
         "datamodule/caltech256.yaml", "datamodule/cifar10_noniid.yaml",
         "privacy/dp.yaml", "privacy/secure_aggregation.yaml", "privacy/he.yaml",
-        "compression/topk.yaml", "compression/qsgd8.yaml", "compression/powersgd.yaml"}) {
+        "compression/topk.yaml", "compression/qsgd8.yaml", "compression/powersgd.yaml",
+        "fault/none.yaml", "fault/crash_one.yaml", "fault/flaky_network.yaml",
+        "fault/delay_spikes.yaml"}) {
     EXPECT_NO_THROW((void)of::config::load_yaml_file(dir + "/" + rel)) << rel;
   }
 }
