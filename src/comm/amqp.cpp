@@ -8,7 +8,7 @@ namespace of::comm {
 namespace {
 
 // Queue-record frame: i32 src | i32 tag | payload.
-Bytes frame(int src, int tag, const Bytes& payload) {
+Bytes frame(int src, int tag, ConstByteSpan payload) {
   Bytes out;
   out.reserve(8 + payload.size());
   tensor::append_pod<std::int32_t>(out, src);
@@ -44,7 +44,7 @@ AmqpCommunicator::AmqpCommunicator(AmqpGroup& group, int rank)
 
 int AmqpCommunicator::world_size() const { return group_->world_size(); }
 
-void AmqpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+void AmqpCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   OF_CHECK_MSG(dst >= 0 && dst < world_size(), "publish to invalid rank " << dst);
   OF_CHECK_MSG(dst != rank_, "self-publish is not supported");
   account_send(payload.size());

@@ -29,7 +29,8 @@ class AmqpCommunicator final : public Communicator {
   int world_size() const override;
   std::string name() const override { return "AmqpCommunicator"; }
 
-  void send_bytes(int dst, int tag, const Bytes& payload) override;
+  void send_bytes(int dst, int tag, ConstByteSpan payload) override;
+  using Communicator::send_bytes;
   Bytes recv_bytes(int src, int tag) override;
   // Queues are inherently any-source: the next matching frame in arrival
   // order, from whichever publisher — exactly the semantics the paper

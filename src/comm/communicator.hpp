@@ -25,6 +25,7 @@
 namespace of::comm {
 
 using tensor::Bytes;
+using tensor::ConstByteSpan;
 using tensor::Tensor;
 
 enum class ReduceOp { Sum, Mean, Max };
@@ -72,8 +73,16 @@ class Communicator {
   // --- point-to-point -------------------------------------------------------
   // Tags namespace the message streams; user code should use tags in
   // [0, 2^20), higher tags are reserved for collective internals.
-  virtual void send_bytes(int dst, int tag, const Bytes& payload) = 0;
+  // Span-primary: backends read the payload during the call and never keep
+  // the view (TCP copies into its outbox only while a link is down), so
+  // callers can send straight out of a pooled frame buffer.
+  virtual void send_bytes(int dst, int tag, ConstByteSpan payload) = 0;
   virtual Bytes recv_bytes(int src, int tag) = 0;
+
+  // Owning-buffer convenience; forwards to the span overload.
+  void send_bytes(int dst, int tag, const Bytes& payload) {
+    send_bytes(dst, tag, ConstByteSpan(payload));
+  }
 
   void send_tensor(int dst, int tag, const Tensor& t);
   Tensor recv_tensor(int src, int tag);

@@ -11,11 +11,13 @@ InProcCommunicator::InProcCommunicator(InProcGroup& group, int rank)
 
 int InProcCommunicator::world_size() const { return group_->world_size(); }
 
-void InProcCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+void InProcCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   OF_CHECK_MSG(dst >= 0 && dst < world_size(), "send to invalid rank " << dst);
   OF_CHECK_MSG(dst != rank_, "self-send is not supported");
   account_send(payload.size());
-  group_->deliver(dst, rank_, tag, payload);
+  // The mailbox owns its frames (the sender's buffer may be pooled and
+  // reused), so the one copy of the in-process hop happens here.
+  group_->deliver(dst, rank_, tag, Bytes(payload.begin(), payload.end()));
 }
 
 Bytes InProcCommunicator::recv_bytes(int src, int tag) {

@@ -30,7 +30,8 @@ class InProcCommunicator final : public Communicator {
   int world_size() const override;
   std::string name() const override { return "InProcCommunicator"; }
 
-  void send_bytes(int dst, int tag, const Bytes& payload) override;
+  void send_bytes(int dst, int tag, ConstByteSpan payload) override;
+  using Communicator::send_bytes;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
   std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,

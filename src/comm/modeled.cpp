@@ -19,7 +19,7 @@ void ModeledLinkCommunicator::delay_for(std::size_t bytes) {
     std::this_thread::sleep_for(std::chrono::duration<double>(t));
 }
 
-void ModeledLinkCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+void ModeledLinkCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   delay_for(payload.size());  // sender pays latency + serialization delay
   inner_->send_bytes(dst, tag, payload);
   account_send(payload.size());

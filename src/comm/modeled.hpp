@@ -45,7 +45,8 @@ class ModeledLinkCommunicator final : public Communicator {
   std::string name() const override { return "ModeledLink(" + inner_->name() + ")"; }
   bool star_only() const override { return inner_->star_only(); }
 
-  void send_bytes(int dst, int tag, const Bytes& payload) override;
+  void send_bytes(int dst, int tag, ConstByteSpan payload) override;
+  using Communicator::send_bytes;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
   std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,

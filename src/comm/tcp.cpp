@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -356,21 +357,51 @@ int TcpCommunicator::client_reconnect() {
   return -1;
 }
 
-bool TcpCommunicator::write_frame_locked(Peer& p, int tag, const Bytes& payload) {
+bool TcpCommunicator::write_frame_locked(Peer& p, int tag, ConstByteSpan payload) {
   FrameHeader h{kMagic, rank_, tag, payload.size()};
   // One frame = header + payload under the peer lock so concurrent senders
-  // cannot interleave.
-  if (!write_exact(p.fd, &h, sizeof(h))) return false;
-  if (!payload.empty() && !write_exact(p.fd, payload.data(), payload.size())) return false;
+  // cannot interleave. Scatter I/O sends both pieces in one syscall without
+  // building a combined buffer; sendmsg rather than writev so MSG_NOSIGNAL
+  // applies (a closed peer must surface as EPIPE, not kill the process).
+  // The loop advances the iovec across partial writes, which may stop
+  // anywhere, including mid-header.
+  iovec iov[2];
+  iov[0].iov_base = &h;
+  iov[0].iov_len = sizeof(h);
+  iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
+  iov[1].iov_len = payload.size();
+  const int iov_cnt = payload.empty() ? 1 : 2;
+  int idx = 0;
+  while (idx < iov_cnt) {
+    msghdr msg{};
+    msg.msg_iov = &iov[idx];
+    msg.msg_iovlen = static_cast<std::size_t>(iov_cnt - idx);
+    const ssize_t n = ::sendmsg(p.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (idx < iov_cnt && left >= iov[idx].iov_len) {
+      left -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < iov_cnt && left > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+      iov[idx].iov_len -= left;
+    }
+  }
   return true;
 }
 
-void TcpCommunicator::queue_frame_locked(Peer& p, int tag, const Bytes& payload) {
+void TcpCommunicator::queue_frame_locked(Peer& p, int tag, ConstByteSpan payload) {
   if (p.outbox.size() >= kMaxOutboxFrames) {
     p.outbox.pop_front();  // oldest frame is the stalest — sacrifice it
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
-  p.outbox.emplace_back(tag, payload);
+  // The outbox outlives the caller's view, so this is the one place the
+  // span is copied into an owned buffer.
+  p.outbox.emplace_back(tag, Bytes(payload.begin(), payload.end()));
 }
 
 void TcpCommunicator::flush_outbox_locked(Peer& p) {
@@ -384,7 +415,7 @@ void TcpCommunicator::flush_outbox_locked(Peer& p) {
   }
 }
 
-void TcpCommunicator::send_bytes(int dst, int tag, const Bytes& payload) {
+void TcpCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   Peer& p = peer(dst);
   std::lock_guard<std::mutex> lock(p.mu);
   if (!p.up) {

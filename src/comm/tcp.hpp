@@ -62,7 +62,8 @@ class TcpCommunicator final : public Communicator {
   bool star_only() const override { return true; }
   std::uint16_t port() const noexcept { return port_; }
 
-  void send_bytes(int dst, int tag, const Bytes& payload) override;
+  void send_bytes(int dst, int tag, ConstByteSpan payload) override;
+  using Communicator::send_bytes;
   Bytes recv_bytes(int src, int tag) override;
   std::pair<int, Bytes> recv_bytes_any(int tag) override;
   std::optional<std::pair<int, Bytes>> try_recv_bytes_any(int tag,
@@ -114,8 +115,8 @@ class TcpCommunicator final : public Communicator {
 
   Peer& peer(int rank);
   const Peer& peer(int rank) const;
-  bool write_frame_locked(Peer& p, int tag, const Bytes& payload);
-  void queue_frame_locked(Peer& p, int tag, const Bytes& payload);
+  bool write_frame_locked(Peer& p, int tag, ConstByteSpan payload);
+  void queue_frame_locked(Peer& p, int tag, ConstByteSpan payload);
   void flush_outbox_locked(Peer& p);
   void retire_fd(int fd);
   Bytes take(int src, int tag);

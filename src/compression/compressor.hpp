@@ -23,6 +23,9 @@
 namespace of::compression {
 
 using tensor::Bytes;
+using tensor::ConstByteSpan;
+using tensor::ConstFloatSpan;
+using tensor::FloatSpan;
 using tensor::Rng;
 using tensor::Tensor;
 
@@ -40,6 +43,18 @@ struct Compressed {
   }
 };
 
+// Non-owning view of a compressed payload — what decompress reads when the
+// payload lives inside a larger received frame (the zero-copy decode path).
+struct CompressedView {
+  tensor::ConstByteSpan payload;
+  std::size_t original_numel = 0;
+
+  CompressedView() = default;
+  CompressedView(tensor::ConstByteSpan p, std::size_t n) : payload(p), original_numel(n) {}
+  // Implicit: an owning Compressed viewed in place.
+  CompressedView(const Compressed& c) : payload(c.payload), original_numel(c.original_numel) {}
+};
+
 class Compressor {
  public:
   Compressor() = default;
@@ -47,12 +62,28 @@ class Compressor {
   Compressor& operator=(const Compressor&) = delete;
   virtual ~Compressor() = default;
 
-  virtual Compressed compress(const Tensor& t) = 0;
-  virtual Tensor decompress(const Compressed& c) = 0;
+  // Span-primary API (the zero-copy pipeline). compress clears and rewrites
+  // `out.payload` — capacity survives, so pooled buffers amortize across
+  // rounds. decompress *overwrites* `out` entirely (sparse codecs zero-fill
+  // then scatter); `out.size()` must equal `c.original_numel`.
+  virtual void compress(tensor::ConstFloatSpan input, Compressed& out) = 0;
+  virtual void decompress(const CompressedView& c, tensor::FloatSpan out) = 0;
   virtual std::string name() const = 0;
   // True when decompressed updates can be summed elementwise by all-reduce
   // (dense output); false for sparse codecs that exchange via all-gather.
   virtual bool allreduce_compatible() const = 0;
+
+  // Owning conveniences for tests and cold paths.
+  Compressed compress(const Tensor& t) {
+    Compressed c;
+    compress(t.span(), c);
+    return c;
+  }
+  Tensor decompress(const Compressed& c) {
+    Tensor t({c.original_numel});
+    decompress(CompressedView(c), t.span());
+    return t;
+  }
 };
 
 // Residual (error-feedback) wrapper: compresses (input + residual) and
@@ -61,8 +92,12 @@ class ErrorFeedbackCompressor final : public Compressor {
  public:
   explicit ErrorFeedbackCompressor(std::unique_ptr<Compressor> inner);
 
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override { return inner_->decompress(c); }
+  void compress(tensor::ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, tensor::FloatSpan out) override {
+    inner_->decompress(c, out);
+  }
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "EF(" + inner_->name() + ")"; }
   bool allreduce_compatible() const override { return inner_->allreduce_compatible(); }
 
@@ -70,7 +105,9 @@ class ErrorFeedbackCompressor final : public Compressor {
 
  private:
   std::unique_ptr<Compressor> inner_;
-  Tensor residual_;
+  Tensor residual_;                // flat, sized to the last input
+  std::vector<float> corrected_;   // input + residual scratch
+  std::vector<float> scratch_;     // reconstructed-update scratch
 };
 
 // Registry + factory. Accepts config of the paper's Fig. 4 shape:

@@ -13,16 +13,16 @@ ErrorFeedbackCompressor::ErrorFeedbackCompressor(std::unique_ptr<Compressor> inn
   OF_CHECK_MSG(inner_ != nullptr, "ErrorFeedback needs an inner compressor");
 }
 
-Compressed ErrorFeedbackCompressor::compress(const Tensor& t) {
-  if (residual_.empty() || !residual_.same_shape(t)) residual_ = Tensor(t.shape());
-  Tensor corrected = t;
-  corrected.add_(residual_);
-  Compressed c = inner_->compress(corrected);
+void ErrorFeedbackCompressor::compress(tensor::ConstFloatSpan input, Compressed& out) {
+  const std::size_t n = input.size();
+  if (residual_.numel() != n) residual_ = Tensor({n});
+  corrected_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) corrected_[i] = input[i] + residual_[i];
+  inner_->compress(tensor::ConstFloatSpan(corrected_), out);
   // residual ← what the codec dropped this round.
-  Tensor reconstructed = inner_->decompress(c);
-  residual_ = corrected;
-  residual_.sub_(reconstructed);
-  return c;
+  scratch_.resize(n);
+  inner_->decompress(CompressedView(out), tensor::FloatSpan(scratch_));
+  for (std::size_t i = 0; i < n; ++i) residual_[i] = corrected_[i] - scratch_[i];
 }
 
 std::pair<double, bool> parse_k_spec(const config::ConfigNode& cfg) {

@@ -46,8 +46,8 @@ PowerSGD::PowerSGD(std::size_t rank, std::uint64_t seed) : rank_(rank), rng_(see
   OF_CHECK_MSG(rank >= 1, "PowerSGD rank must be >= 1");
 }
 
-Compressed PowerSGD::compress(const Tensor& t) {
-  const std::size_t n = t.numel();
+void PowerSGD::compress(ConstFloatSpan t, Compressed& c) {
+  const std::size_t n = t.size();
   std::size_t rows = 0, cols = 0;
   matrix_shape(n, rows, cols);
   const std::size_t r = std::min({rank_, rows, cols});
@@ -68,18 +68,18 @@ Compressed PowerSGD::compress(const Tensor& t) {
   Tensor q = m.transpose2d().matmul(p);  // cols × r
   q_state_ = q;
 
-  Compressed c;
   c.codec = "PowerSGD";
   c.original_numel = n;
+  c.payload.clear();
   tensor::append_pod<std::uint64_t>(c.payload, rows);
   tensor::append_pod<std::uint64_t>(c.payload, cols);
   tensor::append_pod<std::uint64_t>(c.payload, r);
   tensor::append_span(c.payload, p.data(), p.numel());
   tensor::append_span(c.payload, q.data(), q.numel());
-  return c;
 }
 
-Tensor PowerSGD::decompress(const Compressed& c) {
+void PowerSGD::decompress(const CompressedView& c, FloatSpan out) {
+  OF_CHECK_MSG(out.size() == c.original_numel, "PowerSGD decompress size mismatch");
   std::size_t off = 0;
   const auto rows = static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(c.payload, off));
   const auto cols = static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(c.payload, off));
@@ -89,10 +89,8 @@ Tensor PowerSGD::decompress(const Compressed& c) {
   tensor::read_span(c.payload, off, q.data(), q.numel());
   OF_CHECK_MSG(off == c.payload.size(), "PowerSGD payload has trailing bytes");
   Tensor m = p.matmul(q.transpose2d());  // rows × cols
-  Tensor out({c.original_numel});
   OF_CHECK_MSG(c.original_numel <= m.numel(), "PowerSGD shape mismatch");
   std::copy_n(m.data(), c.original_numel, out.data());
-  return out;
 }
 
 }  // namespace of::compression

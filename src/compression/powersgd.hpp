@@ -18,8 +18,10 @@ class PowerSGD final : public Compressor {
  public:
   PowerSGD(std::size_t rank, std::uint64_t seed);
 
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "PowerSGD"; }
   bool allreduce_compatible() const override { return true; }
 

@@ -11,12 +11,12 @@ QSGD::QSGD(int bits, std::uint64_t seed, std::size_t bucket_size)
   levels_ = (bits == 8) ? 127u : 32767u;  // leave one bit for the sign
 }
 
-Compressed QSGD::compress(const Tensor& t) {
-  Compressed c;
+void QSGD::compress(ConstFloatSpan t, Compressed& c) {
   c.codec = "QSGD";
-  c.original_numel = t.numel();
+  c.original_numel = t.size();
+  c.payload.clear();
   const float s = static_cast<float>(levels_);
-  const std::size_t n = t.numel();
+  const std::size_t n = t.size();
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   c.payload.reserve(buckets * 4 + n * (bits_ == 8 ? 1 : 2));
   for (std::size_t b = 0; b < buckets; ++b) {
@@ -54,12 +54,11 @@ Compressed QSGD::compress(const Tensor& t) {
       }
     }
   }
-  return c;
 }
 
-Tensor QSGD::decompress(const Compressed& c) {
+void QSGD::decompress(const CompressedView& c, FloatSpan t) {
+  OF_CHECK_MSG(t.size() == c.original_numel, "QSGD decompress size mismatch");
   std::size_t off = 0;
-  Tensor t({c.original_numel});
   const float s = static_cast<float>(levels_);
   const std::size_t n = c.original_numel;
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
@@ -78,7 +77,6 @@ Tensor QSGD::decompress(const Compressed& c) {
     }
   }
   OF_CHECK_MSG(off == c.payload.size(), "QSGD payload has trailing bytes");
-  return t;
 }
 
 }  // namespace of::compression

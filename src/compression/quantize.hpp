@@ -19,8 +19,10 @@ class QSGD final : public Compressor {
   // bits ∈ {8, 16}: total storage per element, including the sign.
   QSGD(int bits, std::uint64_t seed, std::size_t bucket_size = 2048);
 
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "QSGD"; }
   bool allreduce_compatible() const override { return true; }
 

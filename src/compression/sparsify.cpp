@@ -6,20 +6,28 @@
 
 namespace of::compression {
 
-Bytes sparse_encode(const std::vector<std::uint32_t>& idx, const std::vector<float>& val) {
+void sparse_encode(Bytes& out, const std::vector<std::uint32_t>& idx,
+                   const std::vector<float>& val) {
   OF_CHECK_MSG(idx.size() == val.size(), "sparse_encode: idx/val size mismatch");
-  Bytes out;
+  out.clear();
   out.reserve(8 + idx.size() * (sizeof(std::uint32_t) + sizeof(float)));
   tensor::append_pod<std::uint64_t>(out, idx.size());
   tensor::append_span(out, idx.data(), idx.size());
   tensor::append_span(out, val.data(), val.size());
+}
+
+Bytes sparse_encode(const std::vector<std::uint32_t>& idx, const std::vector<float>& val) {
+  Bytes out;
+  sparse_encode(out, idx, val);
   return out;
 }
 
-void sparse_decode(const Bytes& payload, std::vector<std::uint32_t>& idx,
+void sparse_decode(tensor::ConstByteSpan payload, std::vector<std::uint32_t>& idx,
                    std::vector<float>& val) {
   std::size_t off = 0;
   const auto nnz = tensor::read_pod<std::uint64_t>(payload, off);
+  OF_CHECK_MSG(nnz <= (payload.size() - off) / (sizeof(std::uint32_t) + sizeof(float)),
+               "sparse nnz " << nnz << " exceeds payload — corrupt frame?");
   idx.resize(nnz);
   val.resize(nnz);
   tensor::read_span(payload, off, idx.data(), nnz);
@@ -35,36 +43,37 @@ std::size_t resolve_k(double factor_or_k, bool is_factor, std::size_t numel) {
 
 namespace {
 
-Compressed pack_sparse(const std::string& codec, std::size_t numel,
-                       const std::vector<std::uint32_t>& idx,
-                       const std::vector<float>& val) {
-  Compressed c;
-  c.codec = codec;
-  c.original_numel = numel;
-  c.payload = sparse_encode(idx, val);
-  return c;
+using tensor::ConstFloatSpan;
+using tensor::FloatSpan;
+
+void pack_sparse(const char* codec, std::size_t numel,
+                 const std::vector<std::uint32_t>& idx, const std::vector<float>& val,
+                 Compressed& out) {
+  out.codec = codec;
+  out.original_numel = numel;
+  sparse_encode(out.payload, idx, val);
 }
 
-Tensor unpack_sparse(const Compressed& c) {
+void unpack_sparse(const CompressedView& c, FloatSpan out) {
+  OF_CHECK_MSG(out.size() == c.original_numel, "sparse decompress size mismatch");
   std::vector<std::uint32_t> idx;
   std::vector<float> val;
   sparse_decode(c.payload, idx, val);
-  Tensor t({c.original_numel});
+  std::fill(out.begin(), out.end(), 0.0f);
   for (std::size_t i = 0; i < idx.size(); ++i) {
     OF_CHECK_MSG(idx[i] < c.original_numel, "sparse index out of range");
-    t[idx[i]] = val[i];
+    out[idx[i]] = val[i];
   }
-  return t;
 }
 
 // Select every coordinate with |v| >= threshold, up to `cap` entries
 // (largest first if over cap would be exact; we just truncate scan order,
 // which matches the reference DGC/RedSync implementations).
-void select_above(const Tensor& t, float threshold, std::size_t cap,
+void select_above(ConstFloatSpan t, float threshold, std::size_t cap,
                   std::vector<std::uint32_t>& idx, std::vector<float>& val) {
   idx.clear();
   val.clear();
-  for (std::size_t i = 0; i < t.numel() && idx.size() < cap; ++i) {
+  for (std::size_t i = 0; i < t.size() && idx.size() < cap; ++i) {
     if (std::fabs(t[i]) >= threshold) {
       idx.push_back(static_cast<std::uint32_t>(i));
       val.push_back(t[i]);
@@ -72,9 +81,9 @@ void select_above(const Tensor& t, float threshold, std::size_t cap,
   }
 }
 
-std::size_t count_above(const Tensor& t, float threshold) {
+std::size_t count_above(ConstFloatSpan t, float threshold) {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < t.numel(); ++i)
+  for (std::size_t i = 0; i < t.size(); ++i)
     if (std::fabs(t[i]) >= threshold) ++n;
   return n;
 }
@@ -87,22 +96,21 @@ TopK::TopK(double factor_or_k, bool is_factor) : spec_(factor_or_k), is_factor_(
   OF_CHECK_MSG(factor_or_k > 0, "TopK spec must be positive");
 }
 
-Compressed TopK::compress(const Tensor& t) {
-  const std::size_t k = resolve_k(spec_, is_factor_, t.numel());
+void TopK::compress(ConstFloatSpan t, Compressed& out) {
+  const std::size_t k = resolve_k(spec_, is_factor_, t.size());
   // nth_element on |values| gives the exact k-th largest magnitude.
-  std::vector<float> mags(t.numel());
-  for (std::size_t i = 0; i < t.numel(); ++i) mags[i] = std::fabs(t[i]);
-  std::vector<float> work = mags;
+  std::vector<float> work(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) work[i] = std::fabs(t[i]);
   std::nth_element(work.begin(), work.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    work.end(), std::greater<float>());
   const float threshold = work[k - 1];
   std::vector<std::uint32_t> idx;
   std::vector<float> val;
   select_above(t, threshold, k, idx, val);
-  return pack_sparse("TopK", t.numel(), idx, val);
+  pack_sparse("TopK", t.size(), idx, val, out);
 }
 
-Tensor TopK::decompress(const Compressed& c) { return unpack_sparse(c); }
+void TopK::decompress(const CompressedView& c, FloatSpan out) { unpack_sparse(c, out); }
 
 // --- RandomK ---------------------------------------------------------------------
 
@@ -111,8 +119,8 @@ RandomK::RandomK(double factor_or_k, bool is_factor, std::uint64_t seed)
   OF_CHECK_MSG(factor_or_k > 0, "RandomK spec must be positive");
 }
 
-Compressed RandomK::compress(const Tensor& t) {
-  const std::size_t n = t.numel();
+void RandomK::compress(ConstFloatSpan t, Compressed& out) {
+  const std::size_t n = t.size();
   const std::size_t k = resolve_k(spec_, is_factor_, n);
   // Partial Fisher–Yates: draw k distinct indices in O(k).
   std::vector<std::uint32_t> pool(n);
@@ -126,10 +134,10 @@ Compressed RandomK::compress(const Tensor& t) {
     // Unbiased estimator: scale kept values by n/k.
     val[i] = t[pool[i]] * static_cast<float>(n) / static_cast<float>(k);
   }
-  return pack_sparse("RandomK", n, idx, val);
+  pack_sparse("RandomK", n, idx, val, out);
 }
 
-Tensor RandomK::decompress(const Compressed& c) { return unpack_sparse(c); }
+void RandomK::decompress(const CompressedView& c, FloatSpan out) { unpack_sparse(c, out); }
 
 // --- DGC -------------------------------------------------------------------------
 
@@ -139,8 +147,8 @@ DGC::DGC(double factor_or_k, bool is_factor, std::uint64_t seed, double sample_f
   OF_CHECK_MSG(sample_fraction > 0 && sample_fraction <= 1.0, "bad DGC sample fraction");
 }
 
-Compressed DGC::compress(const Tensor& t) {
-  const std::size_t n = t.numel();
+void DGC::compress(ConstFloatSpan t, Compressed& out) {
+  const std::size_t n = t.size();
   const std::size_t k = resolve_k(spec_, is_factor_, n);
   // Sample-based threshold estimation (DGC §3.1): take a random sample,
   // find the magnitude that keeps the target fraction of the *sample*, use
@@ -177,10 +185,10 @@ Compressed DGC::compress(const Tensor& t) {
   std::vector<std::uint32_t> idx;
   std::vector<float> val;
   select_above(t, threshold, 2 * k, idx, val);
-  return pack_sparse("DGC", n, idx, val);
+  pack_sparse("DGC", n, idx, val, out);
 }
 
-Tensor DGC::decompress(const Compressed& c) { return unpack_sparse(c); }
+void DGC::decompress(const CompressedView& c, FloatSpan out) { unpack_sparse(c, out); }
 
 // --- RedSync ---------------------------------------------------------------------
 
@@ -188,8 +196,8 @@ RedSync::RedSync(double factor_or_k, bool is_factor, double tolerance, int max_i
     : spec_(factor_or_k), is_factor_(is_factor), tolerance_(tolerance),
       max_iterations_(max_iterations) {}
 
-Compressed RedSync::compress(const Tensor& t) {
-  const std::size_t n = t.numel();
+void RedSync::compress(ConstFloatSpan t, Compressed& out) {
+  const std::size_t n = t.size();
   const std::size_t k = resolve_k(spec_, is_factor_, n);
   // Trimmed binary search of the magnitude threshold (RedSync's
   // "trimmed top-k"): land within (1 ± tolerance)·k survivors.
@@ -217,10 +225,10 @@ Compressed RedSync::compress(const Tensor& t) {
     idx.push_back(static_cast<std::uint32_t>(best));
     val.push_back(t[best]);
   }
-  return pack_sparse("RedSync", n, idx, val);
+  pack_sparse("RedSync", n, idx, val, out);
 }
 
-Tensor RedSync::decompress(const Compressed& c) { return unpack_sparse(c); }
+void RedSync::decompress(const CompressedView& c, FloatSpan out) { unpack_sparse(c, out); }
 
 // --- SIDCo -----------------------------------------------------------------------
 
@@ -229,8 +237,8 @@ SIDCo::SIDCo(double factor_or_k, bool is_factor, int stages)
   OF_CHECK_MSG(stages >= 1, "SIDCo needs at least one stage");
 }
 
-Compressed SIDCo::compress(const Tensor& t) {
-  const std::size_t n = t.numel();
+void SIDCo::compress(ConstFloatSpan t, Compressed& out) {
+  const std::size_t n = t.size();
   const std::size_t k = resolve_k(spec_, is_factor_, n);
   // Model |g| as Exponential(1/mean). P(|g| > τ) = exp(-τ/mean), so the
   // threshold hitting a target ratio r is τ = -mean·ln(r). Multi-stage:
@@ -269,28 +277,25 @@ Compressed SIDCo::compress(const Tensor& t) {
     idx.push_back(static_cast<std::uint32_t>(best));
     val.push_back(t[best]);
   }
-  return pack_sparse("SIDCo", n, idx, val);
+  pack_sparse("SIDCo", n, idx, val, out);
 }
 
-Tensor SIDCo::decompress(const Compressed& c) { return unpack_sparse(c); }
+void SIDCo::decompress(const CompressedView& c, FloatSpan out) { unpack_sparse(c, out); }
 
 // --- Identity ---------------------------------------------------------------------
 
-Compressed Identity::compress(const Tensor& t) {
-  Compressed c;
-  c.codec = "Identity";
-  c.original_numel = t.numel();
-  c.payload.resize(t.numel() * sizeof(float));
-  std::memcpy(c.payload.data(), t.data(), c.payload.size());
-  return c;
+void Identity::compress(ConstFloatSpan t, Compressed& out) {
+  out.codec = "Identity";
+  out.original_numel = t.size();
+  out.payload.clear();
+  tensor::append_span(out.payload, t);
 }
 
-Tensor Identity::decompress(const Compressed& c) {
-  Tensor t({c.original_numel});
+void Identity::decompress(const CompressedView& c, FloatSpan out) {
   OF_CHECK_MSG(c.payload.size() == c.original_numel * sizeof(float),
                "identity payload size mismatch");
-  std::memcpy(t.data(), c.payload.data(), c.payload.size());
-  return t;
+  OF_CHECK_MSG(out.size() == c.original_numel, "identity decompress size mismatch");
+  std::memcpy(out.data(), c.payload.data(), c.payload.size());
 }
 
 }  // namespace of::compression

@@ -16,8 +16,11 @@
 namespace of::compression {
 
 // Shared sparse payload: u64 nnz | u32 idx[nnz] | f32 val[nnz].
+// The into-form clears `out` (keeping capacity) before writing.
+void sparse_encode(Bytes& out, const std::vector<std::uint32_t>& idx,
+                   const std::vector<float>& val);
 Bytes sparse_encode(const std::vector<std::uint32_t>& idx, const std::vector<float>& val);
-void sparse_decode(const Bytes& payload, std::vector<std::uint32_t>& idx,
+void sparse_decode(tensor::ConstByteSpan payload, std::vector<std::uint32_t>& idx,
                    std::vector<float>& val);
 
 // Resolve an absolute k from a factor-or-absolute spec for a given size.
@@ -27,8 +30,10 @@ class TopK final : public Compressor {
  public:
   // factor form: keep numel/factor elements; absolute form: keep k.
   TopK(double factor_or_k, bool is_factor);
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "TopK"; }
   bool allreduce_compatible() const override { return false; }
 
@@ -40,8 +45,10 @@ class TopK final : public Compressor {
 class RandomK final : public Compressor {
  public:
   RandomK(double factor_or_k, bool is_factor, std::uint64_t seed);
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "RandomK"; }
   bool allreduce_compatible() const override { return false; }
 
@@ -55,8 +62,10 @@ class DGC final : public Compressor {
  public:
   DGC(double factor_or_k, bool is_factor, std::uint64_t seed,
       double sample_fraction = 0.01);
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "DGC"; }
   bool allreduce_compatible() const override { return false; }
 
@@ -71,8 +80,10 @@ class RedSync final : public Compressor {
  public:
   RedSync(double factor_or_k, bool is_factor, double tolerance = 0.2,
           int max_iterations = 20);
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "RedSync"; }
   bool allreduce_compatible() const override { return false; }
 
@@ -86,8 +97,10 @@ class RedSync final : public Compressor {
 class SIDCo final : public Compressor {
  public:
   SIDCo(double factor_or_k, bool is_factor, int stages = 3);
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "SIDCo"; }
   bool allreduce_compatible() const override { return false; }
 
@@ -99,8 +112,10 @@ class SIDCo final : public Compressor {
 
 class Identity final : public Compressor {
  public:
-  Compressed compress(const Tensor& t) override;
-  Tensor decompress(const Compressed& c) override;
+  void compress(ConstFloatSpan input, Compressed& out) override;
+  void decompress(const CompressedView& c, FloatSpan out) override;
+  using Compressor::compress;
+  using Compressor::decompress;
   std::string name() const override { return "Identity"; }
   bool allreduce_compatible() const override { return true; }
 };

@@ -1,0 +1,59 @@
+#include "core/frame_pool.hpp"
+
+namespace of::core {
+
+FramePool::Handle FramePool::acquire() {
+  std::unique_ptr<tensor::Bytes> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquired_;
+    if (!free_bytes_.empty()) {
+      buf = std::move(free_bytes_.back());
+      free_bytes_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (!buf) buf = std::make_unique<tensor::Bytes>();
+  buf->clear();  // keep capacity — this is the whole point of the pool
+  return Handle(this, std::move(buf));
+}
+
+FramePool::FloatHandle FramePool::acquire_floats(std::size_t n) {
+  std::unique_ptr<std::vector<float>> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquired_;
+    if (!free_floats_.empty()) {
+      buf = std::move(free_floats_.back());
+      free_floats_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (!buf) buf = std::make_unique<std::vector<float>>();
+  buf->resize(n);
+  return FloatHandle(this, std::move(buf));
+}
+
+std::size_t FramePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::size_t FramePool::acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquired_;
+}
+
+void FramePool::put_back(std::unique_ptr<tensor::Bytes> b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_bytes_.push_back(std::move(b));
+}
+
+void FramePool::put_back(std::unique_ptr<std::vector<float>> f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_floats_.push_back(std::move(f));
+}
+
+}  // namespace of::core

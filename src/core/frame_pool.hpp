@@ -1,0 +1,97 @@
+// Per-node arena of reusable wire-frame buffers.
+//
+// Every federated round moves `model_size`-sized frames: each client encodes
+// one, the aggregator decodes many. Allocating (and faulting in) those
+// buffers fresh each round dominated the allocation profile of the round
+// loop, so the pool keeps retired buffers — both `Bytes` frames and float
+// scratch vectors — on free lists and hands them out through RAII handles.
+// After the first round the pipeline runs at steady state: a handle's
+// `clear()`-but-keep-capacity reset means re-acquiring costs no allocator
+// round trip.
+//
+// Thread safety: acquire/release are mutex-guarded, so producer threads
+// (e.g. async clients) and the aggregator may share one pool. The buffer
+// *contents* behind a handle are owned exclusively by the handle holder.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+
+namespace of::core {
+
+class FramePool {
+ public:
+  // RAII lease on a pooled buffer. Move-only; returns the buffer to the pool
+  // on destruction. Dereference for the underlying container.
+  template <typename Container>
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(FramePool* pool, std::unique_ptr<Container> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        buf_ = std::move(other.buf_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Container& operator*() const { return *buf_; }
+    Container* operator->() const { return buf_.get(); }
+    explicit operator bool() const noexcept { return buf_ != nullptr; }
+
+   private:
+    void release();
+    FramePool* pool_ = nullptr;
+    std::unique_ptr<Container> buf_;
+  };
+
+  using Handle = Lease<tensor::Bytes>;
+  using FloatHandle = Lease<std::vector<float>>;
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // An empty (size 0) byte buffer; capacity from its previous life survives.
+  Handle acquire();
+  // A float scratch buffer resized to exactly `n` elements (zero-filled only
+  // where the resize grows it — callers that accumulate must zero it).
+  FloatHandle acquire_floats(std::size_t n);
+
+  // Diagnostics: buffers created because the free list was empty, and leases
+  // handed out. A steady-state round keeps `created()` flat.
+  std::size_t created() const;
+  std::size_t acquired() const;
+
+ private:
+  friend class Lease<tensor::Bytes>;
+  friend class Lease<std::vector<float>>;
+  void put_back(std::unique_ptr<tensor::Bytes> b);
+  void put_back(std::unique_ptr<std::vector<float>> f);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<tensor::Bytes>> free_bytes_;
+  std::vector<std::unique_ptr<std::vector<float>>> free_floats_;
+  std::size_t created_ = 0;
+  std::size_t acquired_ = 0;
+};
+
+template <typename Container>
+void FramePool::Lease<Container>::release() {
+  if (pool_ && buf_) pool_->put_back(std::move(buf_));
+  pool_ = nullptr;
+  buf_.reset();
+}
+
+}  // namespace of::core

@@ -114,16 +114,17 @@ void NodeRuntime::simulate_slowdown(double train_seconds_elapsed) {
       std::chrono::duration<double>((s_.slowdown - 1.0) * train_seconds_elapsed));
 }
 
-tensor::Bytes NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
-                                           std::size_t round,
-                                           algorithms::TrainStats& stats_out) {
+void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
+                                  std::size_t round, algorithms::TrainStats& stats_out,
+                                  tensor::Bytes& frame_out) {
   auto& algo = *s_.algorithm;
   ctx_.round = round;
   if (round == 0) algo.on_train_start(ctx_);
   algo.apply_global(ctx_, global);
   if (!selected_this_round(round)) {
     stats_out = algorithms::TrainStats{};
-    return encode_skip_update();
+    frame_out = encode_skip_update();
+    return;
   }
   algo.on_round_start(ctx_);
   const auto t0 = Clock::now();
@@ -145,7 +146,8 @@ tensor::Bytes NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& gl
     }
   }
   const PayloadPlugins plugins{s_.compressor.get(), s_.privacy.get()};
-  return encode_update(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size);
+  encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
+                     pool_, frame_out);
 }
 
 tensor::Tensor NodeRuntime::metrics_tensor(const algorithms::TrainStats& stats,
@@ -170,8 +172,8 @@ NodeReport NodeRuntime::run_trainer(comm::Communicator& inner) {
     inner.broadcast_bytes(gbytes, 0);
     const auto global = unpack_tensors(gbytes);
     algorithms::TrainStats stats;
-    const tensor::Bytes frame = train_one_round(global, round, stats);
-    (void)inner.gather_bytes(frame, 0);
+    train_one_round(global, round, stats, frame_buf_);
+    (void)inner.gather_bytes(frame_buf_, 0);
     (void)inner.gather(metrics_tensor(stats, round), 0);
   }
   return NodeReport{};
@@ -195,9 +197,9 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     frames.erase(frames.begin());  // drop our own empty placeholder
     const auto mean =
         s_.aggregation_rule == AggregationRule::Mean
-            ? mean_updates(frames, s_.compressor.get(), s_.privacy.get())
+            ? mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_)
             : robust_combine(frames, s_.compressor.get(), s_.aggregation_rule,
-                             s_.aggregation_trim);
+                             s_.aggregation_trim, &pool_);
     state.round = round;
     state.global = algo.server_update(state, mean);
 
@@ -240,7 +242,8 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
     if (decision.crash) return NodeReport{};  // device powers off mid-run
     const auto global = unpack_tensors(gbytes);
     algorithms::TrainStats stats;
-    const tensor::Bytes frame = train_one_round(global, round, stats);
+    train_one_round(global, round, stats, frame_buf_);
+    const tensor::Bytes& frame = frame_buf_;
     if (decision.extra_delay_seconds > 0.0)
       std::this_thread::sleep_for(
           std::chrono::duration<double>(decision.extra_delay_seconds));
@@ -315,9 +318,9 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
 
     if (contributing > 0) {
       auto mean = s_.aggregation_rule == AggregationRule::Mean
-                      ? mean_updates(frames, s_.compressor.get(), s_.privacy.get())
+                      ? mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_)
                       : robust_combine(frames, s_.compressor.get(), s_.aggregation_rule,
-                                       s_.aggregation_trim);
+                                       s_.aggregation_trim, &pool_);
       // Each update was pre-scaled by n_i·N/total; the uniform mean over the
       // k survivors therefore needs k / (N·Σ w_i) to become the exact
       // weighted mean over the surviving cohort (= 1 at full participation).
@@ -374,10 +377,10 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
     if (s_.compressor) {
       // Sparse codecs exchange via all-gather (paper §3.4.2).
       const PayloadPlugins plugins{s_.compressor.get(), nullptr};
-      const tensor::Bytes frame =
-          encode_update(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size);
-      const auto frames = inner.allgather_bytes(frame);
-      mean = mean_updates(frames, s_.compressor.get(), nullptr);
+      encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                         s_.cohort_size, pool_, frame_buf_);
+      const auto frames = inner.allgather_bytes(frame_buf_);
+      mean = mean_updates(frames, s_.compressor.get(), nullptr, &pool_);
     } else {
       // Dense path: bandwidth-optimal ring all-reduce on the flat payload.
       std::vector<tensor::Tensor> scaled = payload;
@@ -554,9 +557,9 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
     m[1] = static_cast<float>(last_stats.steps);
     payload.push_back(std::move(m));
     const PayloadPlugins plugins{s_.compressor.get(), nullptr};
-    inner.send_bytes(0, kAsyncUpdate,
-                     encode_update(payload, s_.weight_scale, plugins, s_.cohort_index,
-                                   s_.cohort_size));
+    encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
+                       pool_, frame_buf_);
+    inner.send_bytes(0, kAsyncUpdate, frame_buf_);
     ++round;
   }
   // Final evaluation.
@@ -589,16 +592,17 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
     // Collect the group's updates and pre-aggregate them.
     auto frames = inner.gather_bytes({}, 0);
     frames.erase(frames.begin());
-    const auto group_mean = mean_updates(frames, s_.compressor.get(), s_.privacy.get());
+    const auto group_mean =
+        mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_);
 
     // Cross-facility tier: (optionally compressed) leader contribution.
     const PayloadPlugins outer_plugins{s_.outer_compressor.get(), nullptr};
-    const tensor::Bytes outer_frame =
-        encode_update(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
-                      outer.world_size());
-    auto outer_frames = outer.gather_bytes(outer_frame, 0);
+    encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
+                       outer.world_size(), pool_, frame_buf_);
+    auto outer_frames = outer.gather_bytes(frame_buf_, 0);
     if (is_root) {
-      const auto mean = mean_updates(outer_frames, s_.outer_compressor.get(), nullptr);
+      const auto mean =
+          mean_updates(outer_frames, s_.outer_compressor.get(), nullptr, &pool_);
       state.round = round;
       state.global = algo.server_update(state, mean);
     }

@@ -130,9 +130,10 @@ class NodeRuntime {
   NodeReport run_async_aggregator(comm::Communicator& inner);
   NodeReport run_async_trainer(comm::Communicator& inner);
 
-  // Shared trainer-side round body; returns the encoded update frame.
-  tensor::Bytes train_one_round(const std::vector<tensor::Tensor>& global,
-                                std::size_t round, algorithms::TrainStats& stats_out);
+  // Shared trainer-side round body; encodes the update into `frame_out`
+  // (a reused buffer, so steady-state rounds do not allocate).
+  void train_one_round(const std::vector<tensor::Tensor>& global, std::size_t round,
+                       algorithms::TrainStats& stats_out, tensor::Bytes& frame_out);
   tensor::Tensor metrics_tensor(const algorithms::TrainStats& stats, std::size_t round);
   // Deterministic partial-participation schedule (same on every node).
   bool selected_this_round(std::size_t round) const;
@@ -142,6 +143,11 @@ class NodeRuntime {
   NodeSetup s_;
   algorithms::TrainContext ctx_;
   tensor::Rng rng_;
+  // Per-node buffer arena: encode scratch, flat accumulators and decode
+  // buffers all recycle through here, so round loops run allocation-free
+  // at steady state (DESIGN.md § Update pipeline & memory model).
+  FramePool pool_;
+  tensor::Bytes frame_buf_;  // this node's outgoing update frame, reused
   double train_seconds_ = 0.0;
   // Raw TCP transport under the inner communicator, when that is the
   // backend — the target of transport-level fault injections.

@@ -8,7 +8,15 @@
 namespace of::core {
 namespace {
 
+using tensor::ConstFloatSpan;
+using tensor::FloatSpan;
+
 enum : std::uint8_t { kPlain = 0, kCompressed = 1, kPrivacy = 2, kSkip = 3 };
+
+// Mirror of the comm layer's 1 GiB frame cap: no manifest may describe an
+// update larger than a maximal frame could carry, no matter what its dims
+// claim. Keeps a tiny hostile frame from provoking a huge allocation.
+constexpr std::size_t kMaxUpdateElems = (std::size_t{1} << 30) / sizeof(float);
 
 void write_manifest(Bytes& out, const std::vector<Tensor>& payload) {
   tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
@@ -18,32 +26,114 @@ void write_manifest(Bytes& out, const std::vector<Tensor>& payload) {
   }
 }
 
-std::vector<tensor::Shape> read_manifest(const Bytes& in, std::size_t& off) {
+std::vector<tensor::Shape> read_manifest(ConstByteSpan in, std::size_t& off) {
   const auto count = tensor::read_pod<std::uint32_t>(in, off);
+  // Every manifest entry occupies at least its u32 ndim, so a hostile count
+  // (e.g. 2^32-1 in a 10-byte frame) is rejected before the shapes vector
+  // allocates.
+  OF_CHECK_MSG(count <= (in.size() - off) / sizeof(std::uint32_t),
+               "manifest tensor count " << count << " exceeds frame — corrupt frame?");
   std::vector<tensor::Shape> shapes(count);
+  std::size_t total = 0;
   for (auto& shape : shapes) {
     const auto ndim = tensor::read_pod<std::uint32_t>(in, off);
     OF_CHECK_MSG(ndim <= 8, "implausible tensor rank in payload manifest");
     shape.resize(ndim);
-    for (auto& d : shape)
-      d = static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(in, off));
+    std::size_t numel = 1;
+    for (auto& d : shape) {
+      const auto dim = tensor::read_pod<std::uint64_t>(in, off);
+      // Compressed/privacy bodies are smaller than numel·4, so dims cannot
+      // be capped against the remaining bytes — cap the running element
+      // count against the frame-size ceiling instead.
+      OF_CHECK_MSG(dim <= kMaxUpdateElems && (dim == 0 || numel <= kMaxUpdateElems / dim),
+                   "manifest dims exceed the 1 GiB frame cap — corrupt frame?");
+      numel *= static_cast<std::size_t>(dim);
+      d = static_cast<std::size_t>(dim);
+    }
+    OF_CHECK_MSG(total <= kMaxUpdateElems - numel,
+                 "manifest total exceeds the 1 GiB frame cap — corrupt frame?");
+    total += numel;
   }
   return shapes;
 }
 
-std::vector<Tensor> split_flat(const Tensor& flat, const std::vector<tensor::Shape>& shapes) {
+std::size_t manifest_numel(const std::vector<tensor::Shape>& shapes) {
+  std::size_t total = 0;
+  for (const auto& s : shapes) total += tensor::shape_numel(s);
+  return total;
+}
+
+// Split a flat float buffer into the manifest's tensor-list structure — the
+// single structure-materializing copy at the very end of the decode path.
+std::vector<Tensor> split_flat(ConstFloatSpan flat, const std::vector<tensor::Shape>& shapes) {
   std::vector<Tensor> out;
   out.reserve(shapes.size());
   std::size_t off = 0;
   for (const auto& shape : shapes) {
+    const std::size_t n = tensor::shape_numel(shape);
+    OF_CHECK_MSG(off + n <= flat.size(), "flat payload shorter than manifest");
     Tensor t(shape);
-    OF_CHECK_MSG(off + t.numel() <= flat.numel(), "flat payload shorter than manifest");
-    std::copy_n(flat.data() + off, t.numel(), t.data());
-    off += t.numel();
+    std::copy_n(flat.data() + off, n, t.data());
+    off += n;
     out.push_back(std::move(t));
   }
-  OF_CHECK_MSG(off == flat.numel(), "flat payload longer than manifest");
+  OF_CHECK_MSG(off == flat.size(), "flat payload longer than manifest");
   return out;
+}
+
+// Same split, straight from the (unaligned) byte body of a plain frame.
+std::vector<Tensor> split_flat_bytes(ConstByteSpan body,
+                                     const std::vector<tensor::Shape>& shapes) {
+  std::vector<Tensor> out;
+  out.reserve(shapes.size());
+  std::size_t off = 0;
+  for (const auto& shape : shapes) {
+    const std::size_t n = tensor::shape_numel(shape);
+    OF_CHECK_MSG(off + n * sizeof(float) <= body.size(), "flat payload shorter than manifest");
+    Tensor t(shape);
+    std::memcpy(t.data(), body.data() + off, n * sizeof(float));
+    off += n * sizeof(float);
+    out.push_back(std::move(t));
+  }
+  OF_CHECK_MSG(off == body.size(), "flat payload longer than manifest");
+  return out;
+}
+
+// Scale-while-flatten into a contiguous scratch span (plugin paths need the
+// flat update in one piece). The scale stays double until the final store.
+void flatten_scaled(const std::vector<Tensor>& payload, double weight_scale, FloatSpan dst) {
+  std::size_t pos = 0;
+  for (const auto& t : payload) {
+    const float* src = t.data();
+    for (std::size_t i = 0; i < t.numel(); ++i)
+      dst[pos++] = static_cast<float>(static_cast<double>(src[i]) * weight_scale);
+  }
+  OF_CHECK_MSG(pos == dst.size(), "flatten size mismatch");
+}
+
+// Decode the mode-specific body of a plain/compressed frame into `out`
+// (size `total`), reading through the view at its nonzero offset.
+void decode_body_into(ConstByteSpan frame, std::size_t off, std::uint8_t mode,
+                      std::size_t total, compression::Compressor* decompressor,
+                      FloatSpan out) {
+  if (mode == kPlain) {
+    OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
+                 "trailing bytes in plain payload");
+    tensor::read_span(frame, off, out.data(), total);
+    return;
+  }
+  if (mode == kCompressed) {
+    OF_CHECK_MSG(decompressor != nullptr, "compressed payload but no codec configured");
+    const auto original_numel =
+        static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(frame, off));
+    const auto len = tensor::read_pod<std::uint64_t>(frame, off);
+    OF_CHECK_MSG(off + len == frame.size(), "compressed payload length mismatch");
+    OF_CHECK_MSG(original_numel == total, "compressed payload numel mismatch");
+    const compression::CompressedView view(frame.subspan(off), original_numel);
+    decompressor->decompress(view, out);
+    return;
+  }
+  OF_CHECK_MSG(false, "decode_update cannot decode privacy frames individually");
 }
 
 }  // namespace
@@ -52,71 +142,81 @@ Bytes pack_tensors(const std::vector<Tensor>& ts) { return tensor::serialize_ten
 
 Bytes encode_skip_update() { return Bytes{kSkip}; }
 
-bool is_skip_update(const Bytes& frame) {
+bool is_skip_update(ConstByteSpan frame) {
   return frame.size() == 1 && frame[0] == kSkip;
 }
 
 std::vector<Tensor> unpack_tensors(const Bytes& b) { return tensor::deserialize_tensors(b); }
 
-Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
-                    const PayloadPlugins& plugins, int client_id, int num_clients) {
+void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
+                        const PayloadPlugins& plugins, int client_id, int num_clients,
+                        FramePool& pool, Bytes& out) {
   OF_CHECK_MSG(!(plugins.compressor && plugins.privacy),
                "compression and privacy plugins cannot stack on the same link");
-  std::vector<Tensor> scaled = payload;
-  if (weight_scale != 1.0)
-    for (auto& t : scaled) t.scale_(static_cast<float>(weight_scale));
+  out.clear();
+  if (!plugins.privacy && !plugins.compressor) {
+    // Plain: scale-while-flatten straight into the frame — no clone, no
+    // intermediate flat tensor, no extra byte buffer.
+    out.push_back(kPlain);
+    write_manifest(out, payload);
+    for (const auto& t : payload)
+      tensor::append_scaled_span(out, t.span(), weight_scale);
+    return;
+  }
 
-  Bytes out;
+  // Plugin paths need the flat update in one contiguous piece: flatten into
+  // pooled scratch, hand the plugin a view, append its body to the frame.
+  std::size_t total = 0;
+  for (const auto& t : payload) total += t.numel();
+  FramePool::FloatHandle flat = pool.acquire_floats(total);
+  flatten_scaled(payload, weight_scale, FloatSpan(*flat));
+
   if (plugins.privacy) {
     out.push_back(kPrivacy);
-    write_manifest(out, scaled);
-    const Tensor flat = tensor::flatten_all(scaled);
-    const Bytes body = plugins.privacy->protect(flat, client_id, num_clients);
-    tensor::append_pod<std::uint64_t>(out, body.size());
-    out.insert(out.end(), body.begin(), body.end());
-    return out;
+    write_manifest(out, payload);
+    FramePool::Handle body = pool.acquire();
+    plugins.privacy->protect(ConstFloatSpan(*flat), client_id, num_clients, *body);
+    tensor::append_pod<std::uint64_t>(out, body->size());
+    tensor::append_span(out, ConstByteSpan(*body));
+    return;
   }
-  if (plugins.compressor) {
-    out.push_back(kCompressed);
-    write_manifest(out, scaled);
-    const Tensor flat = tensor::flatten_all(scaled);
-    const compression::Compressed c = plugins.compressor->compress(flat);
-    tensor::append_pod<std::uint64_t>(out, c.original_numel);
-    tensor::append_pod<std::uint64_t>(out, c.payload.size());
-    out.insert(out.end(), c.payload.begin(), c.payload.end());
-    return out;
-  }
-  out.push_back(kPlain);
-  write_manifest(out, scaled);
-  for (const auto& t : scaled) tensor::append_span(out, t.data(), t.numel());
+
+  out.push_back(kCompressed);
+  write_manifest(out, payload);
+  // Lend the codec a pooled buffer as its payload storage so repeated
+  // compress calls reuse capacity, then hand it back.
+  FramePool::Handle lent = pool.acquire();
+  compression::Compressed c;
+  c.payload = std::move(*lent);
+  plugins.compressor->compress(ConstFloatSpan(*flat), c);
+  tensor::append_pod<std::uint64_t>(out, c.original_numel);
+  tensor::append_pod<std::uint64_t>(out, c.payload.size());
+  tensor::append_span(out, ConstByteSpan(c.payload));
+  *lent = std::move(c.payload);
+}
+
+Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
+                    const PayloadPlugins& plugins, int client_id, int num_clients) {
+  FramePool pool;
+  Bytes out;
+  encode_update_into(payload, weight_scale, plugins, client_id, num_clients, pool, out);
   return out;
 }
 
-std::vector<Tensor> decode_update(const Bytes& frame,
+std::vector<Tensor> decode_update(ConstByteSpan frame,
                                   compression::Compressor* decompressor) {
   std::size_t off = 0;
   const auto mode = tensor::read_pod<std::uint8_t>(frame, off);
   const auto shapes = read_manifest(frame, off);
-  std::size_t total = 0;
-  for (const auto& s : shapes) total += tensor::shape_numel(s);
+  const std::size_t total = manifest_numel(shapes);
   if (mode == kPlain) {
-    Tensor flat({total});
-    tensor::read_span(frame, off, flat.data(), total);
-    OF_CHECK_MSG(off == frame.size(), "trailing bytes in plain payload");
-    return split_flat(flat, shapes);
+    OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
+                 "trailing bytes in plain payload");
+    return split_flat_bytes(frame.subspan(off), shapes);
   }
-  if (mode == kCompressed) {
-    OF_CHECK_MSG(decompressor != nullptr, "compressed payload but no codec configured");
-    compression::Compressed c;
-    c.original_numel =
-        static_cast<std::size_t>(tensor::read_pod<std::uint64_t>(frame, off));
-    const auto len = tensor::read_pod<std::uint64_t>(frame, off);
-    OF_CHECK_MSG(off + len == frame.size(), "compressed payload length mismatch");
-    c.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(off), frame.end());
-    OF_CHECK_MSG(c.original_numel == total, "compressed payload numel mismatch");
-    return split_flat(decompressor->decompress(c), shapes);
-  }
-  OF_CHECK_MSG(false, "decode_update cannot decode privacy frames individually");
+  std::vector<float> flat(total);
+  decode_body_into(frame, off, mode, total, decompressor, FloatSpan(flat));
+  return split_flat(ConstFloatSpan(flat), shapes);
 }
 
 AggregationRule parse_aggregation_rule(const std::string& name) {
@@ -128,60 +228,79 @@ AggregationRule parse_aggregation_rule(const std::string& name) {
 
 std::vector<Tensor> robust_combine(const std::vector<Bytes>& raw_frames,
                                    compression::Compressor* decompressor,
-                                   AggregationRule rule, double trim) {
+                                   AggregationRule rule, double trim, FramePool* pool) {
   if (rule == AggregationRule::Mean)
-    return mean_updates(raw_frames, decompressor, nullptr);
+    return mean_updates(raw_frames, decompressor, nullptr, pool);
   OF_CHECK_MSG(trim >= 0.0 && trim < 0.5, "trim fraction must be in [0, 0.5)");
-  std::vector<std::vector<Tensor>> decoded;
+  FramePool local_pool;
+  FramePool& p = pool ? *pool : local_pool;
+
+  // Decode every contribution into a pooled flat buffer; the tensor-list
+  // structure is materialized exactly once, after the coordinate-wise pass.
+  std::vector<tensor::Shape> shapes;
+  std::size_t total = 0;
+  std::vector<FramePool::FloatHandle> decoded;
   for (const auto& f : raw_frames) {
     if (is_skip_update(f)) continue;
-    decoded.push_back(decode_update(f, decompressor));
+    std::size_t off = 0;
+    const auto mode = tensor::read_pod<std::uint8_t>(f, off);
+    const auto frame_shapes = read_manifest(f, off);
+    const std::size_t frame_total = manifest_numel(frame_shapes);
+    if (decoded.empty()) {
+      shapes = frame_shapes;
+      total = frame_total;
+    } else {
+      OF_CHECK_MSG(frame_total == total, "payload structure mismatch");
+    }
+    FramePool::FloatHandle flat = p.acquire_floats(frame_total);
+    decode_body_into(f, off, mode, frame_total, decompressor, FloatSpan(*flat));
+    decoded.push_back(std::move(flat));
   }
   OF_CHECK_MSG(!decoded.empty(), "no client updates to aggregate (all skipped?)");
+
   const std::size_t k = decoded.size();
-  std::vector<Tensor> out;
-  out.reserve(decoded[0].size());
+  const std::size_t cut = static_cast<std::size_t>(trim * static_cast<double>(k));
+  FramePool::FloatHandle result = p.acquire_floats(total);
   std::vector<float> column(k);
-  for (std::size_t t = 0; t < decoded[0].size(); ++t) {
-    Tensor acc(decoded[0][t].shape());
-    for (std::size_t i = 0; i < acc.numel(); ++i) {
-      for (std::size_t c = 0; c < k; ++c) column[c] = decoded[c][t][i];
-      std::sort(column.begin(), column.end());
-      if (rule == AggregationRule::Median) {
-        acc[i] = (k % 2) ? column[k / 2]
-                         : 0.5f * (column[k / 2 - 1] + column[k / 2]);
-      } else {  // trimmed mean
-        const std::size_t cut = static_cast<std::size_t>(trim * static_cast<double>(k));
-        double sum = 0.0;
-        for (std::size_t c = cut; c < k - cut; ++c) sum += column[c];
-        acc[i] = static_cast<float>(sum / static_cast<double>(k - 2 * cut));
-      }
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t c = 0; c < k; ++c) column[c] = (*decoded[c])[i];
+    std::sort(column.begin(), column.end());
+    if (rule == AggregationRule::Median) {
+      (*result)[i] =
+          (k % 2) ? column[k / 2] : 0.5f * (column[k / 2 - 1] + column[k / 2]);
+    } else {  // trimmed mean
+      double sum = 0.0;
+      for (std::size_t c = cut; c < k - cut; ++c) sum += column[c];
+      (*result)[i] = static_cast<float>(sum / static_cast<double>(k - 2 * cut));
     }
-    out.push_back(std::move(acc));
   }
-  return out;
+  return split_flat(ConstFloatSpan(*result), shapes);
 }
 
 std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
                                  compression::Compressor* decompressor,
-                                 privacy::PrivacyMechanism* privacy) {
-  // Drop skip markers (partial participation) before aggregating.
-  std::vector<Bytes> frames;
+                                 privacy::PrivacyMechanism* privacy, FramePool* pool) {
+  FramePool local_pool;
+  FramePool& p = pool ? *pool : local_pool;
+
+  // Drop skip markers (partial participation) before aggregating. Views
+  // only — the frames stay where they arrived.
+  std::vector<ConstByteSpan> frames;
   frames.reserve(raw_frames.size());
   for (const auto& f : raw_frames)
     if (!is_skip_update(f)) frames.push_back(f);
   OF_CHECK_MSG(!frames.empty(), "no client updates to aggregate (all skipped?)");
+
   // Peek the first frame's mode + manifest.
   std::size_t off0 = 0;
   const auto mode = tensor::read_pod<std::uint8_t>(frames[0], off0);
   const auto shapes = read_manifest(frames[0], off0);
-  std::size_t total = 0;
-  for (const auto& s : shapes) total += tensor::shape_numel(s);
+  const std::size_t total = manifest_numel(shapes);
   const float inv_k = 1.0f / static_cast<float>(frames.size());
 
   if (mode == kPrivacy) {
     OF_CHECK_MSG(privacy != nullptr, "privacy payload but no mechanism configured");
-    std::vector<Bytes> bodies;
+    std::vector<ConstByteSpan> bodies;
     bodies.reserve(frames.size());
     for (const auto& f : frames) {
       std::size_t off = 0;
@@ -190,26 +309,41 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
       (void)read_manifest(f, off);
       const auto len = tensor::read_pod<std::uint64_t>(f, off);
       OF_CHECK_MSG(off + len == f.size(), "privacy payload length mismatch");
-      bodies.emplace_back(f.begin() + static_cast<std::ptrdiff_t>(off), f.end());
+      bodies.push_back(f.subspan(off));
     }
-    Tensor sum = privacy->aggregate_sum(bodies, total);
-    sum.scale_(inv_k);
-    return split_flat(sum, shapes);
+    FramePool::FloatHandle sum = p.acquire_floats(total);
+    privacy->aggregate_sum(bodies, FloatSpan(*sum));
+    for (float& v : *sum) v *= inv_k;
+    return split_flat(ConstFloatSpan(*sum), shapes);
   }
 
-  // Plain / compressed: decode each frame, average.
-  std::vector<Tensor> acc;
+  // Plain / compressed: accumulate every frame's body into one pooled flat
+  // accumulator, then split into the tensor-list structure once.
+  FramePool::FloatHandle acc = p.acquire_floats(total);
+  std::fill(acc->begin(), acc->end(), 0.0f);
+  FramePool::FloatHandle scratch;  // compressed path only
+  if (mode == kCompressed) scratch = p.acquire_floats(total);
   for (const auto& f : frames) {
-    std::vector<Tensor> decoded = decode_update(f, decompressor);
-    OF_CHECK_MSG(decoded.size() == shapes.size(), "payload structure mismatch");
-    if (acc.empty()) {
-      acc = std::move(decoded);
+    std::size_t off = 0;
+    const auto m = tensor::read_pod<std::uint8_t>(f, off);
+    OF_CHECK_MSG(m == mode, "mixed payload modes in one aggregation");
+    const auto frame_shapes = read_manifest(f, off);
+    OF_CHECK_MSG(frame_shapes.size() == shapes.size() &&
+                     manifest_numel(frame_shapes) == total,
+                 "payload structure mismatch");
+    if (m == kPlain) {
+      OF_CHECK_MSG(f.size() - off == total * sizeof(float),
+                   "trailing bytes in plain payload");
+      tensor::add_scaled_from_bytes(f.subspan(off), 1.0, FloatSpan(*acc));
     } else {
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i].add_(decoded[i]);
+      decode_body_into(f, off, m, total, decompressor, FloatSpan(*scratch));
+      float* a = acc->data();
+      const float* s = scratch->data();
+      for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
     }
   }
-  for (auto& t : acc) t.scale_(inv_k);
-  return acc;
+  for (float& v : *acc) v *= inv_k;
+  return split_flat(ConstFloatSpan(*acc), shapes);
 }
 
 }  // namespace of::core

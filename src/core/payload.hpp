@@ -13,15 +13,23 @@
 // The aggregator recovers the *weighted mean* of the client payloads: for
 // plain/compressed it decodes each frame and averages; for privacy modes it
 // can only form the sum (that is the point), then divides by the count.
+//
+// The hot paths are zero-copy: encode scales-while-flattening straight into
+// a pooled frame buffer, and aggregation accumulates from frame *views*
+// into one pooled flat accumulator, splitting into the tensor-list
+// structure exactly once at the end (DESIGN.md § Update pipeline & memory
+// model).
 #pragma once
 
 #include "compression/compressor.hpp"
+#include "core/frame_pool.hpp"
 #include "privacy/mechanism.hpp"
 #include "tensor/tensor.hpp"
 
 namespace of::core {
 
 using tensor::Bytes;
+using tensor::ConstByteSpan;
 using tensor::Tensor;
 
 struct PayloadPlugins {
@@ -30,7 +38,16 @@ struct PayloadPlugins {
 };
 
 // Client side: encode `payload`, pre-scaled by `weight_scale` so that the
-// aggregator's uniform mean equals the intended weighted mean.
+// aggregator's uniform mean equals the intended weighted mean. The scale is
+// applied in double during the flatten (narrowing it to float first loses
+// the low bits of per-client sample weights). Clears and rewrites `out`
+// (typically a pooled frame, so capacity persists across rounds); `pool`
+// provides the flat/body scratch buffers the plugin paths need.
+void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
+                        const PayloadPlugins& plugins, int client_id, int num_clients,
+                        FramePool& pool, Bytes& out);
+
+// Owning convenience for tests and cold paths.
 Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
                     const PayloadPlugins& plugins, int client_id, int num_clients);
 
@@ -38,17 +55,22 @@ Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
 // participation). mean_updates skips such frames and divides by the number
 // of actual contributions.
 Bytes encode_skip_update();
-bool is_skip_update(const Bytes& frame);
+bool is_skip_update(ConstByteSpan frame);
 
 // Aggregator side: decode frames (all clients, same plugin config) and
 // return their uniform mean in the original tensor-list structure.
 // `decompressor` is the aggregator-side codec instance (stateless decode).
+// With a pool, the flat accumulator and decode scratch come from it and the
+// aggregation runs allocation-free at steady state.
 std::vector<Tensor> mean_updates(const std::vector<Bytes>& frames,
                                  compression::Compressor* decompressor,
-                                 privacy::PrivacyMechanism* privacy);
+                                 privacy::PrivacyMechanism* privacy,
+                                 FramePool* pool = nullptr);
 
-// Decode a single plain/compressed frame (used by relays and tests).
-std::vector<Tensor> decode_update(const Bytes& frame,
+// Decode a single plain/compressed frame (used by relays and tests). Reads
+// through the view in place — compressed bodies are decoded at their offset
+// inside the frame, never copied out first.
+std::vector<Tensor> decode_update(ConstByteSpan frame,
                                   compression::Compressor* decompressor);
 
 // Robust aggregation rules over individual client updates (coordinate-wise).
@@ -59,7 +81,8 @@ enum class AggregationRule { Mean, Median, TrimmedMean };
 AggregationRule parse_aggregation_rule(const std::string& name);
 std::vector<Tensor> robust_combine(const std::vector<Bytes>& frames,
                                    compression::Compressor* decompressor,
-                                   AggregationRule rule, double trim = 0.1);
+                                   AggregationRule rule, double trim = 0.1,
+                                   FramePool* pool = nullptr);
 
 // Pack/unpack a tensor list without plugins (global-payload broadcast).
 Bytes pack_tensors(const std::vector<Tensor>& ts);

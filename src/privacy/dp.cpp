@@ -30,30 +30,36 @@ double CompositionAccountant::advanced_epsilon(double delta_slack) const {
 DifferentialPrivacy::DifferentialPrivacy(DpParams params, std::uint64_t seed)
     : params_(params), sigma_(gaussian_sigma(params)), rng_(seed) {}
 
-Bytes DifferentialPrivacy::protect(const Tensor& update, int client_id, int num_clients) {
+void DifferentialPrivacy::protect(ConstFloatSpan update, int client_id, int num_clients,
+                                  Bytes& out) {
   (void)client_id;
   (void)num_clients;
-  Tensor noised = update;
+  const std::size_t n = update.size();
   // Clip to sensitivity C...
-  const float norm = noised.l2_norm();
-  if (norm > params_.clip_norm)
-    noised.scale_(static_cast<float>(params_.clip_norm) / norm);
-  // ...then add calibrated Gaussian noise.
-  for (std::size_t i = 0; i < noised.numel(); ++i)
-    noised[i] += static_cast<float>(rng_.gaussian(0.0, sigma_));
+  double norm2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    norm2 += static_cast<double>(update[i]) * static_cast<double>(update[i]);
+  const double norm = std::sqrt(norm2);
+  const float clip_scale =
+      norm > params_.clip_norm ? static_cast<float>(params_.clip_norm / norm) : 1.0f;
+  // ...then add calibrated Gaussian noise, writing the serialized 1-D tensor
+  // straight into the (pooled) output buffer.
+  out.clear();
+  tensor::append_pod<std::uint32_t>(out, 1);
+  tensor::append_pod<std::uint64_t>(out, n);
+  const std::size_t start = out.size();
+  out.resize(start + n * sizeof(float));
+  std::uint8_t* dst = out.data() + start;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = update[i] * clip_scale + static_cast<float>(rng_.gaussian(0.0, sigma_));
+    std::memcpy(dst + i * sizeof(float), &v, sizeof(float));
+  }
   accountant_.record_release(params_.epsilon, params_.delta);
-  return tensor::serialize_tensor(noised);
 }
 
-Tensor DifferentialPrivacy::aggregate_sum(const std::vector<Bytes>& contributions,
-                                          std::size_t numel) {
-  Tensor sum({numel});
-  for (const auto& c : contributions) {
-    Tensor t = tensor::deserialize_tensor(c);
-    OF_CHECK_MSG(t.numel() == numel, "DP contribution size mismatch");
-    sum.add_(t.reshape({numel}));
-  }
-  return sum;
+void DifferentialPrivacy::aggregate_sum(const std::vector<ConstByteSpan>& contributions,
+                                        FloatSpan out) {
+  sum_serialized_tensors(contributions, out);
 }
 
 }  // namespace of::privacy

@@ -42,8 +42,10 @@ class DifferentialPrivacy final : public PrivacyMechanism {
  public:
   DifferentialPrivacy(DpParams params, std::uint64_t seed);
 
-  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
-  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  void protect(ConstFloatSpan update, int client_id, int num_clients, Bytes& out) override;
+  void aggregate_sum(const std::vector<ConstByteSpan>& contributions, FloatSpan out) override;
+  using PrivacyMechanism::protect;
+  using PrivacyMechanism::aggregate_sum;
   std::string name() const override { return "DifferentialPrivacy"; }
 
   const DpParams& params() const noexcept { return params_; }

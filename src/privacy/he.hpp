@@ -1,7 +1,7 @@
 // Homomorphic-encryption privacy mechanism: Paillier-encrypted updates,
 // aggregated by ciphertext multiplication. In this simulation the
 // aggregator holds the key pair (threshold/key-splitting is out of scope,
-// DESIGN.md §6); the compute cost of encrypt/add/decrypt is the real
+// DESIGN.md §7); the compute cost of encrypt/add/decrypt is the real
 // big-integer cost that Table 3b measures.
 #pragma once
 
@@ -18,8 +18,10 @@ class HomomorphicEncryption final : public PrivacyMechanism {
   HomomorphicEncryption(std::size_t key_bits, std::size_t max_summands,
                         std::uint64_t keygen_seed, std::uint64_t enc_seed = 0);
 
-  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
-  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  void protect(ConstFloatSpan update, int client_id, int num_clients, Bytes& out) override;
+  void aggregate_sum(const std::vector<ConstByteSpan>& contributions, FloatSpan out) override;
+  using PrivacyMechanism::protect;
+  using PrivacyMechanism::aggregate_sum;
   std::string name() const override { return "HomomorphicEncryption"; }
 
   const PaillierVector& vector_scheme() const noexcept { return vec_; }

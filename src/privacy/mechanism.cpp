@@ -1,5 +1,7 @@
 #include "privacy/mechanism.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "privacy/dp.hpp"
 #include "privacy/he.hpp"
@@ -7,20 +9,37 @@
 
 namespace of::privacy {
 
-Bytes NoPrivacy::protect(const Tensor& update, int client_id, int num_clients) {
-  (void)client_id;
-  (void)num_clients;
-  return tensor::serialize_tensor(update);
+void sum_serialized_tensors(const std::vector<ConstByteSpan>& contributions, FloatSpan out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto& c : contributions) {
+    std::size_t off = 0;
+    const auto ndim = tensor::read_pod<std::uint32_t>(c, off);
+    OF_CHECK_MSG(ndim <= 8, "implausible tensor rank " << ndim << " — corrupt frame?");
+    std::size_t numel = 1;
+    for (std::uint32_t d = 0; d < ndim; ++d) {
+      const auto dim = tensor::read_pod<std::uint64_t>(c, off);
+      const std::size_t max_numel = (c.size() - off) / sizeof(float);
+      OF_CHECK_MSG(dim <= max_numel && (dim == 0 || numel <= max_numel / dim),
+                   "tensor dims exceed remaining contribution — corrupt frame?");
+      numel *= static_cast<std::size_t>(dim);
+    }
+    OF_CHECK_MSG(numel == out.size(), "contribution size mismatch");
+    tensor::add_scaled_from_bytes(c.subspan(off), 1.0, out);
+  }
 }
 
-Tensor NoPrivacy::aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) {
-  Tensor sum({numel});
-  for (const auto& c : contributions) {
-    Tensor t = tensor::deserialize_tensor(c);
-    OF_CHECK_MSG(t.numel() == numel, "contribution size mismatch");
-    sum.add_(t.reshape({numel}));
-  }
-  return sum;
+void NoPrivacy::protect(ConstFloatSpan update, int client_id, int num_clients, Bytes& out) {
+  (void)client_id;
+  (void)num_clients;
+  out.clear();
+  tensor::append_pod<std::uint32_t>(out, 1);
+  tensor::append_pod<std::uint64_t>(out, update.size());
+  tensor::append_span(out, update);
+}
+
+void NoPrivacy::aggregate_sum(const std::vector<ConstByteSpan>& contributions,
+                              FloatSpan out) {
+  sum_serialized_tensors(contributions, out);
 }
 
 namespace {
@@ -40,17 +59,23 @@ HomomorphicEncryption::HomomorphicEncryption(std::size_t key_bits,
     : vec_(make_paillier_vector(key_bits, max_summands, keygen_seed)),
       rng_(enc_seed ? enc_seed : (keygen_seed ^ 0x9E3779B97F4A7C15ULL)) {}
 
-Bytes HomomorphicEncryption::protect(const Tensor& update, int client_id, int num_clients) {
+void HomomorphicEncryption::protect(ConstFloatSpan update, int client_id, int num_clients,
+                                    Bytes& out) {
   (void)client_id;
   (void)num_clients;
-  return vec_.encrypt(update, rng_);
+  // Big-integer encryption dwarfs a copy into the packer's Tensor, so the
+  // span API here is about interface uniformity, not allocation savings.
+  Tensor t({update.size()});
+  std::copy(update.begin(), update.end(), t.data());
+  out = vec_.encrypt(t, rng_);
 }
 
-Tensor HomomorphicEncryption::aggregate_sum(const std::vector<Bytes>& contributions,
-                                            std::size_t numel) {
+void HomomorphicEncryption::aggregate_sum(const std::vector<ConstByteSpan>& contributions,
+                                          FloatSpan out) {
   std::vector<BigUInt> acc;
   for (const auto& c : contributions) vec_.accumulate(acc, c);
-  return vec_.decrypt_sum(acc, numel, contributions.size());
+  const Tensor sum = vec_.decrypt_sum(acc, out.size(), contributions.size());
+  std::copy_n(sum.data(), out.size(), out.data());
 }
 
 namespace {

@@ -20,6 +20,9 @@
 namespace of::privacy {
 
 using tensor::Bytes;
+using tensor::ConstByteSpan;
+using tensor::ConstFloatSpan;
+using tensor::FloatSpan;
 using tensor::Rng;
 using tensor::Tensor;
 
@@ -30,19 +33,44 @@ class PrivacyMechanism {
   PrivacyMechanism& operator=(const PrivacyMechanism&) = delete;
   virtual ~PrivacyMechanism() = default;
 
-  // Client-side: wrap the update for transmission.
-  virtual Bytes protect(const Tensor& update, int client_id, int num_clients) = 0;
-  // Aggregator-side: recover the SUM of the protected updates.
-  virtual Tensor aggregate_sum(const std::vector<Bytes>& contributions,
-                               std::size_t numel) = 0;
+  // Span-primary API (the zero-copy pipeline).
+  // Client-side: wrap the flat update for transmission. Clears and rewrites
+  // `out` — capacity survives, so pooled buffers amortize across rounds.
+  virtual void protect(ConstFloatSpan update, int client_id, int num_clients,
+                       Bytes& out) = 0;
+  // Aggregator-side: overwrite `out` with the SUM of the protected updates,
+  // reading each contribution in place (typically a view into a received
+  // frame at a nonzero offset — implementations must not assume alignment).
+  virtual void aggregate_sum(const std::vector<ConstByteSpan>& contributions,
+                             FloatSpan out) = 0;
   virtual std::string name() const = 0;
+
+  // Owning conveniences for tests and cold paths.
+  Bytes protect(const Tensor& update, int client_id, int num_clients) {
+    Bytes out;
+    protect(update.span(), client_id, num_clients, out);
+    return out;
+  }
+  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) {
+    const std::vector<ConstByteSpan> views(contributions.begin(), contributions.end());
+    Tensor sum({numel});
+    aggregate_sum(views, sum.span());
+    return sum;
+  }
 };
+
+// Sum serialized 1-D tensors (the NoPrivacy/DP wire body: u32 ndim | u64
+// dims | f32 data) into `out`, overwriting it. Shared by mechanisms whose
+// aggregation is plain summation.
+void sum_serialized_tensors(const std::vector<ConstByteSpan>& contributions, FloatSpan out);
 
 // Pass-through (serialize/sum), the default.
 class NoPrivacy final : public PrivacyMechanism {
  public:
-  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
-  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  void protect(ConstFloatSpan update, int client_id, int num_clients, Bytes& out) override;
+  void aggregate_sum(const std::vector<ConstByteSpan>& contributions, FloatSpan out) override;
+  using PrivacyMechanism::protect;
+  using PrivacyMechanism::aggregate_sum;
   std::string name() const override { return "NoPrivacy"; }
 };
 

@@ -97,7 +97,7 @@ tensor::Bytes PaillierVector::encrypt(const tensor::Tensor& t, tensor::Rng& rng)
   return out;
 }
 
-std::vector<BigUInt> PaillierVector::parse(const tensor::Bytes& b) const {
+std::vector<BigUInt> PaillierVector::parse(tensor::ConstByteSpan b) const {
   std::size_t off = 0;
   const auto num_ct = tensor::read_pod<std::uint64_t>(b, off);
   std::vector<BigUInt> cts;
@@ -115,7 +115,7 @@ std::vector<BigUInt> PaillierVector::parse(const tensor::Bytes& b) const {
 }
 
 void PaillierVector::accumulate(std::vector<BigUInt>& acc,
-                                const tensor::Bytes& contribution) const {
+                                tensor::ConstByteSpan contribution) const {
   const auto cts = parse(contribution);
   if (acc.empty()) {
     acc = cts;

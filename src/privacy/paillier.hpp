@@ -34,7 +34,7 @@ class Paillier {
  public:
   // Generate a keypair with an n of ~`key_bits` bits. 256 is the default
   // used by tests/benches — cryptographically toy-sized but algorithmically
-  // faithful (see DESIGN.md §6).
+  // faithful (see DESIGN.md §7).
   static Paillier keygen(std::size_t key_bits, tensor::Rng& rng);
 
   const PaillierPublicKey& pub() const noexcept { return pub_; }
@@ -61,12 +61,12 @@ class PaillierVector {
   // Encrypt a float tensor into a list of ciphertexts (serialized bytes).
   tensor::Bytes encrypt(const tensor::Tensor& t, tensor::Rng& rng) const;
   // Homomorphically add a serialized ciphertext vector into an accumulator.
-  void accumulate(std::vector<BigUInt>& acc, const tensor::Bytes& contribution) const;
+  void accumulate(std::vector<BigUInt>& acc, tensor::ConstByteSpan contribution) const;
   // Decrypt an accumulated sum of `num_summands` contributions.
   tensor::Tensor decrypt_sum(const std::vector<BigUInt>& acc, std::size_t numel,
                              std::size_t num_summands) const;
   // Parse a serialized contribution into ciphertexts (for tests).
-  std::vector<BigUInt> parse(const tensor::Bytes& b) const;
+  std::vector<BigUInt> parse(tensor::ConstByteSpan b) const;
 
   std::size_t values_per_ciphertext() const noexcept { return pack_; }
   const Paillier& scheme() const noexcept { return scheme_; }

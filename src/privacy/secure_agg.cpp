@@ -52,12 +52,13 @@ std::vector<std::uint8_t> SecureAggregation::pair_seed(int i, int j) const {
   return std::vector<std::uint8_t>(d.begin(), d.end());
 }
 
-Bytes SecureAggregation::protect(const Tensor& update, int client_id, int num_clients) {
+void SecureAggregation::protect(ConstFloatSpan update, int client_id, int num_clients,
+                                Bytes& out) {
   OF_CHECK_MSG(num_clients == num_clients_,
                "cohort size mismatch: configured " << num_clients_ << ", got "
                                                    << num_clients);
   OF_CHECK_MSG(client_id >= 0 && client_id < num_clients_, "bad client id");
-  const std::size_t n = update.numel();
+  const std::size_t n = update.size();
   // Fixed-point lift.
   std::vector<std::uint64_t> masked(n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -77,30 +78,28 @@ Bytes SecureAggregation::protect(const Tensor& update, int client_id, int num_cl
       for (std::size_t k = 0; k < n; ++k) masked[k] -= mask[k];  // wrapping
     }
   }
-  Bytes out;
+  out.clear();
   tensor::append_pod<std::uint64_t>(out, n);
   tensor::append_span(out, masked.data(), n);
-  return out;
 }
 
-Tensor SecureAggregation::aggregate_sum(const std::vector<Bytes>& contributions,
-                                        std::size_t numel) {
+void SecureAggregation::aggregate_sum(const std::vector<ConstByteSpan>& contributions,
+                                      FloatSpan out) {
+  const std::size_t numel = out.size();
   std::vector<std::uint64_t> acc(numel, 0);
+  std::vector<std::uint64_t> vals(numel);
   for (const auto& c : contributions) {
     std::size_t off = 0;
     const auto n = tensor::read_pod<std::uint64_t>(c, off);
     OF_CHECK_MSG(n == numel, "secure-agg contribution size mismatch");
-    std::vector<std::uint64_t> vals(numel);
     tensor::read_span(c, off, vals.data(), numel);
     for (std::size_t k = 0; k < numel; ++k) acc[k] += vals[k];  // wrapping sum
   }
   // Masks have cancelled; centered lift back to signed fixed-point.
-  Tensor out({numel});
   for (std::size_t k = 0; k < numel; ++k) {
     const auto v = static_cast<std::int64_t>(acc[k]);  // two's-complement lift
     out[k] = static_cast<float>(static_cast<double>(v) / kScale);
   }
-  return out;
 }
 
 }  // namespace of::privacy

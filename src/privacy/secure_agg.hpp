@@ -26,8 +26,10 @@ class SecureAggregation final : public PrivacyMechanism {
                     SaKeyAgreement agreement = SaKeyAgreement::Hmac,
                     std::uint64_t dh_seed = 0x0F5EEDDEADULL);
 
-  Bytes protect(const Tensor& update, int client_id, int num_clients) override;
-  Tensor aggregate_sum(const std::vector<Bytes>& contributions, std::size_t numel) override;
+  void protect(ConstFloatSpan update, int client_id, int num_clients, Bytes& out) override;
+  void aggregate_sum(const std::vector<ConstByteSpan>& contributions, FloatSpan out) override;
+  using PrivacyMechanism::protect;
+  using PrivacyMechanism::aggregate_sum;
   std::string name() const override { return "SecureAggregation"; }
 
   // The seed both ends of pair (i, j) derive; exposed for tests.

@@ -2,6 +2,39 @@
 
 namespace of::tensor {
 
+void append_scaled_span(Bytes& out, ConstFloatSpan src, double scale) {
+  const std::size_t start = out.size();
+  out.resize(start + src.size() * sizeof(float));
+  std::uint8_t* dst = out.data() + start;
+  // The scale is applied in double on purpose: per-client sample weights are
+  // doubles, and squashing them to float before the multiply drops low bits
+  // that the weighted mean then never recovers.
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float v = static_cast<float>(static_cast<double>(src[i]) * scale);
+    std::memcpy(dst + i * sizeof(float), &v, sizeof(float));
+  }
+}
+
+void add_scaled_from_bytes(ConstByteSpan src, double alpha, FloatSpan acc) {
+  OF_CHECK_MSG(src.size() == acc.size() * sizeof(float),
+               "accumulate size mismatch: " << src.size() << " bytes vs " << acc.size()
+                                            << " floats");
+  // Frame bodies start at mode-byte + manifest offsets, so `src` is almost
+  // never 4-byte aligned — go through memcpy chunks rather than a reinterpret.
+  constexpr std::size_t kChunk = 256;
+  float tmp[kChunk];
+  const std::uint8_t* p = src.data();
+  std::size_t i = 0;
+  while (i < acc.size()) {
+    const std::size_t n = std::min(kChunk, acc.size() - i);
+    std::memcpy(tmp, p + i * sizeof(float), n * sizeof(float));
+    float* a = acc.data() + i;
+    for (std::size_t j = 0; j < n; ++j)
+      a[j] += static_cast<float>(alpha * static_cast<double>(tmp[j]));
+    i += n;
+  }
+}
+
 void serialize_tensor(const Tensor& t, Bytes& out) {
   append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(t.ndim()));
   for (std::size_t d : t.shape()) append_pod<std::uint64_t>(out, d);
@@ -15,17 +48,28 @@ Bytes serialize_tensor(const Tensor& t) {
   return out;
 }
 
-Tensor deserialize_tensor(const Bytes& buf, std::size_t& offset) {
+Tensor deserialize_tensor(ConstByteSpan buf, std::size_t& offset) {
   const auto ndim = read_pod<std::uint32_t>(buf, offset);
   OF_CHECK_MSG(ndim <= 8, "implausible tensor rank " << ndim << " — corrupt frame?");
   Shape shape(ndim);
-  for (auto& d : shape) d = static_cast<std::size_t>(read_pod<std::uint64_t>(buf, offset));
+  std::size_t numel = 1;
+  for (auto& d : shape) {
+    const auto dim = read_pod<std::uint64_t>(buf, offset);
+    // The float data for this tensor still has to fit in the remaining
+    // payload; reject hostile/corrupt dims before Tensor allocates, keeping a
+    // running product so multi-dim shapes can't sneak past a per-dim cap.
+    const std::size_t max_numel = (buf.size() - offset) / sizeof(float);
+    OF_CHECK_MSG(dim <= max_numel && (dim == 0 || numel <= max_numel / dim),
+                 "tensor dims exceed remaining frame — corrupt frame?");
+    numel *= static_cast<std::size_t>(dim);
+    d = static_cast<std::size_t>(dim);
+  }
   Tensor t(shape);
   read_span(buf, offset, t.data(), t.numel());
   return t;
 }
 
-Tensor deserialize_tensor(const Bytes& buf) {
+Tensor deserialize_tensor(ConstByteSpan buf) {
   std::size_t offset = 0;
   Tensor t = deserialize_tensor(buf, offset);
   OF_CHECK_MSG(offset == buf.size(), "trailing bytes after tensor frame");
@@ -39,9 +83,11 @@ Bytes serialize_tensors(const std::vector<Tensor>& ts) {
   return out;
 }
 
-std::vector<Tensor> deserialize_tensors(const Bytes& buf) {
+std::vector<Tensor> deserialize_tensors(ConstByteSpan buf) {
   std::size_t offset = 0;
   const auto count = read_pod<std::uint32_t>(buf, offset);
+  OF_CHECK_MSG(count <= (buf.size() - offset) / sizeof(std::uint32_t),
+               "tensor count " << count << " exceeds remaining frame — corrupt frame?");
   std::vector<Tensor> ts;
   ts.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) ts.push_back(deserialize_tensor(buf, offset));

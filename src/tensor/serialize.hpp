@@ -3,6 +3,10 @@
 //   u32 ndim | u64 dims[ndim] | f32 data[numel]
 // plus helpers for packing arbitrary PODs into byte buffers, used by the
 // compression payload formats and the TCP wire protocol.
+//
+// Readers are span-based: a `ConstByteSpan` view plus a cursor lets every
+// decode stage walk a received frame in place, with no tail copies. The
+// owning-`Bytes` overloads delegate to the span forms.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "tensor/span.hpp"
 #include "tensor/tensor.hpp"
 
 namespace of::tensor {
@@ -25,7 +30,7 @@ void append_pod(Bytes& buf, const T& value) {
 }
 
 template <typename T>
-T read_pod(const Bytes& buf, std::size_t& offset) {
+T read_pod(ConstByteSpan buf, std::size_t& offset) {
   static_assert(std::is_trivially_copyable_v<T>);
   OF_CHECK_MSG(offset + sizeof(T) <= buf.size(),
                "buffer underrun reading " << sizeof(T) << " bytes at offset " << offset);
@@ -42,23 +47,44 @@ void append_span(Bytes& buf, const T* data, std::size_t count) {
   buf.insert(buf.end(), p, p + count * sizeof(T));
 }
 
+inline void append_span(Bytes& buf, ConstByteSpan bytes) {
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+}
+
+inline void append_span(Bytes& buf, ConstFloatSpan floats) {
+  append_span(buf, floats.data(), floats.size());
+}
+
 template <typename T>
-void read_span(const Bytes& buf, std::size_t& offset, T* out, std::size_t count) {
+void read_span(ConstByteSpan buf, std::size_t& offset, T* out, std::size_t count) {
   static_assert(std::is_trivially_copyable_v<T>);
-  OF_CHECK_MSG(offset + count * sizeof(T) <= buf.size(),
+  OF_CHECK_MSG(count <= (buf.size() - std::min(offset, buf.size())) / sizeof(T),
                "buffer underrun reading span of " << count << " elements at offset " << offset);
   std::memcpy(out, buf.data() + offset, count * sizeof(T));
   offset += count * sizeof(T);
 }
 
+// --- scale / accumulate kernels over wire views ------------------------------
+// The zero-copy pipeline's two workhorses. Both use memcpy-based chunking, so
+// the byte side may sit at any (unaligned) frame offset, and both carry the
+// scale in double: weight scales are doubles end to end, and a premature
+// narrowing to float loses the low bits of per-client sample weights.
+
+// out += f32-encode( src[i] * scale ), appended to the buffer.
+void append_scaled_span(Bytes& out, ConstFloatSpan src, double scale);
+
+// acc[i] += alpha * f32_at(src, 4*i) for the whole span; src.size() must be
+// exactly 4 * acc.size().
+void add_scaled_from_bytes(ConstByteSpan src, double alpha, FloatSpan acc);
+
 // --- tensor wire format ------------------------------------------------------
 void serialize_tensor(const Tensor& t, Bytes& out);
 Bytes serialize_tensor(const Tensor& t);
-Tensor deserialize_tensor(const Bytes& buf, std::size_t& offset);
-Tensor deserialize_tensor(const Bytes& buf);
+Tensor deserialize_tensor(ConstByteSpan buf, std::size_t& offset);
+Tensor deserialize_tensor(ConstByteSpan buf);
 
 // Multiple tensors in one frame (a model's parameter list).
 Bytes serialize_tensors(const std::vector<Tensor>& ts);
-std::vector<Tensor> deserialize_tensors(const Bytes& buf);
+std::vector<Tensor> deserialize_tensors(ConstByteSpan buf);
 
 }  // namespace of::tensor

@@ -1,0 +1,101 @@
+// Lightweight non-owning views over contiguous byte / float storage — the
+// currency of the zero-copy update pipeline. A span never owns or frees its
+// storage; the caller must keep the backing buffer alive and unresized for
+// the span's lifetime (DESIGN.md § Update pipeline & memory model spells out
+// the aliasing rules per pipeline stage).
+//
+// Deliberately minimal instead of std::span: only the operations the wire
+// path needs, implicit construction from the owning types (`Bytes`,
+// `std::vector<float>`) so call sites read naturally, and hard bounds checks
+// on subspan arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace of::tensor {
+
+class ConstByteSpan {
+ public:
+  constexpr ConstByteSpan() = default;
+  constexpr ConstByteSpan(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  // Implicit: a whole owned buffer viewed as a span.
+  ConstByteSpan(const std::vector<std::uint8_t>& b) : data_(b.data()), size_(b.size()) {}
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::uint8_t* begin() const noexcept { return data_; }
+  const std::uint8_t* end() const noexcept { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  ConstByteSpan subspan(std::size_t offset) const {
+    OF_CHECK_MSG(offset <= size_, "byte-span offset " << offset << " past size " << size_);
+    return {data_ + offset, size_ - offset};
+  }
+  ConstByteSpan subspan(std::size_t offset, std::size_t count) const {
+    OF_CHECK_MSG(offset <= size_ && count <= size_ - offset,
+                 "byte-span slice [" << offset << ", +" << count << ") past size " << size_);
+    return {data_ + offset, count};
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class ConstFloatSpan {
+ public:
+  constexpr ConstFloatSpan() = default;
+  constexpr ConstFloatSpan(const float* data, std::size_t size) : data_(data), size_(size) {}
+  ConstFloatSpan(const std::vector<float>& v) : data_(v.data()), size_(v.size()) {}
+
+  const float* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const float* begin() const noexcept { return data_; }
+  const float* end() const noexcept { return data_ + size_; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  ConstFloatSpan subspan(std::size_t offset, std::size_t count) const {
+    OF_CHECK_MSG(offset <= size_ && count <= size_ - offset,
+                 "float-span slice [" << offset << ", +" << count << ") past size " << size_);
+    return {data_ + offset, count};
+  }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class FloatSpan {
+ public:
+  constexpr FloatSpan() = default;
+  constexpr FloatSpan(float* data, std::size_t size) : data_(data), size_(size) {}
+  FloatSpan(std::vector<float>& v) : data_(v.data()), size_(v.size()) {}
+
+  float* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  float* begin() const noexcept { return data_; }
+  float* end() const noexcept { return data_ + size_; }
+  float& operator[](std::size_t i) const { return data_[i]; }
+
+  operator ConstFloatSpan() const noexcept { return {data_, size_}; }
+
+  FloatSpan subspan(std::size_t offset, std::size_t count) const {
+    OF_CHECK_MSG(offset <= size_ && count <= size_ - offset,
+                 "float-span slice [" << offset << ", +" << count << ") past size " << size_);
+    return {data_ + offset, count};
+  }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace of::tensor

@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/span.hpp"
 
 namespace of::tensor {
 
@@ -48,6 +49,8 @@ class Tensor {
   const float* data() const noexcept { return data_.data(); }
   std::vector<float>& vec() noexcept { return data_; }
   const std::vector<float>& vec() const noexcept { return data_; }
+  FloatSpan span() noexcept { return {data_.data(), data_.size()}; }
+  ConstFloatSpan span() const noexcept { return {data_.data(), data_.size()}; }
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
   float& at(std::size_t i);

@@ -1,0 +1,365 @@
+// Payload codec properties: round-trips across every mode, exact mean
+// recovery, skip-frame handling, hostile/malformed frame rejection, the
+// double-precision weight scaling, view-based compressed decode and the
+// FramePool the zero-copy pipeline rides on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "compression/quantize.hpp"
+#include "compression/sparsify.hpp"
+#include "core/frame_pool.hpp"
+#include "core/payload.hpp"
+#include "privacy/dp.hpp"
+#include "privacy/mechanism.hpp"
+#include "tensor/serialize.hpp"
+
+namespace {
+
+using of::core::FramePool;
+using of::core::PayloadPlugins;
+using of::tensor::Bytes;
+using of::tensor::ConstByteSpan;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+// A payload with `count` tensors of varied rank (1-D/2-D mix) and a fixed
+// total element count budget per tensor, integer-valued so float sums over
+// power-of-two cohorts are exact.
+std::vector<Tensor> make_payload(std::size_t count, std::uint64_t seed,
+                                 bool integer_valued = false) {
+  Rng rng(seed);
+  std::vector<Tensor> ts;
+  for (std::size_t i = 0; i < count; ++i) {
+    Tensor t = (i % 2 == 0) ? Tensor::randn({5, 7}, rng) : Tensor::randn({23}, rng);
+    if (integer_valued)
+      for (std::size_t j = 0; j < t.numel(); ++j) t[j] = std::round(t[j] * 8.0f);
+    ts.push_back(std::move(t));
+  }
+  return ts;
+}
+
+void expect_equal(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].shape(), b[i].shape());
+    for (std::size_t j = 0; j < a[i].numel(); ++j) EXPECT_EQ(a[i][j], b[i][j]) << i;
+  }
+}
+
+// --- round-trips across modes and tensor counts --------------------------------
+
+TEST(PayloadRoundTrip, PlainAllTensorCounts) {
+  for (std::size_t count : {1u, 3u, 17u}) {
+    const auto payload = make_payload(count, 100 + count);
+    const Bytes frame = of::core::encode_update(payload, 1.0, {}, 0, 1);
+    const auto decoded = of::core::decode_update(frame, nullptr);
+    expect_equal(payload, decoded);
+    // Re-encoding the decoded payload reproduces the frame byte-for-byte.
+    const Bytes again = of::core::encode_update(decoded, 1.0, {}, 0, 1);
+    EXPECT_EQ(frame, again);
+  }
+}
+
+TEST(PayloadRoundTrip, IdentityCodecAllTensorCounts) {
+  for (std::size_t count : {1u, 3u, 17u}) {
+    of::compression::Identity codec;
+    const auto payload = make_payload(count, 200 + count);
+    const PayloadPlugins plugins{&codec, nullptr};
+    const Bytes frame = of::core::encode_update(payload, 1.0, plugins, 0, 1);
+    const auto decoded = of::core::decode_update(frame, &codec);
+    expect_equal(payload, decoded);
+    const Bytes again = of::core::encode_update(decoded, 1.0, plugins, 0, 1);
+    EXPECT_EQ(frame, again);
+  }
+}
+
+TEST(PayloadRoundTrip, SparseCodecsAreIdempotentOnOwnOutput) {
+  // A lossy sparsifier applied to its own (already k-sparse) output selects
+  // the same support: decode ∘ encode is idempotent after one application.
+  of::compression::TopK topk(/*factor_or_k=*/10.0, /*is_factor=*/true);
+  const auto payload = make_payload(3, 7);
+  const PayloadPlugins plugins{&topk, nullptr};
+  const Bytes frame = of::core::encode_update(payload, 1.0, plugins, 0, 1);
+  const auto once = of::core::decode_update(frame, &topk);
+  const Bytes frame2 = of::core::encode_update(once, 1.0, plugins, 0, 1);
+  const auto twice = of::core::decode_update(frame2, &topk);
+  expect_equal(once, twice);
+}
+
+TEST(PayloadRoundTrip, QsgdSameSeedSameFrame) {
+  // QSGD is stochastic; determinism is per seed.
+  const auto payload = make_payload(3, 9);
+  of::compression::QSGD a(8, /*seed=*/21), b(8, /*seed=*/21);
+  const Bytes fa =
+      of::core::encode_update(payload, 1.0, PayloadPlugins{&a, nullptr}, 0, 1);
+  const Bytes fb =
+      of::core::encode_update(payload, 1.0, PayloadPlugins{&b, nullptr}, 0, 1);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(PayloadRoundTrip, NoPrivacyMeanExactAllTensorCounts) {
+  for (std::size_t count : {1u, 3u, 17u}) {
+    of::privacy::NoPrivacy mech;
+    const PayloadPlugins plugins{nullptr, &mech};
+    const auto payload = make_payload(count, 300 + count, /*integer_valued=*/true);
+    std::vector<Bytes> frames;
+    for (int c = 0; c < 8; ++c)
+      frames.push_back(of::core::encode_update(payload, 1.0, plugins, c, 8));
+    const auto mean = of::core::mean_updates(frames, nullptr, &mech);
+    expect_equal(payload, mean);  // identical updates: mean == update exactly
+  }
+}
+
+// --- aggregation ----------------------------------------------------------------
+
+TEST(PayloadAggregate, ExactMeanRecoveryPlain) {
+  // Integer-valued updates and a power-of-two cohort make the float
+  // sum/divide exact, so the mean must be recovered bit-for-bit.
+  const std::size_t k = 8;
+  std::vector<std::vector<Tensor>> updates;
+  std::vector<Bytes> frames;
+  for (std::size_t c = 0; c < k; ++c) {
+    updates.push_back(make_payload(3, 40 + c, /*integer_valued=*/true));
+    frames.push_back(of::core::encode_update(updates.back(), 1.0, {}, int(c), int(k)));
+  }
+  const auto mean = of::core::mean_updates(frames, nullptr, nullptr);
+  ASSERT_EQ(mean.size(), updates[0].size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    for (std::size_t j = 0; j < mean[i].numel(); ++j) {
+      float expected = 0.0f;
+      for (std::size_t c = 0; c < k; ++c) expected += updates[c][i][j];
+      expected /= float(k);
+      EXPECT_EQ(mean[i][j], expected);
+    }
+  }
+}
+
+TEST(PayloadAggregate, SkipFramesAreExcludedFromTheMean) {
+  const auto payload = make_payload(3, 50, /*integer_valued=*/true);
+  std::vector<Bytes> frames;
+  frames.push_back(of::core::encode_update(payload, 1.0, {}, 0, 4));
+  frames.push_back(of::core::encode_skip_update());
+  frames.push_back(of::core::encode_update(payload, 1.0, {}, 2, 4));
+  frames.push_back(of::core::encode_skip_update());
+  const auto mean = of::core::mean_updates(frames, nullptr, nullptr);
+  expect_equal(payload, mean);  // two identical contributions / 2
+}
+
+TEST(PayloadAggregate, AllSkippedThrows) {
+  std::vector<Bytes> frames{of::core::encode_skip_update(),
+                            of::core::encode_skip_update()};
+  EXPECT_THROW((void)of::core::mean_updates(frames, nullptr, nullptr),
+               std::runtime_error);
+}
+
+TEST(PayloadAggregate, DpMeanWithinNoiseTolerance) {
+  // clip_norm 10 > update norm (~7.6), so clipping is inactive; sigma is
+  // clip·sqrt(2 ln(1.25/delta))/eps ≈ 6.8 per client, /sqrt(16) ≈ 1.7 on the
+  // mean. A 7-sigma band keeps the check deterministic-tight but unflaky.
+  of::privacy::DifferentialPrivacy dp(
+      of::privacy::DpParams{/*epsilon=*/8.0, /*delta=*/1e-5, /*clip_norm=*/10.0},
+      /*seed=*/5);
+  const PayloadPlugins plugins{nullptr, &dp};
+  const auto payload = make_payload(2, 60);
+  const std::size_t k = 16;
+  std::vector<Bytes> frames;
+  for (std::size_t c = 0; c < k; ++c)
+    frames.push_back(of::core::encode_update(payload, 1.0, plugins, int(c), int(k)));
+  const auto mean = of::core::mean_updates(frames, nullptr, &dp);
+  ASSERT_EQ(mean.size(), payload.size());
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    for (std::size_t j = 0; j < mean[i].numel(); ++j)
+      EXPECT_NEAR(mean[i][j], payload[i][j], 12.0) << "noise far beyond sigma";
+}
+
+// --- malformed / hostile frames -------------------------------------------------
+
+TEST(PayloadMalformed, TruncatedManifestRejected) {
+  const auto payload = make_payload(3, 70);
+  Bytes frame = of::core::encode_update(payload, 1.0, {}, 0, 1);
+  // Cut mid-manifest: mode byte + count survive, dims do not.
+  Bytes cut(frame.begin(), frame.begin() + 7);
+  EXPECT_THROW((void)of::core::decode_update(cut, nullptr), std::runtime_error);
+}
+
+TEST(PayloadMalformed, TrailingBytesRejected) {
+  const auto payload = make_payload(2, 71);
+  Bytes frame = of::core::encode_update(payload, 1.0, {}, 0, 1);
+  frame.push_back(0xAB);
+  EXPECT_THROW((void)of::core::decode_update(frame, nullptr), std::runtime_error);
+  std::vector<Bytes> frames{frame};
+  EXPECT_THROW((void)of::core::mean_updates(frames, nullptr, nullptr),
+               std::runtime_error);
+}
+
+TEST(PayloadMalformed, MixedModesRejected) {
+  of::compression::Identity codec;
+  const auto payload = make_payload(2, 72);
+  std::vector<Bytes> frames;
+  frames.push_back(of::core::encode_update(payload, 1.0, {}, 0, 2));
+  frames.push_back(
+      of::core::encode_update(payload, 1.0, PayloadPlugins{&codec, nullptr}, 1, 2));
+  EXPECT_THROW((void)of::core::mean_updates(frames, &codec, nullptr),
+               std::runtime_error);
+}
+
+TEST(PayloadMalformed, HostileTensorCountRejected) {
+  // count = 2^32-1 in a frame with almost no bytes behind it must be
+  // rejected before the shapes vector allocates.
+  Bytes frame;
+  frame.push_back(0);  // kPlain
+  of::tensor::append_pod<std::uint32_t>(frame, 0xFFFFFFFFu);
+  EXPECT_THROW((void)of::core::decode_update(frame, nullptr), std::runtime_error);
+}
+
+TEST(PayloadMalformed, BogusDimsRejected) {
+  // One tensor claiming 2^40 elements: over the 1 GiB frame cap.
+  Bytes frame;
+  frame.push_back(0);  // kPlain
+  of::tensor::append_pod<std::uint32_t>(frame, 1);   // one tensor
+  of::tensor::append_pod<std::uint32_t>(frame, 1);   // ndim
+  of::tensor::append_pod<std::uint64_t>(frame, std::uint64_t{1} << 40);
+  EXPECT_THROW((void)of::core::decode_update(frame, nullptr), std::runtime_error);
+
+  // Individually-small dims whose product overflows must also be rejected.
+  Bytes frame2;
+  frame2.push_back(0);
+  of::tensor::append_pod<std::uint32_t>(frame2, 1);
+  of::tensor::append_pod<std::uint32_t>(frame2, 4);  // ndim = 4
+  for (int d = 0; d < 4; ++d)
+    of::tensor::append_pod<std::uint64_t>(frame2, std::uint64_t{1} << 20);
+  EXPECT_THROW((void)of::core::decode_update(frame2, nullptr), std::runtime_error);
+}
+
+TEST(PayloadMalformed, HostileSerializedTensorRejected) {
+  // The pack_tensors/unpack_tensors path (global broadcast) has the same
+  // hardening: hostile count and bogus dims must not allocate.
+  Bytes b;
+  of::tensor::append_pod<std::uint32_t>(b, 0xFFFFFFFFu);
+  EXPECT_THROW((void)of::core::unpack_tensors(b), std::runtime_error);
+
+  Bytes b2;
+  of::tensor::append_pod<std::uint32_t>(b2, 1);  // one tensor
+  of::tensor::append_pod<std::uint32_t>(b2, 1);  // ndim
+  of::tensor::append_pod<std::uint64_t>(b2, std::uint64_t{1} << 50);
+  EXPECT_THROW((void)of::core::unpack_tensors(b2), std::runtime_error);
+}
+
+// --- weight scaling precision ---------------------------------------------------
+
+TEST(PayloadWeightScale, AppliedInDoublePrecision) {
+  // Two per-client weights that collapse to the same float: only a scaling
+  // path that stays double until the final narrowing store can tell the
+  // resulting frames apart. (The weight must stay away from small-denominator
+  // rationals like 2/3 — products with those cluster away from float
+  // rounding midpoints and the two scales become indistinguishable even in
+  // double.)
+  const double w1 = 700000001.0 / 1234567891.0;
+  const double w2 = 700000000.0 / 1234567891.0;
+  ASSERT_EQ(static_cast<float>(w1), static_cast<float>(w2));
+  ASSERT_NE(w1, w2);
+
+  Rng rng(123);
+  std::vector<Tensor> payload{Tensor::randn({256, 256}, rng)};
+  const Bytes f1 = of::core::encode_update(payload, w1, {}, 0, 2);
+  const Bytes f2 = of::core::encode_update(payload, w2, {}, 1, 2);
+  EXPECT_NE(f1, f2) << "sub-float weight distinction lost in encode";
+
+  // Every element must equal the double product narrowed once at the end.
+  const auto decoded = of::core::decode_update(f1, nullptr);
+  ASSERT_EQ(decoded.size(), 1u);
+  for (std::size_t j = 0; j < payload[0].numel(); ++j) {
+    const float expected =
+        static_cast<float>(static_cast<double>(payload[0][j]) * w1);
+    ASSERT_EQ(decoded[0][j], expected) << "element " << j;
+  }
+}
+
+// --- view-based compressed decode -----------------------------------------------
+
+TEST(PayloadViews, CompressedBodyDecodedAtNonzeroOffset) {
+  // decompress() must read through the view at its offset inside the frame;
+  // build a buffer with a junk prefix and hand the codec a subspan view.
+  of::compression::TopK topk(/*factor_or_k=*/4.0, /*is_factor=*/true);
+  Rng rng(11);
+  const Tensor t = Tensor::randn({128}, rng);
+  of::compression::Compressed c = topk.compress(t);
+
+  Bytes buffer(13, 0xEE);  // unaligned junk prefix
+  buffer.insert(buffer.end(), c.payload.begin(), c.payload.end());
+  const of::compression::CompressedView view(ConstByteSpan(buffer).subspan(13),
+                                             c.original_numel);
+  std::vector<float> out(c.original_numel);
+  topk.decompress(view, of::tensor::FloatSpan(out.data(), out.size()));
+
+  const Tensor reference = topk.decompress(c);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], reference[i]);
+}
+
+TEST(PayloadViews, DecodeUpdateMatchesCodecOutput) {
+  of::compression::TopK topk(/*factor_or_k=*/4.0, /*is_factor=*/true);
+  of::compression::TopK server(/*factor_or_k=*/4.0, /*is_factor=*/true);
+  const auto payload = make_payload(3, 80);
+  const Bytes frame =
+      of::core::encode_update(payload, 1.0, PayloadPlugins{&topk, nullptr}, 0, 1);
+  const auto via_frame = of::core::decode_update(frame, &server);
+  ASSERT_EQ(via_frame.size(), payload.size());
+  for (std::size_t i = 0; i < via_frame.size(); ++i)
+    ASSERT_EQ(via_frame[i].shape(), payload[i].shape());
+}
+
+// --- FramePool ------------------------------------------------------------------
+
+TEST(FramePoolTest, BuffersAreRecycled) {
+  FramePool pool;
+  {
+    auto h = pool.acquire();
+    h->resize(4096);
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  {
+    auto h = pool.acquire();
+    EXPECT_TRUE(h->empty());            // cleared on reacquire…
+    EXPECT_GE(h->capacity(), 4096u);    // …but capacity survives
+  }
+  EXPECT_EQ(pool.created(), 1u);  // no second allocation
+  EXPECT_EQ(pool.acquired(), 2u);
+}
+
+TEST(FramePoolTest, FloatBuffersSizedOnAcquire) {
+  FramePool pool;
+  {
+    auto h = pool.acquire_floats(100);
+    EXPECT_EQ(h->size(), 100u);
+  }
+  auto h2 = pool.acquire_floats(50);
+  EXPECT_EQ(h2->size(), 50u);
+  EXPECT_EQ(pool.created(), 1u);
+}
+
+TEST(FramePoolTest, LeaseMoveTransfersOwnership) {
+  FramePool pool;
+  auto a = pool.acquire();
+  a->push_back(7);
+  FramePool::Handle b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(b->size(), 1u);
+}
+
+TEST(FramePoolTest, SteadyStateEncodeReusesPooledBuffers) {
+  FramePool pool;
+  const auto payload = make_payload(3, 90);
+  of::compression::TopK topk(/*factor_or_k=*/10.0, /*is_factor=*/true);
+  const PayloadPlugins plugins{&topk, nullptr};
+  Bytes frame;
+  of::core::encode_update_into(payload, 1.0, plugins, 0, 4, pool, frame);
+  const std::size_t after_warmup = pool.created();
+  for (int round = 0; round < 16; ++round)
+    of::core::encode_update_into(payload, 1.0, plugins, 0, 4, pool, frame);
+  EXPECT_EQ(pool.created(), after_warmup) << "steady-state encode allocated";
+}
+
+}  // namespace
