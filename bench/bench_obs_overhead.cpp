@@ -1,0 +1,147 @@
+// Overhead of the of::obs subsystem (EXPERIMENTS.md "observability
+// overhead" table):
+//
+//   disabled_span        cost of one would-be span when tracing is off —
+//                        the price every instrumented site pays forever
+//                        (also asserts: zero heap allocations)
+//   enabled_span         cost of one recorded span (ring write + 2 clock
+//                        reads)
+//   round_obs_{off,on}   a full 10-round 4-client inproc FedAvg run with
+//                        tracing off vs on — the end-to-end check that
+//                        `obs=trace` does not distort what it measures
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+#include "obs/obs.hpp"
+
+// --- global allocation counter (same pattern as bench_payload_pipeline) --------
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+// Nothrow variants must be replaced too: the non-throwing new must pair with
+// the free-based delete below (libstdc++'s stable_sort temp buffer uses it).
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using of::config::parse_yaml;
+using of::core::Engine;
+using of::obs::Name;
+using of::obs::ScopedSpan;
+using of::obs::TraceRecorder;
+
+// --- micro: span cost, disabled vs enabled -------------------------------------
+
+void bench_disabled_span(benchmark::State& state) {
+  TraceRecorder::global().reset(1 << 10);
+  TraceRecorder::global().set_enabled(false);
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    ScopedSpan span(Name::LocalTrain, 1, 0, 42);
+    benchmark::DoNotOptimize(&span);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs"] = static_cast<double>(allocs);
+}
+BENCHMARK(bench_disabled_span);
+
+void bench_enabled_span(benchmark::State& state) {
+  TraceRecorder::global().reset(1 << 16);
+  TraceRecorder::global().set_enabled(true);
+  // Warm this thread's ring outside the measured region (the one-time
+  // allocation any thread pays on its first recorded event).
+  of::obs::instant(Name::LocalTrain, 1, 0, 0);
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    ScopedSpan span(Name::LocalTrain, 1, 0, 42);
+    benchmark::DoNotOptimize(&span);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs"] = static_cast<double>(allocs);
+  TraceRecorder::global().set_enabled(false);
+}
+BENCHMARK(bench_enabled_span);
+
+// --- macro: full run, obs off vs trace on --------------------------------------
+
+of::config::ConfigNode run_config(bool obs_on) {
+  auto cfg = parse_yaml(R"(
+seed: 7
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 4
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 10
+  local_epochs: 1
+)");
+  if (obs_on) {
+    auto obs = of::config::ConfigNode::map();
+    obs["enabled"] = of::config::ConfigNode::boolean(true);
+    obs["ring_capacity"] = of::config::ConfigNode::integer(1 << 16);
+    // No export paths: measure recording cost, not file I/O.
+    cfg["obs"] = obs;
+  }
+  return cfg;
+}
+
+void bench_round_obs(benchmark::State& state, bool obs_on) {
+  double rounds_s = 0.0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    Engine engine(run_config(obs_on));
+    const auto result = engine.run();
+    rounds_s += result.mean_round_seconds;
+    ++runs;
+  }
+  state.counters["mean_round_ms"] =
+      runs > 0 ? rounds_s / static_cast<double>(runs) * 1e3 : 0.0;
+}
+
+void bench_round_obs_off(benchmark::State& state) { bench_round_obs(state, false); }
+void bench_round_obs_on(benchmark::State& state) { bench_round_obs(state, true); }
+BENCHMARK(bench_round_obs_off)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_round_obs_on)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,10 +2,12 @@
 // paper's Fig. 2 YAML. Build the same config programmatically, run the
 // Engine, print per-round metrics.
 //
-//   ./quickstart [config.yaml] [dotted.override=value ...]
+//   ./quickstart [config.yaml] [--trace trace.json] [dotted.override=value ...]
 //
 // With no arguments it uses an embedded config equivalent to
-// configs/quickstart.yaml.
+// configs/quickstart.yaml. `--trace <path>` turns on of::obs tracing for the
+// run and writes a Chrome trace-event file loadable at ui.perfetto.dev.
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -42,17 +44,36 @@ eval_every: 1
 
 int main(int argc, char** argv) {
   try {
+    // Peel off --trace <path> wherever it appears; everything else keeps the
+    // existing [config.yaml] [override ...] convention.
+    std::string trace_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << "error: --trace requires a path argument\n";
+          return 1;
+        }
+        trace_path = argv[++i];
+      } else {
+        args.emplace_back(argv[i]);
+      }
+    }
+
     of::config::ConfigNode cfg;
-    std::vector<std::string> overrides;
-    int first_override = 1;
-    if (argc > 1 && std::string(argv[1]).find('=') == std::string::npos) {
-      cfg = of::config::compose(argv[1]);
-      first_override = 2;
+    std::size_t first_override = 0;
+    if (!args.empty() && args[0].find('=') == std::string::npos) {
+      cfg = of::config::compose(args[0]);
+      first_override = 1;
     } else {
       cfg = of::config::parse_yaml(kDefaultConfig);
     }
-    for (int i = first_override; i < argc; ++i)
-      of::config::apply_override(cfg, argv[i]);
+    for (std::size_t i = first_override; i < args.size(); ++i)
+      of::config::apply_override(cfg, args[i]);
+    if (!trace_path.empty()) {
+      of::config::apply_override(cfg, "obs.enabled=true");
+      of::config::apply_override(cfg, "obs.trace_path=" + trace_path);
+    }
 
     of::core::Engine engine(std::move(cfg));
     std::cout << "topology: " << engine.topology().kind << " with "
@@ -73,6 +94,9 @@ int main(int argc, char** argv) {
       std::cout << " | " << r.seconds << '\n';
     }
     std::cout << result.summary() << '\n';
+    if (!trace_path.empty())
+      std::cout << "trace written to " << trace_path
+                << " (load it at ui.perfetto.dev or chrome://tracing)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

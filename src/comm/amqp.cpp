@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace of::comm {
 namespace {
@@ -48,6 +49,7 @@ void AmqpCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   OF_CHECK_MSG(dst >= 0 && dst < world_size(), "publish to invalid rank " << dst);
   OF_CHECK_MSG(dst != rank_, "self-publish is not supported");
   account_send(payload.size());
+  obs::instant(obs::Name::AmqpPublish, rank_, 0, payload.size());
   group_->broker().produce(AmqpGroup::queue_name(dst), 0,
                            static_cast<std::uint64_t>(rank_), frame(rank_, tag, payload));
 }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace of::comm {
 
@@ -15,6 +16,7 @@ void InProcCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   OF_CHECK_MSG(dst >= 0 && dst < world_size(), "send to invalid rank " << dst);
   OF_CHECK_MSG(dst != rank_, "self-send is not supported");
   account_send(payload.size());
+  obs::instant(obs::Name::InProcDeliver, rank_, 0, payload.size());
   // The mailbox owns its frames (the sender's buffer may be pooled and
   // reused), so the one copy of the in-process hop happens here.
   group_->deliver(dst, rank_, tag, Bytes(payload.begin(), payload.end()));

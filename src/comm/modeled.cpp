@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "comm/star.hpp"
+#include "obs/trace.hpp"
 
 namespace of::comm {
 
@@ -15,6 +16,9 @@ void ModeledLinkCommunicator::delay_for(std::size_t bytes) {
   const double t = model_.transfer_seconds(bytes);
   modeled_delay_ += t;
   account_modeled(t);
+  // arg carries the *modeled* delay in ns, whether or not it is slept.
+  obs::instant(obs::Name::ModeledDelay, -1, 0,
+               static_cast<std::uint64_t>(t * 1e9));
   if (mode_ == DelayMode::Sleep && t > 0.0)
     std::this_thread::sleep_for(std::chrono::duration<double>(t));
 }

@@ -14,9 +14,27 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace of::comm {
 namespace {
+
+// Global mirrors of the per-instance telemetry atomics. The members keep
+// their per-communicator semantics (CommStats reports one link's counts);
+// the registry gives the uniform process-wide surface exporters read.
+obs::Counter& tcp_reconnects() {
+  static obs::Counter& c = obs::Registry::global().counter("tcp.reconnects");
+  return c;
+}
+obs::Counter& tcp_frames_dropped() {
+  static obs::Counter& c = obs::Registry::global().counter("tcp.frames_dropped");
+  return c;
+}
+obs::Histogram& tcp_frame_recv_bytes() {
+  static obs::Histogram& h = obs::Registry::global().histogram("tcp.recv_frame_bytes");
+  return h;
+}
 
 constexpr std::uint32_t kMagic = 0x0F5EED01u;
 constexpr int kHelloTag = -1;
@@ -266,7 +284,12 @@ void TcpCommunicator::accept_loop() {
       if (p.fd >= 0) retire_fd(p.fd);  // rejoin replaces the old link
       p.fd = fd;
       p.up = true;
-      if (!initial) reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (!initial) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        tcp_reconnects().inc();
+        obs::instant(obs::Name::TcpReconnect, rank_, 0,
+                     static_cast<std::uint64_t>(h.src));
+      }
       flush_outbox_locked(p);
     }
     start_reader(h.src, fd);
@@ -310,6 +333,8 @@ void TcpCommunicator::read_frames(int peer_rank, int fd) {
     if (h.len > kMaxFrameBytes) return;                // absurd length → drop link
     Bytes payload(h.len);
     if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
+    tcp_frame_recv_bytes().observe(h.len);
+    obs::instant(obs::Name::TcpRecv, rank_, 0, h.len);
     {
       std::lock_guard<std::mutex> lock(inbox_mu_);
       inbox_[{peer_rank, h.tag}].push(std::move(payload));
@@ -333,7 +358,11 @@ int TcpCommunicator::client_reconnect() {
   Peer& p = peer(0);
   double backoff = ft_.backoff_seconds;
   for (int attempt = 0; attempt < ft_.max_reconnect_attempts; ++attempt) {
-    if (!interruptible_sleep(backoff)) return -1;
+    {
+      obs::ScopedSpan backoff_span(obs::Name::TcpBackoff, rank_, 0,
+                                   static_cast<std::uint64_t>(attempt));
+      if (!interruptible_sleep(backoff)) return -1;
+    }
     backoff = std::min(backoff * 2.0, ft_.backoff_max_seconds);
     const int fd = connect_once(addr);
     if (fd < 0) continue;
@@ -351,6 +380,8 @@ int TcpCommunicator::client_reconnect() {
     p.fd = fd;
     p.up = true;
     reconnects_.fetch_add(1, std::memory_order_relaxed);
+    tcp_reconnects().inc();
+    obs::instant(obs::Name::TcpReconnect, rank_, 0, 0);
     flush_outbox_locked(p);
     return fd;
   }
@@ -398,6 +429,7 @@ void TcpCommunicator::queue_frame_locked(Peer& p, int tag, ConstByteSpan payload
   if (p.outbox.size() >= kMaxOutboxFrames) {
     p.outbox.pop_front();  // oldest frame is the stalest — sacrifice it
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    tcp_frames_dropped().inc();
   }
   // The outbox outlives the caller's view, so this is the one place the
   // span is copied into an owned buffer.
@@ -416,6 +448,7 @@ void TcpCommunicator::flush_outbox_locked(Peer& p) {
 }
 
 void TcpCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
+  obs::ScopedSpan span(obs::Name::TcpSend, rank_, 0, payload.size());
   Peer& p = peer(dst);
   std::lock_guard<std::mutex> lock(p.mu);
   if (!p.up) {

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "data/partition.hpp"
 #include "nn/zoo.hpp"
+#include "obs/obs.hpp"
 
 namespace of::core {
 namespace {
@@ -41,6 +42,28 @@ CommSpec::Backend parse_backend(const config::ConfigNode& comm_cfg,
 
 config::ConfigNode node_or_empty(const config::ConfigNode& cfg, const std::string& key) {
   return (cfg.is_map() && cfg.has(key)) ? cfg.at(key) : config::ConfigNode::map();
+}
+
+// Fold the drained trace into the per-round records: the per-phase columns
+// are the summed span durations across every node for that round.
+void fold_phase_seconds(const std::vector<obs::TraceEvent>& events,
+                        std::vector<RoundRecord>& rounds) {
+  for (const auto& e : events) {
+    if (e.dur_ns == 0) continue;
+    if (e.round >= rounds.size()) continue;
+    RoundRecord& rec = rounds[e.round];
+    const double s = static_cast<double>(e.dur_ns) * 1e-9;
+    switch (e.name) {
+      case obs::Name::LocalTrain: rec.train_s += s; break;
+      case obs::Name::Encode: rec.encode_s += s; break;
+      case obs::Name::Send: rec.send_s += s; break;
+      case obs::Name::Recv: rec.recv_s += s; break;
+      case obs::Name::Decode: rec.decode_s += s; break;
+      case obs::Name::Aggregate: rec.aggregate_s += s; break;
+      case obs::Name::Broadcast: rec.broadcast_s += s; break;
+      default: break;
+    }
+  }
 }
 
 }  // namespace
@@ -429,6 +452,15 @@ RunResult Engine::run() {
   ran_ = true;
   auto setups = build_setups();
 
+  const auto obs_cfg = obs::ObsConfig::from_config(node_or_empty(cfg_, "obs"));
+  // Registry instruments are process-global and always on; per-run values
+  // are deltas against this snapshot.
+  const auto registry_before = obs::Registry::global().snapshot();
+  if (obs_cfg.enabled) {
+    obs::TraceRecorder::global().reset(obs_cfg.ring_capacity);
+    obs::TraceRecorder::global().set_enabled(true);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<NodeReport> reports(setups.size());
   std::vector<std::exception_ptr> errors(setups.size());
@@ -446,6 +478,15 @@ RunResult Engine::run() {
       });
     }
     for (auto& t : threads) t.join();
+  }
+  // Every producer thread is joined: tracing can stop and the rings are
+  // safe to drain (the joins establish the happens-before the SPSC rings
+  // rely on). Disable before the rethrow too, so a failed run does not
+  // leave tracing on for the next Engine in this process.
+  std::vector<obs::TraceEvent> trace_events;
+  if (obs_cfg.enabled) {
+    obs::TraceRecorder::global().set_enabled(false);
+    trace_events = obs::TraceRecorder::global().drain();
   }
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
@@ -483,6 +524,34 @@ RunResult Engine::run() {
         result.model, dataset_.train.dim(), dataset_.train.num_classes(),
         static_cast<std::uint64_t>(cfg_.get_or<std::int64_t>("seed", 42)));
     result.model_scalars = ref.num_scalars();
+  }
+
+  // Pool hit rate over this run only: delta of the global counters.
+  {
+    const auto registry_after = obs::Registry::global().snapshot();
+    auto delta = [&](const char* key) -> std::int64_t {
+      const auto it_after = registry_after.find(key);
+      if (it_after == registry_after.end()) return 0;
+      const auto it_before = registry_before.find(key);
+      return it_after->second -
+             (it_before != registry_before.end() ? it_before->second : 0);
+    };
+    const std::int64_t hits = delta("pool.hit");
+    const std::int64_t misses = delta("pool.miss");
+    if (hits + misses > 0)
+      result.pool_hit_rate =
+          static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+
+  if (obs_cfg.enabled) {
+    fold_phase_seconds(trace_events, result.rounds);
+    if (!obs_cfg.trace_path.empty())
+      obs::write_file(obs_cfg.trace_path, obs::to_chrome_trace(trace_events));
+    if (!obs_cfg.metrics_path.empty())
+      obs::write_file(obs_cfg.metrics_path,
+                      obs::to_prometheus_text(obs::Registry::global()));
+    if (!obs_cfg.events_csv_path.empty())
+      obs::write_file(obs_cfg.events_csv_path, obs::to_event_csv(trace_events));
   }
   return result;
 }

@@ -1,6 +1,28 @@
 #include "core/frame_pool.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace of::core {
+
+namespace {
+
+// Process-wide pool telemetry. Handle references are resolved once; each
+// acquire afterwards is a single relaxed atomic add.
+obs::Counter& pool_hits() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.hit");
+  return c;
+}
+obs::Counter& pool_misses() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.miss");
+  return c;
+}
+obs::Histogram& pool_frame_bytes() {
+  static obs::Histogram& h = obs::Registry::global().histogram("pool.frame_bytes");
+  return h;
+}
+
+}  // namespace
 
 FramePool::Handle FramePool::acquire() {
   std::unique_ptr<tensor::Bytes> buf;
@@ -14,7 +36,14 @@ FramePool::Handle FramePool::acquire() {
       ++created_;
     }
   }
-  if (!buf) buf = std::make_unique<tensor::Bytes>();
+  if (buf) {
+    pool_hits().inc();
+    obs::instant(obs::Name::PoolHit, -1, 0, buf->capacity());
+  } else {
+    pool_misses().inc();
+    obs::instant(obs::Name::PoolMiss, -1, 0);
+    buf = std::make_unique<tensor::Bytes>();
+  }
   buf->clear();  // keep capacity — this is the whole point of the pool
   return Handle(this, std::move(buf));
 }
@@ -31,7 +60,14 @@ FramePool::FloatHandle FramePool::acquire_floats(std::size_t n) {
       ++created_;
     }
   }
-  if (!buf) buf = std::make_unique<std::vector<float>>();
+  if (buf) {
+    pool_hits().inc();
+    obs::instant(obs::Name::PoolHit, -1, 0, buf->capacity() * sizeof(float));
+  } else {
+    pool_misses().inc();
+    obs::instant(obs::Name::PoolMiss, -1, 0);
+    buf = std::make_unique<std::vector<float>>();
+  }
   buf->resize(n);
   return FloatHandle(this, std::move(buf));
 }
@@ -47,6 +83,7 @@ std::size_t FramePool::acquired() const {
 }
 
 void FramePool::put_back(std::unique_ptr<tensor::Bytes> b) {
+  pool_frame_bytes().observe(b->size());
   std::lock_guard<std::mutex> lock(mu_);
   free_bytes_.push_back(std::move(b));
 }

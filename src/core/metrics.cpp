@@ -17,14 +17,21 @@ std::string RunResult::summary() const {
 }
 
 std::string RunResult::to_csv() const {
+  // Columns are append-only: existing parsers index the original prefix, so
+  // new (obs-derived) columns go strictly at the end.
   std::ostringstream os;
   os << "round,seconds,train_loss,accuracy,bytes_up,bytes_down,mean_staleness,"
-        "participated,dropped,deadline_hit,reconnects\n";
+        "participated,dropped,deadline_hit,reconnects,"
+        "train_s,encode_s,send_s,recv_s,decode_s,aggregate_s,broadcast_s,"
+        "pool_hit_rate\n";
   for (const auto& r : rounds) {
     os << r.round << ',' << r.seconds << ',' << r.train_loss << ',' << r.accuracy << ','
        << r.bytes_up << ',' << r.bytes_down << ',' << r.mean_staleness << ','
        << r.participated << ',' << r.dropped_ranks.size() << ','
-       << (r.deadline_hit ? 1 : 0) << ',' << r.reconnects << '\n';
+       << (r.deadline_hit ? 1 : 0) << ',' << r.reconnects << ','
+       << r.train_s << ',' << r.encode_s << ',' << r.send_s << ',' << r.recv_s << ','
+       << r.decode_s << ',' << r.aggregate_s << ',' << r.broadcast_s << ','
+       << pool_hit_rate << '\n';
   }
   return os.str();
 }

@@ -26,6 +26,16 @@ struct RoundRecord {
   std::vector<int> dropped_ranks;  // clients excluded by the round deadline
   bool deadline_hit = false;       // at least one straggler was outwaited
   std::uint64_t reconnects = 0;    // cumulative link rejoins observed by the root
+
+  // Per-phase wall time summed across all nodes' spans for this round
+  // (filled from the obs trace when `obs.enabled=true`; 0 otherwise).
+  double train_s = 0.0;      // local_train spans
+  double encode_s = 0.0;     // update encode spans
+  double send_s = 0.0;       // node-level send spans
+  double recv_s = 0.0;       // node-level recv spans
+  double decode_s = 0.0;     // update decode spans
+  double aggregate_s = 0.0;  // aggregation spans
+  double broadcast_s = 0.0;  // model broadcast spans
 };
 
 struct RunResult {
@@ -37,6 +47,9 @@ struct RunResult {
   comm::CommStats inner_comm;  // summed intra-group traffic, all nodes
   comm::CommStats outer_comm;  // summed cross-group traffic (hierarchical)
   double train_seconds = 0.0;  // summed local-training time, all trainers
+  // FramePool hit rate over this run's acquires (from the obs registry
+  // delta); -1 when the run made no pool acquisitions.
+  double pool_hit_rate = -1.0;
   std::size_t model_scalars = 0;
   std::string algorithm;
   std::string model;

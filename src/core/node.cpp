@@ -7,11 +7,21 @@
 
 #include "comm/star.hpp"
 #include "common/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace of::core {
 namespace {
 
+using obs::Name;
+using obs::ScopedSpan;
+
 using Clock = std::chrono::steady_clock;
+
+obs::Histogram& async_staleness_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram("async.staleness");
+  return h;
+}
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -128,7 +138,12 @@ void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
   }
   algo.on_round_start(ctx_);
   const auto t0 = Clock::now();
-  stats_out = algo.local_train(ctx_);
+  algorithms::TrainStats stats;
+  {
+    ScopedSpan span(Name::LocalTrain, s_.node_id, round);
+    stats = algo.local_train(ctx_);
+  }
+  stats_out = stats;
   const double elapsed = seconds_since(t0);
   train_seconds_ += elapsed;
   simulate_slowdown(elapsed);
@@ -146,8 +161,10 @@ void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
     }
   }
   const PayloadPlugins plugins{s_.compressor.get(), s_.privacy.get()};
+  ScopedSpan span(Name::Encode, s_.node_id, round);
   encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
                      pool_, frame_out);
+  span.set_arg(frame_out.size());
 }
 
 tensor::Tensor NodeRuntime::metrics_tensor(const algorithms::TrainStats& stats,
@@ -168,12 +185,24 @@ tensor::Tensor NodeRuntime::metrics_tensor(const algorithms::TrainStats& stats,
 
 NodeReport NodeRuntime::run_trainer(comm::Communicator& inner) {
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     tensor::Bytes gbytes;
-    inner.broadcast_bytes(gbytes, 0);
-    const auto global = unpack_tensors(gbytes);
+    {
+      ScopedSpan span(Name::Recv, s_.node_id, round);
+      inner.broadcast_bytes(gbytes, 0);
+      span.set_arg(gbytes.size());
+    }
+    std::vector<tensor::Tensor> global;
+    {
+      ScopedSpan span(Name::Decode, s_.node_id, round, gbytes.size());
+      global = unpack_tensors(gbytes);
+    }
     algorithms::TrainStats stats;
     train_one_round(global, round, stats, frame_buf_);
-    (void)inner.gather_bytes(frame_buf_, 0);
+    {
+      ScopedSpan span(Name::Send, s_.node_id, round, frame_buf_.size());
+      (void)inner.gather_bytes(frame_buf_, 0);
+    }
     (void)inner.gather(metrics_tensor(stats, round), 0);
   }
   return NodeReport{};
@@ -187,14 +216,23 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
   state.global = algo.initial_global(s_.model);
 
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     const auto t0 = Clock::now();
     const auto bytes_sent_before = inner.stats().bytes_sent;
     const auto bytes_recv_before = inner.stats().bytes_received;
 
     tensor::Bytes gbytes = pack_tensors(state.global);
-    inner.broadcast_bytes(gbytes, 0);
-    auto frames = inner.gather_bytes({}, 0);
+    {
+      ScopedSpan span(Name::Broadcast, s_.node_id, round, gbytes.size());
+      inner.broadcast_bytes(gbytes, 0);
+    }
+    std::vector<tensor::Bytes> frames;
+    {
+      ScopedSpan span(Name::Recv, s_.node_id, round);
+      frames = inner.gather_bytes({}, 0);
+    }
     frames.erase(frames.begin());  // drop our own empty placeholder
+    ScopedSpan agg_span(Name::Aggregate, s_.node_id, round, frames.size());
     const auto mean =
         s_.aggregation_rule == AggregationRule::Mean
             ? mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_)
@@ -202,6 +240,7 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
                              s_.aggregation_trim, &pool_);
     state.round = round;
     state.global = algo.server_update(state, mean);
+    agg_span.end();
 
     const auto metrics = inner.gather(tensor::Tensor({4}), 0);
     RoundRecord rec;
@@ -236,11 +275,20 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
                                              s_.fault.round_deadline_seconds,
                                              s_.fault.quorum_timeout_seconds};
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     tensor::Bytes gbytes;
-    inner.broadcast_bytes(gbytes, 0);
+    {
+      ScopedSpan span(Name::Recv, s_.node_id, round);
+      inner.broadcast_bytes(gbytes, 0);
+      span.set_arg(gbytes.size());
+    }
     const auto decision = injector.at_round(static_cast<int>(round));
     if (decision.crash) return NodeReport{};  // device powers off mid-run
-    const auto global = unpack_tensors(gbytes);
+    std::vector<tensor::Tensor> global;
+    {
+      ScopedSpan span(Name::Decode, s_.node_id, round, gbytes.size());
+      global = unpack_tensors(gbytes);
+    }
     algorithms::TrainStats stats;
     train_one_round(global, round, stats, frame_buf_);
     const tensor::Bytes& frame = frame_buf_;
@@ -264,7 +312,10 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
     combined.insert(combined.end(), frame.begin(), frame.end());
     const tensor::Bytes mbytes = tensor::serialize_tensor(metrics_tensor(stats, round));
     combined.insert(combined.end(), mbytes.begin(), mbytes.end());
-    (void)comm::star::gather_bytes_partial(inner, combined, opt);
+    {
+      ScopedSpan span(Name::Send, s_.node_id, round, combined.size());
+      (void)comm::star::gather_bytes_partial(inner, combined, opt);
+    }
   }
   return NodeReport{};
 }
@@ -280,14 +331,26 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
                                              s_.fault.quorum_timeout_seconds};
 
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     const auto t0 = Clock::now();
     const auto bytes_sent_before = inner.stats().bytes_sent;
     const auto bytes_recv_before = inner.stats().bytes_received;
 
     tensor::Bytes gbytes = pack_tensors(state.global);
-    inner.broadcast_bytes(gbytes, 0);
+    {
+      ScopedSpan span(Name::Broadcast, s_.node_id, round, gbytes.size());
+      inner.broadcast_bytes(gbytes, 0);
+    }
+    ScopedSpan recv_span(Name::Recv, s_.node_id, round);
     const auto partial = comm::star::gather_bytes_partial(inner, {}, opt);
+    recv_span.end();
+    if (partial.deadline_hit) {
+      obs::Registry::global().counter("fault.deadline_cuts").inc();
+      obs::instant(Name::DeadlineCut, s_.node_id, round, partial.dropped.size());
+    }
 
+    ScopedSpan agg_span(Name::Aggregate, s_.node_id, round,
+                        partial.participated.size());
     std::vector<tensor::Bytes> frames;
     frames.reserve(partial.participated.size());
     double loss_sum = 0.0, steps = 0.0, acc_sum = 0.0, acc_n = 0.0;
@@ -334,6 +397,7 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
       state.round = round;
       state.global = algo.server_update(state, mean);
     }  // an empty round (quorum of skips) leaves the global model untouched
+    agg_span.end();
 
     RoundRecord rec;
     rec.round = round;
@@ -361,6 +425,7 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
   state.global = algo.initial_global(s_.model);
 
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     const auto t0 = Clock::now();
     algorithms::TrainStats stats;
     ctx_.round = round;
@@ -368,7 +433,10 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
     algo.apply_global(ctx_, state.global);
     algo.on_round_start(ctx_);
     const auto tt = Clock::now();
-    stats = algo.local_train(ctx_);
+    {
+      ScopedSpan span(Name::LocalTrain, s_.node_id, round);
+      stats = algo.local_train(ctx_);
+    }
     train_seconds_ += seconds_since(tt);
     auto payload = algo.client_update(ctx_);
     algo.on_round_end(ctx_);
@@ -377,12 +445,18 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
     if (s_.compressor) {
       // Sparse codecs exchange via all-gather (paper §3.4.2).
       const PayloadPlugins plugins{s_.compressor.get(), nullptr};
-      encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
-                         s_.cohort_size, pool_, frame_buf_);
+      {
+        ScopedSpan span(Name::Encode, s_.node_id, round);
+        encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                           s_.cohort_size, pool_, frame_buf_);
+        span.set_arg(frame_buf_.size());
+      }
+      ScopedSpan agg_span(Name::Aggregate, s_.node_id, round);
       const auto frames = inner.allgather_bytes(frame_buf_);
       mean = mean_updates(frames, s_.compressor.get(), nullptr, &pool_);
     } else {
       // Dense path: bandwidth-optimal ring all-reduce on the flat payload.
+      ScopedSpan agg_span(Name::Aggregate, s_.node_id, round);
       std::vector<tensor::Tensor> scaled = payload;
       for (auto& t : scaled) t.scale_(static_cast<float>(s_.weight_scale));
       tensor::Tensor flat = tensor::flatten_all(scaled);
@@ -438,6 +512,9 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
                                 ? s_.async_total_updates
                                 : s_.global_rounds * static_cast<std::size_t>(clients);
 
+  // Virtual-round index for tracing: advances with each RoundRecord below.
+  std::size_t trace_round = 0;
+
   auto send_model = [&](int dst, bool stop) {
     tensor::Bytes frame;
     tensor::append_pod<std::uint8_t>(frame, stop ? 1 : 0);
@@ -445,6 +522,7 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
       const tensor::Bytes packed = pack_tensors(state.global);
       frame.insert(frame.end(), packed.begin(), packed.end());
     }
+    ScopedSpan span(Name::Send, s_.node_id, trace_round, frame.size());
     inner.send_bytes(dst, kAsyncModel, frame);
   };
 
@@ -458,8 +536,13 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
   auto group_t0 = Clock::now();
 
   for (std::size_t done = 0; done < total; ++done) {
+    ScopedSpan recv_span(Name::Recv, s_.node_id, trace_round);
     auto [src, frame] = inner.recv_bytes_any(kAsyncUpdate);
+    recv_span.set_arg(frame.size());
+    recv_span.end();
+    ScopedSpan decode_span(Name::Decode, s_.node_id, trace_round, frame.size());
     auto decoded = decode_update(frame, s_.compressor.get());
+    decode_span.end();
     OF_CHECK_MSG(decoded.size() >= 2, "async update missing metrics tensor");
     const tensor::Tensor metrics = decoded.back();
     decoded.pop_back();
@@ -467,10 +550,15 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
     const std::size_t staleness =
         server_version - snapshot_version[static_cast<std::size_t>(src)];
     staleness_sum += static_cast<double>(staleness);
+    obs::instant(Name::AsyncStaleness, s_.node_id, trace_round, staleness);
+    async_staleness_hist().observe(staleness);
     const float mix = static_cast<float>(s_.async_alpha /
                                          (1.0 + static_cast<double>(staleness)));
-    for (std::size_t i = 0; i < decoded.size(); ++i)
-      state.global[i].add_scaled_(decoded[i], mix);
+    {
+      ScopedSpan span(Name::Aggregate, s_.node_id, trace_round, staleness);
+      for (std::size_t i = 0; i < decoded.size(); ++i)
+        state.global[i].add_scaled_(decoded[i], mix);
+    }
     ++server_version;
     snapshot_version[static_cast<std::size_t>(src)] = server_version;
     loss_sum += metrics[0];
@@ -490,7 +578,12 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
       rec.seconds = seconds_since(group_t0);
       rec.train_loss = steps_sum > 0 ? loss_sum / steps_sum : 0.0;
       rec.accuracy = -1.0f;
+      // Running mean over every update absorbed so far, so each virtual
+      // round reports staleness (not just the final one). The last record
+      // therefore carries the whole-run mean.
+      rec.mean_staleness = staleness_sum / static_cast<double>(done + 1);
       report.rounds.push_back(rec);
+      trace_round = report.rounds.size();
       loss_sum = steps_sum = 0.0;
       group_t0 = Clock::now();
     }
@@ -507,9 +600,6 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
   }
   if (!report.rounds.empty() && acc_n > 0)
     report.rounds.back().accuracy = static_cast<float>(acc_sum / acc_n);
-  // Stash mean staleness where the engine can pick it up.
-  if (!report.rounds.empty() && total > 0)
-    report.rounds.back().mean_staleness = staleness_sum / static_cast<double>(total);
   return report;
 }
 
@@ -518,20 +608,28 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
   std::size_t round = 0;
   algorithms::TrainStats last_stats;
   for (;;) {
+    ScopedSpan recv_span(Name::Recv, s_.node_id, round);
     const tensor::Bytes frame = inner.recv_bytes(0, kAsyncModel);
+    recv_span.set_arg(frame.size());
+    recv_span.end();
     std::size_t off = 0;
     const auto stop = tensor::read_pod<std::uint8_t>(frame, off);
     if (stop) break;
     const tensor::Bytes packed(frame.begin() + static_cast<std::ptrdiff_t>(off),
                                frame.end());
+    ScopedSpan decode_span(Name::Decode, s_.node_id, round, packed.size());
     const auto global = unpack_tensors(packed);
+    decode_span.end();
 
     ctx_.round = round;
     if (round == 0) algo.on_train_start(ctx_);
     algo.apply_global(ctx_, global);
     algo.on_round_start(ctx_);
     const auto t0 = Clock::now();
-    last_stats = algo.local_train(ctx_);
+    {
+      ScopedSpan span(Name::LocalTrain, s_.node_id, round);
+      last_stats = algo.local_train(ctx_);
+    }
     const double elapsed = seconds_since(t0);
     train_seconds_ += elapsed;
     simulate_slowdown(elapsed);
@@ -557,9 +655,16 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
     m[1] = static_cast<float>(last_stats.steps);
     payload.push_back(std::move(m));
     const PayloadPlugins plugins{s_.compressor.get(), nullptr};
-    encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
-                       pool_, frame_buf_);
-    inner.send_bytes(0, kAsyncUpdate, frame_buf_);
+    {
+      ScopedSpan span(Name::Encode, s_.node_id, round);
+      encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                         s_.cohort_size, pool_, frame_buf_);
+      span.set_arg(frame_buf_.size());
+    }
+    {
+      ScopedSpan span(Name::Send, s_.node_id, round, frame_buf_.size());
+      inner.send_bytes(0, kAsyncUpdate, frame_buf_);
+    }
     ++round;
   }
   // Final evaluation.
@@ -582,25 +687,43 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
   if (is_root) state.global = algo.initial_global(s_.model);
 
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
+    ScopedSpan round_span(Name::Round, s_.node_id, round);
     const auto t0 = Clock::now();
     // Global payload: root → leaders → group members.
     tensor::Bytes gbytes;
     if (is_root) gbytes = pack_tensors(state.global);
-    outer.broadcast_bytes(gbytes, 0);
-    inner.broadcast_bytes(gbytes, 0);
+    {
+      ScopedSpan span(Name::Broadcast, s_.node_id, round);
+      outer.broadcast_bytes(gbytes, 0);
+      inner.broadcast_bytes(gbytes, 0);
+      span.set_arg(gbytes.size());
+    }
 
     // Collect the group's updates and pre-aggregate them.
-    auto frames = inner.gather_bytes({}, 0);
+    std::vector<tensor::Bytes> frames;
+    {
+      ScopedSpan span(Name::Recv, s_.node_id, round);
+      frames = inner.gather_bytes({}, 0);
+    }
     frames.erase(frames.begin());
+    ScopedSpan group_agg_span(Name::Aggregate, s_.node_id, round, frames.size());
     const auto group_mean =
         mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_);
+    group_agg_span.end();
 
     // Cross-facility tier: (optionally compressed) leader contribution.
     const PayloadPlugins outer_plugins{s_.outer_compressor.get(), nullptr};
-    encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
-                       outer.world_size(), pool_, frame_buf_);
+    {
+      ScopedSpan span(Name::Encode, s_.node_id, round);
+      encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
+                         outer.world_size(), pool_, frame_buf_);
+      span.set_arg(frame_buf_.size());
+    }
+    ScopedSpan outer_span(Name::Send, s_.node_id, round, frame_buf_.size());
     auto outer_frames = outer.gather_bytes(frame_buf_, 0);
+    outer_span.end();
     if (is_root) {
+      ScopedSpan span(Name::Aggregate, s_.node_id, round, outer_frames.size());
       const auto mean =
           mean_updates(outer_frames, s_.outer_compressor.get(), nullptr, &pool_);
       state.round = round;

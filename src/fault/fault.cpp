@@ -1,6 +1,8 @@
 #include "fault/fault.hpp"
 
 #include "common/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace of::fault {
 
@@ -105,6 +107,19 @@ FaultInjector::Decision FaultInjector::at_round(int round) {
       case FaultKind::Disconnect: d.disconnect = true; break;
       case FaultKind::Delay: d.extra_delay_seconds += inj.delay_seconds; break;
     }
+  }
+  if (d.crash) {
+    obs::Registry::global().counter("fault.crashes").inc();
+    obs::instant(obs::Name::FaultCrash, client_, static_cast<std::size_t>(round));
+  }
+  if (d.disconnect) {
+    obs::Registry::global().counter("fault.disconnects").inc();
+    obs::instant(obs::Name::FaultDisconnect, client_, static_cast<std::size_t>(round));
+  }
+  if (d.extra_delay_seconds > 0.0) {
+    obs::Registry::global().counter("fault.delays").inc();
+    obs::instant(obs::Name::FaultDelay, client_, static_cast<std::size_t>(round),
+                 static_cast<std::uint64_t>(d.extra_delay_seconds * 1e9));
   }
   return d;
 }

@@ -1,0 +1,101 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace of::obs {
+namespace {
+
+// Nanosecond ticks as fixed-point microseconds ("12.345") — deterministic,
+// locale-independent formatting for the golden tests.
+void append_us(std::ostringstream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.';
+  const auto frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "of_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << to_string(e.name) << "\",\"cat\":\"" << category(e.name)
+       << "\",\"ph\":\"" << (e.dur_ns > 0 ? 'X' : 'i') << "\",\"ts\":";
+    append_us(os, e.ts_ns);
+    if (e.dur_ns > 0) {
+      os << ",\"dur\":";
+      append_us(os, e.dur_ns);
+    } else {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    os << ",\"pid\":0,\"tid\":" << e.tid << ",\"args\":{\"node\":" << e.node
+       << ",\"round\":" << e.round << ",\"arg\":" << e.arg << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::string to_prometheus_text(const Registry& registry) {
+  std::ostringstream os;
+  for (const std::string& name : registry.counter_names()) {
+    const Counter* c = registry.find_counter(name);
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " counter\n" << pn << ' ' << c->value() << '\n';
+  }
+  for (const std::string& name : registry.gauge_names()) {
+    const Gauge* g = registry.find_gauge(name);
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " gauge\n" << pn << ' ' << g->value() << '\n';
+  }
+  for (const std::string& name : registry.histogram_names()) {
+    const Histogram* h = registry.find_histogram(name);
+    const std::string pn = prom_name(name);
+    os << "# TYPE " << pn << " histogram\n";
+    // Cumulative buckets, emitted up to the last non-empty one.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      if (h->bucket_count(i) > 0) last = i;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last; ++i) {
+      cum += h->bucket_count(i);
+      os << pn << "_bucket{le=\"" << Histogram::bucket_bound(i) << "\"} " << cum << '\n';
+    }
+    os << pn << "_bucket{le=\"+Inf\"} " << h->count() << '\n'
+       << pn << "_sum " << h->sum() << '\n'
+       << pn << "_count " << h->count() << '\n';
+  }
+  return os.str();
+}
+
+std::string to_event_csv(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "ts_ns,dur_ns,tid,node,round,category,name,arg\n";
+  for (const TraceEvent& e : events) {
+    os << e.ts_ns << ',' << e.dur_ns << ',' << e.tid << ',' << e.node << ',' << e.round
+       << ',' << category(e.name) << ',' << to_string(e.name) << ',' << e.arg << '\n';
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  OF_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << content;
+  out.flush();
+  OF_CHECK_MSG(out.good(), "short write to '" << path << '\'');
+}
+
+}  // namespace of::obs

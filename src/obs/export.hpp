@@ -1,0 +1,39 @@
+// of::obs exporters — turn drained trace events and registry metrics into
+// the three interchange formats the `obs/` config group selects:
+//
+//   Chrome trace-event JSON  — open in Perfetto (ui.perfetto.dev) or
+//                              chrome://tracing; spans nest per thread.
+//   Prometheus text exposition — scrape-format dump of every counter,
+//                              gauge and histogram in the registry.
+//   CSV                      — one row per event, for ad-hoc analysis.
+//
+// Exporters are pure functions of their inputs (deterministic output for
+// deterministic inputs — golden-tested in tests/test_obs.cpp) and run only
+// after a drain, never on the record path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace of::obs {
+
+// Chrome trace-event JSON (the "JSON array format"): complete events
+// (ph "X") for spans, instant events (ph "i") for dur == 0. Timestamps are
+// microseconds with nanosecond precision; tid is the recording ring id.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+// Prometheus text exposition format, version 0.0.4. Instrument names are
+// prefixed "of_" and dots become underscores ("tcp.reconnects" →
+// "of_tcp_reconnects"). Histograms emit cumulative le-labelled buckets.
+std::string to_prometheus_text(const Registry& registry);
+
+// One CSV row per event: ts_ns,dur_ns,tid,node,round,category,name,arg.
+std::string to_event_csv(const std::vector<TraceEvent>& events);
+
+// Write `content` to `path`; throws (OF_CHECK) on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace of::obs

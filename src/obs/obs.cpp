@@ -1,0 +1,22 @@
+#include "obs/obs.hpp"
+
+#include "common/check.hpp"
+
+namespace of::obs {
+
+ObsConfig ObsConfig::from_config(const config::ConfigNode& node) {
+  ObsConfig cfg;
+  if (node.is_null()) return cfg;
+  OF_CHECK_MSG(node.is_map(), "obs config must be a map");
+  cfg.enabled = node.get_or<bool>("enabled", false);
+  const auto cap = node.get_or<std::int64_t>(
+      "ring_capacity", static_cast<std::int64_t>(cfg.ring_capacity));
+  OF_CHECK_MSG(cap > 0, "obs.ring_capacity must be > 0");
+  cfg.ring_capacity = static_cast<std::size_t>(cap);
+  cfg.trace_path = node.get_or<std::string>("trace_path", "");
+  cfg.metrics_path = node.get_or<std::string>("metrics_path", "");
+  cfg.events_csv_path = node.get_or<std::string>("events_csv_path", "");
+  return cfg;
+}
+
+}  // namespace of::obs

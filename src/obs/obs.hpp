@@ -1,0 +1,41 @@
+// of::obs — always-on observability for the federated round loop.
+//
+//   trace.hpp     TraceRecorder: per-thread SPSC rings of span/instant
+//                 events, lock-free on the record path, drained at join
+//   registry.hpp  Registry: named counters/gauges/histograms (always on)
+//   export.hpp    Chrome-trace JSON, Prometheus text, event CSV
+//
+// Selected by the `obs/` config group (configs/obs/{off,trace,full}.yaml)
+// parsed here into an ObsConfig; the Engine enables tracing for the run,
+// drains after joining the node threads, folds per-phase seconds into the
+// RoundRecords, and writes whichever export paths are configured.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "config/node.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace of::obs {
+
+struct ObsConfig {
+  // Master switch for tracing. Registry instruments are always on (a
+  // relaxed atomic add each), so `enabled: false` costs one relaxed load
+  // per would-be span — measured in bench/bench_obs_overhead.
+  bool enabled = false;
+  std::size_t ring_capacity = TraceRecorder::kDefaultRingCapacity;
+
+  // Export destinations; empty = skip that exporter.
+  std::string trace_path;       // Chrome trace-event JSON (Perfetto)
+  std::string metrics_path;     // Prometheus text exposition
+  std::string events_csv_path;  // raw per-event CSV
+
+  // Parse the `obs:` config group; a null/missing node yields the disabled
+  // default.
+  static ObsConfig from_config(const config::ConfigNode& node);
+};
+
+}  // namespace of::obs

@@ -1,0 +1,79 @@
+#include "obs/registry.hpp"
+
+namespace of::obs {
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::map<std::string, std::int64_t> Registry::snapshot() const {
+  std::map<std::string, std::int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_)
+    out[name] = static_cast<std::int64_t>(c->value());
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::gauge_names() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  return out;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace of::obs

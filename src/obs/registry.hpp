@@ -1,0 +1,120 @@
+// of::obs metric registry — named counters, gauges, and log-bucketed
+// histograms with a cheap handle API:
+//
+//   obs::Counter& c = obs::Registry::global().counter("tcp.reconnects");
+//   c.inc();   // one relaxed atomic add, forever after
+//
+// Handles are looked up once (mutex + map) and then held by reference —
+// instruments live for the registry's lifetime and never move. Instruments
+// are always on: they cost one relaxed atomic op per update, so unlike
+// tracing they need no enable flag. The registry is process-global (the
+// Prometheus convention); callers that need per-run deltas snapshot() before
+// and after (Engine does this for the CSV pool-hit-rate column).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace of::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) noexcept { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Log-bucketed histogram: bucket i counts observations v with
+// bit_width(v) == i, i.e. upper bounds 0, 1, 3, 7, …, 2^k-1 — fixed memory,
+// one relaxed add per observe, ~2× relative resolution. Good enough for the
+// latency/size/staleness distributions the round loop produces.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width(uint64) ∈ [0, 64]
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    std::size_t w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w;
+  }
+  // Inclusive upper bound of bucket i: 2^i - 1 (bucket 0 holds only v=0).
+  static std::uint64_t bucket_bound(std::size_t i) noexcept {
+    return i >= 64 ? ~0ull : (1ull << i) - 1;
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create by name. The returned reference is stable for the
+  // registry's lifetime; cache it where the update path is hot.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Point-in-time values of all counters and gauges (histograms are
+  // exported, not snapshotted). Names are unique across instrument kinds.
+  std::map<std::string, std::int64_t> snapshot() const;
+
+  // Sorted instrument names, per kind (export + test introspection).
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: values never move once created.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace of::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace of::obs {
+
+const char* to_string(Name n) {
+  switch (n) {
+    case Name::Round: return "round";
+    case Name::LocalTrain: return "local_train";
+    case Name::Encode: return "encode";
+    case Name::Send: return "send";
+    case Name::Recv: return "recv";
+    case Name::Decode: return "decode";
+    case Name::Aggregate: return "aggregate";
+    case Name::Broadcast: return "broadcast";
+    case Name::TcpSend: return "tcp.send";
+    case Name::TcpRecv: return "tcp.recv";
+    case Name::TcpReconnect: return "tcp.reconnect";
+    case Name::TcpBackoff: return "tcp.backoff";
+    case Name::PoolHit: return "pool.hit";
+    case Name::PoolMiss: return "pool.miss";
+    case Name::FaultCrash: return "fault.crash";
+    case Name::FaultDisconnect: return "fault.disconnect";
+    case Name::FaultDelay: return "fault.delay";
+    case Name::DeadlineCut: return "fault.deadline_cut";
+    case Name::AsyncStaleness: return "async.staleness";
+    case Name::InProcDeliver: return "inproc.deliver";
+    case Name::ModeledDelay: return "modeled.delay";
+    case Name::AmqpPublish: return "amqp.publish";
+  }
+  return "?";
+}
+
+const char* category(Name n) {
+  switch (n) {
+    case Name::Round:
+    case Name::LocalTrain:
+    case Name::Encode:
+    case Name::Send:
+    case Name::Recv:
+    case Name::Decode:
+    case Name::Aggregate:
+    case Name::Broadcast: return "node";
+    case Name::TcpSend:
+    case Name::TcpRecv:
+    case Name::TcpReconnect:
+    case Name::TcpBackoff: return "tcp";
+    case Name::PoolHit:
+    case Name::PoolMiss: return "pool";
+    case Name::FaultCrash:
+    case Name::FaultDisconnect:
+    case Name::FaultDelay:
+    case Name::DeadlineCut: return "fault";
+    case Name::AsyncStaleness: return "sched";
+    case Name::InProcDeliver:
+    case Name::ModeledDelay:
+    case Name::AmqpPublish: return "comm";
+  }
+  return "?";
+}
+
+namespace {
+
+// Thread-local ring handle. The generation tag detects recorder resets so a
+// stale pointer from a previous generation is never dereferenced.
+struct TlRing {
+  TraceRecorder::Ring* ring = nullptr;
+  std::uint64_t generation = ~0ull;
+};
+
+thread_local TlRing t_ring;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::reset(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  rings_.clear();
+  ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  epoch_ = std::chrono::steady_clock::now();
+  // Bump after clearing: a thread observing the new generation re-acquires.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+TraceRecorder::Ring* TraceRecorder::ring_for_this_thread() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_ring.ring != nullptr && t_ring.generation == gen) return t_ring.ring;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  // Re-read under the lock: reset() bumps generation while holding it.
+  const std::uint64_t locked_gen = generation_.load(std::memory_order_relaxed);
+  rings_.push_back(std::make_unique<Ring>(ring_capacity_,
+                                          static_cast<std::uint32_t>(rings_.size())));
+  t_ring.ring = rings_.back().get();
+  t_ring.generation = locked_gen;
+  return t_ring.ring;
+}
+
+void TraceRecorder::record(const TraceEvent& e) {
+  Ring* ring = ring_for_this_thread();
+  const std::uint64_t w = ring->widx.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->slots[w % ring->slots.size()];
+  slot = e;
+  slot.tid = ring->id;
+  // Release-publish so a post-join drainer sees the fully written slot.
+  ring->widx.store(w + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t w = ring->widx.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t first = w > cap ? w - cap : 0;  // overflow: newest-N survive
+    for (std::uint64_t i = first; i < w; ++i)
+      out.push_back(ring->slots[i % cap]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+}  // namespace of::obs

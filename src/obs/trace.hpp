@@ -1,0 +1,191 @@
+// of::obs tracing — always-compiled, zero-cost-when-disabled span/instant
+// recording for the round loop (config group `obs/`).
+//
+// Design (DESIGN.md §7): each recording thread owns a fixed-capacity ring of
+// TraceEvent slots. The hot path is one relaxed atomic flag load when
+// disabled; when enabled it is a thread-local lookup, a steady_clock read
+// and a single slot store — no mutex, no allocation after the ring exists,
+// no formatting. Rings overwrite their oldest slot on overflow (newest-N
+// survive). The drain side runs only when the producers are quiescent — the
+// Engine drains after joining its node threads — so consuming needs no
+// synchronization beyond the joins' happens-before.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace of::obs {
+
+// Every instrumented site in the framework. Fixed enum (not strings) so a
+// recorded event is a few plain words, never an allocation.
+enum class Name : std::uint8_t {
+  // Round-loop phases (category "node").
+  Round,
+  LocalTrain,
+  Encode,
+  Send,
+  Recv,
+  Decode,
+  Aggregate,
+  Broadcast,
+  // Transport (category "tcp").
+  TcpSend,
+  TcpRecv,
+  TcpReconnect,
+  TcpBackoff,
+  // Buffer arena (category "pool").
+  PoolHit,
+  PoolMiss,
+  // Fault injection + deadline aggregation (category "fault").
+  FaultCrash,
+  FaultDisconnect,
+  FaultDelay,
+  DeadlineCut,
+  // Scheduling (category "sched").
+  AsyncStaleness,
+  // Other backends (category "comm").
+  InProcDeliver,
+  ModeledDelay,
+  AmqpPublish,
+};
+
+const char* to_string(Name n);
+// Chrome-trace category for the event ("node", "tcp", "pool", …).
+const char* category(Name n);
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   // start time, ns since the recorder epoch
+  std::uint64_t dur_ns = 0;  // span duration; 0 = instant event
+  std::uint64_t arg = 0;     // site-specific payload (bytes, staleness, rank…)
+  std::int32_t node = -1;    // federation node id (-1 = not node-scoped)
+  std::uint32_t round = 0;   // global round the event belongs to
+  std::uint32_t tid = 0;     // recording ring id (one per thread)
+  Name name = Name::Round;
+};
+
+class TraceRecorder {
+ public:
+  // The process-wide recorder every instrumented site records into.
+  static TraceRecorder& global();
+
+  // The disabled fast path: one relaxed atomic load.
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Drop all rings and start a fresh generation with `ring_capacity` slots
+  // per thread. Live threads re-acquire a ring on their next record; call
+  // only while no thread is mid-record (e.g. between runs).
+  void reset(std::size_t ring_capacity = kDefaultRingCapacity);
+
+  // Record one event into the calling thread's ring. Callers must check
+  // enabled() first (ScopedSpan/instant do); record() itself never
+  // allocates once the thread's ring exists.
+  void record(const TraceEvent& e);
+
+  // Snapshot every ring's surviving events, sorted by start time. Only
+  // valid when all producer threads are quiescent (joined, or provably not
+  // recording); the Engine drains after joining its node threads.
+  std::vector<TraceEvent> drain() const;
+
+  // Nanoseconds since the recorder epoch (reset time).
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  std::size_t ring_capacity() const noexcept { return ring_capacity_; }
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  // One thread's fixed-capacity SPSC ring. The owning thread is the only
+  // writer; slots_ never reallocates after construction.
+  struct Ring {
+    explicit Ring(std::size_t cap, std::uint32_t id) : slots(cap), id(id) {}
+    std::vector<TraceEvent> slots;
+    std::atomic<std::uint64_t> widx{0};  // total events written (monotonic)
+    std::uint32_t id;
+  };
+
+ private:
+  TraceRecorder();
+  Ring* ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+
+  // Rings are created under rings_mu_ (once per thread per generation) and
+  // only destroyed by reset(); record() touches them lock-free.
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span: captures the start time at construction (when tracing is on)
+// and records one complete event at destruction. When tracing is off the
+// constructor is a single relaxed load and the destructor a branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(Name name, int node, std::size_t round, std::uint64_t arg = 0) {
+    TraceRecorder& r = TraceRecorder::global();
+    if (!r.enabled()) return;
+    armed_ = true;
+    name_ = name;
+    node_ = node;
+    round_ = static_cast<std::uint32_t>(round);
+    arg_ = arg;
+    t0_ns_ = r.now_ns();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { end(); }
+
+  // Record the span now instead of at scope exit (no-op when disabled or
+  // already ended). The destructor calls this, so plain RAII use needs no
+  // explicit call.
+  void end() {
+    if (!armed_) return;
+    armed_ = false;
+    TraceRecorder& r = TraceRecorder::global();
+    TraceEvent e;
+    e.ts_ns = t0_ns_;
+    e.dur_ns = r.now_ns() - t0_ns_;
+    e.arg = arg_;
+    e.node = node_;
+    e.round = round_;
+    e.name = name_;
+    r.record(e);
+  }
+
+  // Late-bound payload (e.g. bytes known only after the recv returns).
+  void set_arg(std::uint64_t arg) noexcept { arg_ = arg; }
+
+ private:
+  std::uint64_t t0_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  std::int32_t node_ = -1;
+  std::uint32_t round_ = 0;
+  Name name_ = Name::Round;
+  bool armed_ = false;
+};
+
+// Record an instant (zero-duration) event.
+inline void instant(Name name, int node, std::size_t round, std::uint64_t arg = 0) {
+  TraceRecorder& r = TraceRecorder::global();
+  if (!r.enabled()) return;
+  TraceEvent e;
+  e.ts_ns = r.now_ns();
+  e.arg = arg;
+  e.node = node;
+  e.round = static_cast<std::uint32_t>(round);
+  e.name = name;
+  r.record(e);
+}
+
+}  // namespace of::obs

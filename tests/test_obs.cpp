@@ -1,0 +1,454 @@
+// of::obs tests: SPSC ring semantics (overflow keeps newest-N, no torn
+// events), concurrent writers (run under the tsan preset), registry
+// instrument semantics, golden-output exporters, the disabled fast path
+// (zero events AND zero heap allocations), and an end-to-end Engine run
+// that writes a structurally valid, correctly nested Chrome trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+#include "obs/obs.hpp"
+
+// --- global allocation counter -----------------------------------------------
+// Same TU-level operator-new override as bench_payload_pipeline: counts every
+// heap allocation in the binary so the disabled-mode test can assert the
+// record path allocates nothing.
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+// Nothrow variants must be replaced too: the non-throwing new must pair with
+// the free-based delete below (libstdc++'s stable_sort temp buffer uses it).
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using of::config::parse_yaml;
+using of::core::Engine;
+using of::core::RunResult;
+using of::obs::Counter;
+using of::obs::Gauge;
+using of::obs::Histogram;
+using of::obs::Name;
+using of::obs::ObsConfig;
+using of::obs::Registry;
+using of::obs::ScopedSpan;
+using of::obs::TraceEvent;
+using of::obs::TraceRecorder;
+
+TraceEvent make_event(std::uint64_t ts, std::uint64_t dur, Name name, int node,
+                      std::uint32_t round, std::uint64_t arg) {
+  TraceEvent e;
+  e.ts_ns = ts;
+  e.dur_ns = dur;
+  e.name = name;
+  e.node = node;
+  e.round = round;
+  e.arg = arg;
+  return e;
+}
+
+// --- ring semantics ------------------------------------------------------------
+
+TEST(TraceRing, RecordsAndDrainsInOrder) {
+  auto& rec = TraceRecorder::global();
+  rec.reset(64);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    of::obs::instant(Name::PoolHit, 3, 2, i);
+  rec.set_enabled(false);
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].arg, i);
+    EXPECT_EQ(events[i].node, 3);
+    EXPECT_EQ(events[i].round, 2u);
+    EXPECT_EQ(events[i].name, Name::PoolHit);
+    EXPECT_EQ(events[i].dur_ns, 0u);
+  }
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+}
+
+TEST(TraceRing, OverflowKeepsNewestWithoutTearing) {
+  auto& rec = TraceRecorder::global();
+  constexpr std::size_t kCap = 8;
+  constexpr std::uint64_t kTotal = 100;
+  rec.reset(kCap);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    // Encode i redundantly across fields so a torn slot is detectable.
+    TraceEvent e;
+    e.ts_ns = i;
+    e.dur_ns = i + 1;
+    e.arg = i;
+    e.round = static_cast<std::uint32_t>(i);
+    e.name = Name::TcpSend;
+    rec.record(e);
+  }
+  rec.set_enabled(false);
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), kCap);  // newest-N survive, oldest overwritten
+  for (std::size_t i = 0; i < kCap; ++i) {
+    const std::uint64_t expect = kTotal - kCap + i;
+    EXPECT_EQ(events[i].ts_ns, expect);
+    EXPECT_EQ(events[i].dur_ns, expect + 1);  // consistent fields = not torn
+    EXPECT_EQ(events[i].arg, expect);
+    EXPECT_EQ(events[i].round, static_cast<std::uint32_t>(expect));
+  }
+}
+
+TEST(TraceRing, ConcurrentWritersEachKeepTheirOwnRing) {
+  auto& rec = TraceRecorder::global();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  rec.reset(1 << 14);  // big enough that nothing is overwritten
+  rec.set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        of::obs::instant(Name::TcpRecv, t, 0, i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Producers joined → drain is race-free (the memory model the engine uses).
+  rec.set_enabled(false);
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Per writer: all events present, args forming exactly 0..kPerThread-1
+  // when re-sorted (drain interleaves by timestamp).
+  std::vector<std::vector<std::uint64_t>> per_node(kThreads);
+  for (const auto& e : events) {
+    ASSERT_GE(e.node, 0);
+    ASSERT_LT(e.node, kThreads);
+    per_node[static_cast<std::size_t>(e.node)].push_back(e.arg);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_node[static_cast<std::size_t>(t)].size(), kPerThread);
+    std::sort(per_node[static_cast<std::size_t>(t)].begin(),
+              per_node[static_cast<std::size_t>(t)].end());
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      EXPECT_EQ(per_node[static_cast<std::size_t>(t)][i], i);
+  }
+}
+
+TEST(TraceRing, ResetDropsOldEventsAndRebindsLiveThreads) {
+  auto& rec = TraceRecorder::global();
+  rec.reset(64);
+  rec.set_enabled(true);
+  of::obs::instant(Name::PoolMiss, 1, 0, 111);
+  rec.reset(64);  // this thread's cached ring pointer is now stale
+  of::obs::instant(Name::PoolMiss, 2, 0, 222);  // must re-acquire, not crash
+  rec.set_enabled(false);
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].arg, 222u);
+  EXPECT_EQ(events[0].node, 2);
+}
+
+// --- disabled fast path ---------------------------------------------------------
+
+TEST(TraceDisabled, NoEventsAndNoAllocations) {
+  auto& rec = TraceRecorder::global();
+  rec.reset(64);
+  rec.set_enabled(false);
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    ScopedSpan span(Name::LocalTrain, 1, 0, 42);
+    of::obs::instant(Name::TcpSend, 1, 0, 7);
+  }
+  const std::uint64_t allocs_after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocs_after - allocs_before, 0u) << "disabled record path allocated";
+  EXPECT_TRUE(rec.drain().empty()) << "disabled record path produced events";
+}
+
+// --- registry -------------------------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramSemantics) {
+  Registry reg;
+  Counter& c = reg.counter("unit.counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.counter("unit.counter"), &c);  // stable handle
+
+  Gauge& g = reg.gauge("unit.gauge");
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+
+  Histogram& h = reg.histogram("unit.hist");
+  h.observe(0);   // bucket 0 (le 0)
+  h.observe(1);   // bucket 1 (le 1)
+  h.observe(2);   // bucket 2 (le 3)
+  h.observe(3);   // bucket 2
+  h.observe(100); // bucket 7 (le 127)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(7), 1u);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("unit.counter"), 5);
+  EXPECT_EQ(snap.at("unit.gauge"), 12);
+}
+
+TEST(Registry, HistogramBucketBounds) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_bound(64), ~0ull);
+}
+
+// --- exporters (golden) ---------------------------------------------------------
+
+TEST(Exporters, ChromeTraceGolden) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(1500, 2500, Name::LocalTrain, 1, 0, 0));
+  events.push_back(make_event(4123, 0, Name::TcpReconnect, 2, 1, 3));
+  events[0].tid = 0;
+  events[1].tid = 1;
+  const std::string expected =
+      "[\n"
+      "{\"name\":\"local_train\",\"cat\":\"node\",\"ph\":\"X\",\"ts\":1.500,"
+      "\"dur\":2.500,\"pid\":0,\"tid\":0,\"args\":{\"node\":1,\"round\":0,\"arg\":0}},\n"
+      "{\"name\":\"tcp.reconnect\",\"cat\":\"tcp\",\"ph\":\"i\",\"ts\":4.123,"
+      "\"s\":\"t\",\"pid\":0,\"tid\":1,\"args\":{\"node\":2,\"round\":1,\"arg\":3}}\n"
+      "]\n";
+  EXPECT_EQ(of::obs::to_chrome_trace(events), expected);
+}
+
+TEST(Exporters, ChromeTraceEmptyIsValidJson) {
+  EXPECT_EQ(of::obs::to_chrome_trace({}), "[\n]\n");
+}
+
+TEST(Exporters, PrometheusGolden) {
+  Registry reg;
+  reg.counter("tcp.reconnects").inc(3);
+  reg.gauge("pool.size").set(-2);
+  Histogram& h = reg.histogram("async.staleness");
+  h.observe(0);
+  h.observe(2);
+  h.observe(3);
+  const std::string expected =
+      "# TYPE of_tcp_reconnects counter\n"
+      "of_tcp_reconnects 3\n"
+      "# TYPE of_pool_size gauge\n"
+      "of_pool_size -2\n"
+      "# TYPE of_async_staleness histogram\n"
+      "of_async_staleness_bucket{le=\"0\"} 1\n"
+      "of_async_staleness_bucket{le=\"1\"} 1\n"
+      "of_async_staleness_bucket{le=\"3\"} 3\n"
+      "of_async_staleness_bucket{le=\"+Inf\"} 3\n"
+      "of_async_staleness_sum 5\n"
+      "of_async_staleness_count 3\n";
+  EXPECT_EQ(of::obs::to_prometheus_text(reg), expected);
+}
+
+TEST(Exporters, EventCsvGolden) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(10, 5, Name::Encode, 0, 2, 99));
+  const std::string expected =
+      "ts_ns,dur_ns,tid,node,round,category,name,arg\n"
+      "10,5,0,0,2,node,encode,99\n";
+  EXPECT_EQ(of::obs::to_event_csv(events), expected);
+}
+
+// --- config parsing -------------------------------------------------------------
+
+TEST(ObsConfig, DefaultsAndParsing) {
+  const ObsConfig off = ObsConfig::from_config(of::config::ConfigNode());
+  EXPECT_FALSE(off.enabled);
+  EXPECT_TRUE(off.trace_path.empty());
+
+  const ObsConfig on = ObsConfig::from_config(parse_yaml(R"(
+enabled: true
+ring_capacity: 1024
+trace_path: t.json
+metrics_path: m.prom
+events_csv_path: e.csv
+)"));
+  EXPECT_TRUE(on.enabled);
+  EXPECT_EQ(on.ring_capacity, 1024u);
+  EXPECT_EQ(on.trace_path, "t.json");
+  EXPECT_EQ(on.metrics_path, "m.prom");
+  EXPECT_EQ(on.events_csv_path, "e.csv");
+
+  EXPECT_THROW(ObsConfig::from_config(parse_yaml("ring_capacity: 0")),
+               std::runtime_error);
+}
+
+// --- end-to-end: Engine writes a valid, nested Chrome trace --------------------
+
+of::config::ConfigNode traced_config(const std::string& trace_path) {
+  auto cfg = parse_yaml(R"(
+seed: 7
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 3
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 2
+  local_epochs: 1
+obs:
+  enabled: true
+  ring_capacity: 65536
+)");
+  cfg["obs"]["trace_path"] = of::config::ConfigNode::string(trace_path);
+  return cfg;
+}
+
+TEST(ObsEndToEnd, EngineWritesNestedChromeTrace) {
+  const std::string path = ::testing::TempDir() + "of_test_trace.json";
+  Engine engine(traced_config(path));
+  const RunResult result = engine.run();
+  ASSERT_EQ(result.rounds.size(), 2u);
+
+  // The obs-derived columns are populated from the drained spans.
+  for (const auto& r : result.rounds) {
+    EXPECT_GT(r.train_s, 0.0);
+    EXPECT_GT(r.recv_s, 0.0);
+    EXPECT_GT(r.aggregate_s, 0.0);
+  }
+  EXPECT_GE(result.pool_hit_rate, 0.0);
+  EXPECT_LE(result.pool_hit_rate, 1.0);
+  const std::string csv = result.to_csv();
+  EXPECT_NE(csv.find("participated,dropped,deadline_hit,reconnects,"
+                     "train_s,encode_s,send_s,recv_s,decode_s,aggregate_s,"
+                     "broadcast_s,pool_hit_rate"),
+            std::string::npos);
+
+  // The trace file exists and is structurally sound JSON (balanced
+  // brackets/braces, no quotes left open).
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (char c : json) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"name\":\"local_train\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // Nesting: every phase span lies inside its node's Round span for the
+  // same round (same thread, so tid must match too).
+  const auto events = TraceRecorder::global().drain();
+  ASSERT_FALSE(events.empty());
+  std::size_t nested_checked = 0;
+  for (const auto& e : events) {
+    if (e.name != Name::LocalTrain && e.name != Name::Encode &&
+        e.name != Name::Recv && e.name != Name::Send &&
+        e.name != Name::Decode && e.name != Name::Aggregate &&
+        e.name != Name::Broadcast)
+      continue;
+    if (e.dur_ns == 0) continue;
+    bool found_parent = false;
+    for (const auto& p : events) {
+      if (p.name != Name::Round || p.node != e.node || p.round != e.round ||
+          p.tid != e.tid)
+        continue;
+      if (p.ts_ns <= e.ts_ns && e.ts_ns + e.dur_ns <= p.ts_ns + p.dur_ns) {
+        found_parent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_parent) << "phase span (node " << e.node << ", round "
+                              << e.round << ") not nested in its round span";
+    ++nested_checked;
+  }
+  EXPECT_GT(nested_checked, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsEndToEnd, DisabledRunProducesNoTrace) {
+  auto cfg = parse_yaml(R"(
+seed: 7
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 2
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 1
+)");
+  TraceRecorder::global().reset(64);
+  Engine engine(cfg);
+  const RunResult result = engine.run();
+  ASSERT_EQ(result.rounds.size(), 1u);
+  // No obs group → tracing stayed off: no events, no phase seconds.
+  EXPECT_TRUE(TraceRecorder::global().drain().empty());
+  EXPECT_EQ(result.rounds[0].train_s, 0.0);
+}
+
+}  // namespace
