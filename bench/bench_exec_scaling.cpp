@@ -1,0 +1,92 @@
+// Scaling study for the of::exec pool (DESIGN.md §8): the same kernels and
+// the same one-round federated step, swept over pool thread counts. Each
+// benchmark re-configures the global pool from its Threads argument, so a
+// single binary produces the serial baseline and the parallel points in one
+// run. EXPERIMENTS.md records the measured scaling table — read the numbers
+// together with the host core count reported by the Threads=0 sanity line;
+// on a single-core container the parallel points measure pool overhead, not
+// speedup.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/payload.hpp"
+#include "exec/pool.hpp"
+#include "nn/loss.hpp"
+#include "nn/zoo.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using of::exec::Pool;
+using of::tensor::Rng;
+using of::tensor::Tensor;
+
+// --- raw kernels -----------------------------------------------------------------
+
+void BM_ExecMatmul(benchmark::State& state) {
+  Pool::global().configure(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = 192;
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b).data());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+  state.counters["pool_threads"] = static_cast<double>(Pool::global().threads());
+  Pool::global().configure(1);
+}
+BENCHMARK(BM_ExecMatmul)->ArgName("Threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExecReduce(benchmark::State& state) {
+  Pool::global().configure(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  const Tensor t = Tensor::randn({1 << 20}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(t.l2_norm_squared());
+  state.SetBytesProcessed(state.iterations() * (1 << 20) * 4);
+  Pool::global().configure(1);
+}
+BENCHMARK(BM_ExecReduce)->ArgName("Threads")->Arg(1)->Arg(2)->Arg(4);
+
+// --- aggregation (mean_updates over 8 client frames) ------------------------------
+
+void BM_ExecAggregation(benchmark::State& state) {
+  Pool::global().configure(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  const int k = 8;
+  std::vector<of::tensor::Bytes> frames;
+  for (int i = 0; i < k; ++i) {
+    std::vector<Tensor> payload{Tensor::randn({1 << 18}, rng)};
+    frames.push_back(of::core::encode_update(payload, 1.0, {}, i, k));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(of::core::mean_updates(frames, nullptr, nullptr));
+  state.SetBytesProcessed(state.iterations() * k * (1 << 18) * 4);
+  Pool::global().configure(1);
+}
+BENCHMARK(BM_ExecAggregation)->ArgName("Threads")->Arg(1)->Arg(2)->Arg(4);
+
+// --- model step (fwd+bwd, the per-client inner loop) -------------------------------
+
+void BM_ExecModelStep(benchmark::State& state) {
+  Pool::global().configure(static_cast<std::size_t>(state.range(0)));
+  auto model = of::nn::zoo::make_model("resnet18_mini", 64, 10, 1);
+  Rng rng(4);
+  const Tensor x = Tensor::randn({32, 64}, rng);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    model.zero_grad();
+    const Tensor logits = model.forward(x);
+    const auto lg = of::nn::softmax_cross_entropy(logits, labels);
+    model.backward(lg.grad);
+    benchmark::DoNotOptimize(lg.loss);
+  }
+  state.counters["hw_cores"] = static_cast<double>(std::thread::hardware_concurrency());
+  Pool::global().configure(1);
+}
+BENCHMARK(BM_ExecModelStep)->ArgName("Threads")->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -148,17 +148,38 @@ class Communicator {
 
   // Fresh tag block for one collective invocation. All ranks call
   // collectives in the same order, so sequence numbers line up.
+  //
+  // The slot alone aliases once the sequence wraps the window: collective
+  // N and N+window would share a tag, so a frame a slow peer left behind
+  // from an old collective could satisfy a new collective's recv. The
+  // epoch byte (bits 21..28) disambiguates adjacent wraps — a stale frame
+  // from the previous pass through the window carries a different tag and
+  // is never matched. (Aliasing returns after 256 full windows; with the
+  // default 2^16 window that is ~16M collectives in flight, far beyond any
+  // plausible backlog.)
   int next_collective_tag() noexcept {
-    return kCollectiveTagBase + 16 * (collective_seq_++ % kCollectiveSeqWindow);
+    const std::uint32_t seq = collective_seq_++;
+    const std::uint32_t slot = seq % collective_tag_window_;
+    const std::uint32_t epoch = (seq / collective_tag_window_) % 256;
+    return kCollectiveTagBase + 16 * static_cast<int>(slot) +
+           (static_cast<int>(epoch) << 21);
   }
 
   static constexpr int kCollectiveTagBase = 1 << 20;
-  static constexpr int kCollectiveSeqWindow = 1 << 16;
+  static constexpr std::uint32_t kCollectiveSeqWindow = 1 << 16;
 
   CommStats stats_;
 
+ public:
+  // Shrink the slot window so a test can exercise the wrap path without
+  // issuing 2^16 collectives. Production code never calls this.
+  void set_collective_tag_window_for_test(std::uint32_t window) noexcept {
+    collective_tag_window_ = window == 0 ? 1 : window;
+  }
+
  private:
   std::uint32_t collective_seq_ = 0;
+  std::uint32_t collective_tag_window_ = kCollectiveSeqWindow;
 };
 
 // Apply `op` elementwise: acc = acc (op) incoming.

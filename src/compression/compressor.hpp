@@ -73,6 +73,17 @@ class Compressor {
   // (dense output); false for sparse codecs that exchange via all-gather.
   virtual bool allreduce_compatible() const = 0;
 
+  // Bind stochastic codecs to a (round, client) stream. Randomized codecs
+  // (QSGD's stochastic rounding) derive their randomness counter-style from
+  // (seed, round, client) instead of mutating a shared RNG, so compressing
+  // the same input twice in the same stream yields identical bytes — a
+  // retransmit after a transport fault is bit-reproducible. Deterministic
+  // codecs ignore it.
+  virtual void set_stream(std::uint64_t round, std::uint64_t client) {
+    (void)round;
+    (void)client;
+  }
+
   // Owning conveniences for tests and cold paths.
   Compressed compress(const Tensor& t) {
     Compressed c;
@@ -100,6 +111,9 @@ class ErrorFeedbackCompressor final : public Compressor {
   using Compressor::decompress;
   std::string name() const override { return "EF(" + inner_->name() + ")"; }
   bool allreduce_compatible() const override { return inner_->allreduce_compatible(); }
+  void set_stream(std::uint64_t round, std::uint64_t client) override {
+    inner_->set_stream(round, client);
+  }
 
   const Tensor& residual() const noexcept { return residual_; }
 

@@ -1,14 +1,31 @@
 #include "compression/quantize.hpp"
 
 #include <cmath>
+#include <initializer_list>
 
 namespace of::compression {
 
 QSGD::QSGD(int bits, std::uint64_t seed, std::size_t bucket_size)
-    : bits_(bits), bucket_size_(bucket_size), rng_(seed) {
+    : bits_(bits), bucket_size_(bucket_size), seed_(seed) {
   OF_CHECK_MSG(bits == 8 || bits == 16, "QSGD supports 8 or 16 bits, got " << bits);
   OF_CHECK_MSG(bucket_size >= 1, "QSGD bucket size must be >= 1");
   levels_ = (bits == 8) ? 127u : 32767u;  // leave one bit for the sign
+}
+
+std::uint64_t QSGD::stream_seed(std::uint64_t bucket) const noexcept {
+  // splitmix64-style mixing of (seed, round, client, bucket). A shared
+  // mutated RNG would make the rounding depend on every compress call that
+  // ran before this one — retransmits and replays would emit different
+  // bytes; the counter form makes each (round, client, bucket) stream
+  // self-contained.
+  std::uint64_t x = seed_;
+  for (std::uint64_t word : {round_, client_, bucket}) {
+    x += 0x9e3779b97f4a7c15ull + word;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+  }
+  return x;
 }
 
 void QSGD::compress(ConstFloatSpan t, Compressed& c) {
@@ -31,13 +48,14 @@ void QSGD::compress(ConstFloatSpan t, Compressed& c) {
       norm2 += static_cast<double>(t[i]) * static_cast<double>(t[i]);
     const float norm = static_cast<float>(std::sqrt(norm2));
     tensor::append_pod<float>(c.payload, norm);
+    Rng rng(stream_seed(b));  // fresh per-bucket stream; see stream_seed()
     auto quantize_one = [&](float v) -> std::uint32_t {
       if (norm == 0.0f) return 0;
       const float a = std::fabs(v) / norm * s;  // in [0, s]
       const float floor_a = std::floor(a);
       const float frac = a - floor_a;
       std::uint32_t level = static_cast<std::uint32_t>(floor_a);
-      if (rng_.next_float() < frac) ++level;  // stochastic rounding
+      if (rng.next_float() < frac) ++level;  // stochastic rounding
       if (level > levels_) level = levels_;
       return level;
     };

@@ -25,14 +25,24 @@ class QSGD final : public Compressor {
   using Compressor::decompress;
   std::string name() const override { return "QSGD"; }
   bool allreduce_compatible() const override { return true; }
+  // Counter-based rounding stream: randomness is a pure function of
+  // (seed, round, client, bucket), never of how many times compress ran.
+  void set_stream(std::uint64_t round, std::uint64_t client) override {
+    round_ = round;
+    client_ = client;
+  }
 
   int bits() const noexcept { return bits_; }
 
  private:
+  std::uint64_t stream_seed(std::uint64_t bucket) const noexcept;
+
   int bits_;
   std::size_t bucket_size_;
   std::uint32_t levels_;  // s = 2^(bits-1) - 1 magnitude levels
-  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t round_ = 0;
+  std::uint64_t client_ = 0;
 };
 
 }  // namespace of::compression

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "data/partition.hpp"
+#include "exec/pool.hpp"
 #include "nn/zoo.hpp"
 #include "obs/obs.hpp"
 
@@ -452,6 +453,12 @@ RunResult Engine::run() {
   ran_ = true;
   auto setups = build_setups();
 
+  // Execution pool: one process-global worker set shared by every node
+  // thread, configured before any node spawns (configure is not
+  // hot-swappable under load).
+  const auto exec_cfg = exec::ExecConfig::from_config(node_or_empty(cfg_, "exec"));
+  exec::Pool::global().configure(exec_cfg.threads, exec_cfg.grain);
+
   const auto obs_cfg = obs::ObsConfig::from_config(node_or_empty(cfg_, "obs"));
   // Registry instruments are process-global and always on; per-run values
   // are deltas against this snapshot.
@@ -499,6 +506,7 @@ RunResult Engine::run() {
       result.rounds = reports[i].rounds;
       result.root_comm = reports[i].comm_inner;
       result.root_comm += reports[i].comm_outer;
+      result.final_model_bytes = reports[i].final_model;
     }
     result.inner_comm += reports[i].comm_inner;
     result.outer_comm += reports[i].comm_outer;

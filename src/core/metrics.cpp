@@ -36,6 +36,19 @@ std::string RunResult::to_csv() const {
   return os.str();
 }
 
+std::string RunResult::to_metrics_csv() const {
+  // Only fields that are pure functions of the run's inputs — no wall-clock
+  // durations, no transport-dependent counters like reconnects. Two runs of
+  // the same config must emit identical strings.
+  std::ostringstream os;
+  os << "round,train_loss,accuracy,bytes_up,bytes_down,participated,dropped\n";
+  for (const auto& r : rounds) {
+    os << r.round << ',' << r.train_loss << ',' << r.accuracy << ',' << r.bytes_up << ','
+       << r.bytes_down << ',' << r.participated << ',' << r.dropped_ranks.size() << '\n';
+  }
+  return os.str();
+}
+
 void RunResult::write_csv(const std::string& path) const {
   std::ofstream out(path);
   OF_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "tensor/serialize.hpp"
 
 namespace of::core {
 
@@ -54,6 +55,9 @@ struct RunResult {
   std::string algorithm;
   std::string model;
   std::string dataset;
+  // Packed bytes of the final global model (the root aggregator's
+  // state.global after the last round) — what determinism checks compare.
+  tensor::Bytes final_model_bytes;
 
   // Last recorded accuracy (skips -1 sentinels).
   float last_accuracy() const noexcept {
@@ -66,6 +70,9 @@ struct RunResult {
   // Per-round metrics as CSV (header + one line per round).
   std::string to_csv() const;
   void write_csv(const std::string& path) const;
+  // Deterministic columns only (no wall-clock fields): identical runs must
+  // produce identical strings — the determinism property test compares them.
+  std::string to_metrics_csv() const;
 };
 
 }  // namespace of::core

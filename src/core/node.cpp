@@ -7,6 +7,7 @@
 
 #include "comm/star.hpp"
 #include "common/check.hpp"
+#include "exec/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -161,6 +162,8 @@ void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
     }
   }
   const PayloadPlugins plugins{s_.compressor.get(), s_.privacy.get()};
+  if (s_.compressor)
+    s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
   ScopedSpan span(Name::Encode, s_.node_id, round);
   encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
                      pool_, frame_out);
@@ -259,6 +262,7 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     rec.bytes_up = inner.stats().bytes_received - bytes_recv_before;
     report.rounds.push_back(rec);
   }
+  report.final_model = pack_tensors(state.global);
   return report;
 }
 
@@ -351,32 +355,43 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
 
     ScopedSpan agg_span(Name::Aggregate, s_.node_id, round,
                         partial.participated.size());
-    std::vector<tensor::Bytes> frames;
-    frames.reserve(partial.participated.size());
+    // Per-participant frame parsing is independent — split each combined
+    // frame into (update, metrics) by index across the pool, then fold the
+    // metric sums serially in participant order so the totals accumulate in
+    // the same order for any thread count.
+    const std::size_t np = partial.participated.size();
+    std::vector<tensor::Bytes> frames(np);
+    std::vector<tensor::Tensor> pmetrics(np);
+    exec::Pool::global().parallel_for(np, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        const int p = partial.participated[idx];
+        const tensor::Bytes& combined = partial.frames[static_cast<std::size_t>(p)];
+        std::size_t off = 0;
+        const auto ulen = tensor::read_pod<std::uint64_t>(combined, off);
+        OF_CHECK_MSG(off + ulen <= combined.size(),
+                     "fault-mode frame from rank " << p << " truncated");
+        frames[idx].assign(combined.begin() + static_cast<std::ptrdiff_t>(off),
+                           combined.begin() + static_cast<std::ptrdiff_t>(off + ulen));
+        const tensor::Bytes mbytes(
+            combined.begin() + static_cast<std::ptrdiff_t>(off + ulen), combined.end());
+        pmetrics[idx] = tensor::deserialize_tensor(mbytes);
+      }
+    });
     double loss_sum = 0.0, steps = 0.0, acc_sum = 0.0, acc_n = 0.0;
     double weight_sum = 0.0;
     int contributing = 0;
-    for (const int p : partial.participated) {
-      const tensor::Bytes& combined = partial.frames[static_cast<std::size_t>(p)];
-      std::size_t off = 0;
-      const auto ulen = tensor::read_pod<std::uint64_t>(combined, off);
-      OF_CHECK_MSG(off + ulen <= combined.size(),
-                   "fault-mode frame from rank " << p << " truncated");
-      tensor::Bytes update(combined.begin() + static_cast<std::ptrdiff_t>(off),
-                           combined.begin() + static_cast<std::ptrdiff_t>(off + ulen));
-      const tensor::Bytes mbytes(combined.begin() + static_cast<std::ptrdiff_t>(off + ulen),
-                                 combined.end());
-      const tensor::Tensor m = tensor::deserialize_tensor(mbytes);
+    for (std::size_t idx = 0; idx < np; ++idx) {
+      const tensor::Tensor& m = pmetrics[idx];
       loss_sum += m[0];
       steps += m[1];
       acc_sum += m[2];
       acc_n += m[3];
-      if (!is_skip_update(update)) {
+      if (!is_skip_update(frames[idx])) {
         ++contributing;
+        const int p = partial.participated[idx];
         const auto ci = static_cast<std::size_t>(p - 1);  // rank p ↔ cohort index p-1
         if (ci < s_.client_weights.size()) weight_sum += s_.client_weights[ci];
       }
-      frames.push_back(std::move(update));
     }
 
     if (contributing > 0) {
@@ -412,6 +427,7 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
     rec.reconnects = inner.stats().reconnects;
     report.rounds.push_back(rec);
   }
+  report.final_model = pack_tensors(state.global);
   return report;
 }
 
@@ -445,6 +461,7 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
     if (s_.compressor) {
       // Sparse codecs exchange via all-gather (paper §3.4.2).
       const PayloadPlugins plugins{s_.compressor.get(), nullptr};
+      s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
       {
         ScopedSpan span(Name::Encode, s_.node_id, round);
         encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
@@ -482,6 +499,7 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
       report.rounds.push_back(rec);
     }
   }
+  report.final_model = pack_tensors(state.global);
   return report;
 }
 
@@ -600,6 +618,7 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
   }
   if (!report.rounds.empty() && acc_n > 0)
     report.rounds.back().accuracy = static_cast<float>(acc_sum / acc_n);
+  report.final_model = pack_tensors(state.global);
   return report;
 }
 
@@ -655,6 +674,8 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
     m[1] = static_cast<float>(last_stats.steps);
     payload.push_back(std::move(m));
     const PayloadPlugins plugins{s_.compressor.get(), nullptr};
+    if (s_.compressor)
+      s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
     {
       ScopedSpan span(Name::Encode, s_.node_id, round);
       encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
@@ -713,6 +734,8 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
 
     // Cross-facility tier: (optionally compressed) leader contribution.
     const PayloadPlugins outer_plugins{s_.outer_compressor.get(), nullptr};
+    if (s_.outer_compressor)
+      s_.outer_compressor->set_stream(round, static_cast<std::uint64_t>(outer.rank()));
     {
       ScopedSpan span(Name::Encode, s_.node_id, round);
       encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
@@ -749,6 +772,7 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
       report.rounds.push_back(rec);
     }
   }
+  if (is_root) report.final_model = pack_tensors(state.global);
   return report;
 }
 

@@ -110,6 +110,7 @@ struct NodeReport {
   comm::CommStats comm_inner;       // intra-group traffic totals
   comm::CommStats comm_outer;       // cross-group traffic (hierarchical leaders)
   double train_seconds = 0.0;       // time spent in local_train
+  tensor::Bytes final_model;        // packed global model (aggregator roles only)
 };
 
 class NodeRuntime {

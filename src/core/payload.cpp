@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "exec/pool.hpp"
 #include "tensor/serialize.hpp"
 
 namespace of::core {
@@ -10,6 +11,16 @@ namespace {
 
 using tensor::ConstFloatSpan;
 using tensor::FloatSpan;
+
+// Aggregations below this element count stay serial — the pool round-trip
+// costs more than the arithmetic. Sharding over coordinates preserves the
+// per-element accumulation order, so serial and parallel results are
+// bitwise identical and the gate may consult the thread count.
+constexpr std::size_t kAggParallelCutoff = 1 << 14;
+
+bool agg_parallel(std::size_t total) {
+  return total >= kAggParallelCutoff && exec::Pool::global().threads() > 1;
+}
 
 enum : std::uint8_t { kPlain = 0, kCompressed = 1, kPrivacy = 2, kSkip = 3 };
 
@@ -261,18 +272,27 @@ std::vector<Tensor> robust_combine(const std::vector<Bytes>& raw_frames,
   const std::size_t k = decoded.size();
   const std::size_t cut = static_cast<std::size_t>(trim * static_cast<double>(k));
   FramePool::FloatHandle result = p.acquire_floats(total);
-  std::vector<float> column(k);
-  for (std::size_t i = 0; i < total; ++i) {
-    for (std::size_t c = 0; c < k; ++c) column[c] = (*decoded[c])[i];
-    std::sort(column.begin(), column.end());
-    if (rule == AggregationRule::Median) {
-      (*result)[i] =
-          (k % 2) ? column[k / 2] : 0.5f * (column[k / 2 - 1] + column[k / 2]);
-    } else {  // trimmed mean
-      double sum = 0.0;
-      for (std::size_t c = cut; c < k - cut; ++c) sum += column[c];
-      (*result)[i] = static_cast<float>(sum / static_cast<double>(k - 2 * cut));
+  // Coordinates are independent, so sharding them over the pool computes
+  // exactly the serial values; each shard sorts into its own column scratch.
+  const auto coords = [&](std::size_t lo, std::size_t hi) {
+    std::vector<float> column(k);
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t c = 0; c < k; ++c) column[c] = (*decoded[c])[i];
+      std::sort(column.begin(), column.end());
+      if (rule == AggregationRule::Median) {
+        (*result)[i] =
+            (k % 2) ? column[k / 2] : 0.5f * (column[k / 2 - 1] + column[k / 2]);
+      } else {  // trimmed mean
+        double sum = 0.0;
+        for (std::size_t c = cut; c < k - cut; ++c) sum += column[c];
+        (*result)[i] = static_cast<float>(sum / static_cast<double>(k - 2 * cut));
+      }
     }
+  };
+  if (agg_parallel(total)) {
+    exec::Pool::global().parallel_for(total, 0, coords);
+  } else {
+    coords(0, total);
   }
   return split_flat(ConstFloatSpan(*result), shapes);
 }
@@ -318,12 +338,12 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
   }
 
   // Plain / compressed: accumulate every frame's body into one pooled flat
-  // accumulator, then split into the tensor-list structure once.
-  FramePool::FloatHandle acc = p.acquire_floats(total);
-  std::fill(acc->begin(), acc->end(), 0.0f);
-  FramePool::FloatHandle scratch;  // compressed path only
-  if (mode == kCompressed) scratch = p.acquire_floats(total);
-  for (const auto& f : frames) {
+  // accumulator, then split into the tensor-list structure once. Validate
+  // every frame's manifest up front so both execution paths below start
+  // from the same per-frame body offsets.
+  std::vector<std::size_t> body_off(frames.size());
+  for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+    const ConstByteSpan f = frames[fi];
     std::size_t off = 0;
     const auto m = tensor::read_pod<std::uint8_t>(f, off);
     OF_CHECK_MSG(m == mode, "mixed payload modes in one aggregation");
@@ -331,15 +351,60 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
     OF_CHECK_MSG(frame_shapes.size() == shapes.size() &&
                      manifest_numel(frame_shapes) == total,
                  "payload structure mismatch");
-    if (m == kPlain) {
+    if (m == kPlain)
       OF_CHECK_MSG(f.size() - off == total * sizeof(float),
                    "trailing bytes in plain payload");
-      tensor::add_scaled_from_bytes(f.subspan(off), 1.0, FloatSpan(*acc));
-    } else {
-      decode_body_into(f, off, m, total, decompressor, FloatSpan(*scratch));
-      float* a = acc->data();
-      const float* s = scratch->data();
-      for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
+    body_off[fi] = off;
+  }
+
+  FramePool::FloatHandle acc = p.acquire_floats(total);
+  std::fill(acc->begin(), acc->end(), 0.0f);
+
+  if (mode == kPlain && agg_parallel(total)) {
+    // Shard coordinates across the pool; each shard walks the frames in
+    // arrival order, so every element sees the exact serial accumulation
+    // order and the mean is bitwise identical to the serial path.
+    exec::Pool::global().parallel_for(total, 0, [&](std::size_t lo, std::size_t hi) {
+      FloatSpan dst = FloatSpan(*acc).subspan(lo, hi - lo);
+      for (std::size_t fi = 0; fi < frames.size(); ++fi)
+        tensor::add_scaled_from_bytes(
+            frames[fi].subspan(body_off[fi] + lo * sizeof(float),
+                               (hi - lo) * sizeof(float)),
+            1.0, dst);
+    });
+  } else if (mode == kCompressed && agg_parallel(total)) {
+    // Codecs may keep internal scratch, so decoding stays on this thread
+    // (one pooled buffer per frame); only the elementwise accumulation is
+    // sharded, again preserving the serial per-element frame order.
+    std::vector<FramePool::FloatHandle> decoded;
+    decoded.reserve(frames.size());
+    for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+      FramePool::FloatHandle flat = p.acquire_floats(total);
+      decode_body_into(frames[fi], body_off[fi], mode, total, decompressor,
+                       FloatSpan(*flat));
+      decoded.push_back(std::move(flat));
+    }
+    float* a = acc->data();
+    exec::Pool::global().parallel_for(total, 0, [&](std::size_t lo, std::size_t hi) {
+      for (const auto& d : decoded) {
+        const float* s = d->data();
+        for (std::size_t i = lo; i < hi; ++i) a[i] += s[i];
+      }
+    });
+  } else {
+    FramePool::FloatHandle scratch;  // compressed path only
+    if (mode == kCompressed) scratch = p.acquire_floats(total);
+    for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+      const ConstByteSpan f = frames[fi];
+      if (mode == kPlain) {
+        tensor::add_scaled_from_bytes(f.subspan(body_off[fi]), 1.0, FloatSpan(*acc));
+      } else {
+        decode_body_into(f, body_off[fi], mode, total, decompressor,
+                         FloatSpan(*scratch));
+        float* a = acc->data();
+        const float* s = scratch->data();
+        for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
+      }
     }
   }
   for (float& v : *acc) v *= inv_k;

@@ -1,0 +1,140 @@
+// of::exec — deterministic multi-threaded execution (DESIGN.md §8).
+//
+// A fixed-worker, work-stealing-free thread pool with one invariant above
+// all others: the decomposition of a loop into chunks depends only on the
+// iteration count and the grain size, never on the thread count or on
+// runtime timing. parallel_for writes disjoint ranges, so its output is
+// bytewise identical to the serial loop; parallel_reduce stores one partial
+// per chunk and combines them in fixed chunk order, so its result is
+// bitwise identical for threads=1 and threads=N. That invariant is what
+// lets the determinism property tests pin down the bugfix satellites at any
+// thread count.
+//
+// Execution model: the process owns one Pool (Pool::global()), configured
+// from the `exec:` config group by the Engine before node threads start.
+// `threads` counts total concurrency — the pool spawns threads-1 workers
+// and the calling thread claims chunks alongside them, so threads=1 means
+// zero workers and pure inline execution. Calls from inside a pool region
+// (nested parallelism, or a worker's own chunk function) run inline, which
+// both avoids deadlock and keeps the chunk tree identical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "config/node.hpp"
+
+namespace of::exec {
+
+// The `exec:` config group (configs/exec/{serial,parallel}.yaml):
+//   exec: {threads: N, grain: M}
+// threads=0 asks for one thread per hardware core.
+struct ExecConfig {
+  std::size_t threads = 1;
+  std::size_t grain = 4096;
+
+  static ExecConfig from_config(const config::ConfigNode& node);
+};
+
+class Pool {
+ public:
+  // The process-wide pool every parallel kernel submits to.
+  static Pool& global();
+
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool();
+
+  // (Re)build the worker set: threads-1 workers + the participating caller.
+  // threads=0 → hardware concurrency. Joins any previous workers first;
+  // call only while no parallel region is in flight (the Engine configures
+  // before spawning its node threads).
+  void configure(std::size_t threads, std::size_t grain = 4096);
+
+  std::size_t threads() const noexcept { return threads_; }
+  std::size_t grain() const noexcept { return grain_; }
+
+  using ChunkFn = std::function<void(std::size_t chunk, std::size_t begin, std::size_t end)>;
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  // Core primitive: run fn(chunk, begin, end) for every chunk of [0, n).
+  // Chunks = ceil(n / grain) (grain 0 → the pool default), claimed by the
+  // caller and the workers via an atomic counter; which thread runs a chunk
+  // is unspecified, *what* each chunk covers is not. The first exception
+  // thrown by any chunk is rethrown to the caller after the region drains
+  // (remaining chunks are skipped). grain is clamped to >= 1.
+  void run_chunks(std::size_t n, std::size_t grain, const ChunkFn& fn);
+
+  // parallel_for: disjoint-write loops. Bytewise identical to the serial
+  // loop for any thread count.
+  void parallel_for(std::size_t n, std::size_t grain, const RangeFn& fn) {
+    run_chunks(n, grain, [&fn](std::size_t, std::size_t b, std::size_t e) { fn(b, e); });
+  }
+  void parallel_for(std::size_t n, const RangeFn& fn) { parallel_for(n, 0, fn); }
+
+  // Deterministic chunked reduction: one partial per chunk, combined in
+  // ascending chunk order. The chunk tree depends only on (n, grain), so
+  // the result is bitwise identical for threads=1 and threads=N — callers
+  // that need cross-thread-count determinism must use a fixed grain and go
+  // through this even when the pool is serial.
+  template <typename T, typename PartialFn, typename CombineFn>
+  T parallel_reduce(std::size_t n, std::size_t grain, T init, PartialFn&& partial,
+                    CombineFn&& combine) {
+    const std::size_t g = effective_grain(grain);
+    const std::size_t chunks = n == 0 ? 0 : (n + g - 1) / g;
+    std::vector<T> partials(chunks, init);
+    run_chunks(n, g, [&](std::size_t c, std::size_t b, std::size_t e) {
+      partials[c] = partial(b, e);
+    });
+    T acc = init;
+    for (const T& p : partials) acc = combine(acc, p);
+    return acc;
+  }
+
+  // True while the calling thread is inside a pool region (worker chunk or
+  // nested call); such callers execute further regions inline.
+  static bool in_parallel_region() noexcept;
+
+ private:
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};  // next chunk to claim
+    std::atomic<std::size_t> done{0};  // chunks finished
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first exception, guarded by mu
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  std::size_t effective_grain(std::size_t grain) const noexcept {
+    const std::size_t g = grain == 0 ? grain_ : grain;
+    return g == 0 ? 1 : g;
+  }
+
+  void worker_loop();
+  void execute(Job& job);
+  void stop_workers();
+
+  std::size_t threads_ = 1;
+  std::size_t grain_ = 4096;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace of::exec

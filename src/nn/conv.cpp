@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
+
+#include "exec/pool.hpp"
 
 namespace of::nn {
 
@@ -41,28 +44,37 @@ Tensor Conv2d::forward(const Tensor& x) {
   cached_input_ = x;
   const std::size_t batch = x.size(0);
   Tensor y({batch, out_.features()});
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-      for (std::size_t oi = 0; oi < out_.height; ++oi) {
-        for (std::size_t oj = 0; oj < out_.width; ++oj) {
-          float acc = bias_.value[oc];
-          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
-            for (std::size_t ki = 0; ki < kernel_; ++ki) {
-              for (std::size_t kj = 0; kj < kernel_; ++kj) {
-                const float w =
-                    weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
-                acc += w * in_at(x, b, ic,
-                                 static_cast<std::ptrdiff_t>(oi + ki) -
-                                     static_cast<std::ptrdiff_t>(padding_),
-                                 static_cast<std::ptrdiff_t>(oj + kj) -
-                                     static_cast<std::ptrdiff_t>(padding_));
+  const auto sample_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+        for (std::size_t oi = 0; oi < out_.height; ++oi) {
+          for (std::size_t oj = 0; oj < out_.width; ++oj) {
+            float acc = bias_.value[oc];
+            for (std::size_t ic = 0; ic < in_.channels; ++ic) {
+              for (std::size_t ki = 0; ki < kernel_; ++ki) {
+                for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                  const float w =
+                      weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+                  acc += w * in_at(x, b, ic,
+                                   static_cast<std::ptrdiff_t>(oi + ki) -
+                                       static_cast<std::ptrdiff_t>(padding_),
+                                   static_cast<std::ptrdiff_t>(oj + kj) -
+                                       static_cast<std::ptrdiff_t>(padding_));
+                }
               }
             }
+            y(b, (oc * out_.height + oi) * out_.width + oj) = acc;
           }
-          y(b, (oc * out_.height + oi) * out_.width + oj) = acc;
         }
       }
     }
+  };
+  // Each sample writes its own output row — disjoint, so parallel execution
+  // produces the same bytes as the serial loop for any thread count.
+  if (batch > 1 && exec::Pool::global().threads() > 1) {
+    exec::Pool::global().parallel_for(batch, 1, sample_range);
+  } else {
+    sample_range(0, batch);
   }
   return y;
 }
@@ -70,34 +82,56 @@ Tensor Conv2d::forward(const Tensor& x) {
 Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t batch = grad_out.size(0);
   Tensor dx({batch, in_.features()});
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-      for (std::size_t oi = 0; oi < out_.height; ++oi) {
-        for (std::size_t oj = 0; oj < out_.width; ++oj) {
-          const float g = grad_out(b, (oc * out_.height + oi) * out_.width + oj);
-          if (g == 0.0f) continue;
-          bias_.grad[oc] += g;
-          for (std::size_t ic = 0; ic < in_.channels; ++ic) {
-            for (std::size_t ki = 0; ki < kernel_; ++ki) {
-              for (std::size_t kj = 0; kj < kernel_; ++kj) {
-                const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
-                                          static_cast<std::ptrdiff_t>(padding_);
-                const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
-                                          static_cast<std::ptrdiff_t>(padding_);
-                const float xin = in_at(cached_input_, b, ic, ii, jj);
-                weight_.grad(oc, (ic * kernel_ + ki) * kernel_ + kj) += g * xin;
-                if (ii >= 0 && jj >= 0 && ii < static_cast<std::ptrdiff_t>(in_.height) &&
-                    jj < static_cast<std::ptrdiff_t>(in_.width)) {
-                  dx(b, (ic * in_.height + static_cast<std::size_t>(ii)) * in_.width +
-                            static_cast<std::size_t>(jj)) +=
-                      g * weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+  // Weight/bias grads are shared across samples, so each chunk accumulates
+  // into a private partial buffer and the partials are folded in chunk
+  // order afterwards. The chunking depends only on the batch size — when
+  // the pool is serial the chunks run inline in the same order — so the
+  // result is bitwise identical for any thread count. dx rows are disjoint
+  // per sample and written directly.
+  const std::size_t grain = (batch + 7) / 8;
+  const std::size_t chunks = batch == 0 ? 0 : (batch + grain - 1) / grain;
+  const std::size_t wcols = in_.channels * kernel_ * kernel_;
+  std::vector<std::vector<float>> dw(chunks), db(chunks);
+  exec::Pool::global().run_chunks(
+      batch, grain, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        dw[chunk].assign(out_.channels * wcols, 0.0f);
+        db[chunk].assign(out_.channels, 0.0f);
+        float* wg = dw[chunk].data();
+        float* bg = db[chunk].data();
+        for (std::size_t b = lo; b < hi; ++b) {
+          for (std::size_t oc = 0; oc < out_.channels; ++oc) {
+            for (std::size_t oi = 0; oi < out_.height; ++oi) {
+              for (std::size_t oj = 0; oj < out_.width; ++oj) {
+                const float g = grad_out(b, (oc * out_.height + oi) * out_.width + oj);
+                if (g == 0.0f) continue;
+                bg[oc] += g;
+                for (std::size_t ic = 0; ic < in_.channels; ++ic) {
+                  for (std::size_t ki = 0; ki < kernel_; ++ki) {
+                    for (std::size_t kj = 0; kj < kernel_; ++kj) {
+                      const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(oi + ki) -
+                                                static_cast<std::ptrdiff_t>(padding_);
+                      const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(oj + kj) -
+                                                static_cast<std::ptrdiff_t>(padding_);
+                      const float xin = in_at(cached_input_, b, ic, ii, jj);
+                      wg[oc * wcols + (ic * kernel_ + ki) * kernel_ + kj] += g * xin;
+                      if (ii >= 0 && jj >= 0 &&
+                          ii < static_cast<std::ptrdiff_t>(in_.height) &&
+                          jj < static_cast<std::ptrdiff_t>(in_.width)) {
+                        dx(b, (ic * in_.height + static_cast<std::size_t>(ii)) * in_.width +
+                                  static_cast<std::size_t>(jj)) +=
+                            g * weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+                      }
+                    }
+                  }
                 }
               }
             }
           }
         }
-      }
-    }
+      });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t i = 0; i < dw[c].size(); ++i) weight_.grad.data()[i] += dw[c][i];
+    for (std::size_t i = 0; i < db[c].size(); ++i) bias_.grad[i] += db[c][i];
   }
   return dx;
 }

@@ -138,10 +138,15 @@ Tensor BatchNorm1d::forward(const Tensor& x) {
         cached_xhat_(b, j) = xh;
         y(b, j) = gamma_.value[j] * xh + beta_.value[j];
       }
+      // The EMA tracks the *unbiased* variance (n/(n-1) correction), while
+      // normalization above uses the biased batch variance — same convention
+      // as torch.nn.BatchNorm1d, so eval-mode outputs match training stats.
+      const double unbiased_var =
+          var * static_cast<double>(batch) / static_cast<double>(batch - 1);
       running_mean_[j] =
           (1.0f - momentum_) * running_mean_[j] + momentum_ * static_cast<float>(mean);
       running_var_[j] =
-          (1.0f - momentum_) * running_var_[j] + momentum_ * static_cast<float>(var);
+          (1.0f - momentum_) * running_var_[j] + momentum_ * static_cast<float>(unbiased_var);
     }
   } else {
     for (std::size_t j = 0; j < features_; ++j) {

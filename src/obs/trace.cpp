@@ -28,6 +28,7 @@ const char* to_string(Name n) {
     case Name::InProcDeliver: return "inproc.deliver";
     case Name::ModeledDelay: return "modeled.delay";
     case Name::AmqpPublish: return "amqp.publish";
+    case Name::ExecJob: return "exec.job";
   }
   return "?";
 }
@@ -56,6 +57,7 @@ const char* category(Name n) {
     case Name::InProcDeliver:
     case Name::ModeledDelay:
     case Name::AmqpPublish: return "comm";
+    case Name::ExecJob: return "exec";
   }
   return "?";
 }

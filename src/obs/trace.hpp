@@ -51,6 +51,9 @@ enum class Name : std::uint8_t {
   InProcDeliver,
   ModeledDelay,
   AmqpPublish,
+  // Execution pool (category "exec"): one span per parallel region, arg =
+  // chunk count.
+  ExecJob,
 };
 
 const char* to_string(Name n);

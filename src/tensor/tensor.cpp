@@ -5,7 +5,26 @@
 #include <numeric>
 #include <sstream>
 
+#include "exec/pool.hpp"
+
 namespace of::tensor {
+namespace {
+
+// Disjoint-write loops below this size are not worth a pool round-trip.
+// The gate may depend on the thread count because chunked and serial
+// execution write identical bytes; reductions must NOT use it (their chunk
+// tree has to be thread-count independent — see sum()).
+constexpr std::size_t kParallelCutoff = 1 << 14;
+
+inline bool parallel_worthwhile(std::size_t n) {
+  return n >= kParallelCutoff && exec::Pool::global().threads() > 1;
+}
+
+// Reductions switch to the fixed chunk tree at this size *regardless of
+// thread count*, so threads=1 and threads=N accumulate in the same order.
+constexpr std::size_t kReduceChunk = 1 << 15;
+
+}  // namespace
 
 std::size_t shape_numel(const Shape& shape) {
   std::size_t n = 1;
@@ -83,7 +102,13 @@ Tensor& Tensor::fill_(float v) noexcept {
     const float* o = other.data_.data();                                           \
     float* d = data_.data();                                                       \
     const std::size_t n = data_.size();                                            \
-    for (std::size_t i = 0; i < n; ++i) d[i] op o[i];                              \
+    if (parallel_worthwhile(n)) {                                                  \
+      exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {     \
+        for (std::size_t i = b; i < e; ++i) d[i] op o[i];                          \
+      });                                                                          \
+    } else {                                                                       \
+      for (std::size_t i = 0; i < n; ++i) d[i] op o[i];                            \
+    }                                                                              \
     return *this;                                                                  \
   }
 
@@ -94,12 +119,28 @@ OF_TENSOR_BINARY_INPLACE(div_, /=)
 #undef OF_TENSOR_BINARY_INPLACE
 
 Tensor& Tensor::add_scalar_(float v) noexcept {
-  for (auto& d : data_) d += v;
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] += v;
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] += v;
+  }
   return *this;
 }
 
 Tensor& Tensor::scale_(float v) noexcept {
-  for (auto& d : data_) d *= v;
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] *= v;
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] *= v;
+  }
   return *this;
 }
 
@@ -109,22 +150,53 @@ Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
   const float* o = other.data_.data();
   float* d = data_.data();
   const std::size_t n = data_.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] += alpha * o[i];
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+  }
   return *this;
 }
 
 Tensor& Tensor::clamp_(float lo, float hi) noexcept {
-  for (auto& d : data_) d = std::min(hi, std::max(lo, d));
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+  }
   return *this;
 }
 
 Tensor& Tensor::abs_() noexcept {
-  for (auto& d : data_) d = std::fabs(d);
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] = std::fabs(d[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] = std::fabs(d[i]);
+  }
   return *this;
 }
 
 Tensor& Tensor::sign_() noexcept {
-  for (auto& d : data_) d = (d > 0.0f) ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+  float* d = data_.data();
+  const std::size_t n = data_.size();
+  const auto sgn = [](float v) { return (v > 0.0f) ? 1.0f : (v < 0.0f ? -1.0f : 0.0f); };
+  if (parallel_worthwhile(n)) {
+    exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) d[i] = sgn(d[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) d[i] = sgn(d[i]);
+  }
   return *this;
 }
 
@@ -138,10 +210,19 @@ Tensor Tensor::operator-() const { Tensor t = *this; t.scale_(-1.0f); return t; 
 Tensor operator*(float s, const Tensor& t) { return t * s; }
 
 float Tensor::sum() const noexcept {
-  // Kahan summation: federated aggregation sums millions of elements and
-  // naive accumulation drifts enough to fail determinism checks.
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v);
+  // Double accumulation over a fixed chunk tree. The chunk decomposition
+  // depends only on (n, kReduceChunk) — never the thread count — so the
+  // float result is bitwise identical with exec.threads=1 and =N.
+  const float* d = data_.data();
+  const std::size_t n = data_.size();
+  const auto partial = [&](std::size_t b, std::size_t e) {
+    double acc = 0.0;
+    for (std::size_t i = b; i < e; ++i) acc += static_cast<double>(d[i]);
+    return acc;
+  };
+  if (n < kReduceChunk) return static_cast<float>(partial(0, n));
+  const double acc = exec::Pool::global().parallel_reduce(
+      n, kReduceChunk, 0.0, partial, [](double a, double b) { return a + b; });
   return static_cast<float>(acc);
 }
 
@@ -161,8 +242,17 @@ float Tensor::max() const {
 }
 
 float Tensor::l2_norm_squared() const noexcept {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * static_cast<double>(v);
+  const float* d = data_.data();
+  const std::size_t n = data_.size();
+  const auto partial = [&](std::size_t b, std::size_t e) {
+    double acc = 0.0;
+    for (std::size_t i = b; i < e; ++i)
+      acc += static_cast<double>(d[i]) * static_cast<double>(d[i]);
+    return acc;
+  };
+  if (n < kReduceChunk) return static_cast<float>(partial(0, n));
+  const double acc = exec::Pool::global().parallel_reduce(
+      n, kReduceChunk, 0.0, partial, [](double a, double b) { return a + b; });
   return static_cast<float>(acc);
 }
 
@@ -170,9 +260,18 @@ float Tensor::l2_norm() const noexcept { return std::sqrt(l2_norm_squared()); }
 
 float Tensor::dot(const Tensor& other) const {
   OF_CHECK_MSG(numel() == other.numel(), "dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    acc += static_cast<double>(data_[i]) * static_cast<double>(other.data_[i]);
+  const float* a = data_.data();
+  const float* b = other.data_.data();
+  const std::size_t n = data_.size();
+  const auto partial = [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return acc;
+  };
+  if (n < kReduceChunk) return static_cast<float>(partial(0, n));
+  const double acc = exec::Pool::global().parallel_reduce(
+      n, kReduceChunk, 0.0, partial, [](double x, double y) { return x + y; });
   return static_cast<float>(acc);
 }
 
@@ -208,14 +307,25 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
   const float* a = data_.data();
   const float* b = rhs.data_.data();
   float* c = out.data_.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = a[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b + kk * n;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  const auto rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
+  };
+  // Output rows are disjoint, so per-row parallelism writes the same bytes
+  // as the serial loop for any thread count.
+  if (m > 1 && exec::Pool::global().threads() > 1 && m * n * k >= kParallelCutoff) {
+    const std::size_t per_row = std::max<std::size_t>(1, n * k);
+    const std::size_t grain = std::max<std::size_t>(1, kParallelCutoff / per_row);
+    exec::Pool::global().parallel_for(m, grain, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }
@@ -224,8 +334,18 @@ Tensor Tensor::transpose2d() const {
   OF_CHECK_MSG(ndim() == 2, "transpose2d requires a 2-D tensor, got " << shape_string());
   const std::size_t r = shape_[0], c = shape_[1];
   Tensor out({c, r});
-  for (std::size_t i = 0; i < r; ++i)
-    for (std::size_t j = 0; j < c; ++j) out.data_[j * r + i] = data_[i * c + j];
+  const float* src = data_.data();
+  float* dst = out.data_.data();
+  const auto rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      for (std::size_t j = 0; j < c; ++j) dst[j * r + i] = src[i * c + j];
+  };
+  if (r > 1 && parallel_worthwhile(r * c)) {
+    const std::size_t grain = std::max<std::size_t>(1, kParallelCutoff / std::max<std::size_t>(1, c));
+    exec::Pool::global().parallel_for(r, grain, rows);
+  } else {
+    rows(0, r);
+  }
   return out;
 }
 

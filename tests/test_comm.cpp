@@ -676,4 +676,54 @@ TEST(ModeledLink, TransferTimeFormula) {
   EXPECT_GT(wan.transfer_seconds(1000), of::comm::LinkModel::lan().transfer_seconds(1000));
 }
 
+// --- collective tag-window aliasing (regression) ------------------------------
+//
+// The collective tag used to be base + 16·(seq % window): once the sequence
+// wrapped the window, collective N and N+window shared a tag, so a frame a
+// slow peer left queued from an old collective could satisfy a new
+// collective's recv. The epoch byte folded into the tag disambiguates
+// adjacent wraps. The test shrinks the window to 2 so the wrap happens on
+// the third claim.
+
+TEST(CollectiveTags, EpochByteDisambiguatesWindowWrap) {
+  InProcGroup group(2);
+  auto& c0 = group.comm(0);
+  auto& c1 = group.comm(1);
+  c0.set_collective_tag_window_for_test(2);
+  c1.set_collective_tag_window_for_test(2);
+
+  // Both ranks claim tags in the same order — the collectives contract.
+  const int t0_r0 = c0.claim_collective_tag();
+  const int t0_r1 = c1.claim_collective_tag();
+  ASSERT_EQ(t0_r0, t0_r1);
+  // A stale frame from the seq-0 collective is left sitting in the queue
+  // (e.g. a peer that fell behind and still pushed its contribution).
+  c1.send_bytes(0, t0_r1, Bytes{0xAA});
+
+  (void)c0.claim_collective_tag();  // seq 1
+  (void)c1.claim_collective_tag();
+  const int t2_r0 = c0.claim_collective_tag();  // seq 2: slot wraps to 0
+  const int t2_r1 = c1.claim_collective_tag();
+  ASSERT_EQ(t2_r0, t2_r1);
+
+  // The wrapped tag must not alias the seq-0 tag — that is the bug.
+  EXPECT_NE(t2_r0, t0_r0);
+
+  // The seq-2 collective's recv gets the fresh frame, not the stale one.
+  c1.send_bytes(0, t2_r1, Bytes{0xBB});
+  EXPECT_EQ(c0.recv_bytes(1, t2_r0), (Bytes{0xBB}));
+  // The stale frame is still addressable under its own (old-epoch) tag.
+  EXPECT_EQ(c0.recv_bytes(1, t0_r0), (Bytes{0xAA}));
+}
+
+TEST(CollectiveTags, TagsStayInReservedNamespace) {
+  InProcGroup group(1);
+  auto& c = group.comm(0);
+  c.set_collective_tag_window_for_test(4);
+  // Cover several epochs: tags must stay at or above the collective base so
+  // they can never collide with user tags in [0, 2^20).
+  for (int i = 0; i < 4 * 300; ++i)
+    EXPECT_GE(c.claim_collective_tag(), 1 << 20);
+}
+
 }  // namespace

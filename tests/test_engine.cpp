@@ -504,7 +504,7 @@ TEST(Configs, EveryShippedGroupFileParses) {
         "privacy/dp.yaml", "privacy/secure_aggregation.yaml", "privacy/he.yaml",
         "compression/topk.yaml", "compression/qsgd8.yaml", "compression/powersgd.yaml",
         "fault/none.yaml", "fault/crash_one.yaml", "fault/flaky_network.yaml",
-        "fault/delay_spikes.yaml"}) {
+        "fault/delay_spikes.yaml", "exec/serial.yaml", "exec/parallel.yaml"}) {
     EXPECT_NO_THROW((void)of::config::load_yaml_file(dir + "/" + rel)) << rel;
   }
 }

@@ -249,6 +249,25 @@ TEST(BatchNorm, RunningStatsConverge) {
   EXPECT_NEAR(bn.running_var()[0], 1.0f, 0.2f);
 }
 
+TEST(BatchNorm, RunningVarUsesUnbiasedEstimate) {
+  // Golden check against the torch.nn.BatchNorm1d convention: the EMA tracks
+  // the *unbiased* batch variance (n/(n-1) correction) even though the
+  // normalization itself uses the biased one. Mirrors the exact float casts.
+  of::nn::BatchNorm1d bn(1, /*momentum=*/0.1f);
+  const Tensor x = Tensor::from_vector({1.0f, 2.0f, 3.0f, 6.0f}).reshape({4, 1});
+  (void)bn.forward(x);
+
+  const double mean = (1.0 + 2.0 + 3.0 + 6.0) / 4.0;  // 3.0
+  double var = 0.0;
+  for (const double v : {1.0, 2.0, 3.0, 6.0}) var += (v - mean) * (v - mean);
+  var /= 4.0;                                 // biased: 3.5
+  const double unbiased = var * 4.0 / 3.0;    // unbiased: 14/3
+  const float expect_mean = 0.9f * 0.0f + 0.1f * static_cast<float>(mean);
+  const float expect_var = 0.9f * 1.0f + 0.1f * static_cast<float>(unbiased);
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], expect_mean);
+  EXPECT_FLOAT_EQ(bn.running_var()[0], expect_var);
+}
+
 TEST(BatchNorm, ParamsTaggedForFedBN) {
   Rng rng(15);
   of::nn::BatchNorm1d bn(2);

@@ -8,8 +8,10 @@
 #include "compression/quantize.hpp"
 #include "compression/sparsify.hpp"
 #include "config/yaml.hpp"
+#include "core/engine.hpp"
 #include "core/payload.hpp"
 #include "data/partition.hpp"
+#include "exec/pool.hpp"
 #include "privacy/biguint.hpp"
 #include "privacy/he.hpp"
 #include "privacy/secure_agg.hpp"
@@ -205,5 +207,51 @@ TEST_P(SeedSweep, PartitionsAlwaysCoverExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// --- end-to-end execution determinism ---------------------------------------------------
+
+// The of::exec contract (DESIGN.md §8): chunk decomposition depends only on
+// (size, grain), reductions always fold partials in fixed chunk order, and
+// parallel aggregation preserves per-coordinate frame order. Consequence: the
+// entire federated run — final model bytes AND the metric trace — is bitwise
+// identical whether the pool has 1 thread or 4.
+TEST(ExecDeterminism, FullRunBitwiseIdenticalAcrossThreadCounts) {
+  const auto run_with_threads = [](std::int64_t threads) {
+    ConfigNode cfg = of::config::parse_yaml(R"(
+seed: 7
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 4
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 3
+  local_epochs: 1
+  lr: 0.05
+  momentum: 0.9
+  weight_decay: 1.0e-4
+eval_every: 1
+)");
+    cfg.set_path("exec.threads", ConfigNode::integer(threads));
+    of::core::Engine engine(std::move(cfg));
+    return engine.run();
+  };
+
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  of::exec::Pool::global().configure(1);  // leave later tests serial
+
+  ASSERT_FALSE(serial.final_model_bytes.empty());
+  ASSERT_EQ(serial.final_model_bytes.size(), parallel.final_model_bytes.size());
+  EXPECT_TRUE(serial.final_model_bytes == parallel.final_model_bytes)
+      << "final model diverged between threads=1 and threads=4";
+  EXPECT_EQ(serial.to_metrics_csv(), parallel.to_metrics_csv());
+}
 
 }  // namespace
