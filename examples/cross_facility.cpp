@@ -2,18 +2,38 @@
 // — fast MPI-style collectives inside each site, a slow gRPC-style WAN star
 // between site leaders, and compression applied only to the WAN link.
 //
-//   ./cross_facility [groups] [group_size] [rounds]
+//   ./cross_facility [groups] [group_size] [rounds] [--trace base.json]
+//
+// `--trace <path>` records the run and, because a multi-site trace is most
+// useful per node, also writes one Chrome-trace file per node named
+// <path>.rank<N>.json next to the combined <path>.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "config/yaml.hpp"
 #include "core/engine.hpp"
 
 int main(int argc, char** argv) {
   try {
-    const int groups = argc > 1 ? std::atoi(argv[1]) : 2;
-    const int group_size = argc > 2 ? std::atoi(argv[2]) : 3;
-    const int rounds = argc > 3 ? std::atoi(argv[3]) : 5;
+    std::string trace_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << "error: --trace requires a path argument\n";
+          return 1;
+        }
+        trace_path = argv[++i];
+      } else {
+        args.emplace_back(argv[i]);
+      }
+    }
+    const int groups = args.size() > 0 ? std::atoi(args[0].c_str()) : 2;
+    const int group_size = args.size() > 1 ? std::atoi(args[1].c_str()) : 3;
+    const int rounds = args.size() > 2 ? std::atoi(args[2].c_str()) : 5;
 
     of::config::ConfigNode cfg = of::config::parse_yaml(R"(
 seed: 42
@@ -43,6 +63,11 @@ eval_every: 1
     cfg.set_path("topology.groups", of::config::ConfigNode::integer(groups));
     cfg.set_path("topology.group_size", of::config::ConfigNode::integer(group_size));
     cfg.set_path("algorithm.global_rounds", of::config::ConfigNode::integer(rounds));
+    if (!trace_path.empty()) {
+      cfg.set_path("obs.enabled", of::config::ConfigNode::boolean(true));
+      cfg.set_path("obs.trace_path", of::config::ConfigNode::string(trace_path));
+      cfg.set_path("obs.split_trace_per_node", of::config::ConfigNode::boolean(true));
+    }
 
     of::core::Engine engine(std::move(cfg));
     std::cout << "cross-facility run: " << groups << " sites x " << group_size
@@ -57,6 +82,9 @@ eval_every: 1
               << "volume/round: inner=" << result.inner_comm.bytes_sent / rounds / 1024
               << "KB outer=" << result.outer_comm.bytes_sent / rounds / 1024 << "KB\n"
               << result.summary() << '\n';
+    if (!trace_path.empty())
+      std::cout << "traces written to " << trace_path << " and " << trace_path
+                << ".rank<N>.json (load at ui.perfetto.dev)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -58,10 +58,13 @@ InProcCommunicator& InProcGroup::comm(int rank) {
 }
 
 void InProcGroup::deliver(int dst, int src, int tag, Bytes payload) {
+  // Capture the sending thread's trace context here (deliver runs on the
+  // sender); the taking thread adopts it, completing the cross-thread edge.
+  Message msg{std::move(payload), obs::current_context()};
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.slots[{src, tag}].push(std::move(payload));
+    box.slots[{src, tag}].push(std::move(msg));
   }
   box.cv.notify_all();
 }
@@ -81,10 +84,11 @@ Bytes InProcGroup::take(int dst, int src, int tag, double timeout_seconds) {
                                          << "s for (src=" << src << ", tag=" << tag
                                          << ") — collective-order mismatch?");
   auto it = box.slots.find(key);
-  Bytes b = std::move(it->second.front());
+  Message msg = std::move(it->second.front());
   it->second.pop();
   if (it->second.empty()) box.slots.erase(it);
-  return b;
+  obs::adopt_remote_context(msg.ctx);
+  return std::move(msg.payload);
 }
 
 std::pair<int, Bytes> InProcGroup::take_any(int dst, int tag, double timeout_seconds) {
@@ -114,10 +118,11 @@ std::optional<std::pair<int, Bytes>> InProcGroup::try_take_any(int dst, int tag,
   });
   if (!ok) return std::nullopt;
   const int src = hit->first.first;
-  Bytes b = std::move(hit->second.front());
+  Message msg = std::move(hit->second.front());
   hit->second.pop();
   if (hit->second.empty()) box.slots.erase(hit);
-  return std::make_pair(src, std::move(b));
+  obs::adopt_remote_context(msg.ctx);
+  return std::make_pair(src, std::move(msg.payload));
 }
 
 }  // namespace of::comm

@@ -17,6 +17,7 @@
 #include <queue>
 
 #include "comm/communicator.hpp"
+#include "obs/context.hpp"
 
 namespace of::comm {
 
@@ -60,10 +61,17 @@ class InProcGroup {
  private:
   friend class InProcCommunicator;
 
+  // One in-flight message: payload plus the sender's trace context, adopted
+  // by the taker so cross-thread spans stay causally linked (DESIGN.md §9).
+  struct Message {
+    Bytes payload;
+    obs::TraceContext ctx;
+  };
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<std::pair<int, int>, std::queue<Bytes>> slots;  // (src, tag) → FIFO
+    std::map<std::pair<int, int>, std::queue<Message>> slots;  // (src, tag) → FIFO
   };
 
   void deliver(int dst, int src, int tag, Bytes payload);

@@ -15,6 +15,7 @@
 
 #include "common/check.hpp"
 #include "obs/registry.hpp"
+#include "obs/scrape.hpp"
 #include "obs/trace.hpp"
 
 namespace of::comm {
@@ -36,8 +37,14 @@ obs::Histogram& tcp_frame_recv_bytes() {
   return h;
 }
 
-constexpr std::uint32_t kMagic = 0x0F5EED01u;
+constexpr std::uint32_t kMagic = 0x0F5EED02u;  // v2: header carries trace context
 constexpr int kHelloTag = -1;
+// Clock-sync control frames (DESIGN.md §9): a client ping carries an 8-byte
+// echo token; the server's reader answers immediately with pong = token +
+// its own timestamp. Negative tags sit below the user range [0, 2^20) and
+// the collective range, so pings can never alias a collective slot.
+constexpr int kPingTag = -2;
+constexpr int kPongTag = -3;
 // Upper bound on a single frame payload. Anything larger is a corrupt or
 // hostile header — reject it before allocating.
 constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;  // 1 GiB
@@ -47,12 +54,18 @@ constexpr std::size_t kMaxOutboxFrames = 128;
 // accept loop moves on (a silent connector must not stall admission).
 constexpr double kHelloTimeoutSeconds = 10.0;
 
+// Wire header v2 — 40 bytes, naturally aligned, no padding. Mirrored by
+// tests/test_comm.cpp; keep the two in lockstep.
 struct FrameHeader {
   std::uint32_t magic;
   std::int32_t src;
   std::int32_t tag;
+  std::uint32_t round;
   std::uint64_t len;
+  std::uint64_t trace_id;
+  std::uint64_t span_id;
 };
+static_assert(sizeof(FrameHeader) == 40, "frame header must stay packed");
 
 bool read_exact(int fd, void* buf, std::size_t n) {
   auto* p = static_cast<std::uint8_t*>(buf);
@@ -112,6 +125,36 @@ int connect_once(const sockaddr_in& addr) {
   }
   set_nodelay(fd);
   return fd;
+}
+
+void put_le64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Serve one read-only HTTP GET on a freshly accepted socket. The accept
+// loop has already consumed the 4 sniff bytes ("GET "), so the stream
+// resumes at the request path. SO_RCVTIMEO (hello budget) still applies, so
+// a stalled client can't wedge admission for longer than that.
+void serve_http_get(int fd) {
+  std::string req;
+  char buf[512];
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    req.append(buf, static_cast<std::size_t>(r));
+  }
+  std::size_t end = req.find(' ');
+  if (end == std::string::npos) end = req.find('\r');
+  const std::string path = end == std::string::npos ? req : req.substr(0, end);
+  const std::string resp = obs::render_http(obs::handle_scrape(path));
+  (void)write_exact(fd, resp.data(), resp.size());
 }
 
 }  // namespace
@@ -194,7 +237,7 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string&
   }
   OF_CHECK_MSG(fd >= 0, "connect() to " << host << ':' << port << " failed");
   // Hello frame announces our rank.
-  FrameHeader h{kMagic, rank, kHelloTag, 0};
+  FrameHeader h{kMagic, rank, kHelloTag, 0, 0, 0, 0};
   if (!write_exact(fd, &h, sizeof(h))) {
     ::close(fd);
     OF_CHECK_MSG(false, "client hello write to " << host << ':' << port << " failed");
@@ -245,8 +288,19 @@ void TcpCommunicator::accept_loop() {
     }
     set_nodelay(fd);
     set_recv_timeout_opt(fd, kHelloTimeoutSeconds);
+    // Sniff the first 4 bytes before committing to a frame header: a
+    // plain-text "GET " is an HTTP scrape of the obs registry (served and
+    // closed, never admitted as a peer), anything else must be a hello.
+    std::uint8_t head[sizeof(FrameHeader)];
+    bool got_hello = read_exact(fd, head, 4);
+    if (got_hello && std::memcmp(head, "GET ", 4) == 0) {
+      serve_http_get(fd);
+      ::close(fd);
+      continue;
+    }
+    if (got_hello) got_hello = read_exact(fd, head + 4, sizeof(head) - 4);
     FrameHeader h{};
-    const bool got_hello = read_exact(fd, &h, sizeof(h));
+    if (got_hello) std::memcpy(&h, head, sizeof(h));
     std::string err;
     if (!got_hello)
       err = "client hello read failed";
@@ -333,11 +387,30 @@ void TcpCommunicator::read_frames(int peer_rank, int fd) {
     if (h.len > kMaxFrameBytes) return;                // absurd length → drop link
     Bytes payload(h.len);
     if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
+    if (h.tag == kPingTag && rank_ == 0) {
+      // Clock-sync ping: answer from the reader itself so the sample never
+      // waits behind application recvs. Payload: echo token + our clock
+      // (trace timebase), plus the injectable test skew.
+      if (payload.size() != 8) return;  // malformed control frame → drop link
+      Bytes pong;
+      pong.reserve(16);
+      put_le64(pong, get_le64(payload.data()));
+      const std::int64_t server_ns =
+          static_cast<std::int64_t>(obs::TraceRecorder::global().now_ns()) +
+          pong_skew_ns_.load(std::memory_order_relaxed);
+      put_le64(pong, static_cast<std::uint64_t>(server_ns));
+      Peer& p = peer(peer_rank);
+      std::lock_guard<std::mutex> lock(p.mu);
+      if (p.up && p.fd >= 0)
+        (void)write_frame_locked(p, kPongTag, ConstByteSpan(pong), {});
+      continue;
+    }
     tcp_frame_recv_bytes().observe(h.len);
     obs::instant(obs::Name::TcpRecv, rank_, 0, h.len);
     {
       std::lock_guard<std::mutex> lock(inbox_mu_);
-      inbox_[{peer_rank, h.tag}].push(std::move(payload));
+      inbox_[{peer_rank, h.tag}].push(
+          Inbound{std::move(payload), obs::TraceContext{h.trace_id, h.span_id, h.round}});
     }
     inbox_cv_.notify_all();
   }
@@ -366,7 +439,7 @@ int TcpCommunicator::client_reconnect() {
     backoff = std::min(backoff * 2.0, ft_.backoff_max_seconds);
     const int fd = connect_once(addr);
     if (fd < 0) continue;
-    FrameHeader h{kMagic, rank_, kHelloTag, 0};
+    FrameHeader h{kMagic, rank_, kHelloTag, 0, 0, 0, 0};
     if (!write_exact(fd, &h, sizeof(h))) {
       ::close(fd);
       continue;
@@ -388,8 +461,9 @@ int TcpCommunicator::client_reconnect() {
   return -1;
 }
 
-bool TcpCommunicator::write_frame_locked(Peer& p, int tag, ConstByteSpan payload) {
-  FrameHeader h{kMagic, rank_, tag, payload.size()};
+bool TcpCommunicator::write_frame_locked(Peer& p, int tag, ConstByteSpan payload,
+                                         const obs::TraceContext& ctx) {
+  FrameHeader h{kMagic, rank_, tag, ctx.round, payload.size(), ctx.trace_id, ctx.span_id};
   // One frame = header + payload under the peer lock so concurrent senders
   // cannot interleave. Scatter I/O sends both pieces in one syscall without
   // building a combined buffer; sendmsg rather than writev so MSG_NOSIGNAL
@@ -425,7 +499,8 @@ bool TcpCommunicator::write_frame_locked(Peer& p, int tag, ConstByteSpan payload
   return true;
 }
 
-void TcpCommunicator::queue_frame_locked(Peer& p, int tag, ConstByteSpan payload) {
+void TcpCommunicator::queue_frame_locked(Peer& p, int tag, ConstByteSpan payload,
+                                         const obs::TraceContext& ctx) {
   if (p.outbox.size() >= kMaxOutboxFrames) {
     p.outbox.pop_front();  // oldest frame is the stalest — sacrifice it
     frames_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -433,13 +508,13 @@ void TcpCommunicator::queue_frame_locked(Peer& p, int tag, ConstByteSpan payload
   }
   // The outbox outlives the caller's view, so this is the one place the
   // span is copied into an owned buffer.
-  p.outbox.emplace_back(tag, Bytes(payload.begin(), payload.end()));
+  p.outbox.push_back(Frame{tag, Bytes(payload.begin(), payload.end()), ctx});
 }
 
 void TcpCommunicator::flush_outbox_locked(Peer& p) {
   while (!p.outbox.empty()) {
-    auto& [tag, payload] = p.outbox.front();
-    if (!write_frame_locked(p, tag, payload)) {
+    Frame& f = p.outbox.front();
+    if (!write_frame_locked(p, f.tag, f.payload, f.ctx)) {
       p.up = false;  // link died again mid-flush; keep the rest queued
       return;
     }
@@ -449,24 +524,71 @@ void TcpCommunicator::flush_outbox_locked(Peer& p) {
 
 void TcpCommunicator::send_bytes(int dst, int tag, ConstByteSpan payload) {
   obs::ScopedSpan span(obs::Name::TcpSend, rank_, 0, payload.size());
+  // Capture the sender's context outside the peer lock; one relaxed load
+  // when tracing is off.
+  const obs::TraceContext ctx = obs::current_context();
   Peer& p = peer(dst);
   std::lock_guard<std::mutex> lock(p.mu);
   if (!p.up) {
     OF_CHECK_MSG(ft_.enabled, "TCP link from rank " << rank_ << " to rank " << dst
                                                     << " is down");
-    queue_frame_locked(p, tag, payload);
+    queue_frame_locked(p, tag, payload, ctx);
     account_send(payload.size());
     return;
   }
-  if (!write_frame_locked(p, tag, payload)) {
+  if (!write_frame_locked(p, tag, payload, ctx)) {
     // The stream broke mid-frame; the receiver resyncs from scratch on the
     // next connection, so replaying the whole frame is safe.
     p.up = false;
     OF_CHECK_MSG(ft_.enabled, "TCP write to rank " << dst << " failed (errno=" << errno
                                                    << ")");
-    queue_frame_locked(p, tag, payload);
+    queue_frame_locked(p, tag, payload, ctx);
   }
   account_send(payload.size());
+}
+
+std::optional<obs::ClockSample> TcpCommunicator::ping_server(double timeout_seconds) {
+  OF_CHECK_MSG(rank_ != 0, "ping_server is a client-side operation");
+  // Distinct token per ping so a pong that outlived a timed-out earlier
+  // ping can't be mistaken for this one's answer.
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(rank_) << 48) ^
+      ping_token_.fetch_add(1, std::memory_order_relaxed);
+  Bytes ping;
+  ping.reserve(8);
+  put_le64(ping, token);
+  Peer& p = peer(0);
+  const std::int64_t t0 =
+      static_cast<std::int64_t>(obs::TraceRecorder::global().now_ns());
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (!p.up || p.fd < 0) return std::nullopt;
+    if (!write_frame_locked(p, kPingTag, ConstByteSpan(ping), {})) return std::nullopt;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  const auto key = std::make_pair(0, kPongTag);
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  for (;;) {
+    const bool ok = inbox_cv_.wait_until(lock, deadline, [&] {
+      auto it = inbox_.find(key);
+      return it != inbox_.end() && !it->second.empty();
+    });
+    if (!ok) return std::nullopt;
+    auto it = inbox_.find(key);
+    Inbound in = std::move(it->second.front());
+    it->second.pop();
+    if (it->second.empty()) inbox_.erase(it);
+    if (in.payload.size() != 16 || get_le64(in.payload.data()) != token)
+      continue;  // stale or malformed pong: discard, keep waiting
+    obs::ClockSample s;
+    s.t0_ns = t0;
+    s.server_ns = static_cast<std::int64_t>(get_le64(in.payload.data() + 8));
+    s.t1_ns = static_cast<std::int64_t>(obs::TraceRecorder::global().now_ns());
+    return s;
+  }
 }
 
 void TcpCommunicator::inject_disconnect(int peer_rank) {
@@ -503,10 +625,11 @@ Bytes TcpCommunicator::take(int src, int tag) {
   });
   OF_CHECK_MSG(ok, "TCP recv timeout waiting for (src=" << src << ", tag=" << tag << ')');
   auto it = inbox_.find(key);
-  Bytes b = std::move(it->second.front());
+  Inbound in = std::move(it->second.front());
   it->second.pop();
   if (it->second.empty()) inbox_.erase(it);
-  return b;
+  obs::adopt_remote_context(in.ctx);
+  return std::move(in.payload);
 }
 
 Bytes TcpCommunicator::recv_bytes(int src, int tag) {
@@ -534,11 +657,12 @@ std::optional<std::pair<int, Bytes>> TcpCommunicator::try_recv_bytes_any(
   });
   if (!ok) return std::nullopt;
   const int src = hit->first.first;
-  Bytes b = std::move(hit->second.front());
+  Inbound in = std::move(hit->second.front());
   hit->second.pop();
   if (hit->second.empty()) inbox_.erase(hit);
-  account_recv(b.size());
-  return std::make_pair(src, std::move(b));
+  obs::adopt_remote_context(in.ctx);
+  account_recv(in.payload.size());
+  return std::make_pair(src, std::move(in.payload));
 }
 
 std::pair<int, Bytes> TcpCommunicator::recv_bytes_any(int tag) {

@@ -2,9 +2,17 @@
 //
 // A real TCP client/server star: rank 0 is the server (aggregator-side),
 // ranks 1..P-1 connect as clients. Frames are length-prefixed binary (our
-// protocol-buffers stand-in):
+// protocol-buffers stand-in), v2 with the trace context in the header
+// (DESIGN.md §9):
 //
-//   u32 magic | i32 src | i32 tag | u64 len | payload[len]
+//   u32 magic | i32 src | i32 tag | u32 round | u64 len
+//                                 | u64 trace_id | u64 span_id | payload[len]
+//
+// Control tags live below the user/collective ranges: hello = −1,
+// clock-sync ping = −2 / pong = −3 (answered inside the server's reader,
+// never touching the collective tag window). A plain-text "GET " where a
+// frame header would be is served as a read-only HTTP scrape of the obs
+// registry/fleet (obs/scrape.hpp) and the connection closed.
 //
 // Point-to-point is only defined along star edges (server↔client), so the
 // tree/ring collective defaults are overridden with client/server
@@ -31,6 +39,8 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "obs/clocksync.hpp"
+#include "obs/context.hpp"
 
 namespace of::comm {
 
@@ -79,6 +89,20 @@ class TcpCommunicator final : public Communicator {
   // on, the client reconnects with backoff and queued frames are replayed.
   void inject_disconnect(int peer_rank = 0);
 
+  // Clock-sync ping (clients only): send a ping to the server, wait for the
+  // pong, and return the (t0, server, t1) sample for the offset estimator.
+  // Pings ride control tag −2/−3 — they never claim a collective tag, so a
+  // re-ping can interleave freely with an in-flight gather even under a
+  // shrunken tag window. Returns nullopt if the link is down or the pong
+  // doesn't arrive within the timeout.
+  std::optional<obs::ClockSample> ping_server(double timeout_seconds = 1.0);
+
+  // Test hook: skew the server's pong timestamps by `ns` so offset recovery
+  // can be exercised within one process (which shares one steady clock).
+  void set_pong_skew_for_test(std::int64_t ns) noexcept {
+    pong_skew_ns_.store(ns, std::memory_order_relaxed);
+  }
+
   // Star-topology collectives (root must be the server rank 0).
   void broadcast(Tensor& t, int root) override;
   void allreduce(Tensor& t, ReduceOp op) override;
@@ -90,13 +114,28 @@ class TcpCommunicator final : public Communicator {
   void broadcast_bytes(Bytes& b, int root) override;
 
  private:
+  // A queued-or-delivered frame: payload plus the sender's trace context
+  // (captured at send time so a replay after reconnect keeps its origin).
+  struct Frame {
+    int tag = 0;
+    Bytes payload;
+    obs::TraceContext ctx;
+  };
+
   // One star edge. `mu` guards fd/up/outbox and serializes frame writes so
   // concurrent senders cannot interleave.
   struct Peer {
     int fd = -1;
     bool up = false;
     std::mutex mu;
-    std::deque<std::pair<int, Bytes>> outbox;  // frames queued while down
+    std::deque<Frame> outbox;  // frames queued while down
+  };
+
+  // An inbox entry: the received payload and the frame header's context,
+  // adopted by the thread that takes the frame.
+  struct Inbound {
+    Bytes payload;
+    obs::TraceContext ctx;
   };
 
   TcpCommunicator(int rank, int world_size, FaultTolerance ft);
@@ -115,8 +154,10 @@ class TcpCommunicator final : public Communicator {
 
   Peer& peer(int rank);
   const Peer& peer(int rank) const;
-  bool write_frame_locked(Peer& p, int tag, ConstByteSpan payload);
-  void queue_frame_locked(Peer& p, int tag, ConstByteSpan payload);
+  bool write_frame_locked(Peer& p, int tag, ConstByteSpan payload,
+                          const obs::TraceContext& ctx);
+  void queue_frame_locked(Peer& p, int tag, ConstByteSpan payload,
+                          const obs::TraceContext& ctx);
   void flush_outbox_locked(Peer& p);
   void retire_fd(int fd);
   Bytes take(int src, int tag);
@@ -146,10 +187,12 @@ class TcpCommunicator final : public Communicator {
   std::atomic<bool> shutting_down_{false};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::int64_t> pong_skew_ns_{0};
+  std::atomic<std::uint64_t> ping_token_{0};
 
   std::mutex inbox_mu_;
   std::condition_variable inbox_cv_;
-  std::map<std::pair<int, int>, std::queue<Bytes>> inbox_;
+  std::map<std::pair<int, int>, std::queue<Inbound>> inbox_;
   double timeout_seconds_ = 60.0;
 };
 

@@ -8,6 +8,7 @@
 #include "exec/pool.hpp"
 #include "nn/zoo.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 
 namespace of::core {
 namespace {
@@ -466,6 +467,22 @@ RunResult Engine::run() {
   if (obs_cfg.enabled) {
     obs::TraceRecorder::global().reset(obs_cfg.ring_capacity);
     obs::TraceRecorder::global().set_enabled(true);
+    // Run-wide trace id, seed-derived (splitmix64) so reruns correlate.
+    std::uint64_t tid =
+        static_cast<std::uint64_t>(cfg_.get_or<std::int64_t>("seed", 42)) +
+        0x9E3779B97F4A7C15ULL;
+    tid = (tid ^ (tid >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    tid = (tid ^ (tid >> 27)) * 0x94D049BB133111EBULL;
+    tid ^= tid >> 31;
+    if (tid == 0) tid = 1;
+    obs::set_run_trace_id(tid);
+    if (obs_cfg.telemetry) {
+      obs::Fleet::global().reset(tid);
+      for (auto& s : setups) {
+        s.obs_telemetry = true;
+        s.obs_clock_sync_every = obs_cfg.clock_sync_rounds;
+      }
+    }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -553,8 +570,18 @@ RunResult Engine::run() {
 
   if (obs_cfg.enabled) {
     fold_phase_seconds(trace_events, result.rounds);
-    if (!obs_cfg.trace_path.empty())
-      obs::write_file(obs_cfg.trace_path, obs::to_chrome_trace(trace_events));
+    if (!obs_cfg.trace_path.empty()) {
+      // With the telemetry plane on, the coordinator knows each node's clock
+      // offset — emit the merged fleet trace on the coordinator timeline.
+      if (obs_cfg.telemetry)
+        obs::write_file(obs_cfg.trace_path,
+                        obs::to_chrome_trace_merged(trace_events,
+                                                    obs::Fleet::global().clock_offsets()));
+      else
+        obs::write_file(obs_cfg.trace_path, obs::to_chrome_trace(trace_events));
+      if (obs_cfg.split_trace_per_node)
+        obs::write_per_node_traces(obs_cfg.trace_path, trace_events);
+    }
     if (!obs_cfg.metrics_path.empty())
       obs::write_file(obs_cfg.metrics_path,
                       obs::to_prometheus_text(obs::Registry::global()));

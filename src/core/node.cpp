@@ -28,6 +28,22 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Aggregator side of the telemetry piggyback: strip the fixed-size tail off
+// an update frame and feed it to the fleet registry. Frames shorter than the
+// tail (the aggregator's own empty gather placeholder) pass through as-is.
+void strip_telemetry(tensor::Bytes& frame) {
+  if (frame.size() < obs::TelemetrySummary::kWireBytes) return;
+  const auto t = obs::TelemetrySummary::parse_tail(frame.data(), frame.size());
+  if (!t) return;
+  frame.resize(frame.size() - obs::TelemetrySummary::kWireBytes);
+  obs::Fleet::global().record(*t);
+}
+
+// Detach the thread-local phase sink on every exit path out of run().
+struct PhaseSinkGuard {
+  ~PhaseSinkGuard() { obs::set_phase_sink(nullptr); }
+};
+
 }  // namespace
 
 OwnedComm OwnedComm::make(const CommSpec& spec) {
@@ -78,6 +94,12 @@ NodeRuntime::NodeRuntime(NodeSetup setup) : s_(std::move(setup)), rng_(s_.seed) 
 NodeReport NodeRuntime::run() {
   OwnedComm inner = OwnedComm::make(s_.inner_spec);
   tcp_inner_ = inner.tcp.get();
+  // Telemetry rides the client→aggregator update frames, so it is only
+  // active in the modes whose aggregator strips it back off.
+  telem_on_ = s_.obs_telemetry && (s_.mode == "centralized" || s_.mode == "async");
+  PhaseSinkGuard sink_guard;
+  if (telem_on_ && s_.role == NodeRole::Trainer)
+    obs::set_phase_sink(phase_digests_.data());
   NodeReport report;
   if (s_.mode == "async") {
     report = s_.role == NodeRole::Aggregator ? run_async_aggregator(*inner.use)
@@ -123,6 +145,46 @@ void NodeRuntime::simulate_slowdown(double train_seconds_elapsed) {
   if (s_.slowdown <= 1.0) return;
   std::this_thread::sleep_for(
       std::chrono::duration<double>((s_.slowdown - 1.0) * train_seconds_elapsed));
+}
+
+void NodeRuntime::maybe_clock_sync(std::size_t round) {
+  if (!telem_on_ || tcp_inner_ == nullptr || tcp_inner_->rank() == 0) return;
+  const std::size_t every = s_.obs_clock_sync_every;
+  if (round != 0 && (every == 0 || round % every != 0)) return;
+  // A short burst at the first round, then one refresh sample per sync
+  // point; the estimator keeps the minimum-RTT sample, which carries the
+  // least queueing distortion.
+  const int samples = round == 0 ? 4 : 1;
+  for (int i = 0; i < samples; ++i)
+    if (const auto sample = tcp_inner_->ping_server()) offset_est_.add(*sample);
+}
+
+void NodeRuntime::append_telemetry(tensor::Bytes& frame, comm::Communicator& inner,
+                                   std::size_t round) {
+  if (!telem_on_) return;
+  obs::TelemetrySummary t;
+  t.trace_id = obs::run_trace_id();
+  t.rank = static_cast<std::uint32_t>(inner.rank());
+  t.round = static_cast<std::uint32_t>(round);
+  if (offset_est_.valid()) {
+    t.clock_offset_ns = offset_est_.offset_ns();
+    t.rtt_ns = offset_est_.rtt_ns();
+  }
+  const auto st = inner.stats();
+  t.bytes_sent = st.bytes_sent - telem_prev_sent_;
+  t.bytes_received = st.bytes_received - telem_prev_recv_;
+  telem_prev_sent_ = st.bytes_sent;
+  telem_prev_recv_ = st.bytes_received;
+  t.pool_hits = pool_.acquired() - pool_.created();
+  t.pool_misses = pool_.created();
+  t.reconnects = st.reconnects;
+  t.frames_dropped = st.frames_dropped;
+  t.faults_injected = telem_faults_;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    t.phases[i] = phase_digests_[i];
+    phase_digests_[i] = obs::PhaseDigest{};
+  }
+  t.serialize_to(frame);
 }
 
 void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
@@ -189,6 +251,10 @@ tensor::Tensor NodeRuntime::metrics_tensor(const algorithms::TrainStats& stats,
 NodeReport NodeRuntime::run_trainer(comm::Communicator& inner) {
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
     ScopedSpan round_span(Name::Round, s_.node_id, round);
+    // Parent this round under the aggregator span that sent the broadcast
+    // we are about to receive — the cross-node edge of the merged trace.
+    round_span.link_remote_parent();
+    maybe_clock_sync(round);
     tensor::Bytes gbytes;
     {
       ScopedSpan span(Name::Recv, s_.node_id, round);
@@ -202,6 +268,7 @@ NodeReport NodeRuntime::run_trainer(comm::Communicator& inner) {
     }
     algorithms::TrainStats stats;
     train_one_round(global, round, stats, frame_buf_);
+    append_telemetry(frame_buf_, inner, round);
     {
       ScopedSpan span(Name::Send, s_.node_id, round, frame_buf_.size());
       (void)inner.gather_bytes(frame_buf_, 0);
@@ -235,6 +302,8 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
       frames = inner.gather_bytes({}, 0);
     }
     frames.erase(frames.begin());  // drop our own empty placeholder
+    if (telem_on_)
+      for (auto& f : frames) strip_telemetry(f);
     ScopedSpan agg_span(Name::Aggregate, s_.node_id, round, frames.size());
     const auto mean =
         s_.aggregation_rule == AggregationRule::Mean
@@ -260,6 +329,16 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     rec.accuracy = acc_n > 0 ? static_cast<float>(acc_sum / acc_n) : -1.0f;
     rec.bytes_down = inner.stats().bytes_sent - bytes_sent_before;
     rec.bytes_up = inner.stats().bytes_received - bytes_recv_before;
+    if (telem_on_) {
+      obs::Fleet::RoundHealth h;
+      h.round = static_cast<std::uint32_t>(round);
+      h.participated = static_cast<std::uint32_t>(frames.size());
+      h.expected = static_cast<std::uint32_t>(inner.world_size() - 1);
+      h.bytes_up = rec.bytes_up;
+      h.bytes_down = rec.bytes_down;
+      h.seconds = rec.seconds;
+      obs::Fleet::global().record_round(h);
+    }
     report.rounds.push_back(rec);
   }
   report.final_model = pack_tensors(state.global);
@@ -280,6 +359,8 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
                                              s_.fault.quorum_timeout_seconds};
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
     ScopedSpan round_span(Name::Round, s_.node_id, round);
+    round_span.link_remote_parent();
+    maybe_clock_sync(round);
     tensor::Bytes gbytes;
     {
       ScopedSpan span(Name::Recv, s_.node_id, round);
@@ -288,6 +369,7 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
     }
     const auto decision = injector.at_round(static_cast<int>(round));
     if (decision.crash) return NodeReport{};  // device powers off mid-run
+    if (decision.disconnect || decision.extra_delay_seconds > 0.0) ++telem_faults_;
     std::vector<tensor::Tensor> global;
     {
       ScopedSpan span(Name::Decode, s_.node_id, round, gbytes.size());
@@ -316,6 +398,7 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
     combined.insert(combined.end(), frame.begin(), frame.end());
     const tensor::Bytes mbytes = tensor::serialize_tensor(metrics_tensor(stats, round));
     combined.insert(combined.end(), mbytes.begin(), mbytes.end());
+    append_telemetry(combined, inner, round);
     {
       ScopedSpan span(Name::Send, s_.node_id, round, combined.size());
       (void)comm::star::gather_bytes_partial(inner, combined, opt);
@@ -362,21 +445,34 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
     const std::size_t np = partial.participated.size();
     std::vector<tensor::Bytes> frames(np);
     std::vector<tensor::Tensor> pmetrics(np);
+    std::vector<obs::TelemetrySummary> telem(np);
+    std::vector<char> telem_ok(np, 0);
     exec::Pool::global().parallel_for(np, 1, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t idx = lo; idx < hi; ++idx) {
         const int p = partial.participated[idx];
         const tensor::Bytes& combined = partial.frames[static_cast<std::size_t>(p)];
         std::size_t off = 0;
         const auto ulen = tensor::read_pod<std::uint64_t>(combined, off);
-        OF_CHECK_MSG(off + ulen <= combined.size(),
+        std::size_t end = combined.size();
+        if (telem_on_) {
+          if (const auto t = obs::TelemetrySummary::parse_tail(combined.data(), end)) {
+            telem[idx] = *t;
+            telem_ok[idx] = 1;
+            end -= obs::TelemetrySummary::kWireBytes;
+          }
+        }
+        OF_CHECK_MSG(off + ulen <= end,
                      "fault-mode frame from rank " << p << " truncated");
         frames[idx].assign(combined.begin() + static_cast<std::ptrdiff_t>(off),
                            combined.begin() + static_cast<std::ptrdiff_t>(off + ulen));
         const tensor::Bytes mbytes(
-            combined.begin() + static_cast<std::ptrdiff_t>(off + ulen), combined.end());
+            combined.begin() + static_cast<std::ptrdiff_t>(off + ulen),
+            combined.begin() + static_cast<std::ptrdiff_t>(end));
         pmetrics[idx] = tensor::deserialize_tensor(mbytes);
       }
     });
+    for (std::size_t idx = 0; idx < np; ++idx)
+      if (telem_ok[idx]) obs::Fleet::global().record(telem[idx]);
     double loss_sum = 0.0, steps = 0.0, acc_sum = 0.0, acc_n = 0.0;
     double weight_sum = 0.0;
     int contributing = 0;
@@ -425,6 +521,18 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
     rec.dropped_ranks = partial.dropped;
     rec.deadline_hit = partial.deadline_hit;
     rec.reconnects = inner.stats().reconnects;
+    if (telem_on_) {
+      obs::Fleet::RoundHealth h;
+      h.round = static_cast<std::uint32_t>(round);
+      h.participated = static_cast<std::uint32_t>(partial.participated.size());
+      h.expected = static_cast<std::uint32_t>(inner.world_size() - 1);
+      h.dropped = partial.dropped;
+      h.deadline_hit = partial.deadline_hit;
+      h.bytes_up = rec.bytes_up;
+      h.bytes_down = rec.bytes_down;
+      h.seconds = rec.seconds;
+      obs::Fleet::global().record_round(h);
+    }
     report.rounds.push_back(rec);
   }
   report.final_model = pack_tensors(state.global);
@@ -558,6 +666,7 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
     auto [src, frame] = inner.recv_bytes_any(kAsyncUpdate);
     recv_span.set_arg(frame.size());
     recv_span.end();
+    if (telem_on_) strip_telemetry(frame);
     ScopedSpan decode_span(Name::Decode, s_.node_id, trace_round, frame.size());
     auto decoded = decode_update(frame, s_.compressor.get());
     decode_span.end();
@@ -600,6 +709,14 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
       // round reports staleness (not just the final one). The last record
       // therefore carries the whole-run mean.
       rec.mean_staleness = staleness_sum / static_cast<double>(done + 1);
+      if (telem_on_) {
+        obs::Fleet::RoundHealth h;
+        h.round = static_cast<std::uint32_t>(rec.round);
+        h.participated = static_cast<std::uint32_t>(clients);
+        h.expected = static_cast<std::uint32_t>(clients);
+        h.seconds = rec.seconds;
+        obs::Fleet::global().record_round(h);
+      }
       report.rounds.push_back(rec);
       trace_round = report.rounds.size();
       loss_sum = steps_sum = 0.0;
@@ -627,6 +744,7 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
   std::size_t round = 0;
   algorithms::TrainStats last_stats;
   for (;;) {
+    maybe_clock_sync(round);
     ScopedSpan recv_span(Name::Recv, s_.node_id, round);
     const tensor::Bytes frame = inner.recv_bytes(0, kAsyncModel);
     recv_span.set_arg(frame.size());
@@ -682,6 +800,7 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
                          s_.cohort_size, pool_, frame_buf_);
       span.set_arg(frame_buf_.size());
     }
+    append_telemetry(frame_buf_, inner, round);
     {
       ScopedSpan span(Name::Send, s_.node_id, round, frame_buf_.size());
       inner.send_bytes(0, kAsyncUpdate, frame_buf_);

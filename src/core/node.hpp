@@ -7,6 +7,7 @@
 // blocks in accept until its clients connect), from a CommSpec.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,6 +22,8 @@
 #include "core/topology.hpp"
 #include "data/loader.hpp"
 #include "fault/fault.hpp"
+#include "obs/clocksync.hpp"
+#include "obs/telemetry.hpp"
 
 namespace of::core {
 
@@ -102,6 +105,15 @@ struct NodeSetup {
   std::unique_ptr<compression::Compressor> outer_compressor;  // leader→root link
   std::unique_ptr<privacy::PrivacyMechanism> privacy;
 
+  // Distributed telemetry plane (obs/, DESIGN.md §9): trainers piggyback a
+  // per-round summary on each update frame (stripped server-side before
+  // decode, so training state never sees it) and ping the coordinator clock
+  // every `obs_clock_sync_every` rounds. Engine-set from the obs config on
+  // every node, so both ends of a link agree on the framing. Active in
+  // centralized and async modes.
+  bool obs_telemetry = false;
+  std::size_t obs_clock_sync_every = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -140,6 +152,12 @@ class NodeRuntime {
   bool selected_this_round(std::size_t round) const;
   // Inject the configured compute slowdown for `train_seconds` of real work.
   void simulate_slowdown(double train_seconds_elapsed);
+  // Telemetry plane (telem_on_ only): ping the coordinator clock if this
+  // round is a sync point, and append this round's summary to an outgoing
+  // update frame (resets the running phase digests).
+  void maybe_clock_sync(std::size_t round);
+  void append_telemetry(tensor::Bytes& frame, comm::Communicator& inner,
+                        std::size_t round);
 
   NodeSetup s_;
   algorithms::TrainContext ctx_;
@@ -153,6 +171,16 @@ class NodeRuntime {
   // Raw TCP transport under the inner communicator, when that is the
   // backend — the target of transport-level fault injections.
   comm::TcpCommunicator* tcp_inner_ = nullptr;
+
+  // Telemetry plane state (see NodeSetup::obs_telemetry). Digests are fed
+  // by ScopedSpan through the thread-local phase sink; byte counters hold
+  // the previous round's comm totals so each summary carries round deltas.
+  bool telem_on_ = false;
+  std::array<obs::PhaseDigest, obs::kPhaseCount> phase_digests_{};
+  obs::OffsetEstimator offset_est_;
+  std::uint64_t telem_prev_sent_ = 0;
+  std::uint64_t telem_prev_recv_ = 0;
+  std::uint64_t telem_faults_ = 0;
 };
 
 }  // namespace of::core

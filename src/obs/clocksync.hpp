@@ -1,0 +1,56 @@
+// of::obs clock alignment — NTP-style offset estimation between a client's
+// steady clock and the coordinator's (DESIGN.md §9).
+//
+// Each ping yields one sample: the client stamps t0, the coordinator
+// answers with its own timestamp s, the client stamps t1 on receipt.
+// Assuming the network delay is symmetric, the coordinator read its clock
+// at the client-time midpoint (t0 + t1) / 2, so
+//
+//     offset = (t0 + t1) / 2 − s        (client clock − server clock)
+//
+// Asymmetric queuing skews the estimate by at most half the round-trip
+// jitter, so the estimator keeps the sample with the smallest RTT — the
+// one that spent the least time in queues (min-RTT filter, the classic
+// NTP/PTP trick). Offsets feed the trace merge: subtracting a node's
+// offset from its event timestamps lands them on the coordinator timeline.
+#pragma once
+
+#include <cstdint>
+
+namespace of::obs {
+
+// One ping/pong measurement, all in nanoseconds. t0/t1 are client steady
+// clock (TraceRecorder::now_ns timebase); server_ns is the coordinator's.
+struct ClockSample {
+  std::int64_t t0_ns = 0;      // client: just before the ping left
+  std::int64_t server_ns = 0;  // coordinator: when it answered
+  std::int64_t t1_ns = 0;      // client: when the pong arrived
+};
+
+class OffsetEstimator {
+ public:
+  // Feed one sample; kept only if its RTT beats the best so far. Samples
+  // with negative RTT (reordered or bogus) are dropped.
+  void add(const ClockSample& s) noexcept {
+    const std::int64_t rtt = s.t1_ns - s.t0_ns;
+    if (rtt < 0) return;
+    if (!valid_ || rtt < best_rtt_ns_) {
+      valid_ = true;
+      best_rtt_ns_ = rtt;
+      // Average first to keep the midpoint exact in integer math.
+      offset_ns_ = (s.t0_ns / 2 + s.t1_ns / 2 + (s.t0_ns % 2 + s.t1_ns % 2) / 2) - s.server_ns;
+    }
+  }
+
+  bool valid() const noexcept { return valid_; }
+  // Client clock minus coordinator clock, from the min-RTT sample.
+  std::int64_t offset_ns() const noexcept { return offset_ns_; }
+  std::int64_t rtt_ns() const noexcept { return best_rtt_ns_; }
+
+ private:
+  bool valid_ = false;
+  std::int64_t best_rtt_ns_ = 0;
+  std::int64_t offset_ns_ = 0;
+};
+
+}  // namespace of::obs

@@ -1,0 +1,101 @@
+// of::obs trace context — the per-thread state that turns isolated spans
+// into a causally linked distributed trace (DESIGN.md §9).
+//
+// Every run gets one 64-bit trace id; every armed ScopedSpan gets a span id
+// unique within the process (`lane << 32 | seq`, never zero). Spans form an
+// intra-thread parent chain through a thread-local stack; cross-node edges
+// are carried by TraceContext — the comm layer stamps current_context()
+// into each outgoing frame header and calls adopt_remote_context() on
+// receipt, so a client round span can name the server span that triggered
+// it as its parent (ScopedSpan::link_remote_parent()).
+//
+// This header holds only plain data and thread-local state; the span API
+// that consumes it lives in trace.hpp. Nothing here allocates, and the
+// whole mechanism is inert (all-zero contexts) while tracing is disabled.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace of::obs {
+
+// What travels in a comm frame header: enough to attach the receiver's
+// spans to the sender's. All-zero means "no context" (tracing disabled or
+// a sender that predates the field).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint32_t round = 0;
+};
+
+// Per-phase running digest a client piggybacks to the coordinator: how many
+// spans of this phase ran, their total and max duration. Cheap enough to
+// update inline in ScopedSpan::end() on the enabled path.
+struct PhaseDigest {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+// The five round-loop phases a telemetry summary digests (subset of Name).
+inline constexpr std::size_t kPhaseCount = 5;
+const char* phase_label(std::size_t i);  // "train", "encode", "send", "recv", "decode"
+
+namespace detail {
+
+// Lane counter for span-id allocation: each recording thread claims one
+// 32-bit lane, then counts sequentially within it. Ids are unique within
+// the process and never zero.
+inline std::atomic<std::uint32_t> g_span_lanes{0};
+
+struct ThreadTraceState {
+  std::uint64_t current_span = 0;  // innermost open span on this thread
+  std::uint64_t remote_span = 0;   // last adopted cross-node parent
+  std::uint64_t remote_trace = 0;
+  std::uint32_t current_round = 0;
+  std::uint64_t next_seq = 0;
+  std::uint32_t lane = 0;                   // claimed lazily on first span
+  PhaseDigest* phase_sink = nullptr;        // array[kPhaseCount] or nullptr
+};
+
+inline ThreadTraceState& tls() noexcept {
+  thread_local ThreadTraceState st;
+  return st;
+}
+
+inline std::uint64_t new_span_id(ThreadTraceState& st) noexcept {
+  if (st.lane == 0)
+    st.lane = g_span_lanes.fetch_add(1, std::memory_order_relaxed) + 1;
+  return (static_cast<std::uint64_t>(st.lane) << 32) | ++st.next_seq;
+}
+
+inline std::atomic<std::uint64_t> g_run_trace_id{0};
+
+}  // namespace detail
+
+// The run-wide trace id, set by the Engine before node threads start.
+inline void set_run_trace_id(std::uint64_t id) noexcept {
+  detail::g_run_trace_id.store(id, std::memory_order_relaxed);
+}
+inline std::uint64_t run_trace_id() noexcept {
+  return detail::g_run_trace_id.load(std::memory_order_relaxed);
+}
+
+// Remember a received frame's context as the pending cross-node parent for
+// this thread. A zero span id (no context) is ignored.
+inline void adopt_remote_context(const TraceContext& ctx) noexcept {
+  if (ctx.span_id == 0) return;
+  auto& st = detail::tls();
+  st.remote_span = ctx.span_id;
+  st.remote_trace = ctx.trace_id;
+}
+
+// Point this thread's span digests at `sink` (an array of kPhaseCount
+// slots), or detach with nullptr. The digests are only touched on the
+// enabled tracing path; training state never reads them.
+inline void set_phase_sink(PhaseDigest* sink) noexcept {
+  detail::tls().phase_sink = sink;
+}
+
+}  // namespace of::obs

@@ -1,7 +1,12 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -17,10 +22,43 @@ void append_us(std::ostringstream& os, std::uint64_t ns) {
      << static_cast<char>('0' + frac % 10);
 }
 
+// Signed variant for offset-corrected timestamps, which can land before the
+// coordinator epoch (a client clock running ahead).
+void append_us_signed(std::ostringstream& os, std::int64_t ns) {
+  if (ns < 0) {
+    os << '-';
+    ns = -ns;
+  }
+  append_us(os, static_cast<std::uint64_t>(ns));
+}
+
 std::string prom_name(const std::string& name) {
   std::string out = "of_";
   for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
   return out;
+}
+
+// Chrome pid used for events that are not node-scoped (node == -1) in the
+// merged fleet trace.
+constexpr int kSharedPid = 9999;
+
+void append_event_json(std::ostringstream& os, const TraceEvent& e, int pid,
+                       std::int64_t ts_ns, bool truncated) {
+  os << "\n{\"name\":\"" << to_string(e.name) << "\",\"cat\":\"" << category(e.name)
+     << "\",\"ph\":\"" << (e.dur_ns > 0 ? 'X' : 'i') << "\",\"ts\":";
+  append_us_signed(os, ts_ns);
+  if (e.dur_ns > 0) {
+    os << ",\"dur\":";
+    append_us(os, e.dur_ns);
+  } else {
+    os << ",\"s\":\"t\"";  // instant scope: thread
+  }
+  os << ",\"pid\":" << pid << ",\"tid\":" << e.tid << ",\"args\":{\"node\":" << e.node
+     << ",\"round\":" << e.round << ",\"arg\":" << e.arg;
+  if (e.span_id != 0) os << ",\"id\":" << e.span_id;
+  if (e.parent_span != 0) os << ",\"parent\":" << e.parent_span;
+  if (truncated) os << ",\"truncated\":1";
+  os << "}}";
 }
 
 }  // namespace
@@ -32,20 +70,111 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& e : events) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"" << to_string(e.name) << "\",\"cat\":\"" << category(e.name)
-       << "\",\"ph\":\"" << (e.dur_ns > 0 ? 'X' : 'i') << "\",\"ts\":";
-    append_us(os, e.ts_ns);
-    if (e.dur_ns > 0) {
-      os << ",\"dur\":";
-      append_us(os, e.dur_ns);
-    } else {
-      os << ",\"s\":\"t\"";  // instant scope: thread
-    }
-    os << ",\"pid\":0,\"tid\":" << e.tid << ",\"args\":{\"node\":" << e.node
-       << ",\"round\":" << e.round << ",\"arg\":" << e.arg << "}}";
+    append_event_json(os, e, 0, static_cast<std::int64_t>(e.ts_ns), false);
   }
   os << "\n]\n";
   return os.str();
+}
+
+std::string to_chrome_trace_merged(const std::vector<TraceEvent>& events,
+                                   const std::map<int, std::int64_t>& offsets_ns) {
+  const auto offset_of = [&](int node) -> std::int64_t {
+    const auto it = offsets_ns.find(node);
+    return it == offsets_ns.end() ? 0 : it->second;
+  };
+  const auto pid_of = [](int node) { return node >= 0 ? node : kSharedPid; };
+
+  // Per-(node, round) bookkeeping over node-category span events: did a
+  // round span close, and what window did the phases cover?
+  struct Group {
+    bool has_round = false;
+    bool any_phase = false;
+    std::uint64_t min_ts = ~0ull;
+    std::uint64_t max_end = 0;
+    std::uint32_t tid = 0;
+  };
+  std::map<std::pair<int, std::uint32_t>, Group> groups;
+  std::set<int> pids;
+  for (const TraceEvent& e : events) {
+    pids.insert(pid_of(e.node));
+    if (e.node < 0 || std::strcmp(category(e.name), "node") != 0) continue;
+    Group& g = groups[{e.node, e.round}];
+    if (e.name == Name::Round) {
+      g.has_round = true;
+      continue;
+    }
+    if (e.dur_ns == 0) continue;
+    if (!g.any_phase) g.tid = e.tid;
+    g.any_phase = true;
+    g.min_ts = std::min(g.min_ts, e.ts_ns);
+    g.max_end = std::max(g.max_end, e.ts_ns + e.dur_ns);
+  }
+
+  struct Item {
+    TraceEvent e;
+    bool truncated = false;
+  };
+  std::vector<Item> items;
+  items.reserve(events.size() + groups.size());
+  for (const TraceEvent& e : events) items.push_back({e, false});
+  for (const auto& [key, g] : groups) {
+    if (g.has_round || !g.any_phase) continue;
+    // A round that recorded phases but never closed its enclosing span —
+    // deadline-cut straggler, crash, or ring overflow. Synthesize the
+    // envelope so the viewer still nests its phases.
+    TraceEvent r;
+    r.name = Name::Round;
+    r.node = key.first;
+    r.round = key.second;
+    r.tid = g.tid;
+    r.ts_ns = g.min_ts;
+    r.dur_ns = std::max<std::uint64_t>(1, g.max_end - g.min_ts);
+    items.push_back({r, true});
+  }
+
+  const auto corrected = [&](const TraceEvent& e) {
+    return static_cast<std::int64_t>(e.ts_ns) - offset_of(e.node);
+  };
+  std::stable_sort(items.begin(), items.end(), [&](const Item& a, const Item& b) {
+    return corrected(a.e) < corrected(b.e);
+  });
+
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (int pid : pids) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"";
+    if (pid == kSharedPid)
+      os << "shared";
+    else
+      os << "node " << pid;
+    os << "\"}}";
+  }
+  for (const Item& it : items) {
+    if (!first) os << ",";
+    first = false;
+    append_event_json(os, it.e, pid_of(it.e.node), corrected(it.e), it.truncated);
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+void write_per_node_traces(const std::string& base,
+                           const std::vector<TraceEvent>& events) {
+  std::map<int, std::vector<TraceEvent>> by_node;
+  for (const TraceEvent& e : events) by_node[e.node].push_back(e);
+  for (const auto& [node, node_events] : by_node) {
+    std::ostringstream path;
+    path << base;
+    if (node >= 0)
+      path << ".rank" << node << ".json";
+    else
+      path << ".shared.json";
+    write_file(path.str(), to_chrome_trace(node_events));
+  }
 }
 
 std::string to_prometheus_text(const Registry& registry) {
@@ -87,6 +216,27 @@ std::string to_event_csv(const std::vector<TraceEvent>& events) {
     os << e.ts_ns << ',' << e.dur_ns << ',' << e.tid << ',' << e.node << ',' << e.round
        << ',' << category(e.name) << ',' << to_string(e.name) << ',' << e.arg << '\n';
   }
+  return os.str();
+}
+
+std::string prom_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
   return os.str();
 }
 

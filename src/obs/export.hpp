@@ -12,6 +12,8 @@
 // after a drain, never on the record path.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,7 +25,24 @@ namespace of::obs {
 // Chrome trace-event JSON (the "JSON array format"): complete events
 // (ph "X") for spans, instant events (ph "i") for dur == 0. Timestamps are
 // microseconds with nanosecond precision; tid is the recording ring id.
+// Span/parent ids are emitted as args only when nonzero.
 std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+// Fleet-merged Chrome trace: one Chrome `pid` per federation node (shared,
+// non-node-scoped events land on pid 9999), each node's timestamps shifted
+// by its clock offset (`offsets_ns[node]`, client − coordinator, from the
+// ping handshake) onto the coordinator timeline. Rounds that have phase
+// spans but never closed a round span — a client cut by the fault deadline
+// mid-round, or a ring overflow — get a synthesized enclosing round span
+// tagged args.truncated=1 so every round stays well-formed in the viewer.
+std::string to_chrome_trace_merged(const std::vector<TraceEvent>& events,
+                                   const std::map<int, std::int64_t>& offsets_ns);
+
+// Write one single-node Chrome trace per federation node next to `base`:
+// "<base>.rank<N>.json" (and "<base>.shared.json" for node −1 events), so
+// multi-node runs don't clobber a single output file.
+void write_per_node_traces(const std::string& base,
+                           const std::vector<TraceEvent>& events);
 
 // Prometheus text exposition format, version 0.0.4. Instrument names are
 // prefixed "of_" and dots become underscores ("tcp.reconnects" →
@@ -32,6 +51,15 @@ std::string to_prometheus_text(const Registry& registry);
 
 // One CSV row per event: ts_ns,dur_ns,tid,node,round,category,name,arg.
 std::string to_event_csv(const std::vector<TraceEvent>& events);
+
+// Prometheus label-value escaping (text exposition 0.0.4): backslash,
+// double-quote and newline become \\, \" and \n.
+std::string prom_escape_label(const std::string& value);
+
+// Format a sample value for exposition; non-finite values (NaN/Inf — e.g. a
+// hit rate over zero acquires) are emitted as 0 per our "never emit NaN"
+// rule rather than poisoning the scrape.
+std::string prom_double(double v);
 
 // Write `content` to `path`; throws (OF_CHECK) on I/O failure.
 void write_file(const std::string& path, const std::string& content);

@@ -16,6 +16,12 @@ ObsConfig ObsConfig::from_config(const config::ConfigNode& node) {
   cfg.trace_path = node.get_or<std::string>("trace_path", "");
   cfg.metrics_path = node.get_or<std::string>("metrics_path", "");
   cfg.events_csv_path = node.get_or<std::string>("events_csv_path", "");
+  cfg.telemetry = node.get_or<bool>("telemetry", false);
+  const auto sync = node.get_or<std::int64_t>(
+      "clock_sync_rounds", static_cast<std::int64_t>(cfg.clock_sync_rounds));
+  OF_CHECK_MSG(sync >= 0, "obs.clock_sync_rounds must be >= 0");
+  cfg.clock_sync_rounds = static_cast<std::size_t>(sync);
+  cfg.split_trace_per_node = node.get_or<bool>("split_trace_per_node", false);
   return cfg;
 }
 

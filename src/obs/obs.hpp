@@ -29,9 +29,21 @@ struct ObsConfig {
   std::size_t ring_capacity = TraceRecorder::kDefaultRingCapacity;
 
   // Export destinations; empty = skip that exporter.
-  std::string trace_path;       // Chrome trace-event JSON (Perfetto)
+  std::string trace_path;       // merged Chrome trace-event JSON (Perfetto)
   std::string metrics_path;     // Prometheus text exposition
   std::string events_csv_path;  // raw per-event CSV
+
+  // Distributed telemetry plane (DESIGN.md §9). `telemetry` turns on the
+  // client→coordinator piggyback channel (per-round summaries appended to
+  // update frames, stripped before decode) and the fleet registry behind
+  // the scrape endpoint; requires `enabled`. `clock_sync_rounds` re-pings
+  // the coordinator every K rounds to refresh the per-client clock offset
+  // (TCP only; 0 disables re-pings, the connect-time burst still runs).
+  bool telemetry = false;
+  std::size_t clock_sync_rounds = 8;
+  // Additionally write one per-node trace "<trace_path>.rank<N>.json"
+  // besides the merged file.
+  bool split_trace_per_node = false;
 
   // Parse the `obs:` config group; a null/missing node yields the disabled
   // default.

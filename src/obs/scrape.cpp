@@ -1,0 +1,37 @@
+#include "obs/scrape.hpp"
+
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+
+namespace of::obs {
+
+HttpResponse handle_scrape(const std::string& path) {
+  HttpResponse r;
+  if (path == "/metrics") {
+    r.body = to_prometheus_text(Registry::global()) + Fleet::global().prometheus_text();
+    return r;
+  }
+  if (path == "/" || path == "/fleet") {
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = Fleet::global().health_text();
+    return r;
+  }
+  r.status = 404;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = "not found\n";
+  return r;
+}
+
+std::string render_http(const HttpResponse& r) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << r.status << ' ' << (r.status == 200 ? "OK" : "Not Found")
+     << "\r\nContent-Type: " << r.content_type
+     << "\r\nContent-Length: " << r.body.size() << "\r\nConnection: close\r\n\r\n"
+     << r.body;
+  return os.str();
+}
+
+}  // namespace of::obs

@@ -1,0 +1,35 @@
+// of::obs scrape endpoint — read-only HTTP views served off the
+// coordinator's existing TCP listener (DESIGN.md §9).
+//
+// The transport layer detects a plain-text "GET " where a frame header
+// would be and hands the request path here; this module only renders. Two
+// routes:
+//
+//   /metrics — Prometheus 0.0.4 text: the process-wide Registry plus the
+//              per-node of_fleet_* series.
+//   /fleet   — (also "/") the one-page human health summary.
+//
+// Security: the endpoint is unauthenticated, read-only, and bound to
+// whatever interface the coordinator listens on (loopback by default).
+// Anyone who can reach the port can read run telemetry — see the DESIGN.md
+// caveats before exposing it beyond a trusted network.
+#pragma once
+
+#include <string>
+
+namespace of::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+// Render the response for one GET path ("/metrics", "/fleet", "/", else 404).
+HttpResponse handle_scrape(const std::string& path);
+
+// Serialize a full HTTP/1.1 response (status line, headers, body) ready to
+// write to the socket. Connection: close — one request per connection.
+std::string render_http(const HttpResponse& r);
+
+}  // namespace of::obs

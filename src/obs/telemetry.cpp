@@ -1,0 +1,305 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace of::obs {
+namespace {
+
+constexpr std::uint32_t kTelemetryMagic = 0x4F46544Cu;  // "OFTL"
+constexpr std::uint16_t kTelemetryVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t*& p) {
+  std::uint16_t v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  p += 2;
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t*& p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  p += 4;
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t*& p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  p += 8;
+  return v;
+}
+std::int64_t get_i64(const std::uint8_t*& p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+// Nearest-rank percentile over an ascending vector; n must be > 0.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int pct) {
+  const std::size_t idx =
+      (static_cast<std::size_t>(pct) * (sorted.size() - 1) + 50) / 100;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void TelemetrySummary::serialize_to(std::vector<std::uint8_t>& out) const {
+  const std::size_t before = out.size();
+  put_u32(out, kTelemetryMagic);
+  put_u16(out, kTelemetryVersion);
+  put_u16(out, 0);  // reserved
+  put_u64(out, trace_id);
+  put_u32(out, rank);
+  put_u32(out, round);
+  put_i64(out, clock_offset_ns);
+  put_i64(out, rtt_ns);
+  put_u64(out, bytes_sent);
+  put_u64(out, bytes_received);
+  put_u64(out, pool_hits);
+  put_u64(out, pool_misses);
+  put_u64(out, reconnects);
+  put_u64(out, frames_dropped);
+  put_u64(out, faults_injected);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    put_u64(out, phases[i].count);
+    put_u64(out, phases[i].total_ns);
+    put_u64(out, phases[i].max_ns);
+  }
+  (void)before;
+  static_assert(TelemetrySummary::kWireBytes == 216, "wire layout drifted");
+}
+
+std::optional<TelemetrySummary> TelemetrySummary::parse_tail(
+    const std::uint8_t* data, std::size_t len) {
+  if (len < kWireBytes) return std::nullopt;
+  const std::uint8_t* p = data + (len - kWireBytes);
+  if (get_u32(p) != kTelemetryMagic) return std::nullopt;
+  if (get_u16(p) != kTelemetryVersion) return std::nullopt;
+  get_u16(p);  // reserved
+  TelemetrySummary s;
+  s.trace_id = get_u64(p);
+  s.rank = get_u32(p);
+  s.round = get_u32(p);
+  s.clock_offset_ns = get_i64(p);
+  s.rtt_ns = get_i64(p);
+  s.bytes_sent = get_u64(p);
+  s.bytes_received = get_u64(p);
+  s.pool_hits = get_u64(p);
+  s.pool_misses = get_u64(p);
+  s.reconnects = get_u64(p);
+  s.frames_dropped = get_u64(p);
+  s.faults_injected = get_u64(p);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    s.phases[i].count = get_u64(p);
+    s.phases[i].total_ns = get_u64(p);
+    s.phases[i].max_ns = get_u64(p);
+  }
+  return s;
+}
+
+Fleet& Fleet::global() {
+  static Fleet fleet;
+  return fleet;
+}
+
+void Fleet::reset(std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = trace_id;
+  nodes_.clear();
+  last_round_.reset();
+}
+
+void Fleet::record(const TelemetrySummary& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& n = nodes_[static_cast<int>(s.rank)];
+  n.last = s;
+  ++n.updates;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    n.cum_phases[i].count += s.phases[i].count;
+    n.cum_phases[i].total_ns += s.phases[i].total_ns;
+    n.cum_phases[i].max_ns = std::max(n.cum_phases[i].max_ns, s.phases[i].max_ns);
+  }
+}
+
+void Fleet::record_round(const RoundHealth& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_round_ = h;
+}
+
+std::uint64_t Fleet::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+std::vector<TelemetrySummary> Fleet::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TelemetrySummary> out;
+  out.reserve(nodes_.size());
+  for (const auto& [rank, n] : nodes_) out.push_back(n.last);
+  return out;
+}
+
+std::map<int, std::int64_t> Fleet::clock_offsets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<int, std::int64_t> out;
+  for (const auto& [rank, n] : nodes_)
+    if (n.last.rtt_ns > 0) out[rank] = n.last.clock_offset_ns;
+  return out;
+}
+
+std::string Fleet::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  {
+    std::ostringstream id;
+    id << "0x" << std::hex << trace_id_;
+    os << "# TYPE of_fleet_info gauge\n"
+       << "of_fleet_info{trace_id=\"" << prom_escape_label(id.str()) << "\"} 1\n";
+  }
+  os << "# TYPE of_fleet_nodes gauge\nof_fleet_nodes " << nodes_.size() << '\n';
+
+  const auto gauge_per_node = [&](const char* name, auto value_of) {
+    os << "# TYPE of_fleet_" << name << " gauge\n";
+    for (const auto& [rank, n] : nodes_)
+      os << "of_fleet_" << name << "{node=\"" << rank << "\"} " << value_of(n) << '\n';
+  };
+  const auto counter_per_node = [&](const char* name, auto value_of) {
+    os << "# TYPE of_fleet_" << name << " counter\n";
+    for (const auto& [rank, n] : nodes_)
+      os << "of_fleet_" << name << "{node=\"" << rank << "\"} " << value_of(n) << '\n';
+  };
+
+  gauge_per_node("round", [](const NodeState& n) { return n.last.round; });
+  gauge_per_node("clock_offset_ns",
+                 [](const NodeState& n) { return n.last.clock_offset_ns; });
+  gauge_per_node("clock_rtt_ns", [](const NodeState& n) { return n.last.rtt_ns; });
+  gauge_per_node("round_bytes_sent",
+                 [](const NodeState& n) { return n.last.bytes_sent; });
+  gauge_per_node("round_bytes_received",
+                 [](const NodeState& n) { return n.last.bytes_received; });
+  counter_per_node("pool_hits_total",
+                   [](const NodeState& n) { return n.last.pool_hits; });
+  counter_per_node("pool_misses_total",
+                   [](const NodeState& n) { return n.last.pool_misses; });
+  // Hit rate over zero acquires is 0, not NaN (prom_double also guards).
+  os << "# TYPE of_fleet_pool_hit_rate gauge\n";
+  for (const auto& [rank, n] : nodes_) {
+    const std::uint64_t total = n.last.pool_hits + n.last.pool_misses;
+    const double rate =
+        total == 0 ? 0.0
+                   : static_cast<double>(n.last.pool_hits) / static_cast<double>(total);
+    os << "of_fleet_pool_hit_rate{node=\"" << rank << "\"} " << prom_double(rate)
+       << '\n';
+  }
+  counter_per_node("reconnects_total",
+                   [](const NodeState& n) { return n.last.reconnects; });
+  counter_per_node("frames_dropped_total",
+                   [](const NodeState& n) { return n.last.frames_dropped; });
+  counter_per_node("faults_injected_total",
+                   [](const NodeState& n) { return n.last.faults_injected; });
+  counter_per_node("updates_total", [](const NodeState& n) { return n.updates; });
+
+  os << "# TYPE of_fleet_phase_seconds_total counter\n";
+  for (const auto& [rank, n] : nodes_)
+    for (std::size_t i = 0; i < kPhaseCount; ++i)
+      os << "of_fleet_phase_seconds_total{node=\"" << rank << "\",phase=\""
+         << prom_escape_label(phase_label(i)) << "\"} "
+         << prom_double(static_cast<double>(n.cum_phases[i].total_ns) / 1e9) << '\n';
+
+  if (last_round_) {
+    const RoundHealth& h = *last_round_;
+    os << "# TYPE of_fleet_last_round gauge\nof_fleet_last_round " << h.round << '\n'
+       << "# TYPE of_fleet_last_round_participated gauge\n"
+       << "of_fleet_last_round_participated " << h.participated << '\n'
+       << "# TYPE of_fleet_last_round_expected gauge\n"
+       << "of_fleet_last_round_expected " << h.expected << '\n'
+       << "# TYPE of_fleet_last_round_dropped gauge\n"
+       << "of_fleet_last_round_dropped " << h.dropped.size() << '\n'
+       << "# TYPE of_fleet_last_round_deadline_hit gauge\n"
+       << "of_fleet_last_round_deadline_hit " << (h.deadline_hit ? 1 : 0) << '\n'
+       << "# TYPE of_fleet_last_round_bytes_up gauge\n"
+       << "of_fleet_last_round_bytes_up " << h.bytes_up << '\n'
+       << "# TYPE of_fleet_last_round_bytes_down gauge\n"
+       << "of_fleet_last_round_bytes_down " << h.bytes_down << '\n';
+  }
+  return os.str();
+}
+
+std::string Fleet::health_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "OmniFed fleet health — trace 0x" << std::hex << trace_id_ << std::dec
+     << ", " << nodes_.size() << " reporting node(s)\n";
+
+  if (last_round_) {
+    const RoundHealth& h = *last_round_;
+    os << "round " << h.round << ": participated " << h.participated << '/'
+       << h.expected << ", dropped [";
+    for (std::size_t i = 0; i < h.dropped.size(); ++i)
+      os << (i ? " " : "") << h.dropped[i];
+    os << "], deadline_hit " << (h.deadline_hit ? "yes" : "no") << ", bytes up "
+       << h.bytes_up << " / down " << h.bytes_down << ", " << std::fixed
+       << std::setprecision(3) << h.seconds << " s\n";
+    os.unsetf(std::ios::fixed);
+  }
+
+  std::uint32_t max_round = 0;
+  for (const auto& [rank, n] : nodes_) max_round = std::max(max_round, n.last.round);
+
+  for (const auto& [rank, n] : nodes_) {
+    const std::uint64_t pool_total = n.last.pool_hits + n.last.pool_misses;
+    const double hit_pct =
+        pool_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(n.last.pool_hits) / static_cast<double>(pool_total);
+    os << "node " << rank << ": round=" << n.last.round
+       << " offset_us=" << n.last.clock_offset_ns / 1000
+       << " rtt_us=" << n.last.rtt_ns / 1000 << " sent=" << n.last.bytes_sent
+       << " recv=" << n.last.bytes_received << " pool_hit%=" << prom_double(hit_pct)
+       << " reconnects=" << n.last.reconnects << " faults=" << n.last.faults_injected
+       << '\n';
+  }
+
+  os << "stragglers:";
+  bool any_straggler = false;
+  for (const auto& [rank, n] : nodes_)
+    if (n.last.round < max_round) {
+      os << ' ' << rank;
+      any_straggler = true;
+    }
+  if (!any_straggler) os << " none";
+  os << '\n';
+
+  // Cross-node phase percentiles for the latest reported round.
+  os << "phase p50/p95 ms (latest round):";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    std::vector<std::uint64_t> totals;
+    for (const auto& [rank, n] : nodes_)
+      if (n.last.phases[i].count > 0) totals.push_back(n.last.phases[i].total_ns);
+    os << ' ' << phase_label(i) << '=';
+    if (totals.empty()) {
+      os << "-/-";
+      continue;
+    }
+    std::sort(totals.begin(), totals.end());
+    os << prom_double(static_cast<double>(percentile(totals, 50)) / 1e6) << '/'
+       << prom_double(static_cast<double>(percentile(totals, 95)) / 1e6);
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace of::obs

@@ -1,0 +1,116 @@
+// of::obs telemetry channel — the compact per-round summary a client
+// piggybacks on its update frame, and the coordinator-side fleet view
+// built from those summaries (DESIGN.md §9).
+//
+// The summary is a fixed-size little-endian blob appended to the *end* of
+// an update frame, so the coordinator strips it with one resize and the
+// training payload bytes are untouched — telemetry can never feed back
+// into aggregation, which is what keeps the threads=1-vs-4 bitwise
+// identity property intact with telemetry enabled. Both sides decide
+// append/strip from the same engine-level obs config, so the framing
+// always agrees.
+//
+// The Fleet singleton is the coordinator's registry keyed by node rank:
+// latest summary per node, cumulative phase digests, plus the aggregator's
+// own per-round health record. It renders two read-only views for the
+// scrape endpoint: Prometheus text (`of_fleet_*`, one series per node) and
+// a one-page health summary (stragglers, drops, bytes, phase p50/p95).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+
+namespace of::obs {
+
+// One client's round digest. Bytes and phase digests cover the round being
+// reported (the client zeroes its running digests after each send, so the
+// send phase reflects the previous round's send); pool / reconnect / fault
+// counters are cumulative over the run.
+struct TelemetrySummary {
+  std::uint64_t trace_id = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t round = 0;
+  std::int64_t clock_offset_ns = 0;  // client − coordinator, 0 = unknown
+  std::int64_t rtt_ns = 0;
+  std::uint64_t bytes_sent = 0;      // this round, client-side comm stats
+  std::uint64_t bytes_received = 0;
+  std::uint64_t pool_hits = 0;       // cumulative, this node's frame pool
+  std::uint64_t pool_misses = 0;
+  std::uint64_t reconnects = 0;      // cumulative, transport
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t faults_injected = 0; // cumulative, client-side injections
+  PhaseDigest phases[kPhaseCount];
+
+  // Wire size of the serialized blob (fields + magic/version header).
+  static constexpr std::size_t kWireBytes =
+      4 + 2 + 2 +                    // magic, version, reserved
+      8 + 4 + 4 +                    // trace_id, rank, round
+      8 + 8 +                        // clock offset, rtt
+      8 * 7 +                        // byte/pool/reconnect/drop/fault counters
+      kPhaseCount * 3 * 8;           // phase digests
+
+  // Append the fixed-size blob to `out` (always exactly kWireBytes).
+  void serialize_to(std::vector<std::uint8_t>& out) const;
+
+  // Parse a blob from the last kWireBytes of [data, data+len). Returns
+  // nullopt if the buffer is too short or the magic/version don't match.
+  static std::optional<TelemetrySummary> parse_tail(const std::uint8_t* data,
+                                                    std::size_t len);
+};
+
+class Fleet {
+ public:
+  static Fleet& global();
+
+  // The coordinator's own view of one finished round.
+  struct RoundHealth {
+    std::uint32_t round = 0;
+    std::uint32_t participated = 0;
+    std::uint32_t expected = 0;
+    std::vector<int> dropped;
+    bool deadline_hit = false;
+    std::uint64_t bytes_up = 0;
+    std::uint64_t bytes_down = 0;
+    double seconds = 0.0;
+  };
+
+  // Start a fresh fleet view for a run.
+  void reset(std::uint64_t trace_id);
+
+  // Record a client summary / the aggregator's round record. Thread-safe.
+  void record(const TelemetrySummary& s);
+  void record_round(const RoundHealth& h);
+
+  std::uint64_t trace_id() const;
+  // Latest summary per node, ascending rank.
+  std::vector<TelemetrySummary> latest() const;
+  // Node rank → min-RTT clock offset (ns, client − coordinator). Nodes
+  // that never reported an offset are omitted.
+  std::map<int, std::int64_t> clock_offsets() const;
+
+  // Prometheus 0.0.4 text: of_fleet_* families with a node="<rank>" label.
+  std::string prometheus_text() const;
+  // Human-readable one-page per-round health summary.
+  std::string health_text() const;
+
+ private:
+  struct NodeState {
+    TelemetrySummary last;
+    PhaseDigest cum_phases[kPhaseCount];
+    std::uint64_t updates = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t trace_id_ = 0;
+  std::map<int, NodeState> nodes_;
+  std::optional<RoundHealth> last_round_;
+};
+
+}  // namespace of::obs

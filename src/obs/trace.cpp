@@ -33,6 +33,17 @@ const char* to_string(Name n) {
   return "?";
 }
 
+const char* phase_label(std::size_t i) {
+  switch (i) {
+    case 0: return "train";
+    case 1: return "encode";
+    case 2: return "send";
+    case 3: return "recv";
+    case 4: return "decode";
+    default: return "?";
+  }
+}
+
 const char* category(Name n) {
   switch (n) {
     case Name::Round:

@@ -18,6 +18,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace of::obs {
 
 // Every instrumented site in the framework. Fixed enum (not strings) so a
@@ -64,11 +66,26 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;   // start time, ns since the recorder epoch
   std::uint64_t dur_ns = 0;  // span duration; 0 = instant event
   std::uint64_t arg = 0;     // site-specific payload (bytes, staleness, rank…)
+  std::uint64_t span_id = 0;     // unique per span; 0 = instant / untracked
+  std::uint64_t parent_span = 0; // enclosing (or remote) span; 0 = root
   std::int32_t node = -1;    // federation node id (-1 = not node-scoped)
   std::uint32_t round = 0;   // global round the event belongs to
   std::uint32_t tid = 0;     // recording ring id (one per thread)
   Name name = Name::Round;
 };
+
+// Which telemetry phase digest (context.hpp) a span name feeds, or
+// kPhaseCount for names outside the five digested round-loop phases.
+constexpr std::size_t phase_index(Name n) noexcept {
+  switch (n) {
+    case Name::LocalTrain: return 0;
+    case Name::Encode: return 1;
+    case Name::Send: return 2;
+    case Name::Recv: return 3;
+    case Name::Decode: return 4;
+    default: return kPhaseCount;
+  }
+}
 
 class TraceRecorder {
  public:
@@ -143,6 +160,12 @@ class ScopedSpan {
     node_ = node;
     round_ = static_cast<std::uint32_t>(round);
     arg_ = arg;
+    auto& st = detail::tls();
+    span_id_ = detail::new_span_id(st);
+    parent_span_ = st.current_span;
+    prev_round_ = st.current_round;
+    st.current_span = span_id_;
+    st.current_round = round_;
     t0_ns_ = r.now_ns();
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -156,39 +179,79 @@ class ScopedSpan {
     if (!armed_) return;
     armed_ = false;
     TraceRecorder& r = TraceRecorder::global();
+    auto& st = detail::tls();
     TraceEvent e;
     e.ts_ns = t0_ns_;
     e.dur_ns = r.now_ns() - t0_ns_;
     e.arg = arg_;
+    e.span_id = span_id_;
+    e.parent_span = parent_span_ != 0
+                        ? parent_span_
+                        : (link_remote_ ? st.remote_span : 0);
     e.node = node_;
     e.round = round_;
     e.name = name_;
     r.record(e);
+    st.current_span = parent_span_;
+    st.current_round = prev_round_;
+    if (st.phase_sink != nullptr) {
+      const std::size_t pi = phase_index(name_);
+      if (pi < kPhaseCount) {
+        PhaseDigest& d = st.phase_sink[pi];
+        ++d.count;
+        d.total_ns += e.dur_ns;
+        if (e.dur_ns > d.max_ns) d.max_ns = e.dur_ns;
+      }
+    }
   }
 
   // Late-bound payload (e.g. bytes known only after the recv returns).
   void set_arg(std::uint64_t arg) noexcept { arg_ = arg; }
 
+  // If this span has no local parent, adopt the last remote context this
+  // thread received as its parent. Called only on the top-level client
+  // round span: that is the one place a cross-node edge (server broadcast →
+  // client round) is unambiguous.
+  void link_remote_parent() noexcept { link_remote_ = true; }
+
+  // The id this span will record under (0 when tracing is disabled).
+  std::uint64_t span_id() const noexcept { return span_id_; }
+
  private:
   std::uint64_t t0_ns_ = 0;
   std::uint64_t arg_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
   std::int32_t node_ = -1;
   std::uint32_t round_ = 0;
+  std::uint32_t prev_round_ = 0;
   Name name_ = Name::Round;
   bool armed_ = false;
+  bool link_remote_ = false;
 };
 
-// Record an instant (zero-duration) event.
+// Record an instant (zero-duration) event, parented to the calling
+// thread's innermost open span.
 inline void instant(Name name, int node, std::size_t round, std::uint64_t arg = 0) {
   TraceRecorder& r = TraceRecorder::global();
   if (!r.enabled()) return;
   TraceEvent e;
   e.ts_ns = r.now_ns();
   e.arg = arg;
+  e.parent_span = detail::tls().current_span;
   e.node = node;
   e.round = static_cast<std::uint32_t>(round);
   e.name = name;
   r.record(e);
+}
+
+// The context a frame sent right now should carry: the run's trace id, the
+// calling thread's innermost open span, and its round. All zeros while
+// tracing is disabled — one relaxed load on that path.
+inline TraceContext current_context() noexcept {
+  if (!TraceRecorder::global().enabled()) return {};
+  const auto& st = detail::tls();
+  return TraceContext{run_trace_id(), st.current_span, st.current_round};
 }
 
 }  // namespace of::obs

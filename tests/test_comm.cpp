@@ -322,15 +322,21 @@ TEST(Tcp, LargePayloadRoundtrip) {
 
 // --- TCP hardening (malformed frames, timeouts, fault tolerance) --------------------
 
-// Mirror of the transport's wire header (u32 magic | i32 src | i32 tag |
-// u64 len, natural alignment) for crafting raw frames against the server.
+// Mirror of the transport's v2 wire header (u32 magic | i32 src | i32 tag |
+// u32 round | u64 len | u64 trace_id | u64 span_id, natural alignment) for
+// crafting raw frames against the server. Keep in lockstep with
+// src/comm/tcp.cpp FrameHeader.
 struct WireHeader {
   std::uint32_t magic = 0;
   std::int32_t src = 0;
   std::int32_t tag = 0;
+  std::uint32_t round = 0;
   std::uint64_t len = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
-constexpr std::uint32_t kWireMagic = 0x0F5EED01u;
+static_assert(sizeof(WireHeader) == 40, "must match the transport header");
+constexpr std::uint32_t kWireMagic = 0x0F5EED02u;
 constexpr int kWireHelloTag = -1;
 
 int connect_raw(std::uint16_t port) {
@@ -400,7 +406,7 @@ TEST(TcpHardening, OutOfRangeRankHelloAbortsSetup) {
   std::thread intruder([] {
     const int fd = connect_raw(47308);
     ASSERT_GE(fd, 0);
-    WireHeader h{kWireMagic, 7, kWireHelloTag, 0};  // world is 2: ranks 1..1
+    WireHeader h{kWireMagic, 7, kWireHelloTag, 0, 0, 0, 0};  // world is 2: ranks 1..1
     send_raw(fd, &h, sizeof(h));
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     ::close(fd);
@@ -414,14 +420,14 @@ TEST(TcpHardening, OversizedFrameDropsLink) {
   std::thread srv([&] { server = TcpCommunicator::make_server(47309, 2); });
   const int fd = connect_raw(47309);
   ASSERT_GE(fd, 0);
-  WireHeader hello{kWireMagic, 1, kWireHelloTag, 0};
+  WireHeader hello{kWireMagic, 1, kWireHelloTag, 0, 0, 0, 0};
   send_raw(fd, &hello, sizeof(hello));
   srv.join();
   ASSERT_NE(server, nullptr);
   ASSERT_TRUE(server->peer_alive(1));
   // A length field past the 1 GiB frame cap must sever the link before any
   // allocation happens, not feed a giant Bytes buffer.
-  WireHeader bomb{kWireMagic, 1, 7, (1ull << 30) + 1};
+  WireHeader bomb{kWireMagic, 1, 7, 0, (1ull << 30) + 1, 0, 0};
   send_raw(fd, &bomb, sizeof(bomb));
   for (int i = 0; i < 500 && server->peer_alive(1); ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
