@@ -1,0 +1,312 @@
+// Fleet-scale bench: one coordinator, 10k+ simulated clients on a single
+// host. Exercises the event-loop accept path (ISSUE: thread-per-connection
+// dies at this scale) and the combiner tier's O(model × combiners)
+// aggregation bound: the coordinator folds every arriving update into
+// StreamingSum partial accumulators instead of buffering clients × model.
+//
+// Clients are raw-socket drivers forked into a handful of child processes
+// (the host caps fds per process, and 10k TcpCommunicator clients would
+// each cost threads); the shared pre-encoded update frame makes a child's
+// per-client cost one fd plus a few hundred bytes.
+//
+// Usage: bench_fleet_scale [clients_csv] [rounds] [combiners_csv]
+//   defaults: 1000,4000,10000 clients, 2 rounds, 8 combiners;
+//   the combiner sweep runs at the largest client count.
+// Results land in EXPERIMENTS.md.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/tcp.hpp"
+#include "core/frame_pool.hpp"
+#include "core/payload.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using of::comm::TcpCommunicator;
+using of::core::FramePool;
+using of::core::StreamingSum;
+using of::tensor::Bytes;
+using of::tensor::Tensor;
+
+constexpr std::uint16_t kPort = 47450;
+constexpr std::size_t kModelFloats = 4096;  // ~16 KiB on the wire per frame
+constexpr int kModelTag = 1;
+constexpr int kUpdateTag = 2;
+constexpr int kStopTag = 3;
+constexpr int kChildren = 8;
+
+// Mirror of the transport's v2 wire header (src/comm/tcp.cpp FrameHeader).
+struct WireHeader {
+  std::uint32_t magic = 0x0F5EED02u;
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint32_t round = 0;
+  std::uint64_t len = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+static_assert(sizeof(WireHeader) == 40, "must match the transport header");
+
+// --- fd budget -----------------------------------------------------------------------
+
+// The coordinator holds one fd per client. Try to raise the soft limit to
+// the hard limit; if that still cannot cover the sweep, fail fast with an
+// actionable message instead of wedging mid-formation with EMFILE.
+void ensure_fd_budget(std::size_t max_clients) {
+  const rlim_t need = static_cast<rlim_t>(max_clients + 64);
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur < need && rl.rlim_max > rl.rlim_cur) {
+    rlimit bumped = rl;
+    bumped.rlim_cur = std::min(need, rl.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &bumped) == 0) rl = bumped;
+  }
+  if (rl.rlim_cur < need) {
+    std::fprintf(stderr,
+                 "bench_fleet_scale: fd soft limit %llu < %llu needed for %zu "
+                 "clients.\nRaise it first:  ulimit -n %llu\n",
+                 static_cast<unsigned long long>(rl.rlim_cur),
+                 static_cast<unsigned long long>(need), max_clients,
+                 static_cast<unsigned long long>(need));
+    std::exit(1);
+  }
+}
+
+std::size_t read_vm_kb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(key, 0) == 0)
+      return static_cast<std::size_t>(std::strtoull(line.c_str() + std::strlen(key),
+                                                    nullptr, 10));
+  return 0;
+}
+
+// --- raw client driver (child process) -----------------------------------------------
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Drive ranks [first, first+count): connect + hello each, then per round
+// read the model frame and answer with the shared update frame, until the
+// coordinator sends the stop tag. Exits the process when done.
+void run_client_driver(int first, int count, const Bytes& update_frame) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(kPort);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::vector<int> fds(static_cast<std::size_t>(count), -1);
+  for (int i = 0; i < count; ++i) {
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd >= 0 &&
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        fds[static_cast<std::size_t>(i)] = fd;
+        break;
+      }
+      if (fd >= 0) ::close(fd);
+      ::usleep(5000);
+    }
+    if (fds[static_cast<std::size_t>(i)] < 0) std::_Exit(2);
+    WireHeader hello;
+    hello.src = first + i;
+    hello.tag = -1;  // kHelloTag
+    if (!write_full(fds[static_cast<std::size_t>(i)], &hello, sizeof(hello)))
+      std::_Exit(2);
+  }
+
+  Bytes payload;
+  std::vector<bool> stopped(fds.size(), false);
+  // Every socket gets its own stop frame — drain each one before closing
+  // anything, or the coordinator sees links die mid-shutdown.
+  for (std::size_t live = fds.size(); live > 0;) {
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (stopped[i]) continue;
+      const int fd = fds[i];
+      WireHeader h;
+      if (!read_full(fd, &h, sizeof(h))) std::_Exit(2);
+      payload.resize(h.len);
+      if (h.len > 0 && !read_full(fd, payload.data(), payload.size())) std::_Exit(2);
+      if (h.tag == kStopTag) {
+        stopped[i] = true;
+        --live;
+        continue;
+      }
+      WireHeader up;
+      up.src = 0;  // the server keys frames by the hello-established peer id
+      up.tag = kUpdateTag;
+      up.round = h.round;
+      up.len = update_frame.size();
+      if (!write_full(fd, &up, sizeof(up)) ||
+          !write_full(fd, update_frame.data(), update_frame.size()))
+        std::_Exit(2);
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+  std::_Exit(0);
+}
+
+// --- coordinator ---------------------------------------------------------------------
+
+struct SweepResult {
+  double rounds_per_sec = 0.0;
+  double formation_seconds = 0.0;
+  std::size_t agg_state_bytes = 0;  // live StreamingSum state, all combiners
+  std::size_t vm_hwm_kb = 0;        // process-lifetime peak RSS (monotonic)
+  std::size_t vm_rss_kb = 0;
+};
+
+SweepResult run_sweep(int clients, int rounds, int combiners,
+                      const Bytes& model_frame) {
+  std::vector<pid_t> kids;
+  const int per_child = (clients + kChildren - 1) / kChildren;
+  for (int c = 0; c < kChildren; ++c) {
+    const int first = 1 + c * per_child;
+    const int count = std::min(per_child, clients - c * per_child);
+    if (count <= 0) break;
+    const pid_t pid = ::fork();
+    if (pid == 0) run_client_driver(first, count, model_frame);
+    kids.push_back(pid);
+  }
+
+  const auto t_form = std::chrono::steady_clock::now();
+  auto server = TcpCommunicator::make_server(kPort, clients + 1);
+  SweepResult out;
+  out.formation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_form).count();
+
+  FramePool pool;
+  std::vector<StreamingSum> sums;
+  sums.reserve(static_cast<std::size_t>(combiners));
+  for (int g = 0; g < combiners; ++g) sums.emplace_back(pool);
+  StreamingSum root(pool);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int p = 1; p <= clients; ++p) server->send_bytes(p, kModelTag, model_frame);
+    for (auto& s : sums) s.reset();
+    for (int received = 0; received < clients;) {
+      auto got = server->try_recv_bytes_any(kUpdateTag, 120.0);
+      if (!got) {
+        std::fprintf(stderr, "bench_fleet_scale: round %d stalled at %d/%d updates\n",
+                     r, received, clients);
+        std::exit(1);
+      }
+      sums[static_cast<std::size_t>(got->first % combiners)].add(got->second);
+      ++received;
+    }
+    root.reset();
+    Bytes partial;
+    for (auto& s : sums) {
+      s.encode_partial_into(1.0, nullptr, partial);
+      root.add_partial(partial);
+    }
+    (void)root.finish_mean();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.rounds_per_sec = rounds / secs;
+  for (const auto& s : sums) out.agg_state_bytes += s.peak_bytes();
+  out.agg_state_bytes += root.peak_bytes();
+  out.vm_hwm_kb = read_vm_kb("VmHWM:");
+  out.vm_rss_kb = read_vm_kb("VmRSS:");
+
+  for (int p = 1; p <= clients; ++p) server->send_bytes(p, kStopTag, Bytes{});
+  for (const pid_t pid : kids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      std::fprintf(stderr, "bench_fleet_scale: client driver %d exited abnormally\n",
+                   static_cast<int>(pid));
+  }
+  return out;
+}
+
+std::vector<int> parse_csv(const char* s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::atoi(item.c_str()));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> client_counts = {1000, 4000, 10000};
+  int rounds = 2;
+  std::vector<int> combiner_counts = {8};
+  if (argc > 1) client_counts = parse_csv(argv[1]);
+  if (argc > 2) rounds = std::atoi(argv[2]);
+  if (argc > 3) combiner_counts = parse_csv(argv[3]);
+
+  int max_clients = 0;
+  for (const int n : client_counts) max_clients = std::max(max_clients, n);
+  ensure_fd_budget(static_cast<std::size_t>(max_clients));
+
+  // One shared model/update payload (integer-valued so sums stay exact).
+  const std::vector<Tensor> payload = {Tensor::full({kModelFloats}, 2.0f)};
+  const Bytes frame = of::core::encode_update(payload, 1.0, {}, 0, 1);
+  const std::size_t model_bytes = kModelFloats * sizeof(float);
+
+  std::printf("\n=== Fleet scale: event-loop coordinator + combiner partial sums ===\n");
+  std::printf("(model %zu floats = %zu KiB/frame, %d rounds, %d driver processes)\n\n",
+              kModelFloats, frame.size() / 1024, rounds, kChildren);
+  std::printf("%8s | %9s | %9s | %10s | %12s | %10s\n", "clients", "combiners",
+              "form s", "rounds/s", "agg state", "peak RSS");
+  std::printf("--------------------------------------------------------------------\n");
+  for (const int n : client_counts) {
+    const auto r = run_sweep(n, rounds, combiner_counts.front(), frame);
+    std::printf("%8d | %9d | %9.2f | %10.3f | %9zu KiB | %7zu MiB\n", n,
+                combiner_counts.front(), r.formation_seconds, r.rounds_per_sec,
+                r.agg_state_bytes / 1024, r.vm_hwm_kb / 1024);
+  }
+  if (combiner_counts.size() > 1) {
+    std::printf("\ncombiner sweep at %d clients (agg state ~ combiners × model = "
+                "combiners × %zu KiB):\n", max_clients, model_bytes / 1024);
+    for (const int g : combiner_counts) {
+      const auto r = run_sweep(max_clients, rounds, g, frame);
+      std::printf("%8d | %9d | %9.2f | %10.3f | %9zu KiB | %7zu MiB\n", max_clients,
+                  g, r.formation_seconds, r.rounds_per_sec, r.agg_state_bytes / 1024,
+                  r.vm_hwm_kb / 1024);
+    }
+  }
+  return 0;
+}

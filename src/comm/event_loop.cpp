@@ -1,0 +1,175 @@
+#include "comm/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace of::comm {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  OF_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1() failed (errno=" << errno << ")");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  OF_CHECK_MSG(wake_fd_ >= 0, "eventfd() failed (errno=" << errno << ")");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  OF_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  OF_CHECK_MSG(!thread_.joinable(), "EventLoop already started");
+  stop_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  stop_.store(true);
+  wake();
+  if (thread_.joinable()) {
+    // stop() from inside a callback would self-join; the loop exits on its
+    // own once the current callback returns.
+    if (!on_loop_thread()) thread_.join();
+  }
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // The eventfd counter saturates rather than blocks; a failed write only
+  // means a wakeup is already pending.
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, ReadyFn fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_[fd] = std::move(fn);
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  OF_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+               "epoll_ctl(ADD) failed for fd " << fd << " (errno=" << errno << ")");
+  if (!on_loop_thread()) wake();
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  OF_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+               "epoll_ctl(MOD) failed for fd " << fd << " (errno=" << errno << ")");
+}
+
+void EventLoop::remove_fd(int fd) {
+  // A dying fd may already be detached from epoll (e.g. closed elsewhere);
+  // dropping the handler is what matters.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(fd);
+  deadlines_.erase(fd);
+}
+
+void EventLoop::arm_deadline(int fd, double seconds, Fn fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deadlines_[fd] = Deadline{
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds)),
+        std::move(fn)};
+  }
+  if (!on_loop_thread()) wake();
+}
+
+void EventLoop::cancel_deadline(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadlines_.erase(fd);
+}
+
+void EventLoop::post(Fn fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+int EventLoop::timeout_ms_locked() const {
+  if (!posted_.empty()) return 0;
+  if (deadlines_.empty()) return -1;
+  Clock::time_point next = Clock::time_point::max();
+  for (const auto& [fd, d] : deadlines_) next = std::min(next, d.when);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      next - Clock::now())
+                      .count();
+  if (ms <= 0) return 0;
+  return static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+void EventLoop::run() {
+  loop_thread_id_.store(std::this_thread::get_id());
+  epoll_event events[256];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeout;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      timeout = timeout_ms_locked();
+    }
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself broke — only happens at teardown
+    }
+    for (int i = 0; i < n && !stop_.load(std::memory_order_acquire); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        (void)!::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      ReadyFn fn;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = handlers_.find(fd);
+        if (it == handlers_.end()) continue;  // removed earlier in this batch
+        fn = it->second;
+      }
+      fn(events[i].events);
+    }
+    // Posted work, then due deadlines — both collected under the lock,
+    // invoked outside it so they may re-enter the registration API.
+    std::vector<Fn> run_now;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      run_now.swap(posted_);
+      const auto now = Clock::now();
+      for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+        if (it->second.when <= now) {
+          run_now.push_back(std::move(it->second.fn));
+          it = deadlines_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& fn : run_now) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      fn();
+    }
+  }
+  loop_thread_id_.store(std::thread::id{});
+}
+
+}  // namespace of::comm

@@ -1,0 +1,95 @@
+// EventLoop — a single-threaded epoll reactor (DESIGN.md §10).
+//
+// The TCP star coordinator used to spawn one blocking reader thread per
+// accepted connection, which caps "cross-device" at a handful of ranks.
+// The event loop replaces that with one thread multiplexing every accepted
+// socket: callers register nonblocking fds with a readiness callback, and
+// the loop invokes callbacks from its own thread as epoll reports events.
+//
+// Contract:
+//   - Callbacks run on the loop thread, one at a time, with no internal
+//     lock held — a callback may freely call add_fd/modify_fd/remove_fd/
+//     arm_deadline (including on its own fd).
+//   - add/modify/remove and arm/cancel_deadline are thread-safe; the
+//     common pattern is "register before start(), then mutate only from
+//     callbacks".
+//   - One pending deadline per fd: arm_deadline replaces any previous one,
+//     remove_fd cancels it. Deadlines are one-shot and fire on the loop
+//     thread (used for the hello-admission budget and HTTP scrape
+//     deadlines, so a silent or stalled connection cannot hold per-
+//     connection state forever).
+//   - post(fn) runs fn on the loop thread at the next wakeup — the hook
+//     for cross-thread work that must touch loop-owned state.
+//
+// The loop never closes fds it did not create (epoll/eventfd); ownership
+// of registered sockets stays with the caller.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace of::comm {
+
+class EventLoop {
+ public:
+  // Invoked with the epoll event mask (EPOLLIN / EPOLLOUT / EPOLLHUP...).
+  using ReadyFn = std::function<void(std::uint32_t)>;
+  using Fn = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void start();
+  // Idempotent; joins the loop thread. Pending deadlines and posted fns are
+  // discarded, registered fds are left open for their owners to close.
+  void stop();
+
+  void add_fd(int fd, std::uint32_t events, ReadyFn fn);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);  // also cancels the fd's pending deadline
+
+  // One-shot timer keyed by fd; fires on the loop thread after `seconds`
+  // unless cancelled or re-armed first.
+  void arm_deadline(int fd, double seconds, Fn fn);
+  void cancel_deadline(int fd);
+
+  // Run `fn` on the loop thread at the next wakeup.
+  void post(Fn fn);
+
+  bool on_loop_thread() const noexcept {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Deadline {
+    Clock::time_point when;
+    Fn fn;
+  };
+
+  void run();
+  void wake();
+  // Milliseconds until the nearest deadline (-1 = none), under mu_.
+  int timeout_ms_locked() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;  // guards handlers_, deadlines_, posted_
+  std::map<int, ReadyFn> handlers_;
+  std::map<int, Deadline> deadlines_;
+  std::vector<Fn> posted_;
+};
+
+}  // namespace of::comm

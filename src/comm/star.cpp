@@ -92,21 +92,20 @@ std::vector<Bytes> gather_bytes(Communicator& c, const Bytes& b, int root) {
   return out;
 }
 
-PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
-                                   const PartialGatherOptions& opt) {
+StreamingGather gather_bytes_streaming(Communicator& c, const Bytes& b,
+                                       const FrameSink& sink,
+                                       const PartialGatherOptions& opt) {
   using clock = std::chrono::steady_clock;
   OF_CHECK_MSG(opt.min_clients >= 0 && opt.min_clients < c.world_size(),
                "partial gather quorum " << opt.min_clients << " out of range for world size "
                                         << c.world_size());
   const int tag = c.claim_collective_tag();
-  PartialGather out;
+  StreamingGather out;
   if (c.rank() != 0) {
     c.send_bytes(0, tag, b);
     return out;
   }
 
-  out.frames.resize(static_cast<std::size_t>(c.world_size()));
-  out.frames[0] = b;
   std::set<int> pending;
   for (int p = 1; p < c.world_size(); ++p) {
     // A peer already known dead cannot contribute this round — don't let a
@@ -140,13 +139,34 @@ PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
     if (!got) continue;  // re-evaluate deadline / quorum state
     const int src = got->first;
     if (pending.count(src) == 0) continue;  // duplicate or out-of-group frame
-    out.frames[static_cast<std::size_t>(src)] = std::move(got->second);
+    sink(src, std::move(got->second));
     out.participated.push_back(src);
     pending.erase(src);
   }
   out.dropped.insert(out.dropped.end(), pending.begin(), pending.end());
   std::sort(out.participated.begin(), out.participated.end());
   std::sort(out.dropped.begin(), out.dropped.end());
+  return out;
+}
+
+PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
+                                   const PartialGatherOptions& opt) {
+  // The materializing variant is the streaming one with a store-by-rank sink.
+  PartialGather out;
+  std::vector<Bytes>& frames = out.frames;
+  if (c.rank() == 0) {
+    frames.resize(static_cast<std::size_t>(c.world_size()));
+    frames[0] = b;
+  }
+  StreamingGather sg = gather_bytes_streaming(
+      c, b,
+      [&frames](int src, Bytes&& frame) {
+        frames[static_cast<std::size_t>(src)] = std::move(frame);
+      },
+      opt);
+  out.participated = std::move(sg.participated);
+  out.dropped = std::move(sg.dropped);
+  out.deadline_hit = sg.deadline_hit;
   return out;
 }
 

@@ -4,6 +4,8 @@
 // must call these in the same order.
 #pragma once
 
+#include <functional>
+
 #include "comm/communicator.hpp"
 
 namespace of::comm::star {
@@ -45,5 +47,21 @@ struct PartialGather {
 // an empty result; the hub (rank 0) returns the populated PartialGather.
 PartialGather gather_bytes_partial(Communicator& c, const Bytes& b,
                                    const PartialGatherOptions& opt);
+
+// Streaming variant — the combiner tier's primitive. Same deadline/quorum
+// protocol as gather_bytes_partial, but the hub never materializes the frame
+// set: each client frame is handed to `sink(src, frame)` the moment it
+// arrives (the hub's own contribution `b` is NOT sunk — the caller already
+// holds it). With a StreamingSum behind the sink, hub aggregation state is
+// O(model), not O(clients × model).
+struct StreamingGather {
+  std::vector<int> participated;  // client ranks that made the cutoff (sorted)
+  std::vector<int> dropped;       // client ranks excluded this round (sorted)
+  bool deadline_hit = false;
+};
+using FrameSink = std::function<void(int src, Bytes&& frame)>;
+StreamingGather gather_bytes_streaming(Communicator& c, const Bytes& b,
+                                       const FrameSink& sink,
+                                       const PartialGatherOptions& opt);
 
 }  // namespace of::comm::star

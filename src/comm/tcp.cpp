@@ -1,17 +1,23 @@
 #include "comm/tcp.hpp"
 
+#include "comm/event_loop.hpp"
 #include "comm/star.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "common/check.hpp"
 #include "obs/registry.hpp"
@@ -50,9 +56,20 @@ constexpr int kPongTag = -3;
 constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;  // 1 GiB
 // Frames queued per downed link before the oldest is dropped.
 constexpr std::size_t kMaxOutboxFrames = 128;
-// A connecting socket must deliver its hello within this budget, or the
-// accept loop moves on (a silent connector must not stall admission).
+// A connecting socket must deliver its hello within this budget, or its
+// connection state is dropped (a silent connector must not hold
+// per-connection state forever — it was never a member).
 constexpr double kHelloTimeoutSeconds = 10.0;
+// Budget for one HTTP scrape, receive and send combined. Served off the
+// event loop, so a stalled scraper costs one fd for this long — it never
+// wedges admission of real ranks.
+constexpr double kScrapeDeadlineSeconds = 2.0;
+// A send that makes no progress for this long means the peer stopped
+// draining; treat the link as broken (accepted sockets are nonblocking, so
+// backpressure surfaces as EAGAIN instead of blocking in the kernel).
+constexpr double kWriteStallSeconds = 60.0;
+// Scrape requests larger than this are garbage, not HTTP.
+constexpr std::size_t kMaxHttpRequestBytes = 8192;
 
 // Wire header v2 — 40 bytes, naturally aligned, no padding. Mirrored by
 // tests/test_comm.cpp; keep the two in lockstep.
@@ -97,13 +114,6 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-void set_recv_timeout_opt(int fd, double seconds) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
 sockaddr_in resolve(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -137,27 +147,52 @@ std::uint64_t get_le64(const std::uint8_t* p) {
   return v;
 }
 
-// Serve one read-only HTTP GET on a freshly accepted socket. The accept
-// loop has already consumed the 4 sniff bytes ("GET "), so the stream
-// resumes at the request path. SO_RCVTIMEO (hello budget) still applies, so
-// a stalled client can't wedge admission for longer than that.
-void serve_http_get(int fd) {
-  std::string req;
-  char buf[512];
-  while (req.find("\r\n\r\n") == std::string::npos && req.size() < 8192) {
-    const ssize_t r = ::read(fd, buf, sizeof(buf));
-    if (r < 0 && errno == EINTR) continue;
-    if (r <= 0) break;
-    req.append(buf, static_cast<std::size_t>(r));
-  }
-  std::size_t end = req.find(' ');
-  if (end == std::string::npos) end = req.find('\r');
-  const std::string path = end == std::string::npos ? req : req.substr(0, end);
-  const std::string resp = obs::render_http(obs::handle_scrape(path));
-  (void)write_exact(fd, resp.data(), resp.size());
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Render the response for one scrape request (the path ends at the first
+// space or CR). The sniffed "GET " prefix is part of `req`.
+std::string render_scrape_response(const std::string& req) {
+  std::string rest = req.substr(4);
+  std::size_t end = rest.find(' ');
+  if (end == std::string::npos) end = rest.find('\r');
+  const std::string path = end == std::string::npos ? rest : rest.substr(0, end);
+  return obs::render_http(obs::handle_scrape(path));
+}
+
+// splitmix64 step — jitter for the connect backoff, no global RNG state.
+std::uint64_t mix64(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
+
+// Server-side connection state machines. The whole struct is owned by the
+// event-loop thread: every mutation happens inside a loop callback, so no
+// lock guards it. An fd appears in `conns` from accept until drop — entry
+// presence is fd ownership.
+struct TcpCommunicator::ServerState {
+  enum class Stage { kSniff, kHello, kHeader, kPayload, kHttpRead, kHttpWrite };
+  struct Conn {
+    Stage stage = Stage::kSniff;
+    int peer = -1;        // admitted rank; -1 until the hello is validated
+    std::size_t got = 0;  // bytes of the current unit (sniff/header/payload) read
+    std::uint8_t head[sizeof(FrameHeader)];
+    FrameHeader h{};  // current frame header, once reassembled
+    Bytes payload;
+    std::string http_req;   // scrape request, accumulated until CRLFCRLF
+    std::string http_resp;  // scrape response, drained under EPOLLOUT
+    std::size_t http_sent = 0;
+  };
+  std::map<int, std::unique_ptr<Conn>> conns;  // fd → state machine
+  std::map<int, int> fd_of_peer;               // admitted rank → live fd
+};
 
 TcpCommunicator::TcpCommunicator(int rank, int world_size, FaultTolerance ft)
     : rank_(rank), world_size_(world_size), ft_(ft) {
@@ -197,15 +232,22 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_server(std::uint16_t port
   addr.sin_port = htons(port);
   OF_CHECK_MSG(::bind(comm->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
                "bind() failed on port " << port << " (errno=" << errno << ")");
-  OF_CHECK_MSG(::listen(comm->listen_fd_, world_size) == 0, "listen() failed");
+  // Full kernel backlog: at 10k-client scale every rank connects in one burst
+  // at round start, and a backlog capped at world_size drops SYNs.
+  OF_CHECK_MSG(::listen(comm->listen_fd_, SOMAXCONN) == 0, "listen() failed");
 
   socklen_t alen = sizeof(addr);
   OF_CHECK(::getsockname(comm->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0);
   comm->port_ = ntohs(addr.sin_port);
 
-  // One persistent accept loop serves both the initial connects and any
-  // mid-run rejoins; construction blocks until the group is complete.
-  comm->accept_thread_ = std::thread([c = comm.get()] { c->accept_loop(); });
+  // One event loop serves the initial connects, any mid-run rejoins, and
+  // HTTP scrapes; construction blocks until the group is complete.
+  set_nonblocking(comm->listen_fd_);
+  comm->srv_ = std::make_unique<ServerState>();
+  comm->loop_ = std::make_unique<EventLoop>();
+  comm->loop_->add_fd(comm->listen_fd_, EPOLLIN,
+                      [c = comm.get()](std::uint32_t) { c->server_on_accept(); });
+  comm->loop_->start();
   {
     std::unique_lock<std::mutex> lock(comm->setup_mu_);
     const bool ok = comm->setup_cv_.wait_for(lock, std::chrono::seconds(120), [&] {
@@ -229,13 +271,35 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string&
   comm->host_ = host;
   comm->port_ = port;
   const sockaddr_in addr = resolve(host, port);
-  // Retry: the server thread may still be binding/accepting earlier peers.
+  // Retry with jittered exponential backoff: the server may still be binding,
+  // but a coordinator that never binds must surface as a clean error within
+  // the connect budget, not an infinite 20 ms spin.
+  const double budget =
+      ft.connect_timeout_seconds > 0 ? ft.connect_timeout_seconds : 30.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(budget);
+  std::uint64_t seed =
+      (static_cast<std::uint64_t>(rank) << 32) ^ static_cast<std::uint64_t>(port);
+  double delay = 0.02;
+  int attempts = 0;
   int fd = -1;
-  for (int attempt = 0; attempt < 250 && fd < 0; ++attempt) {
+  for (;;) {
+    ++attempts;
     fd = connect_once(addr);
-    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (fd >= 0) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    // Jitter in [0.5, 1.5) × delay so a 10k-client burst doesn't retry in
+    // lockstep; capped at 0.5 s and at the remaining budget.
+    const double jitter = 0.5 + static_cast<double>(mix64(seed) % 1024) / 1024.0;
+    const double remain = std::chrono::duration<double>(deadline - now).count();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min({delay * jitter, 0.5, remain})));
+    delay = std::min(delay * 2.0, 0.5);
   }
-  OF_CHECK_MSG(fd >= 0, "connect() to " << host << ':' << port << " failed");
+  OF_CHECK_MSG(fd >= 0, "connect() to " << host << ':' << port << " failed after "
+                            << attempts << " attempts over " << budget
+                            << "s — is the coordinator up?");
   // Hello frame announces our rank.
   FrameHeader h{kMagic, rank, kHelloTag, 0, 0, 0, 0};
   if (!write_exact(fd, &h, sizeof(h))) {
@@ -251,19 +315,25 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string&
 
 TcpCommunicator::~TcpCommunicator() {
   shutting_down_.store(true);
+  // Stop the server loop first: once it is joined, no callback can race the
+  // teardown below, and srv_ is safe to walk from this thread.
+  if (loop_) loop_->stop();
   for (auto& [r, p] : peers_) {
     std::lock_guard<std::mutex> lock(p->mu);
     if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
   }
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // The accept thread is the only other writer of readers_; after its join
-  // the vector is stable.
   for (auto& t : readers_)
     if (t.joinable()) t.join();
   for (auto& [r, p] : peers_)
     if (p->fd >= 0) ::close(p->fd);
   for (int fd : retired_fds_) ::close(fd);
+  if (srv_) {
+    // Admitted fds were closed through peers_ above; what's left is
+    // pre-admission and scrape connections.
+    for (auto& [fd, c] : srv_->conns)
+      if (c->peer < 0) ::close(fd);
+  }
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -275,82 +345,296 @@ void TcpCommunicator::retire_fd(int fd) {
   retired_fds_.push_back(fd);
 }
 
-void TcpCommunicator::accept_loop() {
+// --- event-driven server side — every method below runs on the loop thread ----
+
+void TcpCommunicator::server_on_accept() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listen socket shut down (teardown) or broken
+      return;  // EAGAIN (backlog drained) or listen socket shut down
     }
     if (shutting_down_.load()) {
       ::close(fd);
       return;
     }
     set_nodelay(fd);
-    set_recv_timeout_opt(fd, kHelloTimeoutSeconds);
-    // Sniff the first 4 bytes before committing to a frame header: a
-    // plain-text "GET " is an HTTP scrape of the obs registry (served and
-    // closed, never admitted as a peer), anything else must be a hello.
-    std::uint8_t head[sizeof(FrameHeader)];
-    bool got_hello = read_exact(fd, head, 4);
-    if (got_hello && std::memcmp(head, "GET ", 4) == 0) {
-      serve_http_get(fd);
-      ::close(fd);
-      continue;
+    srv_->conns[fd] = std::make_unique<ServerState::Conn>();
+    // Hello-admission budget: a silent connector must not hold per-connection
+    // state forever. Fires unless the conn is admitted (or sniffs as HTTP,
+    // which re-arms the tighter scrape deadline) first.
+    loop_->arm_deadline(fd, kHelloTimeoutSeconds,
+                        [this, fd] { server_on_deadline(fd); });
+    loop_->add_fd(fd, EPOLLIN,
+                  [this, fd](std::uint32_t ev) { server_on_conn(fd, ev); });
+  }
+}
+
+void TcpCommunicator::server_on_deadline(int fd) {
+  // Hello never arrived, or a scrape stalled. Either way the connection was
+  // never (or is no longer) useful — drop it quietly; a real member that lost
+  // the race simply reconnects.
+  server_drop_conn(fd, std::string());
+}
+
+void TcpCommunicator::server_drop_conn(int fd, const std::string& err) {
+  auto it = srv_->conns.find(fd);
+  if (it == srv_->conns.end()) return;
+  const int peer_rank = it->second->peer;
+  loop_->remove_fd(fd);
+  srv_->conns.erase(it);
+  if (peer_rank >= 0) {
+    srv_->fd_of_peer.erase(peer_rank);
+    // Wake any sender stalled in poll(POLLOUT) on this socket before taking
+    // the peer lock it holds.
+    ::shutdown(fd, SHUT_RDWR);
+    Peer& p = peer(peer_rank);
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (p.fd == fd) {
+      p.up = false;
+      p.fd = -1;  // closed below; a rejoin installs a fresh fd
     }
-    if (got_hello) got_hello = read_exact(fd, head + 4, sizeof(head) - 4);
-    FrameHeader h{};
-    if (got_hello) std::memcpy(&h, head, sizeof(h));
-    std::string err;
-    if (!got_hello)
-      err = "client hello read failed";
-    else if (h.magic != kMagic || h.tag != kHelloTag || h.len != 0)
-      err = "malformed client hello";
-    else if (h.src < 1 || h.src >= world_size_)
-      err = "client announced invalid rank " + std::to_string(h.src);
-    bool initial = false;
+  }
+  ::close(fd);
+  if (!err.empty()) {
+    // During group formation a malformed hello aborts construction (the
+    // connecting side is part of this run and is misbehaving). Mid-run
+    // garbage was already dropped above.
+    std::lock_guard<std::mutex> lock(setup_mu_);
+    if (!initial_done_ && setup_error_.empty()) {
+      setup_error_ = err;
+      setup_cv_.notify_all();
+    }
+  }
+}
+
+void TcpCommunicator::server_admit(int fd, int src) {
+  loop_->cancel_deadline(fd);
+  bool initial = false;
+  {
+    std::lock_guard<std::mutex> lock(setup_mu_);
+    initial = !initial_done_;
+  }
+  Peer& p = peer(src);
+  if (initial) {
+    bool duplicate = false;
     {
-      std::lock_guard<std::mutex> lock(setup_mu_);
-      initial = !initial_done_;
-    }
-    if (err.empty() && initial) {
-      Peer& p = peer(h.src);
       std::lock_guard<std::mutex> lock(p.mu);
-      if (p.up) err = "duplicate client rank " + std::to_string(h.src);
+      duplicate = p.up;
     }
-    if (!err.empty()) {
-      ::close(fd);
-      if (initial) {
-        // During group formation a bad hello aborts construction (the
-        // connecting side is part of this run and is misbehaving).
-        std::lock_guard<std::mutex> lock(setup_mu_);
-        setup_error_ = err;
-        setup_cv_.notify_all();
+    if (duplicate) {
+      server_drop_conn(fd, "duplicate client rank " + std::to_string(src));
+      return;
+    }
+  }
+  // A rejoin replaces the old link. Shut the old socket down before taking
+  // the peer lock so a sender stalled on it wakes up and releases the lock.
+  const auto old_it = srv_->fd_of_peer.find(src);
+  const int old_fd = old_it == srv_->fd_of_peer.end() ? -1 : old_it->second;
+  if (old_fd >= 0) {
+    ::shutdown(old_fd, SHUT_RDWR);
+    loop_->remove_fd(old_fd);
+    srv_->conns.erase(old_fd);
+  }
+  srv_->conns[fd]->peer = src;
+  srv_->fd_of_peer[src] = fd;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.fd = fd;
+    p.up = true;
+    if (!initial) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      tcp_reconnects().inc();
+      obs::instant(obs::Name::TcpReconnect, rank_, 0,
+                   static_cast<std::uint64_t>(src));
+    }
+    flush_outbox_locked(p);
+  }
+  if (old_fd >= 0) ::close(old_fd);  // no sender can hold it once p.fd moved on
+  if (initial) {
+    std::lock_guard<std::mutex> lock(setup_mu_);
+    ++connected_;
+    setup_cv_.notify_all();
+  }
+}
+
+void TcpCommunicator::server_dispatch(int fd, int peer_rank, int tag,
+                                      std::uint32_t round, std::uint64_t trace_id,
+                                      std::uint64_t span_id) {
+  auto it = srv_->conns.find(fd);
+  if (it == srv_->conns.end()) return;
+  Bytes payload = std::exchange(it->second->payload, Bytes{});
+  if (tag == kPingTag) {
+    // Clock-sync ping: answer from the loop so the sample never waits behind
+    // application recvs. Payload: echo token + our clock (trace timebase),
+    // plus the injectable test skew.
+    if (payload.size() != 8) {
+      server_drop_conn(fd, std::string());  // malformed control frame
+      return;
+    }
+    Bytes pong;
+    pong.reserve(16);
+    put_le64(pong, get_le64(payload.data()));
+    const std::int64_t server_ns =
+        static_cast<std::int64_t>(obs::TraceRecorder::global().now_ns()) +
+        pong_skew_ns_.load(std::memory_order_relaxed);
+    put_le64(pong, static_cast<std::uint64_t>(server_ns));
+    Peer& p = peer(peer_rank);
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (p.up && p.fd >= 0)
+      (void)write_frame_locked(p, kPongTag, ConstByteSpan(pong), {});
+    return;
+  }
+  tcp_frame_recv_bytes().observe(payload.size());
+  obs::instant(obs::Name::TcpRecv, rank_, 0, payload.size());
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_[{peer_rank, tag}].push(
+        Inbound{std::move(payload), obs::TraceContext{trace_id, span_id, round}});
+  }
+  inbox_cv_.notify_all();
+}
+
+void TcpCommunicator::server_on_conn(int fd, std::uint32_t events) {
+  (void)events;  // level-triggered: state decides what to attempt, not the mask
+  auto it = srv_->conns.find(fd);
+  if (it == srv_->conns.end()) return;
+  ServerState::Conn* c = it->second.get();
+  using Stage = ServerState::Stage;
+
+  if (c->stage == Stage::kHttpWrite) {
+    while (c->http_sent < c->http_resp.size()) {
+      const ssize_t w = ::send(fd, c->http_resp.data() + c->http_sent,
+                               c->http_resp.size() - c->http_sent, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (w <= 0) {
+        server_drop_conn(fd, std::string());
         return;
       }
-      continue;  // mid-run intruder/garbage: drop it, keep serving
+      c->http_sent += static_cast<std::size_t>(w);
     }
-    set_recv_timeout_opt(fd, 0.0);  // hello budget only; frames block freely
+    server_drop_conn(fd, std::string());  // response complete; scrapes are one-shot
+    return;
+  }
 
-    Peer& p = peer(h.src);
-    {
-      std::lock_guard<std::mutex> lock(p.mu);
-      if (p.fd >= 0) retire_fd(p.fd);  // rejoin replaces the old link
-      p.fd = fd;
-      p.up = true;
-      if (!initial) {
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
-        tcp_reconnects().inc();
-        obs::instant(obs::Name::TcpReconnect, rank_, 0,
-                     static_cast<std::uint64_t>(h.src));
-      }
-      flush_outbox_locked(p);
+  for (;;) {
+    // One read per iteration; the stage decides the destination buffer.
+    std::uint8_t* dst = nullptr;
+    std::size_t want = 0;
+    char http_buf[512];
+    switch (c->stage) {
+      case Stage::kSniff:
+        dst = c->head;
+        want = 4;
+        break;
+      case Stage::kHello:
+      case Stage::kHeader:
+        dst = c->head;
+        want = sizeof(FrameHeader);
+        break;
+      case Stage::kPayload:
+        dst = c->payload.data();
+        want = c->payload.size();
+        break;
+      case Stage::kHttpRead:
+        dst = reinterpret_cast<std::uint8_t*>(http_buf);
+        want = c->got + sizeof(http_buf);  // unbounded unit; got tracks nothing
+        break;
+      case Stage::kHttpWrite:
+        return;  // handled above
     }
-    start_reader(h.src, fd);
-    if (initial) {
-      std::lock_guard<std::mutex> lock(setup_mu_);
-      ++connected_;
-      setup_cv_.notify_all();
+    const std::size_t room = c->stage == Stage::kHttpRead ? sizeof(http_buf)
+                                                          : want - c->got;
+    const ssize_t r = ::read(fd, c->stage == Stage::kHttpRead ? dst : dst + c->got,
+                             room);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (r <= 0) {
+      // EOF or error. Pre-admission this is a vanished connector (dropped
+      // quietly — it was never a member); post-admission it is a broken
+      // link, surfaced through peer_alive()/fault tolerance.
+      server_drop_conn(fd, std::string());
+      return;
+    }
+
+    if (c->stage == Stage::kHttpRead) {
+      c->http_req.append(http_buf, static_cast<std::size_t>(r));
+      if (c->http_req.size() > kMaxHttpRequestBytes) {
+        server_drop_conn(fd, std::string());  // garbage, not HTTP
+        return;
+      }
+      if (c->http_req.find("\r\n\r\n") == std::string::npos) continue;
+      c->http_resp = render_scrape_response(c->http_req);
+      c->http_sent = 0;
+      c->stage = Stage::kHttpWrite;
+      // Level-triggered EPOLLOUT fires immediately on a writable socket, so
+      // the response goes out on the next loop pass.
+      loop_->modify_fd(fd, EPOLLOUT);
+      return;
+    }
+
+    c->got += static_cast<std::size_t>(r);
+    if (c->got < want) continue;
+
+    switch (c->stage) {
+      case Stage::kSniff:
+        if (std::memcmp(c->head, "GET ", 4) == 0) {
+          // HTTP scrape, never a peer: tighter deadline covers recv + send.
+          c->stage = Stage::kHttpRead;
+          c->http_req.assign(reinterpret_cast<char*>(c->head), 4);
+          loop_->arm_deadline(fd, kScrapeDeadlineSeconds,
+                              [this, fd] { server_on_deadline(fd); });
+        } else {
+          c->stage = Stage::kHello;  // head already holds the first 4 bytes
+        }
+        break;
+      case Stage::kHello: {
+        FrameHeader h;
+        std::memcpy(&h, c->head, sizeof(h));
+        std::string err;
+        if (h.magic != kMagic || h.tag != kHelloTag || h.len != 0)
+          err = "malformed client hello";
+        else if (h.src < 1 || h.src >= world_size_)
+          err = "client announced invalid rank " + std::to_string(h.src);
+        if (!err.empty()) {
+          server_drop_conn(fd, err);
+          return;
+        }
+        server_admit(fd, h.src);
+        if (srv_->conns.find(fd) == srv_->conns.end()) return;  // admit refused
+        c->stage = Stage::kHeader;
+        c->got = 0;
+        break;
+      }
+      case Stage::kHeader:
+        std::memcpy(&c->h, c->head, sizeof(c->h));
+        if (c->h.magic != kMagic || c->h.len > kMaxFrameBytes) {
+          server_drop_conn(fd, std::string());  // protocol violation → drop link
+          return;
+        }
+        c->got = 0;
+        if (c->h.len == 0) {
+          c->payload.clear();
+          server_dispatch(fd, c->peer, c->h.tag, c->h.round, c->h.trace_id,
+                          c->h.span_id);
+          if (srv_->conns.find(fd) == srv_->conns.end()) return;
+        } else {
+          c->payload.resize(c->h.len);
+          c->stage = Stage::kPayload;
+        }
+        break;
+      case Stage::kPayload:
+        c->stage = Stage::kHeader;
+        c->got = 0;
+        server_dispatch(fd, c->peer, c->h.tag, c->h.round, c->h.trace_id,
+                        c->h.span_id);
+        if (srv_->conns.find(fd) == srv_->conns.end()) return;
+        break;
+      case Stage::kHttpRead:
+      case Stage::kHttpWrite:
+        break;  // unreachable
     }
   }
 }
@@ -370,8 +654,8 @@ void TcpCommunicator::reader_main(int peer_rank, int fd) {
       if (p.fd != fd) return;  // a rejoin already replaced this link; new reader owns it
       p.up = false;
     }
-    // Server side: the client rejoins through the accept loop (which spawns
-    // a fresh reader). Without fault tolerance a dead link stays dead.
+    // Only clients run readers (the server multiplexes on its event loop);
+    // without fault tolerance a dead link stays dead.
     if (rank_ == 0 || !ft_.enabled) return;
     const int nfd = client_reconnect();
     if (nfd < 0) return;  // gave up (or shutdown)
@@ -387,24 +671,6 @@ void TcpCommunicator::read_frames(int peer_rank, int fd) {
     if (h.len > kMaxFrameBytes) return;                // absurd length → drop link
     Bytes payload(h.len);
     if (h.len > 0 && !read_exact(fd, payload.data(), payload.size())) return;
-    if (h.tag == kPingTag && rank_ == 0) {
-      // Clock-sync ping: answer from the reader itself so the sample never
-      // waits behind application recvs. Payload: echo token + our clock
-      // (trace timebase), plus the injectable test skew.
-      if (payload.size() != 8) return;  // malformed control frame → drop link
-      Bytes pong;
-      pong.reserve(16);
-      put_le64(pong, get_le64(payload.data()));
-      const std::int64_t server_ns =
-          static_cast<std::int64_t>(obs::TraceRecorder::global().now_ns()) +
-          pong_skew_ns_.load(std::memory_order_relaxed);
-      put_le64(pong, static_cast<std::uint64_t>(server_ns));
-      Peer& p = peer(peer_rank);
-      std::lock_guard<std::mutex> lock(p.mu);
-      if (p.up && p.fd >= 0)
-        (void)write_frame_locked(p, kPongTag, ConstByteSpan(pong), {});
-      continue;
-    }
     tcp_frame_recv_bytes().observe(h.len);
     obs::instant(obs::Name::TcpRecv, rank_, 0, h.len);
     {
@@ -484,6 +750,16 @@ bool TcpCommunicator::write_frame_locked(Peer& p, int tag, ConstByteSpan payload
     const ssize_t n = ::sendmsg(p.fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Server-side sockets are nonblocking, so backpressure surfaces here
+        // instead of blocking in the kernel. Wait for drain under a stall
+        // budget: a peer that stopped reading breaks the link rather than
+        // wedging the sender (and whoever waits on the peer lock) forever.
+        pollfd pf{p.fd, POLLOUT, 0};
+        const int pr = ::poll(&pf, 1, static_cast<int>(kWriteStallSeconds * 1000));
+        if (pr > 0) continue;
+        return false;  // stall budget exhausted, or the socket died
+      }
       return false;
     }
     std::size_t left = static_cast<std::size_t>(n);

@@ -9,10 +9,20 @@
 //                                 | u64 trace_id | u64 span_id | payload[len]
 //
 // Control tags live below the user/collective ranges: hello = −1,
-// clock-sync ping = −2 / pong = −3 (answered inside the server's reader,
+// clock-sync ping = −2 / pong = −3 (answered on the server's event loop,
 // never touching the collective tag window). A plain-text "GET " where a
 // frame header would be is served as a read-only HTTP scrape of the obs
-// registry/fleet (obs/scrape.hpp) and the connection closed.
+// registry/fleet (obs/scrape.hpp) and the connection closed; the response
+// is written off the accept path under a deadline, so a stalled scraper
+// cannot wedge admission of real ranks.
+//
+// Server side (rank 0): one epoll event loop (event_loop.hpp) owns the
+// listen socket and every accepted connection. Accepted sockets are
+// nonblocking; a per-connection state machine reassembles v2 frames
+// (sniff → hello → header → payload) and posts them to the inbox, so
+// thousands of clients multiplex in one thread instead of one blocking
+// reader thread each (DESIGN.md §10). Clients keep a single blocking
+// reader thread for their one server link.
 //
 // Point-to-point is only defined along star edges (server↔client), so the
 // tree/ring collective defaults are overridden with client/server
@@ -44,11 +54,17 @@
 
 namespace of::comm {
 
+class EventLoop;
+
 struct TcpFaultTolerance {
   bool enabled = false;
   int max_reconnect_attempts = 8;
   double backoff_seconds = 0.05;      // first retry delay
   double backoff_max_seconds = 2.0;   // exponential backoff cap
+  // Initial-connect budget (make_client): retries with jittered exponential
+  // backoff until this deadline, then fails with a clean error instead of
+  // spinning forever against a coordinator that never bound.
+  double connect_timeout_seconds = 30.0;
 };
 
 class TcpCommunicator final : public Communicator {
@@ -147,10 +163,28 @@ class TcpCommunicator final : public Communicator {
   // Client-side reconnect loop (capped exponential backoff). Returns the new
   // fd, or -1 when attempts are exhausted or shutdown began.
   int client_reconnect();
-  // Server-side accept loop: initial connects, then rejoins.
-  void accept_loop();
   // Sleep in small slices so shutdown stays responsive; false if shutting down.
   bool interruptible_sleep(double seconds);
+
+  // --- event-driven server side (rank 0) — all run on the loop thread ---------
+  // Drain the nonblocking listen socket: accept, register the connection
+  // state machine, arm its hello-admission deadline.
+  void server_on_accept();
+  // Readiness callback for one accepted connection: advance its read (or
+  // HTTP write) state machine as far as the socket allows.
+  void server_on_conn(int fd, std::uint32_t events);
+  // Per-connection deadline: hello never arrived / scrape stalled. Drops
+  // the connection quietly (a silent connector is not a member).
+  void server_on_deadline(int fd);
+  // Admit a connection that delivered a valid hello as peer `src`.
+  void server_admit(int fd, int src);
+  // Tear down one connection. `err` non-empty aborts setup during group
+  // formation (a misbehaving member), and is ignored mid-run.
+  void server_drop_conn(int fd, const std::string& err);
+  // Deliver one reassembled frame from an admitted connection (answers
+  // pings inline, everything else goes to the inbox).
+  void server_dispatch(int fd, int peer_rank, int tag, std::uint32_t round,
+                       std::uint64_t trace_id, std::uint64_t span_id);
 
   Peer& peer(int rank);
   const Peer& peer(int rank) const;
@@ -181,7 +215,12 @@ class TcpCommunicator final : public Communicator {
   std::string setup_error_;
   std::vector<int> retired_fds_;  // fds replaced by a rejoin; closed at teardown
 
-  std::thread accept_thread_;
+  // Server: the epoll reactor and its per-connection read-state machines
+  // (defined in tcp.cpp; loop-thread-owned).
+  struct ServerState;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ServerState> srv_;
+
   std::mutex readers_mu_;
   std::vector<std::thread> readers_;
   std::atomic<bool> shutting_down_{false};

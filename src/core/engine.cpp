@@ -377,6 +377,19 @@ std::vector<NodeSetup> Engine::build_setups() {
                                  static_cast<double>(topology_.num_groups) /
                                  static_cast<double>(total_samples)
                            : 1.0;
+      // Streaming combiner scale (node.hpp): bridges the client-side
+      // weight_scale pre-scaling to the root's divide-by-total-count mean —
+      // gs·T/(K_g·total). At full participation the tree equals the flat
+      // weighted mean exactly.
+      const auto gs = group_samples[static_cast<std::size_t>(tn.group)];
+      s.partial_scale =
+          (gs > 0 && total_samples > 0 && group_trainers > 0)
+              ? static_cast<double>(gs) * static_cast<double>(num_trainers) /
+                    (static_cast<double>(group_trainers) *
+                     static_cast<double>(total_samples))
+              : 1.0;
+      s.hier_deadline_seconds = topology_.combiner_deadline_seconds;
+      s.hier_min_clients = topology_.combiner_min_clients;
     }
 
     // Plugins.

@@ -826,6 +826,30 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
   state.params = s_.algorithm_params;
   if (is_root) state.global = algo.initial_global(s_.model);
 
+  // Combiner tier (DESIGN.md §10): stream each arriving group update into a
+  // partial-sum frame and forward only `partial_scale × sum` plus its count
+  // upward, so aggregation state is O(model × combiners) instead of
+  // O(clients × model). Privacy frames only mean anything in aggregate with
+  // every masked body present, so those setups keep collect-then-mean.
+  const bool streaming = s_.privacy == nullptr;
+  StreamingSum group_sum(pool_, s_.compressor.get());
+  StreamingSum root_sum(pool_, s_.outer_compressor.get());
+  comm::star::PartialGatherOptions group_opt;
+  if (s_.hier_deadline_seconds > 0) {
+    group_opt.min_clients = std::min(s_.hier_min_clients, inner.world_size() - 1);
+    group_opt.deadline_seconds = s_.hier_deadline_seconds;
+    group_opt.quorum_timeout_seconds = 60.0;
+  } else {
+    // No combiner policy configured: wait for the whole group.
+    group_opt.min_clients = inner.world_size() - 1;
+    group_opt.deadline_seconds = 60.0;
+    group_opt.quorum_timeout_seconds = 60.0;
+  }
+  comm::star::PartialGatherOptions outer_opt;  // combiners are never cut
+  outer_opt.min_clients = outer.world_size() - 1;
+  outer_opt.deadline_seconds = 60.0;
+  outer_opt.quorum_timeout_seconds = 60.0;
+
   for (std::size_t round = 0; round < s_.global_rounds; ++round) {
     ScopedSpan round_span(Name::Round, s_.node_id, round);
     const auto t0 = Clock::now();
@@ -839,37 +863,88 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
       span.set_arg(gbytes.size());
     }
 
-    // Collect the group's updates and pre-aggregate them.
-    std::vector<tensor::Bytes> frames;
-    {
-      ScopedSpan span(Name::Recv, s_.node_id, round);
-      frames = inner.gather_bytes({}, 0);
-    }
-    frames.erase(frames.begin());
-    ScopedSpan group_agg_span(Name::Aggregate, s_.node_id, round, frames.size());
-    const auto group_mean =
-        mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_);
-    group_agg_span.end();
-
-    // Cross-facility tier: (optionally compressed) leader contribution.
     const PayloadPlugins outer_plugins{s_.outer_compressor.get(), nullptr};
     if (s_.outer_compressor)
       s_.outer_compressor->set_stream(round, static_cast<std::uint64_t>(outer.rank()));
-    {
-      ScopedSpan span(Name::Encode, s_.node_id, round);
-      encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
-                         outer.world_size(), pool_, frame_buf_);
-      span.set_arg(frame_buf_.size());
-    }
-    ScopedSpan outer_span(Name::Send, s_.node_id, round, frame_buf_.size());
-    auto outer_frames = outer.gather_bytes(frame_buf_, 0);
-    outer_span.end();
-    if (is_root) {
-      ScopedSpan span(Name::Aggregate, s_.node_id, round, outer_frames.size());
-      const auto mean =
-          mean_updates(outer_frames, s_.outer_compressor.get(), nullptr, &pool_);
-      state.round = round;
-      state.global = algo.server_update(state, mean);
+
+    if (streaming) {
+      // Fold each group update into the partial sum the moment it arrives
+      // (trainers send through plain gather_bytes — same tag protocol).
+      group_sum.reset();
+      comm::star::StreamingGather sg;
+      {
+        ScopedSpan span(Name::Recv, s_.node_id, round);
+        sg = comm::star::gather_bytes_streaming(
+            inner, {},
+            [&](int /*src*/, tensor::Bytes&& frame) { group_sum.add(frame); },
+            group_opt);
+      }
+      {
+        ScopedSpan span(Name::Encode, s_.node_id, round);
+        group_sum.encode_partial_into(s_.partial_scale, s_.outer_compressor.get(),
+                                      frame_buf_);
+        span.set_arg(frame_buf_.size());
+      }
+      if (s_.obs_telemetry) {
+        obs::Fleet::CombinerHealth ch;
+        ch.group = s_.group;
+        ch.round = static_cast<std::uint32_t>(round);
+        ch.participated = static_cast<std::uint32_t>(sg.participated.size());
+        ch.expected = static_cast<std::uint32_t>(inner.world_size() - 1);
+        ch.dropped = static_cast<std::uint32_t>(sg.dropped.size());
+        ch.deadline_hit = sg.deadline_hit;
+        ch.agg_peak_bytes = group_sum.peak_bytes();
+        ch.seconds = seconds_since(t0);
+        obs::Fleet::global().record_combiner(ch);
+      }
+
+      // Cross-facility tier: partials stream into the root's sum the same
+      // way; the root folds in its own group's partial directly.
+      ScopedSpan outer_span(Name::Send, s_.node_id, round, frame_buf_.size());
+      if (is_root) root_sum.reset();
+      if (is_root) root_sum.add_partial(frame_buf_);
+      const auto og = comm::star::gather_bytes_streaming(
+          outer, frame_buf_,
+          [&](int /*src*/, tensor::Bytes&& frame) { root_sum.add_partial(frame); },
+          outer_opt);
+      (void)og;
+      outer_span.end();
+      if (is_root) {
+        ScopedSpan span(Name::Aggregate, s_.node_id, round, root_sum.count());
+        const auto mean = root_sum.finish_mean();
+        state.round = round;
+        state.global = algo.server_update(state, mean);
+      }
+    } else {
+      // Collect the group's updates and pre-aggregate them.
+      std::vector<tensor::Bytes> frames;
+      {
+        ScopedSpan span(Name::Recv, s_.node_id, round);
+        frames = inner.gather_bytes({}, 0);
+      }
+      frames.erase(frames.begin());
+      ScopedSpan group_agg_span(Name::Aggregate, s_.node_id, round, frames.size());
+      const auto group_mean =
+          mean_updates(frames, s_.compressor.get(), s_.privacy.get(), &pool_);
+      group_agg_span.end();
+
+      // Cross-facility tier: (optionally compressed) leader contribution.
+      {
+        ScopedSpan span(Name::Encode, s_.node_id, round);
+        encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
+                           outer.world_size(), pool_, frame_buf_);
+        span.set_arg(frame_buf_.size());
+      }
+      ScopedSpan outer_span(Name::Send, s_.node_id, round, frame_buf_.size());
+      auto outer_frames = outer.gather_bytes(frame_buf_, 0);
+      outer_span.end();
+      if (is_root) {
+        ScopedSpan span(Name::Aggregate, s_.node_id, round, outer_frames.size());
+        const auto mean =
+            mean_updates(outer_frames, s_.outer_compressor.get(), nullptr, &pool_);
+        state.round = round;
+        state.global = algo.server_update(state, mean);
+      }
     }
 
     // Metrics: group sum → outer gather → root records.

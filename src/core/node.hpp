@@ -95,6 +95,17 @@ struct NodeSetup {
   int cohort_index = 0;       // index within the aggregation cohort
   int cohort_size = 1;
 
+  // Hierarchical combiner tier (leaders only). A leader streams its group's
+  // updates into a StreamingSum and forwards `partial_scale × sum` upward —
+  // the scale bridges the per-client weight_scale pre-scaling to the root's
+  // divide-by-total-count mean, so the tree reproduces the flat weighted
+  // mean exactly at full participation. deadline 0 = wait for the whole
+  // group; with a deadline, stragglers are cut once `hier_min_clients`
+  // reported (privacy setups always fall back to collect-then-mean).
+  double partial_scale = 1.0;
+  double hier_deadline_seconds = 0.0;
+  int hier_min_clients = 0;
+
   std::unique_ptr<algorithms::Algorithm> algorithm;
   config::ConfigNode algorithm_params;
 

@@ -147,7 +147,118 @@ void decode_body_into(ConstByteSpan frame, std::size_t off, std::uint8_t mode,
   OF_CHECK_MSG(false, "decode_update cannot decode privacy frames individually");
 }
 
+// write_manifest for a shape list (StreamingSum has no tensors, only shapes).
+void write_manifest_shapes(Bytes& out, const std::vector<tensor::Shape>& shapes) {
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(shapes.size()));
+  for (const auto& s : shapes) {
+    tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+    for (std::size_t d : s) tensor::append_pod<std::uint64_t>(out, d);
+  }
+}
+
 }  // namespace
+
+StreamingSum::StreamingSum(FramePool& pool, compression::Compressor* decompressor)
+    : pool_(&pool), decompressor_(decompressor) {}
+
+void StreamingSum::reset() {
+  acc_ = FramePool::FloatHandle{};
+  shapes_.clear();
+  total_ = 0;
+  count_ = 0;
+  init_ = false;
+}
+
+void StreamingSum::ensure_shapes(const std::vector<tensor::Shape>& shapes,
+                                 std::size_t total) {
+  if (!init_) {
+    shapes_ = shapes;
+    total_ = total;
+    acc_ = pool_->acquire_floats(total_);
+    std::fill(acc_->begin(), acc_->end(), 0.0f);
+    peak_bytes_ = std::max(peak_bytes_, total_ * sizeof(float));
+    init_ = true;
+    return;
+  }
+  OF_CHECK_MSG(shapes.size() == shapes_.size() && total == total_,
+               "payload structure mismatch");
+}
+
+void StreamingSum::add_update_frame(ConstByteSpan frame) {
+  std::size_t off = 0;
+  const auto mode = tensor::read_pod<std::uint8_t>(frame, off);
+  OF_CHECK_MSG(mode != kPrivacy,
+               "privacy frames cannot stream into a partial sum — use the "
+               "collect-then-mean path");
+  const auto shapes = read_manifest(frame, off);
+  const std::size_t total = manifest_numel(shapes);
+  ensure_shapes(shapes, total);
+  if (mode == kPlain) {
+    OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
+                 "trailing bytes in plain payload");
+    tensor::add_scaled_from_bytes(frame.subspan(off), 1.0, FloatSpan(*acc_));
+    return;
+  }
+  FramePool::FloatHandle scratch = pool_->acquire_floats(total);
+  decode_body_into(frame, off, mode, total, decompressor_, FloatSpan(*scratch));
+  float* a = acc_->data();
+  const float* s = scratch->data();
+  for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
+  peak_bytes_ = std::max(peak_bytes_, 2 * total * sizeof(float));
+}
+
+void StreamingSum::add(ConstByteSpan frame) {
+  if (is_skip_update(frame)) return;
+  add_update_frame(frame);
+  ++count_;
+}
+
+void StreamingSum::add_partial(ConstByteSpan partial) {
+  std::size_t off = 0;
+  const auto n = tensor::read_pod<std::uint64_t>(partial, off);
+  if (n == 0) return;  // empty combiner: its body is a skip marker
+  add_update_frame(partial.subspan(off));
+  count_ += static_cast<std::size_t>(n);
+}
+
+void StreamingSum::encode_partial_into(double scale,
+                                       compression::Compressor* compressor,
+                                       Bytes& out) {
+  out.clear();
+  tensor::append_pod<std::uint64_t>(out, static_cast<std::uint64_t>(count_));
+  if (count_ == 0) {
+    out.push_back(kSkip);
+    return;
+  }
+  if (!compressor) {
+    out.push_back(kPlain);
+    write_manifest_shapes(out, shapes_);
+    tensor::append_scaled_span(out, ConstFloatSpan(*acc_), scale);
+    return;
+  }
+  out.push_back(kCompressed);
+  write_manifest_shapes(out, shapes_);
+  FramePool::FloatHandle flat = pool_->acquire_floats(total_);
+  const float* a = acc_->data();
+  for (std::size_t i = 0; i < total_; ++i)
+    (*flat)[i] = static_cast<float>(static_cast<double>(a[i]) * scale);
+  FramePool::Handle lent = pool_->acquire();
+  compression::Compressed c;
+  c.payload = std::move(*lent);
+  compressor->compress(ConstFloatSpan(*flat), c);
+  tensor::append_pod<std::uint64_t>(out, c.original_numel);
+  tensor::append_pod<std::uint64_t>(out, c.payload.size());
+  tensor::append_span(out, ConstByteSpan(c.payload));
+  *lent = std::move(c.payload);
+  peak_bytes_ = std::max(peak_bytes_, 2 * total_ * sizeof(float));
+}
+
+std::vector<Tensor> StreamingSum::finish_mean() {
+  OF_CHECK_MSG(count_ > 0, "no client updates to aggregate (all skipped?)");
+  const float inv = 1.0f / static_cast<float>(count_);
+  for (float& v : *acc_) v *= inv;
+  return split_flat(ConstFloatSpan(*acc_), shapes_);
+}
 
 Bytes pack_tensors(const std::vector<Tensor>& ts) { return tensor::serialize_tensors(ts); }
 

@@ -84,6 +84,52 @@ std::vector<Tensor> robust_combine(const std::vector<Bytes>& frames,
                                    AggregationRule rule, double trim = 0.1,
                                    FramePool* pool = nullptr);
 
+// Streaming partial-sum accumulator — the combiner tier's aggregation state
+// (DESIGN.md §10). Frames are folded into one pooled flat accumulator as
+// they arrive, so a combiner holds O(model) bytes no matter how many clients
+// feed it; only the partial sum (plus its contribution count) is forwarded
+// upward. Privacy frames are rejected: secure aggregation needs every masked
+// body at once, so hierarchical setups with privacy fall back to
+// collect-then-mean.
+class StreamingSum {
+ public:
+  explicit StreamingSum(FramePool& pool,
+                        compression::Compressor* decompressor = nullptr);
+
+  // Forget all contributions (pooled capacity persists; peak_bytes does too).
+  void reset();
+  // Fold in one client update frame (plain/compressed; skip markers are
+  // ignored and do not count as contributions).
+  void add(ConstByteSpan frame);
+  // Fold in a downstream combiner's partial produced by encode_partial_into.
+  void add_partial(ConstByteSpan partial);
+  // Emit `scale × sum` plus the contribution count as a partial frame:
+  //   u64 count | update frame        (skip marker body when count == 0)
+  void encode_partial_into(double scale, compression::Compressor* compressor,
+                           Bytes& out);
+  // sum / count in the original tensor-list structure. Consumes the
+  // accumulator (it then holds the mean); reset() before reuse.
+  std::vector<Tensor> finish_mean();
+
+  std::size_t count() const noexcept { return count_; }
+  // Peak bytes of live aggregation state (accumulator + decode scratch) —
+  // the quantity the O(model × combiners) bound is stated over.
+  std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+
+ private:
+  void ensure_shapes(const std::vector<tensor::Shape>& shapes, std::size_t total);
+  void add_update_frame(ConstByteSpan frame);
+
+  FramePool* pool_;
+  compression::Compressor* decompressor_;
+  FramePool::FloatHandle acc_;
+  std::vector<tensor::Shape> shapes_;
+  std::size_t total_ = 0;
+  std::size_t count_ = 0;
+  std::size_t peak_bytes_ = 0;
+  bool init_ = false;
+};
+
 // Pack/unpack a tensor list without plugins (global-payload broadcast).
 Bytes pack_tensors(const std::vector<Tensor>& ts);
 std::vector<Tensor> unpack_tensors(const Bytes& b);

@@ -126,8 +126,15 @@ Topology Topology::from_config(const config::ConfigNode& cfg) {
     return centralized(cfg.get_or<int>("num_clients", 4));
   if (target == "RingTopology" || target == "DecentralizedTopology")
     return ring(cfg.get_or<int>("num_nodes", cfg.get_or<int>("num_clients", 4)));
-  if (target == "HierarchicalTopology")
-    return hierarchical(cfg.get_or<int>("groups", 2), cfg.get_or<int>("group_size", 2));
+  if (target == "HierarchicalTopology") {
+    Topology t = hierarchical(cfg.get_or<int>("groups", 2), cfg.get_or<int>("group_size", 2));
+    if (cfg.has("combiner")) {
+      const auto& cb = cfg.at("combiner");
+      t.combiner_deadline_seconds = cb.get_or<double>("deadline_seconds", 0.0);
+      t.combiner_min_clients = cb.get_or<int>("min_clients", 0);
+    }
+    return t;
+  }
   if (target == "CustomTopology") {
     Topology t;
     t.kind = "custom";

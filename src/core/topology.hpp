@@ -31,6 +31,13 @@ struct Topology {
   std::vector<std::pair<int, int>> edges;  // undirected
   int num_groups = 1;
 
+  // Combiner policy (hierarchical only): each group leader streams client
+  // updates into a partial sum and cuts stragglers at the deadline, provided
+  // at least `combiner_min_clients` reported. 0 deadline = wait for the whole
+  // group (no cut) — the pre-combiner behavior.
+  double combiner_deadline_seconds = 0.0;
+  int combiner_min_clients = 0;
+
   int size() const noexcept { return static_cast<int>(nodes.size()); }
   int num_trainers() const;
   std::vector<int> trainer_ids() const;

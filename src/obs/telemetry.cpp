@@ -120,6 +120,7 @@ void Fleet::reset(std::uint64_t trace_id) {
   trace_id_ = trace_id;
   nodes_.clear();
   last_round_.reset();
+  combiners_.clear();
 }
 
 void Fleet::record(const TelemetrySummary& s) {
@@ -137,6 +138,19 @@ void Fleet::record(const TelemetrySummary& s) {
 void Fleet::record_round(const RoundHealth& h) {
   std::lock_guard<std::mutex> lock(mu_);
   last_round_ = h;
+}
+
+void Fleet::record_combiner(const CombinerHealth& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  combiners_[h.group] = h;
+}
+
+std::vector<Fleet::CombinerHealth> Fleet::combiners() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CombinerHealth> out;
+  out.reserve(combiners_.size());
+  for (const auto& [g, h] : combiners_) out.push_back(h);
+  return out;
 }
 
 std::uint64_t Fleet::trace_id() const {
@@ -235,6 +249,24 @@ std::string Fleet::prometheus_text() const {
        << "# TYPE of_fleet_last_round_bytes_down gauge\n"
        << "of_fleet_last_round_bytes_down " << h.bytes_down << '\n';
   }
+
+  if (!combiners_.empty()) {
+    const auto combiner_gauge = [&](const char* name, auto value_of) {
+      os << "# TYPE of_fleet_combiner_" << name << " gauge\n";
+      for (const auto& [g, h] : combiners_)
+        os << "of_fleet_combiner_" << name << "{group=\"" << g << "\"} "
+           << value_of(h) << '\n';
+    };
+    combiner_gauge("round", [](const CombinerHealth& h) { return h.round; });
+    combiner_gauge("participated",
+                   [](const CombinerHealth& h) { return h.participated; });
+    combiner_gauge("expected", [](const CombinerHealth& h) { return h.expected; });
+    combiner_gauge("dropped", [](const CombinerHealth& h) { return h.dropped; });
+    combiner_gauge("deadline_hit",
+                   [](const CombinerHealth& h) { return h.deadline_hit ? 1 : 0; });
+    combiner_gauge("agg_peak_bytes",
+                   [](const CombinerHealth& h) { return h.agg_peak_bytes; });
+  }
   return os.str();
 }
 
@@ -252,6 +284,15 @@ std::string Fleet::health_text() const {
       os << (i ? " " : "") << h.dropped[i];
     os << "], deadline_hit " << (h.deadline_hit ? "yes" : "no") << ", bytes up "
        << h.bytes_up << " / down " << h.bytes_down << ", " << std::fixed
+       << std::setprecision(3) << h.seconds << " s\n";
+    os.unsetf(std::ios::fixed);
+  }
+
+  for (const auto& [g, h] : combiners_) {
+    os << "combiner " << g << ": round=" << h.round << " participated="
+       << h.participated << '/' << h.expected << " dropped=" << h.dropped
+       << " deadline_hit=" << (h.deadline_hit ? "yes" : "no")
+       << " agg_peak_bytes=" << h.agg_peak_bytes << ' ' << std::fixed
        << std::setprecision(3) << h.seconds << " s\n";
     os.unsetf(std::ios::fixed);
   }

@@ -81,12 +81,30 @@ class Fleet {
     double seconds = 0.0;
   };
 
+  // One combiner's (group leader's) view of a finished round — the
+  // hierarchical tier's health row (DESIGN.md §10).
+  struct CombinerHealth {
+    int group = 0;
+    std::uint32_t round = 0;
+    std::uint32_t participated = 0;  // group members that made the cutoff
+    std::uint32_t expected = 0;
+    std::uint32_t dropped = 0;       // stragglers cut at the deadline
+    bool deadline_hit = false;
+    std::uint64_t agg_peak_bytes = 0;  // StreamingSum::peak_bytes()
+    double seconds = 0.0;              // group gather + partial encode
+  };
+
   // Start a fresh fleet view for a run.
   void reset(std::uint64_t trace_id);
 
-  // Record a client summary / the aggregator's round record. Thread-safe.
+  // Record a client summary / the aggregator's round record / one combiner's
+  // round record. Thread-safe.
   void record(const TelemetrySummary& s);
   void record_round(const RoundHealth& h);
+  void record_combiner(const CombinerHealth& h);
+
+  // Latest health row per combiner group, ascending group id.
+  std::vector<CombinerHealth> combiners() const;
 
   std::uint64_t trace_id() const;
   // Latest summary per node, ascending rank.
@@ -111,6 +129,7 @@ class Fleet {
   std::uint64_t trace_id_ = 0;
   std::map<int, NodeState> nodes_;
   std::optional<RoundHealth> last_round_;
+  std::map<int, CombinerHealth> combiners_;  // group id → latest row
 };
 
 }  // namespace of::obs

@@ -1,7 +1,7 @@
 // Homomorphic-encryption privacy mechanism: Paillier-encrypted updates,
 // aggregated by ciphertext multiplication. In this simulation the
 // aggregator holds the key pair (threshold/key-splitting is out of scope,
-// DESIGN.md §11); the compute cost of encrypt/add/decrypt is the real
+// DESIGN.md §12); the compute cost of encrypt/add/decrypt is the real
 // big-integer cost that Table 3b measures.
 #pragma once
 

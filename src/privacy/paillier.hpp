@@ -34,7 +34,7 @@ class Paillier {
  public:
   // Generate a keypair with an n of ~`key_bits` bits. 256 is the default
   // used by tests/benches — cryptographically toy-sized but algorithmically
-  // faithful (see DESIGN.md §11).
+  // faithful (see DESIGN.md §12).
   static Paillier keygen(std::size_t key_bits, tensor::Rng& rng);
 
   const PaillierPublicKey& pub() const noexcept { return pub_; }

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -489,6 +491,104 @@ TEST(TcpHardening, DownLinkWithoutFaultToleranceThrows) {
       EXPECT_THROW(c.send_bytes(0, 2, Bytes{1}), std::runtime_error);
     }
   });
+}
+
+// --- Accept-path regressions (event-loop server, ports 474xx) -----------------------
+
+TEST(TcpAcceptPath, ListenBacklogSurvivesConnectBurst) {
+  // A mass-connect burst larger than the old `backlog = world_size` must not
+  // shed SYNs: every handshake has to complete promptly even before the
+  // accept loop gets scheduled. With backlog 2 the kernel drops the overflow
+  // and those connects stall on the ~1 s SYN retransmit, blowing the budget.
+  constexpr int kBurst = 128;
+  std::unique_ptr<TcpCommunicator> server;
+  std::thread srv([&] { server = TcpCommunicator::make_server(47401, 2); });
+
+  // Wait until the listener is up, keeping this fd to hello later.
+  const int hello_fd = connect_raw(47401);
+  ASSERT_GE(hello_fd, 0);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(47401);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::vector<int> fds;
+  for (int i = 0; i < kBurst; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ASSERT_TRUE(rc == 0 || errno == EINPROGRESS);
+    fds.push_back(fd);
+  }
+  // Every connect must finish the three-way handshake within the budget —
+  // well under the kernel's 1 s SYN retransmission timer.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(800);
+  int connected = 0;
+  for (const int fd : fds) {
+    pollfd pf{fd, POLLOUT, 0};
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now()).count();
+    if (::poll(&pf, 1, static_cast<int>(std::max<long long>(left, 0))) == 1) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err == 0) ++connected;
+    }
+  }
+  EXPECT_EQ(connected, kBurst);
+
+  // Complete formation so make_server returns; burst fds close quietly.
+  WireHeader hello{kWireMagic, 1, kWireHelloTag, 0, 0, 0, 0};
+  send_raw(hello_fd, &hello, sizeof(hello));
+  srv.join();
+  ASSERT_NE(server, nullptr);
+  for (const int fd : fds) ::close(fd);
+  ::close(hello_fd);
+}
+
+TEST(TcpAcceptPath, SlowScraperDoesNotWedgeAdmission) {
+  // A scraper that sends "GET " and then stalls must not block client
+  // admission: HTTP conns are served off the event loop under their own
+  // deadline. The old inline-on-accept path sat in a 10 s recv timeout
+  // before accepting the next connection.
+  std::unique_ptr<TcpCommunicator> server;
+  std::thread srv([&] { server = TcpCommunicator::make_server(47402, 2); });
+
+  const int scraper = connect_raw(47402);
+  ASSERT_GE(scraper, 0);
+  send_raw(scraper, "GET ", 4);  // sniffable as HTTP, then silence
+
+  // Give the server time to take the scraper before the real client shows up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client = TcpCommunicator::make_client("127.0.0.1", 47402, 1, 2);
+  srv.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(server->peer_alive(1));
+  EXPECT_LT(secs, 5.0) << "stalled scraper wedged admission";
+  ::close(scraper);
+}
+
+TEST(TcpAcceptPath, ConnectTimeoutSurfacesCleanError) {
+  // No server on this port: the connect retry loop must give up at the
+  // configured budget with an actionable error, not spin forever at 20 ms.
+  TcpCommunicator::FaultTolerance ft;
+  ft.connect_timeout_seconds = 0.3;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)TcpCommunicator::make_client("127.0.0.1", 47499, 1, 2, ft);
+    FAIL() << "expected connect failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("connect()"), std::string::npos) << what;
+    EXPECT_NE(what.find("coordinator"), std::string::npos) << what;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(secs, 2.0) << "retry loop overran its budget";
 }
 
 // --- AMQP (pub/sub middleware) -------------------------------------------------------
