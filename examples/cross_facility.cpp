@@ -3,10 +3,13 @@
 // between site leaders, and compression applied only to the WAN link.
 //
 //   ./cross_facility [groups] [group_size] [rounds] [--trace base.json]
+//                    [--dump-config]
 //
 // `--trace <path>` records the run and, because a multi-site trace is most
 // useful per node, also writes one Chrome-trace file per node named
-// <path>.rank<N>.json next to the combined <path>.
+// <path>.rank<N>.json next to the combined <path>. `--dump-config` prints
+// the effective merged config (CLI args folded in, defaults materialized
+// through of::refl) as YAML and exits.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -14,11 +17,13 @@
 #include <vector>
 
 #include "config/yaml.hpp"
+#include "core/config_check.hpp"
 #include "core/engine.hpp"
 
 int main(int argc, char** argv) {
   try {
     std::string trace_path;
+    bool dump_config = false;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--trace") == 0) {
@@ -27,6 +32,8 @@ int main(int argc, char** argv) {
           return 1;
         }
         trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--dump-config") == 0) {
+        dump_config = true;
       } else {
         args.emplace_back(argv[i]);
       }
@@ -67,6 +74,10 @@ eval_every: 1
       cfg.set_path("obs.enabled", of::config::ConfigNode::boolean(true));
       cfg.set_path("obs.trace_path", of::config::ConfigNode::string(trace_path));
       cfg.set_path("obs.split_trace_per_node", of::config::ConfigNode::boolean(true));
+    }
+    if (dump_config) {
+      std::cout << of::core::dump_effective_config(cfg);
+      return 0;
     }
 
     of::core::Engine engine(std::move(cfg));

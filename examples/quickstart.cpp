@@ -2,17 +2,21 @@
 // paper's Fig. 2 YAML. Build the same config programmatically, run the
 // Engine, print per-round metrics.
 //
-//   ./quickstart [config.yaml] [--trace trace.json] [dotted.override=value ...]
+//   ./quickstart [config.yaml] [--trace trace.json] [--dump-config]
+//                [dotted.override=value ...]
 //
 // With no arguments it uses an embedded config equivalent to
 // configs/quickstart.yaml. `--trace <path>` turns on of::obs tracing for the
 // run and writes a Chrome trace-event file loadable at ui.perfetto.dev.
+// `--dump-config` prints the effective merged config (file + overrides +
+// defaults materialized through of::refl) as YAML and exits.
 #include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "config/compose.hpp"
 #include "config/yaml.hpp"
+#include "core/config_check.hpp"
 #include "core/engine.hpp"
 
 namespace {
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
     // Peel off --trace <path> wherever it appears; everything else keeps the
     // existing [config.yaml] [override ...] convention.
     std::string trace_path;
+    bool dump_config = false;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--trace") == 0) {
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
           return 1;
         }
         trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--dump-config") == 0) {
+        dump_config = true;
       } else {
         args.emplace_back(argv[i]);
       }
@@ -73,6 +80,10 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       of::config::apply_override(cfg, "obs.enabled=true");
       of::config::apply_override(cfg, "obs.trace_path=" + trace_path);
+    }
+    if (dump_config) {
+      std::cout << of::core::dump_effective_config(cfg);
+      return 0;
     }
 
     of::core::Engine engine(std::move(cfg));

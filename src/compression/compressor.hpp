@@ -128,9 +128,12 @@ class ErrorFeedbackCompressor final : public Compressor {
 //   _target_: src.omnifed.communicator.compression.TopK
 //   k: 1000x            # factor form; or `factor: 1000`, or absolute `k: 500`
 //   error_feedback: true
-using CompressorRegistry = config::Registry<Compressor>;
+// Param structs are reflected (src/refl/), so unknown/typo'd keys fail with
+// a path-aware error unless strict=false.
+using CompressorRegistry = config::Registry<Compressor, bool /*strict*/>;
 CompressorRegistry& compressor_registry();
-std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg);
+std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg,
+                                            bool strict = true);
 
 // Parse "1000x" → 1000.0 (factor) or plain numbers → absolute k.
 // Returns {factor_or_k, is_factor}.

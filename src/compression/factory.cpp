@@ -5,6 +5,68 @@
 #include "compression/powersgd.hpp"
 #include "compression/quantize.hpp"
 #include "compression/sparsify.hpp"
+#include "refl/config_io.hpp"
+
+namespace of::compression {
+
+// Per-codec param structs. Parsed via refl::from_node so unknown keys fail
+// with a `compression.<key>` path; the polymorphic `k: 1000x` spec and the
+// wrapper-level `error_feedback`/`_target_`/`seed` keys stay hand-handled
+// and ride the extra_keys allowlist.
+namespace params {
+struct Sparsifier {};  // k/factor only (allowlisted)
+struct Dgc {
+  double sample_fraction = 0.01;
+};
+struct RedSync {
+  double tolerance = 0.2;
+  int max_iterations = 20;
+};
+struct Sidco {
+  int stages = 3;
+};
+struct Qsgd {
+  int bits = 8;
+  std::size_t bucket_size = 2048;
+};
+struct PowerSgd {
+  std::size_t rank = 32;
+};
+}  // namespace params
+}  // namespace of::compression
+
+template <>
+struct of::refl::Reflect<of::compression::params::Sparsifier> {
+  OF_REFL_FIELDS()
+};
+template <>
+struct of::refl::Reflect<of::compression::params::Dgc> {
+  OF_REFL_FIELDS(
+      field("sample_fraction", &of::compression::params::Dgc::sample_fraction, 1)
+          .gt(0)
+          .le(1))
+};
+template <>
+struct of::refl::Reflect<of::compression::params::RedSync> {
+  OF_REFL_FIELDS(
+      field("tolerance", &of::compression::params::RedSync::tolerance, 1).gt(0),
+      field("max_iterations", &of::compression::params::RedSync::max_iterations, 2)
+          .ge(1))
+};
+template <>
+struct of::refl::Reflect<of::compression::params::Sidco> {
+  OF_REFL_FIELDS(field("stages", &of::compression::params::Sidco::stages, 1).ge(1))
+};
+template <>
+struct of::refl::Reflect<of::compression::params::Qsgd> {
+  OF_REFL_FIELDS(field("bits", &of::compression::params::Qsgd::bits, 1).ge(1).le(16),
+                 field("bucket_size", &of::compression::params::Qsgd::bucket_size, 2)
+                     .ge(1))
+};
+template <>
+struct of::refl::Reflect<of::compression::params::PowerSgd> {
+  OF_REFL_FIELDS(field("rank", &of::compression::params::PowerSgd::rank, 1).ge(1))
+};
 
 namespace of::compression {
 
@@ -49,39 +111,66 @@ std::uint64_t cfg_seed(const config::ConfigNode& cfg) {
   return static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0x5eedULL));
 }
 
+// Keys every codec block may carry besides its reflected params: the factory
+// selector, the ErrorFeedback wrapper toggle, the rng seed, and the
+// polymorphic k-spec (string "1000x" or number — stays hand-parsed).
+const std::vector<std::string> kCommonKeys = {"_target_", "error_feedback", "seed"};
+const std::vector<std::string> kSparsifierKeys = {"_target_", "error_feedback", "seed",
+                                                  "k", "factor"};
+
+template <class P>
+P codec_params(const config::ConfigNode& cfg, bool strict,
+               const std::vector<std::string>& extra = kCommonKeys) {
+  return refl::from_node<P>(cfg, "compression", extra, strict);
+}
+
 void register_builtin(CompressorRegistry& reg) {
-  reg.add("Identity", [](const config::ConfigNode&) {
+  reg.add("Identity", [](const config::ConfigNode& cfg, bool strict) {
+    codec_params<params::Sparsifier>(cfg, strict, kCommonKeys);
     return std::make_unique<Identity>();
   });
-  reg.add("TopK", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    auto [spec, is_factor] = parse_k_spec(cfg);
-    return std::make_unique<TopK>(spec, is_factor);
-  });
-  reg.add("RandomK", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    auto [spec, is_factor] = parse_k_spec(cfg);
-    return std::make_unique<RandomK>(spec, is_factor, cfg_seed(cfg));
-  });
-  reg.add("DGC", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    auto [spec, is_factor] = parse_k_spec(cfg);
-    return std::make_unique<DGC>(spec, is_factor, cfg_seed(cfg),
-                                 cfg.get_or<double>("sample_fraction", 0.01));
-  });
-  reg.add("RedSync", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    auto [spec, is_factor] = parse_k_spec(cfg);
-    return std::make_unique<RedSync>(spec, is_factor, cfg.get_or<double>("tolerance", 0.2),
-                                     cfg.get_or<int>("max_iterations", 20));
-  });
-  reg.add("SIDCo", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    auto [spec, is_factor] = parse_k_spec(cfg);
-    return std::make_unique<SIDCo>(spec, is_factor, cfg.get_or<int>("stages", 3));
-  });
-  reg.add("QSGD", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    return std::make_unique<QSGD>(cfg.get_or<int>("bits", 8), cfg_seed(cfg),
-                                  cfg.get_or<std::size_t>("bucket_size", 2048));
-  });
-  reg.add("PowerSGD", [](const config::ConfigNode& cfg) -> std::unique_ptr<Compressor> {
-    return std::make_unique<PowerSGD>(cfg.get_or<std::size_t>("rank", 32), cfg_seed(cfg));
-  });
+  reg.add("TopK",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            codec_params<params::Sparsifier>(cfg, strict, kSparsifierKeys);
+            auto [spec, is_factor] = parse_k_spec(cfg);
+            return std::make_unique<TopK>(spec, is_factor);
+          });
+  reg.add("RandomK",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            codec_params<params::Sparsifier>(cfg, strict, kSparsifierKeys);
+            auto [spec, is_factor] = parse_k_spec(cfg);
+            return std::make_unique<RandomK>(spec, is_factor, cfg_seed(cfg));
+          });
+  reg.add("DGC",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            const auto p = codec_params<params::Dgc>(cfg, strict, kSparsifierKeys);
+            auto [spec, is_factor] = parse_k_spec(cfg);
+            return std::make_unique<DGC>(spec, is_factor, cfg_seed(cfg),
+                                         p.sample_fraction);
+          });
+  reg.add("RedSync",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            const auto p = codec_params<params::RedSync>(cfg, strict, kSparsifierKeys);
+            auto [spec, is_factor] = parse_k_spec(cfg);
+            return std::make_unique<RedSync>(spec, is_factor, p.tolerance,
+                                             p.max_iterations);
+          });
+  reg.add("SIDCo",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            const auto p = codec_params<params::Sidco>(cfg, strict, kSparsifierKeys);
+            auto [spec, is_factor] = parse_k_spec(cfg);
+            return std::make_unique<SIDCo>(spec, is_factor, p.stages);
+          });
+  reg.add("QSGD",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            const auto p = codec_params<params::Qsgd>(cfg, strict);
+            return std::make_unique<QSGD>(p.bits, cfg_seed(cfg), p.bucket_size);
+          });
+  reg.add("PowerSGD",
+          [](const config::ConfigNode& cfg, bool strict) -> std::unique_ptr<Compressor> {
+            const auto p = codec_params<params::PowerSgd>(cfg, strict);
+            return std::make_unique<PowerSGD>(p.rank, cfg_seed(cfg));
+          });
 }
 
 }  // namespace
@@ -95,8 +184,8 @@ CompressorRegistry& compressor_registry() {
   return reg;
 }
 
-std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg) {
-  auto codec = compressor_registry().create(cfg);
+std::unique_ptr<Compressor> make_compressor(const config::ConfigNode& cfg, bool strict) {
+  auto codec = compressor_registry().create(cfg, strict);
   if (cfg.is_map() && cfg.get_or<bool>("error_feedback", false))
     return std::make_unique<ErrorFeedbackCompressor>(std::move(codec));
   return codec;

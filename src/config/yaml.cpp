@@ -127,12 +127,16 @@ ConfigNode parse_flow_map(const std::string& s, std::size_t& pos, int line_no) {
   std::string cur;
   bool have_key = false;
   bool in_single = false, in_double = false;
+  auto check_dup = [&](const std::string& k) {
+    if (map.has(k)) fail(line_no, "duplicate map key '" + k + "'");
+  };
   auto flush_value = [&] {
     const std::string t = trim(cur);
     if (!have_key) {
       if (!t.empty()) fail(line_no, "flow-map entry without a key");
       return;
     }
+    check_dup(key);
     map[key] = parse_scalar_token(t, line_no);
     have_key = false;
     cur.clear();
@@ -152,6 +156,7 @@ ConfigNode parse_flow_map(const std::string& s, std::size_t& pos, int line_no) {
       ++pos;
     }
     else if (c == '{' && have_key && trim(cur).empty()) {
+      check_dup(key);
       map[key] = parse_flow_map(s, pos, line_no);
       have_key = false;
       while (pos < s.size() && s[pos] == ' ') ++pos;
@@ -159,6 +164,7 @@ ConfigNode parse_flow_map(const std::string& s, std::size_t& pos, int line_no) {
       else if (pos < s.size() && s[pos] == '}') { ++pos; return map; }
     }
     else if (c == '[' && have_key && trim(cur).empty()) {
+      check_dup(key);
       map[key] = parse_flow_list(s, pos, line_no);
       have_key = false;
       while (pos < s.size() && s[pos] == ' ') ++pos;
@@ -292,6 +298,7 @@ class Parser {
       std::string key, rest;
       if (!split_key(line.content, key, rest, line.number))
         fail(line.number, "expected 'key: value'");
+      if (node.has(key)) fail(line.number, "duplicate map key '" + key + "'");
       ++pos_;
       if (!rest.empty()) {
         node[key] = parse_scalar_token(rest, line.number);
@@ -334,6 +341,7 @@ class Parser {
           std::string k2, v2;
           if (!split_key(l2.content, k2, v2, l2.number))
             fail(l2.number, "expected 'key: value' in list-item map");
+          if (item.has(k2)) fail(l2.number, "duplicate map key '" + k2 + "'");
           ++pos_;
           if (!v2.empty()) item[k2] = parse_scalar_token(v2, l2.number);
           else if (!done() && cur().indent > indent + 2) item[k2] = parse_block(cur().indent);

@@ -1,0 +1,130 @@
+#include "core/config_check.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "exec/pool.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "refl/config_io.hpp"
+
+namespace of::core {
+namespace {
+
+using config::ConfigNode;
+
+void check_keys(const ConfigNode& node, const std::string& path,
+                const std::vector<std::string>& allowed) {
+  if (!node.is_map()) return;
+  for (const auto& [key, child] : node.items()) {
+    (void)child;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+      refl::config_fail(refl::join_path(path, key.c_str()),
+                        "unknown key (strict config; set config.strict: false to allow)");
+  }
+}
+
+ConfigNode child_or_empty(const ConfigNode& node, const std::string& key) {
+  return (node.is_map() && node.has(key)) ? node.at(key) : ConfigNode::map();
+}
+
+// inner_comm / outer_comm blocks (engine.cpp parse_backend/parse_link).
+void check_comm(const ConfigNode& node, const std::string& path) {
+  check_keys(node, path, {"_target_", "port", "link", "compression"});
+  check_keys(child_or_empty(node, "link"), path + ".link",
+             {"latency_us", "bandwidth_mbps", "mode"});
+  // The codec block under `compression:` is validated by make_compressor.
+}
+
+}  // namespace
+
+bool config_strict(const ConfigNode& cfg) {
+  if (!cfg.is_map() || !cfg.has("config")) return true;
+  return cfg.at("config").get_or<bool>("strict", true);
+}
+
+void check_config_keys(const ConfigNode& cfg) {
+  check_keys(cfg, "",
+             {"seed", "eval_every", "clients_per_round", "topology", "model",
+              "datamodule", "algorithm", "compression", "privacy", "scheduling",
+              "aggregation", "byzantine", "fault", "heterogeneity", "exec", "obs",
+              "config"});
+
+  check_keys(child_or_empty(cfg, "config"), "config", {"strict"});
+
+  if (cfg.is_map() && cfg.has("model") && cfg.at("model").is_map())
+    check_keys(cfg.at("model"), "model", {"name"});
+
+  check_keys(child_or_empty(cfg, "datamodule"), "datamodule",
+             {"preset", "train_per_class", "test_per_class", "label_noise",
+              "batch_size", "partition", "alpha"});
+
+  // Every knob any registered algorithm reads (src/algorithms/). The union is
+  // deliberate: which subset applies depends on `_target_`, and a foreign
+  // knob is a no-op there — only genuine typos are outside this list.
+  check_keys(child_or_empty(cfg, "algorithm"), "algorithm",
+             {"_target_",  "global_rounds", "local_epochs",      "lr",
+              "momentum",  "weight_decay",  "lr_gamma",          "lr_milestones",
+              "alpha",     "beta",          "mu",                "tau",
+              "temperature", "lambda",      "h",                 "c_global",
+              "c_local",   "inner_lr",      "inner_weight_decay", "outer_lr",
+              "outer_momentum", "personal_lr", "w_global",       "w_start",
+              "server_lr"});
+
+  check_keys(child_or_empty(cfg, "scheduling"), "scheduling",
+             {"mode", "alpha", "total_updates"});
+  check_keys(child_or_empty(cfg, "aggregation"), "aggregation", {"rule", "trim"});
+  check_keys(child_or_empty(cfg, "byzantine"), "byzantine", {"count", "kind"});
+  check_keys(child_or_empty(cfg, "heterogeneity"), "heterogeneity",
+             {"slowdowns", "max_slowdown"});
+
+  // Reflected groups: allowlists come straight from the field descriptors.
+  // (Their from_config parsers re-check recursively with value/range rules.)
+  check_keys(child_or_empty(cfg, "exec"), "exec",
+             refl::field_names<exec::ExecConfig>());
+  check_keys(child_or_empty(cfg, "obs"), "obs", refl::field_names<obs::ObsConfig>());
+  check_keys(child_or_empty(cfg, "fault"), "fault",
+             refl::field_names<fault::FaultSpec>());
+
+  const ConfigNode topo = child_or_empty(cfg, "topology");
+  check_keys(topo, "topology",
+             {"_target_", "num_clients", "num_nodes", "groups", "group_size",
+              "combiner", "inner_comm", "outer_comm", "nodes", "edges"});
+  check_keys(child_or_empty(topo, "combiner"), "topology.combiner",
+             refl::field_names<CombinerPolicy>());
+  check_comm(child_or_empty(topo, "inner_comm"), "topology.inner_comm");
+  check_comm(child_or_empty(topo, "outer_comm"), "topology.outer_comm");
+  if (topo.is_map() && topo.has("nodes")) {
+    const auto& nodes = topo.at("nodes");
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      check_keys(nodes.at(i), "topology.nodes[" + std::to_string(i) + "]",
+                 {"id", "role", "group"});
+  }
+
+  // compression / privacy blocks are validated against their reflected param
+  // structs inside make_compressor / make_mechanism (codec-specific keys).
+}
+
+config::ConfigNode effective_config(const config::ConfigNode& cfg) {
+  const bool strict = config_strict(cfg);
+  ConfigNode out = cfg.is_map() ? cfg : ConfigNode::map();
+  out["exec"] =
+      refl::to_node(exec::ExecConfig::from_config(child_or_empty(cfg, "exec"), strict));
+  out["obs"] =
+      refl::to_node(obs::ObsConfig::from_config(child_or_empty(cfg, "obs"), strict));
+  out["fault"] =
+      refl::to_node(fault::FaultSpec::from_config(child_or_empty(cfg, "fault"), strict));
+  const ConfigNode topo = child_or_empty(cfg, "topology");
+  if (topo.is_map() && topo.has("combiner"))
+    out["topology"]["combiner"] = refl::to_node(refl::from_node<CombinerPolicy>(
+        topo.at("combiner"), "topology.combiner", {}, strict));
+  return out;
+}
+
+std::string dump_effective_config(const config::ConfigNode& cfg) {
+  return effective_config(cfg).dump();
+}
+
+}  // namespace of::core

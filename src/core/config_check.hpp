@@ -1,0 +1,34 @@
+// Strict-config validation (DESIGN.md §13): reject unknown / typo'd keys in
+// the composed experiment config with a `path.to.key` error instead of
+// silently ignoring them. Reflected groups (exec, obs, fault, …) derive
+// their allowlists from the Reflect<T> field descriptors; the remaining
+// groups carry hand-maintained lists matching what the Engine reads.
+//
+// Strict is the default. Opt out per run with:
+//
+//   config:
+//     strict: false
+#pragma once
+
+#include "config/node.hpp"
+
+namespace of::core {
+
+// The `config: {strict: …}` toggle; true when absent.
+bool config_strict(const config::ConfigNode& cfg);
+
+// Walk the composed tree and throw std::runtime_error (path-aware message)
+// on the first unknown key. Only validates key *names*; value types and
+// ranges are checked by the typed from_config parsers.
+void check_config_keys(const config::ConfigNode& cfg);
+
+// The effective merged config: the composed tree with every reflected group
+// (exec, obs, fault, topology.combiner) replaced by the refl Writer's dump
+// of its parsed struct, so defaulted knobs appear explicitly. Backs the
+// examples' `--dump-config`.
+config::ConfigNode effective_config(const config::ConfigNode& cfg);
+
+// effective_config() as YAML text (ConfigNode::dump round-trip format).
+std::string dump_effective_config(const config::ConfigNode& cfg);
+
+}  // namespace of::core

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "core/config_check.hpp"
 #include "data/partition.hpp"
 #include "exec/pool.hpp"
 #include "nn/zoo.hpp"
@@ -71,7 +72,9 @@ void fold_phase_seconds(const std::vector<obs::TraceEvent>& events,
 }  // namespace
 
 Engine::Engine(config::ConfigNode cfg) : cfg_(std::move(cfg)) {
-  topology_ = Topology::from_config(node_or_empty(cfg_, "topology"));
+  strict_ = config_strict(cfg_);
+  if (strict_) check_config_keys(cfg_);
+  topology_ = Topology::from_config(node_or_empty(cfg_, "topology"), strict_);
   topology_.validate();
 }
 
@@ -172,7 +175,8 @@ std::vector<NodeSetup> Engine::build_setups() {
   const std::string byzantine_kind = byz_cfg.get_or<std::string>("kind", "sign_flip");
 
   // --- fault model -----------------------------------------------------------
-  const auto fault_spec = fault::FaultSpec::from_config(node_or_empty(cfg_, "fault"));
+  const auto fault_spec =
+      fault::FaultSpec::from_config(node_or_empty(cfg_, "fault"), strict_);
   if (fault_spec.enabled) {
     OF_CHECK_MSG(topology_.kind == "centralized",
                  "fault tolerance (deadline-based partial aggregation) requires a "
@@ -192,9 +196,9 @@ std::vector<NodeSetup> Engine::build_setups() {
   comm::TcpFaultTolerance tcp_ft;
   if (fault_spec.enabled) {
     tcp_ft.enabled = true;
-    tcp_ft.max_reconnect_attempts = fault_spec.reconnect_max_attempts;
-    tcp_ft.backoff_seconds = fault_spec.reconnect_backoff_seconds;
-    tcp_ft.backoff_max_seconds = fault_spec.reconnect_backoff_max_seconds;
+    tcp_ft.max_reconnect_attempts = fault_spec.reconnect.max_attempts;
+    tcp_ft.backoff_seconds = fault_spec.reconnect.backoff_seconds;
+    tcp_ft.backoff_max_seconds = fault_spec.reconnect.backoff_max_seconds;
   }
 
   const config::ConfigNode het_cfg = node_or_empty(cfg_, "heterogeneity");
@@ -388,20 +392,20 @@ std::vector<NodeSetup> Engine::build_setups() {
                     (static_cast<double>(group_trainers) *
                      static_cast<double>(total_samples))
               : 1.0;
-      s.hier_deadline_seconds = topology_.combiner_deadline_seconds;
-      s.hier_min_clients = topology_.combiner_min_clients;
+      s.hier_deadline_seconds = topology_.combiner.deadline_seconds;
+      s.hier_min_clients = topology_.combiner.min_clients;
     }
 
     // Plugins.
     if (has_compression) {
       config::ConfigNode c = compression_cfg;
       c["seed"] = config::ConfigNode::integer(static_cast<std::int64_t>(s.seed + 77));
-      s.compressor = compression::make_compressor(c);
+      s.compressor = compression::make_compressor(c, strict_);
     }
     if (has_outer_compression && tn.role == NodeRole::Aggregator) {
       config::ConfigNode c = outer_compression_cfg;
       c["seed"] = config::ConfigNode::integer(static_cast<std::int64_t>(s.seed + 78));
-      s.outer_compressor = compression::make_compressor(c);
+      s.outer_compressor = compression::make_compressor(c, strict_);
     }
     if (has_privacy) {
       config::ConfigNode p = privacy_cfg;
@@ -418,7 +422,7 @@ std::vector<NodeSetup> Engine::build_setups() {
             tn.role == NodeRole::Trainer ? s.cohort_size
                                          : static_cast<int>(group_trainers));
       }
-      s.privacy = privacy::make_mechanism(p);
+      s.privacy = privacy::make_mechanism(p, strict_);
     }
 
     // Communicator specs.
@@ -470,10 +474,11 @@ RunResult Engine::run() {
   // Execution pool: one process-global worker set shared by every node
   // thread, configured before any node spawns (configure is not
   // hot-swappable under load).
-  const auto exec_cfg = exec::ExecConfig::from_config(node_or_empty(cfg_, "exec"));
+  const auto exec_cfg =
+      exec::ExecConfig::from_config(node_or_empty(cfg_, "exec"), strict_);
   exec::Pool::global().configure(exec_cfg.threads, exec_cfg.grain);
 
-  const auto obs_cfg = obs::ObsConfig::from_config(node_or_empty(cfg_, "obs"));
+  const auto obs_cfg = obs::ObsConfig::from_config(node_or_empty(cfg_, "obs"), strict_);
   // Registry instruments are process-global and always on; per-run values
   // are deltas against this snapshot.
   const auto registry_before = obs::Registry::global().snapshot();
@@ -494,6 +499,7 @@ RunResult Engine::run() {
       for (auto& s : setups) {
         s.obs_telemetry = true;
         s.obs_clock_sync_every = obs_cfg.clock_sync_rounds;
+        s.obs_wire_version = obs_cfg.telemetry_wire;
       }
     }
   }

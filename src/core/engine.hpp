@@ -65,6 +65,7 @@ class Engine {
 
   config::ConfigNode cfg_;
   Topology topology_;
+  bool strict_ = true;  // config: {strict: false} opts out (config_check.hpp)
   // Communicator infrastructure owned for the lifetime of the run.
   std::vector<std::unique_ptr<comm::InProcGroup>> groups_;
   std::vector<std::unique_ptr<comm::AmqpGroup>> amqp_groups_;

@@ -2,10 +2,44 @@
 
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/check.hpp"
 
 namespace of::core {
+namespace {
+
+// CSV surfaces generated from the Reflect<RoundRecord> descriptor (see
+// metrics.hpp). `det_only` selects the deterministic-subset columns.
+void csv_header(std::ostringstream& os, bool det_only) {
+  bool first = true;
+  refl::for_each_field<RoundRecord>([&](const auto& f) {
+    if (det_only && !f.deterministic) return;
+    if (!first) os << ',';
+    first = false;
+    os << f.export_name();
+  });
+}
+
+void csv_row(std::ostringstream& os, const RoundRecord& r, bool det_only) {
+  bool first = true;
+  refl::for_each_field<RoundRecord>([&](const auto& f) {
+    if (det_only && !f.deterministic) return;
+    if (!first) os << ',';
+    first = false;
+    const auto& v = r.*(f.member);
+    using FT = std::remove_cvref_t<decltype(v)>;
+    if constexpr (refl::is_std_vector_v<FT>) {
+      os << v.size();
+    } else if constexpr (std::is_same_v<FT, bool>) {
+      os << (v ? 1 : 0);
+    } else {
+      os << v;
+    }
+  });
+}
+
+}  // namespace
 
 std::string RunResult::summary() const {
   std::ostringstream os;
@@ -17,34 +51,28 @@ std::string RunResult::summary() const {
 }
 
 std::string RunResult::to_csv() const {
-  // Columns are append-only: existing parsers index the original prefix, so
-  // new (obs-derived) columns go strictly at the end.
+  // pool_hit_rate is run-level (not a RoundRecord field), so it rides after
+  // the generated columns on every row.
   std::ostringstream os;
-  os << "round,seconds,train_loss,accuracy,bytes_up,bytes_down,mean_staleness,"
-        "participated,dropped,deadline_hit,reconnects,"
-        "train_s,encode_s,send_s,recv_s,decode_s,aggregate_s,broadcast_s,"
-        "pool_hit_rate\n";
+  csv_header(os, /*det_only=*/false);
+  os << ",pool_hit_rate\n";
   for (const auto& r : rounds) {
-    os << r.round << ',' << r.seconds << ',' << r.train_loss << ',' << r.accuracy << ','
-       << r.bytes_up << ',' << r.bytes_down << ',' << r.mean_staleness << ','
-       << r.participated << ',' << r.dropped_ranks.size() << ','
-       << (r.deadline_hit ? 1 : 0) << ',' << r.reconnects << ','
-       << r.train_s << ',' << r.encode_s << ',' << r.send_s << ',' << r.recv_s << ','
-       << r.decode_s << ',' << r.aggregate_s << ',' << r.broadcast_s << ','
-       << pool_hit_rate << '\n';
+    csv_row(os, r, /*det_only=*/false);
+    os << ',' << pool_hit_rate << '\n';
   }
   return os.str();
 }
 
 std::string RunResult::to_metrics_csv() const {
-  // Only fields that are pure functions of the run's inputs — no wall-clock
+  // Only `.det()` fields — pure functions of the run's inputs, no wall-clock
   // durations, no transport-dependent counters like reconnects. Two runs of
   // the same config must emit identical strings.
   std::ostringstream os;
-  os << "round,train_loss,accuracy,bytes_up,bytes_down,participated,dropped\n";
+  csv_header(os, /*det_only=*/true);
+  os << '\n';
   for (const auto& r : rounds) {
-    os << r.round << ',' << r.train_loss << ',' << r.accuracy << ',' << r.bytes_up << ','
-       << r.bytes_down << ',' << r.participated << ',' << r.dropped_ranks.size() << '\n';
+    csv_row(os, r, /*det_only=*/true);
+    os << '\n';
   }
   return os.str();
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "refl/refl.hpp"
 #include "tensor/serialize.hpp"
 
 namespace of::core {
@@ -76,3 +77,30 @@ struct RunResult {
 };
 
 }  // namespace of::core
+
+// One descriptor drives both CSV surfaces: to_csv() emits every exported
+// field in declaration order (vector fields as their size, bools as 1/0),
+// to_metrics_csv() only the `.det()` subset — fields that are pure functions
+// of the run's inputs, safe for bitwise determinism comparison. Columns are
+// append-only: existing parsers index the original prefix.
+template <>
+struct of::refl::Reflect<of::core::RoundRecord> {
+  OF_REFL_FIELDS(field("round", &of::core::RoundRecord::round, 1).det(),
+                 field("seconds", &of::core::RoundRecord::seconds, 2),
+                 field("train_loss", &of::core::RoundRecord::train_loss, 3).det(),
+                 field("accuracy", &of::core::RoundRecord::accuracy, 4).det(),
+                 field("bytes_up", &of::core::RoundRecord::bytes_up, 5).det(),
+                 field("bytes_down", &of::core::RoundRecord::bytes_down, 6).det(),
+                 field("mean_staleness", &of::core::RoundRecord::mean_staleness, 7),
+                 field("participated", &of::core::RoundRecord::participated, 8).det(),
+                 field("dropped", &of::core::RoundRecord::dropped_ranks, 9).det(),
+                 field("deadline_hit", &of::core::RoundRecord::deadline_hit, 10),
+                 field("reconnects", &of::core::RoundRecord::reconnects, 11),
+                 field("train_s", &of::core::RoundRecord::train_s, 12),
+                 field("encode_s", &of::core::RoundRecord::encode_s, 13),
+                 field("send_s", &of::core::RoundRecord::send_s, 14),
+                 field("recv_s", &of::core::RoundRecord::recv_s, 15),
+                 field("decode_s", &of::core::RoundRecord::decode_s, 16),
+                 field("aggregate_s", &of::core::RoundRecord::aggregate_s, 17),
+                 field("broadcast_s", &of::core::RoundRecord::broadcast_s, 18))
+};

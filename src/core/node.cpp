@@ -1,5 +1,7 @@
 #include "core/node.hpp"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <numeric>
@@ -28,14 +30,15 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-// Aggregator side of the telemetry piggyback: strip the fixed-size tail off
-// an update frame and feed it to the fleet registry. Frames shorter than the
-// tail (the aggregator's own empty gather placeholder) pass through as-is.
+// Aggregator side of the telemetry piggyback: strip the tail off an update
+// frame (fixed v1 layout or variable-size v2 TLV — parse_tail reports the
+// size) and feed it to the fleet registry. Frames without a telemetry tail
+// (the aggregator's own empty gather placeholder) pass through as-is.
 void strip_telemetry(tensor::Bytes& frame) {
-  if (frame.size() < obs::TelemetrySummary::kWireBytes) return;
-  const auto t = obs::TelemetrySummary::parse_tail(frame.data(), frame.size());
+  std::size_t tail = 0;
+  const auto t = obs::TelemetrySummary::parse_tail(frame.data(), frame.size(), &tail);
   if (!t) return;
-  frame.resize(frame.size() - obs::TelemetrySummary::kWireBytes);
+  frame.resize(frame.size() - tail);
   obs::Fleet::global().record(*t);
 }
 
@@ -184,7 +187,13 @@ void NodeRuntime::append_telemetry(tensor::Bytes& frame, comm::Communicator& inn
     t.phases[i] = phase_digests_[i];
     phase_digests_[i] = obs::PhaseDigest{};
   }
-  t.serialize_to(frame);
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0)
+    t.peak_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
+  if (s_.obs_wire_version >= 2)
+    t.serialize_tlv_to(frame);
+  else
+    t.serialize_to(frame);
 }
 
 void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
@@ -455,10 +464,12 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
         const auto ulen = tensor::read_pod<std::uint64_t>(combined, off);
         std::size_t end = combined.size();
         if (telem_on_) {
-          if (const auto t = obs::TelemetrySummary::parse_tail(combined.data(), end)) {
+          std::size_t tail = 0;
+          if (const auto t =
+                  obs::TelemetrySummary::parse_tail(combined.data(), end, &tail)) {
             telem[idx] = *t;
             telem_ok[idx] = 1;
-            end -= obs::TelemetrySummary::kWireBytes;
+            end -= tail;
           }
         }
         OF_CHECK_MSG(off + ulen <= end,

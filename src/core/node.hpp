@@ -124,6 +124,9 @@ struct NodeSetup {
   // centralized and async modes.
   bool obs_telemetry = false;
   std::size_t obs_clock_sync_every = 0;
+  // Wire format for the piggybacked summary: 2 = TLV (skip-unknown
+  // forward compatible), 1 = frozen fixed layout. Readers accept both.
+  int obs_wire_version = 2;
 
   std::uint64_t seed = 1;
 };

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "exec/pool.hpp"
+#include "refl/tlv.hpp"
 #include "tensor/serialize.hpp"
 
 namespace of::core {
@@ -23,6 +24,9 @@ bool agg_parallel(std::size_t total) {
 }
 
 enum : std::uint8_t { kPlain = 0, kCompressed = 1, kPrivacy = 2, kSkip = 3 };
+
+// Magic opening a v2 TLV partial header ("OFP2" little-endian).
+constexpr std::uint32_t kPartialMagic = 0x3250464Fu;
 
 // Mirror of the comm layer's 1 GiB frame cap: no manifest may describe an
 // update larger than a maximal frame could carry, no matter what its dims
@@ -215,17 +219,37 @@ void StreamingSum::add(ConstByteSpan frame) {
 
 void StreamingSum::add_partial(ConstByteSpan partial) {
   std::size_t off = 0;
-  const auto n = tensor::read_pod<std::uint64_t>(partial, off);
-  if (n == 0) return;  // empty combiner: its body is a skip marker
+  PartialHeader hdr;
+  // v2 partials open with the "OFP2" magic; the v1 form is a bare u64
+  // count, whose low word would only collide with the magic at an absurd
+  // ~845M-client contribution count.
+  if (partial.size() >= 8 &&
+      tensor::read_pod<std::uint32_t>(partial, off) == kPartialMagic) {
+    const auto hlen = tensor::read_pod<std::uint32_t>(partial, off);
+    OF_CHECK_MSG(off + hlen <= partial.size(), "partial header truncated");
+    OF_CHECK_MSG(refl::tlv::decode(hdr, partial.data() + off, hlen),
+                 "partial header malformed");
+    off += hlen;
+  } else {
+    off = 0;
+    hdr.count = tensor::read_pod<std::uint64_t>(partial, off);
+  }
+  if (hdr.count == 0) return;  // empty combiner: its body is a skip marker
   add_update_frame(partial.subspan(off));
-  count_ += static_cast<std::size_t>(n);
+  count_ += static_cast<std::size_t>(hdr.count);
 }
 
 void StreamingSum::encode_partial_into(double scale,
                                        compression::Compressor* compressor,
                                        Bytes& out) {
   out.clear();
-  tensor::append_pod<std::uint64_t>(out, static_cast<std::uint64_t>(count_));
+  PartialHeader hdr;
+  hdr.count = static_cast<std::uint64_t>(count_);
+  refl::tlv::Bytes htlv;
+  refl::tlv::encode(hdr, htlv);
+  tensor::append_pod<std::uint32_t>(out, kPartialMagic);
+  tensor::append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(htlv.size()));
+  out.insert(out.end(), htlv.begin(), htlv.end());
   if (count_ == 0) {
     out.push_back(kSkip);
     return;

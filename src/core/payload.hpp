@@ -24,6 +24,7 @@
 #include "compression/compressor.hpp"
 #include "core/frame_pool.hpp"
 #include "privacy/mechanism.hpp"
+#include "refl/refl.hpp"
 #include "tensor/tensor.hpp"
 
 namespace of::core {
@@ -84,6 +85,14 @@ std::vector<Tensor> robust_combine(const std::vector<Bytes>& frames,
                                    AggregationRule rule, double trim = 0.1,
                                    FramePool* pool = nullptr);
 
+// Header of a combiner partial frame (the metadata ahead of the summed
+// update body). v2 frames carry it as TLV behind an "OFP2" magic so new
+// header fields are skipped by older decoders; v1 frames are a bare
+// u64 count (still accepted). Tags are wire ABI — append only.
+struct PartialHeader {
+  std::uint64_t count = 0;  // client contributions folded into the body
+};
+
 // Streaming partial-sum accumulator — the combiner tier's aggregation state
 // (DESIGN.md §10). Frames are folded into one pooled flat accumulator as
 // they arrive, so a combiner holds O(model) bytes no matter how many clients
@@ -103,8 +112,10 @@ class StreamingSum {
   void add(ConstByteSpan frame);
   // Fold in a downstream combiner's partial produced by encode_partial_into.
   void add_partial(ConstByteSpan partial);
-  // Emit `scale × sum` plus the contribution count as a partial frame:
-  //   u64 count | update frame        (skip marker body when count == 0)
+  // Emit `scale × sum` plus the header as a partial frame:
+  //   u32 "OFP2" | u32 header_len | TLV(PartialHeader) | update frame
+  // (skip marker body when count == 0). add_partial also accepts the v1
+  // form `u64 count | update frame`.
   void encode_partial_into(double scale, compression::Compressor* compressor,
                            Bytes& out);
   // sum / count in the original tensor-list structure. Consumes the
@@ -135,3 +146,8 @@ Bytes pack_tensors(const std::vector<Tensor>& ts);
 std::vector<Tensor> unpack_tensors(const Bytes& b);
 
 }  // namespace of::core
+
+template <>
+struct of::refl::Reflect<of::core::PartialHeader> {
+  OF_REFL_FIELDS(field("count", &of::core::PartialHeader::count, 1))
+};

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "config/registry.hpp"
+#include "refl/config_io.hpp"
 
 namespace of::core {
 
@@ -119,7 +120,7 @@ Topology Topology::hierarchical(int groups, int trainers_per_group) {
   return t;
 }
 
-Topology Topology::from_config(const config::ConfigNode& cfg) {
+Topology Topology::from_config(const config::ConfigNode& cfg, bool strict) {
   const std::string target =
       config::target_basename(cfg.get_or<std::string>("_target_", "CentralizedTopology"));
   if (target == "CentralizedTopology")
@@ -128,11 +129,9 @@ Topology Topology::from_config(const config::ConfigNode& cfg) {
     return ring(cfg.get_or<int>("num_nodes", cfg.get_or<int>("num_clients", 4)));
   if (target == "HierarchicalTopology") {
     Topology t = hierarchical(cfg.get_or<int>("groups", 2), cfg.get_or<int>("group_size", 2));
-    if (cfg.has("combiner")) {
-      const auto& cb = cfg.at("combiner");
-      t.combiner_deadline_seconds = cb.get_or<double>("deadline_seconds", 0.0);
-      t.combiner_min_clients = cb.get_or<int>("min_clients", 0);
-    }
+    if (cfg.has("combiner"))
+      t.combiner =
+          refl::from_node<CombinerPolicy>(cfg.at("combiner"), "topology.combiner", {}, strict);
     return t;
   }
   if (target == "CustomTopology") {

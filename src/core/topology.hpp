@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "config/node.hpp"
+#include "refl/refl.hpp"
 
 namespace of::core {
 
@@ -25,18 +26,22 @@ struct TopoNode {
   int group = 0;  // sub-cluster index (hierarchical); 0 otherwise
 };
 
+// Combiner policy (hierarchical only): each group leader streams client
+// updates into a partial sum and cuts stragglers at the deadline, provided
+// at least `min_clients` reported. 0 deadline = wait for the whole group
+// (no cut) — the pre-combiner behavior. The `topology.combiner:` map.
+struct CombinerPolicy {
+  double deadline_seconds = 0.0;
+  int min_clients = 0;
+};
+
 struct Topology {
   std::string kind;  // "centralized" | "ring" | "hierarchical" | "custom"
   std::vector<TopoNode> nodes;
   std::vector<std::pair<int, int>> edges;  // undirected
   int num_groups = 1;
 
-  // Combiner policy (hierarchical only): each group leader streams client
-  // updates into a partial sum and cuts stragglers at the deadline, provided
-  // at least `combiner_min_clients` reported. 0 deadline = wait for the whole
-  // group (no cut) — the pre-combiner behavior.
-  double combiner_deadline_seconds = 0.0;
-  int combiner_min_clients = 0;
+  CombinerPolicy combiner;
 
   int size() const noexcept { return static_cast<int>(nodes.size()); }
   int num_trainers() const;
@@ -55,7 +60,14 @@ struct Topology {
   //   {_target_: …RingTopology, num_nodes: 8}
   //   {_target_: …HierarchicalTopology, groups: 2, group_size: 4}
   //   {_target_: …CustomTopology, nodes: [...], edges: [[0,1], ...]}
-  static Topology from_config(const config::ConfigNode& cfg);
+  static Topology from_config(const config::ConfigNode& cfg, bool strict = true);
 };
 
 }  // namespace of::core
+
+template <>
+struct of::refl::Reflect<of::core::CombinerPolicy> {
+  OF_REFL_FIELDS(
+      field("deadline_seconds", &of::core::CombinerPolicy::deadline_seconds, 1).ge(0.0),
+      field("min_clients", &of::core::CombinerPolicy::min_clients, 2).ge(0))
+};

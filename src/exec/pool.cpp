@@ -5,6 +5,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "refl/config_io.hpp"
 
 namespace of::exec {
 namespace {
@@ -31,11 +32,9 @@ obs::Histogram& job_latency_hist() {
 
 }  // namespace
 
-ExecConfig ExecConfig::from_config(const config::ConfigNode& node) {
-  ExecConfig c;
-  if (!node.is_map()) return c;
-  c.threads = node.get_or<std::size_t>("threads", c.threads);
-  c.grain = node.get_or<std::size_t>("grain", c.grain);
+ExecConfig ExecConfig::from_config(const config::ConfigNode& node, bool strict) {
+  if (!node.is_map()) return ExecConfig{};
+  ExecConfig c = refl::from_node<ExecConfig>(node, "exec", {}, strict);
   if (c.grain == 0) c.grain = 1;
   return c;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "config/node.hpp"
+#include "refl/refl.hpp"
 
 namespace of::exec {
 
@@ -41,7 +42,7 @@ struct ExecConfig {
   std::size_t threads = 1;
   std::size_t grain = 4096;
 
-  static ExecConfig from_config(const config::ConfigNode& node);
+  static ExecConfig from_config(const config::ConfigNode& node, bool strict = true);
 };
 
 class Pool {
@@ -138,3 +139,11 @@ class Pool {
 };
 
 }  // namespace of::exec
+
+// threads=0 means "one per hardware core", grain 0 is clamped to 1 by
+// from_config, so both accept 0.
+template <>
+struct of::refl::Reflect<of::exec::ExecConfig> {
+  OF_REFL_FIELDS(field("threads", &of::exec::ExecConfig::threads, 1),
+                 field("grain", &of::exec::ExecConfig::grain, 2))
+};

@@ -3,73 +3,28 @@
 #include "common/check.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "refl/config_io.hpp"
 
 namespace of::fault {
 
-const char* to_string(FaultKind k) {
-  switch (k) {
-    case FaultKind::Crash: return "crash";
-    case FaultKind::Disconnect: return "disconnect";
-    case FaultKind::Delay: return "delay";
-  }
-  return "?";
-}
+const char* to_string(FaultKind k) { return refl::enum_to_string(k); }
 
 FaultKind fault_kind_from_string(const std::string& s) {
-  if (s == "crash") return FaultKind::Crash;
-  if (s == "disconnect") return FaultKind::Disconnect;
-  if (s == "delay") return FaultKind::Delay;
-  OF_CHECK_MSG(false, "unknown fault kind '" << s << "' (crash|disconnect|delay)");
+  FaultKind k = FaultKind::Crash;
+  OF_CHECK_MSG(refl::enum_from_string(s, k),
+               "unknown fault kind '" << s << "' (" << refl::enum_choices<FaultKind>() << ")");
+  return k;
 }
 
-FaultSpec FaultSpec::from_config(const config::ConfigNode& node) {
-  FaultSpec spec;
-  if (node.is_null()) return spec;
+FaultSpec FaultSpec::from_config(const config::ConfigNode& node, bool strict) {
+  if (node.is_null()) return FaultSpec{};
   OF_CHECK_MSG(node.is_map(), "fault config must be a map");
-  spec.enabled = node.get_or<bool>("enabled", false);
-  spec.min_clients = node.get_or<int>("min_clients", spec.min_clients);
-  spec.round_deadline_seconds =
-      node.get_or<double>("round_deadline_seconds", spec.round_deadline_seconds);
-  spec.quorum_timeout_seconds =
-      node.get_or<double>("quorum_timeout_seconds", spec.quorum_timeout_seconds);
-  if (node.has("reconnect")) {
-    const auto& rc = node.at("reconnect");
-    OF_CHECK_MSG(rc.is_map(), "fault.reconnect must be a map");
-    spec.reconnect_max_attempts =
-        rc.get_or<int>("max_attempts", spec.reconnect_max_attempts);
-    spec.reconnect_backoff_seconds =
-        rc.get_or<double>("backoff_seconds", spec.reconnect_backoff_seconds);
-    spec.reconnect_backoff_max_seconds =
-        rc.get_or<double>("backoff_max_seconds", spec.reconnect_backoff_max_seconds);
-  }
-  if (node.has("injections")) {
-    const auto& list = node.at("injections");
-    OF_CHECK_MSG(list.is_list() || list.is_null(), "fault.injections must be a list");
-    for (std::size_t i = 0; list.is_list() && i < list.size(); ++i) {
-      const auto& item = list.at(i);
-      OF_CHECK_MSG(item.is_map(), "fault.injections[" << i << "] must be a map");
-      Injection inj;
-      inj.kind = fault_kind_from_string(item.get_or<std::string>("kind", "crash"));
-      inj.client = item.get_or<int>("client", -1);
-      inj.round = item.get_or<int>("round", -1);
-      inj.probability = item.get_or<double>("probability", 1.0);
-      inj.delay_seconds = item.get_or<double>("delay_seconds", 0.0);
-      OF_CHECK_MSG(inj.probability >= 0.0 && inj.probability <= 1.0,
-                   "fault.injections[" << i << "].probability must be in [0, 1]");
-      OF_CHECK_MSG(inj.delay_seconds >= 0.0,
-                   "fault.injections[" << i << "].delay_seconds must be >= 0");
-      spec.injections.push_back(inj);
-    }
-  }
-  OF_CHECK_MSG(spec.min_clients >= 0, "fault.min_clients must be >= 0");
-  OF_CHECK_MSG(spec.round_deadline_seconds > 0.0,
-               "fault.round_deadline_seconds must be > 0");
+  FaultSpec spec = refl::from_node<FaultSpec>(node, "fault", {}, strict);
+  // Per-field bounds live in the descriptor; only the cross-field
+  // constraints remain hand-written.
   OF_CHECK_MSG(spec.quorum_timeout_seconds >= spec.round_deadline_seconds,
                "fault.quorum_timeout_seconds must be >= round_deadline_seconds");
-  OF_CHECK_MSG(spec.reconnect_max_attempts >= 0,
-               "fault.reconnect.max_attempts must be >= 0");
-  OF_CHECK_MSG(spec.reconnect_backoff_seconds >= 0.0 &&
-                   spec.reconnect_backoff_max_seconds >= spec.reconnect_backoff_seconds,
+  OF_CHECK_MSG(spec.reconnect.backoff_max_seconds >= spec.reconnect.backoff_seconds,
                "fault.reconnect backoff must satisfy 0 <= backoff <= backoff_max");
   return spec;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "config/node.hpp"
+#include "refl/refl.hpp"
 #include "tensor/rng.hpp"
 
 namespace of::fault {
@@ -46,6 +47,13 @@ struct Injection {
   double delay_seconds = 0.0;   // Delay only: how long the straggler stalls
 };
 
+// Transport-side reconnect policy (TCP), the `fault.reconnect:` map.
+struct ReconnectPolicy {
+  int max_attempts = 8;
+  double backoff_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+};
+
 struct FaultSpec {
   bool enabled = false;
 
@@ -54,16 +62,13 @@ struct FaultSpec {
   double round_deadline_seconds = 5.0;   // soft per-round cutoff
   double quorum_timeout_seconds = 60.0;  // hard cutoff waiting for the quorum itself
 
-  // Transport-side reconnect policy (TCP).
-  int reconnect_max_attempts = 8;
-  double reconnect_backoff_seconds = 0.05;
-  double reconnect_backoff_max_seconds = 2.0;
+  ReconnectPolicy reconnect;
 
   std::vector<Injection> injections;
 
   // Parse the `fault:` config group; a null/missing node yields a disabled
   // spec. Throws on unknown fault kinds or out-of-range values.
-  static FaultSpec from_config(const config::ConfigNode& node);
+  static FaultSpec from_config(const config::ConfigNode& node, bool strict = true);
 
   // Sanity checks that need the topology (quorum must fit the cohort).
   void validate(int world_size) const;
@@ -95,3 +100,41 @@ class FaultInjector {
 };
 
 }  // namespace of::fault
+
+template <>
+struct of::refl::EnumNames<of::fault::FaultKind> {
+  static constexpr std::pair<of::fault::FaultKind, const char*> names[] = {
+      {of::fault::FaultKind::Crash, "crash"},
+      {of::fault::FaultKind::Disconnect, "disconnect"},
+      {of::fault::FaultKind::Delay, "delay"},
+  };
+};
+
+template <>
+struct of::refl::Reflect<of::fault::Injection> {
+  OF_REFL_FIELDS(
+      field("kind", &of::fault::Injection::kind, 1),
+      field("client", &of::fault::Injection::client, 2),
+      field("round", &of::fault::Injection::round, 3),
+      field("probability", &of::fault::Injection::probability, 4).ge(0.0).le(1.0),
+      field("delay_seconds", &of::fault::Injection::delay_seconds, 5).ge(0.0))
+};
+
+template <>
+struct of::refl::Reflect<of::fault::ReconnectPolicy> {
+  OF_REFL_FIELDS(
+      field("max_attempts", &of::fault::ReconnectPolicy::max_attempts, 1).ge(0),
+      field("backoff_seconds", &of::fault::ReconnectPolicy::backoff_seconds, 2).ge(0.0),
+      field("backoff_max_seconds", &of::fault::ReconnectPolicy::backoff_max_seconds, 3).ge(0.0))
+};
+
+template <>
+struct of::refl::Reflect<of::fault::FaultSpec> {
+  OF_REFL_FIELDS(
+      field("enabled", &of::fault::FaultSpec::enabled, 1),
+      field("min_clients", &of::fault::FaultSpec::min_clients, 2).ge(0),
+      field("round_deadline_seconds", &of::fault::FaultSpec::round_deadline_seconds, 3).gt(0.0),
+      field("quorum_timeout_seconds", &of::fault::FaultSpec::quorum_timeout_seconds, 4).gt(0.0),
+      field("reconnect", &of::fault::FaultSpec::reconnect, 5),
+      field("injections", &of::fault::FaultSpec::injections, 6))
+};

@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "refl/refl.hpp"
+
 namespace of::obs {
 
 // What travels in a comm frame header: enough to attach the receiver's
@@ -41,6 +43,17 @@ struct PhaseDigest {
 // The five round-loop phases a telemetry summary digests (subset of Name).
 inline constexpr std::size_t kPhaseCount = 5;
 const char* phase_label(std::size_t i);  // "train", "encode", "send", "recv", "decode"
+
+}  // namespace of::obs
+
+template <>
+struct of::refl::Reflect<of::obs::PhaseDigest> {
+  OF_REFL_FIELDS(field("count", &of::obs::PhaseDigest::count, 1),
+                 field("total_ns", &of::obs::PhaseDigest::total_ns, 2),
+                 field("max_ns", &of::obs::PhaseDigest::max_ns, 3))
+};
+
+namespace of::obs {
 
 namespace detail {
 

@@ -1,28 +1,14 @@
 #include "obs/obs.hpp"
 
 #include "common/check.hpp"
+#include "refl/config_io.hpp"
 
 namespace of::obs {
 
-ObsConfig ObsConfig::from_config(const config::ConfigNode& node) {
-  ObsConfig cfg;
-  if (node.is_null()) return cfg;
+ObsConfig ObsConfig::from_config(const config::ConfigNode& node, bool strict) {
+  if (node.is_null()) return ObsConfig{};
   OF_CHECK_MSG(node.is_map(), "obs config must be a map");
-  cfg.enabled = node.get_or<bool>("enabled", false);
-  const auto cap = node.get_or<std::int64_t>(
-      "ring_capacity", static_cast<std::int64_t>(cfg.ring_capacity));
-  OF_CHECK_MSG(cap > 0, "obs.ring_capacity must be > 0");
-  cfg.ring_capacity = static_cast<std::size_t>(cap);
-  cfg.trace_path = node.get_or<std::string>("trace_path", "");
-  cfg.metrics_path = node.get_or<std::string>("metrics_path", "");
-  cfg.events_csv_path = node.get_or<std::string>("events_csv_path", "");
-  cfg.telemetry = node.get_or<bool>("telemetry", false);
-  const auto sync = node.get_or<std::int64_t>(
-      "clock_sync_rounds", static_cast<std::int64_t>(cfg.clock_sync_rounds));
-  OF_CHECK_MSG(sync >= 0, "obs.clock_sync_rounds must be >= 0");
-  cfg.clock_sync_rounds = static_cast<std::size_t>(sync);
-  cfg.split_trace_per_node = node.get_or<bool>("split_trace_per_node", false);
-  return cfg;
+  return refl::from_node<ObsConfig>(node, "obs", {}, strict);
 }
 
 }  // namespace of::obs

@@ -18,6 +18,7 @@
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "refl/refl.hpp"
 
 namespace of::obs {
 
@@ -44,10 +45,28 @@ struct ObsConfig {
   // Additionally write one per-node trace "<trace_path>.rank<N>.json"
   // besides the merged file.
   bool split_trace_per_node = false;
+  // Telemetry tail wire format: 2 = TLV (versioned, skip-unknown forward
+  // compatible, DESIGN.md §13), 1 = the fixed 216-byte legacy layout.
+  // Readers accept both regardless of this setting.
+  int telemetry_wire = 2;
 
   // Parse the `obs:` config group; a null/missing node yields the disabled
   // default.
-  static ObsConfig from_config(const config::ConfigNode& node);
+  static ObsConfig from_config(const config::ConfigNode& node, bool strict = true);
 };
 
 }  // namespace of::obs
+
+template <>
+struct of::refl::Reflect<of::obs::ObsConfig> {
+  OF_REFL_FIELDS(
+      field("enabled", &of::obs::ObsConfig::enabled, 1),
+      field("ring_capacity", &of::obs::ObsConfig::ring_capacity, 2).ge(1),
+      field("trace_path", &of::obs::ObsConfig::trace_path, 3),
+      field("metrics_path", &of::obs::ObsConfig::metrics_path, 4),
+      field("events_csv_path", &of::obs::ObsConfig::events_csv_path, 5),
+      field("telemetry", &of::obs::ObsConfig::telemetry, 6),
+      field("clock_sync_rounds", &of::obs::ObsConfig::clock_sync_rounds, 7),
+      field("split_trace_per_node", &of::obs::ObsConfig::split_trace_per_node, 8),
+      field("telemetry_wire", &of::obs::ObsConfig::telemetry_wire, 9).ge(1).le(2))
+};

@@ -19,6 +19,16 @@ HttpResponse handle_scrape(const std::string& path) {
     r.body = Fleet::global().health_text();
     return r;
   }
+  if (path == "/fleet.json") {
+    r.content_type = "application/json";
+    r.body = Fleet::global().json_text() + "\n";
+    return r;
+  }
+  if (path == "/fleet.csv") {
+    r.content_type = "text/csv; charset=utf-8";
+    r.body = Fleet::global().csv_text();
+    return r;
+  }
   r.status = 404;
   r.content_type = "text/plain; charset=utf-8";
   r.body = "not found\n";

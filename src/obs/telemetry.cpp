@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <iomanip>
 #include <sstream>
+#include <type_traits>
 
 #include "obs/export.hpp"
+#include "refl/json.hpp"
+#include "refl/tlv.hpp"
 
 namespace of::obs {
 namespace {
 
 constexpr std::uint32_t kTelemetryMagic = 0x4F46544Cu;  // "OFTL"
 constexpr std::uint16_t kTelemetryVersion = 1;
+// v2 trailer: [TLV payload][u32 payload_len][u16 version][u16 rsvd][u32 magic],
+// parsed from the frame end like v1.
+constexpr std::uint32_t kTlvTailMagic = 0x3254464Fu;  // "OFT2"
+constexpr std::uint16_t kTlvVersion = 2;
+constexpr std::size_t kTlvTrailerBytes = 12;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -54,6 +62,46 @@ std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int pct) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+// One Prometheus sample value: bools as 0/1, doubles through prom_double,
+// vectors as their size, integers verbatim.
+template <class V>
+void prom_value(std::ostream& os, const V& v) {
+  if constexpr (std::is_same_v<V, bool>) {
+    os << (v ? 1 : 0);
+  } else if constexpr (std::is_floating_point_v<V>) {
+    os << prom_double(static_cast<double>(v));
+  } else if constexpr (refl::is_std_vector_v<V>) {
+    os << v.size();
+  } else {
+    os << v;
+  }
+}
+
+// Render every exported field of T as one `# TYPE` family: rows are
+// (label value, struct) pairs; label_key == nullptr emits unlabeled
+// singleton samples. The family name is prefix + export_name(), so the
+// descriptor is the only name table.
+template <refl::Reflected T>
+void prom_families(std::ostream& os, const char* prefix, const char* label_key,
+                   const std::vector<std::pair<int, const T*>>& rows) {
+  refl::for_each_field<T>([&](const auto& f) {
+    using FT = typename std::decay_t<decltype(f)>::Type;
+    if constexpr (std::is_arithmetic_v<FT> || refl::is_std_vector_v<FT>) {
+      if (f.exported != refl::Export::Gauge && f.exported != refl::Export::Counter)
+        return;
+      os << "# TYPE " << prefix << f.export_name()
+         << (f.exported == refl::Export::Counter ? " counter\n" : " gauge\n");
+      for (const auto& [label, row] : rows) {
+        os << prefix << f.export_name();
+        if (label_key) os << '{' << label_key << "=\"" << label << "\"}";
+        os << ' ';
+        prom_value(os, row->*(f.member));
+        os << '\n';
+      }
+    }
+  });
+}
+
 }  // namespace
 
 void TelemetrySummary::serialize_to(std::vector<std::uint8_t>& out) const {
@@ -82,8 +130,35 @@ void TelemetrySummary::serialize_to(std::vector<std::uint8_t>& out) const {
   static_assert(TelemetrySummary::kWireBytes == 216, "wire layout drifted");
 }
 
+void TelemetrySummary::serialize_tlv_to(std::vector<std::uint8_t>& out) const {
+  refl::tlv::Bytes payload;
+  refl::tlv::encode(*this, payload);
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u16(out, kTlvVersion);
+  put_u16(out, 0);  // reserved
+  put_u32(out, kTlvTailMagic);
+}
+
 std::optional<TelemetrySummary> TelemetrySummary::parse_tail(
-    const std::uint8_t* data, std::size_t len) {
+    const std::uint8_t* data, std::size_t len, std::size_t* tail_bytes) {
+  // v2: fixed trailer at the very end, TLV payload just before it.
+  if (len >= kTlvTrailerBytes) {
+    const std::uint8_t* p = data + (len - kTlvTrailerBytes);
+    const std::uint32_t payload_len = get_u32(p);
+    const std::uint16_t version = get_u16(p);
+    get_u16(p);  // reserved
+    if (get_u32(p) == kTlvTailMagic && version == kTlvVersion &&
+        len - kTlvTrailerBytes >= payload_len) {
+      TelemetrySummary s;
+      if (!refl::tlv::decode(s, data + (len - kTlvTrailerBytes - payload_len),
+                             payload_len))
+        return std::nullopt;
+      if (tail_bytes) *tail_bytes = kTlvTrailerBytes + payload_len;
+      return s;
+    }
+  }
+  // v1 fallback: the frozen 216-byte fixed layout.
   if (len < kWireBytes) return std::nullopt;
   const std::uint8_t* p = data + (len - kWireBytes);
   if (get_u32(p) != kTelemetryMagic) return std::nullopt;
@@ -107,6 +182,7 @@ std::optional<TelemetrySummary> TelemetrySummary::parse_tail(
     s.phases[i].total_ns = get_u64(p);
     s.phases[i].max_ns = get_u64(p);
   }
+  if (tail_bytes) *tail_bytes = kWireBytes;
   return s;
 }
 
@@ -185,29 +261,14 @@ std::string Fleet::prometheus_text() const {
   }
   os << "# TYPE of_fleet_nodes gauge\nof_fleet_nodes " << nodes_.size() << '\n';
 
-  const auto gauge_per_node = [&](const char* name, auto value_of) {
-    os << "# TYPE of_fleet_" << name << " gauge\n";
-    for (const auto& [rank, n] : nodes_)
-      os << "of_fleet_" << name << "{node=\"" << rank << "\"} " << value_of(n) << '\n';
-  };
-  const auto counter_per_node = [&](const char* name, auto value_of) {
-    os << "# TYPE of_fleet_" << name << " counter\n";
-    for (const auto& [rank, n] : nodes_)
-      os << "of_fleet_" << name << "{node=\"" << rank << "\"} " << value_of(n) << '\n';
-  };
+  // Per-node families, straight from the TelemetrySummary descriptor.
+  std::vector<std::pair<int, const TelemetrySummary*>> rows;
+  rows.reserve(nodes_.size());
+  for (const auto& [rank, n] : nodes_) rows.emplace_back(rank, &n.last);
+  prom_families(os, "of_fleet_", "node", rows);
 
-  gauge_per_node("round", [](const NodeState& n) { return n.last.round; });
-  gauge_per_node("clock_offset_ns",
-                 [](const NodeState& n) { return n.last.clock_offset_ns; });
-  gauge_per_node("clock_rtt_ns", [](const NodeState& n) { return n.last.rtt_ns; });
-  gauge_per_node("round_bytes_sent",
-                 [](const NodeState& n) { return n.last.bytes_sent; });
-  gauge_per_node("round_bytes_received",
-                 [](const NodeState& n) { return n.last.bytes_received; });
-  counter_per_node("pool_hits_total",
-                   [](const NodeState& n) { return n.last.pool_hits; });
-  counter_per_node("pool_misses_total",
-                   [](const NodeState& n) { return n.last.pool_misses; });
+  // Derived series the descriptor cannot express (ratios, coordinator-side
+  // accumulations) stay hand-written.
   // Hit rate over zero acquires is 0, not NaN (prom_double also guards).
   os << "# TYPE of_fleet_pool_hit_rate gauge\n";
   for (const auto& [rank, n] : nodes_) {
@@ -218,13 +279,9 @@ std::string Fleet::prometheus_text() const {
     os << "of_fleet_pool_hit_rate{node=\"" << rank << "\"} " << prom_double(rate)
        << '\n';
   }
-  counter_per_node("reconnects_total",
-                   [](const NodeState& n) { return n.last.reconnects; });
-  counter_per_node("frames_dropped_total",
-                   [](const NodeState& n) { return n.last.frames_dropped; });
-  counter_per_node("faults_injected_total",
-                   [](const NodeState& n) { return n.last.faults_injected; });
-  counter_per_node("updates_total", [](const NodeState& n) { return n.updates; });
+  os << "# TYPE of_fleet_updates_total counter\n";
+  for (const auto& [rank, n] : nodes_)
+    os << "of_fleet_updates_total{node=\"" << rank << "\"} " << n.updates << '\n';
 
   os << "# TYPE of_fleet_phase_seconds_total counter\n";
   for (const auto& [rank, n] : nodes_)
@@ -233,39 +290,92 @@ std::string Fleet::prometheus_text() const {
          << prom_escape_label(phase_label(i)) << "\"} "
          << prom_double(static_cast<double>(n.cum_phases[i].total_ns) / 1e9) << '\n';
 
-  if (last_round_) {
-    const RoundHealth& h = *last_round_;
-    os << "# TYPE of_fleet_last_round gauge\nof_fleet_last_round " << h.round << '\n'
-       << "# TYPE of_fleet_last_round_participated gauge\n"
-       << "of_fleet_last_round_participated " << h.participated << '\n'
-       << "# TYPE of_fleet_last_round_expected gauge\n"
-       << "of_fleet_last_round_expected " << h.expected << '\n'
-       << "# TYPE of_fleet_last_round_dropped gauge\n"
-       << "of_fleet_last_round_dropped " << h.dropped.size() << '\n'
-       << "# TYPE of_fleet_last_round_deadline_hit gauge\n"
-       << "of_fleet_last_round_deadline_hit " << (h.deadline_hit ? 1 : 0) << '\n'
-       << "# TYPE of_fleet_last_round_bytes_up gauge\n"
-       << "of_fleet_last_round_bytes_up " << h.bytes_up << '\n'
-       << "# TYPE of_fleet_last_round_bytes_down gauge\n"
-       << "of_fleet_last_round_bytes_down " << h.bytes_down << '\n';
-  }
+  if (last_round_)
+    prom_families<RoundHealth>(os, "of_fleet_", nullptr, {{0, &*last_round_}});
 
   if (!combiners_.empty()) {
-    const auto combiner_gauge = [&](const char* name, auto value_of) {
-      os << "# TYPE of_fleet_combiner_" << name << " gauge\n";
-      for (const auto& [g, h] : combiners_)
-        os << "of_fleet_combiner_" << name << "{group=\"" << g << "\"} "
-           << value_of(h) << '\n';
-    };
-    combiner_gauge("round", [](const CombinerHealth& h) { return h.round; });
-    combiner_gauge("participated",
-                   [](const CombinerHealth& h) { return h.participated; });
-    combiner_gauge("expected", [](const CombinerHealth& h) { return h.expected; });
-    combiner_gauge("dropped", [](const CombinerHealth& h) { return h.dropped; });
-    combiner_gauge("deadline_hit",
-                   [](const CombinerHealth& h) { return h.deadline_hit ? 1 : 0; });
-    combiner_gauge("agg_peak_bytes",
-                   [](const CombinerHealth& h) { return h.agg_peak_bytes; });
+    std::vector<std::pair<int, const CombinerHealth*>> crows;
+    crows.reserve(combiners_.size());
+    for (const auto& [g, h] : combiners_) crows.emplace_back(g, &h);
+    prom_families(os, "of_fleet_combiner_", "group", crows);
+  }
+  return os.str();
+}
+
+std::string Fleet::json_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"trace_id\":";
+  {
+    std::ostringstream id;
+    id << "0x" << std::hex << trace_id_;
+    refl::json::append_escaped(id.str(), out);
+  }
+  out += ",\"nodes\":[";
+  bool first = true;
+  for (const auto& [rank, n] : nodes_) {
+    (void)rank;
+    if (!first) out += ',';
+    first = false;
+    std::string obj = refl::json::to_json(n.last);
+    obj.pop_back();  // reopen the object for the derived keys
+    const std::uint64_t total = n.last.pool_hits + n.last.pool_misses;
+    const double rate =
+        total == 0 ? 0.0
+                   : static_cast<double>(n.last.pool_hits) / static_cast<double>(total);
+    obj += ",\"pool_hit_rate\":";
+    refl::json::append_double(rate, obj);
+    obj += ",\"updates_total\":" + std::to_string(n.updates);
+    obj += ",\"phase_seconds_total\":{";
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (i) obj += ',';
+      refl::json::append_escaped(phase_label(i), obj);
+      obj += ':';
+      refl::json::append_double(static_cast<double>(n.cum_phases[i].total_ns) / 1e9,
+                                obj);
+    }
+    obj += "}}";
+    out += obj;
+  }
+  out += "],\"last_round\":";
+  out += last_round_ ? refl::json::to_json(*last_round_) : std::string("null");
+  out += ",\"combiners\":[";
+  first = true;
+  for (const auto& [g, h] : combiners_) {
+    (void)g;
+    if (!first) out += ',';
+    first = false;
+    out += refl::json::to_json(h);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Fleet::csv_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  bool first = true;
+  refl::for_each_field<TelemetrySummary>([&](const auto& f) {
+    using FT = typename std::decay_t<decltype(f)>::Type;
+    if constexpr (std::is_arithmetic_v<FT>) {
+      if (f.exported == refl::Export::Skip) return;
+      os << (first ? "" : ",") << f.export_name();
+      first = false;
+    }
+  });
+  os << '\n';
+  for (const auto& [rank, n] : nodes_) {
+    (void)rank;
+    first = true;
+    refl::for_each_field<TelemetrySummary>([&](const auto& f) {
+      using FT = typename std::decay_t<decltype(f)>::Type;
+      if constexpr (std::is_arithmetic_v<FT>) {
+        if (f.exported == refl::Export::Skip) return;
+        if (!first) os << ',';
+        first = false;
+        prom_value(os, n.last.*(f.member));
+      }
+    });
+    os << '\n';
   }
   return os.str();
 }

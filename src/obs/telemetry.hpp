@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/context.hpp"
+#include "refl/refl.hpp"
 
 namespace of::obs {
 
@@ -47,8 +48,12 @@ struct TelemetrySummary {
   std::uint64_t frames_dropped = 0;
   std::uint64_t faults_injected = 0; // cumulative, client-side injections
   PhaseDigest phases[kPhaseCount];
+  // Peak resident set of the reporting process (getrusage ru_maxrss), kB.
+  // v2-wire only: the frozen v1 fixed layout predates it.
+  std::uint64_t peak_rss_kb = 0;
 
-  // Wire size of the serialized blob (fields + magic/version header).
+  // Wire size of the *v1* fixed-layout blob (fields + magic/version
+  // header). The v1 layout is frozen — new fields ride the v2 TLV wire.
   static constexpr std::size_t kWireBytes =
       4 + 2 + 2 +                    // magic, version, reserved
       8 + 4 + 4 +                    // trace_id, rank, round
@@ -56,13 +61,24 @@ struct TelemetrySummary {
       8 * 7 +                        // byte/pool/reconnect/drop/fault counters
       kPhaseCount * 3 * 8;           // phase digests
 
-  // Append the fixed-size blob to `out` (always exactly kWireBytes).
+  // Append the fixed-size v1 blob to `out` (always exactly kWireBytes).
   void serialize_to(std::vector<std::uint8_t>& out) const;
 
-  // Parse a blob from the last kWireBytes of [data, data+len). Returns
-  // nullopt if the buffer is too short or the magic/version don't match.
+  // Append the v2 blob: the TLV records of every descriptor field
+  // followed by a fixed 12-byte trailer (payload_len, version, magic) so
+  // the coordinator can strip a variable-size tail from the frame end.
+  // Unknown tags are skipped on decode, so mixed-version fleets
+  // interoperate in both directions (DESIGN.md §13).
+  void serialize_tlv_to(std::vector<std::uint8_t>& out) const;
+
+  // Parse a blob from the tail of [data, data+len): first the v2 TLV
+  // trailer, then the fixed v1 layout as fallback. Returns nullopt if the
+  // buffer is too short or no magic/version matches. On success,
+  // *tail_bytes (when given) receives the byte count the tail occupies —
+  // what the caller must strip off the frame.
   static std::optional<TelemetrySummary> parse_tail(const std::uint8_t* data,
-                                                    std::size_t len);
+                                                    std::size_t len,
+                                                    std::size_t* tail_bytes = nullptr);
 };
 
 class Fleet {
@@ -114,7 +130,15 @@ class Fleet {
   std::map<int, std::int64_t> clock_offsets() const;
 
   // Prometheus 0.0.4 text: of_fleet_* families with a node="<rank>" label.
+  // Family names and types come from the TelemetrySummary / RoundHealth /
+  // CombinerHealth field descriptors.
   std::string prometheus_text() const;
+  // The same fleet view as a JSON document (GET /fleet.json) — keys match
+  // the Prometheus families name-for-name, from the same descriptors.
+  std::string json_text() const;
+  // Per-node CSV (GET /fleet.csv), one row per reporting node; the column
+  // set is the TelemetrySummary descriptor's exported fields.
+  std::string csv_text() const;
   // Human-readable one-page per-round health summary.
   std::string health_text() const;
 
@@ -133,3 +157,57 @@ class Fleet {
 };
 
 }  // namespace of::obs
+
+// The telemetry schema (DESIGN.md §13). Tags are wire ABI: stable forever,
+// never reused. Adding a field here is the single edit that makes it
+// appear on the v2 TLV wire, in the of_fleet_* Prometheus families, in
+// /fleet.json, and in the /fleet.csv columns. The exporter name defaults
+// to the field name; .prom_name() overrides keep the historical gauge
+// names stable where they differ.
+template <>
+struct of::refl::Reflect<of::obs::TelemetrySummary> {
+  using S = of::obs::TelemetrySummary;
+  OF_REFL_FIELDS(
+      field("trace_id", &S::trace_id, 1).skip_export(),
+      field("rank", &S::rank, 2).label().prom_name("node"),
+      field("round", &S::round, 3),
+      field("clock_offset_ns", &S::clock_offset_ns, 4),
+      field("rtt_ns", &S::rtt_ns, 5).prom_name("clock_rtt_ns"),
+      field("bytes_sent", &S::bytes_sent, 6).prom_name("round_bytes_sent"),
+      field("bytes_received", &S::bytes_received, 7).prom_name("round_bytes_received"),
+      field("pool_hits", &S::pool_hits, 8).counter().prom_name("pool_hits_total"),
+      field("pool_misses", &S::pool_misses, 9).counter().prom_name("pool_misses_total"),
+      field("reconnects", &S::reconnects, 10).counter().prom_name("reconnects_total"),
+      field("frames_dropped", &S::frames_dropped, 11).counter().prom_name("frames_dropped_total"),
+      field("faults_injected", &S::faults_injected, 12).counter().prom_name("faults_injected_total"),
+      field("phases", &S::phases, 13).skip_export(),
+      field("peak_rss_kb", &S::peak_rss_kb, 14))
+};
+
+template <>
+struct of::refl::Reflect<of::obs::Fleet::RoundHealth> {
+  using S = of::obs::Fleet::RoundHealth;
+  OF_REFL_FIELDS(
+      field("round", &S::round, 1).prom_name("last_round"),
+      field("participated", &S::participated, 2).prom_name("last_round_participated"),
+      field("expected", &S::expected, 3).prom_name("last_round_expected"),
+      field("dropped", &S::dropped, 4).prom_name("last_round_dropped"),
+      field("deadline_hit", &S::deadline_hit, 5).prom_name("last_round_deadline_hit"),
+      field("bytes_up", &S::bytes_up, 6).prom_name("last_round_bytes_up"),
+      field("bytes_down", &S::bytes_down, 7).prom_name("last_round_bytes_down"),
+      field("seconds", &S::seconds, 8).prom_name("last_round_seconds"))
+};
+
+template <>
+struct of::refl::Reflect<of::obs::Fleet::CombinerHealth> {
+  using S = of::obs::Fleet::CombinerHealth;
+  OF_REFL_FIELDS(
+      field("group", &S::group, 1).label(),
+      field("round", &S::round, 2),
+      field("participated", &S::participated, 3),
+      field("expected", &S::expected, 4),
+      field("dropped", &S::dropped, 5),
+      field("deadline_hit", &S::deadline_hit, 6),
+      field("agg_peak_bytes", &S::agg_peak_bytes, 7),
+      field("seconds", &S::seconds, 8))
+};

@@ -6,6 +6,61 @@
 #include "privacy/dp.hpp"
 #include "privacy/he.hpp"
 #include "privacy/secure_agg.hpp"
+#include "refl/config_io.hpp"
+
+namespace of::privacy {
+
+// Reflected per-mechanism param structs — unknown keys fail with a
+// `privacy.<key>` path unless strict=false. Seeds default to the historical
+// factory constants so configs without a seed stay bit-identical.
+namespace params {
+struct None {};
+struct Dp {
+  double epsilon = 1.0;
+  double delta = 1e-5;
+  double clip_norm = 1.0;
+  std::int64_t seed = 0xD9;
+};
+struct He {
+  std::size_t key_bits = 256;
+  std::size_t max_summands = 1024;
+  std::int64_t seed = 0x4E;
+  std::int64_t enc_seed = 0;
+};
+struct Sa {
+  std::string group_key = "omnifed-sa";
+  int num_clients = 0;
+  std::string key_agreement = "hmac";
+};
+}  // namespace params
+}  // namespace of::privacy
+
+template <>
+struct of::refl::Reflect<of::privacy::params::None> {
+  OF_REFL_FIELDS()
+};
+template <>
+struct of::refl::Reflect<of::privacy::params::Dp> {
+  OF_REFL_FIELDS(field("epsilon", &of::privacy::params::Dp::epsilon, 1).gt(0),
+                 field("delta", &of::privacy::params::Dp::delta, 2).ge(0).lt(1),
+                 field("clip_norm", &of::privacy::params::Dp::clip_norm, 3).gt(0),
+                 field("seed", &of::privacy::params::Dp::seed, 4))
+};
+template <>
+struct of::refl::Reflect<of::privacy::params::He> {
+  OF_REFL_FIELDS(field("key_bits", &of::privacy::params::He::key_bits, 1).ge(16),
+                 field("max_summands", &of::privacy::params::He::max_summands, 2).ge(1),
+                 field("seed", &of::privacy::params::He::seed, 3),
+                 field("enc_seed", &of::privacy::params::He::enc_seed, 4))
+};
+template <>
+struct of::refl::Reflect<of::privacy::params::Sa> {
+  OF_REFL_FIELDS(field("group_key", &of::privacy::params::Sa::group_key, 1),
+                 field("num_clients", &of::privacy::params::Sa::num_clients, 2)
+                     .req()
+                     .ge(1),
+                 field("key_agreement", &of::privacy::params::Sa::key_agreement, 3))
+};
 
 namespace of::privacy {
 
@@ -80,38 +135,41 @@ void HomomorphicEncryption::aggregate_sum(const std::vector<ConstByteSpan>& cont
 
 namespace {
 
+const std::vector<std::string> kTargetKey = {"_target_"};
+
 void register_builtin(PrivacyRegistry& reg) {
-  reg.add("NoPrivacy",
-          [](const config::ConfigNode&) { return std::make_unique<NoPrivacy>(); });
+  reg.add("NoPrivacy", [](const config::ConfigNode& cfg, bool strict) {
+    refl::from_node<params::None>(cfg, "privacy", kTargetKey, strict);
+    return std::make_unique<NoPrivacy>();
+  });
   reg.add("DifferentialPrivacy",
-          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
+          [](const config::ConfigNode& cfg,
+             bool strict) -> std::unique_ptr<PrivacyMechanism> {
+            const auto c = refl::from_node<params::Dp>(cfg, "privacy", kTargetKey, strict);
             DpParams p;
-            p.epsilon = cfg.get_or<double>("epsilon", 1.0);
-            p.delta = cfg.get_or<double>("delta", 1e-5);
-            p.clip_norm = cfg.get_or<double>("clip_norm", 1.0);
-            const auto seed =
-                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0xD9));
-            return std::make_unique<DifferentialPrivacy>(p, seed);
+            p.epsilon = c.epsilon;
+            p.delta = c.delta;
+            p.clip_norm = c.clip_norm;
+            return std::make_unique<DifferentialPrivacy>(
+                p, static_cast<std::uint64_t>(c.seed));
           });
   reg.add("HomomorphicEncryption",
-          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
-            const auto bits = cfg.get_or<std::size_t>("key_bits", 256);
-            const auto summands = cfg.get_or<std::size_t>("max_summands", 1024);
-            const auto seed =
-                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("seed", 0x4E));
-            const auto enc_seed =
-                static_cast<std::uint64_t>(cfg.get_or<std::int64_t>("enc_seed", 0));
-            return std::make_unique<HomomorphicEncryption>(bits, summands, seed, enc_seed);
+          [](const config::ConfigNode& cfg,
+             bool strict) -> std::unique_ptr<PrivacyMechanism> {
+            const auto c = refl::from_node<params::He>(cfg, "privacy", kTargetKey, strict);
+            return std::make_unique<HomomorphicEncryption>(
+                c.key_bits, c.max_summands, static_cast<std::uint64_t>(c.seed),
+                static_cast<std::uint64_t>(c.enc_seed));
           });
   reg.add("SecureAggregation",
-          [](const config::ConfigNode& cfg) -> std::unique_ptr<PrivacyMechanism> {
-            const auto key = cfg.get_or<std::string>("group_key", "omnifed-sa");
-            const auto clients = cfg.get<int>("num_clients");
-            const auto mode = cfg.get_or<std::string>("key_agreement", "hmac");
-            const SaKeyAgreement agreement = (mode == "diffie_hellman")
+          [](const config::ConfigNode& cfg,
+             bool strict) -> std::unique_ptr<PrivacyMechanism> {
+            const auto c = refl::from_node<params::Sa>(cfg, "privacy", kTargetKey, strict);
+            const SaKeyAgreement agreement = (c.key_agreement == "diffie_hellman")
                                                  ? SaKeyAgreement::DiffieHellman
                                                  : SaKeyAgreement::Hmac;
-            return std::make_unique<SecureAggregation>(key, clients, agreement);
+            return std::make_unique<SecureAggregation>(c.group_key, c.num_clients,
+                                                       agreement);
           });
 }
 
@@ -126,8 +184,9 @@ PrivacyRegistry& privacy_registry() {
   return reg;
 }
 
-std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg) {
-  return privacy_registry().create(cfg);
+std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg,
+                                                 bool strict) {
+  return privacy_registry().create(cfg, strict);
 }
 
 }  // namespace of::privacy

@@ -74,8 +74,11 @@ class NoPrivacy final : public PrivacyMechanism {
   std::string name() const override { return "NoPrivacy"; }
 };
 
-using PrivacyRegistry = config::Registry<PrivacyMechanism>;
+// Param structs are reflected (src/refl/), so unknown/typo'd keys fail with
+// a path-aware error unless strict=false.
+using PrivacyRegistry = config::Registry<PrivacyMechanism, bool /*strict*/>;
 PrivacyRegistry& privacy_registry();
-std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg);
+std::unique_ptr<PrivacyMechanism> make_mechanism(const config::ConfigNode& cfg,
+                                                 bool strict = true);
 
 }  // namespace of::privacy

@@ -1,0 +1,182 @@
+// of::refl config visitors — generated ConfigNode↔struct mapping.
+//
+// from_node<T>(node, path) walks T's field descriptor: every present key
+// is converted with the same coercions ConfigNode's typed getters use,
+// missing keys keep the member's default (unless .req()), range metadata
+// is enforced, and unknown keys are rejected with the full dotted path
+// ("fault.reconnect.max_atempts: unknown key ...") so typos never
+// silently no-op. to_node<T> is the inverse — it materializes defaults,
+// which is what --dump-config renders.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/node.hpp"
+#include "refl/refl.hpp"
+
+namespace of::refl {
+
+[[noreturn]] inline void config_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("config error at '" + path + "': " + what);
+}
+
+inline std::string join_path(const std::string& parent, const char* key) {
+  return parent.empty() ? std::string(key) : parent + "." + key;
+}
+
+template <Reflected T>
+T from_node(const config::ConfigNode& node, const std::string& path = "",
+            const std::vector<std::string>& extra_keys = {}, bool strict = true);
+template <Reflected T>
+config::ConfigNode to_node(const T& value);
+
+// --- scalar conversions ----------------------------------------------------
+
+template <class T>
+void value_from_node(const config::ConfigNode& n, const std::string& path, T& out,
+                     bool strict = true) {
+  if constexpr (std::is_same_v<T, bool>) {
+    if (n.kind() != config::ConfigNode::Kind::Bool)
+      config_fail(path, "expected a bool");
+    out = n.as_bool();
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    if (n.kind() != config::ConfigNode::Kind::String)
+      config_fail(path, "expected a string");
+    out = n.as_string();
+  } else if constexpr (NamedEnum<T>) {
+    if (n.kind() != config::ConfigNode::Kind::String)
+      config_fail(path, "expected one of " + enum_choices<T>());
+    if (!enum_from_string(n.as_string(), out))
+      config_fail(path, "unknown value '" + n.as_string() + "' (" + enum_choices<T>() + ")");
+  } else if constexpr (std::is_floating_point_v<T>) {
+    if (n.kind() != config::ConfigNode::Kind::Int &&
+        n.kind() != config::ConfigNode::Kind::Float)
+      config_fail(path, "expected a number");
+    out = static_cast<T>(n.as_double());
+  } else if constexpr (std::is_integral_v<T>) {
+    if (n.kind() != config::ConfigNode::Kind::Int)
+      config_fail(path, "expected an integer");
+    const std::int64_t v = n.as_int();
+    if constexpr (std::is_unsigned_v<T>) {
+      if (v < 0) {
+        std::ostringstream os;
+        os << "must be non-negative, got " << v;
+        config_fail(path, os.str());
+      }
+    }
+    out = static_cast<T>(v);
+  } else if constexpr (Reflected<T>) {
+    out = from_node<T>(n, path, {}, strict);
+  } else if constexpr (is_std_vector_v<T>) {
+    if (!n.is_list() && !n.is_null())
+      config_fail(path, "expected a list");
+    out.clear();
+    for (std::size_t i = 0; n.is_list() && i < n.size(); ++i) {
+      std::ostringstream os;
+      os << path << '[' << i << ']';
+      typename T::value_type item{};
+      value_from_node(n.at(i), os.str(), item, strict);
+      out.push_back(std::move(item));
+    }
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported field type for config reflection");
+  }
+}
+
+// --- struct reader ---------------------------------------------------------
+
+// Parse the map `node` into a T. Unknown keys not named by a field (or by
+// `extra_keys`, for polymorphic groups that carry _target_/seed/...) throw.
+// A null node yields the defaulted struct, matching the hand-written
+// from_config conventions (required fields still throw then).
+template <Reflected T>
+T from_node(const config::ConfigNode& node, const std::string& path,
+            const std::vector<std::string>& extra_keys, bool strict) {
+  T out{};
+  const std::string where = path.empty() ? "(root)" : path;
+  if (!node.is_null() && !node.is_map())
+    config_fail(where, "expected a map");
+
+  for_each_field<T>([&](const auto& f) {
+    const std::string fpath = join_path(path, f.name);
+    if (!node.is_map() || !node.has(f.name)) {
+      if (f.required) config_fail(fpath, "required key is missing");
+      return;
+    }
+    auto& slot = out.*(f.member);
+    value_from_node(node.at(f.name), fpath, slot, strict);
+    using FT = std::decay_t<decltype(slot)>;
+    if constexpr (std::is_arithmetic_v<FT> && !std::is_same_v<FT, bool>) {
+      const double v = static_cast<double>(slot);
+      const auto bound_fail = [&](const char* op, double bound) {
+        std::ostringstream os;
+        os << "must be " << op << ' ' << bound << ", got " << v;
+        config_fail(fpath, os.str());
+      };
+      if (f.has_min && (f.min_excl ? !(v > f.min_v) : !(v >= f.min_v)))
+        bound_fail(f.min_excl ? ">" : ">=", f.min_v);
+      if (f.has_max && (f.max_excl ? !(v < f.max_v) : !(v <= f.max_v)))
+        bound_fail(f.max_excl ? "<" : "<=", f.max_v);
+    }
+  });
+
+  if (strict && node.is_map()) {
+    for (const auto& [key, child] : node.items()) {
+      (void)child;
+      bool known = false;
+      for_each_field<T>([&](const auto& f) { known = known || key == f.name; });
+      for (const auto& extra : extra_keys) known = known || key == extra;
+      if (!known)
+        config_fail(join_path(path, key.c_str()),
+                    "unknown key (strict config; set config.strict: false to allow)");
+    }
+  }
+  return out;
+}
+
+// --- struct writer ---------------------------------------------------------
+
+template <class T>
+config::ConfigNode value_to_node(const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return config::ConfigNode::boolean(v);
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return config::ConfigNode::string(v);
+  } else if constexpr (NamedEnum<T>) {
+    return config::ConfigNode::string(enum_to_string(v));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return config::ConfigNode::floating(static_cast<double>(v));
+  } else if constexpr (std::is_integral_v<T>) {
+    return config::ConfigNode::integer(static_cast<std::int64_t>(v));
+  } else if constexpr (Reflected<T>) {
+    return to_node(v);
+  } else if constexpr (is_std_vector_v<T>) {
+    config::ConfigNode list = config::ConfigNode::list();
+    for (const auto& item : v) list.push_back(value_to_node(item));
+    return list;
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported field type for config reflection");
+  }
+}
+
+// Render T back to a ConfigNode map, defaults materialized — the effective
+// config --dump-config prints.
+template <Reflected T>
+config::ConfigNode to_node(const T& value) {
+  config::ConfigNode node = config::ConfigNode::map();
+  for_each_field<T>([&](const auto& f) { node[f.name] = value_to_node(value.*(f.member)); });
+  return node;
+}
+
+// YAML keys T accepts — the strict-config allowlist for reflected groups.
+template <Reflected T>
+std::vector<std::string> field_names() {
+  std::vector<std::string> out;
+  for_each_field<T>([&](const auto& f) { out.emplace_back(f.name); });
+  return out;
+}
+
+}  // namespace of::refl

@@ -1,0 +1,114 @@
+// of::refl JSON writer — reflected structs rendered as JSON objects.
+//
+// Keys come from each field's export_name() (the Prometheus-name override
+// when set, else the field name) so the `/fleet.json` document matches
+// the `of_fleet_*` gauge set name-for-name; fields marked .skip_export()
+// are omitted. Values: numbers as numbers (non-finite doubles as 0, like
+// prom_double), bools as true/false, enums as their name string, nested
+// reflected structs as objects, vectors/arrays as arrays.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+#include "refl/refl.hpp"
+
+namespace of::refl::json {
+
+inline void append_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void append_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  out += os.str();
+}
+
+template <Reflected T>
+void to_json(const T& value, std::string& out);
+
+template <class T>
+void value_to_json(const T& v, std::string& out) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out += v ? "true" : "false";
+  } else if constexpr (NamedEnum<T>) {
+    append_escaped(enum_to_string(v), out);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    append_double(static_cast<double>(v), out);
+  } else if constexpr (std::is_integral_v<T>) {
+    out += std::to_string(static_cast<std::int64_t>(v));
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    append_escaped(v, out);
+  } else if constexpr (Reflected<T>) {
+    to_json(v, out);
+  } else if constexpr (is_std_vector_v<T> || std::is_array_v<T>) {
+    out += '[';
+    std::size_t count = 0;
+    if constexpr (std::is_array_v<T>) {
+      count = std::extent_v<T>;
+    } else {
+      count = v.size();
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i) out += ',';
+      value_to_json(v[i], out);
+    }
+    out += ']';
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported field type for JSON reflection");
+  }
+}
+
+// Render `value` as a JSON object keyed by export_name(), omitting fields
+// marked .skip_export().
+template <Reflected T>
+void to_json(const T& value, std::string& out) {
+  out += '{';
+  bool first = true;
+  for_each_field<T>([&](const auto& f) {
+    if (f.exported == Export::Skip) return;
+    if (!first) out += ',';
+    first = false;
+    append_escaped(f.export_name(), out);
+    out += ':';
+    value_to_json(value.*(f.member), out);
+  });
+  out += '}';
+}
+
+template <Reflected T>
+std::string to_json(const T& value) {
+  std::string out;
+  to_json(value, out);
+  return out;
+}
+
+}  // namespace of::refl::json

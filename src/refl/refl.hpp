@@ -1,0 +1,152 @@
+// of::refl — the field-reflection core (DESIGN.md §13).
+//
+// One `fields()` descriptor per aggregate struct drives every derived
+// surface: YAML→struct config parsing with required/range/unknown-key
+// validation (config_io.hpp), the versioned tag-length-value wire format
+// with skip-unknown forward compatibility (tlv.hpp), and the exporter
+// name tables — Prometheus families, CSV columns, /fleet.json keys
+// (json.hpp and the obs/metrics renderers). Adding a field to a
+// descriptor is the *only* edit needed for it to appear on all of them.
+//
+// The descriptor is a constexpr tuple of Field<S,T> entries — a name, a
+// member pointer, a stable wire tag, and fluent metadata (required,
+// range bounds, export kind, exporter-name override). No macros are
+// required; OF_REFL_FIELDS(...) is an optional one-liner helper. No
+// external dependencies, C++20 only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace of::refl {
+
+// How a field shows up on the exporter surfaces (Prometheus / JSON / CSV).
+enum class Export : std::uint8_t {
+  Gauge,    // numeric gauge family (default)
+  Counter,  // monotonic counter family ("# TYPE ... counter")
+  Label,    // identifies the row (Prometheus label / JSON key), not a series
+  Skip,     // wire/config only; never exported
+};
+
+// One named field of S: name, member pointer, stable wire tag, metadata.
+// The fluent setters return modified copies so descriptors stay constexpr:
+//   field("bits", &Qsgd::bits, 1).req().ge(1).le(16)
+template <class S, class T>
+struct Field {
+  using Struct = S;
+  using Type = T;
+
+  const char* name;  // YAML key and default exporter name
+  T S::* member;
+  std::uint16_t tag;  // stable TLV wire tag; never reuse after removal
+
+  Export exported = Export::Gauge;
+  const char* prom = nullptr;  // exporter-name override (nullptr = `name`)
+  bool required = false;       // config: key must be present
+  bool deterministic = false;  // metrics CSV: part of the deterministic subset
+  // Range constraints, applied to arithmetic fields after conversion.
+  bool has_min = false, min_excl = false;
+  bool has_max = false, max_excl = false;
+  double min_v = 0.0, max_v = 0.0;
+
+  constexpr Field(const char* n, T S::* m, std::uint16_t t)
+      : name(n), member(m), tag(t) {}
+
+  constexpr Field req() const { Field f = *this; f.required = true; return f; }
+  constexpr Field ge(double v) const {
+    Field f = *this; f.has_min = true; f.min_excl = false; f.min_v = v; return f;
+  }
+  constexpr Field gt(double v) const {
+    Field f = *this; f.has_min = true; f.min_excl = true; f.min_v = v; return f;
+  }
+  constexpr Field le(double v) const {
+    Field f = *this; f.has_max = true; f.max_excl = false; f.max_v = v; return f;
+  }
+  constexpr Field lt(double v) const {
+    Field f = *this; f.has_max = true; f.max_excl = true; f.max_v = v; return f;
+  }
+  constexpr Field prom_name(const char* p) const { Field f = *this; f.prom = p; return f; }
+  constexpr Field counter() const { Field f = *this; f.exported = Export::Counter; return f; }
+  constexpr Field label() const { Field f = *this; f.exported = Export::Label; return f; }
+  constexpr Field skip_export() const { Field f = *this; f.exported = Export::Skip; return f; }
+  constexpr Field det() const { Field f = *this; f.deterministic = true; return f; }
+
+  constexpr const char* export_name() const { return prom ? prom : name; }
+};
+
+template <class S, class T>
+constexpr Field<S, T> field(const char* name, T S::* member, std::uint16_t tag) {
+  return Field<S, T>(name, member, tag);
+}
+
+// Customization point: specialize with a `static constexpr auto fields()`
+// returning a std::tuple of field(...) descriptors.
+template <class T>
+struct Reflect;
+
+// Optional helper for the common body of a Reflect specialization.
+#define OF_REFL_FIELDS(...) \
+  static constexpr auto fields() { return std::tuple{__VA_ARGS__}; }
+
+template <class T>
+concept Reflected = requires { Reflect<T>::fields(); };
+
+// Apply fn to every Field descriptor of T, in declaration order.
+template <Reflected T, class Fn>
+constexpr void for_each_field(Fn&& fn) {
+  std::apply([&](const auto&... fs) { (fn(fs), ...); }, Reflect<T>::fields());
+}
+
+template <Reflected T>
+constexpr std::size_t field_count() {
+  return std::tuple_size_v<decltype(Reflect<T>::fields())>;
+}
+
+// Enum naming: specialize with `static constexpr std::pair<E, const char*>
+// names[]` listing every enumerator. Drives YAML parsing/dumping and JSON.
+template <class E>
+struct EnumNames;
+
+template <class E>
+concept NamedEnum = std::is_enum_v<E> && requires { EnumNames<E>::names; };
+
+template <NamedEnum E>
+const char* enum_to_string(E v) {
+  for (const auto& [e, n] : EnumNames<E>::names)
+    if (e == v) return n;
+  return "?";
+}
+
+template <NamedEnum E>
+bool enum_from_string(const std::string& s, E& out) {
+  for (const auto& [e, n] : EnumNames<E>::names)
+    if (s == n) { out = e; return true; }
+  return false;
+}
+
+template <NamedEnum E>
+std::string enum_choices() {
+  std::string out;
+  for (const auto& [e, n] : EnumNames<E>::names) {
+    if (!out.empty()) out += '|';
+    out += n;
+  }
+  return out;
+}
+
+// --- type traits shared by the visitors ------------------------------------
+
+template <class T>
+struct is_std_vector : std::false_type {};
+template <class T, class A>
+struct is_std_vector<std::vector<T, A>> : std::true_type {};
+
+template <class T>
+inline constexpr bool is_std_vector_v = is_std_vector<T>::value;
+
+}  // namespace of::refl

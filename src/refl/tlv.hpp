@@ -1,0 +1,209 @@
+// of::refl TLV wire visitors — versioned tag-length-value encode/decode.
+//
+// Every field serializes as `u16 tag | u32 len | payload` (little-endian).
+// Decoders match fields by tag and *skip* unknown tags, so a v2 reader
+// consumes a v3 frame (extra fields ignored) and a v3 reader consumes a
+// v2 frame (missing fields keep defaults) — the mixed-version-fleet
+// forward/backward compatibility contract (DESIGN.md §13). Tags are part
+// of the wire ABI: never renumber, never reuse a retired tag.
+//
+// Payload shapes: bool → 1 byte; integral/enum → 8 bytes (two's
+// complement); double → 8-byte IEEE bits; string → raw bytes; nested
+// reflected struct → its concatenated TLV fields; array/vector →
+// `u32 count` then per-element `u32 len | element payload`.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "refl/refl.hpp"
+
+namespace of::refl::tlv {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// Bounds-checked little-endian reads over [p, p+len).
+struct Cursor {
+  const std::uint8_t* p = nullptr;
+  std::size_t len = 0;
+
+  bool u16(std::uint16_t& v) {
+    if (len < 2) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    len -= 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (len < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    len -= 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (len < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    len -= 8;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (len < n) return false;
+    p += n;
+    len -= n;
+    return true;
+  }
+};
+
+// --- value encode ----------------------------------------------------------
+
+template <Reflected T>
+void encode(const T& value, Bytes& out);
+
+template <class T>
+void value_encode(const T& v, Bytes& out) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out.push_back(v ? 1 : 0);
+  } else if constexpr (std::is_enum_v<T>) {
+    put_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  } else if constexpr (std::is_same_v<T, double>) {
+    put_u64(out, std::bit_cast<std::uint64_t>(v));
+  } else if constexpr (std::is_integral_v<T>) {
+    put_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    out.insert(out.end(), v.begin(), v.end());
+  } else if constexpr (Reflected<T>) {
+    encode(v, out);
+  } else if constexpr (is_std_vector_v<T> || std::is_array_v<T>) {
+    std::uint32_t count = 0;
+    if constexpr (std::is_array_v<T>) {
+      count = static_cast<std::uint32_t>(std::extent_v<T>);
+    } else {
+      count = static_cast<std::uint32_t>(v.size());
+    }
+    put_u32(out, count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Bytes elem;
+      value_encode(v[i], elem);
+      put_u32(out, static_cast<std::uint32_t>(elem.size()));
+      out.insert(out.end(), elem.begin(), elem.end());
+    }
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported field type for TLV reflection");
+  }
+}
+
+// Concatenated `tag | len | payload` records for every field of T, in
+// descriptor order.
+template <Reflected T>
+void encode(const T& value, Bytes& out) {
+  for_each_field<T>([&](const auto& f) {
+    Bytes payload;
+    value_encode(value.*(f.member), payload);
+    put_u16(out, f.tag);
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+  });
+}
+
+// --- value decode ----------------------------------------------------------
+
+template <Reflected T>
+bool decode(T& value, const std::uint8_t* data, std::size_t len);
+
+template <class T>
+bool value_decode(T& v, const std::uint8_t* data, std::size_t len) {
+  Cursor c{data, len};
+  if constexpr (std::is_same_v<T, bool>) {
+    if (len != 1) return false;
+    v = data[0] != 0;
+    return true;
+  } else if constexpr (std::is_enum_v<T>) {
+    std::uint64_t raw = 0;
+    if (len != 8 || !c.u64(raw)) return false;
+    v = static_cast<T>(static_cast<std::int64_t>(raw));
+    return true;
+  } else if constexpr (std::is_same_v<T, double>) {
+    std::uint64_t raw = 0;
+    if (len != 8 || !c.u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  } else if constexpr (std::is_integral_v<T>) {
+    std::uint64_t raw = 0;
+    if (len != 8 || !c.u64(raw)) return false;
+    v = static_cast<T>(static_cast<std::int64_t>(raw));
+    return true;
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    v.assign(reinterpret_cast<const char*>(data), len);
+    return true;
+  } else if constexpr (Reflected<T>) {
+    return decode(v, data, len);
+  } else if constexpr (is_std_vector_v<T> || std::is_array_v<T>) {
+    std::uint32_t count = 0;
+    if (!c.u32(count)) return false;
+    if constexpr (is_std_vector_v<T>) v.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t elen = 0;
+      if (!c.u32(elen) || c.len < elen) return false;
+      if constexpr (std::is_array_v<T>) {
+        // Fixed array: fill the slots we have, skip any extra elements a
+        // newer sender appended.
+        if (i < std::extent_v<T>) {
+          if (!value_decode(v[i], c.p, elen)) return false;
+        }
+      } else {
+        typename T::value_type item{};
+        if (!value_decode(item, c.p, elen)) return false;
+        v.push_back(std::move(item));
+      }
+      if (!c.skip(elen)) return false;
+    }
+    return true;
+  } else {
+    static_assert(sizeof(T) == 0, "unsupported field type for TLV reflection");
+  }
+}
+
+// Decode TLV records from [data, data+len) into `value`. Fields absent
+// from the stream keep their current contents; records whose tag matches
+// no descriptor entry are skipped (forward compatibility). Returns false
+// on a truncated or malformed stream.
+template <Reflected T>
+bool decode(T& value, const std::uint8_t* data, std::size_t len) {
+  Cursor c{data, len};
+  while (c.len > 0) {
+    std::uint16_t tag = 0;
+    std::uint32_t plen = 0;
+    if (!c.u16(tag) || !c.u32(plen) || c.len < plen) return false;
+    bool ok = true;
+    bool matched = false;
+    for_each_field<T>([&](const auto& f) {
+      if (matched || f.tag != tag) return;
+      matched = true;
+      ok = value_decode(value.*(f.member), c.p, plen);
+    });
+    if (!ok) return false;
+    c.skip(plen);
+  }
+  return true;
+}
+
+}  // namespace of::refl::tlv

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Descriptor/exporter sync lint (DESIGN.md §13).
+#
+# The Prometheus families, /fleet.json keys and /fleet.csv columns for
+# per-node telemetry are *generated* from Reflect<TelemetrySummary> — adding
+# a per-field series by hand to the renderer reintroduces the drift of::refl
+# removed. This check fails when src/obs/telemetry.cpp grows a hand-written
+# `of_fleet_<series>` literal that is not one of the known derived series
+# (cross-field computations a per-field descriptor cannot express). To add a
+# plain per-field series, extend the fields() descriptor in telemetry.hpp
+# instead; to add a genuinely derived series, list it below.
+#
+# Usage: check_refl_sync.sh <repo-root>
+set -eu
+
+repo=${1:?usage: check_refl_sync.sh <repo-root>}
+cpp="$repo/src/obs/telemetry.cpp"
+hpp="$repo/src/obs/telemetry.hpp"
+
+[ -r "$cpp" ] || { echo "check_refl_sync: missing $cpp" >&2; exit 1; }
+[ -r "$hpp" ] || { echo "check_refl_sync: missing $hpp" >&2; exit 1; }
+
+# Derived series that legitimately stay hand-written in prometheus_text():
+# run metadata and cross-field/cross-round computations.
+allowed="info nodes pool_hit_rate updates_total phase_seconds_total"
+
+# Every hand-written `of_fleet_<name>` literal in the renderer (the generated
+# families never appear as literals — prom_families builds them from the
+# descriptors at runtime). `of_fleet_` / `of_fleet_combiner_` prefixes passed
+# to prom_families carry no series suffix and drop out of the grep below.
+found=$(grep -o '"[^"]*of_fleet_[A-Za-z0-9_]*' "$cpp" \
+  | sed 's/.*of_fleet_//' | sed 's/^combiner_//' | grep -v '^$' | sort -u)
+
+status=0
+for name in $found; do
+  ok=1
+  for a in $allowed; do [ "$name" = "$a" ] && ok=0; done
+  if [ "$ok" = 1 ]; then
+    echo "check_refl_sync: hand-written series 'of_fleet_${name}' in" >&2
+    echo "  src/obs/telemetry.cpp — per-field series must come from the" >&2
+    echo "  Reflect<> fields() descriptor in src/obs/telemetry.hpp (or be" >&2
+    echo "  listed as a derived series in tests/check_refl_sync.sh)." >&2
+    status=1
+  fi
+done
+
+# The reverse direction: every exporter-visible descriptor name must be
+# absent from the renderer as a literal (it would shadow the generated
+# family), and the descriptor itself must still exist.
+grep -q 'Reflect<of::obs::TelemetrySummary>' "$hpp" || {
+  echo "check_refl_sync: Reflect<TelemetrySummary> descriptor missing from" >&2
+  echo "  src/obs/telemetry.hpp" >&2
+  status=1
+}
+
+exit $status

@@ -371,4 +371,20 @@ TEST(Registry, MissingTargetThrows) {
   EXPECT_THROW(reg.create(ConfigNode::map()), std::runtime_error);
 }
 
+TEST(Yaml, DuplicateMapKeysThrowWithLineNumbers) {
+  try {
+    parse_yaml("a: 1\nb: 2\na: 3\n");
+    FAIL() << "duplicate top-level key not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parse_yaml("m:\n  x: 1\n  x: 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_yaml("m: {k: 1, k: 2}\n"), std::runtime_error);
+  EXPECT_THROW(parse_yaml("l:\n  - a: 1\n    a: 2\n"), std::runtime_error);
+  // Same key at different depths is fine.
+  EXPECT_NO_THROW(parse_yaml("a: 1\nm:\n  a: 2\n"));
+}
+
 }  // namespace

@@ -60,9 +60,9 @@ injections:
   EXPECT_EQ(s.min_clients, 2);
   EXPECT_DOUBLE_EQ(s.round_deadline_seconds, 1.5);
   EXPECT_DOUBLE_EQ(s.quorum_timeout_seconds, 12.0);
-  EXPECT_EQ(s.reconnect_max_attempts, 5);
-  EXPECT_DOUBLE_EQ(s.reconnect_backoff_seconds, 0.01);
-  EXPECT_DOUBLE_EQ(s.reconnect_backoff_max_seconds, 0.2);
+  EXPECT_EQ(s.reconnect.max_attempts, 5);
+  EXPECT_DOUBLE_EQ(s.reconnect.backoff_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(s.reconnect.backoff_max_seconds, 0.2);
   ASSERT_EQ(s.injections.size(), 3u);
   EXPECT_EQ(s.injections[0].kind, FaultKind::Crash);
   EXPECT_EQ(s.injections[0].client, 1);

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -500,6 +501,76 @@ TEST(Scrape, TcpListenerServesPrometheusTextOverRawGet) {
   });
   (void)client->gather_bytes(Bytes{9, 9}, 0);
   server_side.join();
+}
+
+TEST(Scrape, FleetJsonOverRawGetMatchesPrometheusGaugeNames) {
+  // Seed one node row and one combiner row so both generated JSON surfaces
+  // are populated.
+  Fleet::global().reset(0x99ull);
+  TelemetrySummary t = make_summary();
+  t.rank = 1;
+  t.round = 3;
+  Fleet::global().record(t);
+  Fleet::CombinerHealth ch;
+  ch.group = 0;
+  ch.round = 3;
+  ch.participated = 2;
+  ch.expected = 3;
+  ch.dropped = 1;
+  ch.agg_peak_bytes = 4096;
+  Fleet::global().record_combiner(ch);
+
+  std::unique_ptr<TcpCommunicator> server;
+  std::thread srv([&] { server = TcpCommunicator::make_server(47425, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", 47425, 1, 2);
+  srv.join();
+  ASSERT_NE(server, nullptr);
+
+  const std::string resp = http_get(47425, "/fleet.json");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos);
+  const auto split = resp.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  std::string body = resp.substr(split + 4);
+  while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) body.pop_back();
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '}');
+  EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+            std::count(body.begin(), body.end(), '}'));
+
+  const std::string prom = http_get(47425, "/metrics");
+
+  // Name-for-name: every exported per-node descriptor field appears as an
+  // of_fleet_<name> family in the Prometheus scrape AND as a "<name>" key in
+  // /fleet.json; same for the per-combiner descriptor. Both surfaces render
+  // from the same field lists, so a mismatch means hand-edited drift.
+  of::refl::for_each_field<TelemetrySummary>([&](const auto& f) {
+    if (f.exported == of::refl::Export::Skip) return;
+    const std::string name = f.export_name();
+    EXPECT_NE(body.find("\"" + name + "\":"), std::string::npos)
+        << name << " missing from /fleet.json body";
+    if (f.exported != of::refl::Export::Label)
+      EXPECT_NE(prom.find("of_fleet_" + name), std::string::npos)
+          << name << " missing from /metrics";
+  });
+  of::refl::for_each_field<Fleet::CombinerHealth>([&](const auto& f) {
+    if (f.exported == of::refl::Export::Skip) return;
+    const std::string name = f.export_name();
+    EXPECT_NE(body.find("\"" + name + "\":"), std::string::npos)
+        << name << " missing from /fleet.json combiners";
+    if (f.exported != of::refl::Export::Label)
+      EXPECT_NE(prom.find("of_fleet_combiner_" + name), std::string::npos)
+          << name << " missing from /metrics combiner families";
+  });
+
+  // Spot-check values rode through, including the descriptor-only new field.
+  EXPECT_NE(body.find("\"node\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"agg_peak_bytes\":4096"), std::string::npos) << body;
+
+  const std::string csv = http_get(47425, "/fleet.csv");
+  EXPECT_NE(csv.find("Content-Type: text/csv"), std::string::npos);
+  EXPECT_NE(csv.find("peak_rss_kb"), std::string::npos);
 }
 
 // --- end-to-end Engine runs ----------------------------------------------------
