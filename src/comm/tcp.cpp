@@ -173,6 +173,23 @@ std::uint64_t mix64(std::uint64_t& s) {
 
 }  // namespace
 
+double ConnectBackoff::next() {
+  // Jitter in [0.5, 1.5) × delay so a 10k-client burst doesn't retry in
+  // lockstep; delay doubles per attempt, both capped at 0.5 s.
+  const double jitter = 0.5 + static_cast<double>(mix64(state_) % 1024) / 1024.0;
+  const double d = std::min(delay_ * jitter, 0.5);
+  delay_ = std::min(delay_ * 2.0, 0.5);
+  return d;
+}
+
+std::vector<double> connect_backoff_schedule(std::uint64_t seed, int attempts) {
+  ConnectBackoff b(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(attempts));
+  for (int i = 0; i < attempts; ++i) out.push_back(b.next());
+  return out;
+}
+
 // Server-side connection state machines. The whole struct is owned by the
 // event-loop thread: every mutation happens inside a loop callback, so no
 // lock guards it. An fd appears in `conns` from accept until drop — entry
@@ -278,9 +295,10 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string&
       ft.connect_timeout_seconds > 0 ? ft.connect_timeout_seconds : 30.0;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::duration<double>(budget);
-  std::uint64_t seed =
-      (static_cast<std::uint64_t>(rank) << 32) ^ static_cast<std::uint64_t>(port);
-  double delay = 0.02;
+  ConnectBackoff backoff(ft.connect_backoff_seed != 0
+                             ? ft.connect_backoff_seed
+                             : (static_cast<std::uint64_t>(rank) << 32) ^
+                                   static_cast<std::uint64_t>(port));
   int attempts = 0;
   int fd = -1;
   for (;;) {
@@ -289,13 +307,9 @@ std::unique_ptr<TcpCommunicator> TcpCommunicator::make_client(const std::string&
     if (fd >= 0) break;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) break;
-    // Jitter in [0.5, 1.5) × delay so a 10k-client burst doesn't retry in
-    // lockstep; capped at 0.5 s and at the remaining budget.
-    const double jitter = 0.5 + static_cast<double>(mix64(seed) % 1024) / 1024.0;
     const double remain = std::chrono::duration<double>(deadline - now).count();
     std::this_thread::sleep_for(
-        std::chrono::duration<double>(std::min({delay * jitter, 0.5, remain})));
-    delay = std::min(delay * 2.0, 0.5);
+        std::chrono::duration<double>(std::min(backoff.next(), remain)));
   }
   OF_CHECK_MSG(fd >= 0, "connect() to " << host << ':' << port << " failed after "
                             << attempts << " attempts over " << budget
@@ -335,6 +349,20 @@ TcpCommunicator::~TcpCommunicator() {
       if (c->peer < 0) ::close(fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpCommunicator::set_peer_lifecycle(std::function<void(int, bool)> cb) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  lifecycle_ = std::move(cb);
+}
+
+void TcpCommunicator::notify_lifecycle(int peer_rank, bool up) {
+  std::function<void(int, bool)> cb;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    cb = lifecycle_;
+  }
+  if (cb) cb(peer_rank, up);
 }
 
 void TcpCommunicator::retire_fd(int fd) {
@@ -390,11 +418,14 @@ void TcpCommunicator::server_drop_conn(int fd, const std::string& err) {
     // the peer lock it holds.
     ::shutdown(fd, SHUT_RDWR);
     Peer& p = peer(peer_rank);
-    std::lock_guard<std::mutex> lock(p.mu);
-    if (p.fd == fd) {
-      p.up = false;
-      p.fd = -1;  // closed below; a rejoin installs a fresh fd
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      if (p.fd == fd) {
+        p.up = false;
+        p.fd = -1;  // closed below; a rejoin installs a fresh fd
+      }
     }
+    notify_lifecycle(peer_rank, false);
   }
   ::close(fd);
   if (!err.empty()) {
@@ -452,6 +483,7 @@ void TcpCommunicator::server_admit(int fd, int src) {
     flush_outbox_locked(p);
   }
   if (old_fd >= 0) ::close(old_fd);  // no sender can hold it once p.fd moved on
+  notify_lifecycle(src, true);
   if (initial) {
     std::lock_guard<std::mutex> lock(setup_mu_);
     ++connected_;

@@ -42,11 +42,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "obs/clocksync.hpp"
@@ -65,7 +67,30 @@ struct TcpFaultTolerance {
   // backoff until this deadline, then fails with a clean error instead of
   // spinning forever against a coordinator that never bound.
   double connect_timeout_seconds = 30.0;
+  // Seed for the connect-backoff jitter chain. 0 = derive from (rank, port),
+  // which decorrelates a connect burst but differs run to run; the Engine
+  // sets a splitmix64-derived per-node seed so retry schedules reproduce
+  // with the run seed.
+  std::uint64_t connect_backoff_seed = 0;
 };
+
+// The initial-connect retry pacing: jittered exponential backoff, delay ×2
+// per attempt, jitter in [0.5, 1.5), both capped at 0.5 s. Pure in `seed` —
+// two chains with the same seed produce the identical schedule, which is
+// what makes a run's connect storm reproducible (tests/test_comm.cpp).
+class ConnectBackoff {
+ public:
+  explicit ConnectBackoff(std::uint64_t seed) : state_(seed) {}
+  // Delay before the next connect attempt, seconds.
+  double next();
+
+ private:
+  std::uint64_t state_;
+  double delay_ = 0.02;
+};
+
+// The first `attempts` delays of the chain, for schedule-level assertions.
+std::vector<double> connect_backoff_schedule(std::uint64_t seed, int attempts);
 
 class TcpCommunicator final : public Communicator {
  public:
@@ -104,6 +129,13 @@ class TcpCommunicator final : public Communicator {
   // 0, the server link). Both sides observe the loss; with fault tolerance
   // on, the client reconnects with backoff and queued frames are replayed.
   void inject_disconnect(int peer_rank = 0);
+
+  // Server only: observe the event loop's connection lifecycle. Fired on
+  // the loop thread with (client rank, up) at every admission and drop —
+  // the transport-level liveness feed of the serving tier's population
+  // registry (src/serve/registry.hpp). Pass nullptr to detach; callers must
+  // detach before destroying whatever the callback captures.
+  void set_peer_lifecycle(std::function<void(int, bool)> cb);
 
   // Clock-sync ping (clients only): send a ping to the server, wait for the
   // pong, and return the (t0, server, t1) sample for the offset estimator.
@@ -220,6 +252,10 @@ class TcpCommunicator final : public Communicator {
   struct ServerState;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<ServerState> srv_;
+
+  std::mutex lifecycle_mu_;
+  std::function<void(int, bool)> lifecycle_;  // server: admission/drop observer
+  void notify_lifecycle(int peer_rank, bool up);
 
   std::mutex readers_mu_;
   std::vector<std::thread> readers_;

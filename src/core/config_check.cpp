@@ -9,6 +9,7 @@
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "refl/config_io.hpp"
+#include "serve/serve.hpp"
 
 namespace of::core {
 namespace {
@@ -50,7 +51,7 @@ void check_config_keys(const ConfigNode& cfg) {
              {"seed", "eval_every", "clients_per_round", "topology", "model",
               "datamodule", "algorithm", "compression", "privacy", "scheduling",
               "aggregation", "byzantine", "fault", "heterogeneity", "exec", "obs",
-              "config"});
+              "serve", "config"});
 
   check_keys(child_or_empty(cfg, "config"), "config", {"strict"});
 
@@ -87,6 +88,8 @@ void check_config_keys(const ConfigNode& cfg) {
   check_keys(child_or_empty(cfg, "obs"), "obs", refl::field_names<obs::ObsConfig>());
   check_keys(child_or_empty(cfg, "fault"), "fault",
              refl::field_names<fault::FaultSpec>());
+  check_keys(child_or_empty(cfg, "serve"), "serve",
+             refl::field_names<serve::ServeConfig>());
 
   const ConfigNode topo = child_or_empty(cfg, "topology");
   check_keys(topo, "topology",
@@ -116,6 +119,8 @@ config::ConfigNode effective_config(const config::ConfigNode& cfg) {
       refl::to_node(obs::ObsConfig::from_config(child_or_empty(cfg, "obs"), strict));
   out["fault"] =
       refl::to_node(fault::FaultSpec::from_config(child_or_empty(cfg, "fault"), strict));
+  out["serve"] = refl::to_node(
+      serve::ServeConfig::from_config(child_or_empty(cfg, "serve"), strict));
   const ConfigNode topo = child_or_empty(cfg, "topology");
   if (topo.is_map() && topo.has("combiner"))
     out["topology"]["combiner"] = refl::to_node(refl::from_node<CombinerPolicy>(

@@ -145,17 +145,37 @@ std::vector<NodeSetup> Engine::build_setups() {
                "compression and privacy cannot stack on the same link (run them in "
                "separate experiments, as the paper does)");
 
-  // --- scheduling / heterogeneity / participation ---------------------------
+  // --- scheduling / serving tier / heterogeneity / participation ------------
   const config::ConfigNode sched_cfg = node_or_empty(cfg_, "scheduling");
   const bool async_mode = sched_cfg.get_or<std::string>("mode", "sync") == "async";
+  serve::ServeConfig serve_cfg =
+      serve::ServeConfig::from_config(node_or_empty(cfg_, "serve"), strict_);
   if (async_mode) {
+    // `scheduling: {mode: async}` is the legacy spelling of the serving
+    // tier's FedAsync point: full participation, unit buffer.
+    OF_CHECK_MSG(!serve_cfg.enabled,
+                 "scheduling: {mode: async} and an enabled serve: group conflict — "
+                 "configure the serving tier through serve: alone");
+    serve_cfg.enabled = true;
+    serve_cfg.mode = serve::Mode::FedBuff;
+    serve_cfg.fraction = 1.0;
+    serve_cfg.buffer_size = 1;
+    serve_cfg.alpha = sched_cfg.get_or<double>("alpha", 0.6);
+    serve_cfg.total_updates = sched_cfg.get_or<std::size_t>("total_updates", 0);
+  }
+  const bool fedbuff = serve_cfg.enabled && serve_cfg.mode == serve::Mode::FedBuff;
+  if (fedbuff) {
     OF_CHECK_MSG(topology_.kind == "centralized",
-                 "async scheduling requires a centralized topology");
+                 "the serving tier (serve: fedbuff / async scheduling) requires a "
+                 "centralized topology");
     OF_CHECK_MSG(!has_privacy,
-                 "async scheduling aggregates updates one at a time — sum-based "
+                 "the serving tier aggregates updates one at a time — sum-based "
                  "privacy mechanisms (SA/HE) and per-cohort DP do not apply");
   }
   const auto clients_per_round = cfg_.get_or<std::size_t>("clients_per_round", 0);
+  OF_CHECK_MSG(!fedbuff || clients_per_round == 0,
+               "clients_per_round is the lockstep participation knob — the serving "
+               "tier samples with serve.fraction instead");
   if (clients_per_round > 0 && has_privacy) {
     const std::string ptarget =
         config::target_basename(privacy_cfg.at("_target_").as_string());
@@ -170,6 +190,9 @@ std::vector<NodeSetup> Engine::build_setups() {
   OF_CHECK_MSG(agg_rule == AggregationRule::Mean || !has_privacy,
                "robust aggregation rules need individual updates and cannot compose "
                "with sum-only privacy mechanisms");
+  OF_CHECK_MSG(agg_rule == AggregationRule::Mean || !fedbuff,
+               "robust aggregation rules need the whole cohort at once — the "
+               "serving tier folds updates into a streaming buffer");
   const config::ConfigNode byz_cfg = node_or_empty(cfg_, "byzantine");
   const auto byzantine_count = byz_cfg.get_or<std::size_t>("count", 0);
   const std::string byzantine_kind = byz_cfg.get_or<std::string>("kind", "sign_flip");
@@ -181,9 +204,9 @@ std::vector<NodeSetup> Engine::build_setups() {
     OF_CHECK_MSG(topology_.kind == "centralized",
                  "fault tolerance (deadline-based partial aggregation) requires a "
                  "centralized topology");
-    OF_CHECK_MSG(!async_mode,
-                 "fault tolerance applies to synchronous rounds only (async "
-                 "scheduling already absorbs stragglers by design)");
+    OF_CHECK_MSG(!fedbuff,
+                 "fault tolerance (deadline cuts) applies to synchronous rounds "
+                 "only — the serving tier already absorbs stragglers by design");
     if (has_privacy) {
       const std::string ptarget =
           config::target_basename(privacy_cfg.at("_target_").as_string());
@@ -193,6 +216,9 @@ std::vector<NodeSetup> Engine::build_setups() {
     }
     fault_spec.validate(topology_.size());
   }
+  OF_CHECK_MSG(!fault_spec.churn.enabled || fedbuff,
+               "fault.churn models population churn in the serving tier — enable "
+               "serve: {mode: fedbuff} (or async scheduling)");
   comm::TcpFaultTolerance tcp_ft;
   if (fault_spec.enabled) {
     tcp_ft.enabled = true;
@@ -310,8 +336,7 @@ std::vector<NodeSetup> Engine::build_setups() {
     s.global_rounds = global_rounds;
     s.local_epochs = local_epochs;
     s.eval_every = eval_every;
-    s.async_alpha = sched_cfg.get_or<double>("alpha", 0.6);
-    s.async_total_updates = sched_cfg.get_or<std::size_t>("total_updates", 0);
+    s.serve = serve_cfg;
     s.clients_per_round = clients_per_round;
     s.participation_seed = seed ^ 0x5E1EC7ULL;
     s.aggregation_rule = agg_rule;
@@ -367,7 +392,7 @@ std::vector<NodeSetup> Engine::build_setups() {
       s.cohort_size = static_cast<int>(group_trainers);
       if (!slowdowns.empty())
         s.slowdown = slowdowns[trainer_index % slowdowns.size()];
-      if (async_mode) s.weight_scale = 1.0;  // staleness weights take over
+      if (fedbuff) s.weight_scale = 1.0;  // staleness weights take over
       if (trainer_index < byzantine_count) {
         s.byzantine = true;
         s.byzantine_kind = byzantine_kind;
@@ -459,6 +484,11 @@ std::vector<NodeSetup> Engine::build_setups() {
       s.inner_spec.link = inner_link;
       s.inner_spec.delay_mode = inner_delay;
       s.inner_spec.tcp_ft = tcp_ft;
+      // Deterministic connect backoff: seed the retry jitter from the node's
+      // splitmix64 chain so a rerun's connect schedule reproduces from the
+      // run seed (tests/test_comm.cpp asserts identical schedules).
+      s.inner_spec.tcp_ft.connect_backoff_seed =
+          tensor::Rng(s.seed ^ 0xBACC0FFULL).next_u64();
     }
 
     setups.push_back(std::move(s));

@@ -2,9 +2,11 @@
 
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <numeric>
+#include <set>
 #include <thread>
 
 #include "comm/star.hpp"
@@ -12,6 +14,9 @@
 #include "exec/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "serve/buffer.hpp"
+#include "serve/registry.hpp"
+#include "serve/sampler.hpp"
 
 namespace of::core {
 namespace {
@@ -104,9 +109,13 @@ NodeReport NodeRuntime::run() {
   if (telem_on_ && s_.role == NodeRole::Trainer)
     obs::set_phase_sink(phase_digests_.data());
   NodeReport report;
-  if (s_.mode == "async") {
-    report = s_.role == NodeRole::Aggregator ? run_async_aggregator(*inner.use)
-                                             : run_async_trainer(*inner.use);
+  // Async mode is the serve loop's FedBuff special case (fraction 1,
+  // buffer 1); the Engine maps the scheduling group onto s_.serve.
+  OF_CHECK_MSG(s_.mode != "async" || (s_.serve.enabled && s_.serve.mode == serve::Mode::FedBuff),
+               "node " << s_.node_id << ": async mode without a serve config");
+  if (s_.serve.enabled && s_.serve.mode == serve::Mode::FedBuff) {
+    report = s_.role == NodeRole::Aggregator ? run_serve_aggregator(*inner.use)
+                                             : run_serve_trainer(*inner.use);
   } else if (s_.mode == "ring") {
     report = run_ring_node(*inner.use);
   } else if (s_.fault.enabled && s_.mode == "centralized") {
@@ -622,104 +631,241 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
   return report;
 }
 
-// --- asynchronous scheduling (FedAsync: Xie et al. 2019 shape) -----------------
+// --- serving tier (src/serve/, DESIGN.md §14) ---------------------------------
 //
-// The server absorbs client deltas in completion order, downweighted by
-// staleness: w ← w + α/(1+s)·Δ_i, where s counts server updates since the
-// client's model snapshot. Stragglers therefore never block the cohort —
-// the straggler weakness of synchronous FL the paper discusses. Tags:
-//   kAsyncModel  server → client: u8 stop | packed global tensors
-//   kAsyncUpdate client → server: payload frame [deltas…, metrics(4)]
-//   kAsyncFinal  client → server: final metrics tensor
+// The coordinator serves a registered population instead of running
+// lockstep rounds: fraction-fit sampling keeps ceil(fraction × alive)
+// clients training concurrently, arriving updates fold into a bounded
+// staleness buffer (the FedBuff shape; Nguyen et al. 2022) that drains into
+// the global model every `buffer_size` accepted updates, and over-stale or
+// overflow updates are answered with a retry-after control frame instead of
+// silently folded. buffer_size = 1 with fraction = 1 reproduces the classic
+// FedAsync rule w ← w + α/(1+s)·Δ — the old `scheduling: {mode: async}`
+// group maps onto exactly that configuration. Frames:
+//   kServeModel  server → client: u8 kind | body
+//     kind 0 Invite: packed global tensors
+//     kind 1 Retry:  u8 reason (1 = stale, 2 = full) | f32 retry_after_s
+//     kind 2 Stop:   (empty)
+//   kServeUpdate client → server: u8 kind | body
+//     kind 0 Update: f32 loss_sum | f32 steps | payload frame [| telemetry]
+//     kind 1 Join:   (empty)  re-registration after a churn departure
+//     kind 2 Leave:  (empty)  voluntary churn departure
+//     kind 3 Final:  f32 acc_sum | f32 acc_n
 namespace {
-constexpr int kAsyncModel = 101;
-constexpr int kAsyncUpdate = 102;
-constexpr int kAsyncFinal = 103;
+constexpr int kServeModel = 105;
+constexpr int kServeUpdate = 106;
+
+constexpr std::uint8_t kDownInvite = 0;
+constexpr std::uint8_t kDownRetry = 1;
+constexpr std::uint8_t kDownStop = 2;
+constexpr std::uint8_t kUpUpdate = 0;
+constexpr std::uint8_t kUpJoin = 1;
+constexpr std::uint8_t kUpLeave = 2;
+constexpr std::uint8_t kUpFinal = 3;
+constexpr std::uint8_t kRetryStale = 1;
+constexpr std::uint8_t kRetryFull = 2;
+
+// Detach the transport lifecycle observer on every exit path — the callback
+// captures serve-loop locals that die with the stack frame.
+struct LifecycleGuard {
+  comm::TcpCommunicator* tcp;
+  ~LifecycleGuard() {
+    if (tcp) tcp->set_peer_lifecycle(nullptr);
+  }
+};
 }  // namespace
 
-NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
+NodeReport NodeRuntime::run_serve_aggregator(comm::Communicator& inner) {
   NodeReport report;
   auto& algo = *s_.algorithm;
   algorithms::ServerState state;
   state.params = s_.algorithm_params;
   state.global = algo.initial_global(s_.model);
   const int clients = inner.world_size() - 1;
-  OF_CHECK_MSG(clients >= 1, "async scheduling needs at least one trainer");
-  const std::size_t total = s_.async_total_updates
-                                ? s_.async_total_updates
+  OF_CHECK_MSG(clients >= 1, "the serving tier needs at least one trainer");
+  const std::size_t total = s_.serve.total_updates
+                                ? s_.serve.total_updates
                                 : s_.global_rounds * static_cast<std::size_t>(clients);
 
-  // Virtual-round index for tracing: advances with each RoundRecord below.
-  std::size_t trace_round = 0;
+  serve::PopulationRegistry registry;
+  serve::ClientSampler sampler(s_.participation_seed);
+  serve::StalenessBuffer buffer(pool_, s_.compressor.get(), s_.serve.buffer_size,
+                                s_.serve.max_staleness, s_.serve.alpha);
 
-  auto send_model = [&](int dst, bool stop) {
+  // Server model version = buffer drains so far. Atomic because the
+  // transport lifecycle callback below reads it from the event-loop thread.
+  std::atomic<std::uint64_t> version{0};
+
+  // Transport liveness feed: a dropped socket marks the client dead the
+  // moment the event loop sees it, ahead of any protocol-level timeout; a
+  // re-admission marks it alive again. Protocol join/leave frames drive the
+  // same registry, so non-TCP backends (InProc/AMQP) churn correctly too.
+  LifecycleGuard lifecycle{tcp_inner_};
+  if (tcp_inner_)
+    tcp_inner_->set_peer_lifecycle([&registry, &version](int rank, bool up) {
+      if (up)
+        registry.join(rank, version.load(std::memory_order_relaxed));
+      else
+        registry.leave(rank, version.load(std::memory_order_relaxed));
+    });
+
+  // OwnedComm::make blocks until every client connected, so the whole
+  // transport world starts registered (idempotent against the feed above).
+  for (int c = 1; c <= clients; ++c) registry.join(c, 0);
+
+  std::size_t trace_round = 0;
+  std::vector<std::uint64_t> invited_version(static_cast<std::size_t>(clients) + 1, 0);
+  std::set<int> in_flight;  // invites outstanding (model sent, no reply yet)
+  std::uint64_t resampled = 0;
+  std::uint64_t pick_counter = 0;
+
+  auto send_model = [&](int dst) {
     tensor::Bytes frame;
-    tensor::append_pod<std::uint8_t>(frame, stop ? 1 : 0);
-    if (!stop) {
-      const tensor::Bytes packed = pack_tensors(state.global);
-      frame.insert(frame.end(), packed.begin(), packed.end());
-    }
+    tensor::append_pod<std::uint8_t>(frame, kDownInvite);
+    const tensor::Bytes packed = pack_tensors(state.global);
+    frame.insert(frame.end(), packed.begin(), packed.end());
     ScopedSpan span(Name::Send, s_.node_id, trace_round, frame.size());
-    inner.send_bytes(dst, kAsyncModel, frame);
+    inner.send_bytes(dst, kServeModel, frame);
+    invited_version[static_cast<std::size_t>(dst)] =
+        version.load(std::memory_order_relaxed);
+    in_flight.insert(dst);
   };
 
-  std::size_t sends_issued = 0;
-  for (int c = 1; c <= clients; ++c, ++sends_issued) send_model(c, false);
+  std::vector<int> sample = sampler.sample(0, registry.alive(), s_.serve.fraction);
 
-  std::vector<std::size_t> snapshot_version(static_cast<std::size_t>(clients) + 1, 0);
-  std::size_t server_version = 0;
-  double staleness_sum = 0.0;
-  double loss_sum = 0.0, steps_sum = 0.0;
+  // Keep the window's concurrency at target: idle sample members first,
+  // then deterministic replacement picks for churned-away invitees.
+  auto top_up = [&] {
+    const auto accepted = static_cast<std::size_t>(buffer.accepted_total());
+    if (accepted >= total) return;
+    std::size_t target = serve::ClientSampler::target_count(registry.alive_count(),
+                                                            s_.serve.fraction);
+    // Never keep more clients training than updates still wanted.
+    target = std::min(target, total - accepted);
+    for (int r : sample) {
+      if (in_flight.size() >= target) break;
+      if (in_flight.count(r) == 0 && registry.is_alive(r)) send_model(r);
+    }
+    while (in_flight.size() < target) {
+      const std::vector<int> exclude(in_flight.begin(), in_flight.end());
+      const int pick = sampler.resample(version.load(std::memory_order_relaxed),
+                                        pick_counter++, registry.alive(), exclude);
+      if (pick < 0) break;
+      send_model(pick);
+      ++resampled;
+    }
+  };
+
+  const auto run_t0 = Clock::now();
   auto group_t0 = Clock::now();
+  double loss_sum = 0.0, steps_sum = 0.0;
 
-  for (std::size_t done = 0; done < total; ++done) {
+  auto record_serve_health = [&] {
+    if (!telem_on_) return;
+    obs::Fleet::ServeHealth h;
+    h.version = version.load(std::memory_order_relaxed);
+    h.population = registry.population();
+    h.alive = static_cast<std::uint32_t>(registry.alive_count());
+    h.sampled = static_cast<std::uint32_t>(sample.size());
+    h.buffered = static_cast<std::uint32_t>(buffer.size());
+    h.buffer_size = static_cast<std::uint32_t>(buffer.capacity());
+    h.accepted_total = buffer.accepted_total();
+    h.rejected_stale_total = buffer.rejected_stale_total();
+    h.rejected_full_total = buffer.rejected_full_total();
+    h.resampled_total = resampled;
+    h.joins_total = registry.joins_total();
+    h.leaves_total = registry.leaves_total();
+    h.mean_staleness = buffer.accepted_total() > 0
+                           ? static_cast<double>(buffer.staleness_sum()) /
+                                 static_cast<double>(buffer.accepted_total())
+                           : 0.0;
+    h.seconds = seconds_since(run_t0);
+    obs::Fleet::global().record_serve(h);
+  };
+
+  top_up();
+  record_serve_health();
+
+  while (static_cast<std::size_t>(buffer.accepted_total()) < total) {
     ScopedSpan recv_span(Name::Recv, s_.node_id, trace_round);
-    auto [src, frame] = inner.recv_bytes_any(kAsyncUpdate);
+    auto [src, frame] = inner.recv_bytes_any(kServeUpdate);
     recv_span.set_arg(frame.size());
     recv_span.end();
     if (telem_on_) strip_telemetry(frame);
-    ScopedSpan decode_span(Name::Decode, s_.node_id, trace_round, frame.size());
-    auto decoded = decode_update(frame, s_.compressor.get());
-    decode_span.end();
-    OF_CHECK_MSG(decoded.size() >= 2, "async update missing metrics tensor");
-    const tensor::Tensor metrics = decoded.back();
-    decoded.pop_back();
-    OF_CHECK_MSG(decoded.size() == state.global.size(), "async payload size drift");
-    const std::size_t staleness =
-        server_version - snapshot_version[static_cast<std::size_t>(src)];
-    staleness_sum += static_cast<double>(staleness);
+    std::size_t off = 0;
+    const auto kind = tensor::read_pod<std::uint8_t>(frame, off);
+    const std::uint64_t v = version.load(std::memory_order_relaxed);
+    if (kind == kUpLeave) {
+      registry.leave(src, v);
+      in_flight.erase(src);
+      top_up();
+      record_serve_health();
+      continue;
+    }
+    if (kind == kUpJoin) {
+      registry.join(src, v);
+      top_up();
+      record_serve_health();
+      continue;
+    }
+    OF_CHECK_MSG(kind == kUpUpdate, "serve: unexpected up-frame kind "
+                                        << static_cast<int>(kind) << " from rank "
+                                        << src);
+    registry.seen(src, v);
+    in_flight.erase(src);
+    const auto f_loss = tensor::read_pod<float>(frame, off);
+    const auto f_steps = tensor::read_pod<float>(frame, off);
+    const auto staleness =
+        static_cast<std::size_t>(v - invited_version[static_cast<std::size_t>(src)]);
     obs::instant(Name::AsyncStaleness, s_.node_id, trace_round, staleness);
     async_staleness_hist().observe(staleness);
-    const float mix = static_cast<float>(s_.async_alpha /
-                                         (1.0 + static_cast<double>(staleness)));
-    {
-      ScopedSpan span(Name::Aggregate, s_.node_id, trace_round, staleness);
-      for (std::size_t i = 0; i < decoded.size(); ++i)
-        state.global[i].add_scaled_(decoded[i], mix);
-    }
-    ++server_version;
-    snapshot_version[static_cast<std::size_t>(src)] = server_version;
-    loss_sum += metrics[0];
-    steps_sum += metrics[1];
-
-    if (sends_issued < total) {
-      send_model(src, false);
-      ++sends_issued;
+    const tensor::ConstByteSpan payload(frame.data() + off, frame.size() - off);
+    const auto admission = buffer.offer(payload, staleness);
+    if (admission == serve::StalenessBuffer::Admission::Accepted) {
+      loss_sum += f_loss;
+      steps_sum += f_steps;
     } else {
-      send_model(src, true);
+      // Backpressure (admission control): answer with a retry-after control
+      // frame instead of silently folding or dropping the client's work.
+      tensor::Bytes reply;
+      tensor::append_pod<std::uint8_t>(reply, kDownRetry);
+      tensor::append_pod<std::uint8_t>(
+          reply, admission == serve::StalenessBuffer::Admission::RejectedStale
+                     ? kRetryStale
+                     : kRetryFull);
+      tensor::append_pod<float>(reply, static_cast<float>(s_.serve.retry_seconds));
+      inner.send_bytes(src, kServeModel, reply);
     }
 
-    // Report one RoundRecord per `clients` absorbed updates.
-    if ((done + 1) % static_cast<std::size_t>(clients) == 0 || done + 1 == total) {
+    if (buffer.ready()) {
+      ScopedSpan span(Name::Aggregate, s_.node_id, trace_round, buffer.size());
+      const auto mean = buffer.drain();
+      OF_CHECK_MSG(mean.size() == state.global.size(), "serve payload size drift");
+      for (std::size_t i = 0; i < mean.size(); ++i)
+        state.global[i].add_scaled_(mean[i], 1.0f);
+      const std::uint64_t nv = version.fetch_add(1, std::memory_order_relaxed) + 1;
+      // New aggregation window: a fresh invitation sample over the current
+      // alive set.
+      sample = sampler.sample(nv, registry.alive(), s_.serve.fraction);
+      pick_counter = 0;
+    }
+
+    top_up();
+
+    const auto accepted = static_cast<std::size_t>(buffer.accepted_total());
+    // One RoundRecord per `clients` accepted updates — the old async loop's
+    // cadence, so metrics CSVs stay comparable across modes.
+    if (admission == serve::StalenessBuffer::Admission::Accepted &&
+        (accepted % static_cast<std::size_t>(clients) == 0 || accepted == total)) {
       RoundRecord rec;
       rec.round = report.rounds.size();
       rec.seconds = seconds_since(group_t0);
       rec.train_loss = steps_sum > 0 ? loss_sum / steps_sum : 0.0;
       rec.accuracy = -1.0f;
-      // Running mean over every update absorbed so far, so each virtual
-      // round reports staleness (not just the final one). The last record
-      // therefore carries the whole-run mean.
-      rec.mean_staleness = staleness_sum / static_cast<double>(done + 1);
+      // Running mean over every accepted update so far, so each virtual
+      // round reports staleness; the last record carries the run mean.
+      rec.mean_staleness = static_cast<double>(buffer.staleness_sum()) /
+                           static_cast<double>(accepted);
       if (telem_on_) {
         obs::Fleet::RoundHealth h;
         h.round = static_cast<std::uint32_t>(rec.round);
@@ -733,36 +879,80 @@ NodeReport NodeRuntime::run_async_aggregator(comm::Communicator& inner) {
       loss_sum = steps_sum = 0.0;
       group_t0 = Clock::now();
     }
+    record_serve_health();
   }
 
-  // Collect each client's final test accuracy.
+  // Stop every transport rank — in-flight stragglers and away churners all
+  // see the queued Stop once their current step completes.
+  for (int c = 1; c <= clients; ++c) {
+    tensor::Bytes stop;
+    tensor::append_pod<std::uint8_t>(stop, kDownStop);
+    inner.send_bytes(c, kServeModel, stop);
+  }
+
+  // Collect each client's final test accuracy, discarding stray frames
+  // (late updates, churn re-registrations) that raced the Stop.
   double acc_sum = 0.0, acc_n = 0.0;
-  for (int c = 0; c < clients; ++c) {
-    auto [src, frame] = inner.recv_bytes_any(kAsyncFinal);
+  for (int got = 0; got < clients;) {
+    auto [src, frame] = inner.recv_bytes_any(kServeUpdate);
     (void)src;
-    const tensor::Tensor m = tensor::deserialize_tensor(frame);
-    acc_sum += m[2];
-    acc_n += m[3];
+    if (telem_on_) strip_telemetry(frame);
+    std::size_t off = 0;
+    const auto kind = tensor::read_pod<std::uint8_t>(frame, off);
+    if (kind != kUpFinal) continue;
+    acc_sum += tensor::read_pod<float>(frame, off);
+    acc_n += tensor::read_pod<float>(frame, off);
+    ++got;
   }
   if (!report.rounds.empty() && acc_n > 0)
     report.rounds.back().accuracy = static_cast<float>(acc_sum / acc_n);
+  record_serve_health();
   report.final_model = pack_tensors(state.global);
   return report;
 }
 
-NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
+NodeReport NodeRuntime::run_serve_trainer(comm::Communicator& inner) {
   auto& algo = *s_.algorithm;
+  // Churn decisions replay deterministically from (run seed, rank):
+  // participation_seed is the same run-derived value on every node, salted
+  // per client inside ChurnProcess.
+  fault::ChurnProcess churn(s_.fault.churn, inner.rank(), s_.participation_seed);
   std::size_t round = 0;
   algorithms::TrainStats last_stats;
   for (;;) {
     maybe_clock_sync(round);
     ScopedSpan recv_span(Name::Recv, s_.node_id, round);
-    const tensor::Bytes frame = inner.recv_bytes(0, kAsyncModel);
+    const tensor::Bytes frame = inner.recv_bytes(0, kServeModel);
     recv_span.set_arg(frame.size());
     recv_span.end();
     std::size_t off = 0;
-    const auto stop = tensor::read_pod<std::uint8_t>(frame, off);
-    if (stop) break;
+    const auto kind = tensor::read_pod<std::uint8_t>(frame, off);
+    if (kind == kDownStop) break;
+    if (kind == kDownRetry) {
+      // Our update was rejected (buffer full or over-stale): honour the
+      // coordinator's pacing before blocking on the next invite.
+      ++off;  // reason byte — coordinator-side telemetry, unused here
+      const auto retry_after = tensor::read_pod<float>(frame, off);
+      if (retry_after > 0.0f)
+        std::this_thread::sleep_for(std::chrono::duration<double>(retry_after));
+      continue;
+    }
+    OF_CHECK_MSG(kind == kDownInvite,
+                 "serve: unexpected down-frame kind " << static_cast<int>(kind));
+    if (churn.leave_now()) {
+      // Churn departure: deregister, stay away, come back as a fresh
+      // registration. The invite's model snapshot is discarded — the
+      // coordinator resamples a replacement for this window.
+      tensor::Bytes msg;
+      tensor::append_pod<std::uint8_t>(msg, kUpLeave);
+      inner.send_bytes(0, kServeUpdate, msg);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(churn.down_seconds()));
+      msg.clear();
+      tensor::append_pod<std::uint8_t>(msg, kUpJoin);
+      inner.send_bytes(0, kServeUpdate, msg);
+      continue;
+    }
     const tensor::Bytes packed(frame.begin() + static_cast<std::ptrdiff_t>(off),
                                frame.end());
     ScopedSpan decode_span(Name::Decode, s_.node_id, round, packed.size());
@@ -783,25 +973,21 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
     simulate_slowdown(elapsed);
     algo.on_round_end(ctx_);
 
-    // Async semantics: the wire always carries the delta against the model
-    // snapshot we just trained from, whatever the algorithm's own payload
-    // convention is (the server applies staleness-weighted deltas).
+    // The wire always carries the delta against the snapshot we trained
+    // from, whatever the algorithm's own payload convention is (the buffer
+    // folds staleness-weighted deltas).
     std::vector<tensor::Tensor> payload;
     {
       std::vector<nn::Parameter*> shared;
       for (auto* p : ctx_.model->parameters())
         if (algo.shares_parameter(*p)) shared.push_back(p);
-      OF_CHECK_MSG(shared.size() == global.size(), "async payload/global mismatch");
+      OF_CHECK_MSG(shared.size() == global.size(), "serve payload/global mismatch");
       for (std::size_t i = 0; i < shared.size(); ++i) {
         tensor::Tensor d = shared[i]->value;
         d.sub_(global[i]);
         payload.push_back(std::move(d));
       }
     }
-    tensor::Tensor m({4});
-    m[0] = static_cast<float>(last_stats.loss_sum);
-    m[1] = static_cast<float>(last_stats.steps);
-    payload.push_back(std::move(m));
     const PayloadPlugins plugins{s_.compressor.get(), nullptr};
     if (s_.compressor)
       s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
@@ -811,20 +997,32 @@ NodeReport NodeRuntime::run_async_trainer(comm::Communicator& inner) {
                          s_.cohort_size, pool_, frame_buf_);
       span.set_arg(frame_buf_.size());
     }
-    append_telemetry(frame_buf_, inner, round);
+    // Up-frame: kind | loss_sum | steps | payload [| telemetry tail]. The
+    // training metrics ride the header, outside the payload frame, so the
+    // buffer can fold the payload without popping a metrics tensor back out.
+    tensor::Bytes up;
+    tensor::append_pod<std::uint8_t>(up, kUpUpdate);
+    tensor::append_pod<float>(up, static_cast<float>(last_stats.loss_sum));
+    tensor::append_pod<float>(up, static_cast<float>(last_stats.steps));
+    up.insert(up.end(), frame_buf_.begin(), frame_buf_.end());
+    append_telemetry(up, inner, round);
     {
-      ScopedSpan span(Name::Send, s_.node_id, round, frame_buf_.size());
-      inner.send_bytes(0, kAsyncUpdate, frame_buf_);
+      ScopedSpan span(Name::Send, s_.node_id, round, up.size());
+      inner.send_bytes(0, kServeUpdate, up);
     }
     ++round;
   }
   // Final evaluation.
-  tensor::Tensor m({4});
+  tensor::Bytes fin;
+  tensor::append_pod<std::uint8_t>(fin, kUpFinal);
+  float acc = 0.0f, n = 0.0f;
   if (s_.test_set) {
-    m[2] = algorithms::evaluate_accuracy(*algo.eval_model(ctx_), *s_.test_set);
-    m[3] = 1.0f;
+    acc = algorithms::evaluate_accuracy(*algo.eval_model(ctx_), *s_.test_set);
+    n = 1.0f;
   }
-  inner.send_bytes(0, kAsyncFinal, tensor::serialize_tensor(m));
+  tensor::append_pod<float>(fin, acc);
+  tensor::append_pod<float>(fin, n);
+  inner.send_bytes(0, kServeUpdate, fin);
   return NodeReport{};
 }
 

@@ -24,6 +24,7 @@
 #include "fault/fault.hpp"
 #include "obs/clocksync.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/serve.hpp"
 
 namespace of::core {
 
@@ -58,9 +59,11 @@ struct NodeSetup {
   std::size_t local_epochs = 1;
   std::size_t eval_every = 1;  // 0 = only after the last round
 
-  // Asynchronous scheduling (FedAsync-style; mode == "async").
-  double async_alpha = 0.6;          // staleness-weighted mixing rate
-  std::size_t async_total_updates = 0;  // total client contributions to absorb
+  // Serving tier (src/serve/): population registry + fraction-fit sampling
+  // + bounded staleness buffer. FedBuff mode replaces the lockstep round
+  // loops; the old `scheduling: {mode: async}` group maps onto it with
+  // fraction = 1 and buffer_size = 1 (exactly FedAsync).
+  serve::ServeConfig serve;
 
   // Simulated compute heterogeneity: this node trains `slowdown`× slower
   // than baseline (sleeps the difference after each local_train).
@@ -154,8 +157,13 @@ class NodeRuntime {
   NodeReport run_fault_aggregator(comm::Communicator& inner);
   NodeReport run_ring_node(comm::Communicator& inner);
   NodeReport run_hier_leader(comm::Communicator& inner, comm::Communicator& outer);
-  NodeReport run_async_aggregator(comm::Communicator& inner);
-  NodeReport run_async_trainer(comm::Communicator& inner);
+  // Serving tier (src/serve/, DESIGN.md §14): the coordinator samples a
+  // fraction of the registered population each aggregation window, folds
+  // staleness-weighted updates into a bounded buffer, and answers over-stale
+  // or overflow updates with retry-after. Also runs classic async mode
+  // (fraction 1, buffer 1 = FedAsync).
+  NodeReport run_serve_aggregator(comm::Communicator& inner);
+  NodeReport run_serve_trainer(comm::Communicator& inner);
 
   // Shared trainer-side round body; encodes the update into `frame_out`
   // (a reused buffer, so steady-state rounds do not allocate).

@@ -188,7 +188,7 @@ void StreamingSum::ensure_shapes(const std::vector<tensor::Shape>& shapes,
                "payload structure mismatch");
 }
 
-void StreamingSum::add_update_frame(ConstByteSpan frame) {
+void StreamingSum::add_update_frame(ConstByteSpan frame, double weight) {
   std::size_t off = 0;
   const auto mode = tensor::read_pod<std::uint8_t>(frame, off);
   OF_CHECK_MSG(mode != kPrivacy,
@@ -200,20 +200,21 @@ void StreamingSum::add_update_frame(ConstByteSpan frame) {
   if (mode == kPlain) {
     OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
                  "trailing bytes in plain payload");
-    tensor::add_scaled_from_bytes(frame.subspan(off), 1.0, FloatSpan(*acc_));
+    tensor::add_scaled_from_bytes(frame.subspan(off), weight, FloatSpan(*acc_));
     return;
   }
   FramePool::FloatHandle scratch = pool_->acquire_floats(total);
   decode_body_into(frame, off, mode, total, decompressor_, FloatSpan(*scratch));
   float* a = acc_->data();
   const float* s = scratch->data();
-  for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
+  const float w = static_cast<float>(weight);
+  for (std::size_t i = 0; i < total; ++i) a[i] += s[i] * w;
   peak_bytes_ = std::max(peak_bytes_, 2 * total * sizeof(float));
 }
 
-void StreamingSum::add(ConstByteSpan frame) {
+void StreamingSum::add(ConstByteSpan frame, double weight) {
   if (is_skip_update(frame)) return;
-  add_update_frame(frame);
+  add_update_frame(frame, weight);
   ++count_;
 }
 
@@ -235,7 +236,7 @@ void StreamingSum::add_partial(ConstByteSpan partial) {
     hdr.count = tensor::read_pod<std::uint64_t>(partial, off);
   }
   if (hdr.count == 0) return;  // empty combiner: its body is a skip marker
-  add_update_frame(partial.subspan(off));
+  add_update_frame(partial.subspan(off), 1.0);
   count_ += static_cast<std::size_t>(hdr.count);
 }
 

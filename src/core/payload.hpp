@@ -108,8 +108,10 @@ class StreamingSum {
   // Forget all contributions (pooled capacity persists; peak_bytes does too).
   void reset();
   // Fold in one client update frame (plain/compressed; skip markers are
-  // ignored and do not count as contributions).
-  void add(ConstByteSpan frame);
+  // ignored and do not count as contributions), scaled by `weight` — the
+  // serve tier's staleness weight α/(1+s). The default 1.0 is the exact
+  // unweighted fold (multiplying by 1.0 is an IEEE identity).
+  void add(ConstByteSpan frame, double weight = 1.0);
   // Fold in a downstream combiner's partial produced by encode_partial_into.
   void add_partial(ConstByteSpan partial);
   // Emit `scale × sum` plus the header as a partial frame:
@@ -129,7 +131,7 @@ class StreamingSum {
 
  private:
   void ensure_shapes(const std::vector<tensor::Shape>& shapes, std::size_t total);
-  void add_update_frame(ConstByteSpan frame);
+  void add_update_frame(ConstByteSpan frame, double weight);
 
   FramePool* pool_;
   compression::Compressor* decompressor_;

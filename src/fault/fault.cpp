@@ -26,6 +26,9 @@ FaultSpec FaultSpec::from_config(const config::ConfigNode& node, bool strict) {
                "fault.quorum_timeout_seconds must be >= round_deadline_seconds");
   OF_CHECK_MSG(spec.reconnect.backoff_max_seconds >= spec.reconnect.backoff_seconds,
                "fault.reconnect backoff must satisfy 0 <= backoff <= backoff_max");
+  OF_CHECK_MSG(!spec.churn.enabled || spec.churn.leave_probability > 0.0,
+               "fault.churn.enabled without a leave_probability never churns — "
+               "set leave_probability > 0 or disable churn");
   return spec;
 }
 
@@ -77,6 +80,26 @@ FaultInjector::Decision FaultInjector::at_round(int round) {
                  static_cast<std::uint64_t>(d.extra_delay_seconds * 1e9));
   }
   return d;
+}
+
+ChurnProcess::ChurnProcess(ChurnSpec spec, int client_rank, std::uint64_t seed)
+    : spec_(spec),
+      // Decorrelate per-client streams (distinct salt from FaultInjector so
+      // churn and injection decisions never share a draw sequence).
+      rng_(seed ^ (0xC4BEull * static_cast<std::uint64_t>(client_rank + 1))) {}
+
+bool ChurnProcess::leave_now() {
+  if (!spec_.enabled) return false;
+  // Draw before the cap check so editing max_leaves does not shift the
+  // random stream of later invites.
+  const bool leave = rng_.bernoulli(spec_.leave_probability);
+  if (!leave) return false;
+  if (spec_.max_leaves >= 0 &&
+      leaves_ >= static_cast<std::uint64_t>(spec_.max_leaves))
+    return false;
+  ++leaves_;
+  obs::Registry::global().counter("serve.churn.leaves").inc();
+  return true;
 }
 
 }  // namespace of::fault

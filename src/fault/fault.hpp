@@ -54,6 +54,19 @@ struct ReconnectPolicy {
   double backoff_max_seconds = 2.0;
 };
 
+// Churn: join/leave processes over the serving population (`fault.churn:`,
+// serve fedbuff mode only — the classic lockstep loops have no notion of a
+// client deregistering). On each coordinator invite a churning client
+// leaves with `leave_probability`, stays away `down_seconds`, then
+// re-registers — a fresh identity in the population registry, exactly the
+// connect/train/vanish/re-register cycle of a device fleet.
+struct ChurnSpec {
+  bool enabled = false;
+  double leave_probability = 0.0;  // per invite
+  double down_seconds = 0.05;      // time away before re-registering
+  int max_leaves = -1;             // per-client cap; -1 = unbounded
+};
+
 struct FaultSpec {
   bool enabled = false;
 
@@ -63,6 +76,8 @@ struct FaultSpec {
   double quorum_timeout_seconds = 60.0;  // hard cutoff waiting for the quorum itself
 
   ReconnectPolicy reconnect;
+
+  ChurnSpec churn;
 
   std::vector<Injection> injections;
 
@@ -99,6 +114,26 @@ class FaultInjector {
   tensor::Rng rng_;
 };
 
+// Per-client join/leave process: replays the churn spec as concrete
+// per-invite decisions, deterministically derived from (seed, client rank)
+// so a churning run reproduces bit-for-bit.
+class ChurnProcess {
+ public:
+  ChurnProcess(ChurnSpec spec, int client_rank, std::uint64_t seed);
+
+  // Decide whether this invite churns the client away. Call once per
+  // invite, in invite order, to keep the random stream aligned.
+  bool leave_now();
+
+  double down_seconds() const noexcept { return spec_.down_seconds; }
+  std::uint64_t leaves() const noexcept { return leaves_; }
+
+ private:
+  ChurnSpec spec_;
+  tensor::Rng rng_;
+  std::uint64_t leaves_ = 0;
+};
+
 }  // namespace of::fault
 
 template <>
@@ -129,6 +164,15 @@ struct of::refl::Reflect<of::fault::ReconnectPolicy> {
 };
 
 template <>
+struct of::refl::Reflect<of::fault::ChurnSpec> {
+  OF_REFL_FIELDS(
+      field("enabled", &of::fault::ChurnSpec::enabled, 1),
+      field("leave_probability", &of::fault::ChurnSpec::leave_probability, 2).ge(0.0).le(1.0),
+      field("down_seconds", &of::fault::ChurnSpec::down_seconds, 3).ge(0.0),
+      field("max_leaves", &of::fault::ChurnSpec::max_leaves, 4).ge(-1))
+};
+
+template <>
 struct of::refl::Reflect<of::fault::FaultSpec> {
   OF_REFL_FIELDS(
       field("enabled", &of::fault::FaultSpec::enabled, 1),
@@ -136,5 +180,6 @@ struct of::refl::Reflect<of::fault::FaultSpec> {
       field("round_deadline_seconds", &of::fault::FaultSpec::round_deadline_seconds, 3).gt(0.0),
       field("quorum_timeout_seconds", &of::fault::FaultSpec::quorum_timeout_seconds, 4).gt(0.0),
       field("reconnect", &of::fault::FaultSpec::reconnect, 5),
-      field("injections", &of::fault::FaultSpec::injections, 6))
+      field("injections", &of::fault::FaultSpec::injections, 6),
+      field("churn", &of::fault::FaultSpec::churn, 7))
 };

@@ -197,6 +197,7 @@ void Fleet::reset(std::uint64_t trace_id) {
   nodes_.clear();
   last_round_.reset();
   combiners_.clear();
+  serve_.reset();
 }
 
 void Fleet::record(const TelemetrySummary& s) {
@@ -219,6 +220,16 @@ void Fleet::record_round(const RoundHealth& h) {
 void Fleet::record_combiner(const CombinerHealth& h) {
   std::lock_guard<std::mutex> lock(mu_);
   combiners_[h.group] = h;
+}
+
+void Fleet::record_serve(const ServeHealth& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  serve_ = h;
+}
+
+std::optional<Fleet::ServeHealth> Fleet::serve() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serve_;
 }
 
 std::vector<Fleet::CombinerHealth> Fleet::combiners() const {
@@ -299,6 +310,9 @@ std::string Fleet::prometheus_text() const {
     for (const auto& [g, h] : combiners_) crows.emplace_back(g, &h);
     prom_families(os, "of_fleet_combiner_", "group", crows);
   }
+
+  if (serve_)
+    prom_families<ServeHealth>(os, "of_fleet_serve_", nullptr, {{0, &*serve_}});
   return os.str();
 }
 
@@ -346,7 +360,9 @@ std::string Fleet::json_text() const {
     first = false;
     out += refl::json::to_json(h);
   }
-  out += "]}";
+  out += "],\"serve\":";
+  out += serve_ ? refl::json::to_json(*serve_) : std::string("null");
+  out += '}';
   return out;
 }
 
@@ -405,6 +421,18 @@ std::string Fleet::health_text() const {
        << " agg_peak_bytes=" << h.agg_peak_bytes << ' ' << std::fixed
        << std::setprecision(3) << h.seconds << " s\n";
     os.unsetf(std::ios::fixed);
+  }
+
+  if (serve_) {
+    const ServeHealth& h = *serve_;
+    os << "serve: version=" << h.version << " population=" << h.population
+       << " alive=" << h.alive << " sampled=" << h.sampled << " buffer="
+       << h.buffered << '/' << h.buffer_size << " accepted=" << h.accepted_total
+       << " rejected=" << h.rejected_stale_total + h.rejected_full_total
+       << " (stale " << h.rejected_stale_total << ", full " << h.rejected_full_total
+       << ") resampled=" << h.resampled_total << " joins=" << h.joins_total
+       << " leaves=" << h.leaves_total << " mean_staleness="
+       << prom_double(h.mean_staleness) << '\n';
   }
 
   std::uint32_t max_round = 0;

@@ -110,6 +110,26 @@ class Fleet {
     double seconds = 0.0;              // group gather + partial encode
   };
 
+  // The serving tier's view of the run (DESIGN.md §14): population and
+  // liveness from the registry, sampling and buffer admission counters,
+  // staleness. The serve loop records a fresh row at every buffer drain.
+  struct ServeHealth {
+    std::uint64_t version = 0;  // server model version = drains so far
+    std::uint64_t population = 0;  // registered identities over the run
+    std::uint32_t alive = 0;
+    std::uint32_t sampled = 0;      // current window's invitation count
+    std::uint32_t buffered = 0;     // updates in the buffer after this drain
+    std::uint32_t buffer_size = 0;
+    std::uint64_t accepted_total = 0;
+    std::uint64_t rejected_stale_total = 0;
+    std::uint64_t rejected_full_total = 0;
+    std::uint64_t resampled_total = 0;  // churned invitees replaced mid-window
+    std::uint64_t joins_total = 0;
+    std::uint64_t leaves_total = 0;
+    double mean_staleness = 0.0;  // over accepted updates, cumulative
+    double seconds = 0.0;         // since the serve loop started
+  };
+
   // Start a fresh fleet view for a run.
   void reset(std::uint64_t trace_id);
 
@@ -118,9 +138,12 @@ class Fleet {
   void record(const TelemetrySummary& s);
   void record_round(const RoundHealth& h);
   void record_combiner(const CombinerHealth& h);
+  void record_serve(const ServeHealth& h);
 
   // Latest health row per combiner group, ascending group id.
   std::vector<CombinerHealth> combiners() const;
+  // Latest serving-tier row, when a serve loop is (or was) running.
+  std::optional<ServeHealth> serve() const;
 
   std::uint64_t trace_id() const;
   // Latest summary per node, ascending rank.
@@ -154,6 +177,7 @@ class Fleet {
   std::map<int, NodeState> nodes_;
   std::optional<RoundHealth> last_round_;
   std::map<int, CombinerHealth> combiners_;  // group id → latest row
+  std::optional<ServeHealth> serve_;
 };
 
 }  // namespace of::obs
@@ -196,6 +220,26 @@ struct of::refl::Reflect<of::obs::Fleet::RoundHealth> {
       field("bytes_up", &S::bytes_up, 6).prom_name("last_round_bytes_up"),
       field("bytes_down", &S::bytes_down, 7).prom_name("last_round_bytes_down"),
       field("seconds", &S::seconds, 8).prom_name("last_round_seconds"))
+};
+
+template <>
+struct of::refl::Reflect<of::obs::Fleet::ServeHealth> {
+  using S = of::obs::Fleet::ServeHealth;
+  OF_REFL_FIELDS(
+      field("version", &S::version, 1),
+      field("population", &S::population, 2),
+      field("alive", &S::alive, 3),
+      field("sampled", &S::sampled, 4),
+      field("buffered", &S::buffered, 5),
+      field("buffer_size", &S::buffer_size, 6),
+      field("accepted_total", &S::accepted_total, 7).counter(),
+      field("rejected_stale_total", &S::rejected_stale_total, 8).counter(),
+      field("rejected_full_total", &S::rejected_full_total, 9).counter(),
+      field("resampled_total", &S::resampled_total, 10).counter(),
+      field("joins_total", &S::joins_total, 11).counter(),
+      field("leaves_total", &S::leaves_total, 12).counter(),
+      field("mean_staleness", &S::mean_staleness, 13),
+      field("seconds", &S::seconds, 14))
 };
 
 template <>

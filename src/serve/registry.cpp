@@ -1,0 +1,75 @@
+#include "serve/registry.hpp"
+
+namespace of::serve {
+
+void PopulationRegistry::join(int rank, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[rank];
+  if (e.alive) return;  // duplicate join (e.g. protocol join after transport admit)
+  e.alive = true;
+  ++e.incarnations;
+  e.last_seen_version = version;
+  ++joins_;
+}
+
+void PopulationRegistry::leave(int rank, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(rank);
+  if (it == entries_.end() || !it->second.alive) return;
+  it->second.alive = false;
+  it->second.last_seen_version = version;
+  ++leaves_;
+}
+
+void PopulationRegistry::seen(int rank, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(rank);
+  if (it != entries_.end()) it->second.last_seen_version = version;
+}
+
+bool PopulationRegistry::is_alive(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(rank);
+  return it != entries_.end() && it->second.alive;
+}
+
+std::vector<int> PopulationRegistry::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (const auto& [rank, e] : entries_)
+    if (e.alive) out.push_back(rank);
+  return out;
+}
+
+std::size_t PopulationRegistry::alive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [rank, e] : entries_)
+    if (e.alive) ++n;
+  return n;
+}
+
+std::uint64_t PopulationRegistry::population() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [rank, e] : entries_) n += e.incarnations;
+  return n;
+}
+
+std::uint64_t PopulationRegistry::joins_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return joins_;
+}
+
+std::uint64_t PopulationRegistry::leaves_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leaves_;
+}
+
+PopulationRegistry::Entry PopulationRegistry::entry(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(rank);
+  return it == entries_.end() ? Entry{} : it->second;
+}
+
+}  // namespace of::serve

@@ -1,0 +1,66 @@
+// PopulationRegistry — the coordinator's view of who exists (DESIGN.md §14).
+//
+// Cross-device fleets register devices, lose them, and see them come back;
+// a returning device is a fresh registration event, which is why
+// `population()` counts registrations over the run rather than distinct
+// transport ranks — a 2-client federation with churn grows a population of
+// 4+ identities, exactly like a device fleet's registration log.
+//
+// The registry is fed from two directions:
+//   - protocol: explicit join/leave control frames in the serve loop
+//     (works on every comm backend, drives the churn fault model), and
+//   - transport: on TCP, the event loop's connection lifecycle
+//     (TcpCommunicator::set_peer_lifecycle) marks a client dead the moment
+//     its socket drops and alive again when it re-registers — no waiting
+//     for a protocol-level timeout.
+//
+// Thread safety: the transport callback fires on the event-loop thread
+// while the serve loop reads on the node thread, so every method locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace of::serve {
+
+class PopulationRegistry {
+ public:
+  struct Entry {
+    bool alive = false;
+    std::uint64_t incarnations = 0;  // registrations of this rank so far
+    std::uint64_t last_seen_version = 0;  // server version at last activity
+  };
+
+  // Register `rank` (initial connect or a rejoin after leave). Idempotent
+  // while alive; a join after a leave counts a fresh incarnation.
+  void join(int rank, std::uint64_t version);
+  // Deregister `rank` (protocol leave or transport drop). Idempotent.
+  void leave(int rank, std::uint64_t version);
+  // Touch the last-seen version without changing liveness (an update or
+  // control frame arrived from `rank`).
+  void seen(int rank, std::uint64_t version);
+
+  bool is_alive(int rank) const;
+  // Currently-alive ranks, ascending.
+  std::vector<int> alive() const;
+  std::size_t alive_count() const;
+
+  // Registered client identities over the run: every (rank, incarnation)
+  // pair ever seen. Grows past the transport world size under churn.
+  std::uint64_t population() const;
+  std::uint64_t joins_total() const;
+  std::uint64_t leaves_total() const;
+
+  Entry entry(int rank) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, Entry> entries_;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+};
+
+}  // namespace of::serve

@@ -1,0 +1,23 @@
+#include "serve/serve.hpp"
+
+#include "common/check.hpp"
+#include "refl/config_io.hpp"
+
+namespace of::serve {
+
+ServeConfig ServeConfig::from_config(const config::ConfigNode& node, bool strict) {
+  if (node.is_null()) return ServeConfig{};
+  OF_CHECK_MSG(node.is_map(), "serve config must be a map");
+  ServeConfig cfg = refl::from_node<ServeConfig>(node, "serve", {}, strict);
+  // Per-field bounds live in the descriptor; only cross-field constraints
+  // remain hand-written.
+  if (cfg.mode == Mode::Sync) {
+    OF_CHECK_MSG(cfg.buffer_size == 1,
+                 "serve.buffer_size only applies to mode: fedbuff");
+    OF_CHECK_MSG(cfg.max_staleness == 0,
+                 "serve.max_staleness only applies to mode: fedbuff");
+  }
+  return cfg;
+}
+
+}  // namespace of::serve

@@ -29,7 +29,8 @@ allowed="info nodes pool_hit_rate updates_total phase_seconds_total"
 # descriptors at runtime). `of_fleet_` / `of_fleet_combiner_` prefixes passed
 # to prom_families carry no series suffix and drop out of the grep below.
 found=$(grep -o '"[^"]*of_fleet_[A-Za-z0-9_]*' "$cpp" \
-  | sed 's/.*of_fleet_//' | sed 's/^combiner_//' | grep -v '^$' | sort -u)
+  | sed 's/.*of_fleet_//' | sed 's/^combiner_//' | sed 's/^serve_//' \
+  | grep -v '^$' | sort -u)
 
 status=0
 for name in $found; do
@@ -49,6 +50,13 @@ done
 # family), and the descriptor itself must still exist.
 grep -q 'Reflect<of::obs::TelemetrySummary>' "$hpp" || {
   echo "check_refl_sync: Reflect<TelemetrySummary> descriptor missing from" >&2
+  echo "  src/obs/telemetry.hpp" >&2
+  status=1
+}
+
+# The serving tier's of_fleet_serve_* gauges are generated the same way.
+grep -q 'Reflect<of::obs::Fleet::ServeHealth>' "$hpp" || {
+  echo "check_refl_sync: Reflect<Fleet::ServeHealth> descriptor missing from" >&2
   echo "  src/obs/telemetry.hpp" >&2
   status=1
 }

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <set>
@@ -820,6 +821,35 @@ TEST(CollectiveTags, EpochByteDisambiguatesWindowWrap) {
   EXPECT_EQ(c0.recv_bytes(1, t2_r0), (Bytes{0xBB}));
   // The stale frame is still addressable under its own (old-epoch) tag.
   EXPECT_EQ(c0.recv_bytes(1, t0_r0), (Bytes{0xAA}));
+}
+
+TEST(ConnectBackoffTest, IdenticalSeedsReplayTheIdenticalSchedule) {
+  // The connect-retry chain is pure in its seed: a rerun with the same run
+  // seed paces its connect storm identically, which is what makes transport
+  // flakes reproducible. Different seeds must decorrelate (that is the
+  // whole point of jitter).
+  const auto a = of::comm::connect_backoff_schedule(0xDEC0DEULL, 12);
+  const auto b = of::comm::connect_backoff_schedule(0xDEC0DEULL, 12);
+  const auto c = of::comm::connect_backoff_schedule(0xDEC0DFULL, 12);
+  ASSERT_EQ(a.size(), 12u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  // The schedule is exponential-with-jitter under a hard cap: every delay
+  // sits in [0.5, 1.5)× the nominal doubling delay, itself capped at 0.5 s.
+  double nominal = 0.02;
+  for (const double d : a) {
+    EXPECT_GE(d, 0.5 * nominal);
+    EXPECT_LT(d, 1.5 * nominal);
+    nominal = std::min(nominal * 2.0, 0.5);
+  }
+  // Late attempts must have saturated at the cap's jitter band.
+  EXPECT_GE(a.back(), 0.25);
+  EXPECT_LT(a.back(), 0.75);
+
+  // The incremental ConnectBackoff object is the same chain.
+  of::comm::ConnectBackoff cb(0xDEC0DEULL);
+  for (const double d : a) EXPECT_DOUBLE_EQ(cb.next(), d);
 }
 
 TEST(CollectiveTags, TagsStayInReservedNamespace) {

@@ -253,7 +253,7 @@ TEST(Engine, HierarchicalWithTcpInnerGroups) {
   cfg.set_path("topology.groups", ConfigNode::integer(2));
   cfg.set_path("topology.group_size", ConfigNode::integer(2));
   cfg.set_path("topology.inner_comm._target_", ConfigNode::string("GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47411));
+  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47441));
   cfg.set_path("topology.outer_comm._target_",
                ConfigNode::string("TorchDistCommunicator"));
   Engine engine(cfg);
