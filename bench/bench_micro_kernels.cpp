@@ -16,6 +16,7 @@
 #include "privacy/paillier.hpp"
 #include "privacy/secure_agg.hpp"
 #include "privacy/sha256.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -96,6 +97,49 @@ BENCHMARK_CAPTURE(BM_CompressorKernel, topk, "topk");
 BENCHMARK_CAPTURE(BM_CompressorKernel, dgc_sampled, "dgc");
 BENCHMARK_CAPTURE(BM_CompressorKernel, qsgd8, "qsgd");
 BENCHMARK_CAPTURE(BM_CompressorKernel, powersgd32, "powersgd");
+
+// Per-direction QSGD rows: quantize and dequantize measured separately, in
+// both simd tables (off = scalar reference, auto = AVX2 when available),
+// with bytes/s over the float input so the SIMD speedup reads directly off
+// the report (EXPERIMENTS.md "SIMD kernel speedups" table).
+void BM_QsgdQuantize(benchmark::State& state, int bits, of::simd::Mode level) {
+  of::simd::configure(level);
+  Rng rng(5);
+  const Tensor t = Tensor::randn({static_cast<std::size_t>(state.range(0))}, rng);
+  of::compression::QSGD codec(bits, /*seed=*/1);
+  for (auto _ : state) {
+    auto c = codec.compress(t);
+    benchmark::DoNotOptimize(c.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+  of::simd::configure(of::simd::Mode::Auto);
+}
+
+void BM_QsgdDequantize(benchmark::State& state, int bits, of::simd::Mode level) {
+  of::simd::configure(level);
+  Rng rng(6);
+  const Tensor t = Tensor::randn({static_cast<std::size_t>(state.range(0))}, rng);
+  of::compression::QSGD codec(bits, /*seed=*/1);
+  const auto c = codec.compress(t);
+  for (auto _ : state) benchmark::DoNotOptimize(codec.decompress(c).data());
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+  of::simd::configure(of::simd::Mode::Auto);
+}
+
+#define OF_QSGD_BENCH(fn, tag, bits, level, level_name)               \
+  BENCHMARK_CAPTURE(fn, tag##_##level, bits, of::simd::Mode::level)   \
+      ->Name(#fn "/" #tag "/" level_name)                             \
+      ->Arg(1 << 16)                                                  \
+      ->Arg(1 << 20)
+
+OF_QSGD_BENCH(BM_QsgdQuantize, q8, 8, Off, "scalar");
+OF_QSGD_BENCH(BM_QsgdQuantize, q8, 8, Auto, "simd");
+OF_QSGD_BENCH(BM_QsgdQuantize, q16, 16, Off, "scalar");
+OF_QSGD_BENCH(BM_QsgdQuantize, q16, 16, Auto, "simd");
+OF_QSGD_BENCH(BM_QsgdDequantize, q8, 8, Off, "scalar");
+OF_QSGD_BENCH(BM_QsgdDequantize, q8, 8, Auto, "simd");
+OF_QSGD_BENCH(BM_QsgdDequantize, q16, 16, Off, "scalar");
+OF_QSGD_BENCH(BM_QsgdDequantize, q16, 16, Auto, "simd");
 
 void BM_Sha256(benchmark::State& state) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);

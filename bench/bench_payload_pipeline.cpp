@@ -14,6 +14,7 @@
 #include "compression/sparsify.hpp"
 #include "core/payload.hpp"
 #include "privacy/dp.hpp"
+#include "simd/simd.hpp"
 
 // --- global allocation counter -----------------------------------------------
 // Replacing operator new in this TU counts every heap allocation the round
@@ -49,11 +50,12 @@ using of::tensor::Bytes;
 using of::tensor::Rng;
 using of::tensor::Tensor;
 
-enum class Mode { Plain, TopK, Qsgd, Dp };
+enum class Mode { Plain, PlainF16, TopK, Qsgd, Dp };
 
 const char* mode_name(Mode m) {
   switch (m) {
     case Mode::Plain: return "plain";
+    case Mode::PlainF16: return "plain_f16";
     case Mode::TopK: return "topk";
     case Mode::Qsgd: return "qsgd";
     case Mode::Dp: return "dp";
@@ -80,6 +82,7 @@ struct Pipeline {
   explicit Pipeline(Mode m) {
     switch (m) {
       case Mode::Plain: break;
+      case Mode::PlainF16: break;  // plain pipeline, f16 wire repr
       case Mode::TopK:
         compressor = std::make_unique<of::compression::TopK>(/*factor=*/100.0, true);
         break;
@@ -103,17 +106,29 @@ struct Round {
   Pipeline pipe;
   int clients;
   std::vector<Tensor> update;
+  of::core::WireRepr repr;
   of::core::FramePool pool;
   std::vector<of::core::FramePool::Handle> frames;
 
-  Round(Mode m, int k) : pipe(m), clients(k), update(make_update(42)) {}
+  Round(Mode m, int k)
+      : pipe(m),
+        clients(k),
+        update(make_update(42)),
+        repr(m == Mode::PlainF16 ? of::core::WireRepr::F16
+                                 : of::core::WireRepr::F32) {}
+
+  std::size_t update_numel() const {
+    std::size_t n = 0;
+    for (const auto& t : update) n += t.numel();
+    return n;
+  }
 
   void encode_all() {
     frames.clear();  // handles return their buffers to the pool first
     for (int c = 0; c < clients; ++c) {
       auto h = pool.acquire();
       of::core::encode_update_into(update, /*weight_scale=*/1.0, pipe.plugins(), c,
-                                   clients, pool, *h);
+                                   clients, pool, *h, repr);
       frames.push_back(std::move(h));
     }
   }
@@ -130,7 +145,12 @@ struct Round {
   }
 };
 
-void BM_EncodeRound(benchmark::State& state, Mode m) {
+// Every row runs in both simd tables (auto = AVX2 when the CPU has it, off
+// = the scalar reference) and reports bytes/s over the *input* update bytes
+// (clients × numel × 4) — the throughput number the ≥4× encode/aggregate
+// acceptance criterion is stated over.
+void BM_EncodeRound(benchmark::State& state, Mode m, of::simd::Mode simd) {
+  of::simd::configure(simd);
   Round round(m, static_cast<int>(state.range(0)));
   round.encode_all();  // warmup: populate pool / codec state
   const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
@@ -141,9 +161,15 @@ void BM_EncodeRound(benchmark::State& state, Mode m) {
   const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
   state.counters["allocs_per_round"] = benchmark::Counter(
       static_cast<double>(a1 - a0) / static_cast<double>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(round.update_numel() * sizeof(float)) *
+      state.range(0));
+  of::simd::configure(of::simd::Mode::Auto);
 }
 
-void BM_AggregateRound(benchmark::State& state, Mode m) {
+void BM_AggregateRound(benchmark::State& state, Mode m, of::simd::Mode simd) {
+  of::simd::configure(simd);
   Round round(m, static_cast<int>(state.range(0)));
   round.encode_all();
   const std::vector<Bytes> frames = round.frame_copies();
@@ -156,22 +182,33 @@ void BM_AggregateRound(benchmark::State& state, Mode m) {
   const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
   state.counters["allocs_per_round"] = benchmark::Counter(
       static_cast<double>(a1 - a0) / static_cast<double>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(round.update_numel() * sizeof(float)) *
+      state.range(0));
+  of::simd::configure(of::simd::Mode::Auto);
 }
 
 }  // namespace
 
-#define OF_PIPELINE_BENCH(fn, mode)                                             \
-  BENCHMARK_CAPTURE(fn, mode, Mode::mode)                                        \
-      ->Name(#fn "/" + std::string(mode_name(Mode::mode)))                       \
+#define OF_PIPELINE_BENCH_ONE(fn, mode, level, simd_name)                        \
+  BENCHMARK_CAPTURE(fn, mode##_##level, Mode::mode, of::simd::Mode::level)       \
+      ->Name(#fn "/" + std::string(mode_name(Mode::mode)) + "/" simd_name)       \
       ->Arg(8)                                                                   \
       ->Arg(64)                                                                  \
       ->Unit(benchmark::kMillisecond)
 
+#define OF_PIPELINE_BENCH(fn, mode)                                              \
+  OF_PIPELINE_BENCH_ONE(fn, mode, Off, "scalar");                                \
+  OF_PIPELINE_BENCH_ONE(fn, mode, Auto, "simd")
+
 OF_PIPELINE_BENCH(BM_EncodeRound, Plain);
+OF_PIPELINE_BENCH(BM_EncodeRound, PlainF16);
 OF_PIPELINE_BENCH(BM_EncodeRound, TopK);
 OF_PIPELINE_BENCH(BM_EncodeRound, Qsgd);
 OF_PIPELINE_BENCH(BM_EncodeRound, Dp);
 OF_PIPELINE_BENCH(BM_AggregateRound, Plain);
+OF_PIPELINE_BENCH(BM_AggregateRound, PlainF16);
 OF_PIPELINE_BENCH(BM_AggregateRound, TopK);
 OF_PIPELINE_BENCH(BM_AggregateRound, Qsgd);
 OF_PIPELINE_BENCH(BM_AggregateRound, Dp);

@@ -102,7 +102,7 @@ TelemetrySummary sample_summary() {
 
 void bench_summary_serialize(benchmark::State& state) {
   const TelemetrySummary t = sample_summary();
-  std::vector<std::uint8_t> frame;
+  of::AlignedBytes frame;
   frame.reserve(4096);
   for (auto _ : state) {
     frame.clear();
@@ -115,7 +115,7 @@ void bench_summary_serialize(benchmark::State& state) {
 BENCHMARK(bench_summary_serialize);
 
 void bench_summary_parse_tail(benchmark::State& state) {
-  std::vector<std::uint8_t> frame(4096, 0x5A);
+  of::AlignedBytes frame(4096, 0x5A);
   sample_summary().serialize_to(frame);
   for (auto _ : state) {
     auto t = TelemetrySummary::parse_tail(frame.data(), frame.size());

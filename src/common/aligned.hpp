@@ -1,0 +1,58 @@
+// 64-byte-aligned allocation for wire frames and kernel scratch.
+//
+// The of::simd kernels read frame views with 256-bit loads; FramePool
+// frames and every `tensor::Bytes` buffer therefore allocate on 64-byte
+// (cache-line) boundaries so vector loops over a frame body start aligned
+// whenever the in-frame offset is. The allocator rides std::vector — same
+// growth policy, same interface — only the underlying operator new carries
+// an alignment request. Alignment is asserted where pooled frames are
+// handed out (frame_pool.cpp, debug builds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace of {
+
+inline constexpr std::size_t kFrameAlign = 64;
+
+template <typename T, std::size_t Align = kFrameAlign>
+class AlignedAllocator {
+ public:
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment below the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+// The frame currency: tensor::Bytes and refl::tlv::Bytes both alias this,
+// so byte buffers flow between the tensor wire layer and the TLV layer
+// without copies or conversions.
+using AlignedBytes = std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>>;
+
+}  // namespace of

@@ -1,0 +1,47 @@
+// Structured per-client numeric-admission error.
+//
+// A NaN/Inf coordinate in a client update used to slip silently into the
+// wire frame: QSGD's per-bucket norm went NaN, dequantize smeared it across
+// the whole bucket, and the aggregated model was poisoned. The encode path
+// now screens inputs while it scales-and-stores (the finite check is fused
+// into the SIMD store, so admission costs no extra pass) and throws this
+// error naming the offending client and flat coordinate. The node's round
+// loop catches it and degrades exactly like a dropped survivor: the client
+// emits a skip marker and the aggregator divides by the contributors it
+// actually got.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+
+namespace of {
+
+class NonFiniteUpdateError : public std::runtime_error {
+ public:
+  explicit NonFiniteUpdateError(std::size_t coordinate, int client_id = -1)
+      : std::runtime_error(format(coordinate, client_id)),
+        coordinate_(coordinate),
+        client_id_(client_id) {}
+
+  // Flat coordinate (index into the scale-while-flatten order) of the first
+  // non-finite element.
+  std::size_t coordinate() const noexcept { return coordinate_; }
+  // Reporting client, or -1 when the thrower does not know it (e.g. a codec
+  // below the payload layer; encode_update_into rethrows with the id).
+  int client_id() const noexcept { return client_id_; }
+
+ private:
+  static std::string format(std::size_t coordinate, int client_id) {
+    std::ostringstream os;
+    os << "non-finite update coordinate " << coordinate;
+    if (client_id >= 0) os << " from client " << client_id;
+    os << " rejected at encode admission";
+    return os.str();
+  }
+
+  std::size_t coordinate_;
+  int client_id_;
+};
+
+}  // namespace of

@@ -73,6 +73,25 @@ class Compressor {
   // (dense output); false for sparse codecs that exchange via all-gather.
   virtual bool allreduce_compatible() const = 0;
 
+  // Fused scale-while-flatten compression: compress the concatenation of
+  // `payload`'s tensors with every element pre-scaled by `scale` (in double,
+  // matching tensor::append_scaled_span), without the caller materializing
+  // an intermediate flat float frame. Implementations MUST produce bytes
+  // bitwise identical to `compress(flatten_scaled(payload, scale))` and
+  // SHOULD throw of::NonFiniteUpdateError (coordinate in flatten order) when
+  // a non-finite element is met at admission. Returning false means "no
+  // fused path" — the caller falls back to flatten-then-compress. The
+  // default has no fused path; wrappers that transform the input (error
+  // feedback) keep the default so the residual arithmetic stays in the
+  // unfused pipeline.
+  virtual bool compress_scaled(const std::vector<Tensor>& payload, double scale,
+                               Compressed& out) {
+    (void)payload;
+    (void)scale;
+    (void)out;
+    return false;
+  }
+
   // Bind stochastic codecs to a (round, client) stream. Randomized codecs
   // (QSGD's stochastic rounding) derive their randomness counter-style from
   // (seed, round, client) instead of mutating a shared RNG, so compressing

@@ -1,7 +1,11 @@
 #include "compression/quantize.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <initializer_list>
+
+#include "common/nonfinite.hpp"
+#include "simd/simd.hpp"
 
 namespace of::compression {
 
@@ -28,71 +32,130 @@ std::uint64_t QSGD::stream_seed(std::uint64_t bucket) const noexcept {
   return x;
 }
 
+void QSGD::quantize_bucket(std::uint8_t* out, const float* src, std::size_t len,
+                           std::size_t begin, std::uint64_t bucket) {
+  // Per-bucket norm: quantization error scales with the *bucket* norm,
+  // not the whole-vector norm — the bucketing every practical QSGD
+  // implementation uses (quantization over the full vector would drown
+  // high-dimensional updates in noise). The 4-lane sum keeps the value
+  // identical between the scalar and AVX2 tables.
+  const double norm2 = simd::sum_squares(src, len);
+  if (!std::isfinite(norm2)) {
+    // A NaN/Inf coordinate must not reach the wire: the stored norm would
+    // be NaN and dequantize would spread it across the whole bucket and
+    // into the aggregated model. Reject at admission with the offending
+    // flat coordinate so the fault path can drop this client like any
+    // other per-client failure.
+    throw NonFiniteUpdateError(begin + simd::find_nonfinite(src, len));
+  }
+  const float norm = static_cast<float>(std::sqrt(norm2));
+  std::memcpy(out, &norm, sizeof(float));
+  std::uint8_t* codes = out + sizeof(float);
+  const std::size_t codebytes = bits_ == 8 ? 1 : 2;
+  if (norm == 0.0f) {
+    // An all-zero bucket consumes no rounding draws (the scalar reference
+    // returned before drawing), so the stream stays aligned with replays.
+    std::memset(codes, 0, len * codebytes);
+    return;
+  }
+  // The RNG state chain is inherently serial; draws are pre-generated here
+  // and the arithmetic (abs/div/floor/round/clamp/sign-fold) vectorizes.
+  draws_.resize(len);
+  Rng rng(stream_seed(bucket));  // fresh per-bucket stream; see stream_seed()
+  for (std::size_t i = 0; i < len; ++i) draws_[i] = rng.next_float();
+  const float s = static_cast<float>(levels_);
+  if (bits_ == 8) {
+    simd::qsgd_quantize_i8(reinterpret_cast<std::int8_t*>(codes), src,
+                           draws_.data(), norm, s, levels_, len);
+  } else {
+    simd::qsgd_quantize_i16(reinterpret_cast<std::int16_t*>(codes), src,
+                            draws_.data(), norm, s, levels_, len);
+  }
+}
+
 void QSGD::compress(ConstFloatSpan t, Compressed& c) {
   c.codec = "QSGD";
   c.original_numel = t.size();
-  c.payload.clear();
-  const float s = static_cast<float>(levels_);
   const std::size_t n = t.size();
+  const std::size_t codebytes = bits_ == 8 ? 1 : 2;
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
-  c.payload.reserve(buckets * 4 + n * (bits_ == 8 ? 1 : 2));
+  c.payload.clear();
+  c.payload.resize(buckets * sizeof(float) + n * codebytes);
+  std::size_t off = 0;
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t begin = b * bucket_size_;
-    const std::size_t end = std::min(begin + bucket_size_, n);
-    // Per-bucket norm: quantization error scales with the *bucket* norm,
-    // not the whole-vector norm — the bucketing every practical QSGD
-    // implementation uses (quantization over the full vector would drown
-    // high-dimensional updates in noise).
-    double norm2 = 0.0;
-    for (std::size_t i = begin; i < end; ++i)
-      norm2 += static_cast<double>(t[i]) * static_cast<double>(t[i]);
-    const float norm = static_cast<float>(std::sqrt(norm2));
-    tensor::append_pod<float>(c.payload, norm);
-    Rng rng(stream_seed(b));  // fresh per-bucket stream; see stream_seed()
-    auto quantize_one = [&](float v) -> std::uint32_t {
-      if (norm == 0.0f) return 0;
-      const float a = std::fabs(v) / norm * s;  // in [0, s]
-      const float floor_a = std::floor(a);
-      const float frac = a - floor_a;
-      std::uint32_t level = static_cast<std::uint32_t>(floor_a);
-      if (rng.next_float() < frac) ++level;  // stochastic rounding
-      if (level > levels_) level = levels_;
-      return level;
-    };
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t level = quantize_one(t[i]);
-      if (bits_ == 8) {
-        const std::int8_t code = static_cast<std::int8_t>(
-            t[i] < 0.0f ? -static_cast<int>(level) : static_cast<int>(level));
-        tensor::append_pod<std::int8_t>(c.payload, code);
-      } else {
-        const std::int16_t code = static_cast<std::int16_t>(
-            t[i] < 0.0f ? -static_cast<int>(level) : static_cast<int>(level));
-        tensor::append_pod<std::int16_t>(c.payload, code);
+    const std::size_t len = std::min(bucket_size_, n - begin);
+    quantize_bucket(c.payload.data() + off, t.data() + begin, len, begin, b);
+    off += sizeof(float) + len * codebytes;
+  }
+}
+
+bool QSGD::compress_scaled(const std::vector<Tensor>& payload, double scale,
+                           Compressed& c) {
+  std::size_t n = 0;
+  for (const Tensor& t : payload) n += t.numel();
+  c.codec = "QSGD";
+  c.original_numel = n;
+  const std::size_t codebytes = bits_ == 8 ? 1 : 2;
+  const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  c.payload.clear();
+  c.payload.resize(buckets * sizeof(float) + n * codebytes);
+  tile_.resize(std::min(bucket_size_, std::max<std::size_t>(n, 1)));
+  // Scale-while-flatten one bucket-sized tile at a time: the tile is the
+  // only float staging this path touches, so the O(model) intermediate
+  // frame of flatten-then-compress never exists. Tiles are filled with the
+  // same double-precision scale store as tensor::append_scaled_span, and
+  // quantize_bucket sees exactly the values the unfused pipeline would —
+  // the output bytes are bitwise identical.
+  std::size_t ti = 0;    // tensor cursor
+  std::size_t toff = 0;  // intra-tensor offset
+  std::size_t off = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t begin = b * bucket_size_;
+    const std::size_t len = std::min(bucket_size_, n - begin);
+    std::size_t filled = 0;
+    while (filled < len) {
+      const Tensor& t = payload[ti];
+      const std::size_t take = std::min(t.numel() - toff, len - filled);
+      if (!simd::scale_store(tile_.data() + filled, t.data() + toff, scale,
+                             take)) {
+        throw NonFiniteUpdateError(
+            begin + filled + simd::find_nonfinite(t.data() + toff, take));
+      }
+      filled += take;
+      toff += take;
+      if (toff == t.numel()) {
+        ++ti;
+        toff = 0;
       }
     }
+    quantize_bucket(c.payload.data() + off, tile_.data(), len, begin, b);
+    off += sizeof(float) + len * codebytes;
   }
+  return true;
 }
 
 void QSGD::decompress(const CompressedView& c, FloatSpan t) {
   OF_CHECK_MSG(t.size() == c.original_numel, "QSGD decompress size mismatch");
-  std::size_t off = 0;
   const float s = static_cast<float>(levels_);
   const std::size_t n = c.original_numel;
+  const std::size_t codebytes = bits_ == 8 ? 1 : 2;
   const std::size_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  std::size_t off = 0;
   for (std::size_t b = 0; b < buckets; ++b) {
     const std::size_t begin = b * bucket_size_;
-    const std::size_t end = std::min(begin + bucket_size_, n);
+    const std::size_t len = std::min(bucket_size_, n - begin);
     const float norm = tensor::read_pod<float>(c.payload, off);
-    for (std::size_t i = begin; i < end; ++i) {
-      if (bits_ == 8) {
-        const auto code = tensor::read_pod<std::int8_t>(c.payload, off);
-        t[i] = norm * static_cast<float>(code) / s;
-      } else {
-        const auto code = tensor::read_pod<std::int16_t>(c.payload, off);
-        t[i] = norm * static_cast<float>(code) / s;
-      }
+    OF_CHECK_MSG(off + len * codebytes <= c.payload.size(),
+                 "QSGD payload truncated");
+    if (bits_ == 8) {
+      simd::qsgd_dequantize_i8(t.data() + begin, c.payload.data() + off, norm,
+                               s, len);
+    } else {
+      simd::qsgd_dequantize_i16(t.data() + begin, c.payload.data() + off, norm,
+                                s, len);
     }
+    off += len * codebytes;
   }
   OF_CHECK_MSG(off == c.payload.size(), "QSGD payload has trailing bytes");
 }

@@ -21,6 +21,12 @@ class QSGD final : public Compressor {
 
   void compress(ConstFloatSpan input, Compressed& out) override;
   void decompress(const CompressedView& c, FloatSpan out) override;
+  // Fused quantize-on-the-wire: scale-while-flatten one bucket-sized tile at
+  // a time and quantize it in place — no intermediate flat float frame.
+  // Bitwise identical to compress(flatten_scaled(...)); throws
+  // of::NonFiniteUpdateError at the first non-finite input coordinate.
+  bool compress_scaled(const std::vector<Tensor>& payload, double scale,
+                       Compressed& out) override;
   using Compressor::compress;
   using Compressor::decompress;
   std::string name() const override { return "QSGD"; }
@@ -36,6 +42,10 @@ class QSGD final : public Compressor {
 
  private:
   std::uint64_t stream_seed(std::uint64_t bucket) const noexcept;
+  // Quantize one bucket of `src` (already scaled) into the payload at
+  // `out`; `begin` is the bucket's flat coordinate base for error reports.
+  void quantize_bucket(std::uint8_t* out, const float* src, std::size_t len,
+                       std::size_t begin, std::uint64_t bucket);
 
   int bits_;
   std::size_t bucket_size_;
@@ -43,6 +53,8 @@ class QSGD final : public Compressor {
   std::uint64_t seed_;
   std::uint64_t round_ = 0;
   std::uint64_t client_ = 0;
+  std::vector<float> draws_;  // per-element rounding draws (serial RNG, SIMD math)
+  std::vector<float> tile_;   // bucket-sized scale-while-flatten scratch
 };
 
 }  // namespace of::compression

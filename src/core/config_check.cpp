@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/payload.hpp"
 #include "core/topology.hpp"
 #include "exec/pool.hpp"
 #include "fault/fault.hpp"
@@ -51,7 +52,7 @@ void check_config_keys(const ConfigNode& cfg) {
              {"seed", "eval_every", "clients_per_round", "topology", "model",
               "datamodule", "algorithm", "compression", "privacy", "scheduling",
               "aggregation", "byzantine", "fault", "heterogeneity", "exec", "obs",
-              "serve", "config"});
+              "serve", "payload", "config"});
 
   check_keys(child_or_empty(cfg, "config"), "config", {"strict"});
 
@@ -90,6 +91,8 @@ void check_config_keys(const ConfigNode& cfg) {
              refl::field_names<fault::FaultSpec>());
   check_keys(child_or_empty(cfg, "serve"), "serve",
              refl::field_names<serve::ServeConfig>());
+  check_keys(child_or_empty(cfg, "payload"), "payload",
+             refl::field_names<PayloadConfig>());
 
   const ConfigNode topo = child_or_empty(cfg, "topology");
   check_keys(topo, "topology",
@@ -121,6 +124,8 @@ config::ConfigNode effective_config(const config::ConfigNode& cfg) {
       refl::to_node(fault::FaultSpec::from_config(child_or_empty(cfg, "fault"), strict));
   out["serve"] = refl::to_node(
       serve::ServeConfig::from_config(child_or_empty(cfg, "serve"), strict));
+  out["payload"] = refl::to_node(
+      PayloadConfig::from_config(child_or_empty(cfg, "payload"), strict));
   const ConfigNode topo = child_or_empty(cfg, "topology");
   if (topo.is_map() && topo.has("combiner"))
     out["topology"]["combiner"] = refl::to_node(refl::from_node<CombinerPolicy>(

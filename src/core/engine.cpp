@@ -144,6 +144,8 @@ std::vector<NodeSetup> Engine::build_setups() {
   OF_CHECK_MSG(!(has_compression && has_privacy),
                "compression and privacy cannot stack on the same link (run them in "
                "separate experiments, as the paper does)");
+  const auto payload_cfg =
+      PayloadConfig::from_config(node_or_empty(cfg_, "payload"), strict_);
 
   // --- scheduling / serving tier / heterogeneity / participation ------------
   const config::ConfigNode sched_cfg = node_or_empty(cfg_, "scheduling");
@@ -337,6 +339,7 @@ std::vector<NodeSetup> Engine::build_setups() {
     s.local_epochs = local_epochs;
     s.eval_every = eval_every;
     s.serve = serve_cfg;
+    s.wire_repr = payload_cfg.wire;
     s.clients_per_round = clients_per_round;
     s.participation_seed = seed ^ 0x5E1EC7ULL;
     s.aggregation_rule = agg_rule;
@@ -507,6 +510,7 @@ RunResult Engine::run() {
   const auto exec_cfg =
       exec::ExecConfig::from_config(node_or_empty(cfg_, "exec"), strict_);
   exec::Pool::global().configure(exec_cfg.threads, exec_cfg.grain);
+  simd::configure(exec_cfg.simd);
 
   const auto obs_cfg = obs::ObsConfig::from_config(node_or_empty(cfg_, "obs"), strict_);
   // Registry instruments are process-global and always on; per-run values

@@ -1,5 +1,8 @@
 #include "core/frame_pool.hpp"
 
+#include <cassert>
+#include <cstdint>
+
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -45,6 +48,10 @@ FramePool::Handle FramePool::acquire() {
     buf = std::make_unique<tensor::Bytes>();
   }
   buf->clear();  // keep capacity — this is the whole point of the pool
+  // Frames allocate through AlignedAllocator (common/aligned.hpp): SIMD
+  // loops over the frame body rely on a cache-line-aligned base.
+  assert(buf->data() == nullptr ||
+         reinterpret_cast<std::uintptr_t>(buf->data()) % kFrameAlign == 0);
   return Handle(this, std::move(buf));
 }
 

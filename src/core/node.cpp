@@ -11,6 +11,7 @@
 
 #include "comm/star.hpp"
 #include "common/check.hpp"
+#include "common/nonfinite.hpp"
 #include "exec/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -245,8 +246,17 @@ void NodeRuntime::train_one_round(const std::vector<tensor::Tensor>& global,
   if (s_.compressor)
     s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
   ScopedSpan span(Name::Encode, s_.node_id, round);
-  encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index, s_.cohort_size,
-                     pool_, frame_out);
+  try {
+    encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                       s_.cohort_size, pool_, frame_out, s_.wire_repr);
+  } catch (const NonFiniteUpdateError&) {
+    // Numeric admission rejected the update (NaN/Inf coordinate). Send a
+    // skip frame instead: the aggregator drops this client for the round
+    // exactly like a non-participant, rather than letting one poisoned
+    // coordinate spread through the aggregate.
+    obs::Registry::global().counter("payload.nonfinite_rejected").inc();
+    frame_out = encode_skip_update();
+  }
   span.set_arg(frame_out.size());
 }
 
@@ -592,8 +602,13 @@ NodeReport NodeRuntime::run_ring_node(comm::Communicator& inner) {
       s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
       {
         ScopedSpan span(Name::Encode, s_.node_id, round);
-        encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
-                           s_.cohort_size, pool_, frame_buf_);
+        try {
+          encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                             s_.cohort_size, pool_, frame_buf_, s_.wire_repr);
+        } catch (const NonFiniteUpdateError&) {
+          obs::Registry::global().counter("payload.nonfinite_rejected").inc();
+          frame_buf_ = encode_skip_update();
+        }
         span.set_arg(frame_buf_.size());
       }
       ScopedSpan agg_span(Name::Aggregate, s_.node_id, round);
@@ -993,8 +1008,15 @@ NodeReport NodeRuntime::run_serve_trainer(comm::Communicator& inner) {
       s_.compressor->set_stream(round, static_cast<std::uint64_t>(s_.cohort_index));
     {
       ScopedSpan span(Name::Encode, s_.node_id, round);
-      encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
-                         s_.cohort_size, pool_, frame_buf_);
+      try {
+        encode_update_into(payload, s_.weight_scale, plugins, s_.cohort_index,
+                           s_.cohort_size, pool_, frame_buf_, s_.wire_repr);
+      } catch (const NonFiniteUpdateError&) {
+        // The buffer's StreamingSum ignores the skip marker, so a rejected
+        // update contributes nothing to the folded aggregate.
+        obs::Registry::global().counter("payload.nonfinite_rejected").inc();
+        frame_buf_ = encode_skip_update();
+      }
       span.set_arg(frame_buf_.size());
     }
     // Up-frame: kind | loss_sum | steps | payload [| telemetry tail]. The
@@ -1091,7 +1113,7 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
       {
         ScopedSpan span(Name::Encode, s_.node_id, round);
         group_sum.encode_partial_into(s_.partial_scale, s_.outer_compressor.get(),
-                                      frame_buf_);
+                                      frame_buf_, s_.wire_repr);
         span.set_arg(frame_buf_.size());
       }
       if (s_.obs_telemetry) {
@@ -1141,7 +1163,7 @@ NodeReport NodeRuntime::run_hier_leader(comm::Communicator& inner,
       {
         ScopedSpan span(Name::Encode, s_.node_id, round);
         encode_update_into(group_mean, s_.weight_scale, outer_plugins, outer.rank(),
-                           outer.world_size(), pool_, frame_buf_);
+                           outer.world_size(), pool_, frame_buf_, s_.wire_repr);
         span.set_arg(frame_buf_.size());
       }
       ScopedSpan outer_span(Name::Send, s_.node_id, round, frame_buf_.size());

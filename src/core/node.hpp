@@ -119,6 +119,11 @@ struct NodeSetup {
   std::unique_ptr<compression::Compressor> outer_compressor;  // leader→root link
   std::unique_ptr<privacy::PrivacyMechanism> privacy;
 
+  // Wire repr for plain update frames (`payload: {wire: f16}` halves plain
+  // traffic); Engine-set on every node so both link ends agree. Compressed
+  // frames carry their codec's own int8/int16 representation.
+  WireRepr wire_repr = WireRepr::F32;
+
   // Distributed telemetry plane (obs/, DESIGN.md §9): trainers piggyback a
   // per-round summary on each update frame (stripped server-side before
   // decode, so training state never sees it) and ping the coordinator clock

@@ -1,10 +1,15 @@
 #include "core/payload.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <iterator>
 
 #include "common/check.hpp"
+#include "common/nonfinite.hpp"
 #include "exec/pool.hpp"
+#include "refl/config_io.hpp"
 #include "refl/tlv.hpp"
+#include "simd/simd.hpp"
 #include "tensor/serialize.hpp"
 
 namespace of::core {
@@ -23,7 +28,30 @@ bool agg_parallel(std::size_t total) {
   return total >= kAggParallelCutoff && exec::Pool::global().threads() > 1;
 }
 
-enum : std::uint8_t { kPlain = 0, kCompressed = 1, kPrivacy = 2, kSkip = 3 };
+enum : std::uint8_t {
+  kPlain = 0,
+  kCompressed = 1,
+  kPrivacy = 2,
+  kSkip = 3,
+  kPlainF16 = 4,  // plain body in the fp16 wire repr (2 bytes/elem)
+};
+
+// Plain-family frames carry raw (f32 or f16) coordinate data whose body is
+// exactly total × elem bytes — the only modes the coordinate-sharded
+// aggregation can slice without decoding.
+bool plain_mode(std::uint8_t mode) { return mode == kPlain || mode == kPlainF16; }
+std::size_t plain_elem_size(std::uint8_t mode) {
+  return mode == kPlainF16 ? sizeof(std::uint16_t) : sizeof(float);
+}
+
+// acc += alpha * body[lo..hi) for a plain-family body view.
+void accum_plain_bytes(std::uint8_t mode, ConstByteSpan body, double alpha,
+                       FloatSpan acc) {
+  if (mode == kPlainF16)
+    tensor::add_scaled_from_f16_bytes(body, alpha, acc);
+  else
+    tensor::add_scaled_from_bytes(body, alpha, acc);
+}
 
 // Magic opening a v2 TLV partial header ("OFP2" little-endian).
 constexpr std::uint32_t kPartialMagic = 0x3250464Fu;
@@ -116,14 +144,30 @@ std::vector<Tensor> split_flat_bytes(ConstByteSpan body,
 
 // Scale-while-flatten into a contiguous scratch span (plugin paths need the
 // flat update in one piece). The scale stays double until the final store.
-void flatten_scaled(const std::vector<Tensor>& payload, double weight_scale, FloatSpan dst) {
+// Returns true iff every source element was finite (the fused admission
+// screen); callers reject the update when it comes back false.
+bool flatten_scaled(const std::vector<Tensor>& payload, double weight_scale, FloatSpan dst) {
   std::size_t pos = 0;
+  bool finite = true;
   for (const auto& t : payload) {
-    const float* src = t.data();
-    for (std::size_t i = 0; i < t.numel(); ++i)
-      dst[pos++] = static_cast<float>(static_cast<double>(src[i]) * weight_scale);
+    finite &= simd::scale_store(dst.data() + pos, t.data(), weight_scale, t.numel());
+    pos += t.numel();
   }
   OF_CHECK_MSG(pos == dst.size(), "flatten size mismatch");
+  return finite;
+}
+
+// Locate the first non-finite coordinate (flatten order) and throw the
+// structured per-client admission error. Cold path — only runs after a
+// fused finite screen already said "reject".
+[[noreturn]] void throw_nonfinite(const std::vector<Tensor>& payload, int client_id) {
+  std::size_t base = 0;
+  for (const auto& t : payload) {
+    const std::size_t at = simd::find_nonfinite(t.data(), t.numel());
+    if (at < t.numel()) throw NonFiniteUpdateError(base + at, client_id);
+    base += t.numel();
+  }
+  throw NonFiniteUpdateError(base, client_id);  // unreachable in practice
 }
 
 // Decode the mode-specific body of a plain/compressed frame into `out`
@@ -135,6 +179,22 @@ void decode_body_into(ConstByteSpan frame, std::size_t off, std::uint8_t mode,
     OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
                  "trailing bytes in plain payload");
     tensor::read_span(frame, off, out.data(), total);
+    return;
+  }
+  if (mode == kPlainF16) {
+    OF_CHECK_MSG(frame.size() - off == total * sizeof(std::uint16_t),
+                 "trailing bytes in f16 payload");
+    // The body sits at an odd frame offset (mode byte + manifest), so the
+    // halves are staged through an aligned block before widening — a u16
+    // load straight off the frame would be misaligned.
+    const std::uint8_t* src = frame.data() + off;
+    std::uint16_t block[256];
+    for (std::size_t i = 0; i < total;) {
+      const std::size_t chunk = std::min<std::size_t>(std::size(block), total - i);
+      std::memcpy(block, src + i * sizeof(std::uint16_t), chunk * sizeof(std::uint16_t));
+      simd::f16_to_f32(out.data() + i, block, chunk);
+      i += chunk;
+    }
     return;
   }
   if (mode == kCompressed) {
@@ -197,18 +257,15 @@ void StreamingSum::add_update_frame(ConstByteSpan frame, double weight) {
   const auto shapes = read_manifest(frame, off);
   const std::size_t total = manifest_numel(shapes);
   ensure_shapes(shapes, total);
-  if (mode == kPlain) {
-    OF_CHECK_MSG(frame.size() - off == total * sizeof(float),
+  if (plain_mode(mode)) {
+    OF_CHECK_MSG(frame.size() - off == total * plain_elem_size(mode),
                  "trailing bytes in plain payload");
-    tensor::add_scaled_from_bytes(frame.subspan(off), weight, FloatSpan(*acc_));
+    accum_plain_bytes(mode, frame.subspan(off), weight, FloatSpan(*acc_));
     return;
   }
   FramePool::FloatHandle scratch = pool_->acquire_floats(total);
   decode_body_into(frame, off, mode, total, decompressor_, FloatSpan(*scratch));
-  float* a = acc_->data();
-  const float* s = scratch->data();
-  const float w = static_cast<float>(weight);
-  for (std::size_t i = 0; i < total; ++i) a[i] += s[i] * w;
+  simd::accum_weighted(acc_->data(), scratch->data(), static_cast<float>(weight), total);
   peak_bytes_ = std::max(peak_bytes_, 2 * total * sizeof(float));
 }
 
@@ -242,10 +299,11 @@ void StreamingSum::add_partial(ConstByteSpan partial) {
 
 void StreamingSum::encode_partial_into(double scale,
                                        compression::Compressor* compressor,
-                                       Bytes& out) {
+                                       Bytes& out, WireRepr repr) {
   out.clear();
   PartialHeader hdr;
   hdr.count = static_cast<std::uint64_t>(count_);
+  hdr.repr = compressor ? WireRepr::F32 : repr;
   refl::tlv::Bytes htlv;
   refl::tlv::encode(hdr, htlv);
   tensor::append_pod<std::uint32_t>(out, kPartialMagic);
@@ -256,17 +314,24 @@ void StreamingSum::encode_partial_into(double scale,
     return;
   }
   if (!compressor) {
-    out.push_back(kPlain);
+    // A combiner's sum of admitted (finite) updates can still overflow to
+    // Inf; surface it here rather than forwarding a poisoned partial.
+    out.push_back(repr == WireRepr::F16 ? kPlainF16 : kPlain);
     write_manifest_shapes(out, shapes_);
-    tensor::append_scaled_span(out, ConstFloatSpan(*acc_), scale);
+    const bool finite =
+        repr == WireRepr::F16
+            ? tensor::append_scaled_f16_span(out, ConstFloatSpan(*acc_), scale)
+            : tensor::append_scaled_span(out, ConstFloatSpan(*acc_), scale);
+    if (!finite)
+      throw NonFiniteUpdateError(
+          simd::find_nonfinite(acc_->data(), total_));
     return;
   }
   out.push_back(kCompressed);
   write_manifest_shapes(out, shapes_);
   FramePool::FloatHandle flat = pool_->acquire_floats(total_);
-  const float* a = acc_->data();
-  for (std::size_t i = 0; i < total_; ++i)
-    (*flat)[i] = static_cast<float>(static_cast<double>(a[i]) * scale);
+  if (!simd::scale_store(flat->data(), acc_->data(), scale, total_))
+    throw NonFiniteUpdateError(simd::find_nonfinite(acc_->data(), total_));
   FramePool::Handle lent = pool_->acquire();
   compression::Compressed c;
   c.payload = std::move(*lent);
@@ -281,8 +346,13 @@ void StreamingSum::encode_partial_into(double scale,
 std::vector<Tensor> StreamingSum::finish_mean() {
   OF_CHECK_MSG(count_ > 0, "no client updates to aggregate (all skipped?)");
   const float inv = 1.0f / static_cast<float>(count_);
-  for (float& v : *acc_) v *= inv;
+  simd::scale(acc_->data(), inv, total_);
   return split_flat(ConstFloatSpan(*acc_), shapes_);
+}
+
+PayloadConfig PayloadConfig::from_config(const config::ConfigNode& node, bool strict) {
+  if (!node.is_map()) return PayloadConfig{};
+  return refl::from_node<PayloadConfig>(node, "payload", {}, strict);
 }
 
 Bytes pack_tensors(const std::vector<Tensor>& ts) { return tensor::serialize_tensors(ts); }
@@ -297,28 +367,34 @@ std::vector<Tensor> unpack_tensors(const Bytes& b) { return tensor::deserialize_
 
 void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
                         const PayloadPlugins& plugins, int client_id, int num_clients,
-                        FramePool& pool, Bytes& out) {
+                        FramePool& pool, Bytes& out, WireRepr repr) {
   OF_CHECK_MSG(!(plugins.compressor && plugins.privacy),
                "compression and privacy plugins cannot stack on the same link");
   out.clear();
   if (!plugins.privacy && !plugins.compressor) {
     // Plain: scale-while-flatten straight into the frame — no clone, no
-    // intermediate flat tensor, no extra byte buffer.
-    out.push_back(kPlain);
+    // intermediate flat tensor, no extra byte buffer. The finite screen
+    // rides the same store.
+    const bool f16 = repr == WireRepr::F16;
+    out.push_back(f16 ? kPlainF16 : kPlain);
     write_manifest(out, payload);
+    bool finite = true;
     for (const auto& t : payload)
-      tensor::append_scaled_span(out, t.span(), weight_scale);
+      finite &= f16 ? tensor::append_scaled_f16_span(out, t.span(), weight_scale)
+                    : tensor::append_scaled_span(out, t.span(), weight_scale);
+    if (!finite) throw_nonfinite(payload, client_id);
     return;
   }
 
-  // Plugin paths need the flat update in one contiguous piece: flatten into
-  // pooled scratch, hand the plugin a view, append its body to the frame.
   std::size_t total = 0;
   for (const auto& t : payload) total += t.numel();
-  FramePool::FloatHandle flat = pool.acquire_floats(total);
-  flatten_scaled(payload, weight_scale, FloatSpan(*flat));
 
   if (plugins.privacy) {
+    // Privacy needs the flat update in one contiguous piece: flatten into
+    // pooled scratch, hand the mechanism a view, append its body.
+    FramePool::FloatHandle flat = pool.acquire_floats(total);
+    if (!flatten_scaled(payload, weight_scale, FloatSpan(*flat)))
+      throw_nonfinite(payload, client_id);
     out.push_back(kPrivacy);
     write_manifest(out, payload);
     FramePool::Handle body = pool.acquire();
@@ -335,7 +411,24 @@ void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
   FramePool::Handle lent = pool.acquire();
   compression::Compressed c;
   c.payload = std::move(*lent);
-  plugins.compressor->compress(ConstFloatSpan(*flat), c);
+  bool fused = false;
+  try {
+    // Fused quantize-on-the-wire: codecs with a compress_scaled path (QSGD)
+    // scale-while-flatten tile by tile — the O(model) intermediate float
+    // frame below never materializes.
+    fused = plugins.compressor->compress_scaled(payload, weight_scale, c);
+  } catch (const NonFiniteUpdateError& e) {
+    *lent = std::move(c.payload);  // hand the pooled buffer back
+    throw NonFiniteUpdateError(e.coordinate(), client_id);
+  }
+  if (!fused) {
+    FramePool::FloatHandle flat = pool.acquire_floats(total);
+    if (!flatten_scaled(payload, weight_scale, FloatSpan(*flat))) {
+      *lent = std::move(c.payload);
+      throw_nonfinite(payload, client_id);
+    }
+    plugins.compressor->compress(ConstFloatSpan(*flat), c);
+  }
   tensor::append_pod<std::uint64_t>(out, c.original_numel);
   tensor::append_pod<std::uint64_t>(out, c.payload.size());
   tensor::append_span(out, ConstByteSpan(c.payload));
@@ -343,10 +436,12 @@ void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
 }
 
 Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
-                    const PayloadPlugins& plugins, int client_id, int num_clients) {
+                    const PayloadPlugins& plugins, int client_id, int num_clients,
+                    WireRepr repr) {
   FramePool pool;
   Bytes out;
-  encode_update_into(payload, weight_scale, plugins, client_id, num_clients, pool, out);
+  encode_update_into(payload, weight_scale, plugins, client_id, num_clients, pool, out,
+                     repr);
   return out;
 }
 
@@ -469,7 +564,7 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
     }
     FramePool::FloatHandle sum = p.acquire_floats(total);
     privacy->aggregate_sum(bodies, FloatSpan(*sum));
-    for (float& v : *sum) v *= inv_k;
+    simd::scale(sum->data(), inv_k, total);
     return split_flat(ConstFloatSpan(*sum), shapes);
   }
 
@@ -487,8 +582,8 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
     OF_CHECK_MSG(frame_shapes.size() == shapes.size() &&
                      manifest_numel(frame_shapes) == total,
                  "payload structure mismatch");
-    if (m == kPlain)
-      OF_CHECK_MSG(f.size() - off == total * sizeof(float),
+    if (plain_mode(m))
+      OF_CHECK_MSG(f.size() - off == total * plain_elem_size(m),
                    "trailing bytes in plain payload");
     body_off[fi] = off;
   }
@@ -496,17 +591,18 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
   FramePool::FloatHandle acc = p.acquire_floats(total);
   std::fill(acc->begin(), acc->end(), 0.0f);
 
-  if (mode == kPlain && agg_parallel(total)) {
+  const std::size_t elem = plain_elem_size(mode);
+  if (plain_mode(mode) && agg_parallel(total)) {
     // Shard coordinates across the pool; each shard walks the frames in
     // arrival order, so every element sees the exact serial accumulation
     // order and the mean is bitwise identical to the serial path.
     exec::Pool::global().parallel_for(total, 0, [&](std::size_t lo, std::size_t hi) {
       FloatSpan dst = FloatSpan(*acc).subspan(lo, hi - lo);
       for (std::size_t fi = 0; fi < frames.size(); ++fi)
-        tensor::add_scaled_from_bytes(
-            frames[fi].subspan(body_off[fi] + lo * sizeof(float),
-                               (hi - lo) * sizeof(float)),
-            1.0, dst);
+        accum_plain_bytes(mode,
+                          frames[fi].subspan(body_off[fi] + lo * elem,
+                                             (hi - lo) * elem),
+                          1.0, dst);
     });
   } else if (mode == kCompressed && agg_parallel(total)) {
     // Codecs may keep internal scratch, so decoding stays on this thread
@@ -522,28 +618,23 @@ std::vector<Tensor> mean_updates(const std::vector<Bytes>& raw_frames,
     }
     float* a = acc->data();
     exec::Pool::global().parallel_for(total, 0, [&](std::size_t lo, std::size_t hi) {
-      for (const auto& d : decoded) {
-        const float* s = d->data();
-        for (std::size_t i = lo; i < hi; ++i) a[i] += s[i];
-      }
+      for (const auto& d : decoded) simd::add(a + lo, d->data() + lo, hi - lo);
     });
   } else {
-    FramePool::FloatHandle scratch;  // compressed path only
-    if (mode == kCompressed) scratch = p.acquire_floats(total);
+    FramePool::FloatHandle scratch;  // non-plain path only
+    if (!plain_mode(mode)) scratch = p.acquire_floats(total);
     for (std::size_t fi = 0; fi < frames.size(); ++fi) {
       const ConstByteSpan f = frames[fi];
-      if (mode == kPlain) {
-        tensor::add_scaled_from_bytes(f.subspan(body_off[fi]), 1.0, FloatSpan(*acc));
+      if (plain_mode(mode)) {
+        accum_plain_bytes(mode, f.subspan(body_off[fi]), 1.0, FloatSpan(*acc));
       } else {
         decode_body_into(f, body_off[fi], mode, total, decompressor,
                          FloatSpan(*scratch));
-        float* a = acc->data();
-        const float* s = scratch->data();
-        for (std::size_t i = 0; i < total; ++i) a[i] += s[i];
+        simd::add(acc->data(), scratch->data(), total);
       }
     }
   }
-  for (float& v : *acc) v *= inv_k;
+  simd::scale(acc->data(), inv_k, total);
   return split_flat(ConstFloatSpan(*acc), shapes);
 }
 

@@ -2,12 +2,16 @@
 // wire frame and back, threading it through the optional compression and
 // privacy plugins. The frame is self-describing:
 //
-//   u8 mode (0 plain | 1 compressed | 2 privacy)
+//   u8 mode (0 plain | 1 compressed | 2 privacy | 3 skip | 4 plain-f16)
 //   u32 ntensors | per tensor: u32 ndim, u64 dims[]      (shape manifest)
 //   mode-specific body
 //
 // plain      — raw float data of the concatenated tensors
+// plain-f16  — the same data in the fp16 wire representation (RTNE halves;
+//              2 bytes/elem), selected by `payload: {wire: f16}`
 // compressed — codec name + Compressed payload of the flat concat
+//              (QSGD's int8/int16 codes — the fused quantize-on-the-wire
+//              path produces them without an intermediate float frame)
 // privacy    — PrivacyMechanism::protect() output of the flat concat
 //
 // The aggregator recovers the *weighted mean* of the client payloads: for
@@ -38,19 +42,44 @@ struct PayloadPlugins {
   privacy::PrivacyMechanism* privacy = nullptr;    // shared mechanism
 };
 
+// Wire representation of *plain* float payloads. F16 halves plain-frame
+// traffic (RTNE conversion on encode, exact widening on decode); compressed
+// frames carry their codec's own representation (QSGD int8/int16) and
+// ignore this knob. Decoders dispatch on the frame's mode byte, and partial
+// frames additionally announce the repr as a TLV header field (tag 2) that
+// pre-tag decoders skip — mixed-version fleets keep working as long as the
+// sender only enables f16 when its receivers understand mode 4.
+enum class WireRepr : std::uint8_t { F32 = 0, F16 = 1 };
+
+// The `payload:` config group (configs/payload/{f32,f16}.yaml):
+//   payload: {wire: f32|f16}
+struct PayloadConfig {
+  WireRepr wire = WireRepr::F32;
+
+  static PayloadConfig from_config(const config::ConfigNode& node, bool strict = true);
+};
+
 // Client side: encode `payload`, pre-scaled by `weight_scale` so that the
 // aggregator's uniform mean equals the intended weighted mean. The scale is
 // applied in double during the flatten (narrowing it to float first loses
 // the low bits of per-client sample weights). Clears and rewrites `out`
 // (typically a pooled frame, so capacity persists across rounds); `pool`
 // provides the flat/body scratch buffers the plugin paths need.
+//
+// Numeric admission: a NaN/Inf coordinate anywhere in `payload` throws
+// of::NonFiniteUpdateError carrying the flat coordinate and `client_id` —
+// callers turn it into a skip frame so the aggregator drops this client
+// like any other non-contributor instead of letting one poisoned value
+// spread through the aggregate. The screen is fused into the flatten store
+// (simd::scale_store), so it costs no extra pass.
 void encode_update_into(const std::vector<Tensor>& payload, double weight_scale,
                         const PayloadPlugins& plugins, int client_id, int num_clients,
-                        FramePool& pool, Bytes& out);
+                        FramePool& pool, Bytes& out, WireRepr repr = WireRepr::F32);
 
 // Owning convenience for tests and cold paths.
 Bytes encode_update(const std::vector<Tensor>& payload, double weight_scale,
-                    const PayloadPlugins& plugins, int client_id, int num_clients);
+                    const PayloadPlugins& plugins, int client_id, int num_clients,
+                    WireRepr repr = WireRepr::F32);
 
 // A tiny marker frame from a client that sits this round out (partial
 // participation). mean_updates skips such frames and divides by the number
@@ -91,6 +120,10 @@ std::vector<Tensor> robust_combine(const std::vector<Bytes>& frames,
 // u64 count (still accepted). Tags are wire ABI — append only.
 struct PartialHeader {
   std::uint64_t count = 0;  // client contributions folded into the body
+  // Wire repr of a *plain* body (mode 0/4); compressed bodies keep F32 here
+  // and self-describe via their codec. Pre-tag decoders skip this TLV field
+  // (tag 2) and dispatch on the body's mode byte alone.
+  WireRepr repr = WireRepr::F32;
 };
 
 // Streaming partial-sum accumulator — the combiner tier's aggregation state
@@ -117,9 +150,10 @@ class StreamingSum {
   // Emit `scale × sum` plus the header as a partial frame:
   //   u32 "OFP2" | u32 header_len | TLV(PartialHeader) | update frame
   // (skip marker body when count == 0). add_partial also accepts the v1
-  // form `u64 count | update frame`.
+  // form `u64 count | update frame`. With repr == F16 (and no compressor)
+  // the body is a plain-f16 frame, announced via the header's repr field.
   void encode_partial_into(double scale, compression::Compressor* compressor,
-                           Bytes& out);
+                           Bytes& out, WireRepr repr = WireRepr::F32);
   // sum / count in the original tensor-list structure. Consumes the
   // accumulator (it then holds the mean); reset() before reuse.
   std::vector<Tensor> finish_mean();
@@ -150,6 +184,20 @@ std::vector<Tensor> unpack_tensors(const Bytes& b);
 }  // namespace of::core
 
 template <>
+struct of::refl::EnumNames<of::core::WireRepr> {
+  static constexpr std::pair<of::core::WireRepr, const char*> names[] = {
+      {of::core::WireRepr::F32, "f32"},
+      {of::core::WireRepr::F16, "f16"},
+  };
+};
+
+template <>
 struct of::refl::Reflect<of::core::PartialHeader> {
-  OF_REFL_FIELDS(field("count", &of::core::PartialHeader::count, 1))
+  OF_REFL_FIELDS(field("count", &of::core::PartialHeader::count, 1),
+                 field("repr", &of::core::PartialHeader::repr, 2))
+};
+
+template <>
+struct of::refl::Reflect<of::core::PayloadConfig> {
+  OF_REFL_FIELDS(field("wire", &of::core::PayloadConfig::wire, 1))
 };

@@ -32,15 +32,19 @@
 
 #include "config/node.hpp"
 #include "refl/refl.hpp"
+#include "simd/simd.hpp"
 
 namespace of::exec {
 
 // The `exec:` config group (configs/exec/{serial,parallel}.yaml):
-//   exec: {threads: N, grain: M}
-// threads=0 asks for one thread per hardware core.
+//   exec: {threads: N, grain: M, simd: auto|off}
+// threads=0 asks for one thread per hardware core. `simd` selects the
+// of::simd kernel table (auto binds AVX2 when the CPU has it; results are
+// bitwise identical either way — see simd/simd.hpp).
 struct ExecConfig {
   std::size_t threads = 1;
   std::size_t grain = 4096;
+  simd::Mode simd = simd::Mode::Auto;
 
   static ExecConfig from_config(const config::ConfigNode& node, bool strict = true);
 };
@@ -145,5 +149,6 @@ class Pool {
 template <>
 struct of::refl::Reflect<of::exec::ExecConfig> {
   OF_REFL_FIELDS(field("threads", &of::exec::ExecConfig::threads, 1),
-                 field("grain", &of::exec::ExecConfig::grain, 2))
+                 field("grain", &of::exec::ExecConfig::grain, 2),
+                 field("simd", &of::exec::ExecConfig::simd, 3))
 };

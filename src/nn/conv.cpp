@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "simd/simd.hpp"
 
 namespace of::nn {
 
@@ -44,26 +45,48 @@ Tensor Conv2d::forward(const Tensor& x) {
   cached_input_ = x;
   const std::size_t batch = x.size(0);
   Tensor y({batch, out_.features()});
+  const float* xd = x.data();
+  float* yd = y.data();
+  const std::size_t in_feat = in_.features();
+  const std::size_t out_feat = out_.features();
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(padding_);
+  // Tap-major formulation: initialize each output plane to the bias, then
+  // one axpy per (ic, ki, kj) kernel tap over every valid output row
+  // segment. Each output element receives its taps in the same
+  // lexicographic (ic, ki, kj) order as the former per-pixel gather loop,
+  // and zero-padding taps contribute nothing, so the per-element sum is the
+  // same for any SIMD/thread configuration.
   const auto sample_range = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t b = lo; b < hi; ++b) {
+      const float* xs = xd + b * in_feat;
+      float* ys = yd + b * out_feat;
       for (std::size_t oc = 0; oc < out_.channels; ++oc) {
-        for (std::size_t oi = 0; oi < out_.height; ++oi) {
-          for (std::size_t oj = 0; oj < out_.width; ++oj) {
-            float acc = bias_.value[oc];
-            for (std::size_t ic = 0; ic < in_.channels; ++ic) {
-              for (std::size_t ki = 0; ki < kernel_; ++ki) {
-                for (std::size_t kj = 0; kj < kernel_; ++kj) {
-                  const float w =
-                      weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
-                  acc += w * in_at(x, b, ic,
-                                   static_cast<std::ptrdiff_t>(oi + ki) -
-                                       static_cast<std::ptrdiff_t>(padding_),
-                                   static_cast<std::ptrdiff_t>(oj + kj) -
-                                       static_cast<std::ptrdiff_t>(padding_));
-                }
+        float* yplane = ys + oc * out_.height * out_.width;
+        std::fill_n(yplane, out_.height * out_.width, bias_.value[oc]);
+        for (std::size_t ic = 0; ic < in_.channels; ++ic) {
+          const float* xplane = xs + ic * in_.height * in_.width;
+          for (std::size_t ki = 0; ki < kernel_; ++ki) {
+            for (std::size_t kj = 0; kj < kernel_; ++kj) {
+              const float w = weight_.value(oc, (ic * kernel_ + ki) * kernel_ + kj);
+              // Output columns whose input column oj + kj - pad is in range.
+              const std::ptrdiff_t cj = static_cast<std::ptrdiff_t>(kj) - pad;
+              const std::size_t oj_lo = cj < 0 ? static_cast<std::size_t>(-cj) : 0;
+              const std::ptrdiff_t oj_hi =
+                  std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(out_.width),
+                                           static_cast<std::ptrdiff_t>(in_.width) - cj);
+              if (oj_hi <= static_cast<std::ptrdiff_t>(oj_lo)) continue;
+              const std::size_t len = static_cast<std::size_t>(oj_hi) - oj_lo;
+              for (std::size_t oi = 0; oi < out_.height; ++oi) {
+                const std::ptrdiff_t ii =
+                    static_cast<std::ptrdiff_t>(oi + ki) - pad;
+                if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(in_.height)) continue;
+                simd::axpy(yplane + oi * out_.width + oj_lo,
+                           xplane + static_cast<std::size_t>(ii) * in_.width +
+                               static_cast<std::size_t>(
+                                   static_cast<std::ptrdiff_t>(oj_lo) + cj),
+                           w, len);
               }
             }
-            y(b, (oc * out_.height + oi) * out_.width + oj) = acc;
           }
         }
       }

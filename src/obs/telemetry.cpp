@@ -20,17 +20,17 @@ constexpr std::uint32_t kTlvTailMagic = 0x3254464Fu;  // "OFT2"
 constexpr std::uint16_t kTlvVersion = 2;
 constexpr std::size_t kTlvTrailerBytes = 12;
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+void put_u16(AlignedBytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
 }
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+void put_u32(AlignedBytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+void put_u64(AlignedBytes& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
-void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+void put_i64(AlignedBytes& out, std::int64_t v) {
   put_u64(out, static_cast<std::uint64_t>(v));
 }
 
@@ -104,7 +104,7 @@ void prom_families(std::ostream& os, const char* prefix, const char* label_key,
 
 }  // namespace
 
-void TelemetrySummary::serialize_to(std::vector<std::uint8_t>& out) const {
+void TelemetrySummary::serialize_to(AlignedBytes& out) const {
   const std::size_t before = out.size();
   put_u32(out, kTelemetryMagic);
   put_u16(out, kTelemetryVersion);
@@ -130,7 +130,7 @@ void TelemetrySummary::serialize_to(std::vector<std::uint8_t>& out) const {
   static_assert(TelemetrySummary::kWireBytes == 216, "wire layout drifted");
 }
 
-void TelemetrySummary::serialize_tlv_to(std::vector<std::uint8_t>& out) const {
+void TelemetrySummary::serialize_tlv_to(AlignedBytes& out) const {
   refl::tlv::Bytes payload;
   refl::tlv::encode(*this, payload);
   out.insert(out.end(), payload.begin(), payload.end());

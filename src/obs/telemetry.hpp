@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "obs/context.hpp"
 #include "refl/refl.hpp"
 
@@ -62,14 +63,14 @@ struct TelemetrySummary {
       kPhaseCount * 3 * 8;           // phase digests
 
   // Append the fixed-size v1 blob to `out` (always exactly kWireBytes).
-  void serialize_to(std::vector<std::uint8_t>& out) const;
+  void serialize_to(AlignedBytes& out) const;
 
   // Append the v2 blob: the TLV records of every descriptor field
   // followed by a fixed 12-byte trailer (payload_len, version, magic) so
   // the coordinator can strip a variable-size tail from the frame end.
   // Unknown tags are skipped on decode, so mixed-version fleets
   // interoperate in both directions (DESIGN.md §13).
-  void serialize_tlv_to(std::vector<std::uint8_t>& out) const;
+  void serialize_tlv_to(AlignedBytes& out) const;
 
   // Parse a blob from the tail of [data, data+len): first the v2 TLV
   // trailer, then the fixed v1 layout as fallback. Returns nullopt if the

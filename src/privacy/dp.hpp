@@ -57,6 +57,7 @@ class DifferentialPrivacy final : public PrivacyMechanism {
   double sigma_;
   Rng rng_;
   CompositionAccountant accountant_;
+  std::vector<float> noise_;  // per-call draws: serial RNG, SIMD clip+add store
 };
 
 }  // namespace of::privacy

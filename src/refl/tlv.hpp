@@ -20,11 +20,14 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "refl/refl.hpp"
 
 namespace of::refl::tlv {
 
-using Bytes = std::vector<std::uint8_t>;
+// Same aligned buffer type as tensor::Bytes, so TLV records append onto
+// wire frames directly.
+using Bytes = AlignedBytes;
 
 inline void put_u16(Bytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));

@@ -1,0 +1,727 @@
+// Kernel tables for the of::simd facade. Compiled with -ffp-contract=off
+// (see CMakeLists.txt): the scalar mirrors below must round every mul+add
+// pair separately, exactly like the non-FMA intrinsics, or the two tables
+// would diverge in the last bit.
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define OF_SIMD_X86 1
+#endif
+
+namespace of::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar table — the reference semantics. Every AVX2 kernel is a lane-wise
+// transcription of exactly these loops.
+// ---------------------------------------------------------------------------
+namespace sc {
+
+void add(float* d, const float* o, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] += o[i];
+}
+void sub(float* d, const float* o, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] -= o[i];
+}
+void mul(float* d, const float* o, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] *= o[i];
+}
+void div(float* d, const float* o, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] /= o[i];
+}
+void axpy(float* d, const float* o, float alpha, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+}
+void scale(float* d, float v, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] *= v;
+}
+void add_scalar(float* d, float v, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) d[i] += v;
+}
+void clamp(float* d, float lo, float hi, std::size_t n) noexcept {
+  // Intrinsic operand order: maxps(d, lo) = (d > lo) ? d : lo, then
+  // minps(t, hi) = (t < hi) ? t : hi. NaN inputs resolve to lo on both
+  // tables (comparisons with NaN are false → second operand).
+  for (std::size_t i = 0; i < n; ++i) {
+    const float t = (d[i] > lo) ? d[i] : lo;
+    d[i] = (t < hi) ? t : hi;
+  }
+}
+void accum_weighted(float* acc, const float* s, float w, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += s[i] * w;
+}
+
+bool scale_store(float* dst, const float* src, double scale, std::size_t n) noexcept {
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    ok &= std::isfinite(src[i]);
+    dst[i] = static_cast<float>(static_cast<double>(src[i]) * scale);
+  }
+  return ok;
+}
+
+bool scale_store_bytes(std::uint8_t* dst, const float* src, double scale,
+                       std::size_t n) noexcept {
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    ok &= std::isfinite(src[i]);
+    const float v = static_cast<float>(static_cast<double>(src[i]) * scale);
+    std::memcpy(dst + i * sizeof(float), &v, sizeof(float));
+  }
+  return ok;
+}
+
+// Round-to-nearest-even float→half, bit-for-bit VCVTPS2PH: subnormal halves
+// are produced (no FTZ), overflow rounds to inf, NaNs come out quiet with
+// the payload's top 10 bits.
+std::uint16_t f32_to_f16_one(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t a = x & 0x7fffffffu;
+  if (a >= 0x7f800000u)  // inf / NaN (quiet bit forced, payload truncated)
+    return static_cast<std::uint16_t>(
+        sign | (a == 0x7f800000u ? 0x7c00u : (0x7e00u | ((a >> 13) & 0x3ffu))));
+  if (a >= 0x47800000u) return static_cast<std::uint16_t>(sign | 0x7c00u);  // ≥ 2^16 → inf
+  if (a >= 0x38800000u) {
+    // Normal half (values in [65520, 65536) carry into the exponent → inf).
+    const std::uint32_t lsb = (a >> 13) & 1u;
+    const std::uint32_t rounded = a + 0x00000fffu + lsb;
+    return static_cast<std::uint16_t>(sign | ((rounded >> 13) - (112u << 10)));
+  }
+  // Subnormal half or zero: value / 2^-24 is an exact float ≤ 1024 (the
+  // boundary lands on the smallest normal), rounded to int in the default
+  // RN mode. |f| * 2^24 is exact — a power-of-two scale of a small value.
+  float af;
+  std::memcpy(&af, &a, sizeof(af));
+  return static_cast<std::uint16_t>(
+      sign | static_cast<std::uint32_t>(std::lrintf(af * 0x1p24f)));
+}
+
+float f16_to_f32_one(std::uint16_t h) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t em = h & 0x7fffu;
+  std::uint32_t bits;
+  if (em >= 0x7c00u) {
+    // inf / NaN — VCVTPH2PS quiets SNaNs, keeping the payload.
+    bits = sign | 0x7f800000u |
+           (em > 0x7c00u ? (0x00400000u | ((em & 0x3ffu) << 13)) : 0u);
+  } else if (em >= 0x0400u) {
+    bits = sign | ((em + (112u << 10)) << 13);  // normal: rebias
+  } else if (em == 0u) {
+    bits = sign;
+  } else {
+    // Subnormal: em * 2^-24 converts exactly (small integer × power of two).
+    const float f = static_cast<float>(em) * 0x1p-24f;
+    std::memcpy(&bits, &f, sizeof(bits));
+    bits |= sign;
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+bool scale_store_f16_bytes(std::uint8_t* dst, const float* src, double scale,
+                           std::size_t n) noexcept {
+  bool ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    ok &= std::isfinite(src[i]);
+    const float v = static_cast<float>(static_cast<double>(src[i]) * scale);
+    const std::uint16_t h = f32_to_f16_one(v);
+    std::memcpy(dst + i * sizeof(std::uint16_t), &h, sizeof(h));
+  }
+  return ok;
+}
+
+void accum_scaled_bytes(float* acc, const std::uint8_t* src, double alpha,
+                        std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    float v;
+    std::memcpy(&v, src + i * sizeof(float), sizeof(v));
+    acc[i] += static_cast<float>(alpha * static_cast<double>(v));
+  }
+}
+
+void accum_scaled_f16_bytes(float* acc, const std::uint8_t* src, double alpha,
+                            std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint16_t h;
+    std::memcpy(&h, src + i * sizeof(h), sizeof(h));
+    acc[i] += static_cast<float>(alpha * static_cast<double>(f16_to_f32_one(h)));
+  }
+}
+
+double sum_squares(const float* x, std::size_t n) noexcept {
+  // Fixed 4-lane double accumulation: lane j holds elements i ≡ j (mod 4);
+  // lanes fold left-to-right, the tail is appended serially. The AVX2 twin
+  // is one 4×double register doing literally this.
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double d = static_cast<double>(x[i + j]);
+      lane[j] += d * d;
+    }
+  }
+  double acc = ((lane[0] + lane[1]) + lane[2]) + lane[3];
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = static_cast<double>(x[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+void f32_to_f16(std::uint16_t* dst, const float* src, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32_to_f16_one(src[i]);
+}
+void f16_to_f32(float* dst, const std::uint16_t* src, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f16_to_f32_one(src[i]);
+}
+
+template <class Code>
+void qsgd_quantize(Code* codes, const float* v, const float* draws, float norm,
+                   float s, std::uint32_t max_level, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(v[i]) / norm * s;
+    const float fa = std::floor(a);
+    std::uint32_t level = static_cast<std::uint32_t>(fa);
+    if (draws[i] < a - fa) ++level;
+    if (level > max_level) level = max_level;
+    codes[i] = static_cast<Code>(v[i] < 0.0f ? -static_cast<int>(level)
+                                             : static_cast<int>(level));
+  }
+}
+
+void qsgd_quantize_i8(std::int8_t* codes, const float* v, const float* draws,
+                      float norm, float s, std::uint32_t max_level,
+                      std::size_t n) noexcept {
+  qsgd_quantize<std::int8_t>(codes, v, draws, norm, s, max_level, n);
+}
+void qsgd_quantize_i16(std::int16_t* codes, const float* v, const float* draws,
+                       float norm, float s, std::uint32_t max_level,
+                       std::size_t n) noexcept {
+  qsgd_quantize<std::int16_t>(codes, v, draws, norm, s, max_level, n);
+}
+
+template <class Code>
+void qsgd_dequantize(float* out, const std::uint8_t* codes, float norm, float s,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    Code c;
+    std::memcpy(&c, codes + i * sizeof(Code), sizeof(c));
+    out[i] = norm * static_cast<float>(c) / s;
+  }
+}
+
+void qsgd_dequantize_i8(float* out, const std::uint8_t* codes, float norm, float s,
+                        std::size_t n) noexcept {
+  qsgd_dequantize<std::int8_t>(out, codes, norm, s, n);
+}
+void qsgd_dequantize_i16(float* out, const std::uint8_t* codes, float norm, float s,
+                         std::size_t n) noexcept {
+  qsgd_dequantize<std::int16_t>(out, codes, norm, s, n);
+}
+
+void mul_add_store_bytes(std::uint8_t* dst, const float* u, float clip_scale,
+                         const float* noise, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = u[i] * clip_scale + noise[i];
+    std::memcpy(dst + i * sizeof(float), &v, sizeof(v));
+  }
+}
+
+}  // namespace sc
+
+// ---------------------------------------------------------------------------
+// AVX2 table. Each kernel runs the scalar loop on the tail; the vector body
+// performs the identical arithmetic lane-wise, without FMA.
+// ---------------------------------------------------------------------------
+#ifdef OF_SIMD_X86
+
+#define OF_AVX2 __attribute__((target("avx2")))
+#define OF_AVX2_F16C __attribute__((target("avx2,f16c")))
+
+namespace v2 {
+
+OF_AVX2 void add(float* d, const float* o, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_add_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(o + i)));
+  sc::add(d + i, o + i, n - i);
+}
+OF_AVX2 void sub(float* d, const float* o, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_sub_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(o + i)));
+  sc::sub(d + i, o + i, n - i);
+}
+OF_AVX2 void mul(float* d, const float* o, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(o + i)));
+  sc::mul(d + i, o + i, n - i);
+}
+OF_AVX2 void div(float* d, const float* o, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_div_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(o + i)));
+  sc::div(d + i, o + i, n - i);
+}
+OF_AVX2 void axpy(float* d, const float* o, float alpha, std::size_t n) noexcept {
+  const __m256 av = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        d + i, _mm256_add_ps(_mm256_loadu_ps(d + i),
+                             _mm256_mul_ps(av, _mm256_loadu_ps(o + i))));
+  sc::axpy(d + i, o + i, alpha, n - i);
+}
+OF_AVX2 void scale(float* d, float v, std::size_t n) noexcept {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(d + i), vv));
+  sc::scale(d + i, v, n - i);
+}
+OF_AVX2 void add_scalar(float* d, float v, std::size_t n) noexcept {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(d + i, _mm256_add_ps(_mm256_loadu_ps(d + i), vv));
+  sc::add_scalar(d + i, v, n - i);
+}
+OF_AVX2 void clamp(float* d, float lo, float hi, std::size_t n) noexcept {
+  const __m256 lov = _mm256_set1_ps(lo), hiv = _mm256_set1_ps(hi);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_max_ps(_mm256_loadu_ps(d + i), lov);
+    _mm256_storeu_ps(d + i, _mm256_min_ps(t, hiv));
+  }
+  sc::clamp(d + i, lo, hi, n - i);
+}
+OF_AVX2 void accum_weighted(float* acc, const float* s, float w, std::size_t n) noexcept {
+  const __m256 wv = _mm256_set1_ps(w);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                               _mm256_mul_ps(_mm256_loadu_ps(s + i), wv)));
+  sc::accum_weighted(acc + i, s + i, w, n - i);
+}
+
+// dst8 = float(double(src8) * scale); also ANDs the finite mask of src into
+// `ok`. Shared body of the three scale-store variants.
+OF_AVX2 inline __m256 scale8_f64(const float* src, __m256d scale2, bool& ok) noexcept {
+  const __m256 x = _mm256_loadu_ps(src);
+  // x - x is 0 for finite values, NaN for ±inf/NaN.
+  const __m256 diff = _mm256_sub_ps(x, x);
+  const __m256 fin = _mm256_cmp_ps(diff, _mm256_setzero_ps(), _CMP_EQ_OQ);
+  ok &= _mm256_movemask_ps(fin) == 0xff;
+  const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(x));
+  const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1));
+  const __m128 rlo = _mm256_cvtpd_ps(_mm256_mul_pd(lo, scale2));
+  const __m128 rhi = _mm256_cvtpd_ps(_mm256_mul_pd(hi, scale2));
+  return _mm256_set_m128(rhi, rlo);
+}
+
+OF_AVX2 bool scale_store(float* dst, const float* src, double scale,
+                         std::size_t n) noexcept {
+  const __m256d sv = _mm256_set1_pd(scale);
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) _mm256_storeu_ps(dst + i, scale8_f64(src + i, sv, ok));
+  ok &= sc::scale_store(dst + i, src + i, scale, n - i);
+  return ok;
+}
+OF_AVX2 bool scale_store_bytes(std::uint8_t* dst, const float* src, double scale,
+                               std::size_t n) noexcept {
+  const __m256d sv = _mm256_set1_pd(scale);
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = scale8_f64(src + i, sv, ok);
+    _mm256_storeu_ps(reinterpret_cast<float*>(dst + i * sizeof(float)), r);
+  }
+  ok &= sc::scale_store_bytes(dst + i * sizeof(float), src + i, scale, n - i);
+  return ok;
+}
+OF_AVX2_F16C bool scale_store_f16_bytes(std::uint8_t* dst, const float* src,
+                                        double scale, std::size_t n) noexcept {
+  const __m256d sv = _mm256_set1_pd(scale);
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = scale8_f64(src + i, sv, ok);
+    const __m128i h = _mm256_cvtps_ph(r, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * sizeof(std::uint16_t)), h);
+  }
+  ok &= sc::scale_store_f16_bytes(dst + i * sizeof(std::uint16_t), src + i, scale,
+                                  n - i);
+  return ok;
+}
+
+OF_AVX2 void accum_scaled_bytes(float* acc, const std::uint8_t* src, double alpha,
+                                std::size_t n) noexcept {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x =
+        _mm256_loadu_ps(reinterpret_cast<const float*>(src + i * sizeof(float)));
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(x));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1));
+    const __m128 rlo = _mm256_cvtpd_ps(_mm256_mul_pd(lo, av));
+    const __m128 rhi = _mm256_cvtpd_ps(_mm256_mul_pd(hi, av));
+    const __m256 r = _mm256_set_m128(rhi, rlo);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), r));
+  }
+  sc::accum_scaled_bytes(acc + i, src + i * sizeof(float), alpha, n - i);
+}
+
+OF_AVX2_F16C void accum_scaled_f16_bytes(float* acc, const std::uint8_t* src,
+                                         double alpha, std::size_t n) noexcept {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + i * sizeof(std::uint16_t)));
+    const __m256 x = _mm256_cvtph_ps(h);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(x));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1));
+    const __m128 rlo = _mm256_cvtpd_ps(_mm256_mul_pd(lo, av));
+    const __m128 rhi = _mm256_cvtpd_ps(_mm256_mul_pd(hi, av));
+    const __m256 r = _mm256_set_m128(rhi, rlo);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), r));
+  }
+  sc::accum_scaled_f16_bytes(acc + i, src + i * sizeof(std::uint16_t), alpha, n - i);
+}
+
+OF_AVX2 double sum_squares(const float* x, std::size_t n) noexcept {
+  __m256d acc4 = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc4 = _mm256_add_pd(acc4, _mm256_mul_pd(d, d));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc4);
+  double acc = ((lane[0] + lane[1]) + lane[2]) + lane[3];
+  for (std::size_t i = n4; i < n; ++i) {
+    const double d = static_cast<double>(x[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+OF_AVX2_F16C void f32_to_f16(std::uint16_t* dst, const float* src,
+                             std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm256_cvtps_ph(_mm256_loadu_ps(src + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  sc::f32_to_f16(dst + i, src + i, n - i);
+}
+OF_AVX2_F16C void f16_to_f32(float* dst, const std::uint16_t* src,
+                             std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  sc::f16_to_f32(dst + i, src + i, n - i);
+}
+
+// 8 QSGD level codes (sign folded) as int32 lanes — shared by the i8/i16
+// packers. Lane-wise transcription of sc::qsgd_quantize.
+OF_AVX2 inline __m256i qsgd_levels8(const float* v, const float* draws, __m256 normv,
+                                    __m256 sv, __m256i maxv) noexcept {
+  const __m256 x = _mm256_loadu_ps(v);
+  const __m256 absx =
+      _mm256_and_ps(x, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff)));
+  const __m256 a = _mm256_mul_ps(_mm256_div_ps(absx, normv), sv);
+  const __m256 fa = _mm256_floor_ps(a);
+  const __m256 frac = _mm256_sub_ps(a, fa);
+  __m256i level = _mm256_cvttps_epi32(fa);
+  // draw < frac → mask is all-ones → subtracting it adds 1.
+  const __m256i up = _mm256_castps_si256(
+      _mm256_cmp_ps(_mm256_loadu_ps(draws), frac, _CMP_LT_OQ));
+  level = _mm256_sub_epi32(level, up);
+  level = _mm256_min_epu32(level, maxv);
+  // v < 0 → negate via (level ^ mask) - mask (two's complement).
+  const __m256i neg =
+      _mm256_castps_si256(_mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_LT_OQ));
+  return _mm256_sub_epi32(_mm256_xor_si256(level, neg), neg);
+}
+
+OF_AVX2 void qsgd_quantize_i8(std::int8_t* codes, const float* v, const float* draws,
+                              float norm, float s, std::uint32_t max_level,
+                              std::size_t n) noexcept {
+  const __m256 normv = _mm256_set1_ps(norm), sv = _mm256_set1_ps(s);
+  const __m256i maxv = _mm256_set1_epi32(static_cast<int>(max_level));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i lv = qsgd_levels8(v + i, draws + i, normv, sv, maxv);
+    const __m128i lo = _mm256_castsi256_si128(lv);
+    const __m128i hi = _mm256_extracti128_si256(lv, 1);
+    // Values are in [-127, 127] (max_level ≤ 127), so saturating packs are
+    // exact narrowing.
+    const __m128i w = _mm_packs_epi32(lo, hi);
+    const __m128i b = _mm_packs_epi16(w, w);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(codes + i), b);
+  }
+  sc::qsgd_quantize_i8(codes + i, v + i, draws + i, norm, s, max_level, n - i);
+}
+OF_AVX2 void qsgd_quantize_i16(std::int16_t* codes, const float* v,
+                               const float* draws, float norm, float s,
+                               std::uint32_t max_level, std::size_t n) noexcept {
+  const __m256 normv = _mm256_set1_ps(norm), sv = _mm256_set1_ps(s);
+  const __m256i maxv = _mm256_set1_epi32(static_cast<int>(max_level));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i lv = qsgd_levels8(v + i, draws + i, normv, sv, maxv);
+    const __m128i lo = _mm256_castsi256_si128(lv);
+    const __m128i hi = _mm256_extracti128_si256(lv, 1);
+    const __m128i w = _mm_packs_epi32(lo, hi);  // exact: |level| ≤ 32767
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(codes + i), w);
+  }
+  sc::qsgd_quantize_i16(codes + i, v + i, draws + i, norm, s, max_level, n - i);
+}
+
+OF_AVX2 void qsgd_dequantize_i8(float* out, const std::uint8_t* codes, float norm,
+                                float s, std::size_t n) noexcept {
+  const __m256 normv = _mm256_set1_ps(norm), sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+    _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_mul_ps(normv, f), sv));
+  }
+  sc::qsgd_dequantize_i8(out + i, codes + i, norm, s, n - i);
+}
+OF_AVX2 void qsgd_dequantize_i16(float* out, const std::uint8_t* codes, float norm,
+                                 float s, std::size_t n) noexcept {
+  const __m256 normv = _mm256_set1_ps(norm), sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i w = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(codes + i * sizeof(std::int16_t)));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(w));
+    _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_mul_ps(normv, f), sv));
+  }
+  sc::qsgd_dequantize_i16(out + i, codes + i * sizeof(std::int16_t), norm, s, n - i);
+}
+
+OF_AVX2 void mul_add_store_bytes(std::uint8_t* dst, const float* u, float clip_scale,
+                                 const float* noise, std::size_t n) noexcept {
+  const __m256 cs = _mm256_set1_ps(clip_scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 r = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(u + i), cs),
+                                   _mm256_loadu_ps(noise + i));
+    _mm256_storeu_ps(reinterpret_cast<float*>(dst + i * sizeof(float)), r);
+  }
+  sc::mul_add_store_bytes(dst + i * sizeof(float), u + i, clip_scale, noise + i,
+                          n - i);
+}
+
+}  // namespace v2
+
+#endif  // OF_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+struct Table {
+  const char* level;
+  void (*add)(float*, const float*, std::size_t) noexcept;
+  void (*sub)(float*, const float*, std::size_t) noexcept;
+  void (*mul)(float*, const float*, std::size_t) noexcept;
+  void (*div)(float*, const float*, std::size_t) noexcept;
+  void (*axpy)(float*, const float*, float, std::size_t) noexcept;
+  void (*scale)(float*, float, std::size_t) noexcept;
+  void (*add_scalar)(float*, float, std::size_t) noexcept;
+  void (*clamp)(float*, float, float, std::size_t) noexcept;
+  void (*accum_weighted)(float*, const float*, float, std::size_t) noexcept;
+  bool (*scale_store)(float*, const float*, double, std::size_t) noexcept;
+  bool (*scale_store_bytes)(std::uint8_t*, const float*, double, std::size_t) noexcept;
+  bool (*scale_store_f16_bytes)(std::uint8_t*, const float*, double,
+                                std::size_t) noexcept;
+  void (*accum_scaled_bytes)(float*, const std::uint8_t*, double, std::size_t) noexcept;
+  void (*accum_scaled_f16_bytes)(float*, const std::uint8_t*, double,
+                                 std::size_t) noexcept;
+  double (*sum_squares)(const float*, std::size_t) noexcept;
+  void (*f32_to_f16)(std::uint16_t*, const float*, std::size_t) noexcept;
+  void (*f16_to_f32)(float*, const std::uint16_t*, std::size_t) noexcept;
+  void (*qsgd_quantize_i8)(std::int8_t*, const float*, const float*, float, float,
+                           std::uint32_t, std::size_t) noexcept;
+  void (*qsgd_quantize_i16)(std::int16_t*, const float*, const float*, float, float,
+                            std::uint32_t, std::size_t) noexcept;
+  void (*qsgd_dequantize_i8)(float*, const std::uint8_t*, float, float,
+                             std::size_t) noexcept;
+  void (*qsgd_dequantize_i16)(float*, const std::uint8_t*, float, float,
+                              std::size_t) noexcept;
+  void (*mul_add_store_bytes)(std::uint8_t*, const float*, float, const float*,
+                              std::size_t) noexcept;
+};
+
+constexpr Table kScalarTable = {
+    "scalar",          sc::add,
+    sc::sub,           sc::mul,
+    sc::div,           sc::axpy,
+    sc::scale,         sc::add_scalar,
+    sc::clamp,         sc::accum_weighted,
+    sc::scale_store,   sc::scale_store_bytes,
+    sc::scale_store_f16_bytes,
+    sc::accum_scaled_bytes,
+    sc::accum_scaled_f16_bytes,
+    sc::sum_squares,   sc::f32_to_f16,
+    sc::f16_to_f32,    sc::qsgd_quantize_i8,
+    sc::qsgd_quantize_i16,
+    sc::qsgd_dequantize_i8,
+    sc::qsgd_dequantize_i16,
+    sc::mul_add_store_bytes,
+};
+
+#ifdef OF_SIMD_X86
+constexpr Table kAvx2Table = {
+    "avx2",            v2::add,
+    v2::sub,           v2::mul,
+    v2::div,           v2::axpy,
+    v2::scale,         v2::add_scalar,
+    v2::clamp,         v2::accum_weighted,
+    v2::scale_store,   v2::scale_store_bytes,
+    v2::scale_store_f16_bytes,
+    v2::accum_scaled_bytes,
+    v2::accum_scaled_f16_bytes,
+    v2::sum_squares,   v2::f32_to_f16,
+    v2::f16_to_f32,    v2::qsgd_quantize_i8,
+    v2::qsgd_quantize_i16,
+    v2::qsgd_dequantize_i8,
+    v2::qsgd_dequantize_i16,
+    v2::mul_add_store_bytes,
+};
+
+bool cpu_has_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+}
+#endif
+
+const Table* select(Mode m) noexcept {
+#ifdef OF_SIMD_X86
+  if (m == Mode::Auto && cpu_has_avx2()) return &kAvx2Table;
+#else
+  (void)m;
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<Mode> g_mode{Mode::Auto};
+// Bound lazily so callers that never go through the Engine (tests, benches)
+// still get Auto. select() is deterministic, so the benign first-use race
+// stores the same pointer from every thread.
+std::atomic<const Table*> g_table{nullptr};
+
+inline const Table& table() noexcept {
+  const Table* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = select(g_mode.load(std::memory_order_relaxed));
+    g_table.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+}  // namespace
+
+void configure(Mode m) noexcept {
+  g_mode.store(m, std::memory_order_relaxed);
+  g_table.store(select(m), std::memory_order_release);
+}
+
+Mode mode() noexcept { return g_mode.load(std::memory_order_relaxed); }
+
+bool avx2_active() noexcept { return table().level[0] == 'a'; }
+
+const char* active_level() noexcept { return table().level; }
+
+void add(float* d, const float* o, std::size_t n) noexcept { table().add(d, o, n); }
+void sub(float* d, const float* o, std::size_t n) noexcept { table().sub(d, o, n); }
+void mul(float* d, const float* o, std::size_t n) noexcept { table().mul(d, o, n); }
+void div(float* d, const float* o, std::size_t n) noexcept { table().div(d, o, n); }
+void axpy(float* d, const float* o, float alpha, std::size_t n) noexcept {
+  table().axpy(d, o, alpha, n);
+}
+void scale(float* d, float v, std::size_t n) noexcept { table().scale(d, v, n); }
+void add_scalar(float* d, float v, std::size_t n) noexcept {
+  table().add_scalar(d, v, n);
+}
+void clamp(float* d, float lo, float hi, std::size_t n) noexcept {
+  table().clamp(d, lo, hi, n);
+}
+void accum_weighted(float* acc, const float* s, float w, std::size_t n) noexcept {
+  table().accum_weighted(acc, s, w, n);
+}
+bool scale_store(float* dst, const float* src, double scale, std::size_t n) noexcept {
+  return table().scale_store(dst, src, scale, n);
+}
+bool scale_store_bytes(std::uint8_t* dst, const float* src, double scale,
+                       std::size_t n) noexcept {
+  return table().scale_store_bytes(dst, src, scale, n);
+}
+bool scale_store_f16_bytes(std::uint8_t* dst, const float* src, double scale,
+                           std::size_t n) noexcept {
+  return table().scale_store_f16_bytes(dst, src, scale, n);
+}
+std::size_t find_nonfinite(const float* src, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(src[i])) return i;
+  return n;
+}
+void accum_scaled_bytes(float* acc, const std::uint8_t* src, double alpha,
+                        std::size_t n) noexcept {
+  table().accum_scaled_bytes(acc, src, alpha, n);
+}
+void accum_scaled_f16_bytes(float* acc, const std::uint8_t* src, double alpha,
+                            std::size_t n) noexcept {
+  table().accum_scaled_f16_bytes(acc, src, alpha, n);
+}
+double sum_squares(const float* x, std::size_t n) noexcept {
+  return table().sum_squares(x, n);
+}
+void f32_to_f16(std::uint16_t* dst, const float* src, std::size_t n) noexcept {
+  table().f32_to_f16(dst, src, n);
+}
+void f16_to_f32(float* dst, const std::uint16_t* src, std::size_t n) noexcept {
+  table().f16_to_f32(dst, src, n);
+}
+void qsgd_quantize_i8(std::int8_t* codes, const float* v, const float* draws,
+                      float norm, float s, std::uint32_t max_level,
+                      std::size_t n) noexcept {
+  table().qsgd_quantize_i8(codes, v, draws, norm, s, max_level, n);
+}
+void qsgd_quantize_i16(std::int16_t* codes, const float* v, const float* draws,
+                       float norm, float s, std::uint32_t max_level,
+                       std::size_t n) noexcept {
+  table().qsgd_quantize_i16(codes, v, draws, norm, s, max_level, n);
+}
+void qsgd_dequantize_i8(float* out, const std::uint8_t* codes, float norm, float s,
+                        std::size_t n) noexcept {
+  table().qsgd_dequantize_i8(out, codes, norm, s, n);
+}
+void qsgd_dequantize_i16(float* out, const std::uint8_t* codes, float norm, float s,
+                         std::size_t n) noexcept {
+  table().qsgd_dequantize_i16(out, codes, norm, s, n);
+}
+void mul_add_store_bytes(std::uint8_t* dst, const float* u, float clip_scale,
+                         const float* noise, std::size_t n) noexcept {
+  table().mul_add_store_bytes(dst, u, clip_scale, noise, n);
+}
+
+}  // namespace of::simd

@@ -1,18 +1,23 @@
 #include "tensor/serialize.hpp"
 
+#include "simd/simd.hpp"
+
 namespace of::tensor {
 
-void append_scaled_span(Bytes& out, ConstFloatSpan src, double scale) {
+bool append_scaled_span(Bytes& out, ConstFloatSpan src, double scale) {
   const std::size_t start = out.size();
   out.resize(start + src.size() * sizeof(float));
-  std::uint8_t* dst = out.data() + start;
   // The scale is applied in double on purpose: per-client sample weights are
   // doubles, and squashing them to float before the multiply drops low bits
   // that the weighted mean then never recovers.
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const float v = static_cast<float>(static_cast<double>(src[i]) * scale);
-    std::memcpy(dst + i * sizeof(float), &v, sizeof(float));
-  }
+  return simd::scale_store_bytes(out.data() + start, src.data(), scale, src.size());
+}
+
+bool append_scaled_f16_span(Bytes& out, ConstFloatSpan src, double scale) {
+  const std::size_t start = out.size();
+  out.resize(start + src.size() * sizeof(std::uint16_t));
+  return simd::scale_store_f16_bytes(out.data() + start, src.data(), scale,
+                                     src.size());
 }
 
 void add_scaled_from_bytes(ConstByteSpan src, double alpha, FloatSpan acc) {
@@ -20,19 +25,15 @@ void add_scaled_from_bytes(ConstByteSpan src, double alpha, FloatSpan acc) {
                "accumulate size mismatch: " << src.size() << " bytes vs " << acc.size()
                                             << " floats");
   // Frame bodies start at mode-byte + manifest offsets, so `src` is almost
-  // never 4-byte aligned — go through memcpy chunks rather than a reinterpret.
-  constexpr std::size_t kChunk = 256;
-  float tmp[kChunk];
-  const std::uint8_t* p = src.data();
-  std::size_t i = 0;
-  while (i < acc.size()) {
-    const std::size_t n = std::min(kChunk, acc.size() - i);
-    std::memcpy(tmp, p + i * sizeof(float), n * sizeof(float));
-    float* a = acc.data() + i;
-    for (std::size_t j = 0; j < n; ++j)
-      a[j] += static_cast<float>(alpha * static_cast<double>(tmp[j]));
-    i += n;
-  }
+  // never 4-byte aligned — the kernel uses unaligned loads throughout.
+  simd::accum_scaled_bytes(acc.data(), src.data(), alpha, acc.size());
+}
+
+void add_scaled_from_f16_bytes(ConstByteSpan src, double alpha, FloatSpan acc) {
+  OF_CHECK_MSG(src.size() == acc.size() * sizeof(std::uint16_t),
+               "accumulate size mismatch: " << src.size() << " bytes vs " << acc.size()
+                                            << " halves");
+  simd::accum_scaled_f16_bytes(acc.data(), src.data(), alpha, acc.size());
 }
 
 void serialize_tensor(const Tensor& t, Bytes& out) {

@@ -13,13 +13,16 @@
 #include <cstring>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "tensor/span.hpp"
 #include "tensor/tensor.hpp"
 
 namespace of::tensor {
 
-using Bytes = std::vector<std::uint8_t>;
+// 64-byte aligned (common/aligned.hpp): SIMD loops over frame bodies start
+// from an aligned base whenever the in-frame offset is aligned.
+using Bytes = AlignedBytes;
 
 // --- low-level POD packing --------------------------------------------------
 template <typename T>
@@ -65,17 +68,26 @@ void read_span(ConstByteSpan buf, std::size_t& offset, T* out, std::size_t count
 }
 
 // --- scale / accumulate kernels over wire views ------------------------------
-// The zero-copy pipeline's two workhorses. Both use memcpy-based chunking, so
-// the byte side may sit at any (unaligned) frame offset, and both carry the
-// scale in double: weight scales are doubles end to end, and a premature
-// narrowing to float loses the low bits of per-client sample weights.
+// The zero-copy pipeline's workhorses, dispatched through of::simd. The byte
+// side may sit at any (unaligned) frame offset, and all carry the scale in
+// double: weight scales are doubles end to end, and a premature narrowing to
+// float loses the low bits of per-client sample weights.
 
-// out += f32-encode( src[i] * scale ), appended to the buffer.
-void append_scaled_span(Bytes& out, ConstFloatSpan src, double scale);
+// out += f32-encode( src[i] * scale ), appended to the buffer. Returns true
+// iff every source element was finite — the encode-admission screen fused
+// into the store (callers reject the update when it comes back false).
+bool append_scaled_span(Bytes& out, ConstFloatSpan src, double scale);
+
+// Same store in the fp16 wire representation (RTNE): 2 bytes per element.
+bool append_scaled_f16_span(Bytes& out, ConstFloatSpan src, double scale);
 
 // acc[i] += alpha * f32_at(src, 4*i) for the whole span; src.size() must be
 // exactly 4 * acc.size().
 void add_scaled_from_bytes(ConstByteSpan src, double alpha, FloatSpan acc);
+
+// fp16 source variant: acc[i] += alpha * f32(f16_at(src, 2*i)); src.size()
+// must be exactly 2 * acc.size().
+void add_scaled_from_f16_bytes(ConstByteSpan src, double alpha, FloatSpan acc);
 
 // --- tensor wire format ------------------------------------------------------
 void serialize_tensor(const Tensor& t, Bytes& out);

@@ -23,8 +23,11 @@ class ConstByteSpan {
   constexpr ConstByteSpan() = default;
   constexpr ConstByteSpan(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
-  // Implicit: a whole owned buffer viewed as a span.
-  ConstByteSpan(const std::vector<std::uint8_t>& b) : data_(b.data()), size_(b.size()) {}
+  // Implicit: a whole owned buffer viewed as a span (any allocator — the
+  // aligned frame buffers and plain byte vectors both convert).
+  template <typename Alloc>
+  ConstByteSpan(const std::vector<std::uint8_t, Alloc>& b)
+      : data_(b.data()), size_(b.size()) {}
 
   const std::uint8_t* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return size_; }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "exec/pool.hpp"
+#include "simd/simd.hpp"
 
 namespace of::tensor {
 namespace {
@@ -95,7 +96,10 @@ Tensor& Tensor::fill_(float v) noexcept {
   return *this;
 }
 
-#define OF_TENSOR_BINARY_INPLACE(name, op)                                         \
+// Elementwise kernels dispatch through of::simd (lane-independent, so the
+// vector and scalar tables write identical bytes); the parallel gate only
+// shards the range — each shard runs the same kernel.
+#define OF_TENSOR_BINARY_INPLACE(name, kernel)                                     \
   Tensor& Tensor::name(const Tensor& other) {                                      \
     OF_CHECK_MSG(same_shape(other), "shape mismatch " << shape_string() << " vs "  \
                                                       << other.shape_string());    \
@@ -104,18 +108,18 @@ Tensor& Tensor::fill_(float v) noexcept {
     const std::size_t n = data_.size();                                            \
     if (parallel_worthwhile(n)) {                                                  \
       exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {     \
-        for (std::size_t i = b; i < e; ++i) d[i] op o[i];                          \
+        simd::kernel(d + b, o + b, e - b);                                         \
       });                                                                          \
     } else {                                                                       \
-      for (std::size_t i = 0; i < n; ++i) d[i] op o[i];                            \
+      simd::kernel(d, o, n);                                                       \
     }                                                                              \
     return *this;                                                                  \
   }
 
-OF_TENSOR_BINARY_INPLACE(add_, +=)
-OF_TENSOR_BINARY_INPLACE(sub_, -=)
-OF_TENSOR_BINARY_INPLACE(mul_, *=)
-OF_TENSOR_BINARY_INPLACE(div_, /=)
+OF_TENSOR_BINARY_INPLACE(add_, add)
+OF_TENSOR_BINARY_INPLACE(sub_, sub)
+OF_TENSOR_BINARY_INPLACE(mul_, mul)
+OF_TENSOR_BINARY_INPLACE(div_, div)
 #undef OF_TENSOR_BINARY_INPLACE
 
 Tensor& Tensor::add_scalar_(float v) noexcept {
@@ -123,10 +127,10 @@ Tensor& Tensor::add_scalar_(float v) noexcept {
   const std::size_t n = data_.size();
   if (parallel_worthwhile(n)) {
     exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) d[i] += v;
+      simd::add_scalar(d + b, v, e - b);
     });
   } else {
-    for (std::size_t i = 0; i < n; ++i) d[i] += v;
+    simd::add_scalar(d, v, n);
   }
   return *this;
 }
@@ -136,10 +140,10 @@ Tensor& Tensor::scale_(float v) noexcept {
   const std::size_t n = data_.size();
   if (parallel_worthwhile(n)) {
     exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) d[i] *= v;
+      simd::scale(d + b, v, e - b);
     });
   } else {
-    for (std::size_t i = 0; i < n; ++i) d[i] *= v;
+    simd::scale(d, v, n);
   }
   return *this;
 }
@@ -152,10 +156,10 @@ Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
   const std::size_t n = data_.size();
   if (parallel_worthwhile(n)) {
     exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) d[i] += alpha * o[i];
+      simd::axpy(d + b, o + b, alpha, e - b);
     });
   } else {
-    for (std::size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
+    simd::axpy(d, o, alpha, n);
   }
   return *this;
 }
@@ -163,12 +167,15 @@ Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
 Tensor& Tensor::clamp_(float lo, float hi) noexcept {
   float* d = data_.data();
   const std::size_t n = data_.size();
+  // simd::clamp uses the intrinsic operand order (d>lo?d:lo, then t<hi?t:hi),
+  // which agrees with min(hi, max(lo, d)) for every input including NaN
+  // (both resolve NaN to lo).
   if (parallel_worthwhile(n)) {
     exec::Pool::global().parallel_for(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+      simd::clamp(d + b, lo, hi, e - b);
     });
   } else {
-    for (std::size_t i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+    simd::clamp(d, lo, hi, n);
   }
   return *this;
 }
@@ -312,9 +319,7 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
       for (std::size_t kk = 0; kk < k; ++kk) {
         const float aik = a[i * k + kk];
         if (aik == 0.0f) continue;
-        const float* brow = b + kk * n;
-        float* crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        simd::axpy(c + i * n, b + kk * n, aik, n);
       }
     }
   };

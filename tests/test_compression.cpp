@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 
+#include "common/nonfinite.hpp"
 #include "compression/compressor.hpp"
 #include "compression/powersgd.hpp"
 #include "compression/quantize.hpp"
@@ -380,6 +383,91 @@ TEST(Factory, AllRegisteredCodecsConstruct) {
 TEST(Factory, UnknownCodecThrows) {
   auto cfg = of::config::parse_yaml("_target_: Zstd\n");
   EXPECT_THROW(of::compression::make_compressor(cfg), std::runtime_error);
+}
+
+// --- fused quantize-on-the-wire ------------------------------------------------
+
+TEST(QsgdFused, CompressScaledMatchesUnfusedBytes) {
+  // The fused path (scale-while-flatten a bucket tile, quantize in place)
+  // must produce the exact bytes of the two-pass reference: flatten with the
+  // double-precision scale into one float vector, then compress that.
+  for (int bits : {8, 16}) {
+    of::compression::QSGD codec(bits, /*seed=*/31, /*bucket_size=*/64);
+    Rng rng(41);
+    std::vector<Tensor> payload;
+    payload.push_back(Tensor::randn({9, 7}, rng));   // odd shapes so tensor
+    payload.push_back(Tensor::randn({130}, rng));    // boundaries straddle
+    payload.push_back(Tensor::randn({3}, rng));      // bucket boundaries
+    const double scale = 0.3125;
+    std::size_t total = 0;
+    for (const auto& t : payload) total += t.numel();
+    Tensor flat({total});
+    std::size_t off = 0;
+    for (const auto& t : payload)
+      for (std::size_t j = 0; j < t.numel(); ++j)
+        flat[off++] = static_cast<float>(static_cast<double>(t[j]) * scale);
+    codec.set_stream(2, 5);
+    const auto reference = codec.compress(flat);
+    of::compression::Compressed fused;
+    codec.set_stream(2, 5);
+    ASSERT_TRUE(codec.compress_scaled(payload, scale, fused));
+    EXPECT_EQ(fused.payload, reference.payload) << "bits=" << bits;
+    EXPECT_EQ(fused.original_numel, reference.original_numel);
+  }
+}
+
+TEST(QsgdFused, NonFiniteInputThrowsWithFlatCoordinate) {
+  of::compression::QSGD codec(8, 1, /*bucket_size=*/32);
+  Rng rng(42);
+  std::vector<Tensor> payload;
+  payload.push_back(Tensor::randn({40}, rng));
+  payload.push_back(Tensor::randn({40}, rng));
+  payload[1][5] = std::numeric_limits<float>::quiet_NaN();  // flat coord 45
+  of::compression::Compressed out;
+  try {
+    (void)codec.compress_scaled(payload, 1.0, out);
+    FAIL() << "expected NonFiniteUpdateError";
+  } catch (const of::NonFiniteUpdateError& e) {
+    EXPECT_EQ(e.coordinate(), 45u);
+  }
+}
+
+TEST(QSGD, NonFiniteInputRejectedAtAdmission) {
+  // The unfused path screens too: a NaN poisons the bucket norm, which used
+  // to propagate silently into every coordinate of the bucket.
+  of::compression::QSGD codec(8, 1);
+  Tensor t({16});
+  for (std::size_t i = 0; i < 16; ++i) t[i] = 1.0f;
+  t[7] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)codec.compress(t), of::NonFiniteUpdateError);
+}
+
+TEST(QSGD, ZeroNormBucketConsumesNoDrawsAndDecodesToZero) {
+  // A bucket of exact zeros short-circuits before drawing any rounding
+  // randomness (the seed's contract — replays stay aligned) and must
+  // decode back to exact zeros; neighbouring buckets keep their own
+  // per-bucket streams regardless.
+  of::compression::QSGD codec(8, 3, /*bucket_size=*/8);
+  Rng rng(43);
+  Tensor t({24});
+  for (std::size_t i = 0; i < 24; ++i) t[i] = rng.next_float() + 0.1f;
+  for (std::size_t i = 8; i < 16; ++i) t[i] = 0.0f;  // bucket 1 all-zero
+  codec.set_stream(1, 1);
+  const auto c = codec.compress(t);
+  const Tensor out = codec.decompress(c);
+  for (std::size_t i = 8; i < 16; ++i) EXPECT_EQ(out[i], 0.0f);
+  // Bytes for buckets 0 and 2 match a tensor where bucket 1 is nonzero —
+  // per-bucket streams mean the zero bucket cannot shift its neighbours.
+  Tensor t2 = t;
+  for (std::size_t i = 8; i < 16; ++i) t2[i] = 1.0f;
+  codec.set_stream(1, 1);
+  const auto c2 = codec.compress(t2);
+  ASSERT_EQ(c.payload.size(), c2.payload.size());
+  const std::size_t bucket_bytes = 4 + 8;  // norm + 8 int8 codes
+  EXPECT_EQ(std::memcmp(c.payload.data(), c2.payload.data(), bucket_bytes), 0);
+  EXPECT_EQ(std::memcmp(c.payload.data() + 2 * bucket_bytes,
+                        c2.payload.data() + 2 * bucket_bytes, bucket_bytes),
+            0);
 }
 
 }  // namespace

@@ -134,7 +134,7 @@ TelemetrySummary make_summary() {
 TEST(Telemetry, SummaryRoundTripsThroughFrameTail) {
   const TelemetrySummary t = make_summary();
   // The blob rides at the end of a payload frame, exactly like the wire.
-  std::vector<std::uint8_t> frame(137, 0x5A);
+  of::AlignedBytes frame(137, 0x5A);
   const std::size_t payload_len = frame.size();
   t.serialize_to(frame);
   ASSERT_EQ(frame.size(), payload_len + TelemetrySummary::kWireBytes);
@@ -160,7 +160,7 @@ TEST(Telemetry, SummaryRoundTripsThroughFrameTail) {
 }
 
 TEST(Telemetry, ParseTailRejectsShortOrCorruptBuffers) {
-  std::vector<std::uint8_t> frame;
+  of::AlignedBytes frame;
   make_summary().serialize_to(frame);
   EXPECT_FALSE(TelemetrySummary::parse_tail(frame.data(), frame.size() - 1).has_value());
   frame[frame.size() - TelemetrySummary::kWireBytes] ^= 0xFF;  // break the magic

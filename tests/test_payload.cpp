@@ -6,6 +6,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "common/nonfinite.hpp"
+#include "simd/simd.hpp"
 
 #include "compression/quantize.hpp"
 #include "compression/sparsify.hpp"
@@ -360,6 +364,146 @@ TEST(FramePoolTest, SteadyStateEncodeReusesPooledBuffers) {
   for (int round = 0; round < 16; ++round)
     of::core::encode_update_into(payload, 1.0, plugins, 0, 4, pool, frame);
   EXPECT_EQ(pool.created(), after_warmup) << "steady-state encode allocated";
+}
+
+// --- numeric admission (NaN/Inf screen at encode) ------------------------------
+
+TEST(PayloadNonFinite, PlainEncodeRejectsNaNWithCoordinate) {
+  auto payload = make_payload(3, 200);
+  // Poison a coordinate in the *second* tensor so the reported flat index
+  // exercises the cross-tensor offset arithmetic: flat = 35 (5x7) + 11.
+  payload[1][11] = std::numeric_limits<float>::quiet_NaN();
+  try {
+    (void)of::core::encode_update(payload, 1.0, {}, 3, 8);
+    FAIL() << "expected NonFiniteUpdateError";
+  } catch (const of::NonFiniteUpdateError& e) {
+    EXPECT_EQ(e.coordinate(), 35u + 11u);
+    EXPECT_EQ(e.client_id(), 3);
+  }
+}
+
+TEST(PayloadNonFinite, QsgdFusedEncodeRejectsInf) {
+  auto payload = make_payload(3, 201);
+  payload[2][4] = std::numeric_limits<float>::infinity();
+  of::compression::QSGD codec(8, /*seed=*/5);
+  const PayloadPlugins plugins{&codec, nullptr};
+  EXPECT_THROW((void)of::core::encode_update(payload, 1.0, plugins, 1, 4),
+               of::NonFiniteUpdateError);
+}
+
+TEST(PayloadNonFinite, F16EncodeRejectsNaN) {
+  auto payload = make_payload(2, 202);
+  payload[0][0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW((void)of::core::encode_update(payload, 1.0, {}, 0, 2,
+                                             of::core::WireRepr::F16),
+               of::NonFiniteUpdateError);
+}
+
+TEST(PayloadNonFinite, PoisonedClientIsDroppedViaSkipFrame) {
+  // The engine-level contract: the caller catches the admission error and
+  // substitutes a skip frame, so the aggregate is the mean of the healthy
+  // clients only.
+  const auto healthy = make_payload(3, 203, /*integer_valued=*/true);
+  auto poisoned = make_payload(3, 204);
+  poisoned[0][0] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<Bytes> frames;
+  frames.push_back(of::core::encode_update(healthy, 1.0, {}, 0, 4));
+  try {
+    frames.push_back(of::core::encode_update(poisoned, 1.0, {}, 1, 4));
+  } catch (const of::NonFiniteUpdateError&) {
+    frames.push_back(of::core::encode_skip_update());
+  }
+  frames.push_back(of::core::encode_update(healthy, 1.0, {}, 2, 4));
+  const auto mean = of::core::mean_updates(frames, nullptr, nullptr);
+  expect_equal(healthy, mean);  // two identical healthy contributions / 2
+  for (const auto& t : mean)
+    for (std::size_t j = 0; j < t.numel(); ++j)
+      EXPECT_TRUE(std::isfinite(t[j]));
+}
+
+// --- fp16 wire representation --------------------------------------------------
+
+TEST(PayloadF16, RoundTripIsRtneQuantized) {
+  const auto payload = make_payload(3, 210);
+  const Bytes frame =
+      of::core::encode_update(payload, 1.0, {}, 0, 1, of::core::WireRepr::F16);
+  // Half the plain-body bytes: 2 per element instead of 4.
+  const Bytes f32_frame = of::core::encode_update(payload, 1.0, {}, 0, 1);
+  std::size_t total = 0;
+  for (const auto& t : payload) total += t.numel();
+  EXPECT_EQ(f32_frame.size() - frame.size(), total * 2);
+  const auto decoded = of::core::decode_update(frame, nullptr);
+  ASSERT_EQ(decoded.size(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(decoded[i].shape(), payload[i].shape());
+    for (std::size_t j = 0; j < payload[i].numel(); ++j) {
+      // Each coordinate equals its RTNE half image exactly.
+      std::uint16_t h = 0;
+      float back = 0.0f;
+      const float x = payload[i][j];
+      of::simd::f32_to_f16(&h, &x, 1);
+      of::simd::f16_to_f32(&back, &h, 1);
+      EXPECT_EQ(decoded[i][j], back) << i << "," << j;
+      EXPECT_NEAR(decoded[i][j], payload[i][j],
+                  1e-3f + 1e-3f * std::fabs(payload[i][j]));
+    }
+  }
+}
+
+TEST(PayloadF16, MeanAndStreamingSumAgreeWithDecodedFrames) {
+  const std::size_t k = 4;
+  std::vector<Bytes> frames;
+  for (std::size_t c = 0; c < k; ++c)
+    frames.push_back(of::core::encode_update(make_payload(3, 220 + c), 1.0, {},
+                                             int(c), int(k),
+                                             of::core::WireRepr::F16));
+  const auto mean = of::core::mean_updates(frames, nullptr, nullptr);
+  // Reference: decode each f16 frame, mean in float.
+  std::vector<std::vector<Tensor>> decoded;
+  for (const auto& f : frames) decoded.push_back(of::core::decode_update(f, nullptr));
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    for (std::size_t j = 0; j < mean[i].numel(); ++j) {
+      float expected = 0.0f;
+      for (std::size_t c = 0; c < k; ++c) expected += decoded[c][i][j];
+      expected /= float(k);
+      EXPECT_NEAR(mean[i][j], expected, 1e-6f) << i << "," << j;
+    }
+  // StreamingSum folds the same frames to the same mean (bitwise vs its own
+  // finish; near vs the reference above).
+  of::core::FramePool pool;
+  of::core::StreamingSum sum(pool);
+  for (const auto& f : frames) sum.add(f);
+  const auto streamed = sum.finish_mean();
+  ASSERT_EQ(streamed.size(), mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i)
+    for (std::size_t j = 0; j < mean[i].numel(); ++j)
+      EXPECT_EQ(streamed[i][j], mean[i][j]) << i << "," << j;
+}
+
+TEST(PayloadF16, PartialHeaderAnnouncesReprAndOldFramesStillDecode) {
+  of::core::FramePool pool;
+  of::core::StreamingSum sum(pool);
+  sum.add(of::core::encode_update(make_payload(2, 230), 1.0, {}, 0, 2,
+                                  of::core::WireRepr::F16));
+  sum.add(of::core::encode_update(make_payload(2, 231), 1.0, {}, 1, 2,
+                                  of::core::WireRepr::F16));
+  Bytes partial;
+  sum.encode_partial_into(1.0, nullptr, partial, of::core::WireRepr::F16);
+  // A downstream combiner decodes the f16 partial and agrees on the count.
+  of::core::StreamingSum root(pool);
+  root.add_partial(partial);
+  EXPECT_EQ(root.count(), 2u);
+  const auto mean = root.finish_mean();
+  ASSERT_EQ(mean.size(), 2u);
+  // f32 partials (the default) remain byte-compatible with pre-repr
+  // decoders: the repr TLV field defaults and the body is plain mode 0.
+  of::core::StreamingSum f32_sum(pool);
+  f32_sum.add(of::core::encode_update(make_payload(2, 230), 1.0, {}, 0, 2));
+  Bytes f32_partial;
+  f32_sum.encode_partial_into(1.0, nullptr, f32_partial);
+  of::core::StreamingSum f32_root(pool);
+  f32_root.add_partial(f32_partial);
+  EXPECT_EQ(f32_root.count(), 1u);
 }
 
 }  // namespace

@@ -371,7 +371,7 @@ TelemetrySummary sample_summary() {
 
 TEST(ReflTelemetry, TlvTailRoundTripsIncludingNewField) {
   const TelemetrySummary t = sample_summary();
-  std::vector<std::uint8_t> frame(57, 0x11);  // fake payload ahead of the tail
+  of::AlignedBytes frame(57, 0x11);  // fake payload ahead of the tail
   const std::size_t payload = frame.size();
   t.serialize_tlv_to(frame);
   std::size_t tail = 0;
@@ -388,7 +388,7 @@ TEST(ReflTelemetry, TlvTailRoundTripsIncludingNewField) {
 
 TEST(ReflTelemetry, V1FixedTailStillParsesButDropsV2Fields) {
   TelemetrySummary t = sample_summary();
-  std::vector<std::uint8_t> frame;
+  of::AlignedBytes frame;
   t.serialize_to(frame);  // legacy fixed layout
   std::size_t tail = 0;
   const auto got = TelemetrySummary::parse_tail(frame.data(), frame.size(), &tail);
@@ -402,13 +402,13 @@ TEST(ReflTelemetry, FutureFieldInTailIsSkippedByCurrentReader) {
   // Build a v2 tail by hand with an extra record a future sender might add:
   // current readers must skip it and still parse everything else.
   const TelemetrySummary t = sample_summary();
-  std::vector<std::uint8_t> payload;
+  of::AlignedBytes payload;
   of::refl::tlv::encode(t, payload);
   of::refl::tlv::put_u16(payload, 0x7F00);  // unknown future tag
   of::refl::tlv::put_u32(payload, 8);
   of::refl::tlv::put_u64(payload, 0xDEAD'BEEFull);
 
-  std::vector<std::uint8_t> frame(9, 0x22);
+  of::AlignedBytes frame(9, 0x22);
   const std::size_t body = frame.size();
   frame.insert(frame.end(), payload.begin(), payload.end());
   of::refl::tlv::put_u32(frame, static_cast<std::uint32_t>(payload.size()));

@@ -1,0 +1,357 @@
+// Bitwise-identity property tests for the of::simd dispatch facade: every
+// kernel must produce byte-for-byte identical results under the scalar table
+// (`exec: {simd: off}`) and the AVX2 table (`auto`), across awkward tail
+// lengths and non-finite inputs. On a host without AVX2 both modes bind the
+// scalar table and the comparisons are trivially true — the suite still
+// exercises the kernels once, so it never silently skips the scalar path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+#include "simd/simd.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using of::simd::Mode;
+using of::tensor::Rng;
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Lengths chosen to hit the empty case, sub-width tails, exact vector
+// widths, width+1 straddles and a long run (AVX2 float width is 8).
+const std::size_t kLens[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 1001};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed,
+                                 bool specials = false) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float() * 8.0f - 4.0f;
+  if (specials && n >= 8) {
+    v[1] = kNan;
+    v[3] = kInf;
+    v[5] = -kInf;
+    v[n / 2] = -0.0f;
+    v[n - 1] = std::numeric_limits<float>::denorm_min();
+  }
+  return v;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * 4) == 0);
+}
+
+// Run `fn` under both tables and require byte-identical buffers out. `fn`
+// receives fresh copies of the inputs each time and returns the buffer to
+// compare.
+template <typename Fn>
+void expect_both_tables_equal(Fn&& fn) {
+  of::simd::configure(Mode::Off);
+  const auto scalar = fn();
+  of::simd::configure(Mode::Auto);
+  const auto vec = fn();
+  of::simd::configure(Mode::Auto);
+  EXPECT_EQ(scalar.size(), vec.size());
+  if (!scalar.empty())
+    EXPECT_EQ(std::memcmp(scalar.data(), vec.data(),
+                          scalar.size() * sizeof(scalar[0])),
+              0);
+}
+
+TEST(SimdIdentity, ElementwiseKernels) {
+  for (std::size_t n : kLens) {
+    const auto d0 = random_floats(n, 11, /*specials=*/true);
+    const auto o = random_floats(n, 22, /*specials=*/true);
+    const auto run = [&](auto&& kernel) {
+      expect_both_tables_equal([&] {
+        std::vector<float> d = d0;
+        kernel(d);
+        return d;
+      });
+    };
+    run([&](std::vector<float>& d) { of::simd::add(d.data(), o.data(), n); });
+    run([&](std::vector<float>& d) { of::simd::sub(d.data(), o.data(), n); });
+    run([&](std::vector<float>& d) { of::simd::mul(d.data(), o.data(), n); });
+    run([&](std::vector<float>& d) { of::simd::div(d.data(), o.data(), n); });
+    run([&](std::vector<float>& d) {
+      of::simd::axpy(d.data(), o.data(), 0.37f, n);
+    });
+    run([&](std::vector<float>& d) { of::simd::scale(d.data(), -1.7f, n); });
+    run([&](std::vector<float>& d) { of::simd::add_scalar(d.data(), 0.9f, n); });
+    run([&](std::vector<float>& d) { of::simd::clamp(d.data(), -1.0f, 1.0f, n); });
+    run([&](std::vector<float>& d) {
+      of::simd::accum_weighted(d.data(), o.data(), 0.25f, n);
+    });
+  }
+}
+
+TEST(SimdIdentity, ScaleStoresAndAdmission) {
+  for (std::size_t n : kLens) {
+    for (bool specials : {false, true}) {
+      const auto src = random_floats(n, 33, specials);
+      const bool want_finite = !specials || n < 8;
+      // f32 store into floats.
+      expect_both_tables_equal([&] {
+        std::vector<float> dst(n, 0.0f);
+        EXPECT_EQ(of::simd::scale_store(dst.data(), src.data(), 0.125, n),
+                  want_finite);
+        return dst;
+      });
+      // f32 store into a deliberately unaligned byte buffer.
+      expect_both_tables_equal([&] {
+        std::vector<std::uint8_t> buf(n * 4 + 1, 0xCD);
+        EXPECT_EQ(
+            of::simd::scale_store_bytes(buf.data() + 1, src.data(), 3.5, n),
+            want_finite);
+        return buf;
+      });
+      // f16 store into an unaligned byte buffer.
+      expect_both_tables_equal([&] {
+        std::vector<std::uint8_t> buf(n * 2 + 1, 0xCD);
+        EXPECT_EQ(
+            of::simd::scale_store_f16_bytes(buf.data() + 1, src.data(), 0.75, n),
+            want_finite);
+        return buf;
+      });
+      // The cold rescan agrees between tables too.
+      of::simd::configure(Mode::Off);
+      const std::size_t at_scalar = of::simd::find_nonfinite(src.data(), n);
+      of::simd::configure(Mode::Auto);
+      EXPECT_EQ(of::simd::find_nonfinite(src.data(), n), at_scalar);
+      EXPECT_EQ(at_scalar == n, want_finite);
+    }
+  }
+}
+
+TEST(SimdIdentity, AccumulateFromUnalignedBytes) {
+  for (std::size_t n : kLens) {
+    const auto src = random_floats(n, 44);
+    const auto acc0 = random_floats(n, 55);
+    std::vector<std::uint8_t> f32_bytes(n * 4 + 3, 0);
+    std::memcpy(f32_bytes.data() + 3, src.data(), n * 4);
+    std::vector<std::uint16_t> halves(n);
+    of::simd::f32_to_f16(halves.data(), src.data(), n);
+    std::vector<std::uint8_t> f16_bytes(n * 2 + 1, 0);
+    std::memcpy(f16_bytes.data() + 1, halves.data(), n * 2);
+    expect_both_tables_equal([&] {
+      std::vector<float> acc = acc0;
+      of::simd::accum_scaled_bytes(acc.data(), f32_bytes.data() + 3, 0.2, n);
+      return acc;
+    });
+    expect_both_tables_equal([&] {
+      std::vector<float> acc = acc0;
+      of::simd::accum_scaled_f16_bytes(acc.data(), f16_bytes.data() + 1, 0.2, n);
+      return acc;
+    });
+  }
+}
+
+TEST(SimdIdentity, SumSquaresFixedLanes) {
+  for (std::size_t n : kLens) {
+    const auto x = random_floats(n, 66);
+    of::simd::configure(Mode::Off);
+    const double scalar = of::simd::sum_squares(x.data(), n);
+    of::simd::configure(Mode::Auto);
+    const double vec = of::simd::sum_squares(x.data(), n);
+    // Bitwise, not approximate: the fixed 4-lane accumulation is the contract.
+    EXPECT_EQ(std::memcmp(&scalar, &vec, sizeof(double)), 0) << "n=" << n;
+  }
+}
+
+TEST(SimdIdentity, F16RoundTripExhaustive) {
+  // f16→f32 over every one of the 65536 half patterns, then the RTNE
+  // f32→f16 round-trip back (NaN payloads may quieten; compare through the
+  // float image instead for NaN inputs).
+  std::vector<std::uint16_t> halves(1 << 16);
+  for (std::size_t i = 0; i < halves.size(); ++i)
+    halves[i] = static_cast<std::uint16_t>(i);
+  expect_both_tables_equal([&] {
+    std::vector<float> f(halves.size());
+    of::simd::f16_to_f32(f.data(), halves.data(), halves.size());
+    return f;
+  });
+  std::vector<float> floats(halves.size());
+  of::simd::f16_to_f32(floats.data(), halves.data(), halves.size());
+  expect_both_tables_equal([&] {
+    std::vector<std::uint16_t> back(floats.size());
+    of::simd::f32_to_f16(back.data(), floats.data(), floats.size());
+    return back;
+  });
+  // Dense float sweep around the rounding-interesting ranges.
+  const auto sweep = [&](float lo, float hi, std::size_t steps) {
+    std::vector<float> xs(steps);
+    for (std::size_t i = 0; i < steps; ++i)
+      xs[i] = lo + (hi - lo) * static_cast<float>(i) / static_cast<float>(steps);
+    expect_both_tables_equal([&] {
+      std::vector<std::uint16_t> out(xs.size());
+      of::simd::f32_to_f16(out.data(), xs.data(), xs.size());
+      return out;
+    });
+  };
+  sweep(-2.0f, 2.0f, 40000);            // normals incl. subnormal target range
+  sweep(60000.0f, 80000.0f, 10000);     // overflow→inf boundary
+  sweep(-1e-7f, 1e-7f, 10000);          // flush-to-subnormal boundary
+}
+
+TEST(SimdIdentity, QsgdKernels) {
+  for (std::size_t n : kLens) {
+    const auto v = random_floats(n, 77);
+    const auto draws = random_floats(n, 88);  // [−4,4) is fine: identity only
+    const float norm =
+        std::sqrt(static_cast<float>(of::simd::sum_squares(v.data(), n)));
+    if (!(norm > 0.0f)) continue;
+    expect_both_tables_equal([&] {
+      std::vector<std::int8_t> codes(n);
+      of::simd::qsgd_quantize_i8(codes.data(), v.data(), draws.data(), norm,
+                                 127.0f, 127, n);
+      return codes;
+    });
+    expect_both_tables_equal([&] {
+      std::vector<std::int16_t> codes(n);
+      of::simd::qsgd_quantize_i16(codes.data(), v.data(), draws.data(), norm,
+                                  32767.0f, 32767, n);
+      return codes;
+    });
+    std::vector<std::int8_t> c8(n);
+    of::simd::qsgd_quantize_i8(c8.data(), v.data(), draws.data(), norm, 127.0f,
+                               127, n);
+    std::vector<std::uint8_t> c8_bytes(n + 1, 0);
+    std::memcpy(c8_bytes.data() + 1, c8.data(), n);
+    expect_both_tables_equal([&] {
+      std::vector<float> out(n, -1.0f);
+      of::simd::qsgd_dequantize_i8(out.data(), c8_bytes.data() + 1, norm,
+                                   127.0f, n);
+      return out;
+    });
+    std::vector<std::int16_t> c16(n);
+    of::simd::qsgd_quantize_i16(c16.data(), v.data(), draws.data(), norm,
+                                32767.0f, 32767, n);
+    std::vector<std::uint8_t> c16_bytes(n * 2 + 1, 0);
+    std::memcpy(c16_bytes.data() + 1, c16.data(), n * 2);
+    expect_both_tables_equal([&] {
+      std::vector<float> out(n, -1.0f);
+      of::simd::qsgd_dequantize_i16(out.data(), c16_bytes.data() + 1, norm,
+                                    32767.0f, n);
+      return out;
+    });
+  }
+}
+
+TEST(SimdIdentity, DpClipPerturbStore) {
+  for (std::size_t n : kLens) {
+    const auto u = random_floats(n, 99);
+    const auto noise = random_floats(n, 111);
+    expect_both_tables_equal([&] {
+      std::vector<std::uint8_t> buf(n * 4 + 1, 0xEE);
+      of::simd::mul_add_store_bytes(buf.data() + 1, u.data(), 0.8f,
+                                    noise.data(), n);
+      return buf;
+    });
+  }
+}
+
+TEST(SimdConfig, ModeKnobBindsTables) {
+  of::simd::configure(Mode::Off);
+  EXPECT_EQ(of::simd::mode(), Mode::Off);
+  EXPECT_FALSE(of::simd::avx2_active());
+  EXPECT_STREQ(of::simd::active_level(), "scalar");
+  of::simd::configure(Mode::Auto);
+  EXPECT_EQ(of::simd::mode(), Mode::Auto);
+  // Auto binds whatever the CPU supports; either way the name is reported.
+  const char* level = of::simd::active_level();
+  EXPECT_TRUE(std::strcmp(level, "avx2") == 0 || std::strcmp(level, "scalar") == 0);
+}
+
+// End-to-end: a full federation run under `exec: {simd: off}` must produce
+// the same final model bytes and the same deterministic metrics CSV as
+// `exec: {simd: auto}` — the whole-pipeline form of the bitwise contract.
+TEST(SimdEndToEnd, FederationRunBitwiseIdentical) {
+  const auto run_with = [](const char* simd_mode) {
+    of::config::ConfigNode cfg = of::config::parse_yaml(R"(
+seed: 7
+exec:
+  threads: 1
+  simd: auto
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 4
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 2
+  local_epochs: 1
+  lr: 0.05
+eval_every: 1
+)");
+    cfg.set_path("exec.simd", of::config::ConfigNode::string(simd_mode));
+    of::core::Engine engine(cfg);
+    return engine.run();
+  };
+  const auto off = run_with("off");
+  const auto fast = run_with("auto");
+  of::simd::configure(Mode::Auto);
+  ASSERT_EQ(off.final_model_bytes.size(), fast.final_model_bytes.size());
+  EXPECT_EQ(std::memcmp(off.final_model_bytes.data(),
+                        fast.final_model_bytes.data(),
+                        off.final_model_bytes.size()),
+            0);
+  EXPECT_EQ(off.to_metrics_csv(), fast.to_metrics_csv());
+}
+
+// Same contract through the compressed (fused quantize-on-the-wire) path.
+TEST(SimdEndToEnd, QsgdFederationRunBitwiseIdentical) {
+  const auto run_with = [](const char* simd_mode) {
+    of::config::ConfigNode cfg = of::config::parse_yaml(R"(
+seed: 9
+exec:
+  threads: 1
+  simd: auto
+topology:
+  _target_: src.omnifed.topology.CentralizedTopology
+  num_clients: 3
+  inner_comm:
+    _target_: src.omnifed.communicator.TorchDistCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+compression:
+  _target_: QSGD
+  bits: 8
+algorithm:
+  _target_: src.omnifed.algorithm.FedAvg
+  global_rounds: 2
+  local_epochs: 1
+  lr: 0.05
+eval_every: 1
+)");
+    cfg.set_path("exec.simd", of::config::ConfigNode::string(simd_mode));
+    of::core::Engine engine(cfg);
+    return engine.run();
+  };
+  const auto off = run_with("off");
+  const auto fast = run_with("auto");
+  of::simd::configure(Mode::Auto);
+  ASSERT_EQ(off.final_model_bytes.size(), fast.final_model_bytes.size());
+  EXPECT_EQ(std::memcmp(off.final_model_bytes.data(),
+                        fast.final_model_bytes.data(),
+                        off.final_model_bytes.size()),
+            0);
+  EXPECT_EQ(off.to_metrics_csv(), fast.to_metrics_csv());
+}
+
+}  // namespace
