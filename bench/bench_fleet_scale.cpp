@@ -48,6 +48,7 @@
 #include "comm/tcp.hpp"
 #include "core/frame_pool.hpp"
 #include "core/payload.hpp"
+#include "net_util.hpp"
 #include "serve/buffer.hpp"
 #include "serve/registry.hpp"
 #include "serve/sampler.hpp"
@@ -62,7 +63,9 @@ using of::core::StreamingSum;
 using of::tensor::Bytes;
 using of::tensor::Tensor;
 
-constexpr std::uint16_t kPort = 47450;
+// Kernel-assigned at startup: a fixed constant here collides with parallel
+// ctest runs of the comm suites (EADDRINUSE at formation).
+const std::uint16_t kPort = of::testutil::ephemeral_port();
 constexpr std::size_t kModelFloats = 4096;  // ~16 KiB on the wire per frame
 constexpr int kModelTag = 1;
 constexpr int kUpdateTag = 2;

@@ -9,6 +9,18 @@
 //   round_obs_{off,on}   a full 10-round 4-client inproc FedAvg run with
 //                        tracing off vs on — the end-to-end check that
 //                        `obs=trace` does not distort what it measures
+//   profiler_disabled    the SIGPROF profiler's disabled fast path (one
+//                        relaxed load, budget ≤ 10 ns / 0 allocs)
+//   spin_profile_{off,on} a fixed CPU-bound spin with the profiler off vs
+//                        armed at 997 Hz (10× the default, so the per-sample
+//                        cost is resolvable above run-to-run noise); the
+//                        time delta ÷ samples is the cost of one SIGPROF +
+//                        backtrace + ring write, and delta/time ÷ 10 is the
+//                        97 Hz overhead (budget < 3%, see EXPERIMENTS.md)
+//   round_profile_on     the same 10-round run with the 97 Hz sampling
+//                        profiler armed — wall-time overhead vs round_obs_on
+//                        (dominated by the one-time lane allocation on these
+//                        sub-interval toy rounds; see EXPERIMENTS.md)
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -94,9 +106,59 @@ void bench_enabled_span(benchmark::State& state) {
 }
 BENCHMARK(bench_enabled_span);
 
+// --- micro: profiler disabled fast path ----------------------------------------
+
+void bench_profiler_disabled(benchmark::State& state) {
+  auto& p = of::obs::Profiler::global();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    bool on = p.enabled();
+    benchmark::DoNotOptimize(on);
+  }
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs"] = static_cast<double>(allocs);
+}
+BENCHMARK(bench_profiler_disabled);
+
+// --- micro: per-sample cost under a CPU-bound spin -----------------------------
+//
+// ITIMER_PROF fires on CPU time, so a workload shorter than one sampling
+// interval takes no samples at all (see round_profile_on below). This spin
+// is long enough to be sampled; 997 Hz (also prime) makes the per-sample
+// cost resolvable, and the 97 Hz default costs one tenth of the delta.
+
+void bench_spin_profile(benchmark::State& state, bool profile_on) {
+  if (profile_on) {
+    of::obs::ProfileConfig cfg;
+    cfg.enabled = true;
+    cfg.hz = 997;
+    cfg.ring_capacity = 1 << 14;
+    of::obs::Profiler::global().start(cfg);
+  }
+  volatile double x = 1.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) x = x * 1.000001 + 1e-9;
+    benchmark::DoNotOptimize(x);
+  }
+  if (profile_on) {
+    state.counters["samples"] =
+        static_cast<double>(of::obs::Profiler::global().samples_total());
+    of::obs::Profiler::global().stop();
+  }
+}
+
+void bench_spin_profile_off(benchmark::State& state) {
+  bench_spin_profile(state, false);
+}
+void bench_spin_profile_on(benchmark::State& state) {
+  bench_spin_profile(state, true);
+}
+BENCHMARK(bench_spin_profile_off);
+BENCHMARK(bench_spin_profile_on);
+
 // --- macro: full run, obs off vs trace on --------------------------------------
 
-of::config::ConfigNode run_config(bool obs_on) {
+of::config::ConfigNode run_config(bool obs_on, bool profile_on = false) {
   auto cfg = parse_yaml(R"(
 seed: 7
 topology:
@@ -118,29 +180,45 @@ algorithm:
     auto obs = of::config::ConfigNode::map();
     obs["enabled"] = of::config::ConfigNode::boolean(true);
     obs["ring_capacity"] = of::config::ConfigNode::integer(1 << 16);
+    if (profile_on) {
+      // Default 97 Hz sampling, no collapsed-stack file: measure the
+      // signal + ring-write cost, not symbolization or I/O.
+      auto profile = of::config::ConfigNode::map();
+      profile["enabled"] = of::config::ConfigNode::boolean(true);
+      obs["profile"] = profile;
+    }
     // No export paths: measure recording cost, not file I/O.
     cfg["obs"] = obs;
   }
   return cfg;
 }
 
-void bench_round_obs(benchmark::State& state, bool obs_on) {
+void bench_round_obs(benchmark::State& state, bool obs_on, bool profile_on = false) {
   double rounds_s = 0.0;
   std::uint64_t runs = 0;
+  std::uint64_t samples = 0;
   for (auto _ : state) {
-    Engine engine(run_config(obs_on));
+    Engine engine(run_config(obs_on, profile_on));
     const auto result = engine.run();
     rounds_s += result.mean_round_seconds;
     ++runs;
+    // start() resets the sample counter each run, so accumulate per run
+    // (a single 10-round toy run is shorter than one 97 Hz interval).
+    samples += of::obs::Profiler::global().samples_total();
   }
   state.counters["mean_round_ms"] =
       runs > 0 ? rounds_s / static_cast<double>(runs) * 1e3 : 0.0;
+  if (profile_on) state.counters["samples"] = static_cast<double>(samples);
 }
 
 void bench_round_obs_off(benchmark::State& state) { bench_round_obs(state, false); }
 void bench_round_obs_on(benchmark::State& state) { bench_round_obs(state, true); }
+void bench_round_profile_on(benchmark::State& state) {
+  bench_round_obs(state, true, true);
+}
 BENCHMARK(bench_round_obs_off)->Unit(benchmark::kMillisecond);
 BENCHMARK(bench_round_obs_on)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_round_profile_on)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

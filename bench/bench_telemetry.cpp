@@ -9,6 +9,10 @@
 //   summary_serialize    encode one piggyback blob; counters report the
 //                        fixed wire size added to each update frame
 //   summary_parse_tail   coordinator-side strip of the same blob
+//   attribution_round    critical-path attribution cost per round at a
+//                        32-client fleet: 32 observe_client joins + one
+//                        on_round verdict (runs under Fleet's mutex in
+//                        production, so this is the full added lock hold)
 //   round_telemetry_off  a 10-round 4-client inproc FedAvg run with obs
 //   round_telemetry_on   disabled vs the full plane (spans + piggyback +
 //                        fleet registry) — end-to-end per-round overhead
@@ -123,6 +127,30 @@ void bench_summary_parse_tail(benchmark::State& state) {
   }
 }
 BENCHMARK(bench_summary_parse_tail);
+
+// --- micro: critical-path attribution ------------------------------------------
+
+void bench_attribution_round(benchmark::State& state) {
+  of::obs::Attribution attr;
+  constexpr int kClients = 32;
+  of::obs::PhaseDigest phases[of::obs::kPhaseCount] = {};
+  for (std::size_t i = 0; i < of::obs::kPhaseCount; ++i) {
+    phases[i].count = 4;
+    phases[i].total_ns = 1000000 * (i + 1);
+    phases[i].max_ns = 400000 * (i + 1);
+  }
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    for (int c = 1; c <= kClients; ++c)
+      attr.observe_client(static_cast<std::uint32_t>(c), round, phases,
+                          0x1000u + static_cast<std::uint64_t>(c));
+    const auto cp = attr.on_round(round, 0.25, 0.01);
+    benchmark::DoNotOptimize(cp);
+    ++round;
+  }
+  state.counters["clients"] = kClients;
+}
+BENCHMARK(bench_attribution_round);
 
 // --- macro: full run, telemetry plane off vs on --------------------------------
 

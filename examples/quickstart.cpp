@@ -2,12 +2,14 @@
 // paper's Fig. 2 YAML. Build the same config programmatically, run the
 // Engine, print per-round metrics.
 //
-//   ./quickstart [config.yaml] [--trace trace.json] [--dump-config]
-//                [dotted.override=value ...]
+//   ./quickstart [config.yaml] [--trace trace.json] [--profile prof.folded]
+//                [--dump-config] [dotted.override=value ...]
 //
 // With no arguments it uses an embedded config equivalent to
 // configs/quickstart.yaml. `--trace <path>` turns on of::obs tracing for the
 // run and writes a Chrome trace-event file loadable at ui.perfetto.dev.
+// `--profile <path>` turns on the SIGPROF sampling profiler and writes
+// collapsed stacks (pipe through flamegraph.pl for an SVG).
 // `--dump-config` prints the effective merged config (file + overrides +
 // defaults materialized through of::refl) as YAML and exits.
 #include <cstring>
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
     // Peel off --trace <path> wherever it appears; everything else keeps the
     // existing [config.yaml] [override ...] convention.
     std::string trace_path;
+    std::string profile_path;
     bool dump_config = false;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
@@ -60,6 +63,12 @@ int main(int argc, char** argv) {
           return 1;
         }
         trace_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--profile") == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << "error: --profile requires a path argument\n";
+          return 1;
+        }
+        profile_path = argv[++i];
       } else if (std::strcmp(argv[i], "--dump-config") == 0) {
         dump_config = true;
       } else {
@@ -80,6 +89,10 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       of::config::apply_override(cfg, "obs.enabled=true");
       of::config::apply_override(cfg, "obs.trace_path=" + trace_path);
+    }
+    if (!profile_path.empty()) {
+      of::config::apply_override(cfg, "obs.profile.enabled=true");
+      of::config::apply_override(cfg, "obs.profile.path=" + profile_path);
     }
     if (dump_config) {
       std::cout << of::core::dump_effective_config(cfg);
@@ -108,6 +121,9 @@ int main(int argc, char** argv) {
     if (!trace_path.empty())
       std::cout << "trace written to " << trace_path
                 << " (load it at ui.perfetto.dev or chrome://tracing)\n";
+    if (!profile_path.empty())
+      std::cout << "profile written to " << profile_path
+                << " (collapsed stacks; feed to flamegraph.pl)\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

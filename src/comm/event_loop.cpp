@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/profiler.hpp"
 
 namespace of::comm {
 
@@ -119,6 +120,7 @@ int EventLoop::timeout_ms_locked() const {
 
 void EventLoop::run() {
   loop_thread_id_.store(std::this_thread::get_id());
+  obs::Profiler::set_thread_name("epoll-loop");
   epoll_event events[256];
   while (!stop_.load(std::memory_order_acquire)) {
     int timeout;

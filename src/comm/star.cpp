@@ -107,11 +107,32 @@ StreamingGather gather_bytes_streaming(Communicator& c, const Bytes& b,
   }
 
   std::set<int> pending;
-  for (int p = 1; p < c.world_size(); ++p) {
-    // A peer already known dead cannot contribute this round — don't let a
-    // crashed client consume the whole deadline.
-    if (c.peer_alive(p)) pending.insert(p);
-    else out.dropped.push_back(p);
+  for (int p = 1; p < c.world_size(); ++p) pending.insert(p);
+
+  // Drain frames that are already queued before judging liveness: on the
+  // final round a fast client sends its update and exits, and its EOF can
+  // reach the event loop before this gather starts — the update is sitting
+  // in the inbox while peer_alive() already says dead. Data first, then the
+  // verdict.
+  while (!pending.empty()) {
+    auto queued = c.try_recv_bytes_any(tag, 0.0);
+    if (!queued) break;
+    const int src = queued->first;
+    if (pending.count(src) == 0) continue;  // duplicate or out-of-group frame
+    sink(src, std::move(queued->second));
+    out.participated.push_back(src);
+    pending.erase(src);
+  }
+
+  // Now a peer known dead with nothing queued cannot contribute this
+  // round — don't let a crashed client consume the whole deadline.
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (c.peer_alive(*it)) {
+      ++it;
+    } else {
+      out.dropped.push_back(*it);
+      it = pending.erase(it);
+    }
   }
 
   const auto start = clock::now();

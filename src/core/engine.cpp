@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "common/check.hpp"
@@ -516,17 +517,17 @@ RunResult Engine::run() {
   // Registry instruments are process-global and always on; per-run values
   // are deltas against this snapshot.
   const auto registry_before = obs::Registry::global().snapshot();
+  // Run-wide trace id, seed-derived (splitmix64) so reruns correlate.
+  std::uint64_t tid =
+      static_cast<std::uint64_t>(cfg_.get_or<std::int64_t>("seed", 42)) +
+      0x9E3779B97F4A7C15ULL;
+  tid = (tid ^ (tid >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  tid = (tid ^ (tid >> 27)) * 0x94D049BB133111EBULL;
+  tid ^= tid >> 31;
+  if (tid == 0) tid = 1;
   if (obs_cfg.enabled) {
     obs::TraceRecorder::global().reset(obs_cfg.ring_capacity);
     obs::TraceRecorder::global().set_enabled(true);
-    // Run-wide trace id, seed-derived (splitmix64) so reruns correlate.
-    std::uint64_t tid =
-        static_cast<std::uint64_t>(cfg_.get_or<std::int64_t>("seed", 42)) +
-        0x9E3779B97F4A7C15ULL;
-    tid = (tid ^ (tid >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    tid = (tid ^ (tid >> 27)) * 0x94D049BB133111EBULL;
-    tid ^= tid >> 31;
-    if (tid == 0) tid = 1;
     obs::set_run_trace_id(tid);
     if (obs_cfg.telemetry) {
       obs::Fleet::global().reset(tid);
@@ -537,6 +538,13 @@ RunResult Engine::run() {
       }
     }
   }
+  // Tier-two observability: both run with or without span tracing. The
+  // profiler samples every thread of the process; the flight recorder
+  // captures whatever the trace rings and profiler lanes hold at dump time.
+  if (obs_cfg.profile.enabled) obs::Profiler::global().start(obs_cfg.profile);
+  if (obs_cfg.flightrec.enabled)
+    obs::FlightRecorder::global().arm(obs_cfg.flightrec,
+                                      dump_effective_config(cfg_), tid);
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<NodeReport> reports(setups.size());
@@ -546,6 +554,10 @@ RunResult Engine::run() {
     threads.reserve(setups.size());
     for (std::size_t i = 0; i < setups.size(); ++i) {
       threads.emplace_back([i, &setups, &reports, &errors] {
+        // Label this thread's profiler lane before any sample can land.
+        char lane_name[16];
+        std::snprintf(lane_name, sizeof(lane_name), "node%d", setups[i].node_id);
+        obs::Profiler::set_thread_name(lane_name);
         try {
           NodeRuntime runtime(std::move(setups[i]));
           reports[i] = runtime.run();
@@ -565,6 +577,12 @@ RunResult Engine::run() {
     obs::TraceRecorder::global().set_enabled(false);
     trace_events = obs::TraceRecorder::global().drain();
   }
+  // Same discipline for tier two: disarm before the rethrow so a failed
+  // run leaves no timer or signal hooks behind. Captured samples stay
+  // readable (for the collapsed-stack export below and late /profile
+  // scrapes) until the next start().
+  if (obs_cfg.profile.enabled) obs::Profiler::global().stop();
+  if (obs_cfg.flightrec.enabled) obs::FlightRecorder::global().disarm();
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 
@@ -641,6 +659,8 @@ RunResult Engine::run() {
     if (!obs_cfg.events_csv_path.empty())
       obs::write_file(obs_cfg.events_csv_path, obs::to_event_csv(trace_events));
   }
+  if (obs_cfg.profile.enabled && !obs_cfg.profile.path.empty())
+    obs::write_file(obs_cfg.profile.path, obs::Profiler::global().collapsed_text());
   return result;
 }
 

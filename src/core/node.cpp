@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "common/nonfinite.hpp"
 #include "exec/pool.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serve/buffer.hpp"
@@ -156,6 +157,9 @@ bool NodeRuntime::selected_this_round(std::size_t round) const {
 
 void NodeRuntime::simulate_slowdown(double train_seconds_elapsed) {
   if (s_.slowdown <= 1.0) return;
+  // The simulated extra compute is train time from the fleet's point of
+  // view: span it so phase digests (and critical-path attribution) see it.
+  ScopedSpan span(Name::LocalTrain, s_.node_id, ctx_.round);
   std::this_thread::sleep_for(
       std::chrono::duration<double>((s_.slowdown - 1.0) * train_seconds_elapsed));
 }
@@ -179,6 +183,9 @@ void NodeRuntime::append_telemetry(tensor::Bytes& frame, comm::Communicator& inn
   t.trace_id = obs::run_trace_id();
   t.rank = static_cast<std::uint32_t>(inner.rank());
   t.round = static_cast<std::uint32_t>(round);
+  // The innermost open span here is this client's Round span: the exemplar
+  // the coordinator attaches to critical-path attribution (v2 wire only).
+  t.round_span_id = obs::current_context().span_id;
   if (offset_est_.valid()) {
     t.clock_offset_ns = offset_est_.offset_ns();
     t.rtt_ns = offset_est_.rtt_ns();
@@ -332,6 +339,7 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     frames.erase(frames.begin());  // drop our own empty placeholder
     if (telem_on_)
       for (auto& f : frames) strip_telemetry(f);
+    const auto agg_t0 = Clock::now();
     ScopedSpan agg_span(Name::Aggregate, s_.node_id, round, frames.size());
     const auto mean =
         s_.aggregation_rule == AggregationRule::Mean
@@ -341,6 +349,7 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
     state.round = round;
     state.global = algo.server_update(state, mean);
     agg_span.end();
+    const double aggregate_s = seconds_since(agg_t0);
 
     const auto metrics = inner.gather(tensor::Tensor({4}), 0);
     RoundRecord rec;
@@ -365,6 +374,7 @@ NodeReport NodeRuntime::run_central_aggregator(comm::Communicator& inner) {
       h.bytes_up = rec.bytes_up;
       h.bytes_down = rec.bytes_down;
       h.seconds = rec.seconds;
+      h.aggregate_seconds = aggregate_s;
       obs::Fleet::global().record_round(h);
     }
     report.rounds.push_back(rec);
@@ -396,7 +406,11 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
       span.set_arg(gbytes.size());
     }
     const auto decision = injector.at_round(static_cast<int>(round));
-    if (decision.crash) return NodeReport{};  // device powers off mid-run
+    if (decision.crash) {  // device powers off mid-run
+      if (obs::FlightRecorder::global().armed_for_fault())
+        obs::FlightRecorder::global().dump("fault_crash");
+      return NodeReport{};
+    }
     if (decision.disconnect || decision.extra_delay_seconds > 0.0) ++telem_faults_;
     std::vector<tensor::Tensor> global;
     {
@@ -406,9 +420,17 @@ NodeReport NodeRuntime::run_fault_trainer(comm::Communicator& inner) {
     algorithms::TrainStats stats;
     train_one_round(global, round, stats, frame_buf_);
     const tensor::Bytes& frame = frame_buf_;
-    if (decision.extra_delay_seconds > 0.0)
+    if (decision.extra_delay_seconds > 0.0) {
+      // An injected straggler is indistinguishable from slow compute on the
+      // wire; span the stall as train time so attribution names it `compute`
+      // and the flight recorder captures it as this client's final span.
+      ScopedSpan delay_span(Name::LocalTrain, s_.node_id, round);
       std::this_thread::sleep_for(
           std::chrono::duration<double>(decision.extra_delay_seconds));
+      delay_span.end();
+      if (obs::FlightRecorder::global().armed_for_fault())
+        obs::FlightRecorder::global().dump("fault_delay");
+    }
     if (decision.disconnect) {
       if (tcp_inner_ != nullptr) {
         // Real link loss: the transport reconnects with backoff and replays
@@ -462,8 +484,11 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
     if (partial.deadline_hit) {
       obs::Registry::global().counter("fault.deadline_cuts").inc();
       obs::instant(Name::DeadlineCut, s_.node_id, round, partial.dropped.size());
+      if (obs::FlightRecorder::global().armed_for_deadline_cut())
+        obs::FlightRecorder::global().dump("deadline_cut");
     }
 
+    const auto agg_t0 = Clock::now();
     ScopedSpan agg_span(Name::Aggregate, s_.node_id, round,
                         partial.participated.size());
     // Per-participant frame parsing is independent — split each combined
@@ -539,6 +564,7 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
       state.global = algo.server_update(state, mean);
     }  // an empty round (quorum of skips) leaves the global model untouched
     agg_span.end();
+    const double aggregate_s = seconds_since(agg_t0);
 
     RoundRecord rec;
     rec.round = round;
@@ -561,6 +587,7 @@ NodeReport NodeRuntime::run_fault_aggregator(comm::Communicator& inner) {
       h.bytes_up = rec.bytes_up;
       h.bytes_down = rec.bytes_down;
       h.seconds = rec.seconds;
+      h.aggregate_seconds = aggregate_s;
       obs::Fleet::global().record_round(h);
     }
     report.rounds.push_back(rec);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "refl/config_io.hpp"
@@ -75,6 +76,7 @@ void Pool::stop_workers() {
 }
 
 void Pool::worker_loop() {
+  obs::Profiler::set_thread_name("exec-worker");
   for (;;) {
     std::shared_ptr<Job> job;
     {

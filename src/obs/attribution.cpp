@@ -1,0 +1,118 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+
+namespace of::obs {
+
+const char* to_string(Cause c) {
+  switch (c) {
+    case Cause::Compute: return "compute";
+    case Cause::Serialize: return "serialize";
+    case Cause::Send: return "send";
+    case Cause::QueueWait: return "queue_wait";
+    case Cause::Aggregate: return "aggregate";
+  }
+  return "?";
+}
+
+namespace {
+
+// Phase digest indices (context.hpp): 0 train, 1 encode, 2 send, 3 recv,
+// 4 decode.
+std::uint64_t busy_ns(const PhaseDigest (&p)[kPhaseCount]) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) total += p[i].total_ns;
+  return total;
+}
+
+}  // namespace
+
+void Attribution::observe_client(std::uint32_t rank, std::uint32_t round,
+                                 const PhaseDigest (&phases)[kPhaseCount],
+                                 std::uint64_t round_span_id) {
+  ClientRound cr;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) cr.phases[i] = phases[i];
+  cr.span_id = round_span_id;
+
+  pending_[round][static_cast<int>(rank)] = cr;
+  latest_by_client_[static_cast<int>(rank)] = cr;
+  // Bound the join window: drop rounds the coordinator will never ask for.
+  while (pending_.size() > kJoinWindowRounds) pending_.erase(pending_.begin());
+
+  LatencyHist& h = hists_[static_cast<int>(rank)];
+  const std::uint64_t busy = busy_ns(phases);
+  std::size_t w = 0;
+  for (std::uint64_t v = busy; v != 0; v >>= 1) ++w;
+  ++h.buckets[w];
+  ++h.count;
+  h.sum_ns += busy;
+  if (round_span_id != 0) h.last_span = round_span_id;
+}
+
+std::optional<CriticalPath> Attribution::on_round(std::uint32_t round,
+                                                  double round_seconds,
+                                                  double aggregate_seconds) {
+  // Exact join when the round's summaries arrived; otherwise fall back to
+  // each client's latest row (async/serve tiers report client-local round
+  // counters that need not align with the coordinator's).
+  const std::map<int, ClientRound>* rows = nullptr;
+  const auto it = pending_.find(round);
+  if (it != pending_.end() && !it->second.empty()) rows = &it->second;
+  else if (!latest_by_client_.empty()) rows = &latest_by_client_;
+  if (rows == nullptr) return std::nullopt;
+
+  int worst_rank = -1;
+  std::uint64_t worst_busy = 0;
+  const ClientRound* worst = nullptr;
+  for (const auto& [rank, cr] : *rows) {
+    const std::uint64_t busy = busy_ns(cr.phases);
+    if (worst == nullptr || busy > worst_busy) {
+      worst_rank = rank;
+      worst_busy = busy;
+      worst = &cr;
+    }
+  }
+
+  CriticalPath cp;
+  cp.round = round;
+  cp.round_seconds = round_seconds;
+  cp.aggregate_seconds = aggregate_seconds;
+
+  // The bottleneck client's time, bucketed by cause.
+  const double train_s = static_cast<double>(worst->phases[0].total_ns) / 1e9;
+  const double ser_s = static_cast<double>(worst->phases[1].total_ns +
+                                           worst->phases[4].total_ns) / 1e9;
+  const double send_s = static_cast<double>(worst->phases[2].total_ns) / 1e9;
+  const double wait_s = static_cast<double>(worst->phases[3].total_ns) / 1e9;
+  const std::pair<Cause, double> buckets[] = {
+      {Cause::Compute, train_s},
+      {Cause::Serialize, ser_s},
+      {Cause::Send, send_s},
+      {Cause::QueueWait, wait_s},
+      {Cause::Aggregate, aggregate_seconds},
+  };
+  const auto* winner = &buckets[0];
+  for (const auto& b : buckets)
+    if (b.second > winner->second) winner = &b;
+  cp.cause = winner->first;
+  cp.cause_seconds = winner->second;
+  cp.client = cp.cause == Cause::Aggregate ? -1 : worst_rank;
+  cp.client_seconds = static_cast<double>(worst_busy) / 1e9;
+  cp.exemplar_span = cp.cause == Cause::Aggregate ? 0 : worst->span_id;
+
+  pending_.erase(round);  // joined; free the stash
+  latest_ = cp;
+  history_.push_back(cp);
+  while (history_.size() > kHistoryRounds) history_.pop_front();
+  return cp;
+}
+
+void Attribution::reset() {
+  pending_.clear();
+  latest_by_client_.clear();
+  hists_.clear();
+  latest_.reset();
+  history_.clear();
+}
+
+}  // namespace of::obs

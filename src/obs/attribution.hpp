@@ -1,0 +1,144 @@
+// of::obs round critical-path attribution (DESIGN.md §16) — joins the
+// telemetry piggyback (per-client phase digests, clock-synced) with the
+// coordinator's own round health to name, per round, the bottleneck client
+// and the bottleneck phase.
+//
+// Model: a synchronous round's wall time is dominated by
+//
+//   max over clients( recv + decode + train + encode + send ) + aggregate
+//
+// so the bottleneck client is the one with the largest busy total for the
+// round, and the cause is whichever bucket of that client's time — or the
+// coordinator's aggregate span — is largest:
+//
+//   compute    = train            serialize = encode + decode
+//   send       = send             queue_wait = recv (waiting on broadcast /
+//                                              gather queues)
+//   aggregate  = coordinator-side aggregation (client = -1)
+//
+// The engine is a plain value type owned by Fleet and mutated only under
+// Fleet's mutex; it keeps a bounded per-round join window, a per-client
+// round-latency histogram (log2 buckets, same shape as obs::Histogram) and
+// the latest CriticalPath verdicts for /metrics, /fleet and /fleet.json.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "refl/refl.hpp"
+
+namespace of::obs {
+
+enum class Cause : std::uint8_t {
+  Compute,
+  Serialize,
+  Send,
+  QueueWait,
+  Aggregate,
+};
+
+const char* to_string(Cause c);
+
+// One round's verdict. Exported as the `of_fleet_critical_path_*` families
+// straight from this descriptor (telemetry.cpp prom_families), as a JSON
+// object in /fleet.json, and as a health row on /fleet.
+struct CriticalPath {
+  std::uint32_t round = 0;
+  // Bottleneck client's rank; -1 when the coordinator's aggregate phase
+  // dominates.
+  std::int32_t client = -1;
+  Cause cause = Cause::Compute;
+  double cause_seconds = 0.0;   // time in the winning bucket
+  double client_seconds = 0.0;  // bottleneck client's total busy time
+  double round_seconds = 0.0;   // coordinator wall time for the round
+  double aggregate_seconds = 0.0;
+  // Exemplar: the bottleneck client's round span id (v2 telemetry wire),
+  // linking the verdict to the exact span in the merged trace. 0 = unknown.
+  std::uint64_t exemplar_span = 0;
+};
+
+class Attribution {
+ public:
+  // Per-client per-round observation, fed from each stripped telemetry
+  // summary (Fleet::record).
+  void observe_client(std::uint32_t rank, std::uint32_t round,
+                      const PhaseDigest (&phases)[kPhaseCount],
+                      std::uint64_t round_span_id);
+
+  // Coordinator-side round completion: join against the stashed client
+  // rows for `round` (falling back to each client's latest row when the
+  // exact round was never reported — async/serve tiers) and compute the
+  // verdict. Returns nullopt when no client data exists at all.
+  std::optional<CriticalPath> on_round(std::uint32_t round, double round_seconds,
+                                       double aggregate_seconds);
+
+  void reset();
+
+  std::optional<CriticalPath> latest() const { return latest_; }
+  const std::deque<CriticalPath>& history() const { return history_; }
+
+  // Per-client round-latency histogram: log2 buckets over busy-time ns
+  // (bucket i counts rounds with bit_width(busy_ns) == i — the same layout
+  // as obs::Histogram, plain integers because Fleet's mutex already
+  // serializes access).
+  struct LatencyHist {
+    static constexpr std::size_t kBuckets = 65;
+    std::uint64_t buckets[kBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t last_span = 0;  // exemplar: the client's latest round span
+  };
+  const std::map<int, LatencyHist>& client_hists() const { return hists_; }
+
+  static constexpr std::size_t kJoinWindowRounds = 16;
+  static constexpr std::size_t kHistoryRounds = 64;
+
+ private:
+  struct ClientRound {
+    PhaseDigest phases[kPhaseCount];
+    std::uint64_t span_id = 0;
+  };
+
+  std::map<std::uint32_t, std::map<int, ClientRound>> pending_;
+  std::map<int, ClientRound> latest_by_client_;
+  std::map<int, LatencyHist> hists_;
+  std::optional<CriticalPath> latest_;
+  std::deque<CriticalPath> history_;
+};
+
+}  // namespace of::obs
+
+template <>
+struct of::refl::EnumNames<of::obs::Cause> {
+  static constexpr std::pair<of::obs::Cause, const char*> names[] = {
+      {of::obs::Cause::Compute, "compute"},
+      {of::obs::Cause::Serialize, "serialize"},
+      {of::obs::Cause::Send, "send"},
+      {of::obs::Cause::QueueWait, "queue_wait"},
+      {of::obs::Cause::Aggregate, "aggregate"},
+  };
+};
+
+// Exporter schema for the of_fleet_critical_path_* families. `cause` is an
+// enum: skipped by the Prometheus family renderer (non-arithmetic) and
+// rendered as its name string in JSON; the numeric twin `cause_index`
+// would be redundant — the exposition carries the cause as a label on
+// of_fleet_critical_path_info instead (telemetry.cpp).
+template <>
+struct of::refl::Reflect<of::obs::CriticalPath> {
+  using S = of::obs::CriticalPath;
+  OF_REFL_FIELDS(
+      field("round", &S::round, 1),
+      field("client", &S::client, 2),
+      field("cause", &S::cause, 3),
+      field("cause_seconds", &S::cause_seconds, 4),
+      field("client_seconds", &S::client_seconds, 5),
+      field("round_seconds", &S::round_seconds, 6),
+      field("aggregate_seconds", &S::aggregate_seconds, 7),
+      field("exemplar_span", &S::exemplar_span, 8).skip_export())
+};

@@ -219,6 +219,30 @@ std::string to_event_csv(const std::vector<TraceEvent>& events) {
   return os.str();
 }
 
+std::uint64_t percentile_sorted(const std::vector<std::uint64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx =
+      (static_cast<std::size_t>(pct) * (sorted.size() - 1) + 50) / 100;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::uint64_t percentile_log2(const std::uint64_t* buckets, std::size_t n_buckets,
+                              int pct) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) count += buckets[i];
+  if (count == 0) return 0;
+  // Nearest rank: the ceil(pct/100 × count)-th observation, 1-based.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, (count * static_cast<std::uint64_t>(pct) + 99) / 100);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank)
+      return i >= 64 ? ~0ull : (1ull << i) - 1;  // bucket's inclusive bound
+  }
+  return n_buckets >= 64 ? ~0ull : (1ull << n_buckets) - 1;
+}
+
 std::string prom_escape_label(const std::string& value) {
   std::string out;
   out.reserve(value.size());

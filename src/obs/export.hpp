@@ -52,6 +52,18 @@ std::string to_prometheus_text(const Registry& registry);
 // One CSV row per event: ts_ns,dur_ns,tid,node,round,category,name,arg.
 std::string to_event_csv(const std::vector<TraceEvent>& events);
 
+// Nearest-rank percentile over an ascending sample vector; pct in [0,100].
+// The single shared implementation behind every percentile the plane
+// renders (health page, attribution rows) — returns 0 on an empty input.
+std::uint64_t percentile_sorted(const std::vector<std::uint64_t>& sorted, int pct);
+
+// Nearest-rank percentile over log2 bucket counts (obs::Histogram layout:
+// bucket i counts observations v with bit_width(v) == i). Returns the
+// inclusive upper bound of the bucket holding the pct-th observation —
+// the histogram-backed twin of percentile_sorted, ~2× resolution.
+std::uint64_t percentile_log2(const std::uint64_t* buckets, std::size_t n_buckets,
+                              int pct);
+
 // Prometheus label-value escaping (text exposition 0.0.4): backslash,
 // double-quote and newline become \\, \" and \n.
 std::string prom_escape_label(const std::string& value);

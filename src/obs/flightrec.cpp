@@ -1,0 +1,286 @@
+#include "obs/flightrec.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "refl/json.hpp"
+
+namespace of::obs {
+
+namespace {
+
+// The four "the process is about to die" signals worth a post-mortem.
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+struct sigaction g_prev_action[sizeof(kCrashSignals) / sizeof(kCrashSignals[0])];
+
+const char* reason_for_signal(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "sigsegv";
+    case SIGABRT: return "sigabrt";
+    case SIGBUS: return "sigbus";
+    case SIGFPE: return "sigfpe";
+  }
+  return "signal";
+}
+
+// SIGNAL-SAFE BEGIN (checked by tests/check_signal_safety.sh)
+//
+// Byte-appenders over the pre-allocated dump buffer. Contract: no
+// allocation, no locks, no stdio; plain pointer arithmetic only. Output is
+// silently truncated at the buffer bound — the buffer is sized at arm()
+// for the configured event/sample budgets, so truncation means the budget
+// math drifted, not data loss by design.
+struct Sink {
+  char* buf;
+  std::size_t cap;
+  std::size_t len;
+};
+
+void put_ch(Sink& s, char c) {
+  if (s.len < s.cap) s.buf[s.len++] = c;
+}
+
+void put_raw(Sink& s, const char* p, std::size_t n) {
+  const std::size_t take = s.len < s.cap ? std::min(n, s.cap - s.len) : 0;
+  for (std::size_t i = 0; i < take; ++i) s.buf[s.len + i] = p[i];
+  s.len += take;
+}
+
+void put_cstr(Sink& s, const char* p) {
+  while (*p != 0) put_ch(s, *p++);
+}
+
+void put_u64(Sink& s, std::uint64_t v) {
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) put_ch(s, tmp[--n]);
+}
+
+void put_i64(Sink& s, std::int64_t v) {
+  if (v < 0) {
+    put_ch(s, '-');
+    put_u64(s, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    put_u64(s, static_cast<std::uint64_t>(v));
+  }
+}
+
+void put_hex(Sink& s, std::uint64_t v) {
+  put_cstr(s, "0x");
+  char tmp[16];
+  int n = 0;
+  do {
+    const int d = static_cast<int>(v & 0xF);
+    tmp[n++] = static_cast<char>(d < 10 ? '0' + d : 'a' + (d - 10));
+    v >>= 4;
+  } while (v != 0);
+  while (n > 0) put_ch(s, tmp[--n]);
+}
+
+std::uint64_t wall_ns_now() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// write(2) the whole buffer, resuming on EINTR / short writes.
+void write_all(int fd, const char* p, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::dump_signal_safe(const char* reason, int sig) {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  if (in_dump_.exchange(true, std::memory_order_acq_rel)) return;  // re-entry
+
+  // Compose "<prefix>-<reason>.json" into the fixed path buffer.
+  Sink path{path_buf_, sizeof(path_buf_) - 1, 0};
+  put_cstr(path, path_prefix_);
+  put_ch(path, '-');
+  put_cstr(path, reason);
+  put_cstr(path, ".json");
+  path_buf_[path.len] = 0;
+
+  Sink s{buf_.get(), buf_cap_, 0};
+  put_cstr(s, "{\"reason\":\"");
+  put_cstr(s, reason);
+  put_cstr(s, "\",\"signal\":");
+  put_i64(s, sig);
+  put_cstr(s, ",\"trace_id\":\"");
+  put_hex(s, trace_id_);
+  put_cstr(s, "\",\"dump_wall_ns\":");
+  put_u64(s, wall_ns_now());
+
+  // Last-N trace events across the published rings, oldest-first per ring.
+  put_cstr(s, ",\"events\":[");
+  std::size_t events_left = cfg_.max_events;
+  bool first = true;
+  TraceRecorder::global().visit_recent_unsafe(
+      cfg_.max_events, [&](const TraceEvent& e) {
+        if (events_left == 0) return;
+        --events_left;
+        if (!first) put_ch(s, ',');
+        first = false;
+        put_cstr(s, "{\"ts_ns\":");
+        put_u64(s, e.ts_ns);
+        put_cstr(s, ",\"dur_ns\":");
+        put_u64(s, e.dur_ns);
+        put_cstr(s, ",\"name\":\"");
+        put_cstr(s, to_string(e.name));
+        put_cstr(s, "\",\"cat\":\"");
+        put_cstr(s, category(e.name));
+        put_cstr(s, "\",\"node\":");
+        put_i64(s, e.node);
+        put_cstr(s, ",\"round\":");
+        put_u64(s, e.round);
+        put_cstr(s, ",\"tid\":");
+        put_u64(s, e.tid);
+        put_cstr(s, ",\"arg\":");
+        put_u64(s, e.arg);
+        put_cstr(s, ",\"span\":\"");
+        put_hex(s, e.span_id);
+        put_cstr(s, "\",\"parent\":\"");
+        put_hex(s, e.parent_span);
+        put_cstr(s, "\"}");
+      });
+
+  // Most recent profiler samples, raw pcs (symbolization is not
+  // async-signal-safe; post-mortem tooling resolves them offline).
+  put_cstr(s, "],\"profile\":[");
+  first = true;
+  Profiler::global().visit_recent_unsafe(
+      cfg_.max_samples, [&](const ProfileSample& ps) {
+        if (!first) put_ch(s, ',');
+        first = false;
+        put_cstr(s, "{\"ts_ns\":");
+        put_u64(s, ps.ts_ns);
+        put_cstr(s, ",\"lane\":");
+        put_u64(s, ps.lane);
+        put_cstr(s, ",\"frames\":[");
+        const std::uint32_t depth =
+            ps.depth < Profiler::kMaxFrames
+                ? ps.depth
+                : static_cast<std::uint32_t>(Profiler::kMaxFrames);
+        for (std::uint32_t i = 0; i < depth; ++i) {
+          if (i != 0) put_ch(s, ',');
+          put_ch(s, '"');
+          put_hex(s, reinterpret_cast<std::uint64_t>(ps.frames[i]));
+          put_ch(s, '"');
+        }
+        put_cstr(s, "]}");
+      });
+
+  put_cstr(s, "],\"config\":");
+  put_raw(s, config_json_.get(), config_json_len_);
+  put_cstr(s, "}\n");
+
+  const int fd = ::open(path_buf_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    write_all(fd, s.buf, s.len);
+    ::close(fd);
+  }
+  Sink note{nullptr, 0, 0};
+  char note_buf[320];
+  note.buf = note_buf;
+  note.cap = sizeof(note_buf);
+  put_cstr(note, "of::obs flight recorder: wrote ");
+  put_cstr(note, path_buf_);
+  put_ch(note, '\n');
+  write_all(STDERR_FILENO, note.buf, note.len);
+
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  in_dump_.store(false, std::memory_order_release);
+}
+
+void FlightRecorder::crash_handler(int sig) {
+  FlightRecorder& fr = global();
+  fr.dump_signal_safe(reason_for_signal(sig), sig);
+  // Put the original disposition back and re-raise: the process dies (or
+  // core-dumps) exactly as it would have without the recorder.
+  for (std::size_t i = 0; i < sizeof(kCrashSignals) / sizeof(kCrashSignals[0]); ++i)
+    if (kCrashSignals[i] == sig) sigaction(sig, &g_prev_action[i], nullptr);
+  raise(sig);
+}
+// SIGNAL-SAFE END
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder fr;
+  return fr;
+}
+
+void FlightRecorder::arm(const FlightRecConfig& cfg,
+                         const std::string& effective_config_yaml,
+                         std::uint64_t trace_id) {
+  disarm();
+  cfg_ = cfg;
+  trace_id_ = trace_id;
+
+  // Pre-escape the config into a JSON string literal the handler can copy.
+  std::string escaped;
+  refl::json::append_escaped(effective_config_yaml, escaped);
+  config_json_len_ = escaped.size();
+  config_json_ = std::make_unique<char[]>(config_json_len_ + 1);
+  memcpy(config_json_.get(), escaped.data(), config_json_len_);
+
+  strncpy(path_prefix_, cfg.path_prefix.c_str(), sizeof(path_prefix_) - 1);
+  path_prefix_[sizeof(path_prefix_) - 1] = 0;
+
+  // Size the dump buffer for the configured budgets: ~256 bytes per trace
+  // event row, ~(frames × 20 + 64) per profile sample, plus the config
+  // blob and envelope slack.
+  buf_cap_ = cfg.max_events * 256 +
+             cfg.max_samples * (Profiler::kMaxFrames * 20 + 64) +
+             config_json_len_ + 4096;
+  buf_ = std::make_unique<char[]>(buf_cap_);
+
+  if (cfg.on_signal) {
+    struct sigaction sa;
+    memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &FlightRecorder::crash_handler;
+    sa.sa_flags = SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < sizeof(kCrashSignals) / sizeof(kCrashSignals[0]); ++i)
+      sigaction(kCrashSignals[i], &sa, &g_prev_action[i]);
+    handlers_installed_ = true;
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  if (handlers_installed_) {
+    for (std::size_t i = 0; i < sizeof(kCrashSignals) / sizeof(kCrashSignals[0]); ++i)
+      sigaction(kCrashSignals[i], &g_prev_action[i], nullptr);
+    handlers_installed_ = false;
+  }
+}
+
+std::string FlightRecorder::dump(const char* reason) {
+  if (!armed()) return "";
+  dump_signal_safe(reason, 0);
+  return path_buf_;
+}
+
+}  // namespace of::obs

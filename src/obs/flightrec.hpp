@@ -1,0 +1,109 @@
+// of::obs flight recorder — post-mortem capture for crashed or cut runs
+// (DESIGN.md §16).
+//
+// Armed by the Engine when `obs.flightrec.enabled` is set. On SIGSEGV /
+// SIGABRT / SIGBUS / SIGFPE (and, by config, on fault injections and
+// deadline cuts) it dumps a bounded JSON file containing the last-N trace
+// ring events, the most recent profiler samples, and the effective
+// reflected config, then re-raises the signal so the process still dies
+// with the original disposition.
+//
+// Everything the dump needs — output buffer, file path, the pre-escaped
+// config blob — is allocated and formatted at arm() time; the dump path
+// itself is async-signal-safe: open(2)/write(2)/close(2), hand-rolled
+// number formatting into the pre-allocated buffer, and the lock-free
+// visit_recent_unsafe walkers of TraceRecorder and Profiler. That contract
+// is linted by tests/check_signal_safety.sh over the marked region in
+// flightrec.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "refl/refl.hpp"
+
+namespace of::obs {
+
+class Counter;
+
+// The `obs.flightrec` config group (configs/obs/profile.yaml).
+struct FlightRecConfig {
+  bool enabled = false;
+  // Dump file prefix: dumps land at "<path_prefix>-<reason>.json".
+  std::string path_prefix = "flightrec";
+  std::size_t max_events = 2048;   // newest trace events kept in a dump
+  std::size_t max_samples = 256;   // newest profile samples kept in a dump
+  bool on_signal = true;        // install SIGSEGV/SIGABRT/SIGBUS/SIGFPE hooks
+  bool on_deadline_cut = true;  // dump when a round is cut at the deadline
+  bool on_fault = false;        // dump on injected crash faults (noisy)
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  // Pre-allocate the dump buffer, pre-escape `effective_config_yaml`,
+  // remember the run trace id, and (if cfg.on_signal) install the crash
+  // handlers. Re-arming replaces the previous session.
+  void arm(const FlightRecConfig& cfg, const std::string& effective_config_yaml,
+           std::uint64_t trace_id);
+  // Restore previous signal dispositions; captured state stays readable.
+  void disarm();
+
+  bool armed() const noexcept { return armed_.load(std::memory_order_relaxed); }
+  // Gate checks for the two programmatic triggers, cheap enough for the
+  // round loop (one relaxed load each).
+  bool armed_for_deadline_cut() const noexcept {
+    return armed() && cfg_.on_deadline_cut;
+  }
+  bool armed_for_fault() const noexcept { return armed() && cfg_.on_fault; }
+
+  // Programmatic dump (deadline cut, injected fault, tests). Returns the
+  // path written, or "" when not armed. Reason must be a short token
+  // ([a-z0-9_], it lands in the filename).
+  std::string dump(const char* reason);
+
+  std::uint64_t dumps_total() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder() = default;
+  static void crash_handler(int sig);
+  // The async-signal-safe core shared by crash_handler and dump().
+  void dump_signal_safe(const char* reason, int sig);
+
+  FlightRecConfig cfg_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> in_dump_{false};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::uint64_t trace_id_ = 0;
+  // Pre-escaped JSON string literal (quotes included) of the effective
+  // config, rendered at arm() so the handler only copies bytes.
+  std::unique_ptr<char[]> config_json_;
+  std::size_t config_json_len_ = 0;
+  // The dump is formatted into this pre-allocated buffer.
+  std::unique_ptr<char[]> buf_;
+  std::size_t buf_cap_ = 0;
+  char path_prefix_[192] = {0};
+  char path_buf_[256] = {0};  // last dump's full path
+  bool handlers_installed_ = false;
+};
+
+}  // namespace of::obs
+
+template <>
+struct of::refl::Reflect<of::obs::FlightRecConfig> {
+  using S = of::obs::FlightRecConfig;
+  OF_REFL_FIELDS(
+      field("enabled", &S::enabled, 1),
+      field("path_prefix", &S::path_prefix, 2),
+      field("max_events", &S::max_events, 3).ge(1),
+      field("max_samples", &S::max_samples, 4).ge(1),
+      field("on_signal", &S::on_signal, 5),
+      field("on_deadline_cut", &S::on_deadline_cut, 6),
+      field("on_fault", &S::on_fault, 7))
+};

@@ -16,6 +16,8 @@
 
 #include "config/node.hpp"
 #include "obs/export.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "refl/refl.hpp"
@@ -50,6 +52,12 @@ struct ObsConfig {
   // Readers accept both regardless of this setting.
   int telemetry_wire = 2;
 
+  // Tier-two observability (DESIGN.md §16): the SIGPROF sampling profiler
+  // and the crash/deadline flight recorder. Nested reflected groups so
+  // `obs.profile.hz: 97` etc. strict-validate like every other key.
+  ProfileConfig profile;
+  FlightRecConfig flightrec;
+
   // Parse the `obs:` config group; a null/missing node yields the disabled
   // default.
   static ObsConfig from_config(const config::ConfigNode& node, bool strict = true);
@@ -68,5 +76,7 @@ struct of::refl::Reflect<of::obs::ObsConfig> {
       field("telemetry", &of::obs::ObsConfig::telemetry, 6),
       field("clock_sync_rounds", &of::obs::ObsConfig::clock_sync_rounds, 7),
       field("split_trace_per_node", &of::obs::ObsConfig::split_trace_per_node, 8),
-      field("telemetry_wire", &of::obs::ObsConfig::telemetry_wire, 9).ge(1).le(2))
+      field("telemetry_wire", &of::obs::ObsConfig::telemetry_wire, 9).ge(1).le(2),
+      field("profile", &of::obs::ObsConfig::profile, 10).skip_export(),
+      field("flightrec", &of::obs::ObsConfig::flightrec, 11).skip_export())
 };

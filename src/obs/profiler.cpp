@@ -1,0 +1,286 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/time.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace of::obs {
+
+namespace {
+
+// Lane handle for the calling thread. The generation tag detects start()
+// re-arms so a lane index from a previous profiling session is never
+// reused against fresh storage. Plain ints: async-signal-safe to read and
+// write from the handler.
+struct TlLane {
+  int lane = -1;
+  std::uint64_t generation = 0;
+};
+thread_local TlLane t_lane;
+// Label registered by set_thread_name before (or after) a lane exists.
+thread_local char t_name[16] = {0};
+
+std::atomic<std::uint64_t> g_generation{1};
+
+std::uint64_t monotonic_ns() noexcept {
+  // clock_gettime is async-signal-safe (POSIX.1-2008).
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+struct sigaction g_prev_sigprof;
+
+}  // namespace
+
+Profiler& Profiler::global() {
+  static Profiler p;
+  return p;
+}
+
+// SIGNAL-SAFE BEGIN (checked by tests/check_signal_safety.sh)
+//
+// Runs under SIGPROF at the configured rate on whichever thread the kernel
+// picked. Contract: no allocation, no locks, no stdio, no C++ runtime
+// entry points that may allocate. Only pre-allocated Lanes storage, plain
+// thread-locals, relaxed/release atomics, clock_gettime and backtrace
+// (primed at start(), see there).
+void Profiler::sigprof_handler(int) {
+  Profiler& p = global();
+  if (!p.enabled_.load(std::memory_order_relaxed)) return;
+  Lanes* ls = p.lanes_.load(std::memory_order_acquire);
+  if (ls == nullptr) return;
+
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  int lane = t_lane.generation == gen ? t_lane.lane : -1;
+  if (lane < 0) {
+    const std::uint32_t claimed =
+        p.lane_count_.fetch_add(1, std::memory_order_acq_rel);
+    if (claimed >= kMaxLanes) {
+      // Out of lanes: remember that (lane == kMaxLanes sentinel) so this
+      // thread does not burn a fresh claim on every signal.
+      t_lane.lane = static_cast<int>(kMaxLanes);
+      t_lane.generation = gen;
+      p.dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    lane = static_cast<int>(claimed);
+    t_lane.lane = lane;
+    t_lane.generation = gen;
+    Lane& l = ls->lanes[lane];
+    if (t_name[0] != 0) {
+      for (std::size_t i = 0; i < sizeof(l.name); ++i) l.name[i] = t_name[i];
+    }
+  }
+  if (lane >= static_cast<int>(kMaxLanes)) {
+    p.dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Lane& l = ls->lanes[lane];
+  const std::uint64_t w = l.widx.load(std::memory_order_relaxed);
+  Slot& slot = ls->slots[static_cast<std::size_t>(lane) * ls->ring_capacity +
+                         (w % ls->ring_capacity)];
+  // Seqlock: odd while writing, back to even (2*(w+1)) when published.
+  slot.seq.store(2 * w + 1, std::memory_order_release);
+  slot.sample.ts_ns = monotonic_ns();
+  slot.sample.lane = static_cast<std::uint32_t>(lane);
+  const int depth = backtrace(slot.sample.frames,
+                              static_cast<int>(p.max_frames_));
+  slot.sample.depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+  slot.seq.store(2 * (w + 1), std::memory_order_release);
+  l.widx.store(w + 1, std::memory_order_release);
+  p.samples_.fetch_add(1, std::memory_order_relaxed);
+}
+// SIGNAL-SAFE END
+
+void Profiler::start(const ProfileConfig& cfg) {
+  if (!cfg.enabled) return;
+  stop();  // idempotence: disarm any previous session first
+
+  max_frames_ = std::min<std::size_t>(std::max<std::size_t>(cfg.max_frames, 1),
+                                      kMaxFrames);
+  // Fresh storage; the old block (if any) is freed here, while no handler
+  // is installed.
+  storage_ = std::make_unique<Lanes>(std::max<std::size_t>(cfg.ring_capacity, 16));
+  lane_count_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  lanes_.store(storage_.get(), std::memory_order_release);
+
+  // Prime the unwinder outside the handler: the first backtrace() call
+  // dlopen()s libgcc, which allocates — do that here, never under SIGPROF
+  // (the standard glibc/gperftools discipline).
+  void* prime[4];
+  (void)backtrace(prime, 4);
+
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &Profiler::sigprof_handler;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGPROF, &sa, &g_prev_sigprof);
+  handler_installed_ = true;
+
+  enabled_.store(true, std::memory_order_relaxed);
+
+  const long usec = std::max(1000000L / std::max(cfg.hz, 1), 1L);
+  struct itimerval tv;
+  tv.it_interval.tv_sec = usec / 1000000;
+  tv.it_interval.tv_usec = usec % 1000000;
+  tv.it_value = tv.it_interval;
+  setitimer(ITIMER_PROF, &tv, nullptr);
+  timer_armed_ = true;
+}
+
+void Profiler::stop() {
+  if (timer_armed_) {
+    struct itimerval off;
+    memset(&off, 0, sizeof(off));
+    setitimer(ITIMER_PROF, &off, nullptr);
+    timer_armed_ = false;
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+  if (handler_installed_) {
+    sigaction(SIGPROF, &g_prev_sigprof, nullptr);
+    handler_installed_ = false;
+  }
+  // storage_ stays alive (samples remain readable) until the next start().
+}
+
+void Profiler::set_thread_name(const char* name) {
+  strncpy(t_name, name == nullptr ? "" : name, sizeof(t_name) - 1);
+  t_name[sizeof(t_name) - 1] = 0;
+  // If this thread already holds a lane in the live session, relabel it.
+  Profiler& p = global();
+  Lanes* ls = p.lanes_.load(std::memory_order_acquire);
+  if (ls != nullptr && t_lane.lane >= 0 &&
+      t_lane.lane < static_cast<int>(kMaxLanes) &&
+      t_lane.generation == g_generation.load(std::memory_order_relaxed)) {
+    memcpy(ls->lanes[t_lane.lane].name, t_name, sizeof(t_name));
+  }
+}
+
+std::vector<ProfileSample> Profiler::snapshot() const {
+  std::vector<ProfileSample> out;
+  const Lanes* ls = lanes_.load(std::memory_order_acquire);
+  if (ls == nullptr) return out;
+  const std::size_t nlanes =
+      std::min<std::size_t>(lane_count_.load(std::memory_order_acquire), kMaxLanes);
+  for (std::size_t li = 0; li < nlanes; ++li) {
+    const Lane& lane = ls->lanes[li];
+    const std::uint64_t w = lane.widx.load(std::memory_order_acquire);
+    const std::uint64_t cap = ls->ring_capacity;
+    const std::uint64_t first = w > cap ? w - cap : 0;
+    for (std::uint64_t i = first; i < w; ++i) {
+      const Slot& s = ls->slots[li * cap + (i % cap)];
+      const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+      if (seq1 & 1) continue;  // being written right now
+      ProfileSample copy = s.sample;
+      const std::uint64_t seq2 = s.seq.load(std::memory_order_acquire);
+      if (seq1 != seq2) continue;  // overwritten mid-copy
+      if (copy.depth > kMaxFrames) continue;  // torn header
+      out.push_back(copy);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProfileSample& a, const ProfileSample& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::string Profiler::lane_name(std::size_t i) const {
+  const Lanes* ls = lanes_.load(std::memory_order_acquire);
+  if (ls != nullptr && i < kMaxLanes && ls->lanes[i].name[0] != 0) {
+    char buf[17] = {0};
+    memcpy(buf, ls->lanes[i].name, 16);
+    return buf;
+  }
+  return "lane" + std::to_string(i);
+}
+
+std::string Profiler::symbolize_pc(void* pc) {
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string s(demangled);
+      free(demangled);
+      // Collapsed-stack separators are ';' and ' '; scrub them from the
+      // (possibly templated) symbol so the format stays parseable.
+      for (char& c : s)
+        if (c == ';' || c == ' ') c = '_';
+      return s;
+    }
+    return info.dli_sname;
+  }
+  if (dladdr(pc, &info) != 0 && info.dli_fname != nullptr && info.dli_fbase != nullptr) {
+    const char* base = strrchr(info.dli_fname, '/');
+    std::ostringstream os;
+    os << (base ? base + 1 : info.dli_fname) << "+0x" << std::hex
+       << (reinterpret_cast<std::uintptr_t>(pc) -
+           reinterpret_cast<std::uintptr_t>(info.dli_fbase));
+    return os.str();
+  }
+  std::ostringstream os;
+  os << "0x" << std::hex << reinterpret_cast<std::uintptr_t>(pc);
+  return os.str();
+}
+
+std::string Profiler::collapse(const std::vector<ProfileSample>& samples,
+                               const std::vector<std::string>& lane_names,
+                               const Symbolizer& symbolize) {
+  // Symbolize each distinct pc once; stacks fold root→leaf.
+  std::map<void*, std::string> symcache;
+  auto sym = [&](void* pc) -> const std::string& {
+    auto it = symcache.find(pc);
+    if (it == symcache.end()) it = symcache.emplace(pc, symbolize(pc)).first;
+    return it->second;
+  };
+  std::map<std::string, std::uint64_t> folded;
+  for (const ProfileSample& s : samples) {
+    std::string line = s.lane < lane_names.size()
+                           ? lane_names[s.lane]
+                           : "lane" + std::to_string(s.lane);
+    const std::uint32_t depth = std::min<std::uint32_t>(s.depth, kMaxFrames);
+    for (std::uint32_t i = depth; i > 0; --i) {  // frames[0] = leaf → emit last
+      line += ';';
+      line += sym(s.frames[i - 1]);
+    }
+    ++folded[line];
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::collapsed_text() const {
+  const Lanes* ls = lanes_.load(std::memory_order_acquire);
+  if (ls == nullptr) return "";
+  std::vector<std::string> names;
+  const std::size_t nlanes =
+      std::min<std::size_t>(lane_count_.load(std::memory_order_acquire), kMaxLanes);
+  names.reserve(nlanes);
+  for (std::size_t i = 0; i < nlanes; ++i) names.push_back(lane_name(i));
+  return collapse(snapshot(), names, &Profiler::symbolize_pc);
+}
+
+}  // namespace of::obs

@@ -1,0 +1,186 @@
+// of::obs sampling profiler — SIGPROF-driven stack sampling into per-thread
+// lock-free rings, the "tier two" companion to TraceRecorder (DESIGN.md §16).
+//
+// Discipline mirrors trace.hpp: all memory is allocated on the control path
+// (start()), the signal handler touches only pre-allocated slots plus one
+// thread-local int, and the disabled path is a single relaxed atomic load
+// (benched in bench_obs_overhead, budget ≤ 10 ns / 0 allocs). Each sample
+// slot carries a per-slot seqlock so live readers (/profile scrapes, the
+// flight recorder) can skip torn writes without ever blocking the handler.
+//
+// Samples are raw program counters; symbolization (dladdr + demangle) runs
+// only on the export path, never under the signal. The export format is
+// collapsed stacks ("root;frame;leaf count"), directly consumable by
+// flamegraph.pl / speedscope / inferno.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/node.hpp"
+#include "refl/refl.hpp"
+
+namespace of::obs {
+
+// The `obs.profile` config group (configs/obs/profile.yaml).
+struct ProfileConfig {
+  bool enabled = false;
+  // Sampling frequency. 97 (prime) by default so the sampler cannot phase-
+  // lock with millisecond-periodic work.
+  int hz = 97;
+  std::size_t max_frames = 24;     // capped at Profiler::kMaxFrames
+  std::size_t ring_capacity = 2048;  // samples kept per thread (newest-N)
+  std::string path;  // collapsed-stack output file; empty = no file export
+};
+
+// One captured stack. frames[0] is the innermost (leaf) pc.
+struct ProfileSample {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t lane = 0;   // profiler lane (≈ thread) that took it
+  std::uint32_t depth = 0;
+  void* frames[/*kMaxFrames*/ 32];
+};
+
+class Profiler {
+ public:
+  static constexpr std::size_t kMaxFrames = 32;
+  static constexpr std::size_t kMaxLanes = 64;  // concurrent sampled threads
+
+  static Profiler& global();
+
+  // The disabled fast path: one relaxed atomic load (the "potential sample
+  // point" cost everywhere outside the signal handler).
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  // Allocate lanes, prime the libgcc unwinder, install the SIGPROF handler
+  // and arm ITIMER_PROF at cfg.hz. Idempotent per run; not re-entrant with
+  // itself. No-op when cfg.enabled is false.
+  void start(const ProfileConfig& cfg);
+  // Disarm the timer, restore the previous SIGPROF disposition, keep the
+  // captured samples readable until the next start().
+  void stop();
+
+  // Label the calling thread's samples ("node3", "epoll-loop", …). Cheap
+  // (one TLS strncpy); safe to call whether or not the profiler is running,
+  // so instrumented threads call it unconditionally.
+  static void set_thread_name(const char* name);
+
+  // Consistent copies of the surviving samples (newest-N per lane, torn
+  // slots skipped). Safe while sampling is live.
+  std::vector<ProfileSample> snapshot() const;
+
+  std::uint64_t samples_total() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_total() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Collapsed-stack (folded) text: one "lane_name;outer;…;leaf count" line
+  // per unique stack, sorted, flamegraph.pl-compatible. The symbolizer maps
+  // a pc to a frame name; the default (symbolize_pc) uses dladdr and
+  // demangles; tests inject a deterministic one.
+  using Symbolizer = std::function<std::string(void*)>;
+  static std::string collapse(const std::vector<ProfileSample>& samples,
+                              const std::vector<std::string>& lane_names,
+                              const Symbolizer& symbolize);
+  // dladdr + __cxa_demangle; falls back to "module+0x<off>" then "0x<pc>".
+  static std::string symbolize_pc(void* pc);
+
+  // snapshot() + collapse() with the live lane names and the default
+  // symbolizer — what the /profile scrape route and --profile file export
+  // serve. Empty string when the profiler never started.
+  std::string collapsed_text() const;
+
+  // Name of lane i as registered via set_thread_name ("lane<i>" default).
+  std::string lane_name(std::size_t i) const;
+
+  // Visit recent raw samples lock-free, newest-first per lane, at most
+  // `max_total` across lanes. Async-signal-safe (no allocation, no locks):
+  // the flight recorder calls this from a crash handler. fn receives slots
+  // that may be torn only if the seqlock check races a concurrent crash —
+  // acceptable for post-mortem output.
+  template <class Fn>
+  void visit_recent_unsafe(std::size_t max_total, Fn&& fn) const {
+    const Lanes* ls = lanes_.load(std::memory_order_acquire);
+    if (ls == nullptr) return;
+    std::size_t emitted = 0;
+    const std::size_t nlanes =
+        std::min<std::size_t>(lane_count_.load(std::memory_order_acquire), kMaxLanes);
+    for (std::size_t li = 0; li < nlanes && emitted < max_total; ++li) {
+      const Lane& lane = ls->lanes[li];
+      const std::uint64_t w = lane.widx.load(std::memory_order_acquire);
+      const std::uint64_t cap = ls->ring_capacity;
+      const std::uint64_t first = w > cap ? w - cap : 0;
+      for (std::uint64_t i = w; i > first && emitted < max_total; --i) {
+        const Slot& s = ls->slots[li * cap + ((i - 1) % cap)];
+        const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+        if (seq1 & 1) continue;  // mid-write
+        fn(s.sample);
+        ++emitted;
+      }
+    }
+  }
+
+  std::size_t ring_capacity() const noexcept {
+    const Lanes* ls = lanes_.load(std::memory_order_acquire);
+    return ls ? ls->ring_capacity : 0;
+  }
+
+ private:
+  Profiler() = default;
+
+  // One sample slot, seqlock-published: odd seq = write in progress.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    ProfileSample sample;
+  };
+
+  // One thread's sample ring + label. Fixed-size name so the claim path
+  // (which can run inside the handler) is a plain byte copy.
+  struct Lane {
+    std::atomic<std::uint64_t> widx{0};
+    char name[16] = {0};
+  };
+
+  // All sampling storage, allocated as one block on start() and published
+  // with a release store so the handler sees fully constructed memory.
+  struct Lanes {
+    explicit Lanes(std::size_t cap)
+        : ring_capacity(cap), slots(new Slot[kMaxLanes * cap]) {}
+    std::size_t ring_capacity;
+    std::unique_ptr<Slot[]> slots;  // lane-major: [lane * cap + idx]
+    Lane lanes[kMaxLanes];
+  };
+
+  static void sigprof_handler(int);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<Lanes*> lanes_{nullptr};
+  std::atomic<std::uint32_t> lane_count_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::size_t max_frames_ = 24;
+  bool timer_armed_ = false;
+  bool handler_installed_ = false;
+  std::unique_ptr<Lanes> storage_;  // owner of what lanes_ points at
+};
+
+}  // namespace of::obs
+
+template <>
+struct of::refl::Reflect<of::obs::ProfileConfig> {
+  using S = of::obs::ProfileConfig;
+  OF_REFL_FIELDS(
+      field("enabled", &S::enabled, 1),
+      field("hz", &S::hz, 2).ge(1).le(1000),
+      field("max_frames", &S::max_frames, 3).ge(1).le(32),
+      field("ring_capacity", &S::ring_capacity, 4).ge(16),
+      field("path", &S::path, 5))
+};

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 
@@ -27,6 +28,19 @@ HttpResponse handle_scrape(const std::string& path) {
   if (path == "/fleet.csv") {
     r.content_type = "text/csv; charset=utf-8";
     r.body = Fleet::global().csv_text();
+    return r;
+  }
+  if (path == "/profile") {
+    // Collapsed stacks (flamegraph.pl folded format); 404 until the
+    // profiler has run so tooling can distinguish "off" from "idle".
+    if (Profiler::global().ring_capacity() == 0) {
+      r.status = 404;
+      r.content_type = "text/plain; charset=utf-8";
+      r.body = "profiler disabled (set obs.profile.enabled)\n";
+      return r;
+    }
+    r.content_type = "text/plain; charset=utf-8";
+    r.body = Profiler::global().collapsed_text();
     return r;
   }
   r.status = 404;

@@ -55,13 +55,6 @@ std::int64_t get_i64(const std::uint8_t*& p) {
   return static_cast<std::int64_t>(get_u64(p));
 }
 
-// Nearest-rank percentile over an ascending vector; n must be > 0.
-std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int pct) {
-  const std::size_t idx =
-      (static_cast<std::size_t>(pct) * (sorted.size() - 1) + 50) / 100;
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 // One Prometheus sample value: bools as 0/1, doubles through prom_double,
 // vectors as their size, integers verbatim.
 template <class V>
@@ -198,6 +191,9 @@ void Fleet::reset(std::uint64_t trace_id) {
   last_round_.reset();
   combiners_.clear();
   serve_.reset();
+  attribution_.reset();
+  for (auto& h : phase_hist_)
+    for (auto& b : h) b = 0;
 }
 
 void Fleet::record(const TelemetrySummary& s) {
@@ -209,12 +205,21 @@ void Fleet::record(const TelemetrySummary& s) {
     n.cum_phases[i].count += s.phases[i].count;
     n.cum_phases[i].total_ns += s.phases[i].total_ns;
     n.cum_phases[i].max_ns = std::max(n.cum_phases[i].max_ns, s.phases[i].max_ns);
+    // Histogram-backed /fleet percentiles: one observation per phase per
+    // reported round (the log2 bucket of the phase's total ns).
+    if (s.phases[i].count > 0) {
+      std::size_t w = 0;
+      for (std::uint64_t v = s.phases[i].total_ns; v != 0; v >>= 1) ++w;
+      ++phase_hist_[i][w];
+    }
   }
+  attribution_.observe_client(s.rank, s.round, s.phases, s.round_span_id);
 }
 
 void Fleet::record_round(const RoundHealth& h) {
   std::lock_guard<std::mutex> lock(mu_);
   last_round_ = h;
+  attribution_.on_round(h.round, h.seconds, h.aggregate_seconds);
 }
 
 void Fleet::record_combiner(const CombinerHealth& h) {
@@ -251,6 +256,16 @@ std::vector<TelemetrySummary> Fleet::latest() const {
   out.reserve(nodes_.size());
   for (const auto& [rank, n] : nodes_) out.push_back(n.last);
   return out;
+}
+
+std::optional<CriticalPath> Fleet::critical_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attribution_.latest();
+}
+
+std::map<int, Attribution::LatencyHist> Fleet::client_hists() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attribution_.client_hists();
 }
 
 std::map<int, std::int64_t> Fleet::clock_offsets() const {
@@ -304,6 +319,40 @@ std::string Fleet::prometheus_text() const {
   if (last_round_)
     prom_families<RoundHealth>(os, "of_fleet_", nullptr, {{0, &*last_round_}});
 
+  // Attribution verdict: numeric fields from the CriticalPath descriptor,
+  // the cause itself as a label on the derived _info series.
+  if (const auto cp = attribution_.latest()) {
+    prom_families<CriticalPath>(os, "of_fleet_critical_path_", nullptr, {{0, &*cp}});
+    os << "# TYPE of_fleet_critical_path_info gauge\n"
+       << "of_fleet_critical_path_info{cause=\"" << to_string(cp->cause)
+       << "\",client=\"" << cp->client << "\"} 1\n";
+  }
+
+  // Per-client round-latency histograms (attribution engine): bucket
+  // bounds in seconds, cumulative up to the last non-empty bucket.
+  if (!attribution_.client_hists().empty()) {
+    os << "# TYPE of_fleet_client_round_seconds histogram\n";
+    for (const auto& [rank, h] : attribution_.client_hists()) {
+      std::size_t last = 0;
+      for (std::size_t i = 0; i < Attribution::LatencyHist::kBuckets; ++i)
+        if (h.buckets[i] > 0) last = i;
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i <= last; ++i) {
+        cum += h.buckets[i];
+        const std::uint64_t bound_ns = i >= 64 ? ~0ull : (1ull << i) - 1;
+        os << "of_fleet_client_round_seconds_bucket{node=\"" << rank << "\",le=\""
+           << prom_double(static_cast<double>(bound_ns) / 1e9) << "\"} " << cum
+           << '\n';
+      }
+      os << "of_fleet_client_round_seconds_bucket{node=\"" << rank
+         << "\",le=\"+Inf\"} " << h.count << '\n'
+         << "of_fleet_client_round_seconds_sum{node=\"" << rank << "\"} "
+         << prom_double(static_cast<double>(h.sum_ns) / 1e9) << '\n'
+         << "of_fleet_client_round_seconds_count{node=\"" << rank << "\"} "
+         << h.count << '\n';
+    }
+  }
+
   if (!combiners_.empty()) {
     std::vector<std::pair<int, const CombinerHealth*>> crows;
     crows.reserve(combiners_.size());
@@ -352,6 +401,49 @@ std::string Fleet::json_text() const {
   }
   out += "],\"last_round\":";
   out += last_round_ ? refl::json::to_json(*last_round_) : std::string("null");
+  out += ",\"critical_path\":";
+  if (const auto cp = attribution_.latest()) {
+    std::string obj = refl::json::to_json(*cp);
+    obj.pop_back();  // reopen: the exemplar span renders as a hex string
+    std::ostringstream span;
+    span << "0x" << std::hex << cp->exemplar_span;
+    obj += ",\"exemplar_span\":";
+    refl::json::append_escaped(span.str(), obj);
+    obj += '}';
+    out += obj;
+  } else {
+    out += "null";
+  }
+  // Per-client latency digest: count / total / shared nearest-rank
+  // percentiles over the log2 histogram, plus the exemplar span id.
+  out += ",\"clients_latency\":{";
+  {
+    bool cfirst = true;
+    for (const auto& [rank, h] : attribution_.client_hists()) {
+      if (!cfirst) out += ',';
+      cfirst = false;
+      refl::json::append_escaped(std::to_string(rank), out);
+      out += ":{\"rounds\":" + std::to_string(h.count);
+      out += ",\"total_seconds\":";
+      refl::json::append_double(static_cast<double>(h.sum_ns) / 1e9, out);
+      out += ",\"p50_seconds\":";
+      refl::json::append_double(
+          static_cast<double>(percentile_log2(
+              h.buckets, Attribution::LatencyHist::kBuckets, 50)) / 1e9,
+          out);
+      out += ",\"p95_seconds\":";
+      refl::json::append_double(
+          static_cast<double>(percentile_log2(
+              h.buckets, Attribution::LatencyHist::kBuckets, 95)) / 1e9,
+          out);
+      std::ostringstream span;
+      span << "0x" << std::hex << h.last_span;
+      out += ",\"exemplar_span\":";
+      refl::json::append_escaped(span.str(), out);
+      out += '}';
+    }
+  }
+  out += '}';
   out += ",\"combiners\":[";
   first = true;
   for (const auto& [g, h] : combiners_) {
@@ -410,7 +502,21 @@ std::string Fleet::health_text() const {
       os << (i ? " " : "") << h.dropped[i];
     os << "], deadline_hit " << (h.deadline_hit ? "yes" : "no") << ", bytes up "
        << h.bytes_up << " / down " << h.bytes_down << ", " << std::fixed
-       << std::setprecision(3) << h.seconds << " s\n";
+       << std::setprecision(3) << h.seconds << " s (aggregate "
+       << h.aggregate_seconds << " s)\n";
+    os.unsetf(std::ios::fixed);
+  }
+
+  if (const auto cp = attribution_.latest()) {
+    os << "critical path: round " << cp->round << " -> ";
+    if (cp->client < 0)
+      os << "coordinator";
+    else
+      os << "client " << cp->client;
+    os << ", cause " << to_string(cp->cause) << " (" << std::fixed
+       << std::setprecision(3) << cp->cause_seconds << " s of " << cp->round_seconds
+       << " s round, client busy " << cp->client_seconds << " s), span 0x"
+       << std::hex << cp->exemplar_span << std::dec << '\n';
     os.unsetf(std::ios::fixed);
   }
 
@@ -444,12 +550,13 @@ std::string Fleet::health_text() const {
         pool_total == 0
             ? 0.0
             : 100.0 * static_cast<double>(n.last.pool_hits) / static_cast<double>(pool_total);
-    os << "node " << rank << ": round=" << n.last.round
-       << " offset_us=" << n.last.clock_offset_ns / 1000
-       << " rtt_us=" << n.last.rtt_ns / 1000 << " sent=" << n.last.bytes_sent
-       << " recv=" << n.last.bytes_received << " pool_hit%=" << prom_double(hit_pct)
-       << " reconnects=" << n.last.reconnects << " faults=" << n.last.faults_injected
-       << '\n';
+    // Units rule: every duration on this page is seconds.
+    os << "node " << rank << ": round=" << n.last.round << " offset_s="
+       << prom_double(static_cast<double>(n.last.clock_offset_ns) / 1e9)
+       << " rtt_s=" << prom_double(static_cast<double>(n.last.rtt_ns) / 1e9)
+       << " sent=" << n.last.bytes_sent << " recv=" << n.last.bytes_received
+       << " pool_hit%=" << prom_double(hit_pct) << " reconnects="
+       << n.last.reconnects << " faults=" << n.last.faults_injected << '\n';
   }
 
   os << "stragglers:";
@@ -462,20 +569,23 @@ std::string Fleet::health_text() const {
   if (!any_straggler) os << " none";
   os << '\n';
 
-  // Cross-node phase percentiles for the latest reported round.
-  os << "phase p50/p95 ms (latest round):";
+  // Cross-node phase percentiles, histogram-backed: every reported round
+  // of every node is one observation, so the numbers survive stragglers
+  // that stopped reporting. Seconds, like every duration on this page.
+  os << "phase p50/p95 s (all rounds):";
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
-    std::vector<std::uint64_t> totals;
-    for (const auto& [rank, n] : nodes_)
-      if (n.last.phases[i].count > 0) totals.push_back(n.last.phases[i].total_ns);
     os << ' ' << phase_label(i) << '=';
-    if (totals.empty()) {
+    std::uint64_t total = 0;
+    for (const auto b : phase_hist_[i]) total += b;
+    if (total == 0) {
       os << "-/-";
       continue;
     }
-    std::sort(totals.begin(), totals.end());
-    os << prom_double(static_cast<double>(percentile(totals, 50)) / 1e6) << '/'
-       << prom_double(static_cast<double>(percentile(totals, 95)) / 1e6);
+    os << prom_double(static_cast<double>(percentile_log2(
+              phase_hist_[i], Attribution::LatencyHist::kBuckets, 50)) / 1e9)
+       << '/'
+       << prom_double(static_cast<double>(percentile_log2(
+              phase_hist_[i], Attribution::LatencyHist::kBuckets, 95)) / 1e9);
   }
   os << '\n';
   return os.str();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "obs/attribution.hpp"
 #include "obs/context.hpp"
 #include "refl/refl.hpp"
 
@@ -52,6 +53,10 @@ struct TelemetrySummary {
   // Peak resident set of the reporting process (getrusage ru_maxrss), kB.
   // v2-wire only: the frozen v1 fixed layout predates it.
   std::uint64_t peak_rss_kb = 0;
+  // The client's open round span id when the summary was built — the
+  // attribution engine's exemplar link into the merged trace. v2-wire
+  // only; 0 when tracing is off or the sender predates the field.
+  std::uint64_t round_span_id = 0;
 
   // Wire size of the *v1* fixed-layout blob (fields + magic/version
   // header). The v1 layout is frozen — new fields ride the v2 TLV wire.
@@ -96,6 +101,9 @@ class Fleet {
     std::uint64_t bytes_up = 0;
     std::uint64_t bytes_down = 0;
     double seconds = 0.0;
+    // Coordinator-side aggregation time for the round — the server-side
+    // candidate the attribution engine weighs against client phases.
+    double aggregate_seconds = 0.0;
   };
 
   // One combiner's (group leader's) view of a finished round — the
@@ -149,6 +157,11 @@ class Fleet {
   std::uint64_t trace_id() const;
   // Latest summary per node, ascending rank.
   std::vector<TelemetrySummary> latest() const;
+  // Latest round critical-path verdict from the attribution engine, when
+  // round health and client telemetry have both arrived.
+  std::optional<CriticalPath> critical_path() const;
+  // Per-client round-latency histograms (attribution engine), keyed by rank.
+  std::map<int, Attribution::LatencyHist> client_hists() const;
   // Node rank → min-RTT clock offset (ns, client − coordinator). Nodes
   // that never reported an offset are omitted.
   std::map<int, std::int64_t> clock_offsets() const;
@@ -179,6 +192,11 @@ class Fleet {
   std::optional<RoundHealth> last_round_;
   std::map<int, CombinerHealth> combiners_;  // group id → latest row
   std::optional<ServeHealth> serve_;
+  // Mutated only under mu_ (the engine itself is lock-free plain data).
+  Attribution attribution_;
+  // Cross-client per-phase round-time histograms (log2 buckets over ns),
+  // fed once per summary — what the /fleet percentiles render from.
+  std::uint64_t phase_hist_[kPhaseCount][Attribution::LatencyHist::kBuckets] = {};
 };
 
 }  // namespace of::obs
@@ -206,7 +224,8 @@ struct of::refl::Reflect<of::obs::TelemetrySummary> {
       field("frames_dropped", &S::frames_dropped, 11).counter().prom_name("frames_dropped_total"),
       field("faults_injected", &S::faults_injected, 12).counter().prom_name("faults_injected_total"),
       field("phases", &S::phases, 13).skip_export(),
-      field("peak_rss_kb", &S::peak_rss_kb, 14))
+      field("peak_rss_kb", &S::peak_rss_kb, 14),
+      field("round_span_id", &S::round_span_id, 15).skip_export())
 };
 
 template <>
@@ -220,7 +239,9 @@ struct of::refl::Reflect<of::obs::Fleet::RoundHealth> {
       field("deadline_hit", &S::deadline_hit, 5).prom_name("last_round_deadline_hit"),
       field("bytes_up", &S::bytes_up, 6).prom_name("last_round_bytes_up"),
       field("bytes_down", &S::bytes_down, 7).prom_name("last_round_bytes_down"),
-      field("seconds", &S::seconds, 8).prom_name("last_round_seconds"))
+      field("seconds", &S::seconds, 8).prom_name("last_round_seconds"),
+      field("aggregate_seconds", &S::aggregate_seconds, 9)
+          .prom_name("last_round_aggregate_seconds"))
 };
 
 template <>

@@ -95,6 +95,10 @@ TraceRecorder& TraceRecorder::global() {
 
 void TraceRecorder::reset(std::size_t ring_capacity) {
   std::lock_guard<std::mutex> lock(rings_mu_);
+  // Unpublish before freeing so a lock-free reader (flight recorder) that
+  // loads the table mid-reset sees nulls, not dangling pointers.
+  ring_count_.store(0, std::memory_order_release);
+  for (auto& slot : ring_table_) slot.store(nullptr, std::memory_order_release);
   rings_.clear();
   ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
   epoch_ = std::chrono::steady_clock::now();
@@ -110,7 +114,14 @@ TraceRecorder::Ring* TraceRecorder::ring_for_this_thread() {
   const std::uint64_t locked_gen = generation_.load(std::memory_order_relaxed);
   rings_.push_back(std::make_unique<Ring>(ring_capacity_,
                                           static_cast<std::uint32_t>(rings_.size())));
-  t_ring.ring = rings_.back().get();
+  Ring* ring = rings_.back().get();
+  // Publish to the lock-free table (release: the Ring is fully built).
+  const std::size_t idx = rings_.size() - 1;
+  if (idx < kMaxPublishedRings) {
+    ring_table_[idx].store(ring, std::memory_order_release);
+    ring_count_.store(rings_.size(), std::memory_order_release);
+  }
+  t_ring.ring = ring;
   t_ring.generation = locked_gen;
   return t_ring.ring;
 }

@@ -11,6 +11,7 @@
 // synchronization beyond the joins' happens-before.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -122,6 +123,10 @@ class TraceRecorder {
   std::size_t ring_capacity() const noexcept { return ring_capacity_; }
 
   static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+  // Upper bound on rings visible to lock-free readers (the flight
+  // recorder). Rings beyond it still record and drain normally; they are
+  // just invisible to a crash-time snapshot.
+  static constexpr std::size_t kMaxPublishedRings = 256;
 
   // One thread's fixed-capacity SPSC ring. The owning thread is the only
   // writer; slots_ never reallocates after construction.
@@ -131,6 +136,28 @@ class TraceRecorder {
     std::atomic<std::uint64_t> widx{0};  // total events written (monotonic)
     std::uint32_t id;
   };
+
+  // Visit each published ring's newest events lock-free — at most
+  // `per_ring` from each — calling fn(const TraceEvent&). Async-signal-safe
+  // (no allocation, no locks): the flight recorder calls this from a crash
+  // handler. Events may tear against a concurrent writer on the same slot;
+  // acceptable for post-mortem output. Racing reset() is not defended —
+  // reset runs only between engine runs, and a crash there loses at most
+  // the dump.
+  template <class Fn>
+  void visit_recent_unsafe(std::size_t per_ring, Fn&& fn) const {
+    const std::size_t n = std::min(
+        ring_count_.load(std::memory_order_acquire), kMaxPublishedRings);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ring* ring = ring_table_[i].load(std::memory_order_acquire);
+      if (ring == nullptr) continue;
+      const std::uint64_t w = ring->widx.load(std::memory_order_acquire);
+      const std::uint64_t cap = ring->slots.size();
+      const std::uint64_t window = w > cap ? cap : w;
+      const std::uint64_t take = window > per_ring ? per_ring : window;
+      for (std::uint64_t k = w - take; k < w; ++k) fn(ring->slots[k % cap]);
+    }
+  }
 
  private:
   TraceRecorder();
@@ -142,9 +169,13 @@ class TraceRecorder {
   std::size_t ring_capacity_ = kDefaultRingCapacity;
 
   // Rings are created under rings_mu_ (once per thread per generation) and
-  // only destroyed by reset(); record() touches them lock-free.
+  // only destroyed by reset(); record() touches them lock-free. The first
+  // kMaxPublishedRings are additionally release-published to ring_table_ so
+  // signal-context readers can iterate without the mutex.
   mutable std::mutex rings_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<const Ring*> ring_table_[kMaxPublishedRings] = {};
+  std::atomic<std::size_t> ring_count_{0};
 };
 
 // RAII span: captures the start time at construction (when tracing is on)

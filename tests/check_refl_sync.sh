@@ -21,15 +21,22 @@ hpp="$repo/src/obs/telemetry.hpp"
 [ -r "$hpp" ] || { echo "check_refl_sync: missing $hpp" >&2; exit 1; }
 
 # Derived series that legitimately stay hand-written in prometheus_text():
-# run metadata and cross-field/cross-round computations.
-allowed="info nodes pool_hit_rate updates_total phase_seconds_total"
+# run metadata, cross-field/cross-round computations, and the per-client
+# round-latency histogram (a log2-bucket exposition no single descriptor
+# field can express).
+allowed="info nodes pool_hit_rate updates_total phase_seconds_total
+client_round_seconds client_round_seconds_bucket client_round_seconds_sum
+client_round_seconds_count"
 
 # Every hand-written `of_fleet_<name>` literal in the renderer (the generated
 # families never appear as literals — prom_families builds them from the
-# descriptors at runtime). `of_fleet_` / `of_fleet_combiner_` prefixes passed
-# to prom_families carry no series suffix and drop out of the grep below.
+# descriptors at runtime). `of_fleet_` / `of_fleet_combiner_` /
+# `of_fleet_critical_path_` prefixes passed to prom_families carry no series
+# suffix and drop out of the grep below; `critical_path_info` normalizes to
+# the allowed `info` row like the combiner/serve twins.
 found=$(grep -o '"[^"]*of_fleet_[A-Za-z0-9_]*' "$cpp" \
   | sed 's/.*of_fleet_//' | sed 's/^combiner_//' | sed 's/^serve_//' \
+  | sed 's/^critical_path_//' \
   | grep -v '^$' | sort -u)
 
 status=0
@@ -58,6 +65,14 @@ grep -q 'Reflect<of::obs::TelemetrySummary>' "$hpp" || {
 grep -q 'Reflect<of::obs::Fleet::ServeHealth>' "$hpp" || {
   echo "check_refl_sync: Reflect<Fleet::ServeHealth> descriptor missing from" >&2
   echo "  src/obs/telemetry.hpp" >&2
+  status=1
+}
+
+# The attribution engine's of_fleet_critical_path_* families too
+# (src/obs/attribution.hpp).
+grep -q 'Reflect<of::obs::CriticalPath>' "$repo/src/obs/attribution.hpp" || {
+  echo "check_refl_sync: Reflect<CriticalPath> descriptor missing from" >&2
+  echo "  src/obs/attribution.hpp" >&2
   status=1
 }
 

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Async-signal-safety lint (DESIGN.md §16).
+#
+# The profiler's SIGPROF handler and the flight recorder's crash-dump path
+# run inside signal handlers: they may touch only pre-allocated memory,
+# plain thread-locals, atomics, and the short POSIX async-signal-safe list
+# (clock_gettime, open/write/close, sigaction, raise, backtrace-after-
+# priming). Both TUs fence those regions between `SIGNAL-SAFE BEGIN` and
+# `SIGNAL-SAFE END` markers; this check fails when a banned construct —
+# anything that can allocate, lock, or enter stdio — appears inside a
+# fenced region, or when a TU that should have one lost its markers.
+#
+# Usage: check_signal_safety.sh <repo-root>
+set -eu
+
+repo=${1:?usage: check_signal_safety.sh <repo-root>}
+
+# Tokens that are never async-signal-safe. Word-bounded so identifiers like
+# "newest" or comments mentioning "allocation" don't trip it.
+banned='\bmalloc\b|\bcalloc\b|\brealloc\b|\bfree\b|\bprintf\b|\bfprintf\b|\bsnprintf\b|\bsprintf\b|\bputs\b|\bfwrite\b|\bfopen\b|std::mutex|lock_guard|unique_lock|scoped_lock|\bnew\b|\bdelete\b|std::string\b|std::vector\b|std::map\b|std::ostringstream|std::function|make_unique|push_back|emplace'
+
+status=0
+for tu in src/obs/profiler.cpp src/obs/flightrec.cpp; do
+  f="$repo/$tu"
+  [ -r "$f" ] || { echo "check_signal_safety: missing $f" >&2; status=1; continue; }
+  grep -q 'SIGNAL-SAFE BEGIN' "$f" && grep -q 'SIGNAL-SAFE END' "$f" || {
+    echo "check_signal_safety: $tu lost its SIGNAL-SAFE BEGIN/END markers —" >&2
+    echo "  the handler region must stay fenced so this lint can see it." >&2
+    status=1
+    continue
+  }
+  hits=$(sed -n '/SIGNAL-SAFE BEGIN/,/SIGNAL-SAFE END/p' "$f" \
+    | grep -nE "$banned" || true)
+  if [ -n "$hits" ]; then
+    echo "check_signal_safety: non-async-signal-safe construct inside the" >&2
+    echo "  fenced region of $tu:" >&2
+    echo "$hits" | sed 's/^/    /' >&2
+    status=1
+  fi
+done
+
+exit $status

@@ -13,6 +13,7 @@
 
 #include "comm/star.hpp"
 #include "comm/tcp.hpp"
+#include "net_util.hpp"
 #include "core/frame_pool.hpp"
 #include "core/payload.hpp"
 #include "obs/telemetry.hpp"
@@ -122,8 +123,10 @@ struct TreeResult {
 TEST(CombinerTree, TcpTreeWithStragglersMatchesFlatStar) {
   constexpr int kGroups = 3;
   constexpr int kTrainersPerGroup = 3;
-  constexpr std::uint16_t kInnerPort[kGroups] = {47410, 47411, 47412};
-  constexpr std::uint16_t kOuterPort = 47413;
+  const std::uint16_t kInnerPort[kGroups] = {of::testutil::ephemeral_port(),
+                                             of::testutil::ephemeral_port(),
+                                             of::testutil::ephemeral_port()};
+  const std::uint16_t kOuterPort = of::testutil::ephemeral_port();
   const int kStraggler = 1 * kTrainersPerGroup + 2;  // group 1, local rank 3
 
   star::PartialGatherOptions group_opt;

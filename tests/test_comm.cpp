@@ -18,6 +18,7 @@
 #include "comm/modeled.hpp"
 #include "comm/star.hpp"
 #include "comm/tcp.hpp"
+#include "net_util.hpp"
 
 namespace {
 
@@ -257,7 +258,7 @@ void run_tcp(int world, std::uint16_t port,
 }
 
 TEST(Tcp, PointToPointBothWays) {
-  run_tcp(3, 47301, [](int rank, Communicator& c) {
+  run_tcp(3, of::testutil::ephemeral_port(), [](int rank, Communicator& c) {
     if (rank == 0) {
       for (int p = 1; p < 3; ++p)
         c.send_bytes(p, 1, Bytes{static_cast<std::uint8_t>(p)});
@@ -271,14 +272,14 @@ TEST(Tcp, PointToPointBothWays) {
 }
 
 TEST(Tcp, ClientToClientThrows) {
-  run_tcp(3, 47302, [](int rank, Communicator& c) {
+  run_tcp(3, of::testutil::ephemeral_port(), [](int rank, Communicator& c) {
     if (rank == 1) EXPECT_THROW(c.send_bytes(2, 1, Bytes{1}), std::runtime_error);
     c.barrier();
   });
 }
 
 TEST(Tcp, StarCollectives) {
-  run_tcp(4, 47303, [](int rank, Communicator& c) {
+  run_tcp(4, of::testutil::ephemeral_port(), [](int rank, Communicator& c) {
     // broadcast
     Tensor t = rank == 0 ? Tensor::full({6}, 3.5f) : Tensor({6});
     c.broadcast(t, 0);
@@ -309,7 +310,7 @@ TEST(Tcp, EphemeralPortDiscovery) {
 }
 
 TEST(Tcp, LargePayloadRoundtrip) {
-  run_tcp(2, 47304, [](int rank, Communicator& c) {
+  run_tcp(2, of::testutil::ephemeral_port(), [](int rank, Communicator& c) {
     Rng rng(1);
     if (rank == 0) {
       const Tensor big = Tensor::randn({100000}, rng);
@@ -393,35 +394,38 @@ void run_tcp_ft(int world, std::uint16_t port, TcpCommunicator::FaultTolerance f
 }
 
 TEST(TcpHardening, MalformedHelloAbortsSetup) {
-  std::thread intruder([] {
-    const int fd = connect_raw(47307);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread intruder([port] {
+    const int fd = connect_raw(port);
     ASSERT_GE(fd, 0);
     WireHeader h{0xBADF00Du, 1, kWireHelloTag, 0};
     send_raw(fd, &h, sizeof(h));
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     ::close(fd);
   });
-  EXPECT_THROW((void)TcpCommunicator::make_server(47307, 2), std::runtime_error);
+  EXPECT_THROW((void)TcpCommunicator::make_server(port, 2), std::runtime_error);
   intruder.join();
 }
 
 TEST(TcpHardening, OutOfRangeRankHelloAbortsSetup) {
-  std::thread intruder([] {
-    const int fd = connect_raw(47308);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread intruder([port] {
+    const int fd = connect_raw(port);
     ASSERT_GE(fd, 0);
     WireHeader h{kWireMagic, 7, kWireHelloTag, 0, 0, 0, 0};  // world is 2: ranks 1..1
     send_raw(fd, &h, sizeof(h));
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     ::close(fd);
   });
-  EXPECT_THROW((void)TcpCommunicator::make_server(47308, 2), std::runtime_error);
+  EXPECT_THROW((void)TcpCommunicator::make_server(port, 2), std::runtime_error);
   intruder.join();
 }
 
 TEST(TcpHardening, OversizedFrameDropsLink) {
+  const std::uint16_t port = of::testutil::ephemeral_port();
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47309, 2); });
-  const int fd = connect_raw(47309);
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  const int fd = connect_raw(port);
   ASSERT_GE(fd, 0);
   WireHeader hello{kWireMagic, 1, kWireHelloTag, 0, 0, 0, 0};
   send_raw(fd, &hello, sizeof(hello));
@@ -439,7 +443,7 @@ TEST(TcpHardening, OversizedFrameDropsLink) {
 }
 
 TEST(TcpHardening, RecvTimeoutMentionsTimeout) {
-  run_tcp_ft(2, 47310, {}, [](int rank, TcpCommunicator& c) {
+  run_tcp_ft(2, of::testutil::ephemeral_port(), {}, [](int rank, TcpCommunicator& c) {
     if (rank == 0) {
       c.set_recv_timeout(0.05);
       try {
@@ -461,7 +465,7 @@ TEST(TcpHardening, ReconnectAfterDropReplaysQueuedFrames) {
   ft.max_reconnect_attempts = 50;
   ft.backoff_seconds = 0.01;
   ft.backoff_max_seconds = 0.1;
-  run_tcp_ft(2, 47311, ft, [](int rank, TcpCommunicator& c) {
+  run_tcp_ft(2, of::testutil::ephemeral_port(), ft, [](int rank, TcpCommunicator& c) {
     if (rank == 0) {
       EXPECT_EQ(c.recv_bytes(1, 1), (Bytes{1}));
       c.send_bytes(1, 2, Bytes{2});               // ack: frame 1 arrived
@@ -480,7 +484,7 @@ TEST(TcpHardening, ReconnectAfterDropReplaysQueuedFrames) {
 }
 
 TEST(TcpHardening, DownLinkWithoutFaultToleranceThrows) {
-  run_tcp_ft(2, 47312, {}, [](int rank, TcpCommunicator& c) {
+  run_tcp_ft(2, of::testutil::ephemeral_port(), {}, [](int rank, TcpCommunicator& c) {
     if (rank == 0) {
       EXPECT_EQ(c.recv_bytes(1, 1), (Bytes{9}));
     } else {
@@ -502,16 +506,17 @@ TEST(TcpAcceptPath, ListenBacklogSurvivesConnectBurst) {
   // accept loop gets scheduled. With backlog 2 the kernel drops the overflow
   // and those connects stall on the ~1 s SYN retransmit, blowing the budget.
   constexpr int kBurst = 128;
+  const std::uint16_t port = of::testutil::ephemeral_port();
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47401, 2); });
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
 
   // Wait until the listener is up, keeping this fd to hello later.
-  const int hello_fd = connect_raw(47401);
+  const int hello_fd = connect_raw(port);
   ASSERT_GE(hello_fd, 0);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(47401);
+  addr.sin_port = htons(port);
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
   std::vector<int> fds;
   for (int i = 0; i < kBurst; ++i) {
@@ -553,17 +558,18 @@ TEST(TcpAcceptPath, SlowScraperDoesNotWedgeAdmission) {
   // admission: HTTP conns are served off the event loop under their own
   // deadline. The old inline-on-accept path sat in a 10 s recv timeout
   // before accepting the next connection.
+  const std::uint16_t port = of::testutil::ephemeral_port();
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47402, 2); });
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
 
-  const int scraper = connect_raw(47402);
+  const int scraper = connect_raw(port);
   ASSERT_GE(scraper, 0);
   send_raw(scraper, "GET ", 4);  // sniffable as HTTP, then silence
 
   // Give the server time to take the scraper before the real client shows up.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   const auto t0 = std::chrono::steady_clock::now();
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47402, 1, 2);
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -580,7 +586,7 @@ TEST(TcpAcceptPath, ConnectTimeoutSurfacesCleanError) {
   ft.connect_timeout_seconds = 0.3;
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    (void)TcpCommunicator::make_client("127.0.0.1", 47499, 1, 2, ft);
+    (void)TcpCommunicator::make_client("127.0.0.1", of::testutil::ephemeral_port(), 1, 2, ft);
     FAIL() << "expected connect failure";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
@@ -711,7 +717,7 @@ TEST(RecvAny, AmqpQueueOrder) {
 }
 
 TEST(RecvAny, TcpServerSide) {
-  run_tcp(3, 47306, [](int rank, Communicator& c) {
+  run_tcp(3, of::testutil::ephemeral_port(), [](int rank, Communicator& c) {
     if (rank == 0) {
       std::set<int> seen;
       for (int i = 0; i < 2; ++i) {

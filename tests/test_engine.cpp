@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "config/yaml.hpp"
+#include "net_util.hpp"
 #include "core/engine.hpp"
 
 namespace {
@@ -253,7 +254,10 @@ TEST(Engine, HierarchicalWithTcpInnerGroups) {
   cfg.set_path("topology.groups", ConfigNode::integer(2));
   cfg.set_path("topology.group_size", ConfigNode::integer(2));
   cfg.set_path("topology.inner_comm._target_", ConfigNode::string("GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47441));
+  // The engine derives each group's listen port as base+group, so the whole
+  // block must be free, not just the base.
+  cfg.set_path("topology.inner_comm.port",
+               ConfigNode::integer(of::testutil::ephemeral_port_block(2)));
   cfg.set_path("topology.outer_comm._target_",
                ConfigNode::string("TorchDistCommunicator"));
   Engine engine(cfg);
@@ -263,7 +267,7 @@ TEST(Engine, HierarchicalWithTcpInnerGroups) {
 TEST(Engine, TcpBackendMatchesInProc) {
   ConfigNode cfg = base_config();
   cfg.set_path("topology.inner_comm._target_", ConfigNode::string("GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47211));
+  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(of::testutil::ephemeral_port()));
   Engine tcp_engine(cfg);
   const RunResult tcp = tcp_engine.run();
 

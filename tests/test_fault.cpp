@@ -8,6 +8,7 @@
 
 #include "comm/inproc.hpp"
 #include "comm/star.hpp"
+#include "net_util.hpp"
 #include "config/yaml.hpp"
 #include "core/engine.hpp"
 #include "fault/fault.hpp"
@@ -304,7 +305,7 @@ TEST(EngineFault, CrashWithQuorumCompletesAllRounds) {
 TEST(EngineFault, CrashOverTcpBackend) {
   ConfigNode cfg = faulty_config(kCrashBlock);
   cfg.set_path("topology.inner_comm._target_", ConfigNode::string("GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47511));
+  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(of::testutil::ephemeral_port()));
   cfg.set_path("fault.round_deadline_seconds", ConfigNode::floating(1.0));
   Engine engine(cfg);
   const RunResult r = engine.run();

@@ -21,6 +21,7 @@
 
 #include "comm/inproc.hpp"
 #include "comm/tcp.hpp"
+#include "net_util.hpp"
 #include "config/yaml.hpp"
 #include "core/engine.hpp"
 #include "exec/pool.hpp"
@@ -366,8 +367,9 @@ TEST(MergedTrace, DoesNotSynthesizeWhenRoundSpanClosed) {
 
 TEST(TcpClockSync, PingPongRecoversInjectedSkew) {
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47420, 2); });
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47420, 1, 2);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
   ASSERT_NE(server, nullptr);
 
@@ -393,8 +395,9 @@ TEST(TcpClockSync, PingsInterleaveWithGatherUnderTinyTagWindow) {
   // claim — or collide with — a collective tag slot, even when the window
   // is shrunk to 2 and wraps every other collective.
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47421, 2); });
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47421, 1, 2);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
   ASSERT_NE(server, nullptr);
   server->set_collective_tag_window_for_test(2);
@@ -475,22 +478,23 @@ TEST(Scrape, TcpListenerServesPrometheusTextOverRawGet) {
   Fleet::global().record(t);
 
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47422, 2); });
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47422, 1, 2);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
   ASSERT_NE(server, nullptr);
 
-  const std::string metrics = http_get(47422, "/metrics");
+  const std::string metrics = http_get(port, "/metrics");
   EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
   EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
   EXPECT_NE(metrics.find("of_fleet_round{node=\"2\"} 5"), std::string::npos);
   EXPECT_NE(metrics.find("# TYPE of_fleet_nodes gauge"), std::string::npos);
 
-  const std::string fleet = http_get(47422, "/fleet");
+  const std::string fleet = http_get(port, "/fleet");
   EXPECT_EQ(fleet.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
   EXPECT_NE(fleet.find("node 2:"), std::string::npos);
 
-  const std::string missing = http_get(47422, "/bogus");
+  const std::string missing = http_get(port, "/bogus");
   EXPECT_EQ(missing.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
 
   // The data plane still works after scrape connections came and went.
@@ -521,12 +525,13 @@ TEST(Scrape, FleetJsonOverRawGetMatchesPrometheusGaugeNames) {
   Fleet::global().record_combiner(ch);
 
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47425, 2); });
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47425, 1, 2);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
   ASSERT_NE(server, nullptr);
 
-  const std::string resp = http_get(47425, "/fleet.json");
+  const std::string resp = http_get(port, "/fleet.json");
   EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
   EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos);
   const auto split = resp.find("\r\n\r\n");
@@ -539,7 +544,7 @@ TEST(Scrape, FleetJsonOverRawGetMatchesPrometheusGaugeNames) {
   EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
             std::count(body.begin(), body.end(), '}'));
 
-  const std::string prom = http_get(47425, "/metrics");
+  const std::string prom = http_get(port, "/metrics");
 
   // Name-for-name: every exported per-node descriptor field appears as an
   // of_fleet_<name> family in the Prometheus scrape AND as a "<name>" key in
@@ -568,7 +573,7 @@ TEST(Scrape, FleetJsonOverRawGetMatchesPrometheusGaugeNames) {
   EXPECT_NE(body.find("\"node\":1"), std::string::npos) << body;
   EXPECT_NE(body.find("\"agg_peak_bytes\":4096"), std::string::npos) << body;
 
-  const std::string csv = http_get(47425, "/fleet.csv");
+  const std::string csv = http_get(port, "/fleet.csv");
   EXPECT_NE(csv.find("Content-Type: text/csv"), std::string::npos);
   EXPECT_NE(csv.find("peak_rss_kb"), std::string::npos);
 }
@@ -609,7 +614,7 @@ TEST(EngineDist, TcpFleetRunWritesMergedOffsetCorrectedTrace) {
   ConfigNode cfg = dist_config(3, 3);
   cfg.set_path("topology.inner_comm._target_",
                ConfigNode::string("src.omnifed.communicator.GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47423));
+  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(of::testutil::ephemeral_port()));
   cfg.set_path("obs.trace_path", ConfigNode::string(trace_path));
   cfg.set_path("obs.split_trace_per_node", ConfigNode::boolean(true));
   Engine engine(cfg);

@@ -1,0 +1,382 @@
+// of::obs tier-two tests (DESIGN.md §16): the sampling profiler's disabled
+// fast path (zero heap allocations), live capture + collapsed-stack golden
+// output under an injected symbolizer, round critical-path attribution (an
+// injected Delay straggler must be blamed on `compute`), the flight
+// recorder's dump schema, and an end-to-end TCP fleet run joining all three
+// against a real straggler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/yaml.hpp"
+#include "core/engine.hpp"
+#include "net_util.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+
+// --- global allocation counter -----------------------------------------------
+// Same TU-level operator-new override as test_obs: counts every heap
+// allocation in the binary so the disabled-path test can assert zero.
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(a), n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using of::config::ConfigNode;
+using of::config::parse_yaml;
+using of::core::Engine;
+using of::core::RunResult;
+using of::obs::Attribution;
+using of::obs::Cause;
+using of::obs::Fleet;
+using of::obs::FlightRecConfig;
+using of::obs::FlightRecorder;
+using of::obs::Name;
+using of::obs::PhaseDigest;
+using of::obs::ProfileConfig;
+using of::obs::Profiler;
+using of::obs::ProfileSample;
+using of::obs::ScopedSpan;
+using of::obs::TraceRecorder;
+
+// Structural JSON sanity: balanced braces/brackets outside string literals.
+// Not a parser — enough to catch a truncated dump or an unescaped quote.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- profiler: disabled fast path ----------------------------------------------
+
+TEST(Profiler, DisabledPathIsAllocationFree) {
+  auto& p = Profiler::global();
+  ASSERT_FALSE(p.enabled());
+  constexpr int kIters = 1000000;
+  bool saw_enabled = false;
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i)
+    if (p.enabled()) saw_enabled = true;
+  const double ns_per =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      kIters;
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - a0, 0u)
+      << "disabled enabled() check allocated";
+  EXPECT_FALSE(saw_enabled);
+  // Budget is ≤10 ns (one relaxed load; see bench_obs_overhead and
+  // EXPERIMENTS.md) — assert a loose multiple so a lock or syscall sneaking
+  // in fails even on a noisy CI host.
+  EXPECT_LT(ns_per, 100.0) << "disabled path cost " << ns_per << " ns/call";
+}
+
+// --- profiler: live capture -----------------------------------------------------
+
+TEST(Profiler, CapturesStacksWhileBusyAndLabelsLanes) {
+  ProfileConfig cfg;
+  cfg.enabled = true;
+  cfg.hz = 250;
+  cfg.max_frames = 16;
+  cfg.ring_capacity = 512;
+  auto& p = Profiler::global();
+  Profiler::set_thread_name("proftest");
+  p.start(cfg);
+  // ITIMER_PROF counts CPU time, so burn cycles (a sleep would never get
+  // sampled). Loop until a few samples land or a generous wall deadline.
+  volatile double sink = 1.0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (p.samples_total() < 5 && std::chrono::steady_clock::now() < deadline)
+    for (int i = 0; i < 100000; ++i) sink = sink * 1.0000001 + 0.5;
+  p.stop();
+  ASSERT_GE(p.samples_total(), 5u);
+
+  const auto snap = p.snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (const auto& s : snap) {
+    EXPECT_GT(s.depth, 0u);
+    EXPECT_LE(s.depth, Profiler::kMaxFrames);
+  }
+  // Snapshot is time-ordered.
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_GE(snap[i].ts_ns, snap[i - 1].ts_ns);
+
+  // The collapsed export names this thread's lane and every line ends in a
+  // count.
+  const std::string folded = p.collapsed_text();
+  ASSERT_FALSE(folded.empty());
+  EXPECT_NE(folded.find("proftest"), std::string::npos);
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::strtoull(line.c_str() + sp + 1, nullptr, 10), 0u) << line;
+  }
+}
+
+TEST(Profiler, CollapseGoldenWithInjectedSymbolizer) {
+  auto mk = [](std::uint32_t lane, std::initializer_list<std::uintptr_t> pcs) {
+    ProfileSample s{};
+    s.lane = lane;
+    s.depth = static_cast<std::uint32_t>(pcs.size());
+    std::size_t i = 0;
+    for (const auto pc : pcs) s.frames[i++] = reinterpret_cast<void*>(pc);
+    return s;
+  };
+  // frames[0] is the leaf: {0xB, 0xA} is a stack where fa called fb.
+  const std::vector<ProfileSample> samples = {
+      mk(0, {0xB, 0xA}), mk(0, {0xB, 0xA}), mk(0, {0xC, 0xA}), mk(1, {0xA})};
+  const auto sym = [](void* pc) -> std::string {
+    switch (reinterpret_cast<std::uintptr_t>(pc)) {
+      case 0xA: return "fa";
+      case 0xB: return "fb";
+      default: return "fc";
+    }
+  };
+  const std::string folded = Profiler::collapse(samples, {"main", "worker"}, sym);
+  EXPECT_EQ(folded, "main;fa;fb 2\nmain;fa;fc 1\nworker;fa 1\n");
+}
+
+// --- attribution ----------------------------------------------------------------
+
+// Phase digest indices (obs/context.hpp): 0=train 1=encode 2=send 3=recv
+// 4=decode.
+void set_phase(PhaseDigest (&phases)[of::obs::kPhaseCount], std::size_t i,
+               std::uint64_t total_ns) {
+  phases[i].count = 1;
+  phases[i].total_ns = total_ns;
+  phases[i].max_ns = total_ns;
+}
+
+TEST(Attribution, NamesDelayedStragglerComputeBound) {
+  Attribution attr;
+  PhaseDigest fast[of::obs::kPhaseCount] = {};
+  set_phase(fast, 0, 10000000);  // 10 ms train
+  set_phase(fast, 2, 2000000);   // 2 ms send
+  attr.observe_client(1, 0, fast, 0x111);
+
+  PhaseDigest slow[of::obs::kPhaseCount] = {};
+  set_phase(slow, 0, 510000000);  // 510 ms train — the injected Delay stall
+  set_phase(slow, 2, 2000000);
+  attr.observe_client(2, 0, slow, 0x222);
+
+  const auto cp = attr.on_round(0, 0.6, 0.005);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->round, 0u);
+  EXPECT_EQ(cp->client, 2);
+  EXPECT_EQ(cp->cause, Cause::Compute);
+  EXPECT_NEAR(cp->cause_seconds, 0.51, 1e-9);
+  EXPECT_NEAR(cp->client_seconds, 0.512, 1e-9);
+  EXPECT_EQ(cp->exemplar_span, 0x222u);
+
+  // Histograms saw one round per client, exemplars kept.
+  const auto& hists = attr.client_hists();
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists.at(1).count, 1u);
+  EXPECT_EQ(hists.at(2).last_span, 0x222u);
+}
+
+TEST(Attribution, AggregateDominanceBlamesTheCoordinator) {
+  Attribution attr;
+  PhaseDigest fast[of::obs::kPhaseCount] = {};
+  set_phase(fast, 0, 5000000);
+  attr.observe_client(1, 3, fast, 0x333);
+  const auto cp = attr.on_round(3, 1.0, 0.9);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->client, -1);
+  EXPECT_EQ(cp->cause, Cause::Aggregate);
+  EXPECT_NEAR(cp->cause_seconds, 0.9, 1e-9);
+  EXPECT_EQ(cp->exemplar_span, 0u);
+}
+
+TEST(Attribution, FallsBackToLatestClientRowsWhenRoundNeverReported) {
+  // Async/serve tiers record coordinator rounds the clients never named:
+  // the join falls back to each client's most recent row.
+  Attribution attr;
+  PhaseDigest d[of::obs::kPhaseCount] = {};
+  set_phase(d, 3, 80000000);  // 80 ms waiting on the queue
+  attr.observe_client(4, 7, d, 0x444);
+  const auto cp = attr.on_round(99, 0.1, 0.001);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->client, 4);
+  EXPECT_EQ(cp->cause, Cause::QueueWait);
+}
+
+// --- flight recorder ------------------------------------------------------------
+
+TEST(FlightRecorder, DumpSchemaRoundTrips) {
+  auto& rec = TraceRecorder::global();
+  rec.reset(64);
+  rec.set_enabled(true);
+  {
+    ScopedSpan span(Name::LocalTrain, 1, 7, 42);
+  }
+  of::obs::instant(Name::DeadlineCut, 0, 7, 1);
+  rec.set_enabled(false);  // events stay in the rings for the dump
+
+  FlightRecConfig cfg;
+  cfg.enabled = true;
+  cfg.path_prefix = ::testing::TempDir() + "of_fr_unit";
+  cfg.on_signal = false;  // don't disturb gtest's signal dispositions
+  auto& fr = FlightRecorder::global();
+  fr.arm(cfg, "obs:\n  enabled: true\n", 0xabcdefULL);
+  const std::string path = fr.dump("unit_test");
+  EXPECT_EQ(fr.dumps_total(), 1u);
+  fr.disarm();
+  ASSERT_EQ(path, cfg.path_prefix + "-unit_test.json");
+
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(json_balanced(json)) << json;
+  for (const char* key :
+       {"\"reason\":\"unit_test\"", "\"signal\":0", "\"trace_id\":\"0xabcdef\"",
+        "\"dump_wall_ns\":", "\"events\":[", "\"profile\":[", "\"config\":\"",
+        "\"name\":\"local_train\"", "\"name\":\"fault.deadline_cut\"",
+        "\"node\":1", "\"round\":7", "enabled: true"})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  std::remove(path.c_str());
+}
+
+// --- end to end -----------------------------------------------------------------
+
+TEST(EngineProfileE2E, DelayStragglerIsAttributedAndFlightRecorded) {
+  const std::string prefix = ::testing::TempDir() + "of_fr_e2e";
+  ConfigNode cfg = parse_yaml(R"(
+seed: 7
+topology:
+  _target_: CentralizedTopology
+  num_clients: 3
+  inner_comm:
+    _target_: GrpcCommunicator
+model: mlp_tiny
+datamodule:
+  preset: toy
+  partition: iid
+  batch_size: 16
+algorithm:
+  _target_: FedAvg
+  global_rounds: 2
+  local_epochs: 1
+  lr: 0.05
+fault:
+  enabled: true
+  min_clients: 1
+  round_deadline_seconds: 30.0
+  injections:
+    - kind: delay
+      client: 2
+      round: 1
+      delay_seconds: 0.4
+obs:
+  enabled: true
+  telemetry: true
+  profile:
+    enabled: true
+    hz: 97
+  flightrec:
+    enabled: true
+    on_signal: false
+    on_fault: true
+)");
+  cfg.set_path("topology.inner_comm.port",
+               ConfigNode::integer(of::testutil::ephemeral_port()));
+  cfg.set_path("obs.flightrec.path_prefix", ConfigNode::string(prefix));
+  Engine engine(cfg);
+  const RunResult r = engine.run();
+  ASSERT_EQ(r.rounds.size(), 2u);
+  // Deadline is generous: the straggler is outwaited, not dropped, so its
+  // round-1 telemetry (with the delay spanned as train time) reaches the
+  // coordinator.
+  EXPECT_TRUE(r.rounds[1].dropped_ranks.empty());
+
+  const auto cp = Fleet::global().critical_path();
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->round, 1u);
+  EXPECT_EQ(cp->client, 2) << "straggler not identified";
+  EXPECT_EQ(cp->cause, Cause::Compute) << "injected stall not blamed on compute";
+  EXPECT_GE(cp->cause_seconds, 0.35);
+  EXPECT_NE(cp->exemplar_span, 0u) << "v2 wire should carry the round span id";
+
+  // The per-client latency histograms cover every client, and the health
+  // page names the verdict.
+  EXPECT_EQ(Fleet::global().client_hists().size(), 3u);
+  const std::string health = Fleet::global().health_text();
+  EXPECT_NE(health.find("critical path:"), std::string::npos) << health;
+  EXPECT_NE(health.find("cause compute"), std::string::npos) << health;
+
+  // The injected fault triggered a flight-recorder dump on the straggler's
+  // thread; it parses and holds the straggler's final spans.
+  const std::string path = prefix + "-fault_delay.json";
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty()) << path << " missing";
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"reason\":\"fault_delay\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"local_train\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":2"), std::string::npos)
+      << "straggler's spans missing from the dump";
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 
 #include "comm/star.hpp"
 #include "comm/tcp.hpp"
+#include "net_util.hpp"
 #include "config/compose.hpp"
 #include "config/yaml.hpp"
 #include "core/engine.hpp"
@@ -277,8 +278,9 @@ TEST(ZeroSurvivors, EmptyCombinerPartialKeepsRootCountAtZero) {
 TEST(ZeroSurvivors, StreamingGatherPastDeadlineNeverCallsTheSink) {
   using of::comm::TcpCommunicator;
   std::unique_ptr<TcpCommunicator> server;
-  std::thread srv([&] { server = TcpCommunicator::make_server(47610, 2); });
-  auto client = TcpCommunicator::make_client("127.0.0.1", 47610, 1, 2);
+  const std::uint16_t port = of::testutil::ephemeral_port();
+  std::thread srv([&] { server = TcpCommunicator::make_server(port, 2); });
+  auto client = TcpCommunicator::make_client("127.0.0.1", port, 1, 2);
   srv.join();
 
   const Bytes own = encode_update(delta(1.0f, 1.0f), 1.0, {}, 0, 2);
@@ -428,7 +430,7 @@ TEST(EngineServe, ChurningTcpPopulationGrowsPastWorldSizeWithBackpressure) {
   ConfigNode cfg = serve_base_config();
   cfg.set_path("topology.inner_comm._target_",
                ConfigNode::string("GrpcCommunicator"));
-  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(47611));
+  cfg.set_path("topology.inner_comm.port", ConfigNode::integer(of::testutil::ephemeral_port()));
   cfg.set_path("algorithm.global_rounds", ConfigNode::integer(10));
   cfg.set_path("serve", parse_yaml(R"(
 enabled: true
